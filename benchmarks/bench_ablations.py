@@ -1,0 +1,150 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures of the paper — these quantify the consequences of the
+under-specified knobs we had to pin down, and of the related-work
+baselines the paper argues against:
+
+* ``balance_aware_knobs`` — the four combinations of
+  (tardy_only, pin_until_completion).  The paper-matching configuration
+  (tardy-only, no pin) is the only one with both a worst-case gain and a
+  small average-case cost.
+* ``mix_tradeoff`` — MIX with several static lambdas against ASETS,
+  showing no single lambda dominates across utilizations (the paper's
+  criticism of parameterised hybrids).
+* ``weight_awareness`` — weighted vs unweighted ASETS on a weighted
+  workload (what the HDF list buys).
+"""
+
+import dataclasses
+
+from repro.experiments.config import PolicySpec
+from repro.experiments.runner import (
+    generate_workloads,
+    mean_metric,
+    utilization_sweep,
+)
+from repro.metrics.aggregates import MetricSeries
+from repro.metrics.report import format_series, format_table
+from repro.workload.spec import WorkloadSpec
+
+_GENERAL = WorkloadSpec(
+    with_workflows=True,
+    max_workflow_length=5,
+    max_workflows_per_txn=1,
+    weighted=True,
+)
+
+
+def test_balance_aware_knobs(benchmark, bench_config, publish):
+    spec = dataclasses.replace(
+        _GENERAL, utilization=1.0, n_transactions=bench_config.n_transactions
+    )
+
+    def run():
+        workloads = generate_workloads(spec, bench_config.seeds)
+        base_max = mean_metric(
+            workloads, PolicySpec.of("asets-star"), "max_weighted_tardiness"
+        )
+        base_avg = mean_metric(
+            workloads,
+            PolicySpec.of("asets-star"),
+            "average_weighted_tardiness",
+        )
+        rows = [["ASETS* (reference)", base_max, base_avg, "-", "-"]]
+        for tardy_only in (True, False):
+            for pin in (True, False):
+                policy = PolicySpec.of(
+                    "balance-aware",
+                    time_rate=0.01,
+                    tardy_only=tardy_only,
+                    pin_until_completion=pin,
+                )
+                m = mean_metric(workloads, policy, "max_weighted_tardiness")
+                a = mean_metric(
+                    workloads, policy, "average_weighted_tardiness"
+                )
+                rows.append(
+                    [
+                        f"tardy_only={tardy_only}, pin={pin}",
+                        m,
+                        a,
+                        f"{m / base_max - 1:+.0%}",
+                        f"{a / base_avg - 1:+.0%}",
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_balance_knobs",
+        "Ablation - balance-aware knobs (time rate 0.01, U=1.0)\n"
+        + format_table(
+            ["configuration", "max_wt", "avg_wt", "dmax", "davg"], rows
+        ),
+    )
+    # The default (tardy-only, no pin) improves the worst case.
+    default_row = rows[1 + 1]  # tardy_only=True, pin=False
+    assert default_row[1] < rows[0][1]
+
+
+def test_mix_tradeoff_sweep(benchmark, bench_config, publish):
+    spec = WorkloadSpec(weighted=True)
+    policies = (
+        PolicySpec.of("mix", "MIX(0)", tradeoff=0.0),
+        PolicySpec.of("mix", "MIX(10)", tradeoff=10.0),
+        PolicySpec.of("mix", "MIX(100)", tradeoff=100.0),
+        PolicySpec.of("asets", "ASETS*", weighted=True),
+    )
+
+    def run():
+        return utilization_sweep(
+            spec,
+            policies,
+            "average_weighted_tardiness",
+            bench_config,
+            utilizations=[0.2, 0.5, 0.8, 1.0],
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_mix",
+        format_series(
+            series,
+            "Ablation - static MIX blends vs adaptive ASETS "
+            "(avg weighted tardiness)",
+        ),
+    )
+    # No MIX lambda may beat ASETS* across the whole sweep.
+    astar = series.get("ASETS*")
+    for name in ("MIX(0)", "MIX(10)", "MIX(100)"):
+        mixes = series.get(name)
+        assert any(m > a for m, a in zip(mixes, astar))
+
+
+def test_weight_awareness(benchmark, bench_config, publish):
+    spec = WorkloadSpec(weighted=True)
+    policies = (
+        PolicySpec.of("asets", "ASETS (unweighted lists)", weighted=False),
+        PolicySpec.of("asets", "ASETS* (HDF lists)", weighted=True),
+    )
+
+    def run():
+        return utilization_sweep(
+            spec,
+            policies,
+            "average_weighted_tardiness",
+            bench_config,
+            utilizations=[0.6, 0.8, 1.0],
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_weights",
+        format_series(
+            series,
+            "Ablation - what the HDF list buys on a weighted workload",
+        ),
+    )
+    weighted = series.get("ASETS* (HDF lists)")
+    unweighted = series.get("ASETS (unweighted lists)")
+    assert weighted[-1] < unweighted[-1]

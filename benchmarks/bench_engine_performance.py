@@ -1,0 +1,45 @@
+"""Simulator throughput: the one benchmark here that measures *time*.
+
+Every other bench uses pytest-benchmark as a harness for regenerating the
+paper's series; this one uses it for its real purpose — wall-clock
+performance of the discrete-event engine per policy, guarding against
+complexity regressions (the paper argues ASETS* scales like EDF/SRPT via
+O(log N) priority-queue updates; a quadratic regression in the lazy heaps
+would show up here immediately).
+"""
+
+import pytest
+
+from repro.experiments.config import PolicySpec
+from repro.sim.engine import Simulator
+from repro.workload.generator import generate
+from repro.workload.spec import WorkloadSpec
+
+POLICIES = ("fcfs", "edf", "srpt", "ls", "hdf", "asets", "asets-star")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = WorkloadSpec(
+        n_transactions=1000,
+        utilization=0.9,
+        weighted=True,
+        with_workflows=True,
+    )
+    return generate(spec, seed=1)
+
+
+@pytest.mark.parametrize("name", POLICIES)
+def test_engine_throughput(name, workload, benchmark):
+    policy_spec = PolicySpec.of(name)
+
+    def run():
+        workload.reset()
+        return Simulator(
+            workload.transactions,
+            policy_spec.make(),
+            workflow_set=workload.workflow_set,
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.n == 1000

@@ -1,0 +1,33 @@
+"""Figures 8 & 9: average tardiness of the five transaction-level policies.
+
+Figure 8 zooms into utilizations 0.1-0.5 (EDF territory), Figure 9 into
+0.6-1.0 (SRPT territory).  Expected shape: FCFS worst; EDF best at low
+load; SRPT overtakes EDF in the high-load half; ASETS* at or below the
+better baseline everywhere.
+"""
+
+from repro.experiments.figures import figure8, figure9
+from repro.metrics.report import format_series
+
+
+def test_figure8_low_utilization(benchmark, bench_config, publish):
+    series = benchmark.pedantic(
+        figure8, args=(bench_config,), rounds=1, iterations=1
+    )
+    publish(
+        "fig08",
+        format_series(series, "Figure 8 - Avg tardiness, low utilization (alpha=0.5)"),
+    )
+    assert series.get("EDF")[0] <= series.get("SRPT")[0]
+
+
+def test_figure9_high_utilization(benchmark, bench_config, publish):
+    series = benchmark.pedantic(
+        figure9, args=(bench_config,), rounds=1, iterations=1
+    )
+    publish(
+        "fig09",
+        format_series(series, "Figure 9 - Avg tardiness, high utilization (alpha=0.5)"),
+    )
+    assert series.get("SRPT")[-1] <= series.get("EDF")[-1]
+    assert series.get("ASETS*")[-1] <= series.get("SRPT")[-1] * 1.05

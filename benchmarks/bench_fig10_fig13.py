@@ -1,0 +1,41 @@
+"""Figures 10-13: ASETS* average tardiness normalized to EDF and SRPT.
+
+One benchmark per slack-factor bound k_max in {3, 1, 2, 4} (the paper's
+presentation order).  Expected shapes: every normalized value <= ~1, the
+biggest dip near the EDF/SRPT crossover, and the crossover moving right
+as k_max grows.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+)
+from repro.metrics.report import format_series
+
+_FIGS = {
+    "fig10": (figure10, 3.0),
+    "fig11": (figure11, 1.0),
+    "fig12": (figure12, 2.0),
+    "fig13": (figure13, 4.0),
+}
+
+
+@pytest.mark.parametrize("name", sorted(_FIGS))
+def test_normalized_tardiness(name, benchmark, bench_config, publish):
+    fig, k_max = _FIGS[name]
+    series = benchmark.pedantic(fig, args=(bench_config,), rounds=1, iterations=1)
+    crossover = series.raw.crossover("EDF", "SRPT")
+    title = (
+        f"Figure {name[3:]} - Normalized avg tardiness (k_max={k_max:g}; "
+        f"EDF/SRPT crossover at U={crossover})"
+    )
+    body = format_series(series, title)
+    body += "\n\n" + format_series(series.raw, "Raw sweep")
+    publish(name, body)
+    # ASETS* never loses to either baseline by more than seed noise.
+    for key in ("ASETS*/EDF", "ASETS*/SRPT"):
+        assert all(v <= 1.05 for v in series.get(key))

@@ -1,0 +1,27 @@
+"""Figure 14: workflow-level ASETS* vs the Ready baseline.
+
+Unweighted dependent workload, maximum workflow length 5, maximum number
+of workflows per transaction 1 (Section IV-D).  Expected shape: ASETS*
+at or below Ready everywhere, with the gap widening as utilization grows
+and dependency/deadline conflicts start to bind.
+"""
+
+from repro.experiments.figures import figure14
+from repro.metrics.report import format_series
+
+
+def test_figure14_workflow_level(benchmark, bench_config, publish):
+    series = benchmark.pedantic(
+        figure14, args=(bench_config,), rounds=1, iterations=1
+    )
+    ready = series.get("Ready")
+    star = series.get("ASETS*")
+    gains = [1 - s / r for s, r in zip(star, ready) if r > 0]
+    title = (
+        "Figure 14 - Avg tardiness at the workflow level "
+        f"(L_max=5, W_max=1; ASETS* gain over Ready: "
+        f"max {max(gains):.0%}, mean {sum(gains)/len(gains):.0%})"
+    )
+    publish("fig14", format_series(series, title))
+    # Under load ASETS* must beat Ready.
+    assert sum(star[-3:]) < sum(ready[-3:])

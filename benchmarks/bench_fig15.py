@@ -1,0 +1,26 @@
+"""Figure 15: the general case — weighted transactions with workflows.
+
+ASETS* vs EDF vs HDF on average weighted tardiness (Section IV-E).
+Expected shape: EDF competitive at low utilization, HDF at high
+utilization, ASETS* at or below both across the whole grid.
+"""
+
+from repro.experiments.figures import figure15
+from repro.metrics.report import format_series
+
+
+def test_figure15_general_case(benchmark, bench_config, publish):
+    series = benchmark.pedantic(
+        figure15, args=(bench_config,), rounds=1, iterations=1
+    )
+    publish(
+        "fig15",
+        format_series(
+            series,
+            "Figure 15 - Avg weighted tardiness, general case "
+            "(workflows + weights 1-10)",
+        ),
+    )
+    astar = series.get("ASETS*")
+    for a, e, h in zip(astar, series.get("EDF"), series.get("HDF")):
+        assert a <= min(e, h) * 1.05 + 0.01

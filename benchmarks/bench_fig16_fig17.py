@@ -1,0 +1,50 @@
+"""Figures 16 & 17: the balance-aware trade-off (plus count-based twins).
+
+At full utilization — where SRPT-style starvation materialises — sweep
+the activation rate of balance-aware ASETS* and compare against plain
+ASETS*.  Expected shapes (Section IV-F): the maximum weighted tardiness
+(worst case) improves, increasingly so at higher activation rates, while
+the average weighted tardiness degrades by only a few percent.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure16,
+    figure16_count_based,
+    figure17,
+    figure17_count_based,
+)
+from repro.metrics.report import format_series
+
+_FIGS = {
+    "fig16": (figure16, "Figure 16 - Max weighted tardiness (time-based rate)"),
+    "fig17": (figure17, "Figure 17 - Avg weighted tardiness (time-based rate)"),
+    "fig16_count": (
+        figure16_count_based,
+        "Figure 16 (count-based twin) - Max weighted tardiness",
+    ),
+    "fig17_count": (
+        figure17_count_based,
+        "Figure 17 (count-based twin) - Avg weighted tardiness",
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(_FIGS))
+def test_balance_aware(name, benchmark, bench_config, publish):
+    fig, title = _FIGS[name]
+    series = benchmark.pedantic(fig, args=(bench_config,), rounds=1, iterations=1)
+    base = series.get("ASETS*")[0]
+    balanced = series.get("ASETS* (balance-aware)")
+    if "16" in name:
+        extreme = min(balanced)
+        note = f"best worst-case gain {1 - extreme / base:.0%}"
+    else:
+        extreme = max(balanced)
+        note = f"largest average-case cost {extreme / base - 1:+.0%}"
+    publish(name, format_series(series, f"{title} ({note})"))
+    if "16" in name:
+        assert min(balanced) < base  # worst case improves somewhere
+    else:
+        assert max(balanced) <= base * 1.15  # average cost stays small

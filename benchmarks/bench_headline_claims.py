@@ -1,0 +1,21 @@
+"""The headline-claims table: every qualitative result of Section IV.
+
+Runs the complete evaluation (Figures 10, 11, 13, 14, 15, 16 and 17
+under the hood) and prints one row per claim — this is the table
+EXPERIMENTS.md records.
+"""
+
+from repro.experiments.tables import format_claims, headline_claims
+
+
+def test_headline_claims(benchmark, bench_config, publish):
+    results = benchmark.pedantic(
+        headline_claims, args=(bench_config,), rounds=1, iterations=1
+    )
+    publish(
+        "headline_claims",
+        "Headline claims of the paper vs this reproduction\n"
+        + format_claims(results),
+    )
+    held = sum(1 for r in results if r.holds)
+    assert held == len(results), f"only {held}/{len(results)} claims hold"

@@ -1,0 +1,32 @@
+"""Multi-server extension: does ASETS's dominance survive parallelism?
+
+The paper's conclusion claims ASETS* "could be applied in any Real-Time
+system with soft-deadlines".  This bench scales the backend to m = 1, 2
+and 4 identical servers (offered load scaled to keep per-server
+utilization at 0.8) and checks that the adaptive policy still sits at or
+below EDF and SRPT.
+"""
+
+from repro.experiments.extensions import multiserver_sweep
+from repro.metrics.report import format_series
+
+
+def test_multiserver_dominance(benchmark, bench_config, publish):
+    series = benchmark.pedantic(
+        multiserver_sweep, args=(bench_config,), rounds=1, iterations=1
+    )
+    publish(
+        "multiserver",
+        format_series(
+            series,
+            "Extension - avg tardiness vs server count "
+            "(per-server utilization 0.8)",
+        ),
+    )
+    # At high server counts pooling nearly eliminates tardiness, so the
+    # policies converge and differences sit in seed noise — hence the
+    # absolute tolerance component.
+    for a, e, s in zip(
+        series.get("ASETS"), series.get("EDF"), series.get("SRPT")
+    ):
+        assert a <= min(e, s) * 1.1 + 0.05

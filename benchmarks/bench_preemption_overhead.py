@@ -1,0 +1,76 @@
+"""Preemption-cost ablation: is adaptivity worth it when switches cost?
+
+The paper's model preempts for free.  This bench charges a context-switch
+overhead on every dispatch of a transaction that was not already running
+and sweeps its magnitude, comparing the preemption-happy policies (SRPT,
+ASETS) with the nearly non-preemptive FCFS and with EDF at U = 0.8.
+
+Expected shape: everyone degrades as switches get dearer (even FCFS pays
+one warm-up per transaction), preemptive policies degrade faster, but
+ASETS should retain its lead over SRPT and EDF at realistic overheads
+(a fraction of the mean transaction length of ~18.7).
+"""
+
+from repro.experiments.config import PolicySpec
+from repro.experiments.runner import generate_workloads
+from repro.metrics.aggregates import MetricSeries, mean
+from repro.metrics.report import format_series
+from repro.sim.engine import Simulator
+from repro.workload.spec import WorkloadSpec
+
+OVERHEADS = (0.0, 0.5, 1.0, 2.0)
+POLICIES = (
+    PolicySpec.of("fcfs", "FCFS"),
+    PolicySpec.of("edf", "EDF"),
+    PolicySpec.of("srpt", "SRPT"),
+    PolicySpec.of("asets", "ASETS"),
+)
+
+
+def run_sweep(config) -> MetricSeries:
+    spec = WorkloadSpec(
+        n_transactions=config.n_transactions, utilization=0.8
+    )
+    workloads = generate_workloads(spec, config.seeds)
+    series = MetricSeries(
+        x_label="context-switch overhead",
+        x=list(OVERHEADS),
+        metric="average_tardiness",
+    )
+    values = {p.display: [] for p in POLICIES}
+    for overhead in OVERHEADS:
+        for policy in POLICIES:
+            runs = []
+            for w in workloads:
+                w.reset()
+                runs.append(
+                    Simulator(
+                        w.transactions,
+                        policy.make(),
+                        preemption_overhead=overhead,
+                    ).run()
+                )
+            values[policy.display].append(
+                mean(r.average_tardiness for r in runs)
+            )
+    for policy in POLICIES:
+        series.add(policy.display, values[policy.display])
+    return series
+
+
+def test_preemption_overhead(benchmark, bench_config, publish):
+    series = benchmark.pedantic(
+        run_sweep, args=(bench_config,), rounds=1, iterations=1
+    )
+    publish(
+        "preemption_overhead",
+        format_series(
+            series,
+            "Ablation - cost of context switches (U=0.8, mean length ~18.7)",
+        ),
+    )
+    # Free preemption must match the main results; at moderate overhead
+    # the adaptive policy still beats both pure baselines.
+    asets = series.get("ASETS")
+    for i, overhead in enumerate(OVERHEADS[:3]):
+        assert asets[i] <= min(series.get("EDF")[i], series.get("SRPT")[i]) * 1.05

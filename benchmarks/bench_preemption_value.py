@@ -1,0 +1,69 @@
+"""The value of preemption: each policy against its pinned self.
+
+Extension experiment: the paper's model preempts at every arrival; many
+real query engines cannot.  This bench compares EDF, SRPT and ASETS with
+their :class:`~repro.policies.nonpreemptive.NonPreemptive` variants at
+moderate and full overload — how much of each policy's performance is
+preemption, and does the adaptive hybrid still win when nothing can be
+preempted?
+"""
+
+from repro.experiments.config import PolicySpec
+from repro.experiments.runner import generate_workloads, mean_metric
+from repro.metrics.aggregates import MetricSeries
+from repro.metrics.report import format_series
+from repro.workload.spec import WorkloadSpec
+
+UTILIZATIONS = (0.6, 0.8, 1.0)
+PAIRS = (
+    ("EDF", PolicySpec.of("edf", "EDF"),
+     PolicySpec.of("non-preemptive", "np-EDF", inner="edf")),
+    ("SRPT", PolicySpec.of("srpt", "SRPT"),
+     PolicySpec.of("non-preemptive", "np-SRPT", inner="srpt")),
+    ("ASETS", PolicySpec.of("asets", "ASETS"),
+     PolicySpec.of("non-preemptive", "np-ASETS", inner="asets")),
+)
+
+
+def run_sweep(config) -> MetricSeries:
+    series = MetricSeries(
+        x_label="utilization",
+        x=list(UTILIZATIONS),
+        metric="average_tardiness",
+    )
+    values: dict[str, list[float]] = {}
+    for util in UTILIZATIONS:
+        spec = WorkloadSpec(
+            n_transactions=config.n_transactions, utilization=util
+        )
+        workloads = generate_workloads(spec, config.seeds)
+        for _, preemptive, pinned in PAIRS:
+            for policy in (preemptive, pinned):
+                values.setdefault(policy.display, []).append(
+                    mean_metric(workloads, policy, "average_tardiness")
+                )
+    for name, data in values.items():
+        series.add(name, data)
+    return series
+
+
+def test_preemption_value(benchmark, bench_config, publish):
+    series = benchmark.pedantic(
+        run_sweep, args=(bench_config,), rounds=1, iterations=1
+    )
+    publish(
+        "preemption_value",
+        format_series(
+            series,
+            "Extension - preemptive policies vs their pinned selves",
+        ),
+    )
+    # Preemption helps every policy under load ...
+    for name, _, _ in PAIRS:
+        assert series.get(name)[-1] <= series.get(f"np-{name}")[-1]
+    # ... and the adaptive hybrid stays the best even when pinned.
+    for i in range(len(UTILIZATIONS)):
+        np_asets = series.get("np-ASETS")[i]
+        assert np_asets <= min(
+            series.get("np-EDF")[i], series.get("np-SRPT")[i]
+        ) * 1.1 + 0.05

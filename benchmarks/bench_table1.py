@@ -1,0 +1,9 @@
+"""Table I: summary of experimental parameters (rendered from live defaults)."""
+
+from repro.experiments.tables import table1
+
+
+def test_table1(benchmark, publish):
+    text = benchmark.pedantic(table1, rounds=1, iterations=1)
+    publish("table1", "Table I - Summary of experimental parameters\n" + text)
+    assert "Zipf" in text

@@ -1,0 +1,25 @@
+"""Tail analysis: what SRPT's low mean costs in the tardiness tail.
+
+Extension experiment quantifying the starvation story behind §III-D:
+per-policy mean, p95, p99, max and Gini coefficient of the tardiness
+distribution under heavy load.  SRPT should show the lowest mean with
+the most *concentrated* tardiness (highest Gini); ASETS should track
+SRPT's mean with a visibly lighter tail.
+"""
+
+from repro.experiments.extensions import format_tail_table, tail_analysis
+
+
+def test_tail_analysis(benchmark, bench_config, publish):
+    series = benchmark.pedantic(
+        tail_analysis, args=(bench_config,), rounds=1, iterations=1
+    )
+    publish(
+        "tail_analysis",
+        "Extension - tardiness distribution per policy (U=0.9)\n"
+        + format_tail_table(series),
+    )
+    # Gini is the last statistic row: SRPT's concentration exceeds EDF's.
+    srpt_gini = series.get("SRPT")[-1]
+    edf_gini = series.get("EDF")[-1]
+    assert srpt_gini > edf_gini

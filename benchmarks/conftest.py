@@ -1,0 +1,43 @@
+"""Shared benchmark machinery.
+
+Every benchmark regenerates one table or figure of the paper at paper
+scale (1000 transactions, 5 seeds) through ``benchmark.pedantic`` with a
+single round — the quantity of interest is the *series* (who wins, by how
+much), not the harness's own latency.  Each bench prints the series it
+produced and also writes it under ``benchmarks/results/`` so the output
+survives pytest's capture.
+
+Scale can be reduced for smoke runs::
+
+    REPRO_BENCH_N=200 REPRO_BENCH_SEEDS=2 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    n = int(os.environ.get("REPRO_BENCH_N", "1000"))
+    seeds = int(os.environ.get("REPRO_BENCH_SEEDS", "5"))
+    return ExperimentConfig().scaled(n, seeds)
+
+
+@pytest.fixture(scope="session")
+def publish():
+    """Print a result block and persist it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _publish(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _publish

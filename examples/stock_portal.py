@@ -1,0 +1,178 @@
+"""The paper's Section II-B scenario, end to end.
+
+A personalised web portal: each user's page is composed of four stock
+fragments —
+
+* ``prices``    — all stock prices (a base-table scan),
+* ``portfolio`` — the user's positions joined with the prices
+  (depends on ``prices``),
+* ``value``     — the portfolio's total value (depends on ``portfolio``),
+* ``alerts``    — stocks in the portfolio that moved more than 5%
+  (depends on ``portfolio``, but with a *tighter* SLA and a weight
+  boost: the user wants alerts first, which is exactly the
+  deadline/precedence conflict ASETS* is built for) —
+
+plus traffic and weather pages.  Gold, silver and bronze users hammer the
+backend concurrently; the script compares the scheduling policies on
+user-visible metrics and prints one fully rendered page.
+
+Run with::
+
+    python examples/stock_portal.py
+"""
+
+import random
+
+from repro.metrics.report import format_table
+from repro.webdb import (
+    Aggregate,
+    ContentFragment,
+    Database,
+    DynamicPage,
+    Filter,
+    Input,
+    Join,
+    Scan,
+    Sort,
+    UserSession,
+    WebDatabase,
+)
+from repro.webdb.sla import SLA_TIERS
+
+
+def build_database(rng: random.Random) -> Database:
+    db = Database()
+    stocks = db.create_table("stocks", ["symbol", "price", "change_pct"])
+    for i in range(50):
+        stocks.insert(
+            {
+                "symbol": f"S{i:02d}",
+                "price": round(rng.uniform(5, 500), 2),
+                "change_pct": round(rng.uniform(-9, 9), 2),
+            }
+        )
+    positions = db.create_table("positions", ["user", "symbol", "shares"])
+    for user in ("alice", "bob", "carol"):
+        for s in rng.sample(range(50), 8):
+            positions.insert(
+                {"user": user, "symbol": f"S{s:02d}", "shares": rng.randint(1, 100)}
+            )
+    roads = db.create_table("roads", ["road", "delay_minutes"])
+    for i in range(15):
+        roads.insert({"road": f"I-{i:02d}", "delay_minutes": rng.randint(0, 50)})
+    cities = db.create_table("weather", ["city", "temp_c", "forecast"])
+    for i, city in enumerate(("Pittsburgh", "Toronto", "Boston")):
+        cities.insert(
+            {"city": city, "temp_c": 10 + i, "forecast": "partly cloudy"}
+        )
+    return db
+
+
+def stock_page(user: str) -> DynamicPage:
+    """The four-fragment stock page of Section II-B for one user."""
+    return DynamicPage(
+        f"stocks-{user}",
+        [
+            ContentFragment("prices", Scan("stocks")),
+            ContentFragment(
+                "portfolio",
+                Join(
+                    Filter(Scan("positions"), lambda r, u=user: r["user"] == u),
+                    Input("prices"),
+                    on="symbol",
+                ),
+            ),
+            ContentFragment("value", Aggregate(Input("portfolio"), "sum", "price")),
+            ContentFragment(
+                "alerts",
+                Filter(Input("portfolio"), lambda r: abs(r["change_pct"]) > 5),
+                urgency=0.4,      # alerts are due before their inputs' SLAs
+                weight_boost=3.0,  # and matter more than the page baseline
+            ),
+        ],
+    )
+
+
+def main() -> None:
+    rng = random.Random(2009)
+    db = build_database(rng)
+    wdb = WebDatabase(db)
+
+    traffic = DynamicPage(
+        "traffic",
+        [ContentFragment("worst", Sort(Scan("roads"), "delay_minutes", descending=True))],
+    )
+    weather = DynamicPage("weather", [ContentFragment("today", Scan("weather"))])
+    wdb.register_page(traffic)
+    wdb.register_page(weather)
+
+    sessions = []
+    for user, tier in (("alice", "gold"), ("bob", "silver"), ("carol", "bronze")):
+        page = stock_page(user)
+        wdb.register_page(page)
+        sessions.append(
+            UserSession(
+                user, SLA_TIERS[tier], [page, traffic, weather], mean_think_time=3.0
+            )
+        )
+    for session in sessions:
+        wdb.submit_all(session.requests(rng, n=40))
+    print(f"submitted {wdb.pending_requests} page requests from 3 users\n")
+
+    rows = []
+    reports = {}
+    for name in ("fcfs", "edf", "srpt", "hdf", "asets", "asets-star"):
+        report = wdb.run(name)
+        reports[name] = report
+        gold = [
+            p.weighted_tardiness
+            for p in report.page_results
+            if p.request.tier.name == "gold"
+        ]
+        rows.append(
+            [
+                name,
+                report.average_page_latency,
+                report.simulation.average_weighted_tardiness,
+                sum(gold) / len(gold),
+                report.pages_fully_on_time,
+            ]
+        )
+    rows.sort(key=lambda r: r[2])
+    print(
+        format_table(
+            [
+                "policy",
+                "avg page latency",
+                "avg weighted tardiness",
+                "gold weighted tardiness",
+                "pages on time",
+            ],
+            rows,
+        )
+    )
+
+    sample = next(
+        p
+        for p in reports["asets-star"].page_results
+        if p.request.page.name.startswith("stocks-")
+    )
+    print(
+        f"\nsample page '{sample.request.page.name}' for "
+        f"{sample.request.user} ({sample.request.tier.name}): "
+        f"latency {sample.latency:.2f}, tardiness {sample.tardiness:.2f}\n"
+    )
+    print(sample.content[:800])
+    print("...")
+    print(
+        "\nNote how the adaptive policies sit at the top without any "
+        "load-specific tuning: this portal always carries some structural "
+        "tardiness (the alerts fragment is due before the fragments it "
+        "depends on can finish), which keeps density-aware scheduling "
+        "relevant at every load, while deadline-only (EDF) and "
+        "arrival-only (FCFS) policies trail on the weighted objective."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This offline environment has no ``wheel`` package, so PEP 517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  Keeping a
+``setup.py`` (and no ``[build-system]`` table in ``pyproject.toml``) lets
+``pip install -e .`` take the legacy ``setup.py develop`` path, which
+needs nothing beyond setuptools.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

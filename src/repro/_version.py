@@ -1,0 +1,7 @@
+"""Version information for the ASETS* reproduction package."""
+
+__version__ = "1.0.0"
+
+#: The paper this package reproduces.
+PAPER_TITLE = "Adaptive Scheduling of Web Transactions"
+PAPER_VENUE = "ICDE 2009"

@@ -1,0 +1,21 @@
+"""Exact analysis tools: optimal schedules for small instances.
+
+The paper's heuristics are evaluated against each other; this subpackage
+adds an absolute yardstick for *batch* instances (all transactions
+released together): a dynamic program over subsets that computes the
+minimum achievable total (weighted) tardiness on one server, exact up to
+~20 transactions.  The optimality-gap benchmark uses it to measure how
+far EDF, SRPT and ASETS sit from the true optimum.
+"""
+
+from repro.analysis.optimal import (
+    optimal_total_weighted_tardiness,
+    optimal_order,
+    policy_gap,
+)
+
+__all__ = [
+    "optimal_total_weighted_tardiness",
+    "optimal_order",
+    "policy_gap",
+]

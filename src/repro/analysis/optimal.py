@@ -1,0 +1,149 @@
+"""Exact minimum weighted tardiness for batch instances.
+
+For a batch — every transaction released at the same instant — the
+single-machine total weighted tardiness problem ``1 || sum w_j T_j`` has
+an optimal *non-preemptive* solution (preemption cannot help when all
+release dates coincide), which a subset dynamic program finds exactly:
+
+    dp[S] = min over j in S of dp[S \\ {j}] + w_j * max(0, C(S) - d_j)
+
+where ``C(S)`` is the total processing time of subset ``S`` — valid
+because whichever transaction is scheduled *last* in ``S`` completes
+exactly at ``C(S)`` regardless of the order of the rest.  The DP runs in
+``O(2^n * n)``; the hard cap of 22 transactions keeps it to a few
+million states.
+
+This is the yardstick for the optimality-gap benchmark: on random
+batches, how much worse than optimal are EDF, SRPT and ASETS?
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.transaction import Transaction
+from repro.errors import SimulationError
+from repro.policies.base import Scheduler
+from repro.sim.engine import Simulator
+
+__all__ = [
+    "optimal_total_weighted_tardiness",
+    "optimal_order",
+    "policy_gap",
+]
+
+#: 2^22 * 22 DP transitions is the practical ceiling for "interactive".
+_MAX_N = 22
+
+
+def _validate_batch(txns: Sequence[Transaction]) -> None:
+    if not txns:
+        raise SimulationError("need at least one transaction")
+    if len(txns) > _MAX_N:
+        raise SimulationError(
+            f"exact DP supports at most {_MAX_N} transactions, got {len(txns)}"
+        )
+    release = txns[0].arrival
+    if any(t.arrival != release for t in txns):
+        raise SimulationError(
+            "exact optimum requires a batch (equal arrival times); "
+            "got mixed release dates"
+        )
+
+
+def optimal_total_weighted_tardiness(txns: Sequence[Transaction]) -> float:
+    """Exact minimum of :math:`\\sum_j w_j T_j` over all schedules.
+
+    ``txns`` must form a batch (identical arrivals); see module docstring.
+    """
+    _validate_batch(txns)
+    n = len(txns)
+    release = txns[0].arrival
+    lengths = [t.length for t in txns]
+    weights = [t.weight for t in txns]
+    deadlines = [t.deadline for t in txns]
+
+    # Precompute subset completion times incrementally.
+    size = 1 << n
+    total = [0.0] * size
+    for mask in range(1, size):
+        low_bit = mask & -mask
+        j = low_bit.bit_length() - 1
+        total[mask] = total[mask ^ low_bit] + lengths[j]
+
+    INF = float("inf")
+    dp = [INF] * size
+    dp[0] = 0.0
+    for mask in range(1, size):
+        finish = release + total[mask]
+        best = INF
+        rest = mask
+        while rest:
+            low_bit = rest & -rest
+            j = low_bit.bit_length() - 1
+            rest ^= low_bit
+            candidate = dp[mask ^ low_bit] + weights[j] * max(
+                0.0, finish - deadlines[j]
+            )
+            if candidate < best:
+                best = candidate
+        dp[mask] = best
+    return dp[size - 1]
+
+
+def optimal_order(txns: Sequence[Transaction]) -> list[int]:
+    """One optimal execution order (transaction ids, first to last)."""
+    _validate_batch(txns)
+    n = len(txns)
+    release = txns[0].arrival
+    lengths = [t.length for t in txns]
+    weights = [t.weight for t in txns]
+    deadlines = [t.deadline for t in txns]
+
+    size = 1 << n
+    total = [0.0] * size
+    for mask in range(1, size):
+        low_bit = mask & -mask
+        j = low_bit.bit_length() - 1
+        total[mask] = total[mask ^ low_bit] + lengths[j]
+
+    INF = float("inf")
+    dp = [INF] * size
+    choice = [-1] * size
+    dp[0] = 0.0
+    for mask in range(1, size):
+        finish = release + total[mask]
+        rest = mask
+        while rest:
+            low_bit = rest & -rest
+            j = low_bit.bit_length() - 1
+            rest ^= low_bit
+            candidate = dp[mask ^ low_bit] + weights[j] * max(
+                0.0, finish - deadlines[j]
+            )
+            if candidate < dp[mask]:
+                dp[mask] = candidate
+                choice[mask] = j
+        # choice[mask] is the index scheduled LAST within this subset.
+    order_reversed = []
+    mask = size - 1
+    while mask:
+        j = choice[mask]
+        order_reversed.append(txns[j].txn_id)
+        mask ^= 1 << j
+    return list(reversed(order_reversed))
+
+
+def policy_gap(txns: Sequence[Transaction], policy: Scheduler) -> float:
+    """Ratio of a policy's total weighted tardiness to the exact optimum.
+
+    Returns 1.0 when both are zero (the policy is trivially optimal) and
+    ``inf`` when the policy is tardy on an instance the optimum clears.
+    """
+    optimum = optimal_total_weighted_tardiness(txns)
+    for txn in txns:
+        txn.reset()
+    achieved = Simulator(list(txns), policy).run().total_weighted_tardiness
+    if optimum == 0.0:
+        return 1.0 if achieved <= 1e-9 else float("inf")
+    return achieved / optimum

@@ -1,0 +1,33 @@
+"""Core model of the ASETS* reproduction.
+
+This subpackage defines the vocabulary of the paper's Section II:
+
+* :class:`~repro.core.transaction.Transaction` — a web transaction with an
+  arrival time, a soft deadline, a (remaining) processing time, a weight and
+  a dependency list (Definition 1).
+* :class:`~repro.core.workflow.Workflow` — a set of interdependent
+  transactions rooted at a transaction that no other transaction depends on,
+  together with its *head* and *representative* transactions
+  (Definitions 8 and 9).
+* :class:`~repro.core.workflow_set.WorkflowSet` — the network of workflows
+  over a transaction pool, with the bookkeeping the scheduler needs.
+* :mod:`~repro.core.slack` — slack and lateness helpers (Definition 2).
+* :mod:`~repro.core.priorities` — the priority key functions used by the
+  baseline policies (Section II-C).
+"""
+
+from repro.core.transaction import Transaction, TransactionState
+from repro.core.workflow import Workflow, RepresentativeView
+from repro.core.workflow_set import WorkflowSet
+from repro.core.slack import slack, is_past_deadline, latest_start_time
+
+__all__ = [
+    "Transaction",
+    "TransactionState",
+    "Workflow",
+    "RepresentativeView",
+    "WorkflowSet",
+    "slack",
+    "is_past_deadline",
+    "latest_start_time",
+]

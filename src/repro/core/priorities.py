@@ -1,0 +1,100 @@
+"""Priority key functions for the baseline policies (Section II-C).
+
+A priority-based policy assigns each transaction a priority and always runs
+the highest-priority ready transaction.  The paper's baselines use:
+
+========  =============================  =======================================
+Policy    Priority :math:`P_i`           Module implementing the full policy
+========  =============================  =======================================
+EDF       :math:`1 / d_i`                :mod:`repro.policies.edf`
+SRPT      :math:`1 / r_i`                :mod:`repro.policies.srpt`
+LS        :math:`1 / s_i`                :mod:`repro.policies.least_slack`
+HDF       :math:`w_i / r_i`              :mod:`repro.policies.hdf`
+HVF       :math:`w_i`                    :mod:`repro.policies.hvf` (related work)
+MIX       :math:`w_i - \\lambda d_i`     :mod:`repro.policies.mix` (related work)
+========  =============================  =======================================
+
+Each function here returns a *sort key* such that the highest-priority item
+has the smallest key — the natural direction for Python heaps.  Ties are
+broken by the caller (policies append the arrival time and id).
+"""
+
+from __future__ import annotations
+
+from repro.core.transaction import Transaction
+
+__all__ = [
+    "edf_key",
+    "srpt_key",
+    "least_slack_key",
+    "hdf_key",
+    "hvf_key",
+    "mix_key",
+    "aging_key",
+]
+
+
+def edf_key(txn: Transaction) -> float:
+    """Earliest-Deadline-First: smaller deadline = higher priority."""
+    return txn.deadline
+
+
+def srpt_key(txn: Transaction) -> float:
+    """Shortest-Remaining-Processing-Time: smaller :math:`r_i` wins.
+
+    Uses the scheduler's belief about the remaining time — a real system
+    only has profile-based estimates (§II-A).
+    """
+    return txn.scheduling_remaining
+
+
+def least_slack_key(txn: Transaction, at: float) -> float:
+    """Least-Slack: smaller :math:`s_i = d_i - (t + r_i)` wins.
+
+    Because the current time :math:`t` is common to every waiting
+    transaction, ordering by slack equals ordering by the static quantity
+    :math:`d_i - r_i`; we still expose the time-dependent form for clarity
+    and return the true slack.
+    """
+    return txn.slack(at)
+
+
+def hdf_key(txn: Transaction) -> float:
+    """Highest-Density-First: larger :math:`w_i / r_i` = higher priority.
+
+    Returned negated so that the smallest key wins.  HDF reduces to SRPT
+    when all weights are equal, and is optimal for weighted flow time when
+    every transaction has already missed its deadline [Becchetti et al.].
+    """
+    if txn.scheduling_remaining <= 0:
+        return float("-inf")
+    return -(txn.weight / txn.scheduling_remaining)
+
+
+def hvf_key(txn: Transaction) -> float:
+    """Highest-Value-First: larger weight = higher priority (negated)."""
+    return -txn.weight
+
+
+def mix_key(txn: Transaction, tradeoff: float) -> float:
+    """The MIX rule of Buttazzo et al.: a static blend of value and deadline.
+
+    Priority is the linear combination :math:`d_i - \\lambda w_i`
+    (smaller = higher priority).  ``tradeoff`` is the :math:`\\lambda`
+    system parameter the paper criticises MIX for needing; ``tradeoff=0``
+    degenerates to EDF and large values approach HVF.
+    """
+    return txn.deadline - tradeoff * txn.weight
+
+
+def aging_key(txn: Transaction) -> float:
+    """Key for the balance-aware :math:`T_{old}` pick (Section III-D).
+
+    :math:`T_{old}` is the ready transaction with the *highest*
+    weight-to-deadline ratio :math:`w_i / d_i` — the natural aging order in
+    which the transaction with the earliest deadline is the oldest.
+    Negated so the smallest key wins.
+    """
+    if txn.deadline <= 0:
+        return float("-inf")
+    return -(txn.weight / txn.deadline)

@@ -1,0 +1,51 @@
+"""Slack and deadline-feasibility helpers (Definition 2).
+
+These free functions mirror the methods on
+:class:`~repro.core.transaction.Transaction` so that policies can also be
+applied to lightweight records (e.g. the representative-transaction views
+of :mod:`repro.core.workflow`), which expose ``deadline`` and ``remaining``
+attributes but are not full transactions.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+__all__ = ["slack", "is_past_deadline", "latest_start_time", "HasTiming"]
+
+
+class HasTiming(Protocol):
+    """Anything with a deadline and a remaining processing time."""
+
+    deadline: float
+    remaining: float
+
+
+def _remaining(item: HasTiming) -> float:
+    # Transactions expose the scheduler's *belief* about the remaining
+    # time (which may be an estimate); plain records expose only the
+    # ground truth.  Slack is a scheduling quantity, so prefer the belief.
+    return getattr(item, "scheduling_remaining", item.remaining)
+
+
+def slack(item: HasTiming, at: float) -> float:
+    """Return :math:`s_i = d_i - (t + r_i)` for ``item`` at time ``at``."""
+    return item.deadline - (at + _remaining(item))
+
+
+def is_past_deadline(item: HasTiming, at: float) -> bool:
+    """True iff ``item`` can no longer meet its deadline from time ``at``.
+
+    This is the membership test that routes an item to the SRPT/HDF-List
+    (Definition 7): :math:`t + r_i > d_i`.
+    """
+    return at + _remaining(item) > item.deadline
+
+
+def latest_start_time(item: HasTiming) -> float:
+    """Return :math:`d_i - r_i`, the latest feasible start time.
+
+    An idle (non-running) item migrates from the EDF-List to the SRPT/HDF
+    list exactly when the clock passes this static threshold.
+    """
+    return item.deadline - _remaining(item)

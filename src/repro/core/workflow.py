@@ -1,0 +1,247 @@
+"""Workflows of interdependent transactions (Section II-A).
+
+A *workflow* is defined for every transaction that appears in no dependency
+list (a *root*): it contains the root plus, recursively, every transaction
+the root depends on.  The paper's Figure 1 shows chains, but because a
+transaction may belong to several workflows, the dependency closure of a
+root is in general a DAG; this module handles the general case.
+
+Two derived transactions drive the workflow-level ASETS* policy:
+
+* the **head transaction** (Definition 8) — the ready member that would
+  actually execute if the workflow were selected, and
+* the **representative transaction** (Definition 9) — a virtual transaction
+  carrying the earliest deadline, the shortest remaining processing time and
+  the largest weight among the workflow's pending members.
+
+Both are recomputed lazily: the owning
+:class:`~repro.core.workflow_set.WorkflowSet` invalidates a workflow when
+one of its members arrives or completes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.transaction import Transaction, TransactionState
+from repro.errors import InvalidWorkflowError
+
+__all__ = ["Workflow", "RepresentativeView"]
+
+
+class RepresentativeView:
+    """Snapshot of a workflow's representative transaction (Definition 9).
+
+    Exposes the same ``deadline`` / ``remaining`` / ``weight`` attributes as
+    a real transaction, so the slack helpers and the ASETS* decision rule
+    can treat it uniformly.
+    """
+
+    __slots__ = ("deadline", "remaining", "weight")
+
+    def __init__(self, deadline: float, remaining: float, weight: float) -> None:
+        self.deadline = deadline
+        self.remaining = remaining
+        self.weight = weight
+
+    def slack(self, at: float) -> float:
+        """Slack of the representative, :math:`d_{rep} - (t + r_{rep})`."""
+        return self.deadline - (at + self.remaining)
+
+    def is_past_deadline(self, at: float) -> bool:
+        """EDF-List membership test applied to the representative."""
+        return at + self.remaining > self.deadline
+
+    def __repr__(self) -> str:
+        return (
+            f"RepresentativeView(d={self.deadline:g}, r={self.remaining:g}, "
+            f"w={self.weight:g})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RepresentativeView):
+            return NotImplemented
+        return (
+            self.deadline == other.deadline
+            and self.remaining == other.remaining
+            and self.weight == other.weight
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.deadline, self.remaining, self.weight))
+
+
+class Workflow:
+    """The dependency closure of one root transaction.
+
+    Parameters
+    ----------
+    wf_id:
+        Unique workflow identifier.
+    root_id:
+        Id of the root transaction (the one no other transaction depends
+        on within this workflow's closure).
+    members:
+        Mapping of transaction id to :class:`Transaction` covering the
+        closure.  Every dependency of every member must itself be a member;
+        this is validated at construction time.
+    """
+
+    __slots__ = ("wf_id", "root_id", "_members", "_order", "_dirty", "_head", "_rep")
+
+    def __init__(
+        self, wf_id: int, root_id: int, members: Mapping[int, Transaction]
+    ) -> None:
+        if root_id not in members:
+            raise InvalidWorkflowError(
+                f"workflow {wf_id}: root {root_id} not among members"
+            )
+        for txn in members.values():
+            missing = [dep for dep in txn.depends_on if dep not in members]
+            if missing:
+                raise InvalidWorkflowError(
+                    f"workflow {wf_id}: member {txn.txn_id} depends on "
+                    f"{missing} which are outside the workflow"
+                )
+        self.wf_id = wf_id
+        self.root_id = root_id
+        self._members = dict(members)
+        self._order = self._topological_order()
+        self._dirty = True
+        self._head: Transaction | None = None
+        self._rep: RepresentativeView | None = None
+
+    def _topological_order(self) -> tuple[int, ...]:
+        """Return member ids in a dependency-respecting order.
+
+        Kahn's algorithm with a deterministic (smallest-id-first) tie
+        break; raises :class:`InvalidWorkflowError` on cycles.
+        """
+        indegree = {tid: 0 for tid in self._members}
+        dependents: dict[int, list[int]] = {tid: [] for tid in self._members}
+        for txn in self._members.values():
+            for dep in txn.depends_on:
+                indegree[txn.txn_id] += 1
+                dependents[dep].append(txn.txn_id)
+        frontier = sorted(tid for tid, deg in indegree.items() if deg == 0)
+        order: list[int] = []
+        while frontier:
+            tid = frontier.pop(0)
+            order.append(tid)
+            for succ in dependents[tid]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    # Insert keeping the frontier sorted; workflows are
+                    # small (paper: length <= 10) so linear insertion is fine.
+                    lo = 0
+                    while lo < len(frontier) and frontier[lo] < succ:
+                        lo += 1
+                    frontier.insert(lo, succ)
+        if len(order) != len(self._members):
+            raise InvalidWorkflowError(
+                f"workflow {self.wf_id} contains a dependency cycle"
+            )
+        return tuple(order)
+
+    # ------------------------------------------------------------------
+    # Membership and bookkeeping.
+    # ------------------------------------------------------------------
+    @property
+    def member_ids(self) -> tuple[int, ...]:
+        """Member ids in topological order (leaves first, root last)."""
+        return self._order
+
+    def members(self) -> Iterable[Transaction]:
+        """Iterate members in topological order."""
+        return (self._members[tid] for tid in self._order)
+
+    def __contains__(self, txn_id: int) -> bool:
+        return txn_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def invalidate(self) -> None:
+        """Mark cached head/representative stale (member state changed)."""
+        self._dirty = True
+
+    def pending_members(self) -> list[Transaction]:
+        """Members that have been submitted but not completed.
+
+        The scheduler only knows about transactions that have arrived
+        (Section II-A: characteristics become available on submission), so
+        members still in ``CREATED`` state are invisible.
+        """
+        return [
+            txn
+            for txn in self.members()
+            if txn.state
+            not in (TransactionState.CREATED, TransactionState.COMPLETED)
+        ]
+
+    @property
+    def is_completed(self) -> bool:
+        """True once every member has completed."""
+        return all(txn.is_completed for txn in self._members.values())
+
+    # ------------------------------------------------------------------
+    # Head and representative transactions.
+    # ------------------------------------------------------------------
+    def head(self) -> Transaction | None:
+        """Return the head transaction (Definition 8), or ``None``.
+
+        The head is the pending member that is ready for execution (all
+        dependencies completed).  Chains have at most one; in the general
+        DAG case we pick the ready member with the earliest deadline
+        (ties: shortest remaining time, then smallest id) — the member the
+        transaction-level policies would favour anyway.
+
+        Returns ``None`` when no submitted member is ready, i.e. the
+        workflow cannot run right now (either everything completed or the
+        runnable member has not arrived yet).
+        """
+        self._refresh()
+        return self._head
+
+    def representative(self) -> RepresentativeView | None:
+        """Return the representative transaction (Definition 9), or ``None``.
+
+        Aggregates over the *pending* (submitted, not completed) members:
+        minimum deadline, minimum remaining processing time, maximum
+        weight.  ``None`` when no member is pending.
+        """
+        self._refresh()
+        return self._rep
+
+    def _refresh(self) -> None:
+        if not self._dirty:
+            return
+        pending = self.pending_members()
+        if not pending:
+            self._head = None
+            self._rep = None
+            self._dirty = False
+            return
+        self._rep = RepresentativeView(
+            deadline=min(txn.deadline for txn in pending),
+            remaining=min(txn.scheduling_remaining for txn in pending),
+            weight=max(txn.weight for txn in pending),
+        )
+        ready = [
+            txn
+            for txn in pending
+            if txn.state in (TransactionState.READY, TransactionState.RUNNING)
+        ]
+        if ready:
+            self._head = min(
+                ready, key=lambda txn: (txn.deadline, txn.scheduling_remaining, txn.txn_id)
+            )
+        else:
+            self._head = None
+        self._dirty = False
+
+    def __repr__(self) -> str:
+        return (
+            f"Workflow(id={self.wf_id}, root={self.root_id}, "
+            f"members={list(self._order)})"
+        )

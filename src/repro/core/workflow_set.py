@@ -1,0 +1,168 @@
+"""The network of workflows over a transaction pool.
+
+Section II-A defines one workflow per *root* transaction — a transaction
+that appears in no dependency list.  :class:`WorkflowSet` derives those
+roots from a transaction pool, builds the dependency closure of each, and
+keeps the reverse index (transaction id → workflows containing it) that the
+simulator uses to invalidate cached head/representative values when a
+member arrives or completes.
+
+Independent transactions that nothing depends on become singleton
+workflows, so *every* transaction belongs to at least one workflow and the
+workflow-level policies see the whole pool.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.transaction import Transaction
+from repro.core.workflow import Workflow
+from repro.errors import InvalidWorkflowError
+
+__all__ = ["WorkflowSet"]
+
+
+class WorkflowSet:
+    """Builds and indexes the workflows of a transaction pool.
+
+    Parameters
+    ----------
+    transactions:
+        The full transaction pool.  Every id referenced in any dependency
+        list must be present.
+
+    Examples
+    --------
+    >>> t1 = Transaction(1, arrival=0, length=2, deadline=9)
+    >>> t2 = Transaction(2, arrival=0, length=1, deadline=5, depends_on=[1])
+    >>> ws = WorkflowSet([t1, t2])
+    >>> [wf.root_id for wf in ws]
+    [2]
+    >>> sorted(wf.wf_id for wf in ws.workflows_of(1))
+    [0]
+    """
+
+    def __init__(self, transactions: Sequence[Transaction]) -> None:
+        self._txns = {txn.txn_id: txn for txn in transactions}
+        if len(self._txns) != len(transactions):
+            raise InvalidWorkflowError("duplicate transaction ids in pool")
+        for txn in transactions:
+            for dep in txn.depends_on:
+                if dep not in self._txns:
+                    raise InvalidWorkflowError(
+                        f"transaction {txn.txn_id} depends on unknown id {dep}"
+                    )
+        self._workflows = self._build()
+        self._by_member: dict[int, list[Workflow]] = {
+            tid: [] for tid in self._txns
+        }
+        for wf in self._workflows:
+            for tid in wf.member_ids:
+                self._by_member[tid].append(wf)
+
+    def _build(self) -> list[Workflow]:
+        referenced: set[int] = set()
+        for txn in self._txns.values():
+            referenced.update(txn.depends_on)
+        roots = [tid for tid in sorted(self._txns) if tid not in referenced]
+        workflows = []
+        for wf_id, root in enumerate(roots):
+            closure = self._closure(root)
+            members = {tid: self._txns[tid] for tid in closure}
+            workflows.append(Workflow(wf_id, root, members))
+        return workflows
+
+    def _closure(self, root: int) -> set[int]:
+        """Ids of ``root`` plus everything it transitively depends on."""
+        seen = {root}
+        stack = [root]
+        while stack:
+            tid = stack.pop()
+            for dep in self._txns[tid].depends_on:
+                if dep not in seen:
+                    seen.add(dep)
+                    stack.append(dep)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Workflow]:
+        return iter(self._workflows)
+
+    def __len__(self) -> int:
+        return len(self._workflows)
+
+    @property
+    def transactions(self) -> dict[int, Transaction]:
+        """The underlying transaction pool, keyed by id."""
+        return self._txns
+
+    def workflows_of(self, txn_id: int) -> list[Workflow]:
+        """All workflows that transaction ``txn_id`` belongs to."""
+        return list(self._by_member[txn_id])
+
+    def workflow_count_of(self, txn_id: int) -> int:
+        """Number of workflows containing ``txn_id`` (Table I's W bound)."""
+        return len(self._by_member[txn_id])
+
+    # ------------------------------------------------------------------
+    # Simulation hooks.
+    # ------------------------------------------------------------------
+    def notify_changed(self, txn_id: int) -> None:
+        """Invalidate every workflow touched by a state change of ``txn_id``.
+
+        A completion can make *dependents* of ``txn_id`` ready; dependents
+        live in their own workflows, but by the closure property any
+        workflow containing a dependent also contains ``txn_id``, so
+        invalidating the workflows of ``txn_id`` covers them all.
+        """
+        for wf in self._by_member[txn_id]:
+            wf.invalidate()
+
+    def active_workflows(self) -> list[Workflow]:
+        """Workflows with at least one pending (submitted) member."""
+        return [wf for wf in self._workflows if wf.representative() is not None]
+
+    def validate_acyclic(self) -> None:
+        """Raise :class:`InvalidWorkflowError` if any dependency cycle exists.
+
+        Construction already walks every closure; this re-checks the full
+        pool in one pass, catching cycles among transactions that belong to
+        no workflow closure (impossible by construction, but cheap to
+        assert for externally supplied pools).
+        """
+        indegree = {tid: len(txn.depends_on) for tid, txn in self._txns.items()}
+        dependents: dict[int, list[int]] = {tid: [] for tid in self._txns}
+        for txn in self._txns.values():
+            for dep in txn.depends_on:
+                dependents[dep].append(txn.txn_id)
+        frontier = [tid for tid, deg in indegree.items() if deg == 0]
+        visited = 0
+        while frontier:
+            tid = frontier.pop()
+            visited += 1
+            for succ in dependents[tid]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    frontier.append(succ)
+        if visited != len(self._txns):
+            raise InvalidWorkflowError("transaction pool contains a cycle")
+
+    @staticmethod
+    def singletons(transactions: Iterable[Transaction]) -> "WorkflowSet":
+        """Build a set where every transaction is its own workflow.
+
+        Convenience for running workflow-level policies on independent
+        workloads; with singleton workflows ASETS* degenerates exactly to
+        its transaction-level form.
+        """
+        txns = list(transactions)
+        for txn in txns:
+            if txn.depends_on:
+                raise InvalidWorkflowError(
+                    f"singletons() requires independent transactions; "
+                    f"{txn.txn_id} has dependencies {txn.depends_on}"
+                )
+        return WorkflowSet(txns)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ASETS* reproduction package.
+
+All exceptions raised on purpose by this package derive from
+:class:`ReproError`, so callers can catch package-level failures with a
+single ``except`` clause while letting genuine bugs (``TypeError``,
+``KeyError`` from broken invariants, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidTransactionError(ReproError):
+    """A transaction was constructed or mutated with inconsistent fields."""
+
+
+class InvalidWorkflowError(ReproError):
+    """A workflow definition is malformed (cycles, unknown members, ...)."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling policy violated its contract with the simulator."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an impossible state."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification or generated workload is invalid."""
+
+
+class QueryError(ReproError):
+    """A web-database query is malformed or references unknown data."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is inconsistent."""

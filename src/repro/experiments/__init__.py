@@ -1,0 +1,72 @@
+"""Experiment harness: every table and figure of Section IV.
+
+Each figure of the paper's evaluation has a dedicated entry point in
+:mod:`repro.experiments.figures` that regenerates the corresponding
+series at the paper's parameters (1000 transactions, 5 seeds, Table I
+defaults).  :mod:`repro.experiments.runner` holds the generic seeded
+sweep machinery; :mod:`repro.experiments.config` the per-figure parameter
+grids; :mod:`repro.experiments.tables` the Table I summary and the
+headline-claims check; :mod:`repro.experiments.cli` a command-line front
+end (``python -m repro.experiments fig10``).
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PolicySpec,
+    DEFAULT_SEEDS,
+    DEFAULT_UTILIZATIONS,
+)
+from repro.experiments.runner import (
+    run_policy_on,
+    mean_metric,
+    utilization_sweep,
+)
+from repro.experiments.figures import (
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    alpha_sweep,
+)
+from repro.experiments.tables import table1, headline_claims
+from repro.experiments.extensions import (
+    estimation_robustness,
+    multiserver_sweep,
+    tail_analysis,
+)
+from repro.experiments.export import series_to_csv, series_to_json, write_series
+
+__all__ = [
+    "ExperimentConfig",
+    "PolicySpec",
+    "DEFAULT_SEEDS",
+    "DEFAULT_UTILIZATIONS",
+    "run_policy_on",
+    "mean_metric",
+    "utilization_sweep",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure17",
+    "alpha_sweep",
+    "table1",
+    "headline_claims",
+    "estimation_robustness",
+    "multiserver_sweep",
+    "tail_analysis",
+    "series_to_csv",
+    "series_to_json",
+    "write_series",
+]

@@ -1,0 +1,5 @@
+"""Allow ``python -m repro.experiments <target>``."""
+
+from repro.experiments.cli import main
+
+raise SystemExit(main())

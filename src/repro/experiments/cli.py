@@ -1,0 +1,160 @@
+"""Command-line front end for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments fig10
+    python -m repro.experiments fig14 --n 500 --seeds 3
+    python -m repro.experiments table1
+    python -m repro.experiments claims
+    repro-experiments all          # every figure, paper scale
+
+Each figure command prints the series the corresponding paper figure
+plots, as an aligned text table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.experiments import extensions, figures, tables
+from repro.experiments.config import DEFAULT_SEEDS, ExperimentConfig
+from repro.metrics.aggregates import MetricSeries
+from repro.metrics.report import format_series
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES: dict[str, tuple[Callable[..., MetricSeries], str]] = {
+    "fig8": (figures.figure8, "Avg tardiness, low utilization (Figure 8)"),
+    "fig9": (figures.figure9, "Avg tardiness, high utilization (Figure 9)"),
+    "fig10": (figures.figure10, "Normalized avg tardiness, k_max=3 (Figure 10)"),
+    "fig11": (figures.figure11, "Normalized avg tardiness, k_max=1 (Figure 11)"),
+    "fig12": (figures.figure12, "Normalized avg tardiness, k_max=2 (Figure 12)"),
+    "fig13": (figures.figure13, "Normalized avg tardiness, k_max=4 (Figure 13)"),
+    "fig14": (figures.figure14, "Workflow level: ASETS* vs Ready (Figure 14)"),
+    "fig15": (figures.figure15, "General case: weighted tardiness (Figure 15)"),
+    "fig16": (figures.figure16, "Balance-aware: max weighted tardiness (Figure 16)"),
+    "fig17": (figures.figure17, "Balance-aware: avg weighted tardiness (Figure 17)"),
+    "fig16c": (
+        figures.figure16_count_based,
+        "Balance-aware, count-based: max weighted tardiness",
+    ),
+    "fig17c": (
+        figures.figure17_count_based,
+        "Balance-aware, count-based: avg weighted tardiness",
+    ),
+    "ext-estimation": (
+        extensions.estimation_robustness,
+        "Extension: sensitivity to length-estimation error",
+    ),
+    "ext-servers": (
+        extensions.multiserver_sweep,
+        "Extension: multi-server scaling at constant per-server load",
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of "
+        "'Adaptive Scheduling of Web Transactions' (ICDE 2009).",
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(_FIGURES) + ["alpha", "tail", "table1", "claims", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--n", type=int, default=1000, help="transactions per run (default 1000)"
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=len(DEFAULT_SEEDS),
+        help=f"number of seeded runs to average (default {len(DEFAULT_SEEDS)})",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-setting progress lines"
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render the series as an ASCII chart",
+    )
+    parser.add_argument(
+        "--log",
+        action="store_true",
+        help="use a log y-scale for --chart (tardiness spans decades)",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="PATH",
+        default=None,
+        help="write the series to PATH (.csv or .json)",
+    )
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig().scaled(args.n, args.seeds)
+
+
+def _progress(args: argparse.Namespace) -> Callable[[str], None] | None:
+    if args.quiet:
+        return None
+    return lambda line: print(f"  {line}", file=sys.stderr)
+
+
+def _run_figure(name: str, args: argparse.Namespace) -> None:
+    fn, title = _FIGURES[name]
+    series = fn(_config(args), progress=_progress(args))
+    print(format_series(series, title))
+    if series.raw is not None:
+        print()
+        print(format_series(series.raw, "Underlying raw sweep"))
+    if args.chart:
+        from repro.metrics.charts import render_chart
+
+        print()
+        print(render_chart(series, log_scale=args.log))
+    if args.export:
+        from repro.experiments.export import write_series
+
+        path = write_series(series, args.export)
+        print(f"\nseries written to {path}", file=sys.stderr)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.target == "table1":
+        print(tables.table1())
+        return 0
+    if args.target == "claims":
+        results = tables.headline_claims(_config(args), _progress(args))
+        print(tables.format_claims(results))
+        return 0 if all(r.holds for r in results) else 1
+    if args.target == "tail":
+        series = extensions.tail_analysis(_config(args), progress=_progress(args))
+        print("Tardiness distribution per policy")
+        print(extensions.format_tail_table(series))
+        return 0
+    if args.target == "alpha":
+        sweeps = figures.alpha_sweep(config=_config(args), progress=_progress(args))
+        for alpha, series in sweeps.items():
+            crossover = series.crossover("EDF", "SRPT")
+            print(format_series(series, f"alpha={alpha} (EDF/SRPT crossover: {crossover})"))
+            print()
+        return 0
+    if args.target == "all":
+        for name in sorted(_FIGURES):
+            _run_figure(name, args)
+            print()
+        return 0
+    _run_figure(args.target, args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""Export experiment output to CSV and JSON.
+
+Downstream users typically want the regenerated series in a machine
+readable form (to plot against the paper's figures, or to diff across
+code versions).  Both exporters are loss-free round trips of a
+:class:`~repro.metrics.aggregates.MetricSeries`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+
+from repro.errors import ExperimentError
+from repro.metrics.aggregates import MetricSeries
+
+__all__ = [
+    "series_to_csv",
+    "series_to_json",
+    "series_from_json",
+    "write_series",
+]
+
+
+def series_to_csv(series: MetricSeries) -> str:
+    """Render a series as CSV text (header row + one row per x value)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(series.column_names())
+    for row in series.as_rows():
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def series_to_json(series: MetricSeries) -> str:
+    """Render a series as a JSON document (metadata + data columns)."""
+    payload = {
+        "metric": series.metric,
+        "x_label": series.x_label,
+        "x": series.x,
+        "series": series.series,
+    }
+    if series.raw is not None:
+        payload["raw"] = json.loads(series_to_json(series.raw))
+    return json.dumps(payload, indent=2)
+
+
+def series_from_json(text: str) -> MetricSeries:
+    """Rebuild a :class:`MetricSeries` from :func:`series_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"invalid series JSON: {exc}") from exc
+    for key in ("metric", "x_label", "x", "series"):
+        if key not in payload:
+            raise ExperimentError(f"series JSON missing key {key!r}")
+    series = MetricSeries(
+        x_label=payload["x_label"],
+        x=list(payload["x"]),
+        metric=payload["metric"],
+    )
+    for name, values in payload["series"].items():
+        series.add(name, values)
+    if "raw" in payload:
+        series.raw = series_from_json(json.dumps(payload["raw"]))
+    return series
+
+
+def write_series(
+    series: MetricSeries,
+    path: str | pathlib.Path,
+) -> pathlib.Path:
+    """Write a series to ``path``; the suffix picks the format.
+
+    ``.csv`` writes CSV, ``.json`` writes JSON; anything else is
+    rejected.  Returns the path written.
+    """
+    path = pathlib.Path(path)
+    if path.suffix == ".csv":
+        path.write_text(series_to_csv(series))
+    elif path.suffix == ".json":
+        path.write_text(series_to_json(series))
+    else:
+        raise ExperimentError(
+            f"unsupported export suffix {path.suffix!r}; use .csv or .json"
+        )
+    return path

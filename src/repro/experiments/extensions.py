@@ -1,0 +1,184 @@
+"""Extension experiments beyond the paper's evaluation.
+
+Three studies the paper motivates but does not run:
+
+* :func:`estimation_robustness` — §II-A assumes profile-based length
+  estimates; how do the length-aware policies degrade as estimates get
+  worse?
+* :func:`multiserver_sweep` — the conclusion claims ASETS* applies to
+  any real-time system; does its dominance survive parallel servers?
+* :func:`tail_analysis` — the paper reports means and maxima; what do
+  the tails (p95/p99) and the tardiness *concentration* (Gini) look like
+  per policy?  This quantifies the starvation story behind §III-D.
+
+Each function returns a :class:`~repro.metrics.aggregates.MetricSeries`
+and is exposed both through the CLI (``python -m repro.experiments
+ext-estimation`` etc.) and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.runner import generate_workloads, mean_metric
+from repro.metrics.aggregates import MetricSeries, mean
+from repro.metrics.distributions import gini, tardiness_percentile, tardiness
+from repro.sim.engine import Simulator
+from repro.workload.spec import WorkloadSpec
+
+__all__ = [
+    "estimation_robustness",
+    "multiserver_sweep",
+    "tail_analysis",
+    "format_tail_table",
+    "ESTIMATION_ERRORS",
+    "SERVER_COUNTS",
+    "TAIL_STATISTICS",
+]
+
+#: Row labels for :func:`tail_analysis` output.
+TAIL_STATISTICS: tuple[str, ...] = ("mean", "p95", "p99", "max", "gini")
+
+#: Relative length-estimation errors swept by estimation_robustness.
+ESTIMATION_ERRORS: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Server counts swept by multiserver_sweep.
+SERVER_COUNTS: tuple[int, ...] = (1, 2, 4)
+
+_LENGTH_AWARE_POLICIES: tuple[PolicySpec, ...] = (
+    PolicySpec.of("edf", "EDF"),
+    PolicySpec.of("srpt", "SRPT"),
+    PolicySpec.of("asets", "ASETS"),
+)
+
+
+def estimation_robustness(
+    config: ExperimentConfig = ExperimentConfig(),
+    utilization: float = 0.8,
+    errors: Sequence[float] = ESTIMATION_ERRORS,
+    progress: Callable[[str], None] | None = None,
+) -> MetricSeries:
+    """Average tardiness vs. maximum relative length-estimation error.
+
+    EDF ignores lengths and stays flat by construction; SRPT and ASETS
+    run on the corrupted estimates.  True lengths, deadlines and offered
+    load are identical across error levels (paired comparison).
+    """
+    series = MetricSeries(
+        x_label="max relative estimation error",
+        x=list(errors),
+        metric="average_tardiness",
+    )
+    values: dict[str, list[float]] = {
+        p.display: [] for p in _LENGTH_AWARE_POLICIES
+    }
+    for error in errors:
+        spec = WorkloadSpec(
+            n_transactions=config.n_transactions,
+            utilization=utilization,
+            length_estimate_error=error,
+        )
+        workloads = generate_workloads(spec, config.seeds)
+        for policy in _LENGTH_AWARE_POLICIES:
+            value = mean_metric(workloads, policy, "average_tardiness")
+            values[policy.display].append(value)
+            if progress is not None:
+                progress(f"error={error:<5} {policy.display:<6} {value:.3f}")
+    for policy in _LENGTH_AWARE_POLICIES:
+        series.add(policy.display, values[policy.display])
+    return series
+
+
+def multiserver_sweep(
+    config: ExperimentConfig = ExperimentConfig(),
+    per_server_utilization: float = 0.8,
+    server_counts: Sequence[int] = SERVER_COUNTS,
+    progress: Callable[[str], None] | None = None,
+) -> MetricSeries:
+    """Average tardiness vs. server count at constant per-server load."""
+    series = MetricSeries(
+        x_label="servers",
+        x=[float(m) for m in server_counts],
+        metric="average_tardiness",
+    )
+    values: dict[str, list[float]] = {
+        p.display: [] for p in _LENGTH_AWARE_POLICIES
+    }
+    for m in server_counts:
+        spec = WorkloadSpec(
+            n_transactions=config.n_transactions,
+            utilization=per_server_utilization * m,
+        )
+        workloads = generate_workloads(spec, config.seeds)
+        for policy in _LENGTH_AWARE_POLICIES:
+            runs = []
+            for w in workloads:
+                w.reset()
+                runs.append(
+                    Simulator(w.transactions, policy.make(), servers=m).run()
+                )
+            value = mean(r.average_tardiness for r in runs)
+            values[policy.display].append(value)
+            if progress is not None:
+                progress(f"servers={m} {policy.display:<6} {value:.3f}")
+    for policy in _LENGTH_AWARE_POLICIES:
+        series.add(policy.display, values[policy.display])
+    return series
+
+
+def tail_analysis(
+    config: ExperimentConfig = ExperimentConfig(),
+    utilization: float = 0.9,
+    policies: Sequence[PolicySpec] = (
+        PolicySpec.of("edf", "EDF"),
+        PolicySpec.of("srpt", "SRPT"),
+        PolicySpec.of("asets", "ASETS"),
+        PolicySpec.of("ls", "LS"),
+    ),
+    progress: Callable[[str], None] | None = None,
+) -> MetricSeries:
+    """Tardiness distribution per policy: mean, p95, p99, max and Gini.
+
+    Returned as a :class:`MetricSeries` whose "x axis" enumerates the
+    statistics (one column per policy), which renders naturally as the
+    table the benchmark prints.  The Gini coefficient captures how
+    *concentrated* tardiness is: SRPT buys its low mean with a much more
+    unequal distribution — the starvation §III-D addresses.
+    """
+    spec = WorkloadSpec(
+        n_transactions=config.n_transactions, utilization=utilization
+    )
+    workloads = generate_workloads(spec, config.seeds)
+    stats = TAIL_STATISTICS
+    series = MetricSeries(
+        x_label="statistic",
+        x=list(range(len(stats))),
+        metric=f"tardiness distribution at U={utilization}",
+    )
+    for policy in policies:
+        per_stat = {name: [] for name in stats}
+        for w in workloads:
+            result = Simulator(w.transactions, policy.make()).run()
+            values = [tardiness(r) for r in result.records]
+            per_stat["mean"].append(result.average_tardiness)
+            per_stat["p95"].append(tardiness_percentile(result.records, 95))
+            per_stat["p99"].append(tardiness_percentile(result.records, 99))
+            per_stat["max"].append(result.max_tardiness)
+            per_stat["gini"].append(gini(values))
+        series.add(policy.display, [mean(per_stat[name]) for name in stats])
+        if progress is not None:
+            progress(f"{policy.display}: done")
+    return series
+
+
+def format_tail_table(series: MetricSeries) -> str:
+    """Render :func:`tail_analysis` output with named statistic rows."""
+    from repro.metrics.report import format_table
+
+    headers = ["statistic"] + list(series.series)
+    rows = [
+        [stat] + [series.series[name][i] for name in series.series]
+        for i, stat in enumerate(TAIL_STATISTICS)
+    ]
+    return format_table(headers, rows)

@@ -1,0 +1,126 @@
+"""Generic seeded sweep machinery.
+
+One experiment setting = one :class:`~repro.workload.spec.WorkloadSpec`
+plus one policy.  The runner generates a workload per seed, replays it
+(resetting between policies so every policy sees the *same* arrival
+trace, as in the authors' simulator), extracts a metric from each run and
+averages over seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Sequence
+
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.metrics.aggregates import MetricSeries, confidence_interval, mean
+from repro.sim.engine import Simulator
+from repro.sim.results import SimulationResult
+from repro.workload.generator import Workload, generate
+from repro.workload.spec import WorkloadSpec
+
+__all__ = [
+    "run_policy_on",
+    "mean_metric",
+    "utilization_sweep",
+    "generate_workloads",
+]
+
+
+def generate_workloads(spec: WorkloadSpec, seeds: Iterable[int]) -> list[Workload]:
+    """One workload per seed, ready for repeated replay."""
+    return [generate(spec, seed) for seed in seeds]
+
+
+def run_policy_on(workload: Workload, policy_spec: PolicySpec) -> SimulationResult:
+    """Replay ``workload`` under a fresh instance of ``policy_spec``.
+
+    The workload is reset first, so call order between policies does not
+    matter.
+    """
+    workload.reset()
+    return Simulator(
+        workload.transactions,
+        policy_spec.make(),
+        workflow_set=workload.workflow_set,
+    ).run()
+
+
+def mean_metric(
+    workloads: Sequence[Workload],
+    policy_spec: PolicySpec,
+    metric: str,
+) -> float:
+    """Average one named :class:`SimulationResult` attribute over seeds."""
+    return mean(
+        getattr(run_policy_on(w, policy_spec), metric) for w in workloads
+    )
+
+
+def metric_spread(
+    workloads: Sequence[Workload],
+    policy_spec: PolicySpec,
+    metric: str,
+) -> tuple[float, float, float]:
+    """Mean plus a normal-approximation confidence interval over seeds.
+
+    Returns ``(mean, low, high)``.  The paper plots plain 5-run means;
+    the interval quantifies how much seed noise those means carry —
+    worth checking before reading anything into a small gap between two
+    policies.
+    """
+    values = [
+        getattr(run_policy_on(w, policy_spec), metric) for w in workloads
+    ]
+    low, high = confidence_interval(values)
+    return mean(values), low, high
+
+
+def utilization_sweep(
+    base_spec: WorkloadSpec,
+    policies: Sequence[PolicySpec],
+    metric: str,
+    config: ExperimentConfig,
+    utilizations: Sequence[float] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> MetricSeries:
+    """The workhorse behind Figures 8-15: metric vs utilization per policy.
+
+    Parameters
+    ----------
+    base_spec:
+        Workload template; its ``utilization`` and ``n_transactions`` are
+        overridden by the sweep.
+    policies:
+        Policies to compare; one series per policy (keyed by display
+        label).
+    metric:
+        Attribute name on :class:`~repro.sim.results.SimulationResult`
+        (e.g. ``"average_tardiness"``).
+    config:
+        Scale (transaction count, seeds, default utilization grid).
+    utilizations:
+        Overrides ``config.utilizations`` (Figures 8/9 use half grids).
+    progress:
+        Optional callable receiving one human-readable line per setting.
+    """
+    xs = list(utilizations if utilizations is not None else config.utilizations)
+    series = MetricSeries(x_label="utilization", x=xs, metric=metric)
+    values: dict[str, list[float]] = {p.display: [] for p in policies}
+    for util in xs:
+        spec = dataclasses.replace(
+            base_spec,
+            utilization=util,
+            n_transactions=config.n_transactions,
+        )
+        workloads = generate_workloads(spec, config.seeds)
+        for policy in policies:
+            value = mean_metric(workloads, policy, metric)
+            values[policy.display].append(value)
+            if progress is not None:
+                progress(
+                    f"U={util:<4} {policy.display:<10} {metric}={value:.3f}"
+                )
+    for policy in policies:
+        series.add(policy.display, values[policy.display])
+    return series

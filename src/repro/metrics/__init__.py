@@ -1,0 +1,53 @@
+"""Performance metrics and multi-run aggregation.
+
+Definitions 3-5 of the paper (tardiness, average tardiness, average
+weighted tardiness), the worst-case metric of Section IV-F (maximum
+weighted tardiness), normalisation helpers for Figures 10-13, and the
+seeded multi-run averaging ("the averages of five runs for each
+experiment setting").
+"""
+
+from repro.metrics.tardiness import (
+    tardiness,
+    average_tardiness,
+    average_weighted_tardiness,
+    max_weighted_tardiness,
+    deadline_miss_ratio,
+)
+from repro.metrics.aggregates import (
+    MetricSeries,
+    mean,
+    normalized,
+    safe_ratio,
+    confidence_interval,
+)
+from repro.metrics.report import format_table, format_series
+from repro.metrics.distributions import (
+    percentile,
+    tardiness_percentile,
+    weighted_tardiness_percentile,
+    tardiness_histogram,
+    gini,
+)
+from repro.metrics.charts import render_chart
+
+__all__ = [
+    "tardiness",
+    "average_tardiness",
+    "average_weighted_tardiness",
+    "max_weighted_tardiness",
+    "deadline_miss_ratio",
+    "MetricSeries",
+    "mean",
+    "normalized",
+    "safe_ratio",
+    "confidence_interval",
+    "format_table",
+    "format_series",
+    "percentile",
+    "tardiness_percentile",
+    "weighted_tardiness_percentile",
+    "tardiness_histogram",
+    "gini",
+    "render_chart",
+]

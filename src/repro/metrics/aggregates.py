@@ -1,0 +1,164 @@
+"""Aggregation across runs and series utilities.
+
+The paper reports "the averages of five runs for each experiment setting"
+and plots Figures 10-13 as tardiness *normalized* to a baseline policy.
+This module provides those operations plus a small
+:class:`MetricSeries` container used throughout the experiment harness:
+an x-axis (utilization, activation rate, ...) with one named y-series per
+policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "mean",
+    "stddev",
+    "confidence_interval",
+    "safe_ratio",
+    "normalized",
+    "MetricSeries",
+]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    seq = list(values)
+    if not seq:
+        raise ExperimentError("mean of empty sequence")
+    return sum(seq) / len(seq)
+
+
+def stddev(values: Iterable[float]) -> float:
+    """Sample standard deviation (n-1 denominator); 0.0 for n < 2."""
+    seq = list(values)
+    if not seq:
+        raise ExperimentError("stddev of empty sequence")
+    if len(seq) < 2:
+        return 0.0
+    mu = mean(seq)
+    return math.sqrt(sum((v - mu) ** 2 for v in seq) / (len(seq) - 1))
+
+
+def confidence_interval(
+    values: Iterable[float], z: float = 1.96
+) -> tuple[float, float]:
+    """Normal-approximation confidence interval around the mean.
+
+    Five runs is too few for a serious interval; this mirrors what papers
+    of the era typically plotted as error bars.
+    """
+    seq = list(values)
+    mu = mean(seq)
+    half = z * stddev(seq) / math.sqrt(len(seq))
+    return (mu - half, mu + half)
+
+
+def safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with the 0/0 convention of Figure 10.
+
+    At very low utilization a policy's average tardiness can be exactly
+    zero.  When both sides are zero the policies performed identically, so
+    the normalized value is 1; a zero denominator against a positive
+    numerator is reported as infinity.
+    """
+    if denominator == 0.0:
+        return 1.0 if numerator == 0.0 else math.inf
+    return numerator / denominator
+
+
+def normalized(values: Sequence[float], baseline: Sequence[float]) -> list[float]:
+    """Element-wise :func:`safe_ratio` of two equal-length series."""
+    if len(values) != len(baseline):
+        raise ExperimentError(
+            f"cannot normalize series of lengths {len(values)} vs {len(baseline)}"
+        )
+    return [safe_ratio(v, b) for v, b in zip(values, baseline)]
+
+
+@dataclass(slots=True)
+class MetricSeries:
+    """One experiment's output: an x-axis plus named y-series.
+
+    Attributes
+    ----------
+    x_label:
+        Name of the swept parameter (e.g. ``"utilization"``).
+    x:
+        The swept values.
+    series:
+        Policy/series name -> y values aligned with ``x``.
+    metric:
+        Name of the measured metric (e.g. ``"average_tardiness"``).
+    """
+
+    x_label: str
+    x: list[float]
+    metric: str
+    series: dict[str, list[float]] = field(default_factory=dict)
+    #: Optional underlying (un-normalized) series a derived series was
+    #: computed from; set by e.g. the Figure 10-13 normalisation.
+    raw: "MetricSeries | None" = None
+
+    def add(self, name: str, values: Sequence[float]) -> None:
+        if len(values) != len(self.x):
+            raise ExperimentError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(self.x)} x values"
+            )
+        self.series[name] = list(values)
+
+    def get(self, name: str) -> list[float]:
+        try:
+            return self.series[name]
+        except KeyError:
+            raise ExperimentError(
+                f"no series {name!r}; have {sorted(self.series)}"
+            ) from None
+
+    def normalized_to(self, baseline: str) -> "MetricSeries":
+        """A new series where every y is divided by ``baseline``'s y.
+
+        This is how Figures 10-13 are derived from the raw sweeps: e.g.
+        ``ASETS*/EDF`` plots ASETS*'s average tardiness normalized to
+        EDF's at every utilization.
+        """
+        base = self.get(baseline)
+        out = MetricSeries(
+            x_label=self.x_label,
+            x=list(self.x),
+            metric=f"{self.metric} (normalized to {baseline})",
+        )
+        for name, values in self.series.items():
+            if name == baseline:
+                continue
+            out.add(f"{name}/{baseline}", normalized(values, base))
+        return out
+
+    def crossover(self, a: str, b: str) -> float | None:
+        """Smallest x where series ``a`` stops beating series ``b``.
+
+        Used to locate the EDF/SRPT crossover point the paper discusses;
+        returns ``None`` if ``a`` stays at or below ``b`` everywhere.
+        """
+        ya, yb = self.get(a), self.get(b)
+        for x, va, vb in zip(self.x, ya, yb):
+            if va > vb:
+                return x
+        return None
+
+    def as_rows(self) -> list[list[float]]:
+        """Rows of ``[x, series1, series2, ...]`` in insertion order."""
+        names = list(self.series)
+        return [
+            [x] + [self.series[n][i] for n in names]
+            for i, x in enumerate(self.x)
+        ]
+
+    def column_names(self) -> list[str]:
+        return [self.x_label] + list(self.series)

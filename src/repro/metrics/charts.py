@@ -1,0 +1,112 @@
+"""ASCII line charts for MetricSeries.
+
+The offline environments this reproduction targets rarely have plotting
+stacks, so the CLI can render any figure's series as a terminal chart
+(``python -m repro.experiments fig10 --chart``).  Pure text: one glyph
+per series, a y-axis with min/max labels, log-scale option for the
+tardiness-vs-utilization figures whose dynamic range spans three orders
+of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ExperimentError
+from repro.metrics.aggregates import MetricSeries
+
+__all__ = ["render_chart"]
+
+#: Glyphs assigned to series in insertion order.
+_GLYPHS = "*o+x#@%&"
+
+
+def _transform(value: float, log_scale: bool) -> float:
+    if not log_scale:
+        return value
+    # Symlog-ish: tolerate zeros, which tardiness series legitimately hit.
+    return math.log10(value + 1.0)
+
+
+def render_chart(
+    series: MetricSeries,
+    width: int = 64,
+    height: int = 16,
+    log_scale: bool = False,
+) -> str:
+    """Render every series of a :class:`MetricSeries` into one chart.
+
+    Parameters
+    ----------
+    series:
+        The series to plot; the x axis is ``series.x``.
+    width / height:
+        Plot area size in characters (axes excluded).
+    log_scale:
+        Plot ``log10(y + 1)`` instead of ``y``.
+    """
+    if width < 8 or height < 4:
+        raise ExperimentError("chart needs width >= 8 and height >= 4")
+    if not series.series:
+        raise ExperimentError("nothing to plot: series is empty")
+
+    names = list(series.series)
+    all_values = [
+        _transform(v, log_scale)
+        for values in series.series.values()
+        for v in values
+        if math.isfinite(v)
+    ]
+    if not all_values:
+        raise ExperimentError("no finite values to plot")
+    y_min = min(all_values)
+    y_max = max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(series.x), max(series.x)
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, name in zip(_GLYPHS, names):
+        for x, y in zip(series.x, series.series[name]):
+            if not math.isfinite(y):
+                continue
+            ty = _transform(y, log_scale)
+            col = round((x - x_min) / x_span * (width - 1))
+            row = round((ty - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    def y_label(level: float) -> float:
+        raw = y_min + level * (y_max - y_min)
+        if log_scale:
+            return 10**raw - 1.0
+        return raw
+
+    label_width = max(
+        len(f"{y_label(level):.2f}") for level in (0.0, 0.5, 1.0)
+    )
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_label(1.0):.2f}"
+        elif i == height // 2:
+            label = f"{y_label(0.5):.2f}"
+        elif i == height - 1:
+            label = f"{y_label(0.0):.2f}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    axis = " " * label_width + " +" + "-" * width
+    x_labels = (
+        " " * label_width
+        + "  "
+        + f"{x_min:g}"
+        + " " * max(1, width - len(f"{x_min:g}") - len(f"{x_max:g}"))
+        + f"{x_max:g}"
+    )
+    legend = "   ".join(
+        f"{glyph} {name}" for glyph, name in zip(_GLYPHS, names)
+    )
+    scale_note = " (log scale)" if log_scale else ""
+    header = f"{series.metric} vs {series.x_label}{scale_note}"
+    return "\n".join([header, *lines, axis, x_labels, legend])

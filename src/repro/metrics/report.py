@@ -1,0 +1,48 @@
+"""Fixed-width text rendering of experiment output.
+
+The benchmark harness prints the same rows/series the paper plots; these
+helpers keep the formatting in one place so every figure's output looks
+alike.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.metrics.aggregates import MetricSeries
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Render a list of rows as an aligned monospace table."""
+    rendered = [
+        [
+            f"{cell:.{precision}f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: MetricSeries, title: str = "", precision: int = 3) -> str:
+    """Render a :class:`MetricSeries` with an optional title line."""
+    body = format_table(series.column_names(), series.as_rows(), precision)
+    if title:
+        return f"{title}\n{'=' * len(title)}\n{body}"
+    return body

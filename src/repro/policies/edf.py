@@ -1,0 +1,24 @@
+"""Earliest-Deadline-First.
+
+Priority :math:`P_i = 1/d_i` (Section II-C).  Optimal when the system is
+not over-utilised — every deadline is met and tardiness is zero — but
+subject to the *domino effect* under overload: it keeps prioritising
+transactions whose deadlines are already unsalvageable, dragging later
+transactions past their own deadlines (Section III-A.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.transaction import Transaction
+from repro.policies.base import HeapScheduler
+
+__all__ = ["EDF"]
+
+
+class EDF(HeapScheduler):
+    """Earliest-Deadline-First: the ready transaction with minimal :math:`d_i`."""
+
+    name = "edf"
+
+    def key(self, txn: Transaction) -> float:
+        return txn.deadline

@@ -1,0 +1,25 @@
+"""First-Come-First-Served.
+
+The traditional baseline of Section IV-A: transactions run in arrival
+order, oblivious to deadlines, lengths and weights.  Because the key never
+changes, FCFS is effectively non-preemptive here — a suspended transaction
+still has the earliest arrival among ready transactions and is immediately
+resumed (dependent transactions are ordered by the time they became ready,
+since they cannot be selected before that).
+"""
+
+from __future__ import annotations
+
+from repro.core.transaction import Transaction
+from repro.policies.base import HeapScheduler
+
+__all__ = ["FCFS"]
+
+
+class FCFS(HeapScheduler):
+    """First-Come-First-Served: priority :math:`P_i = 1/a_i` (earliest wins)."""
+
+    name = "fcfs"
+
+    def key(self, txn: Transaction) -> float:
+        return txn.arrival

@@ -1,0 +1,28 @@
+"""Highest-Density-First.
+
+Priority :math:`P_i = w_i / r_i` (Section II-C).  HDF is the optimal
+online policy for weighted flow time when all deadlines have been missed
+[Becchetti, Leonardi, Marchetti-Spaccamela & Pruhs, APPROX/RANDOM 2001],
+and it reduces to SRPT when all weights are equal — which is why ASETS*
+uses it as the overload-side list in the general weighted case.
+"""
+
+from __future__ import annotations
+
+from repro.core.transaction import Transaction
+from repro.policies.base import HeapScheduler
+
+__all__ = ["HDF"]
+
+
+class HDF(HeapScheduler):
+    """HDF: the ready transaction with maximal density :math:`w_i/r_i`."""
+
+    name = "hdf"
+
+    def key(self, txn: Transaction) -> float:
+        # Negated density: the heap pops the largest w/r first.  Density
+        # only grows as remaining time shrinks, so requeued entries always
+        # carry a smaller (higher-priority) key than their stale ancestors,
+        # preserving the lazy-heap invariant.
+        return -(txn.weight / txn.scheduling_remaining)

@@ -1,0 +1,23 @@
+"""Highest-Value-First (related-work baseline).
+
+Studied by Buttazzo, Spuri & Sensini (RTSS '95) alongside HDF and MIX:
+run the transaction with the largest value (weight), ignoring deadlines
+and lengths entirely.  The paper cites it as a representative
+value-only policy; we include it for completeness of the baseline suite.
+"""
+
+from __future__ import annotations
+
+from repro.core.transaction import Transaction
+from repro.policies.base import HeapScheduler
+
+__all__ = ["HVF"]
+
+
+class HVF(HeapScheduler):
+    """HVF: the ready transaction with maximal weight :math:`w_i`."""
+
+    name = "hvf"
+
+    def key(self, txn: Transaction) -> float:
+        return -txn.weight

@@ -1,0 +1,36 @@
+"""MIX: a static linear blend of value and deadline (related work).
+
+Buttazzo, Spuri & Sensini (RTSS '95) propose prioritising by a linear
+combination of a transaction's value and its absolute deadline.  We use
+the form :math:`P_i = d_i - \\lambda w_i` (smaller = higher priority):
+``tradeoff=0`` degenerates to EDF and large ``tradeoff`` approaches HVF.
+
+The paper contrasts MIX with ASETS* on exactly this point: MIX blends the
+two signals *statically* through the system parameter :math:`\\lambda`,
+whereas ASETS* is parameter-free and switches between its EDF and HDF
+lists adaptively.  Including MIX lets the benchmark suite demonstrate that
+no single :math:`\\lambda` dominates across utilizations.
+"""
+
+from __future__ import annotations
+
+from repro.core.transaction import Transaction
+from repro.errors import SchedulingError
+from repro.policies.base import HeapScheduler
+
+__all__ = ["MIX"]
+
+
+class MIX(HeapScheduler):
+    """MIX: priority :math:`d_i - \\lambda w_i` with a fixed tradeoff."""
+
+    name = "mix"
+
+    def __init__(self, tradeoff: float = 1.0) -> None:
+        super().__init__()
+        if tradeoff < 0:
+            raise SchedulingError(f"MIX tradeoff must be >= 0, got {tradeoff}")
+        self.tradeoff = tradeoff
+
+    def key(self, txn: Transaction) -> float:
+        return txn.deadline - self.tradeoff * txn.weight

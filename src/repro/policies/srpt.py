@@ -1,0 +1,24 @@
+"""Shortest-Remaining-Processing-Time.
+
+Priority :math:`P_i = 1/r_i` (Section II-C).  SRPT minimises mean response
+time [Schroeder & Harchol-Balter], which makes it the optimal tardiness
+policy in the regime where *every* transaction has already missed its
+deadline; at light load it wastes slack by preferring short transactions
+with distant deadlines over urgent long ones (Example 1 / Figure 2a).
+"""
+
+from __future__ import annotations
+
+from repro.core.transaction import Transaction
+from repro.policies.base import HeapScheduler
+
+__all__ = ["SRPT"]
+
+
+class SRPT(HeapScheduler):
+    """SRPT: the ready transaction with minimal remaining time :math:`r_i`."""
+
+    name = "srpt"
+
+    def key(self, txn: Transaction) -> float:
+        return txn.scheduling_remaining

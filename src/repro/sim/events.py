@@ -1,0 +1,49 @@
+"""Event types of the RTDBMS simulator.
+
+Three kinds of events advance the simulation clock:
+
+* ``ARRIVAL`` — a transaction is submitted to the database,
+* ``COMPLETION`` — the running transaction finishes, and
+* ``ACTIVATION`` — a periodic tick requested by the balance-aware policy
+  (Section III-D, time-based activation).
+
+Events carry a monotonically increasing sequence number so that
+simultaneous events are processed in a deterministic order: completions
+first (freeing dependents), then arrivals, then activation ticks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["EventKind", "Event"]
+
+
+class EventKind(enum.IntEnum):
+    """Event kinds, ordered by processing priority at equal timestamps."""
+
+    COMPLETION = 0
+    ARRIVAL = 1
+    ACTIVATION = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One scheduled simulator event.
+
+    ``token`` invalidates stale completion events: the engine bumps its
+    completion token whenever the running transaction is preempted, so a
+    completion event scheduled for the old dispatch no longer applies.
+    ``txn_id`` is ``None`` for activation ticks.
+    """
+
+    time: float
+    kind: EventKind
+    seq: int
+    txn_id: int | None = None
+    token: int = field(default=0)
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """Heap ordering: by time, then kind priority, then insertion."""
+        return (self.time, int(self.kind), self.seq)

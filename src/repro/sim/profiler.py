@@ -1,0 +1,87 @@
+"""Online transaction-length profiling.
+
+Section II-A: "The length of the transaction is typically computed by
+the system based on previous statistics and profiles of transaction
+execution."  :class:`LengthProfiler` is that system component: an
+exponential-moving-average estimator keyed by a *transaction class*
+(e.g. ``"stocks-alice/portfolio"`` in the web-database substrate), fed
+with observed execution times and queried for the estimate the scheduler
+should use next time.
+
+The web-database front end wires it in end to end: with execution-cost
+noise enabled, the first run schedules on cost-model guesses, the
+profiler observes the actual lengths, and subsequent runs schedule on
+learned estimates (see ``WebDatabase(profiler=...)``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["LengthProfiler"]
+
+
+class LengthProfiler:
+    """Per-class EMA length estimator.
+
+    Parameters
+    ----------
+    smoothing:
+        EMA weight of a new observation, in (0, 1].  1.0 keeps only the
+        latest observation; small values average over long histories.
+
+    Examples
+    --------
+    >>> profiler = LengthProfiler(smoothing=0.5)
+    >>> profiler.estimate("q", fallback=10.0)
+    10.0
+    >>> profiler.observe("q", 20.0)
+    >>> profiler.observe("q", 10.0)
+    >>> profiler.estimate("q", fallback=0.0)
+    15.0
+    """
+
+    def __init__(self, smoothing: float = 0.3) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise SimulationError(
+                f"smoothing must be in (0, 1], got {smoothing}"
+            )
+        self.smoothing = smoothing
+        self._ema: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    def observe(self, key: str, actual_length: float) -> None:
+        """Feed one observed execution length for class ``key``."""
+        if actual_length <= 0:
+            raise SimulationError(
+                f"observed length must be > 0, got {actual_length}"
+            )
+        if key in self._ema:
+            self._ema[key] = (
+                self.smoothing * actual_length
+                + (1.0 - self.smoothing) * self._ema[key]
+            )
+        else:
+            self._ema[key] = actual_length
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def estimate(self, key: str, fallback: float) -> float:
+        """Current estimate for ``key``; ``fallback`` until first observation."""
+        return self._ema.get(key, fallback)
+
+    def observations(self, key: str) -> int:
+        """How many executions of ``key`` have been observed."""
+        return self._counts.get(key, 0)
+
+    def known_classes(self) -> list[str]:
+        return sorted(self._ema)
+
+    def reset(self) -> None:
+        self._ema.clear()
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"LengthProfiler(smoothing={self.smoothing:g}, "
+            f"classes={len(self._ema)})"
+        )

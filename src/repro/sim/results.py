@@ -1,0 +1,188 @@
+"""Simulation outputs.
+
+:class:`SimulationResult` carries one frozen record per transaction plus
+the aggregate metrics of Definitions 3–5 (tardiness, average tardiness,
+average weighted tardiness) and the worst-case metric of Section IV-F
+(maximum weighted tardiness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.transaction import Transaction
+from repro.errors import SimulationError
+from repro.sim.trace import Trace
+
+__all__ = ["TransactionRecord", "SimulationResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class TransactionRecord:
+    """Immutable per-transaction outcome of one simulation run."""
+
+    txn_id: int
+    arrival: float
+    length: float
+    deadline: float
+    weight: float
+    finish: float
+    first_start: float
+    preemptions: int
+
+    @property
+    def tardiness(self) -> float:
+        """Definition 3: :math:`\\max(0, f_i - d_i)`."""
+        return max(0.0, self.finish - self.deadline)
+
+    @property
+    def weighted_tardiness(self) -> float:
+        """Definition 5's summand: :math:`t_i w_i`."""
+        return self.tardiness * self.weight
+
+    @property
+    def response_time(self) -> float:
+        """Total time in system, :math:`f_i - a_i`."""
+        return self.finish - self.arrival
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.finish <= self.deadline
+
+    @classmethod
+    def from_transaction(cls, txn: Transaction) -> "TransactionRecord":
+        if txn.finish_time is None or txn.first_start_time is None:
+            raise SimulationError(
+                f"transaction {txn.txn_id} did not complete; cannot record"
+            )
+        return cls(
+            txn_id=txn.txn_id,
+            arrival=txn.arrival,
+            length=txn.length,
+            deadline=txn.deadline,
+            weight=txn.weight,
+            finish=txn.finish_time,
+            first_start=txn.first_start_time,
+            preemptions=txn.preemptions,
+        )
+
+
+class SimulationResult:
+    """Per-run metrics over a completed transaction set.
+
+    Parameters
+    ----------
+    policy_name:
+        Name of the scheduling policy that produced the run.
+    records:
+        One :class:`TransactionRecord` per completed transaction.
+    trace:
+        Optional execution trace (``None`` unless tracing was enabled).
+    """
+
+    def __init__(
+        self,
+        policy_name: str,
+        records: Sequence[TransactionRecord],
+        trace: Trace | None = None,
+    ) -> None:
+        if not records:
+            raise SimulationError("a simulation result needs >= 1 record")
+        self.policy_name = policy_name
+        self.records = tuple(records)
+        self.trace = trace
+        self._by_id = {r.txn_id: r for r in self.records}
+
+    # ------------------------------------------------------------------
+    # Aggregates (Definitions 4 and 5, plus Section IV-F's worst case).
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.records)
+
+    @property
+    def average_tardiness(self) -> float:
+        """Definition 4: :math:`\\frac{1}{N}\\sum t_i`."""
+        return sum(r.tardiness for r in self.records) / self.n
+
+    @property
+    def average_weighted_tardiness(self) -> float:
+        """Definition 5: :math:`\\frac{1}{N}\\sum t_i w_i`."""
+        return sum(r.weighted_tardiness for r in self.records) / self.n
+
+    @property
+    def max_tardiness(self) -> float:
+        return max(r.tardiness for r in self.records)
+
+    @property
+    def max_weighted_tardiness(self) -> float:
+        """Worst-case metric of Figure 16."""
+        return max(r.weighted_tardiness for r in self.records)
+
+    @property
+    def average_response_time(self) -> float:
+        return sum(r.response_time for r in self.records) / self.n
+
+    @property
+    def total_tardiness(self) -> float:
+        return sum(r.tardiness for r in self.records)
+
+    @property
+    def total_weighted_tardiness(self) -> float:
+        return sum(r.weighted_tardiness for r in self.records)
+
+    @property
+    def deadline_miss_ratio(self) -> float:
+        """Fraction of transactions that finished after their deadline."""
+        missed = sum(1 for r in self.records if not r.met_deadline)
+        return missed / self.n
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last transaction."""
+        return max(r.finish for r in self.records)
+
+    def record_of(self, txn_id: int) -> TransactionRecord:
+        try:
+            return self._by_id[txn_id]
+        except KeyError:
+            raise KeyError(f"no record for transaction {txn_id}") from None
+
+    def finish_order(self) -> list[int]:
+        """Transaction ids sorted by completion time."""
+        return [r.txn_id for r in sorted(self.records, key=lambda r: r.finish)]
+
+    def tardy_records(self) -> list[TransactionRecord]:
+        """Records of transactions that missed their deadline."""
+        return [r for r in self.records if not r.met_deadline]
+
+    def summary(self) -> dict[str, float]:
+        """A plain-dict summary, convenient for tabulation and JSON."""
+        return {
+            "n": float(self.n),
+            "average_tardiness": self.average_tardiness,
+            "average_weighted_tardiness": self.average_weighted_tardiness,
+            "max_tardiness": self.max_tardiness,
+            "max_weighted_tardiness": self.max_weighted_tardiness,
+            "deadline_miss_ratio": self.deadline_miss_ratio,
+            "average_response_time": self.average_response_time,
+            "makespan": self.makespan,
+        }
+
+    @staticmethod
+    def mean_over_runs(
+        results: Iterable["SimulationResult"], metric: str
+    ) -> float:
+        """Average one named metric over several runs (the paper's 5 seeds)."""
+        values = [getattr(res, metric) for res in results]
+        if not values:
+            raise SimulationError("mean_over_runs needs >= 1 result")
+        return sum(values) / len(values)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(policy={self.policy_name!r}, n={self.n}, "
+            f"avg_tardiness={self.average_tardiness:.3f}, "
+            f"avg_weighted={self.average_weighted_tardiness:.3f})"
+        )

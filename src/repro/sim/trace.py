@@ -1,0 +1,79 @@
+"""Execution traces: who ran when.
+
+Traces are optional (they cost memory on long runs) and mainly serve the
+test suite — the paper's worked Examples 1–4 are verified by asserting the
+exact sequence of execution slices — and debugging of new policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["ExecutionSlice", "Trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionSlice:
+    """A maximal interval during which one transaction held the server."""
+
+    txn_id: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """An append-only log of execution slices.
+
+    Adjacent slices of the same transaction are coalesced, so a
+    transaction that survives a scheduling point without being preempted
+    contributes a single slice.
+    """
+
+    __slots__ = ("_slices",)
+
+    def __init__(self) -> None:
+        self._slices: list[ExecutionSlice] = []
+
+    def record(self, txn_id: int, start: float, end: float) -> None:
+        """Append a slice; zero-length slices are ignored."""
+        if end <= start:
+            return
+        if self._slices:
+            last = self._slices[-1]
+            if last.txn_id == txn_id and last.end == start:
+                self._slices[-1] = ExecutionSlice(txn_id, last.start, end)
+                return
+        self._slices.append(ExecutionSlice(txn_id, start, end))
+
+    def slices(self) -> list[ExecutionSlice]:
+        """All recorded slices in chronological order."""
+        return list(self._slices)
+
+    def order_of_first_execution(self) -> list[int]:
+        """Transaction ids in the order they first touched the server."""
+        seen: set[int] = set()
+        order: list[int] = []
+        for sl in self._slices:
+            if sl.txn_id not in seen:
+                seen.add(sl.txn_id)
+                order.append(sl.txn_id)
+        return order
+
+    def busy_time(self) -> float:
+        """Total server busy time across all slices."""
+        return sum(sl.duration for sl in self._slices)
+
+    def slices_of(self, txn_id: int) -> list[ExecutionSlice]:
+        """Chronological slices of one transaction."""
+        return [sl for sl in self._slices if sl.txn_id == txn_id]
+
+    def __len__(self) -> int:
+        return len(self._slices)
+
+    def __iter__(self) -> Iterator[ExecutionSlice]:
+        return iter(self._slices)

@@ -1,0 +1,123 @@
+"""Schedule validation: check that a trace is physically possible.
+
+For downstream users writing their own policies, the engine's runtime
+guards catch contract violations as they happen; this module checks a
+*finished* schedule after the fact — useful when comparing against
+schedules produced elsewhere (another simulator, a solver, a hand-drawn
+Gantt) or when asserting invariants in tests:
+
+* no transaction executes before its arrival,
+* no transaction executes before its dependencies complete,
+* per-transaction execution never overlaps itself,
+* at most ``servers`` transactions execute at any instant,
+* every transaction receives exactly its processing time (within
+  tolerance; context-switch overhead is not part of a transaction's
+  processing time, so validate overhead-free schedules).
+
+:func:`validate_schedule` raises :class:`~repro.errors.SimulationError`
+with a precise message on the first violation and returns quietly
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.transaction import Transaction
+from repro.errors import SimulationError
+from repro.sim.trace import Trace
+
+__all__ = ["validate_schedule"]
+
+_EPS = 1e-6
+
+
+def validate_schedule(
+    trace: Trace,
+    transactions: Sequence[Transaction],
+    servers: int = 1,
+) -> None:
+    """Raise :class:`SimulationError` unless ``trace`` is a valid schedule.
+
+    Examples
+    --------
+    >>> from repro.policies import EDF
+    >>> from repro.sim.engine import Simulator
+    >>> txns = [Transaction(1, arrival=0, length=2, deadline=9)]
+    >>> result = Simulator(txns, EDF(), record_trace=True).run()
+    >>> validate_schedule(result.trace, txns)  # no exception
+    """
+    if servers < 1:
+        raise SimulationError(f"servers must be >= 1, got {servers}")
+    by_id = {t.txn_id: t for t in transactions}
+
+    received: dict[int, float] = {tid: 0.0 for tid in by_id}
+    finish: dict[int, float] = {}
+    for sl in trace:
+        if sl.txn_id not in by_id:
+            raise SimulationError(
+                f"trace references unknown transaction {sl.txn_id}"
+            )
+        txn = by_id[sl.txn_id]
+        if sl.start < txn.arrival - _EPS:
+            raise SimulationError(
+                f"transaction {txn.txn_id} executed at {sl.start} "
+                f"before its arrival {txn.arrival}"
+            )
+        received[sl.txn_id] += sl.duration
+        finish[sl.txn_id] = max(finish.get(sl.txn_id, sl.end), sl.end)
+
+    for tid, txn in by_id.items():
+        if abs(received[tid] - txn.length) > _EPS * max(1.0, txn.length):
+            raise SimulationError(
+                f"transaction {tid} received {received[tid]} time units, "
+                f"needs {txn.length}"
+            )
+
+    # Self-overlap: a transaction's own slices must be disjoint.
+    for tid in by_id:
+        slices = trace.slices_of(tid)
+        for a, b in zip(slices, slices[1:]):
+            if b.start < a.end - _EPS:
+                raise SimulationError(
+                    f"transaction {tid} overlaps itself: "
+                    f"[{a.start}, {a.end}) and [{b.start}, {b.end})"
+                )
+
+    # Capacity: sweep over slice endpoints.
+    events: list[tuple[float, int]] = []
+    for sl in trace:
+        events.append((sl.start, 1))
+        events.append((sl.end, -1))
+    events.sort(key=lambda e: (e[0], e[1]))  # ends before starts at ties
+    active = 0
+    for time, delta in events:
+        active += delta
+        if active > servers:
+            raise SimulationError(
+                f"{active} transactions executing at t={time} "
+                f"with only {servers} server(s)"
+            )
+
+    # Precedence: a dependent's first execution follows every
+    # dependency's last.
+    first_start = {
+        tid: trace.slices_of(tid)[0].start if trace.slices_of(tid) else None
+        for tid in by_id
+    }
+    for txn in by_id.values():
+        start = first_start[txn.txn_id]
+        if start is None:
+            continue
+        for dep in txn.depends_on:
+            dep_finish = finish.get(dep)
+            if dep_finish is None:
+                raise SimulationError(
+                    f"transaction {txn.txn_id} ran but its dependency "
+                    f"{dep} never completed"
+                )
+            if start < dep_finish - _EPS:
+                raise SimulationError(
+                    f"transaction {txn.txn_id} started at {start} before "
+                    f"dependency {dep} finished at {dep_finish}"
+                )

@@ -1,0 +1,77 @@
+"""A simulated web-database: the paper's application scenario as code.
+
+Section II-B motivates ASETS* with a personalised-portal application:
+dynamic web pages composed of content fragments (stock tickers, portfolio
+value, alerts, traffic, weather), each materialised by a transaction
+against a backend database, with dependencies among the fragments of one
+page and SLAs/weights reflecting urgency and subscription tier.
+
+This subpackage implements that substrate end to end:
+
+* :mod:`~repro.webdb.database` — an in-memory relational store with
+  read-only scan/filter/join/aggregate operators;
+* :mod:`~repro.webdb.query` — composable query plans with a deterministic
+  cost model (costs become transaction lengths);
+* :mod:`~repro.webdb.fragments` — content fragments bound to queries;
+* :mod:`~repro.webdb.pages` — dynamic pages: fragments plus their
+  dependency DAG;
+* :mod:`~repro.webdb.sla` — SLA tiers mapping to deadlines and weights;
+* :mod:`~repro.webdb.sessions` — user sessions emitting page requests;
+* :mod:`~repro.webdb.frontend` — the :class:`WebDatabase` front end that
+  compiles page requests into scheduler transactions, runs the simulator
+  under any policy, and renders the materialised pages.
+
+The quantitative evaluation (Section IV) runs on the synthetic generator,
+exactly as in the paper; this substrate powers the examples and
+integration tests with a realistic API.
+"""
+
+from repro.webdb.database import Database, Table
+from repro.webdb.query import (
+    Aggregate,
+    Filter,
+    Input,
+    Join,
+    Limit,
+    Project,
+    Query,
+    Scan,
+    Sort,
+)
+from repro.webdb.cache import CacheDecision, FragmentCache
+from repro.webdb.fragments import ContentFragment
+from repro.webdb.pages import DynamicPage
+from repro.webdb.sla import SLA_TIERS, SLATier
+from repro.webdb.sessions import PageRequest, UserSession
+from repro.webdb.optimizer import optimize
+from repro.webdb.predicates import ColumnPredicate, Conjunction
+from repro.webdb.sql import parse_sql
+from repro.webdb.frontend import PageResult, WebDatabase
+
+__all__ = [
+    "Database",
+    "Table",
+    "Query",
+    "Scan",
+    "Input",
+    "Filter",
+    "Project",
+    "Join",
+    "Aggregate",
+    "Sort",
+    "Limit",
+    "ContentFragment",
+    "FragmentCache",
+    "CacheDecision",
+    "DynamicPage",
+    "SLATier",
+    "SLA_TIERS",
+    "UserSession",
+    "PageRequest",
+    "WebDatabase",
+    "PageResult",
+    "parse_sql",
+    "optimize",
+    "ColumnPredicate",
+    "Conjunction",
+]

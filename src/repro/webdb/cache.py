@@ -1,0 +1,107 @@
+"""Fragment caching / materialization (the paper's WebView hook).
+
+Section II-A: "We assume that if caching or materialization is utilized
+for fragments [8], then transactions' lengths are adjusted accordingly."
+This module implements that adjustment: fragments tagged with a
+``cache_key`` share a materialised copy across pages and requests, and a
+request arriving while the copy is fresh compiles to a cheap *cache-hit*
+transaction instead of a full materialisation.
+
+Only fragments that read base tables exclusively are cacheable — a
+fragment consuming another fragment's output (``Input``) is personalised
+per request and is rejected at registration.
+
+The cache is a compile-time planner, not a runtime actor: freshness is
+judged against request arrival times in arrival order, approximating the
+refresh as instantaneous at the missing request's arrival.  This keeps
+the schedule-independent property of content (what a page shows never
+depends on the scheduling policy) while still exercising the scheduler
+with the shortened lengths and correspondingly tightened deadlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+__all__ = ["FragmentCache", "CacheDecision"]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheDecision:
+    """What the cache planner decided for one fragment instance."""
+
+    hit: bool
+    length: float
+
+
+class FragmentCache:
+    """A TTL cache over fragment materialisations.
+
+    Parameters
+    ----------
+    ttl:
+        Freshness window in simulation time units.  A request at time
+        ``t`` hits iff some earlier request refreshed the same key at
+        ``t' > t - ttl``.
+    hit_cost:
+        Length of a cache-hit transaction (reading the materialised copy
+        and rendering it still costs something).
+
+    Examples
+    --------
+    >>> cache = FragmentCache(ttl=10.0, hit_cost=0.1)
+    >>> cache.decide("prices", at=0.0, miss_length=2.0).hit
+    False
+    >>> cache.decide("prices", at=5.0, miss_length=2.0).hit
+    True
+    >>> cache.decide("prices", at=11.0, miss_length=2.0).hit
+    False
+    """
+
+    def __init__(self, ttl: float, hit_cost: float = 0.05) -> None:
+        if ttl <= 0:
+            raise QueryError(f"cache ttl must be > 0, got {ttl}")
+        if hit_cost <= 0:
+            raise QueryError(f"hit_cost must be > 0, got {hit_cost}")
+        self.ttl = ttl
+        self.hit_cost = hit_cost
+        self._refreshed_at: dict[str, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def decide(self, key: str, at: float, miss_length: float) -> CacheDecision:
+        """Plan one fragment instance at time ``at``.
+
+        On a miss the key is refreshed at ``at`` and the full
+        ``miss_length`` is charged; on a hit the cheap ``hit_cost`` is.
+        Calls must come in non-decreasing ``at`` order (the front end
+        compiles requests in arrival order).
+        """
+        if miss_length <= 0:
+            raise QueryError(f"miss_length must be > 0, got {miss_length}")
+        last = self._refreshed_at.get(key)
+        if last is not None and at - last < self.ttl:
+            self.hits += 1
+            return CacheDecision(hit=True, length=self.hit_cost)
+        self._refreshed_at[key] = at
+        self.misses += 1
+        return CacheDecision(hit=False, length=miss_length)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Forget all cached state and statistics."""
+        self._refreshed_at.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"FragmentCache(ttl={self.ttl:g}, hit_cost={self.hit_cost:g}, "
+            f"hit_ratio={self.hit_ratio:.2f})"
+        )

@@ -1,0 +1,113 @@
+"""An in-memory relational store.
+
+The backend database the web transactions query.  Deliberately minimal —
+the paper assumes read-only query transactions and sidesteps concurrency
+control — but real enough that the examples materialise actual content:
+named tables, schema-checked rows, and the scan primitive the query
+operators build on.
+
+Rows are plain dicts.  Mutation happens only through :meth:`Table.insert`
+/ :meth:`Table.delete_where` between simulations; queries never write.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import QueryError
+
+__all__ = ["Table", "Database"]
+
+Row = dict[str, object]
+
+
+class Table:
+    """A named table with a fixed column set.
+
+    Examples
+    --------
+    >>> t = Table("stocks", ["symbol", "price"])
+    >>> t.insert({"symbol": "ABC", "price": 10.0})
+    >>> t.row_count
+    1
+    """
+
+    def __init__(self, name: str, columns: Sequence[str]) -> None:
+        if not name:
+            raise QueryError("table name must be non-empty")
+        if not columns:
+            raise QueryError(f"table {name!r} needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise QueryError(f"table {name!r} has duplicate columns")
+        self.name = name
+        self.columns = tuple(columns)
+        self._rows: list[Row] = []
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def insert(self, row: Mapping[str, object]) -> None:
+        """Insert one row; extra or missing columns are rejected."""
+        if set(row) != set(self.columns):
+            raise QueryError(
+                f"row keys {sorted(row)} do not match columns "
+                f"{sorted(self.columns)} of table {self.name!r}"
+            )
+        self._rows.append(dict(row))
+
+    def insert_many(self, rows: Iterable[Mapping[str, object]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete rows matching ``predicate``; returns the count removed."""
+        before = len(self._rows)
+        self._rows = [r for r in self._rows if not predicate(r)]
+        return before - len(self._rows)
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate copies of all rows (queries cannot mutate the table)."""
+        return (dict(row) for row in self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, columns={list(self.columns)}, rows={self.row_count})"
+
+
+class Database:
+    """A collection of named tables.
+
+    Examples
+    --------
+    >>> db = Database()
+    >>> _ = db.create_table("stocks", ["symbol", "price"])
+    >>> db.table("stocks").name
+    'stocks'
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: Sequence[str]) -> Table:
+        if name in self._tables:
+            raise QueryError(f"table {name!r} already exists")
+        table = Table(name, columns)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(
+                f"unknown table {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __repr__(self) -> str:
+        return f"Database(tables={self.table_names()})"

@@ -1,0 +1,109 @@
+"""Content fragments: the units a dynamic web page is composed of.
+
+Each fragment is materialised by one query transaction (the paper folds
+the possibly-many statements behind a fragment into a single transaction,
+Section II-A).  A fragment can consume the output of other fragments via
+:class:`~repro.webdb.query.Input` nodes in its query; those references
+define the fragment-level (and hence transaction-level) dependency DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import QueryError
+from repro.webdb.database import Database, Row
+from repro.webdb.query import Query
+
+__all__ = ["ContentFragment"]
+
+
+def _default_renderer(name: str, rows: Sequence[Row]) -> str:
+    """Plain-text rendering: a heading plus one line per row."""
+    lines = [f"== {name} =="]
+    for row in rows:
+        lines.append(", ".join(f"{k}={row[k]}" for k in sorted(row)))
+    if not rows:
+        lines.append("(no data)")
+    return "\n".join(lines)
+
+
+class ContentFragment:
+    """One fragment of a dynamic page.
+
+    Parameters
+    ----------
+    name:
+        Unique fragment name within its page; other fragments reference
+        it through ``Input(name)``.
+    query:
+        The query plan that materialises the fragment's content.
+    renderer:
+        Optional ``(name, rows) -> str`` producing the fragment's
+        rendered form; a plain-text renderer is used by default.
+    urgency:
+        Multiplier on the page SLA's slack for this fragment: 1.0 keeps
+        the page deadline, smaller values tighten it (the paper's stock
+        *alerts* fragment wants to be seen first even though it depends
+        on other fragments — that is exactly the deadline/precedence
+        conflict ASETS* exploits).
+    weight_boost:
+        Additive weight on top of the SLA tier's weight, for fragments
+        more important than their page's baseline.
+    cache_key:
+        Opt the fragment into fragment caching/materialization (Section
+        II-A's WebView hook): fragments sharing a key — across pages and
+        users — share one materialised copy, and requests arriving while
+        it is fresh compile to cheap cache-hit transactions.  Only
+        fragments reading base tables exclusively can be cached; a
+        fragment consuming another fragment's output is personalised per
+        request and is rejected here.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        query: Query,
+        renderer: Callable[[str, Sequence[Row]], str] | None = None,
+        urgency: float = 1.0,
+        weight_boost: float = 0.0,
+        cache_key: str | None = None,
+    ) -> None:
+        if not name:
+            raise QueryError("fragment name must be non-empty")
+        if urgency <= 0:
+            raise QueryError(f"urgency must be > 0, got {urgency}")
+        if weight_boost < 0:
+            raise QueryError(f"weight_boost must be >= 0, got {weight_boost}")
+        if cache_key is not None and query.input_names():
+            raise QueryError(
+                f"fragment {name!r} cannot be cached: its query reads "
+                f"other fragments {sorted(query.input_names())}"
+            )
+        self.name = name
+        self.query = query
+        self.renderer = renderer or _default_renderer
+        self.urgency = urgency
+        self.weight_boost = weight_boost
+        self.cache_key = cache_key
+
+    def dependencies(self) -> set[str]:
+        """Names of fragments this fragment's query reads."""
+        return self.query.input_names()
+
+    def estimated_cost(self, db: Database) -> float:
+        """Transaction length for this fragment (profile-based estimate)."""
+        return self.query.estimated_cost(db)
+
+    def materialise(self, db: Database, bindings) -> list[Row]:
+        """Execute the query with upstream fragment outputs bound."""
+        return self.query.execute(db, bindings)
+
+    def render(self, rows: Sequence[Row]) -> str:
+        return self.renderer(self.name, rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"ContentFragment({self.name!r}, deps={sorted(self.dependencies())}, "
+            f"urgency={self.urgency:g})"
+        )

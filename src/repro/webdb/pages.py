@@ -1,0 +1,100 @@
+"""Dynamic pages: named collections of fragments with a dependency DAG.
+
+A page validates its fragments at construction: names unique, every
+``Input`` reference resolvable within the page, no dependency cycles.
+The page's topological order is what the front end uses to compile the
+fragments into transactions (the actual *execution* order is of course
+decided by the scheduler at simulation time).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.webdb.fragments import ContentFragment
+
+__all__ = ["DynamicPage"]
+
+
+class DynamicPage:
+    """A dynamic web page composed of interdependent fragments.
+
+    Examples
+    --------
+    >>> from repro.webdb.query import Scan, Input, Aggregate
+    >>> page = DynamicPage("portal", [
+    ...     ContentFragment("prices", Scan("stocks")),
+    ...     ContentFragment("total", Aggregate(Input("prices"), "count")),
+    ... ])
+    >>> page.topological_names()
+    ['prices', 'total']
+    """
+
+    def __init__(self, name: str, fragments: Sequence[ContentFragment]) -> None:
+        if not name:
+            raise QueryError("page name must be non-empty")
+        if not fragments:
+            raise QueryError(f"page {name!r} needs at least one fragment")
+        names = [f.name for f in fragments]
+        if len(set(names)) != len(names):
+            raise QueryError(f"page {name!r} has duplicate fragment names")
+        self.name = name
+        self._fragments = {f.name: f for f in fragments}
+        for frag in fragments:
+            unknown = frag.dependencies() - set(self._fragments)
+            if unknown:
+                raise QueryError(
+                    f"fragment {frag.name!r} of page {name!r} references "
+                    f"unknown fragments {sorted(unknown)}"
+                )
+        self._order = self._toposort()
+
+    def _toposort(self) -> list[str]:
+        indegree = {
+            name: len(frag.dependencies())
+            for name, frag in self._fragments.items()
+        }
+        dependents: dict[str, list[str]] = {name: [] for name in self._fragments}
+        for name, frag in self._fragments.items():
+            for dep in frag.dependencies():
+                dependents[dep].append(name)
+        frontier = sorted(n for n, deg in indegree.items() if deg == 0)
+        order: list[str] = []
+        while frontier:
+            name = frontier.pop(0)
+            order.append(name)
+            for succ in sorted(dependents[name]):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    frontier.append(succ)
+        if len(order) != len(self._fragments):
+            raise QueryError(f"page {self.name!r} has a fragment dependency cycle")
+        return order
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def fragment(self, name: str) -> ContentFragment:
+        try:
+            return self._fragments[name]
+        except KeyError:
+            raise QueryError(
+                f"page {self.name!r} has no fragment {name!r}"
+            ) from None
+
+    def fragments(self) -> Iterable[ContentFragment]:
+        """Fragments in topological (dependency-respecting) order."""
+        return (self._fragments[name] for name in self._order)
+
+    def topological_names(self) -> list[str]:
+        return list(self._order)
+
+    def __len__(self) -> int:
+        return len(self._fragments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fragments
+
+    def __repr__(self) -> str:
+        return f"DynamicPage({self.name!r}, fragments={self._order})"

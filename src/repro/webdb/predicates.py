@@ -1,0 +1,130 @@
+"""Structured predicates: filters the optimizer can reason about.
+
+A plain Python lambda is opaque — the optimizer can neither see which
+columns it reads nor estimate its selectivity.  :class:`ColumnPredicate`
+and :class:`Conjunction` are callable like lambdas (so
+:class:`~repro.webdb.query.Filter` accepts either) but additionally
+expose referenced columns and a selectivity estimate, which is what
+enables predicate pushdown and cardinality estimation.  The SQL front
+door always emits structured predicates.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Mapping
+
+from repro.errors import QueryError
+
+__all__ = ["ColumnPredicate", "Conjunction", "referenced_columns", "selectivity_of"]
+
+_OPERATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Textbook default selectivities per comparison operator.
+_SELECTIVITY: dict[str, float] = {
+    "=": 0.1,
+    "!=": 0.9,
+    "<": 0.33,
+    "<=": 0.33,
+    ">": 0.33,
+    ">=": 0.33,
+}
+
+
+class ColumnPredicate:
+    """``column OP literal``, introspectable by the optimizer.
+
+    Examples
+    --------
+    >>> p = ColumnPredicate("price", ">", 100)
+    >>> p({"price": 150})
+    True
+    >>> sorted(p.references())
+    ['price']
+    """
+
+    __slots__ = ("column", "op", "value", "_fn")
+
+    def __init__(self, column: str, op: str, value: object) -> None:
+        if not column:
+            raise QueryError("predicate needs a column name")
+        if op not in _OPERATORS:
+            raise QueryError(
+                f"unknown operator {op!r}; use one of {sorted(_OPERATORS)}"
+            )
+        self.column = column
+        self.op = op
+        self.value = value
+        self._fn = _OPERATORS[op]
+
+    def __call__(self, row: Mapping[str, object]) -> bool:
+        if self.column not in row:
+            raise QueryError(
+                f"predicate references missing column {self.column!r}"
+            )
+        return self._fn(row[self.column], self.value)
+
+    def references(self) -> set[str]:
+        return {self.column}
+
+    @property
+    def selectivity(self) -> float:
+        return _SELECTIVITY[self.op]
+
+    def __repr__(self) -> str:
+        return f"ColumnPredicate({self.column!r} {self.op} {self.value!r})"
+
+
+class Conjunction:
+    """AND of structured (or opaque) predicates."""
+
+    __slots__ = ("clauses",)
+
+    def __init__(self, clauses) -> None:
+        clauses = tuple(clauses)
+        if not clauses:
+            raise QueryError("conjunction needs at least one clause")
+        self.clauses = clauses
+
+    def __call__(self, row: Mapping[str, object]) -> bool:
+        return all(clause(row) for clause in self.clauses)
+
+    def references(self) -> set[str] | None:
+        """Union of referenced columns, or ``None`` if any clause is opaque."""
+        out: set[str] = set()
+        for clause in self.clauses:
+            refs = referenced_columns(clause)
+            if refs is None:
+                return None
+            out |= refs
+        return out
+
+    @property
+    def selectivity(self) -> float:
+        value = 1.0
+        for clause in self.clauses:
+            value *= selectivity_of(clause)
+        return value
+
+    def __repr__(self) -> str:
+        return f"Conjunction({list(self.clauses)!r})"
+
+
+def referenced_columns(predicate) -> set[str] | None:
+    """Columns a predicate reads, or ``None`` when unknowable (lambda)."""
+    refs = getattr(predicate, "references", None)
+    if refs is None:
+        return None
+    return refs()
+
+
+def selectivity_of(predicate) -> float:
+    """Estimated pass-through fraction; opaque predicates default to 1/3."""
+    return getattr(predicate, "selectivity", 1.0 / 3.0)

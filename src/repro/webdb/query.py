@@ -1,0 +1,358 @@
+"""Composable read-only query plans with a cardinality-based cost model.
+
+Fragments are materialised by queries; a query's *estimated cost* becomes
+the length of the transaction that materialises it, exactly as the paper
+assumes ("the length of the transaction is typically computed by the
+system based on previous statistics and profiles").
+
+Every node estimates both its **output cardinality** (``estimated_rows``,
+using textbook selectivities for structured predicates — see
+:mod:`repro.webdb.predicates`) and its **cost** (``estimated_cost``, in
+the same abstract time units as the synthetic workloads; a full scan of
+a 50-row table costs about one unit).  Cardinality flowing through the
+plan is what makes the optimizer's predicate pushdown measurably
+cheaper: filtering *before* a join shrinks the pair-product the join
+pays for.
+
+Operators compose bottom-up::
+
+    q = Aggregate(Join(Scan("positions"), Scan("stocks"), on="symbol"),
+                  fn="sum", column="value")
+
+and execute against a :class:`~repro.webdb.database.Database`.  A query
+may also read the output of another fragment's query through
+:class:`Input` — which is how inter-fragment dependencies arise.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import QueryError
+from repro.webdb.database import Database, Row
+from repro.webdb.predicates import selectivity_of
+
+__all__ = [
+    "Query",
+    "Scan",
+    "Input",
+    "Filter",
+    "Project",
+    "Join",
+    "Aggregate",
+    "Sort",
+    "Limit",
+]
+
+#: Cost (time units) of touching one row in a scan.
+_SCAN_COST_PER_ROW = 0.02
+#: Cost of evaluating one candidate pair in a nested-loop join.
+_JOIN_COST_PER_PAIR = 0.002
+#: Cost of processing one row in filter/project/aggregate/sort/limit.
+_ROW_COST = 0.005
+
+#: Named inputs a query may read: outputs of other fragments.
+Bindings = Mapping[str, list[Row]]
+
+
+class Query(abc.ABC):
+    """A node of a read-only query plan."""
+
+    @abc.abstractmethod
+    def execute(self, db: Database, bindings: Bindings | None = None) -> list[Row]:
+        """Evaluate against ``db`` (and fragment outputs in ``bindings``)."""
+
+    @abc.abstractmethod
+    def estimated_rows(self, db: Database) -> float:
+        """Estimated output cardinality (floats; never below 1)."""
+
+    @abc.abstractmethod
+    def estimated_cost(self, db: Database) -> float:
+        """Cost estimate in abstract time units (strictly positive)."""
+
+    @abc.abstractmethod
+    def input_names(self) -> set[str]:
+        """Names of fragment outputs this query depends on."""
+
+
+class Scan(Query):
+    """Read all rows of a base table."""
+
+    def __init__(self, table: str) -> None:
+        self.table = table
+
+    def execute(self, db: Database, bindings: Bindings | None = None) -> list[Row]:
+        return list(db.table(self.table).scan())
+
+    def estimated_rows(self, db: Database) -> float:
+        return max(1.0, float(db.table(self.table).row_count))
+
+    def estimated_cost(self, db: Database) -> float:
+        return self.estimated_rows(db) * _SCAN_COST_PER_ROW
+
+    def input_names(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"Scan({self.table!r})"
+
+
+class Input(Query):
+    """Read the output of another fragment (inter-fragment dependency).
+
+    The fragment whose query contains ``Input("prices")`` depends on the
+    fragment named ``prices``; the page compiler turns that into a
+    transaction dependency, and at execution time the bound rows are the
+    upstream fragment's materialised output.
+    """
+
+    def __init__(self, name: str, expected_rows: int = 32) -> None:
+        if not name:
+            raise QueryError("Input needs a fragment name")
+        self.name = name
+        #: Row-count estimate used by the cost model (the real row count
+        #: is only known after the upstream fragment ran).
+        self.expected_rows = expected_rows
+
+    def execute(self, db: Database, bindings: Bindings | None = None) -> list[Row]:
+        if bindings is None or self.name not in bindings:
+            raise QueryError(
+                f"fragment output {self.name!r} was not bound; "
+                "did the dependency run first?"
+            )
+        return [dict(row) for row in bindings[self.name]]
+
+    def estimated_rows(self, db: Database) -> float:
+        return max(1.0, float(self.expected_rows))
+
+    def estimated_cost(self, db: Database) -> float:
+        return self.estimated_rows(db) * _ROW_COST
+
+    def input_names(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"Input({self.name!r})"
+
+
+class Filter(Query):
+    """Keep rows matching a predicate.
+
+    Structured predicates (:mod:`repro.webdb.predicates`) carry their own
+    selectivity estimate; opaque callables default to 1/3.
+    """
+
+    def __init__(self, source: Query, predicate: Callable[[Row], bool]) -> None:
+        self.source = source
+        self.predicate = predicate
+
+    def execute(self, db: Database, bindings: Bindings | None = None) -> list[Row]:
+        return [row for row in self.source.execute(db, bindings) if self.predicate(row)]
+
+    def estimated_rows(self, db: Database) -> float:
+        return max(
+            1.0, self.source.estimated_rows(db) * selectivity_of(self.predicate)
+        )
+
+    def estimated_cost(self, db: Database) -> float:
+        return (
+            self.source.estimated_cost(db)
+            + self.source.estimated_rows(db) * _ROW_COST
+        )
+
+    def input_names(self) -> set[str]:
+        return self.source.input_names()
+
+    def __repr__(self) -> str:
+        return f"Filter({self.source!r})"
+
+
+class Project(Query):
+    """Keep a subset of columns."""
+
+    def __init__(self, source: Query, columns: Sequence[str]) -> None:
+        if not columns:
+            raise QueryError("Project needs at least one column")
+        self.source = source
+        self.columns = tuple(columns)
+
+    def execute(self, db: Database, bindings: Bindings | None = None) -> list[Row]:
+        out = []
+        for row in self.source.execute(db, bindings):
+            missing = [c for c in self.columns if c not in row]
+            if missing:
+                raise QueryError(f"projection references missing columns {missing}")
+            out.append({c: row[c] for c in self.columns})
+        return out
+
+    def estimated_rows(self, db: Database) -> float:
+        return self.source.estimated_rows(db)
+
+    def estimated_cost(self, db: Database) -> float:
+        return (
+            self.source.estimated_cost(db)
+            + self.source.estimated_rows(db) * _ROW_COST
+        )
+
+    def input_names(self) -> set[str]:
+        return self.source.input_names()
+
+    def __repr__(self) -> str:
+        return f"Project({self.source!r}, {list(self.columns)})"
+
+
+class Join(Query):
+    """Nested-loop equi-join of two plans on a shared column."""
+
+    def __init__(self, left: Query, right: Query, on: str) -> None:
+        self.left = left
+        self.right = right
+        self.on = on
+
+    def execute(self, db: Database, bindings: Bindings | None = None) -> list[Row]:
+        left_rows = self.left.execute(db, bindings)
+        right_rows = self.right.execute(db, bindings)
+        out: list[Row] = []
+        for lrow in left_rows:
+            if self.on not in lrow:
+                raise QueryError(f"join column {self.on!r} missing on left side")
+            for rrow in right_rows:
+                if self.on not in rrow:
+                    raise QueryError(f"join column {self.on!r} missing on right side")
+                if lrow[self.on] == rrow[self.on]:
+                    merged = dict(rrow)
+                    merged.update(lrow)
+                    out.append(merged)
+        return out
+
+    def estimated_rows(self, db: Database) -> float:
+        lrows = self.left.estimated_rows(db)
+        rrows = self.right.estimated_rows(db)
+        # Standard equi-join heuristic with unknown key statistics:
+        # |L join R| ~ |L| * |R| / max(|L|, |R|) = min(|L|, |R|).
+        return max(1.0, min(lrows, rrows))
+
+    def estimated_cost(self, db: Database) -> float:
+        lrows = self.left.estimated_rows(db)
+        rrows = self.right.estimated_rows(db)
+        return (
+            self.left.estimated_cost(db)
+            + self.right.estimated_cost(db)
+            + lrows * rrows * _JOIN_COST_PER_PAIR
+        )
+
+    def input_names(self) -> set[str]:
+        return self.left.input_names() | self.right.input_names()
+
+    def __repr__(self) -> str:
+        return f"Join({self.left!r}, {self.right!r}, on={self.on!r})"
+
+
+class Aggregate(Query):
+    """Fold all rows into a single summary row.
+
+    Supported functions: ``sum``, ``avg``, ``min``, ``max``, ``count``.
+    The output row has one key, ``f"{fn}_{column}"`` (or ``"count"``).
+    """
+
+    _FUNCTIONS = ("sum", "avg", "min", "max", "count")
+
+    def __init__(self, source: Query, fn: str, column: str | None = None) -> None:
+        if fn not in self._FUNCTIONS:
+            raise QueryError(f"unknown aggregate {fn!r}; use one of {self._FUNCTIONS}")
+        if fn != "count" and column is None:
+            raise QueryError(f"aggregate {fn!r} needs a column")
+        self.source = source
+        self.fn = fn
+        self.column = column
+
+    def execute(self, db: Database, bindings: Bindings | None = None) -> list[Row]:
+        rows = self.source.execute(db, bindings)
+        if self.fn == "count":
+            return [{"count": len(rows)}]
+        values = []
+        for row in rows:
+            if self.column not in row:
+                raise QueryError(f"aggregate column {self.column!r} missing")
+            values.append(row[self.column])
+        key = f"{self.fn}_{self.column}"
+        if not values:
+            return [{key: None}]
+        if self.fn == "sum":
+            return [{key: sum(values)}]
+        if self.fn == "avg":
+            return [{key: sum(values) / len(values)}]
+        if self.fn == "min":
+            return [{key: min(values)}]
+        return [{key: max(values)}]
+
+    def estimated_rows(self, db: Database) -> float:
+        return 1.0
+
+    def estimated_cost(self, db: Database) -> float:
+        return (
+            self.source.estimated_cost(db)
+            + self.source.estimated_rows(db) * _ROW_COST
+        )
+
+    def input_names(self) -> set[str]:
+        return self.source.input_names()
+
+    def __repr__(self) -> str:
+        return f"Aggregate({self.source!r}, fn={self.fn!r}, column={self.column!r})"
+
+
+class Sort(Query):
+    """Sort rows by a column."""
+
+    def __init__(self, source: Query, by: str, descending: bool = False) -> None:
+        self.source = source
+        self.by = by
+        self.descending = descending
+
+    def execute(self, db: Database, bindings: Bindings | None = None) -> list[Row]:
+        rows = self.source.execute(db, bindings)
+        for row in rows:
+            if self.by not in row:
+                raise QueryError(f"sort column {self.by!r} missing")
+        return sorted(rows, key=lambda r: r[self.by], reverse=self.descending)
+
+    def estimated_rows(self, db: Database) -> float:
+        return self.source.estimated_rows(db)
+
+    def estimated_cost(self, db: Database) -> float:
+        rows = self.source.estimated_rows(db)
+        return self.source.estimated_cost(db) + rows * math.log2(rows + 1) * _ROW_COST
+
+    def input_names(self) -> set[str]:
+        return self.source.input_names()
+
+    def __repr__(self) -> str:
+        return f"Sort({self.source!r}, by={self.by!r}, descending={self.descending})"
+
+
+class Limit(Query):
+    """Keep the first ``n`` rows."""
+
+    def __init__(self, source: Query, n: int) -> None:
+        if n < 0:
+            raise QueryError(f"Limit needs n >= 0, got {n}")
+        self.source = source
+        self.n = n
+
+    def execute(self, db: Database, bindings: Bindings | None = None) -> list[Row]:
+        return self.source.execute(db, bindings)[: self.n]
+
+    def estimated_rows(self, db: Database) -> float:
+        return max(1.0, min(float(self.n), self.source.estimated_rows(db)))
+
+    def estimated_cost(self, db: Database) -> float:
+        return self.source.estimated_cost(db)
+
+    def input_names(self) -> set[str]:
+        return self.source.input_names()
+
+    def __repr__(self) -> str:
+        return f"Limit({self.source!r}, {self.n})"

@@ -1,0 +1,93 @@
+"""User sessions: streams of page requests.
+
+A :class:`UserSession` models one user of the portal: a subscription
+tier, a set of pages they visit, and a Poisson think-time process that
+spaces their requests.  Sessions are how the examples and integration
+tests drive realistic multi-user load into the
+:class:`~repro.webdb.frontend.WebDatabase` front end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.webdb.pages import DynamicPage
+from repro.webdb.sla import SLATier
+
+__all__ = ["PageRequest", "UserSession"]
+
+
+@dataclass(frozen=True, slots=True)
+class PageRequest:
+    """One page view: who asked for what, when, under which SLA."""
+
+    user: str
+    page: DynamicPage
+    tier: SLATier
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise QueryError(f"request time must be >= 0, got {self.at}")
+
+
+class UserSession:
+    """A user issuing page requests with exponential think times.
+
+    Parameters
+    ----------
+    user:
+        User name (label only).
+    tier:
+        The user's subscription tier.
+    pages:
+        The pages this user rotates through (uniformly at random).
+    mean_think_time:
+        Mean gap between consecutive requests.
+    """
+
+    def __init__(
+        self,
+        user: str,
+        tier: SLATier,
+        pages: list[DynamicPage],
+        mean_think_time: float = 60.0,
+    ) -> None:
+        if not pages:
+            raise QueryError(f"session for {user!r} needs at least one page")
+        if mean_think_time <= 0:
+            raise QueryError(
+                f"mean_think_time must be > 0, got {mean_think_time}"
+            )
+        self.user = user
+        self.tier = tier
+        self.pages = list(pages)
+        self.mean_think_time = mean_think_time
+
+    def requests(
+        self, rng: random.Random, n: int, start: float = 0.0
+    ) -> list[PageRequest]:
+        """Generate ``n`` page requests starting after ``start``."""
+        if n < 0:
+            raise QueryError(f"cannot generate {n} requests")
+        out = []
+        t = start
+        for _ in range(n):
+            t += rng.expovariate(1.0 / self.mean_think_time)
+            out.append(
+                PageRequest(
+                    user=self.user,
+                    page=rng.choice(self.pages),
+                    tier=self.tier,
+                    at=t,
+                )
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"UserSession({self.user!r}, tier={self.tier.name!r}, "
+            f"pages={[p.name for p in self.pages]})"
+        )

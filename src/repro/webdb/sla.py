@@ -1,0 +1,73 @@
+"""Service-level agreements: deadlines and weights from subscription tiers.
+
+Section II-B: "the assigned deadline is a mapping from the service level
+agreements provided by the dynamic content service provider to the end
+user", and weights "can reflect the subscription level of the user, for
+example: gold, silver, or bronze".
+
+A tier turns a fragment's estimated cost into a soft deadline using the
+same shape as the synthetic workloads, :math:`d = a + l + k \\cdot l`,
+with the tier's slack factor :math:`k` (premium users buy tighter
+deadlines) scaled further by the fragment's own urgency multiplier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+__all__ = ["SLATier", "SLA_TIERS", "GOLD", "SILVER", "BRONZE"]
+
+
+@dataclass(frozen=True, slots=True)
+class SLATier:
+    """One subscription tier.
+
+    Attributes
+    ----------
+    name:
+        Tier name ("gold", ...).
+    slack_factor:
+        The :math:`k` of :math:`d = a + l + k l`; smaller = stricter SLA.
+    weight:
+        Base transaction weight for this tier's requests.
+    """
+
+    name: str
+    slack_factor: float
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.slack_factor < 0:
+            raise QueryError(f"slack_factor must be >= 0, got {self.slack_factor}")
+        if self.weight <= 0:
+            raise QueryError(f"weight must be > 0, got {self.weight}")
+
+    def deadline_for(
+        self, arrival: float, length: float, urgency: float = 1.0
+    ) -> float:
+        """Soft deadline for a fragment of estimated cost ``length``.
+
+        ``urgency`` < 1 tightens the slack (the alerts fragment of the
+        paper's scenario); ``urgency`` > 1 loosens it.
+        """
+        if length <= 0:
+            raise QueryError(f"length must be > 0, got {length}")
+        if urgency <= 0:
+            raise QueryError(f"urgency must be > 0, got {urgency}")
+        return arrival + length + self.slack_factor * urgency * length
+
+    def weight_for(self, weight_boost: float = 0.0) -> float:
+        """Transaction weight: tier base plus the fragment's boost."""
+        if weight_boost < 0:
+            raise QueryError(f"weight_boost must be >= 0, got {weight_boost}")
+        return self.weight + weight_boost
+
+
+GOLD = SLATier("gold", slack_factor=1.0, weight=8.0)
+SILVER = SLATier("silver", slack_factor=2.0, weight=4.0)
+BRONZE = SLATier("bronze", slack_factor=3.0, weight=1.0)
+
+#: The default tier ladder, by name.
+SLA_TIERS: dict[str, SLATier] = {t.name: t for t in (GOLD, SILVER, BRONZE)}

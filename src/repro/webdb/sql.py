@@ -1,0 +1,244 @@
+"""A small SQL dialect for the web-database substrate.
+
+Fragment queries can be written as plans (:mod:`repro.webdb.query`) or —
+more naturally for a web-database — as SQL text compiled by this module:
+
+.. code-block:: sql
+
+    SELECT symbol, price FROM stocks WHERE price > 100 ORDER BY price DESC LIMIT 10
+    SELECT SUM(price) FROM FRAGMENT portfolio
+    SELECT * FROM positions JOIN stocks USING symbol WHERE user = 'alice'
+
+Supported grammar (case-insensitive keywords)::
+
+    query     := SELECT select FROM source [join] [where] [order] [limit]
+    select    := '*' | column (',' column)* | agg '(' (column | '*') ')'
+    agg       := SUM | AVG | MIN | MAX | COUNT
+    source    := table_name | FRAGMENT fragment_name
+    join      := JOIN source USING column
+    where     := WHERE predicate (AND predicate)*
+    predicate := column op literal
+    op        := '=' | '!=' | '<' | '<=' | '>' | '>='
+    order     := ORDER BY column [ASC | DESC]
+    limit     := LIMIT integer
+
+Literals are integers, floats, or single-quoted strings.  ``FRAGMENT x``
+reads another fragment's output (an :class:`~repro.webdb.query.Input`
+node), which is how SQL-defined fragments declare dependencies.
+
+The compiler produces exactly the plan a hand-written query would, so
+cost estimation, caching and scheduling are unaffected by which front
+door was used.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.errors import QueryError
+from repro.webdb.predicates import ColumnPredicate, Conjunction
+from repro.webdb.query import (
+    Aggregate,
+    Filter,
+    Input,
+    Join,
+    Limit,
+    Project,
+    Query,
+    Scan,
+    Sort,
+)
+
+__all__ = ["parse_sql"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '([^']*)'              # quoted string
+      | [A-Za-z_][A-Za-z0-9_]* # identifier / keyword
+      | \d+\.\d+               # float
+      | \d+                    # integer
+      | <= | >= | != | [=<>(),*]
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "order", "by", "asc", "desc",
+    "limit", "join", "using", "fragment",
+    "sum", "avg", "min", "max", "count",
+}
+
+_AGGREGATES = {"sum", "avg", "min", "max", "count"}
+
+_OPERATOR_TOKENS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise QueryError(f"cannot tokenize SQL near {remainder[:20]!r}")
+        token = match.group(1)
+        tokens.append(token)
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token utilities -------------------------------------------------
+    def _peek(self) -> str | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _peek_keyword(self) -> str | None:
+        token = self._peek()
+        if token is not None and token.lower() in _KEYWORDS:
+            return token.lower()
+        return None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise QueryError("unexpected end of SQL input")
+        self._pos += 1
+        return token
+
+    def _expect(self, keyword: str) -> None:
+        token = self._next()
+        if token.lower() != keyword:
+            raise QueryError(f"expected {keyword.upper()!r}, found {token!r}")
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+            raise QueryError(f"expected identifier, found {token!r}")
+        if token.lower() in _KEYWORDS:
+            raise QueryError(f"keyword {token!r} cannot be used as a name")
+        return token
+
+    def _literal(self) -> object:
+        token = self._next()
+        if token.startswith("'"):
+            return token[1:-1]
+        if re.fullmatch(r"\d+\.\d+", token):
+            return float(token)
+        if re.fullmatch(r"\d+", token):
+            return int(token)
+        raise QueryError(f"expected literal, found {token!r}")
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> Query:
+        self._expect("select")
+        columns, aggregate = self._select_list()
+        self._expect("from")
+        plan = self._source()
+        if self._peek_keyword() == "join":
+            self._next()
+            right = self._source()
+            self._expect("using")
+            plan = Join(plan, right, on=self._identifier())
+        if self._peek_keyword() == "where":
+            self._next()
+            plan = Filter(plan, self._predicates())
+        if aggregate is not None:
+            fn, column = aggregate
+            plan = Aggregate(plan, fn, column)
+        elif columns is not None:
+            plan = Project(plan, columns)
+        if self._peek_keyword() == "order":
+            self._next()
+            self._expect("by")
+            column = self._identifier()
+            descending = False
+            if self._peek_keyword() in ("asc", "desc"):
+                descending = self._next().lower() == "desc"
+            plan = Sort(plan, by=column, descending=descending)
+        if self._peek_keyword() == "limit":
+            self._next()
+            count = self._literal()
+            if not isinstance(count, int):
+                raise QueryError(f"LIMIT needs an integer, found {count!r}")
+            plan = Limit(plan, count)
+        if self._peek() is not None:
+            raise QueryError(f"unexpected trailing SQL: {self._peek()!r}")
+        return plan
+
+    def _select_list(self) -> tuple[list[str] | None, tuple[str, str | None] | None]:
+        """Return (projection columns, aggregate) — exactly one is set."""
+        token = self._peek()
+        if token == "*":
+            self._next()
+            return None, None
+        if token is not None and token.lower() in _AGGREGATES:
+            fn = self._next().lower()
+            self._expect("(")
+            if self._peek() == "*":
+                if fn != "count":
+                    raise QueryError(f"{fn.upper()}(*) is not supported")
+                self._next()
+                column = None
+            else:
+                column = self._identifier()
+                if fn == "count":
+                    column = None  # COUNT(col) counts rows like COUNT(*)
+            self._expect(")")
+            return None, (fn, column)
+        columns = [self._identifier()]
+        while self._peek() == ",":
+            self._next()
+            columns.append(self._identifier())
+        return columns, None
+
+    def _source(self) -> Query:
+        if self._peek_keyword() == "fragment":
+            self._next()
+            return Input(self._identifier())
+        return Scan(self._identifier())
+
+    def _predicates(self) -> Callable[[dict], bool]:
+        clauses = [self._predicate()]
+        while self._peek_keyword() == "and":
+            self._next()
+            clauses.append(self._predicate())
+        if len(clauses) == 1:
+            return clauses[0]
+        return Conjunction(clauses)
+
+    def _predicate(self) -> ColumnPredicate:
+        column = self._identifier()
+        op_token = self._next()
+        if op_token not in _OPERATOR_TOKENS:
+            raise QueryError(f"unknown operator {op_token!r}")
+        value = self._literal()
+        return ColumnPredicate(column, op_token, value)
+
+
+def parse_sql(text: str) -> Query:
+    """Compile one SQL statement into a query plan.
+
+    Examples
+    --------
+    >>> plan = parse_sql("SELECT symbol FROM stocks WHERE price > 10 LIMIT 3")
+    >>> type(plan).__name__
+    'Limit'
+    >>> parse_sql("SELECT COUNT(*) FROM FRAGMENT portfolio").input_names()
+    {'portfolio'}
+    """
+    if not text or not text.strip():
+        raise QueryError("empty SQL statement")
+    return _Parser(_tokenize(text)).parse()

@@ -1,0 +1,45 @@
+"""Synthetic workload generation (Section IV-A, Table I).
+
+The paper's workloads consist of 1000 transactions whose
+
+* lengths follow a Zipf(:math:`\\alpha`) distribution over [1, 50],
+  skewed toward short transactions (default :math:`\\alpha = 0.5`);
+* arrival times follow a Poisson process with rate
+  ``utilization / average transaction length``;
+* deadlines are :math:`d_i = a_i + l_i + k_i l_i` with a slack factor
+  :math:`k_i \\sim U[0, k_{max}]` (default :math:`k_{max} = 3`);
+* weights are uniform integers in [1, 10] (unit weights in the
+  unweighted experiments);
+* workflows are random chains with length :math:`\\sim U\\{1..L_{max}\\}`
+  where a transaction belongs to up to :math:`W_{max}` chains.
+
+Entry point::
+
+    from repro.workload import WorkloadSpec, generate
+    workload = generate(WorkloadSpec(utilization=0.6), seed=1)
+"""
+
+from repro.workload.spec import WorkloadSpec
+from repro.workload.zipf import ZipfSampler
+from repro.workload.arrivals import poisson_arrivals
+from repro.workload.deadlines import assign_deadlines
+from repro.workload.weights import sample_weights
+from repro.workload.workflows import ChainPlan, plan_chains
+from repro.workload.generator import Workload, generate
+from repro.workload.estimates import sample_estimates
+from repro.workload.io import load_workload, save_workload
+
+__all__ = [
+    "WorkloadSpec",
+    "ZipfSampler",
+    "poisson_arrivals",
+    "assign_deadlines",
+    "sample_weights",
+    "ChainPlan",
+    "plan_chains",
+    "Workload",
+    "generate",
+    "sample_estimates",
+    "save_workload",
+    "load_workload",
+]

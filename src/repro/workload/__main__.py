@@ -1,0 +1,5 @@
+"""Allow ``python -m repro.workload <command>``."""
+
+from repro.workload.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Poisson arrival process.
+
+Arrival times are the cumulative sums of i.i.d. exponential inter-arrival
+gaps with rate ``utilization / mean_length`` (Section IV-A): at rate
+:math:`\\lambda` and mean length :math:`E[l]` the long-run demand is
+:math:`\\lambda E[l]` server-seconds per second — exactly the target
+utilization.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+
+__all__ = ["poisson_arrivals", "arrival_rate"]
+
+
+def arrival_rate(utilization: float, mean_length: float) -> float:
+    """The paper's arrival-rate formula: ``utilization / mean_length``."""
+    if utilization <= 0:
+        raise WorkloadError(f"utilization must be > 0, got {utilization}")
+    if mean_length <= 0:
+        raise WorkloadError(f"mean_length must be > 0, got {mean_length}")
+    return utilization / mean_length
+
+
+def poisson_arrivals(
+    rng: random.Random, n: int, rate: float, start: float = 0.0
+) -> list[float]:
+    """Return ``n`` arrival times of a Poisson process with ``rate``.
+
+    The first transaction arrives after one exponential gap from
+    ``start``, so arrival times are strictly increasing almost surely.
+    """
+    if n < 0:
+        raise WorkloadError(f"cannot generate {n} arrivals")
+    if rate <= 0:
+        raise WorkloadError(f"rate must be > 0, got {rate}")
+    times = []
+    t = start
+    for _ in range(n):
+        t += rng.expovariate(rate)
+        times.append(t)
+    return times

@@ -1,0 +1,55 @@
+"""Length-estimate noise.
+
+Section II-A: "The length of the transaction :math:`r_i` is typically
+computed by the system based on previous statistics and profiles of
+transaction execution" — i.e. a real scheduler works with *estimates*.
+This module injects controlled multiplicative error into the length
+estimates that the length-aware policies (SRPT, HDF, ASETS, ASETS*)
+consume, leaving the true lengths — and therefore the deadlines and the
+offered load — untouched, so robustness sweeps are paired comparisons on
+identical workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import WorkloadError
+
+__all__ = ["sample_estimates"]
+
+
+def sample_estimates(
+    rng: random.Random,
+    lengths: Sequence[float],
+    relative_error: float,
+) -> list[float]:
+    """Noisy estimates: :math:`\\hat{l} = l (1 + U[-e, e])`, floored.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness.
+    lengths:
+        True transaction lengths.
+    relative_error:
+        Maximum relative error :math:`e \\ge 0`.  0 returns the true
+        lengths; 1 allows estimates from (almost) 0 to twice the truth.
+
+    The floor keeps estimates strictly positive (an estimate of 0 would
+    give infinite density); the minimum is a small fraction of the true
+    length so that heavily under-estimated transactions still look
+    "almost done" to SRPT-style policies — the realistic failure mode.
+    """
+    if relative_error < 0:
+        raise WorkloadError(
+            f"relative_error must be >= 0, got {relative_error}"
+        )
+    if relative_error == 0:
+        return [float(l) for l in lengths]
+    estimates = []
+    for length in lengths:
+        noise = rng.uniform(-relative_error, relative_error)
+        estimates.append(max(0.05 * length, length * (1.0 + noise)))
+    return estimates

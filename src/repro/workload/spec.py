@@ -1,0 +1,111 @@
+"""Workload specification: every knob of Table I in one frozen dataclass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import WorkloadError
+
+__all__ = ["WorkloadSpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Parameters of one synthetic workload (Table I).
+
+    Attributes
+    ----------
+    n_transactions:
+        Number of transactions per run (paper: 1000).
+    utilization:
+        Target system utilization; sets the Poisson arrival rate to
+        ``utilization / mean_length`` (paper sweeps 0.1 ... 1.0).
+    zipf_alpha:
+        Skew of the Zipf length distribution (paper default 0.5).
+    length_min / length_max:
+        Support of the length distribution (paper: [1, 50] time units).
+    k_max:
+        Upper bound of the uniform slack factor :math:`k_i` (paper
+        default 3.0; Figures 11-13 use 1, 2 and 4).
+    weighted:
+        When True, weights are uniform integers in
+        [``weight_min``, ``weight_max``]; otherwise every weight is 1.
+    weight_min / weight_max:
+        Support of the weight distribution (paper: [1, 10]).
+    with_workflows:
+        When True, transactions are linked into random dependency chains.
+    max_workflow_length:
+        Upper bound :math:`L_{max}` of the chain length (paper varies 3-10;
+        Figure 14 uses 5).
+    max_workflows_per_txn:
+        Upper bound :math:`W_{max}` on how many chains one transaction may
+        join (paper varies 1-10; Figure 14 uses 1).
+    use_empirical_mean:
+        When True, the arrival rate uses the mean of the actually sampled
+        lengths instead of the analytical Zipf mean, pinning the realised
+        utilization to the target exactly.
+    length_estimate_error:
+        Maximum relative error of the scheduler's length estimates
+        (Section II-A assumes profile-based estimates).  0 (default)
+        gives perfect estimates; ``e`` draws each estimate uniformly from
+        :math:`l (1 \\pm e)`.  True lengths, deadlines and offered load
+        are unaffected — only what SRPT/HDF/ASETS believe.
+    """
+
+    n_transactions: int = 1000
+    utilization: float = 0.5
+    zipf_alpha: float = 0.5
+    length_min: int = 1
+    length_max: int = 50
+    k_max: float = 3.0
+    weighted: bool = False
+    weight_min: int = 1
+    weight_max: int = 10
+    with_workflows: bool = False
+    max_workflow_length: int = 5
+    max_workflows_per_txn: int = 1
+    use_empirical_mean: bool = False
+    length_estimate_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_transactions < 1:
+            raise WorkloadError("n_transactions must be >= 1")
+        if not 0 < self.utilization:
+            raise WorkloadError(
+                f"utilization must be > 0, got {self.utilization}"
+            )
+        if self.zipf_alpha < 0:
+            raise WorkloadError(f"zipf_alpha must be >= 0, got {self.zipf_alpha}")
+        if not 1 <= self.length_min <= self.length_max:
+            raise WorkloadError(
+                f"need 1 <= length_min <= length_max, got "
+                f"[{self.length_min}, {self.length_max}]"
+            )
+        if self.k_max < 0:
+            raise WorkloadError(f"k_max must be >= 0, got {self.k_max}")
+        if not 1 <= self.weight_min <= self.weight_max:
+            raise WorkloadError(
+                f"need 1 <= weight_min <= weight_max, got "
+                f"[{self.weight_min}, {self.weight_max}]"
+            )
+        if self.max_workflow_length < 1:
+            raise WorkloadError("max_workflow_length must be >= 1")
+        if self.max_workflows_per_txn < 1:
+            raise WorkloadError("max_workflows_per_txn must be >= 1")
+        if self.length_estimate_error < 0:
+            raise WorkloadError(
+                f"length_estimate_error must be >= 0, "
+                f"got {self.length_estimate_error}"
+            )
+
+    def with_utilization(self, utilization: float) -> "WorkloadSpec":
+        """Copy of this spec at a different utilization (sweep helper)."""
+        return replace(self, utilization=utilization)
+
+    def with_k_max(self, k_max: float) -> "WorkloadSpec":
+        """Copy of this spec with a different slack-factor bound."""
+        return replace(self, k_max=k_max)
+
+    def with_alpha(self, zipf_alpha: float) -> "WorkloadSpec":
+        """Copy of this spec with a different length-distribution skew."""
+        return replace(self, zipf_alpha=zipf_alpha)

@@ -1,0 +1,146 @@
+"""Workload diagnostics.
+
+Summaries of a generated (or loaded) workload that the paper's narrative
+leans on but never quantifies, most importantly the **conflict rate**:
+the fraction of dependent transactions whose deadline precedes the
+deadline of something they must wait for.  Those conflicts are exactly
+why EDF is not optimal under precedence constraints (§II-B's stock-alert
+example, [13]'s consistency condition) and why ASETS*'s representative
+boosting has something to exploit — a workload with zero conflicts gives
+workflow-level scheduling no edge over the Ready baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workload.generator import Workload
+
+__all__ = ["WorkloadStats", "summarize"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadStats:
+    """Aggregate facts about one workload."""
+
+    n_transactions: int
+    n_dependent: int
+    n_workflows: int
+    mean_length: float
+    max_chain_depth: int
+    #: Dependent transactions whose deadline precedes some (transitive)
+    #: predecessor's deadline — the paper's deadline/precedence conflicts.
+    n_conflicted: int
+    #: Dependent transactions that cannot possibly meet their deadline
+    #: because the work of their dependency closure exceeds their slack.
+    n_structurally_tardy: int
+
+    @property
+    def dependent_ratio(self) -> float:
+        return self.n_dependent / self.n_transactions
+
+    @property
+    def conflict_rate(self) -> float:
+        """Conflicted dependents as a fraction of all dependents."""
+        if self.n_dependent == 0:
+            return 0.0
+        return self.n_conflicted / self.n_dependent
+
+    @property
+    def structural_tardiness_rate(self) -> float:
+        if self.n_dependent == 0:
+            return 0.0
+        return self.n_structurally_tardy / self.n_dependent
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        """Key/value rows for tabular display."""
+        return [
+            ("transactions", float(self.n_transactions)),
+            ("dependent transactions", float(self.n_dependent)),
+            ("workflows", float(self.n_workflows)),
+            ("mean length", self.mean_length),
+            ("max chain depth", float(self.max_chain_depth)),
+            ("deadline/precedence conflicts", float(self.n_conflicted)),
+            ("conflict rate among dependents", self.conflict_rate),
+            ("structurally tardy dependents", float(self.n_structurally_tardy)),
+        ]
+
+
+def summarize(workload: Workload) -> WorkloadStats:
+    """Compute :class:`WorkloadStats` for ``workload``.
+
+    Walks each transaction's dependency closure once (memoised), so the
+    cost is linear in the total closure size.
+    """
+    txns = {t.txn_id: t for t in workload.transactions}
+    if not txns:
+        raise WorkloadError("cannot summarize an empty workload")
+
+    # Memoised per-transaction closure facts: (depth, min predecessor
+    # deadline, total closure work excluding self).
+    depth: dict[int, int] = {}
+    earliest_pred_deadline: dict[int, float] = {}
+    closure_work: dict[int, float] = {}
+
+    def visit(tid: int) -> None:
+        if tid in depth:
+            return
+        txn = txns[tid]
+        if not txn.depends_on:
+            depth[tid] = 1
+            earliest_pred_deadline[tid] = float("inf")
+            closure_work[tid] = 0.0
+            return
+        best_deadline = float("inf")
+        max_depth = 0
+        work = 0.0
+        seen: set[int] = set()
+        stack = list(txn.depends_on)
+        while stack:
+            pred_id = stack.pop()
+            if pred_id in seen:
+                continue
+            seen.add(pred_id)
+            pred = txns[pred_id]
+            best_deadline = min(best_deadline, pred.deadline)
+            work += pred.length
+            stack.extend(pred.depends_on)
+        for pred_id in txn.depends_on:
+            visit(pred_id)
+            max_depth = max(max_depth, depth[pred_id])
+        depth[tid] = max_depth + 1
+        earliest_pred_deadline[tid] = best_deadline
+        closure_work[tid] = work
+
+    for tid in sorted(txns):
+        visit(tid)
+
+    n_dependent = sum(1 for t in txns.values() if t.depends_on)
+    n_conflicted = sum(
+        1
+        for t in txns.values()
+        if t.depends_on and t.deadline < earliest_pred_deadline[t.txn_id]
+    )
+    # Structurally tardy: even starting the closure at the dependent's own
+    # arrival and running it back to back, the deadline cannot be met.
+    # (Predecessors may have run earlier, so this is an upper bound on the
+    # workload's *inherent* tardiness pressure, not a guarantee.)
+    n_structural = sum(
+        1
+        for t in txns.values()
+        if t.depends_on
+        and t.arrival + closure_work[t.txn_id] + t.length > t.deadline
+    )
+    n_workflows = (
+        len(workload.workflow_set) if workload.workflow_set is not None else 0
+    )
+    return WorkloadStats(
+        n_transactions=len(txns),
+        n_dependent=n_dependent,
+        n_workflows=n_workflows,
+        mean_length=sum(t.length for t in txns.values()) / len(txns),
+        max_chain_depth=max(depth.values()),
+        n_conflicted=n_conflicted,
+        n_structurally_tardy=n_structural,
+    )

@@ -1,0 +1,35 @@
+"""Weight assignment.
+
+In the weighted experiments (Sections IV-E and IV-F) every transaction
+gets a weight drawn uniformly from the integers [1, 10]; in the
+unweighted experiments all weights are 1, under which HDF reduces to SRPT
+and weighted tardiness reduces to plain tardiness.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+
+__all__ = ["sample_weights"]
+
+
+def sample_weights(
+    rng: random.Random,
+    n: int,
+    weight_min: int = 1,
+    weight_max: int = 10,
+    weighted: bool = True,
+) -> list[float]:
+    """Return ``n`` weights; all ones when ``weighted`` is False."""
+    if n < 0:
+        raise WorkloadError(f"cannot sample {n} weights")
+    if not 1 <= weight_min <= weight_max:
+        raise WorkloadError(
+            f"need 1 <= weight_min <= weight_max, got "
+            f"[{weight_min}, {weight_max}]"
+        )
+    if not weighted:
+        return [1.0] * n
+    return [float(rng.randint(weight_min, weight_max)) for _ in range(n)]

@@ -1,0 +1,143 @@
+"""Tests for the exact batch-optimum DP."""
+
+import itertools
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.optimal import (
+    optimal_order,
+    optimal_total_weighted_tardiness,
+    policy_gap,
+)
+from repro.core.transaction import Transaction
+from repro.errors import SimulationError
+from repro.policies import ASETS, EDF, HDF, SRPT
+
+
+def batch(specs, arrival=0.0):
+    return [
+        Transaction(i + 1, arrival=arrival, length=l, deadline=arrival + d,
+                    weight=w)
+        for i, (l, d, w) in enumerate(specs)
+    ]
+
+
+def brute_force(txns):
+    best = float("inf")
+    for perm in itertools.permutations(txns):
+        t = perm[0].arrival
+        total = 0.0
+        for txn in perm:
+            t += txn.length
+            total += txn.weight * max(0.0, t - txn.deadline)
+        best = min(best, total)
+    return best
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            optimal_total_weighted_tardiness([])
+
+    def test_mixed_arrivals_rejected(self):
+        txns = [
+            Transaction(1, arrival=0.0, length=1.0, deadline=5.0),
+            Transaction(2, arrival=1.0, length=1.0, deadline=5.0),
+        ]
+        with pytest.raises(SimulationError, match="batch"):
+            optimal_total_weighted_tardiness(txns)
+
+    def test_size_cap(self):
+        txns = [
+            Transaction(i, arrival=0.0, length=1.0, deadline=5.0)
+            for i in range(23)
+        ]
+        with pytest.raises(SimulationError, match="at most"):
+            optimal_total_weighted_tardiness(txns)
+
+
+class TestExactness:
+    def test_feasible_batch_has_zero_optimum(self):
+        txns = batch([(1.0, 10.0, 1.0), (2.0, 10.0, 1.0), (3.0, 10.0, 1.0)])
+        assert optimal_total_weighted_tardiness(txns) == 0.0
+
+    def test_hand_computed_instance(self):
+        # Two hopeless transactions (d=0): optimal = min over orders of
+        # w1*C1 + w2*C2; Smith's rule puts the denser first.
+        txns = batch([(2.0, 0.0, 3.0), (4.0, 0.0, 1.0)])
+        # dense-first: 3*2 + 1*6 = 12; other: 1*4 + 3*6 = 22.
+        assert optimal_total_weighted_tardiness(txns) == pytest.approx(12.0)
+
+    def test_nonzero_arrival_offset(self):
+        txns = batch([(2.0, 1.0, 1.0)], arrival=10.0)
+        # finishes at 12, deadline 11 -> tardiness 1.
+        assert optimal_total_weighted_tardiness(txns) == pytest.approx(1.0)
+
+    @given(
+        specs=st.lists(
+            st.tuples(
+                st.floats(min_value=0.5, max_value=9.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+                st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, specs):
+        txns = batch([(l, max(d, 0.0), w) for l, d, w in specs])
+        assert optimal_total_weighted_tardiness(txns) == pytest.approx(
+            brute_force(txns)
+        )
+
+    def test_optimal_order_achieves_optimum(self):
+        rng = random.Random(5)
+        txns = batch(
+            [
+                (rng.uniform(1, 8), rng.uniform(0, 15), rng.uniform(1, 5))
+                for _ in range(8)
+            ]
+        )
+        order = optimal_order(txns)
+        assert sorted(order) == sorted(t.txn_id for t in txns)
+        by_id = {t.txn_id: t for t in txns}
+        t = 0.0
+        total = 0.0
+        for tid in order:
+            txn = by_id[tid]
+            t += txn.length
+            total += txn.weight * max(0.0, t - txn.deadline)
+        assert total == pytest.approx(optimal_total_weighted_tardiness(txns))
+
+
+class TestPolicyGap:
+    def test_policies_never_beat_optimum(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            txns = batch(
+                [
+                    (rng.uniform(1, 8), rng.uniform(0, 12), rng.uniform(1, 5))
+                    for _ in range(7)
+                ]
+            )
+            for policy in (EDF(), SRPT(), HDF(), ASETS(weighted=True)):
+                assert policy_gap(txns, policy) >= 1.0 - 1e-9
+
+    def test_hdf_optimal_when_all_hopeless(self):
+        txns = batch([(2.0, 0.0, 3.0), (4.0, 0.0, 1.0), (1.0, 0.0, 5.0)])
+        assert policy_gap(txns, HDF()) == pytest.approx(1.0)
+
+    def test_edf_optimal_when_feasible(self):
+        txns = batch([(1.0, 20.0, 1.0), (2.0, 10.0, 1.0), (3.0, 30.0, 1.0)])
+        assert policy_gap(txns, EDF()) == pytest.approx(1.0)
+
+    def test_infeasible_policy_on_clearable_instance(self):
+        # SRPT can be tardy where the optimum is 0: short-lax before
+        # long-urgent.
+        txns = batch([(4.0, 4.0, 1.0), (1.0, 6.0, 1.0)])
+        assert policy_gap(txns, EDF()) == 1.0
+        assert policy_gap(txns, SRPT()) == float("inf")

@@ -1,0 +1,56 @@
+"""Shared test fixtures and factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transaction import Transaction
+
+
+def make_txn(
+    txn_id: int = 1,
+    arrival: float = 0.0,
+    length: float = 5.0,
+    deadline: float | None = None,
+    weight: float = 1.0,
+    depends_on=(),
+) -> Transaction:
+    """A transaction with convenient defaults (deadline = arrival + 2*length)."""
+    if deadline is None:
+        deadline = arrival + 2 * length
+    return Transaction(
+        txn_id=txn_id,
+        arrival=arrival,
+        length=length,
+        deadline=deadline,
+        weight=weight,
+        depends_on=depends_on,
+    )
+
+
+@pytest.fixture
+def txn() -> Transaction:
+    return make_txn()
+
+
+def chain(*specs, start_id: int = 1) -> list[Transaction]:
+    """Build a dependency chain from (arrival, length, deadline[, weight]) tuples.
+
+    Transaction ``i+1`` depends on transaction ``i``.
+    """
+    txns: list[Transaction] = []
+    for offset, spec in enumerate(specs):
+        arrival, length, deadline = spec[:3]
+        weight = spec[3] if len(spec) > 3 else 1.0
+        deps = [start_id + offset - 1] if offset else []
+        txns.append(
+            Transaction(
+                txn_id=start_id + offset,
+                arrival=arrival,
+                length=length,
+                deadline=deadline,
+                weight=weight,
+                depends_on=deps,
+            )
+        )
+    return txns

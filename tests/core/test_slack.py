@@ -1,0 +1,25 @@
+"""Unit tests for the free-function slack helpers."""
+
+from repro.core.slack import is_past_deadline, latest_start_time, slack
+from repro.core.workflow import RepresentativeView
+from tests.conftest import make_txn
+
+
+def test_slack_matches_method():
+    t = make_txn(length=3.0, deadline=10.0)
+    assert slack(t, at=2.0) == t.slack(2.0) == 5.0
+
+
+def test_helpers_work_on_representative_views():
+    rep = RepresentativeView(deadline=10, remaining=4, weight=1)
+    assert slack(rep, at=0) == 6
+    assert latest_start_time(rep) == 6
+    assert not is_past_deadline(rep, at=6)
+    assert is_past_deadline(rep, at=6.1)
+
+
+def test_boundary_inclusion():
+    # EDF-List membership is inclusive at t + r == d (Definition 6).
+    t = make_txn(length=5.0, deadline=5.0, arrival=0.0)
+    assert not is_past_deadline(t, at=0.0)
+    assert slack(t, at=0.0) == 0.0

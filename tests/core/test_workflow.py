@@ -1,0 +1,157 @@
+"""Unit tests for Workflow: topology, head and representative."""
+
+import pytest
+
+from repro.core.transaction import Transaction
+from repro.core.workflow import RepresentativeView, Workflow
+from repro.errors import InvalidWorkflowError
+from tests.conftest import chain, make_txn
+
+
+def wf_of(txns, root=None):
+    members = {t.txn_id: t for t in txns}
+    root_id = root if root is not None else txns[-1].txn_id
+    return Workflow(0, root_id, members)
+
+
+class TestConstruction:
+    def test_root_must_be_member(self):
+        t = make_txn(1)
+        with pytest.raises(InvalidWorkflowError):
+            Workflow(0, 99, {1: t})
+
+    def test_external_dependency_rejected(self):
+        t = Transaction(2, arrival=0, length=1, deadline=2, depends_on=[1])
+        with pytest.raises(InvalidWorkflowError):
+            Workflow(0, 2, {2: t})
+
+    def test_cycle_detected(self):
+        a = Transaction(1, arrival=0, length=1, deadline=2, depends_on=[2])
+        b = Transaction(2, arrival=0, length=1, deadline=2, depends_on=[1])
+        with pytest.raises(InvalidWorkflowError):
+            Workflow(0, 1, {1: a, 2: b})
+
+    def test_topological_order_of_chain(self):
+        txns = chain((0, 2, 9), (0, 1, 5), (0, 3, 20))
+        wf = wf_of(txns)
+        assert wf.member_ids == (1, 2, 3)
+
+    def test_topological_order_of_diamond(self):
+        t1 = Transaction(1, arrival=0, length=1, deadline=9)
+        t2 = Transaction(2, arrival=0, length=1, deadline=9, depends_on=[1])
+        t3 = Transaction(3, arrival=0, length=1, deadline=9, depends_on=[1])
+        t4 = Transaction(4, arrival=0, length=1, deadline=9, depends_on=[2, 3])
+        wf = wf_of([t1, t2, t3, t4], root=4)
+        assert wf.member_ids == (1, 2, 3, 4)
+
+    def test_contains_and_len(self):
+        txns = chain((0, 2, 9), (0, 1, 5))
+        wf = wf_of(txns)
+        assert 1 in wf and 2 in wf and 3 not in wf
+        assert len(wf) == 2
+
+
+class TestHeadAndRepresentative:
+    def test_nothing_pending_before_arrival(self):
+        # Members still CREATED are invisible to the scheduler.
+        txns = chain((0, 2, 9), (0, 1, 5))
+        wf = wf_of(txns)
+        assert wf.representative() is None
+        assert wf.head() is None
+
+    def test_representative_aggregates_pending(self):
+        # Definition 9: min deadline, min remaining, max weight.
+        txns = chain((0, 2, 9, 3.0), (0, 1, 5, 7.0))
+        txns[0].mark_ready()
+        txns[1].mark_waiting()
+        wf = wf_of(txns)
+        rep = wf.representative()
+        assert rep == RepresentativeView(deadline=5, remaining=1, weight=7.0)
+
+    def test_head_is_ready_member(self):
+        txns = chain((0, 2, 9), (0, 1, 5))
+        txns[0].mark_ready()
+        txns[1].mark_waiting()
+        wf = wf_of(txns)
+        assert wf.head() is txns[0]
+
+    def test_head_none_when_runnable_member_not_arrived(self):
+        txns = chain((0, 2, 9), (0, 1, 5))
+        txns[1].mark_waiting()  # dependent arrived, leaf did not
+        wf = wf_of(txns)
+        assert wf.head() is None
+        assert wf.representative() is not None  # dependent is pending
+
+    def test_head_advances_after_completion(self):
+        txns = chain((0, 2, 9), (0, 1, 5))
+        txns[0].mark_ready()
+        txns[1].mark_waiting()
+        wf = wf_of(txns)
+        assert wf.head() is txns[0]
+        txns[0].mark_running(0.0)
+        txns[0].charge(2.0)
+        txns[0].mark_completed(2.0)
+        txns[1].mark_ready()
+        wf.invalidate()
+        assert wf.head() is txns[1]
+        rep = wf.representative()
+        assert rep.deadline == 5 and rep.remaining == 1
+
+    def test_completed_workflow_has_no_head(self):
+        txns = chain((0, 2, 9))
+        txns[0].mark_ready()
+        txns[0].mark_running(0.0)
+        txns[0].charge(2.0)
+        txns[0].mark_completed(2.0)
+        wf = wf_of(txns)
+        assert wf.head() is None
+        assert wf.representative() is None
+        assert wf.is_completed
+
+    def test_dag_head_prefers_earliest_deadline(self):
+        t1 = Transaction(1, arrival=0, length=1, deadline=9)
+        t2 = Transaction(2, arrival=0, length=1, deadline=4)
+        t3 = Transaction(3, arrival=0, length=1, deadline=20, depends_on=[1, 2])
+        for t in (t1, t2):
+            t.mark_ready()
+        t3.mark_waiting()
+        wf = wf_of([t1, t2, t3], root=3)
+        assert wf.head() is t2
+
+    def test_running_member_counts_as_head(self):
+        txns = chain((0, 2, 9))
+        txns[0].mark_ready()
+        txns[0].mark_running(0.0)
+        wf = wf_of(txns)
+        assert wf.head() is txns[0]
+
+    def test_cache_requires_invalidation(self):
+        # Stale by design: the WorkflowSet invalidates on state changes.
+        txns = chain((0, 2, 9), (0, 1, 5))
+        txns[0].mark_ready()
+        txns[1].mark_waiting()
+        wf = wf_of(txns)
+        _ = wf.head()
+        txns[0].mark_running(0.0)
+        txns[0].charge(2.0)
+        txns[0].mark_completed(2.0)
+        txns[1].mark_ready()
+        assert wf.head() is txns[0]  # cached value, not yet invalidated
+        wf.invalidate()
+        assert wf.head() is txns[1]
+
+
+class TestRepresentativeView:
+    def test_slack_and_feasibility(self):
+        rep = RepresentativeView(deadline=10, remaining=3, weight=2)
+        assert rep.slack(at=4) == 3
+        assert not rep.is_past_deadline(at=7)
+        assert rep.is_past_deadline(at=7.5)
+
+    def test_equality_and_hash(self):
+        a = RepresentativeView(1, 2, 3)
+        b = RepresentativeView(1, 2, 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != RepresentativeView(1, 2, 4)
+        assert a.__eq__(object()) is NotImplemented

@@ -1,0 +1,92 @@
+"""Unit tests for WorkflowSet: roots, closures, indexing, invalidation."""
+
+import pytest
+
+from repro.core.transaction import Transaction
+from repro.core.workflow_set import WorkflowSet
+from repro.errors import InvalidWorkflowError
+from tests.conftest import chain, make_txn
+
+
+class TestConstruction:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(InvalidWorkflowError):
+            WorkflowSet([make_txn(1), make_txn(1)])
+
+    def test_unknown_dependency_rejected(self):
+        t = Transaction(2, arrival=0, length=1, deadline=2, depends_on=[99])
+        with pytest.raises(InvalidWorkflowError):
+            WorkflowSet([t])
+
+    def test_one_workflow_per_root(self):
+        # Paper: "a workflow is defined for every transaction that does
+        # not appear in any dependency list".
+        txns = chain((0, 1, 5), (0, 1, 5), (0, 1, 5))  # 1 <- 2 <- 3
+        extra = make_txn(10)
+        ws = WorkflowSet(txns + [extra])
+        roots = sorted(wf.root_id for wf in ws)
+        assert roots == [3, 10]
+
+    def test_closure_includes_transitive_dependencies(self):
+        txns = chain((0, 1, 5), (0, 1, 5), (0, 1, 5))
+        ws = WorkflowSet(txns)
+        (wf,) = list(ws)
+        assert wf.member_ids == (1, 2, 3)
+
+    def test_shared_transaction_in_multiple_workflows(self):
+        t1 = Transaction(1, arrival=0, length=1, deadline=5)
+        t2 = Transaction(2, arrival=0, length=1, deadline=5, depends_on=[1])
+        t3 = Transaction(3, arrival=0, length=1, deadline=5, depends_on=[1])
+        ws = WorkflowSet([t1, t2, t3])
+        assert len(ws) == 2
+        assert ws.workflow_count_of(1) == 2
+        assert ws.workflow_count_of(2) == 1
+
+    def test_workflows_of_unknown_id_raises(self):
+        ws = WorkflowSet([make_txn(1)])
+        with pytest.raises(KeyError):
+            ws.workflows_of(99)
+
+
+class TestBehaviour:
+    def test_notify_changed_invalidates(self):
+        txns = chain((0, 2, 9), (0, 1, 5))
+        ws = WorkflowSet(txns)
+        (wf,) = list(ws)
+        assert wf.head() is None  # nothing arrived; cache filled
+        txns[0].mark_ready()
+        ws.notify_changed(1)
+        assert wf.head() is txns[0]
+
+    def test_active_workflows(self):
+        txns = chain((0, 2, 9), (0, 1, 5))
+        other = make_txn(10)
+        ws = WorkflowSet(txns + [other])
+        assert ws.active_workflows() == []
+        other.mark_ready()
+        ws.notify_changed(10)
+        active = ws.active_workflows()
+        assert [wf.root_id for wf in active] == [10]
+
+    def test_validate_acyclic_passes_on_dag(self):
+        txns = chain((0, 1, 5), (0, 1, 5))
+        WorkflowSet(txns).validate_acyclic()
+
+    def test_transactions_property(self):
+        t = make_txn(7)
+        ws = WorkflowSet([t])
+        assert ws.transactions == {7: t}
+
+
+class TestSingletons:
+    def test_singletons_builds_one_workflow_each(self):
+        txns = [make_txn(i) for i in range(1, 6)]
+        ws = WorkflowSet.singletons(txns)
+        assert len(ws) == 5
+        assert all(len(wf) == 1 for wf in ws)
+
+    def test_singletons_rejects_dependent_transactions(self):
+        t1 = make_txn(1)
+        t2 = Transaction(2, arrival=0, length=1, deadline=2, depends_on=[1])
+        with pytest.raises(InvalidWorkflowError):
+            WorkflowSet.singletons([t1, t2])

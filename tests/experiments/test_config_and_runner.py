@@ -1,0 +1,133 @@
+"""Unit tests for experiment configuration and the sweep runner."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import (
+    DEFAULT_SEEDS,
+    DEFAULT_UTILIZATIONS,
+    ExperimentConfig,
+    PolicySpec,
+    TRANSACTION_LEVEL_POLICIES,
+)
+from repro.experiments.runner import (
+    generate_workloads,
+    mean_metric,
+    run_policy_on,
+    utilization_sweep,
+)
+from repro.workload.spec import WorkloadSpec
+
+
+class TestPolicySpec:
+    def test_make_returns_fresh_instances(self):
+        spec = PolicySpec.of("edf")
+        assert spec.make() is not spec.make()
+
+    def test_kwargs_forwarded_and_hashable(self):
+        spec = PolicySpec.of("mix", tradeoff=2.0)
+        assert spec.make().tradeoff == 2.0
+        hash(spec)  # frozen dataclass with tuple kwargs
+
+    def test_display_label(self):
+        assert PolicySpec.of("asets", "ASETS*").display == "ASETS*"
+        assert PolicySpec.of("edf").display == "edf"
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper(self):
+        cfg = ExperimentConfig()
+        assert cfg.n_transactions == 1000
+        assert len(cfg.seeds) == 5
+        assert cfg.utilizations == DEFAULT_UTILIZATIONS
+        assert DEFAULT_UTILIZATIONS[0] == 0.1
+        assert DEFAULT_UTILIZATIONS[-1] == 1.0
+
+    def test_scaled(self):
+        cfg = ExperimentConfig().scaled(100, 2)
+        assert cfg.n_transactions == 100
+        assert cfg.seeds == DEFAULT_SEEDS[:2]
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(n_transactions=0)
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(seeds=())
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(utilizations=())
+
+
+class TestRunner:
+    def test_generate_workloads_one_per_seed(self):
+        spec = WorkloadSpec(n_transactions=20)
+        workloads = generate_workloads(spec, [1, 2, 3])
+        assert len(workloads) == 3
+        assert workloads[0].seed == 1
+
+    def test_run_policy_on_resets_between_policies(self):
+        spec = WorkloadSpec(n_transactions=30, utilization=0.9)
+        (w,) = generate_workloads(spec, [1])
+        edf = run_policy_on(w, PolicySpec.of("edf"))
+        srpt = run_policy_on(w, PolicySpec.of("srpt"))
+        edf_again = run_policy_on(w, PolicySpec.of("edf"))
+        assert edf.average_tardiness == edf_again.average_tardiness
+        assert srpt.policy_name == "srpt"
+
+    def test_mean_metric(self):
+        spec = WorkloadSpec(n_transactions=30, utilization=0.9)
+        workloads = generate_workloads(spec, [1, 2])
+        value = mean_metric(workloads, PolicySpec.of("edf"), "average_tardiness")
+        singles = [
+            run_policy_on(w, PolicySpec.of("edf")).average_tardiness
+            for w in workloads
+        ]
+        assert value == pytest.approx(sum(singles) / 2)
+
+    def test_utilization_sweep_shape(self):
+        cfg = ExperimentConfig().scaled(30, 1)
+        series = utilization_sweep(
+            WorkloadSpec(),
+            TRANSACTION_LEVEL_POLICIES[:2],
+            "average_tardiness",
+            cfg,
+            utilizations=[0.2, 0.8],
+        )
+        assert series.x == [0.2, 0.8]
+        assert set(series.series) == {"FCFS", "LS"}
+        assert all(len(v) == 2 for v in series.series.values())
+
+    def test_progress_callback_invoked(self):
+        lines = []
+        cfg = ExperimentConfig().scaled(10, 1)
+        utilization_sweep(
+            WorkloadSpec(),
+            TRANSACTION_LEVEL_POLICIES[:1],
+            "average_tardiness",
+            cfg,
+            utilizations=[0.5],
+            progress=lines.append,
+        )
+        assert len(lines) == 1
+        assert "FCFS" in lines[0]
+
+
+class TestMetricSpread:
+    def test_interval_brackets_mean(self):
+        from repro.experiments.runner import metric_spread
+
+        spec = WorkloadSpec(n_transactions=40, utilization=0.9)
+        workloads = generate_workloads(spec, [1, 2, 3])
+        mid, low, high = metric_spread(
+            workloads, PolicySpec.of("edf"), "average_tardiness"
+        )
+        assert low <= mid <= high
+
+    def test_single_seed_degenerate_interval(self):
+        from repro.experiments.runner import metric_spread
+
+        spec = WorkloadSpec(n_transactions=40, utilization=0.9)
+        workloads = generate_workloads(spec, [1])
+        mid, low, high = metric_spread(
+            workloads, PolicySpec.of("edf"), "average_tardiness"
+        )
+        assert low == mid == high

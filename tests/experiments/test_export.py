@@ -1,0 +1,89 @@
+"""Unit tests for CSV/JSON series export."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.export import (
+    series_from_json,
+    series_to_csv,
+    series_to_json,
+    write_series,
+)
+from repro.metrics.aggregates import MetricSeries
+
+
+def sample():
+    s = MetricSeries("utilization", [0.1, 0.5], "average_tardiness")
+    s.add("EDF", [1.0, 4.0])
+    s.add("SRPT", [2.0, 3.0])
+    return s
+
+
+class TestCSV:
+    def test_header_and_rows(self):
+        lines = series_to_csv(sample()).splitlines()
+        assert lines[0] == "utilization,EDF,SRPT"
+        assert lines[1] == "0.1,1.0,2.0"
+        assert len(lines) == 3
+
+
+class TestJSON:
+    def test_round_trip(self):
+        s = sample()
+        restored = series_from_json(series_to_json(s))
+        assert restored.metric == s.metric
+        assert restored.x == s.x
+        assert restored.series == s.series
+
+    def test_round_trip_with_raw(self):
+        s = sample()
+        raw = sample()
+        s.raw = raw
+        restored = series_from_json(series_to_json(s))
+        assert restored.raw is not None
+        assert restored.raw.series == raw.series
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ExperimentError):
+            series_from_json("{not json")
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ExperimentError):
+            series_from_json('{"metric": "m"}')
+
+
+class TestWrite:
+    def test_write_csv(self, tmp_path):
+        path = write_series(sample(), tmp_path / "out.csv")
+        assert path.read_text().startswith("utilization,")
+
+    def test_write_json(self, tmp_path):
+        path = write_series(sample(), tmp_path / "out.json")
+        assert series_from_json(path.read_text()).x == [0.1, 0.5]
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            write_series(sample(), tmp_path / "out.txt")
+
+
+class TestCLIIntegration:
+    def test_cli_export_and_chart(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out_file = tmp_path / "series.csv"
+        code = main(
+            [
+                "fig8",
+                "--n",
+                "30",
+                "--seeds",
+                "1",
+                "--quiet",
+                "--chart",
+                "--export",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        assert "vs utilization" in capsys.readouterr().out

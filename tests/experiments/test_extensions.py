@@ -1,0 +1,79 @@
+"""Tests for the extension experiments (estimation, servers, tails)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.extensions import (
+    ESTIMATION_ERRORS,
+    SERVER_COUNTS,
+    TAIL_STATISTICS,
+    estimation_robustness,
+    format_tail_table,
+    multiserver_sweep,
+    tail_analysis,
+)
+
+CFG = ExperimentConfig().scaled(60, 1)
+
+
+class TestEstimationRobustness:
+    def test_structure(self):
+        series = estimation_robustness(CFG, errors=(0.0, 0.5))
+        assert series.x == [0.0, 0.5]
+        assert set(series.series) == {"EDF", "SRPT", "ASETS"}
+
+    def test_edf_is_flat(self):
+        series = estimation_robustness(CFG, errors=(0.0, 1.0))
+        edf = series.get("EDF")
+        assert edf[0] == pytest.approx(edf[1])
+
+    def test_progress_callback(self):
+        lines = []
+        estimation_robustness(CFG, errors=(0.0,), progress=lines.append)
+        assert len(lines) == 3
+
+
+class TestMultiserverSweep:
+    def test_structure(self):
+        series = multiserver_sweep(CFG, server_counts=(1, 2))
+        assert series.x == [1.0, 2.0]
+        assert set(series.series) == {"EDF", "SRPT", "ASETS"}
+
+    def test_default_counts(self):
+        assert SERVER_COUNTS == (1, 2, 4)
+        assert ESTIMATION_ERRORS[0] == 0.0
+
+
+class TestTailAnalysis:
+    def test_structure_and_formatting(self):
+        series = tail_analysis(CFG)
+        assert len(series.x) == len(TAIL_STATISTICS)
+        text = format_tail_table(series)
+        for stat in TAIL_STATISTICS:
+            assert stat in text
+        assert "SRPT" in text
+
+    def test_statistics_ordered(self):
+        # For any policy: mean <= p95 <= p99 <= max, and 0 <= gini <= 1.
+        series = tail_analysis(CFG)
+        for name, values in series.series.items():
+            mean_v, p95, p99, max_v, g = values
+            assert mean_v <= p95 + 1e-9
+            assert p95 <= p99 + 1e-9
+            assert p99 <= max_v + 1e-9
+            assert 0.0 <= g <= 1.0
+
+
+class TestCLITargets:
+    def test_ext_estimation_target(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["ext-estimation", "--n", "40", "--seeds", "1", "--quiet"]) == 0
+        assert "estimation error" in capsys.readouterr().out
+
+    def test_tail_target(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["tail", "--n", "40", "--seeds", "1", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "gini" in out

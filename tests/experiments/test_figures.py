@@ -1,0 +1,90 @@
+"""Smoke tests for every figure entry point at reduced scale.
+
+Shape assertions (who wins where) live in tests/integration; these only
+check that each figure produces the right series structure.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+
+#: Tiny but non-degenerate scale: one seed, 80 transactions.
+CFG = ExperimentConfig().scaled(80, 1)
+
+
+def test_figure8_series_and_axis():
+    s = figures.figure8(CFG)
+    assert s.x == [0.1, 0.2, 0.3, 0.4, 0.5]
+    assert set(s.series) == {"FCFS", "LS", "EDF", "SRPT", "ASETS*"}
+
+
+def test_figure9_high_utilizations():
+    s = figures.figure9(CFG)
+    assert s.x == [0.6, 0.7, 0.8, 0.9, 1.0]
+
+
+def test_figure10_normalized_with_raw():
+    s = figures.figure10(CFG)
+    assert set(s.series) == {"ASETS*/EDF", "ASETS*/SRPT"}
+    assert s.raw is not None
+    assert set(s.raw.series) == {"EDF", "SRPT", "ASETS*"}
+    assert len(s.x) == 10
+
+
+@pytest.mark.parametrize(
+    "fig,k_max",
+    [(figures.figure11, 1.0), (figures.figure12, 2.0), (figures.figure13, 4.0)],
+)
+def test_figures_11_to_13_label_k_max(fig, k_max):
+    s = fig(CFG)
+    assert f"k_max={k_max:g}" in s.metric
+
+
+def test_normalized_values_positive():
+    s = figures.figure10(CFG)
+    for values in s.series.values():
+        assert all(v >= 0 for v in values)
+
+
+def test_figure14_policies():
+    s = figures.figure14(CFG)
+    assert set(s.series) == {"Ready", "ASETS*"}
+
+
+def test_figure15_policies_and_metric():
+    s = figures.figure15(CFG)
+    assert set(s.series) == {"EDF", "HDF", "ASETS*"}
+    assert s.metric == "average_weighted_tardiness"
+
+
+def test_figure16_rate_axis():
+    s = figures.figure16(CFG)
+    assert s.x == [0.002, 0.004, 0.006, 0.008, 0.01]
+    assert set(s.series) == {"ASETS*", "ASETS* (balance-aware)"}
+    # The plain ASETS* reference is a flat line.
+    assert len(set(s.get("ASETS*"))) == 1
+
+
+def test_figure17_metric():
+    s = figures.figure17(CFG)
+    assert s.metric == "average_weighted_tardiness"
+
+
+def test_count_based_variants():
+    s16 = figures.figure16_count_based(CFG)
+    assert s16.x == [0.02, 0.04, 0.06, 0.08, 0.1]
+    s17 = figures.figure17_count_based(CFG)
+    assert "count" in s17.x_label
+
+
+def test_balance_aware_sweep_validates_kind():
+    with pytest.raises(ValueError):
+        figures.balance_aware_sweep("max_weighted_tardiness", [0.01], "bogus", CFG)
+
+
+def test_alpha_sweep_returns_series_per_alpha():
+    sweeps = figures.alpha_sweep(alphas=(0.2, 0.9), config=CFG)
+    assert set(sweeps) == {0.2, 0.9}
+    for s in sweeps.values():
+        assert set(s.series) == {"EDF", "SRPT", "ASETS*"}

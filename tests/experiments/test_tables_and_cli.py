@@ -1,0 +1,66 @@
+"""Unit tests for Table I rendering, the claims checker, and the CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.tables import (
+    ClaimResult,
+    format_claims,
+    headline_claims,
+    table1,
+)
+
+
+class TestTable1:
+    def test_contains_table_one_parameters(self):
+        text = table1()
+        for token in ("l_i", "alpha", "k", "a_i", "SystemUtilization", "Weight"):
+            assert token in text
+        assert "Zipf" in text
+        assert "Poisson" in text
+
+    def test_reflects_live_defaults(self):
+        assert "0.5" in table1()  # alpha default
+        assert "1000" in table1()  # N
+
+
+class TestClaims:
+    def test_headline_claims_structure(self):
+        results = headline_claims(ExperimentConfig().scaled(60, 1))
+        assert len(results) == 6
+        assert all(isinstance(r, ClaimResult) for r in results)
+        text = format_claims(results)
+        assert "Claim" in text and "Holds" in text
+
+
+class TestCLI:
+    def test_parser_accepts_targets(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig10", "--n", "50", "--seeds", "1"])
+        assert args.target == "fig10"
+        assert args.n == 50
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Parameter" in capsys.readouterr().out
+
+    def test_figure_command_prints_series(self, capsys):
+        assert main(["fig8", "--n", "40", "--seeds", "1", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+        assert "ASETS*" in out
+
+    def test_figure_with_raw_prints_both(self, capsys):
+        assert main(["fig11", "--n", "40", "--seeds", "1", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Underlying raw sweep" in out
+
+    def test_progress_goes_to_stderr(self, capsys):
+        main(["fig8", "--n", "30", "--seeds", "1"])
+        captured = capsys.readouterr()
+        assert "average_tardiness=" in captured.err

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are the first code users execute; these tests run each one in a
+subprocess (so ``__main__`` guards and imports are exercised exactly as
+a user would) and sanity-check a signature line of its output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+#: script name -> substring its stdout must contain.
+EXPECTED = {
+    "quickstart.py": "lowest average weighted tardiness",
+    "stock_portal.py": "avg weighted tardiness",
+    "adaptive_crossover.py": "EDF/SRPT crossover at utilization",
+    "balance_tradeoff.py": "worst victim under ASETS*",
+    "sql_dashboard.py": "hit ratio",
+    "schedule_anatomy.py": "ASETS",
+}
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED), (
+        "examples changed; update EXPECTED in this test"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED[script] in result.stdout

@@ -1,0 +1,137 @@
+"""Integration tests: the paper's qualitative results at reduced scale.
+
+These run real (small) sweeps and assert the *shapes* of Section IV —
+who wins, where the crossover falls — with tolerances suited to the
+reduced transaction counts.  Full-scale reproduction lives in
+``benchmarks/`` and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.runner import generate_workloads, mean_metric
+from repro.workload.spec import WorkloadSpec
+
+#: 400 transactions, 2 seeds: big enough for stable shapes, small enough
+#: for test-suite latency.
+CFG = ExperimentConfig().scaled(400, 2)
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return figures.figure10(CFG)
+
+
+class TestTransactionLevelShapes:
+    def test_edf_wins_at_low_utilization(self, fig10):
+        raw = fig10.raw
+        assert raw.get("EDF")[0] <= raw.get("SRPT")[0]
+
+    def test_srpt_wins_at_full_utilization(self, fig10):
+        raw = fig10.raw
+        assert raw.get("SRPT")[-1] <= raw.get("EDF")[-1]
+
+    def test_crossover_exists_in_middle(self, fig10):
+        crossover = fig10.raw.crossover("EDF", "SRPT")
+        assert crossover is not None
+        assert 0.3 <= crossover <= 0.9
+
+    def test_asets_dominates_both_baselines(self, fig10):
+        raw = fig10.raw
+        for a, e, s in zip(raw.get("ASETS*"), raw.get("EDF"), raw.get("SRPT")):
+            assert a <= min(e, s) * 1.05 + 0.01
+
+    def test_max_gain_near_crossover(self, fig10):
+        # The largest improvement over the *better* of the two baselines
+        # should not sit at the extremes of the utilization grid ("the
+        # maximum improvements ... is around the cross-over point").
+        raw = fig10.raw
+        ratios = [
+            a / min(e, s) if min(e, s) > 0 else 1.0
+            for a, e, s in zip(
+                raw.get("ASETS*"), raw.get("EDF"), raw.get("SRPT")
+            )
+        ]
+        best_index = ratios.index(min(ratios))
+        assert 0 < best_index < len(ratios) - 1
+
+    def test_tardiness_grows_with_utilization(self, fig10):
+        raw = fig10.raw
+        for name in ("EDF", "SRPT", "ASETS*"):
+            series = raw.get(name)
+            assert series[-1] > series[0]
+
+    def test_fcfs_is_worst_overall(self):
+        series = figures.figure9(CFG)
+        fcfs_total = sum(series.get("FCFS"))
+        for other in ("EDF", "SRPT", "ASETS*"):
+            assert sum(series.get(other)) < fcfs_total
+
+
+class TestDeadlineTightnessShapes:
+    def test_crossover_moves_right_with_k_max(self):
+        tight = figures.figure11(CFG).raw.crossover("EDF", "SRPT")
+        loose = figures.figure13(CFG).raw.crossover("EDF", "SRPT")
+        assert tight is not None
+        if loose is not None:
+            assert loose >= tight
+
+
+class TestWorkflowShapes:
+    def test_asets_star_beats_ready_under_load(self):
+        series = figures.figure14(CFG)
+        # Compare the loaded half of the grid, where dependencies bind.
+        ready = series.get("Ready")[-3:]
+        star = series.get("ASETS*")[-3:]
+        assert sum(star) < sum(ready)
+
+    def test_general_case_dominates_edf_and_hdf(self):
+        series = figures.figure15(CFG)
+        astar = sum(series.get("ASETS*"))
+        assert astar <= sum(series.get("EDF")) * 1.02
+        assert astar <= sum(series.get("HDF")) * 1.02
+
+
+class TestBalanceAwareShapes:
+    def test_worst_case_improves_at_high_rate(self):
+        series = figures.figure16(CFG)
+        base = series.get("ASETS*")[0]
+        balanced = series.get("ASETS* (balance-aware)")
+        assert min(balanced) < base
+
+    def test_average_case_cost_is_bounded(self):
+        series = figures.figure17(CFG)
+        base = series.get("ASETS*")[0]
+        worst = max(series.get("ASETS* (balance-aware)"))
+        assert worst <= base * 1.15  # paper: <= ~5% at paper scale
+
+
+class TestAlphaSweepShape:
+    def test_more_skew_moves_crossover_left(self):
+        sweeps = figures.alpha_sweep(alphas=(0.2, 1.2), config=CFG)
+        low = sweeps[0.2].crossover("EDF", "SRPT")
+        high = sweeps[1.2].crossover("EDF", "SRPT")
+        # Larger alpha -> shorter transactions -> tighter absolute
+        # deadlines -> SRPT takes over earlier.
+        if low is not None and high is not None:
+            assert high <= low
+
+
+class TestWeightSensitivity:
+    def test_weighted_asets_beats_unweighted_on_weighted_metric(self):
+        # Ablation: ignoring weights when they exist costs weighted
+        # tardiness under overload.
+        spec = WorkloadSpec(n_transactions=400, utilization=1.0, weighted=True)
+        workloads = generate_workloads(spec, CFG.seeds)
+        weighted = mean_metric(
+            workloads,
+            PolicySpec.of("asets", weighted=True),
+            "average_weighted_tardiness",
+        )
+        unweighted = mean_metric(
+            workloads,
+            PolicySpec.of("asets", weighted=False),
+            "average_weighted_tardiness",
+        )
+        assert weighted < unweighted

@@ -1,0 +1,159 @@
+"""End-to-end integration: the Section II-B portal through the scheduler.
+
+Builds the paper's motivating scenario — stock prices, portfolio,
+portfolio value, alerts, plus traffic and weather pages — drives it with
+multi-tier user sessions, and checks both content correctness and the
+scheduling behaviour (gold beats bronze on weighted tardiness under
+ASETS*-style policies).
+"""
+
+import random
+
+import pytest
+
+from repro.webdb import (
+    Aggregate,
+    ContentFragment,
+    Database,
+    DynamicPage,
+    Filter,
+    Input,
+    Join,
+    Scan,
+    Sort,
+    UserSession,
+    WebDatabase,
+)
+from repro.webdb.sla import BRONZE, GOLD
+
+
+@pytest.fixture(scope="module")
+def portal():
+    db = Database()
+    stocks = db.create_table("stocks", ["symbol", "price", "change_pct"])
+    rng = random.Random(99)
+    for i in range(60):
+        stocks.insert(
+            {
+                "symbol": f"S{i:02d}",
+                "price": round(rng.uniform(5, 500), 2),
+                "change_pct": round(rng.uniform(-9, 9), 2),
+            }
+        )
+    positions = db.create_table("positions", ["user", "symbol", "shares"])
+    for user in ("alice", "bob"):
+        for s in rng.sample(range(60), 10):
+            positions.insert(
+                {"user": user, "symbol": f"S{s:02d}", "shares": rng.randint(1, 50)}
+            )
+    roads = db.create_table("roads", ["road", "delay_minutes"])
+    for i in range(12):
+        roads.insert({"road": f"I-{i}", "delay_minutes": rng.randint(0, 45)})
+
+    def stock_page(user):
+        return DynamicPage(
+            f"stocks-{user}",
+            [
+                ContentFragment("prices", Scan("stocks")),
+                ContentFragment(
+                    "portfolio",
+                    Join(
+                        Filter(Scan("positions"), lambda r, u=user: r["user"] == u),
+                        Input("prices"),
+                        on="symbol",
+                    ),
+                ),
+                ContentFragment(
+                    "value", Aggregate(Input("portfolio"), "sum", "price")
+                ),
+                ContentFragment(
+                    "alerts",
+                    Filter(Input("portfolio"), lambda r: abs(r["change_pct"]) > 5),
+                    urgency=0.5,
+                    weight_boost=2.0,
+                ),
+            ],
+        )
+
+    traffic = DynamicPage(
+        "traffic",
+        [
+            ContentFragment(
+                "worst", Sort(Scan("roads"), by="delay_minutes", descending=True)
+            )
+        ],
+    )
+
+    wdb = WebDatabase(db)
+    alice_page = stock_page("alice")
+    bob_page = stock_page("bob")
+    wdb.register_page(alice_page)
+    wdb.register_page(bob_page)
+    wdb.register_page(traffic)
+
+    rng2 = random.Random(5)
+    gold = UserSession("alice", GOLD, [alice_page, traffic], mean_think_time=2.0)
+    bronze = UserSession("bob", BRONZE, [bob_page, traffic], mean_think_time=2.0)
+    wdb.submit_all(gold.requests(rng2, n=25))
+    wdb.submit_all(bronze.requests(rng2, n=25))
+    return wdb
+
+
+POLICIES = ("fcfs", "edf", "srpt", "asets", "asets-star")
+
+
+@pytest.fixture(scope="module")
+def reports(portal):
+    return {name: portal.run(name) for name in POLICIES}
+
+
+class TestContentCorrectness:
+    def test_alerts_subset_of_portfolio(self, reports):
+        report = reports["edf"]
+        for page_result in report.page_results:
+            if "alerts" not in page_result.fragment_records:
+                continue
+            content = page_result.content
+            assert "== alerts ==" in content
+            assert "== portfolio ==" in content
+
+    def test_content_independent_of_policy(self, reports):
+        # Scheduling changes *when*, never *what*.
+        a = reports["fcfs"].page_results
+        b = reports["asets-star"].page_results
+        for ra, rb in zip(a, b):
+            assert ra.content == rb.content
+
+    def test_all_pages_materialised(self, reports):
+        for report in reports.values():
+            assert len(report.page_results) == 50
+
+
+class TestSchedulingBehaviour:
+    def _tier_weighted_tardiness(self, report, tier_name):
+        values = [
+            p.weighted_tardiness
+            for p in report.page_results
+            if p.request.tier.name == tier_name
+        ]
+        return sum(values) / len(values)
+
+    def test_weighted_policies_favour_gold(self, reports):
+        # Under the density-aware policy, gold pages should suffer no more
+        # weighted tardiness than under deadline-only EDF.
+        star = self._tier_weighted_tardiness(reports["asets-star"], "gold")
+        fcfs = self._tier_weighted_tardiness(reports["fcfs"], "gold")
+        assert star <= fcfs + 1e-9
+
+    def test_system_weighted_tardiness_ranking(self, reports):
+        # ASETS* should be at least as good as FCFS overall on the
+        # weighted objective it optimises.
+        def overall(report):
+            return report.simulation.average_weighted_tardiness
+
+        assert overall(reports["asets-star"]) <= overall(reports["fcfs"]) + 1e-9
+
+    def test_all_policies_complete_all_fragments(self, reports):
+        n_txns = reports["fcfs"].simulation.n
+        for report in reports.values():
+            assert report.simulation.n == n_txns

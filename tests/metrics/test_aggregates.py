@@ -1,0 +1,85 @@
+"""Unit tests for aggregation helpers and MetricSeries."""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.aggregates import (
+    MetricSeries,
+    confidence_interval,
+    mean,
+    normalized,
+    safe_ratio,
+    stddev,
+)
+
+
+class TestScalars:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ExperimentError):
+            mean([])
+
+    def test_stddev(self):
+        assert stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.138, abs=1e-3
+        )
+        assert stddev([5.0]) == 0.0
+        with pytest.raises(ExperimentError):
+            stddev([])
+
+    def test_confidence_interval_contains_mean(self):
+        lo, hi = confidence_interval([1.0, 2.0, 3.0])
+        assert lo <= 2.0 <= hi
+
+    def test_safe_ratio(self):
+        assert safe_ratio(4.0, 2.0) == 2.0
+        assert safe_ratio(0.0, 0.0) == 1.0
+        assert safe_ratio(1.0, 0.0) == math.inf
+
+    def test_normalized(self):
+        assert normalized([2.0, 0.0], [4.0, 0.0]) == [0.5, 1.0]
+        with pytest.raises(ExperimentError):
+            normalized([1.0], [1.0, 2.0])
+
+
+class TestMetricSeries:
+    def _series(self):
+        s = MetricSeries("utilization", [0.1, 0.5, 1.0], "average_tardiness")
+        s.add("EDF", [1.0, 4.0, 10.0])
+        s.add("SRPT", [2.0, 4.0, 5.0])
+        return s
+
+    def test_add_length_checked(self):
+        s = MetricSeries("u", [0.1], "m")
+        with pytest.raises(ExperimentError):
+            s.add("EDF", [1.0, 2.0])
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ExperimentError):
+            self._series().get("nope")
+
+    def test_normalized_to(self):
+        norm = self._series().normalized_to("EDF")
+        assert norm.get("SRPT/EDF") == [2.0, 1.0, 0.5]
+        assert "EDF" not in norm.series
+
+    def test_crossover(self):
+        s = self._series()
+        # EDF <= SRPT until utilization 1.0.
+        assert s.crossover("EDF", "SRPT") == 1.0
+        assert s.crossover("SRPT", "EDF") == 0.1
+
+    def test_crossover_none_when_always_better(self):
+        s = MetricSeries("u", [0.1, 0.5], "m")
+        s.add("A", [1.0, 1.0])
+        s.add("B", [2.0, 2.0])
+        assert s.crossover("A", "B") is None
+
+    def test_as_rows_and_columns(self):
+        s = self._series()
+        assert s.column_names() == ["utilization", "EDF", "SRPT"]
+        rows = s.as_rows()
+        assert rows[0] == [0.1, 1.0, 2.0]
+        assert len(rows) == 3

@@ -1,0 +1,66 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.aggregates import MetricSeries
+from repro.metrics.charts import render_chart
+
+
+def series(**kwargs):
+    s = MetricSeries("utilization", [0.1, 0.5, 1.0], "avg_tardiness")
+    for name, values in kwargs.items():
+        s.add(name, values)
+    return s
+
+
+def test_renders_all_series_with_distinct_glyphs():
+    out = render_chart(series(EDF=[1.0, 4.0, 10.0], SRPT=[2.0, 4.0, 5.0]))
+    assert "* EDF" in out
+    assert "o SRPT" in out
+    assert "avg_tardiness vs utilization" in out
+    # Overlapping points are overdrawn by the later series, so only the
+    # non-shared EDF points plus the legend glyph are guaranteed.
+    assert out.count("*") >= 3
+    assert out.count("o") >= 3
+
+
+def test_y_axis_labels_span_data(capsys=None):
+    out = render_chart(series(EDF=[0.0, 5.0, 10.0]))
+    assert "10.00" in out
+    assert "0.00" in out
+
+
+def test_x_axis_labels():
+    out = render_chart(series(EDF=[1.0, 2.0, 3.0]))
+    assert "0.1" in out.splitlines()[-2]
+    assert "1" in out.splitlines()[-2]
+
+
+def test_log_scale_noted_and_tolerates_zero():
+    out = render_chart(series(EDF=[0.0, 10.0, 1000.0]), log_scale=True)
+    assert "(log scale)" in out
+
+
+def test_flat_series_renders():
+    out = render_chart(series(EDF=[2.0, 2.0, 2.0]))
+    assert "* EDF" in out
+
+
+def test_validation():
+    with pytest.raises(ExperimentError):
+        render_chart(series(EDF=[1.0, 2.0, 3.0]), width=4)
+    with pytest.raises(ExperimentError):
+        render_chart(MetricSeries("u", [0.1], "m"))
+
+
+def test_nonfinite_values_skipped():
+    out = render_chart(series(EDF=[1.0, float("inf"), 3.0]))
+    assert "* EDF" in out
+
+
+def test_dimensions():
+    out = render_chart(series(EDF=[1.0, 2.0, 3.0]), width=40, height=8)
+    lines = out.splitlines()
+    # header + 8 rows + axis + x labels + legend
+    assert len(lines) == 12

@@ -1,0 +1,100 @@
+"""Unit tests for percentiles, histograms and the Gini coefficient."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics.distributions import (
+    gini,
+    percentile,
+    tardiness_histogram,
+    tardiness_percentile,
+    weighted_tardiness_percentile,
+)
+
+
+@dataclass
+class Rec:
+    finish: float
+    deadline: float
+    weight: float = 1.0
+
+
+class TestPercentile:
+    def test_extremes(self):
+        data = [3.0, 1.0, 2.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 3.0
+
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_linear_interpolation(self):
+        # numpy.percentile([0, 10], 25) == 2.5.
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            percentile([], 50)
+        with pytest.raises(SimulationError):
+            percentile([1.0], 101)
+
+    def test_matches_numpy(self):
+        numpy = pytest.importorskip("numpy")
+        data = [5.0, 1.5, 9.0, 2.25, 7.125, 0.0]
+        for q in (0, 10, 37.5, 50, 90, 99, 100):
+            assert percentile(data, q) == pytest.approx(
+                float(numpy.percentile(data, q))
+            )
+
+
+class TestTardinessPercentiles:
+    def test_tardiness_percentile(self):
+        recs = [Rec(finish=f, deadline=5.0) for f in (4.0, 6.0, 8.0)]
+        # tardiness values: 0, 1, 3.
+        assert tardiness_percentile(recs, 100) == 3.0
+        assert tardiness_percentile(recs, 50) == 1.0
+
+    def test_weighted_percentile(self):
+        recs = [Rec(6.0, 5.0, weight=10.0), Rec(8.0, 5.0, weight=1.0)]
+        # weighted tardiness values: 10, 3.
+        assert weighted_tardiness_percentile(recs, 100) == 10.0
+
+
+class TestHistogram:
+    def test_binning(self):
+        recs = [Rec(finish=5.0 + t, deadline=5.0) for t in (0.0, 0.5, 1.5, 9.0)]
+        counts = tardiness_histogram(recs, [1.0, 5.0])
+        assert counts == [2, 1, 1]  # [<1, 1-5, >=5]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            tardiness_histogram([Rec(5.0, 5.0)], [])
+        with pytest.raises(SimulationError):
+            tardiness_histogram([Rec(5.0, 5.0)], [2.0, 1.0])
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini([4.0, 4.0, 4.0]) == pytest.approx(0.0)
+
+    def test_concentrated_is_high(self):
+        value = gini([0.0] * 9 + [100.0])
+        assert value == pytest.approx(0.9)
+
+    def test_all_zero(self):
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            gini([])
+        with pytest.raises(SimulationError):
+            gini([-1.0])
+
+    def test_scale_invariant(self):
+        data = [1.0, 3.0, 8.0]
+        assert gini(data) == pytest.approx(gini([10 * v for v in data]))

@@ -1,0 +1,39 @@
+"""Unit tests for text-table rendering."""
+
+from repro.metrics.aggregates import MetricSeries
+from repro.metrics.report import format_series, format_table
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1.5, "x"], [22.25, "yy"]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].endswith("bb")
+    assert "1.500" in lines[2]
+    assert "22.250" in lines[3]
+
+
+def test_format_table_precision():
+    out = format_table(["v"], [[1.23456]], precision=1)
+    assert "1.2" in out
+    assert "1.23" not in out
+
+
+def test_format_table_empty_rows():
+    out = format_table(["a", "b"], [])
+    assert "a" in out and "b" in out
+
+
+def test_format_series_with_title():
+    s = MetricSeries("u", [0.1], "m")
+    s.add("EDF", [3.0])
+    out = format_series(s, title="Figure X")
+    assert out.startswith("Figure X\n========")
+    assert "EDF" in out
+    assert "0.100" in out
+
+
+def test_format_series_without_title():
+    s = MetricSeries("u", [0.1], "m")
+    s.add("EDF", [3.0])
+    assert not format_series(s).startswith("\n")

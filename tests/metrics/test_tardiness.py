@@ -1,0 +1,75 @@
+"""Unit tests for the tardiness metric functions."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics.tardiness import (
+    average_tardiness,
+    average_weighted_tardiness,
+    deadline_miss_ratio,
+    max_tardiness,
+    max_weighted_tardiness,
+    tardiness,
+    total_tardiness,
+)
+
+
+@dataclass
+class Rec:
+    finish: float
+    deadline: float
+    weight: float = 1.0
+
+
+def test_tardiness_definition():
+    assert tardiness(Rec(finish=4.0, deadline=5.0)) == 0.0
+    assert tardiness(Rec(finish=8.0, deadline=5.0)) == 3.0
+
+
+def test_average_tardiness():
+    recs = [Rec(4.0, 5.0), Rec(8.0, 5.0), Rec(11.0, 5.0)]
+    assert average_tardiness(recs) == pytest.approx(3.0)
+
+
+def test_average_weighted_tardiness():
+    recs = [Rec(8.0, 5.0, weight=2.0), Rec(5.0, 5.0, weight=9.0)]
+    assert average_weighted_tardiness(recs) == pytest.approx(3.0)
+
+
+def test_max_metrics():
+    recs = [Rec(8.0, 5.0, weight=1.0), Rec(7.0, 5.0, weight=10.0)]
+    assert max_tardiness(recs) == 3.0
+    assert max_weighted_tardiness(recs) == 20.0
+
+
+def test_miss_ratio_boundary():
+    # Finishing exactly at the deadline is a hit.
+    recs = [Rec(5.0, 5.0), Rec(5.1, 5.0)]
+    assert deadline_miss_ratio(recs) == pytest.approx(0.5)
+
+
+def test_total_tardiness():
+    recs = [Rec(8.0, 5.0), Rec(9.0, 5.0)]
+    assert total_tardiness(recs) == 7.0
+
+
+@pytest.mark.parametrize(
+    "fn",
+    [
+        average_tardiness,
+        average_weighted_tardiness,
+        max_tardiness,
+        max_weighted_tardiness,
+        deadline_miss_ratio,
+        total_tardiness,
+    ],
+)
+def test_empty_input_rejected(fn):
+    with pytest.raises(SimulationError):
+        fn([])
+
+
+def test_works_on_generators():
+    assert average_tardiness(Rec(8.0, 5.0) for _ in range(2)) == 3.0

@@ -1,0 +1,171 @@
+"""Unit tests for the balance-aware aging wrapper (Section III-D)."""
+
+import pytest
+
+from repro.core.transaction import Transaction
+from repro.errors import SchedulingError
+from repro.policies import ASETS, ASETSStar, BalanceAware, EDF
+from repro.sim.engine import Simulator
+from tests.conftest import make_txn
+
+
+class TestConstruction:
+    def test_exactly_one_rate_required(self):
+        with pytest.raises(SchedulingError):
+            BalanceAware(EDF())
+        with pytest.raises(SchedulingError):
+            BalanceAware(EDF(), time_rate=0.01, count_rate=0.1)
+
+    def test_rate_validation(self):
+        with pytest.raises(SchedulingError):
+            BalanceAware(EDF(), time_rate=0.0)
+        with pytest.raises(SchedulingError):
+            BalanceAware(EDF(), count_rate=1.5)
+
+    def test_time_rate_sets_activation_period(self):
+        policy = BalanceAware(EDF(), time_rate=0.01)
+        assert policy.activation_period == pytest.approx(100.0)
+
+    def test_count_rate_sets_period(self):
+        policy = BalanceAware(EDF(), count_rate=0.1)
+        assert policy._count_period == 10
+
+    def test_inherits_workflow_requirement(self):
+        assert BalanceAware(ASETSStar(), time_rate=0.01).requires_workflows
+        assert not BalanceAware(EDF(), time_rate=0.01).requires_workflows
+
+    def test_repr_shows_rate(self):
+        assert "time_rate=0.01" in repr(BalanceAware(EDF(), time_rate=0.01))
+
+
+class TestDelegation:
+    def test_normal_selection_delegates_to_inner(self):
+        policy = BalanceAware(EDF(), time_rate=1e-9)  # effectively never
+        a = make_txn(1, deadline=9.0)
+        b = make_txn(2, deadline=5.0)
+        policy.bind([a, b], None)
+        for t in (a, b):
+            t.mark_ready()
+            policy.on_ready(t, 0.0)
+        assert policy.select(0.0) is b
+
+
+class TestActivation:
+    def _tardy_pool(self):
+        # Three hopeless transactions; w/d ratios: t3 > t2 > t1.
+        t1 = Transaction(1, arrival=0.0, length=4.0, deadline=10.0, weight=1.0)
+        t2 = Transaction(2, arrival=0.0, length=4.0, deadline=10.0, weight=5.0)
+        t3 = Transaction(3, arrival=0.0, length=4.0, deadline=2.0, weight=5.0)
+        return [t1, t2, t3]
+
+    def test_on_activation_overrides_next_select(self):
+        policy = BalanceAware(EDF(), time_rate=0.01)
+        txns = self._tardy_pool()
+        policy.bind(txns, None)
+        now = 20.0  # all tardy by now
+        for t in txns:
+            t.mark_ready()
+            policy.on_ready(t, now)
+        policy.on_activation(now)
+        assert policy.select(now) is txns[2]  # highest w/d
+        assert policy.activations == 1
+
+    def test_tardy_only_filter(self):
+        policy = BalanceAware(EDF(), time_rate=0.01, tardy_only=True)
+        fresh = make_txn(1, length=1.0, deadline=100.0, weight=9.0)
+        policy.bind([fresh], None)
+        fresh.mark_ready()
+        policy.on_ready(fresh, 0.0)
+        policy.on_activation(0.0)
+        # No tardy transaction: activation stays pending, inner decides.
+        assert policy.select(0.0) is fresh
+        assert policy.activations == 0
+        assert policy._pending_activation
+
+    def test_all_transactions_eligible_when_not_tardy_only(self):
+        policy = BalanceAware(EDF(), time_rate=0.01, tardy_only=False)
+        lax_heavy = make_txn(1, length=1.0, deadline=10.0, weight=9.0)
+        urgent_light = make_txn(2, length=1.0, deadline=5.0, weight=1.0)
+        policy.bind([lax_heavy, urgent_light], None)
+        for t in (lax_heavy, urgent_light):
+            t.mark_ready()
+            policy.on_ready(t, 0.0)
+        policy.on_activation(0.0)
+        # EDF would pick the urgent one; the activation picks max w/d.
+        assert policy.select(0.0) is lax_heavy
+
+    def test_count_based_activation_every_period(self):
+        policy = BalanceAware(EDF(), count_rate=0.5, tardy_only=False)
+        txns = self._tardy_pool()
+        policy.bind(txns, None)
+        for t in txns:
+            t.mark_ready()
+            policy.on_ready(t, 0.0)
+        picks = [policy.select(20.0) for _ in range(4)]
+        # Every second select is an activation pick (T_old = t3).
+        assert policy.activations == 2
+
+    def test_pinning_until_completion(self):
+        policy = BalanceAware(
+            EDF(), time_rate=0.01, tardy_only=False, pin_until_completion=True
+        )
+        txns = self._tardy_pool()
+        policy.bind(txns, None)
+        now = 20.0
+        for t in txns:
+            t.mark_ready()
+            policy.on_ready(t, now)
+        policy.on_activation(now)
+        pinned = policy.select(now)
+        assert pinned is txns[2]
+        # Subsequent selects keep returning the pin until completion.
+        assert policy.select(now + 1) is pinned
+        pinned.mark_running(now + 1)
+        pinned.charge(pinned.length)
+        pinned.mark_completed(now + 5)
+        policy.on_completion(pinned, now + 5)
+        assert policy.select(now + 5) is not pinned
+
+    def test_without_pinning_next_select_is_inner(self):
+        policy = BalanceAware(
+            EDF(), time_rate=0.01, tardy_only=False, pin_until_completion=False
+        )
+        # Aging pick (max w/d) and EDF pick (min d) must differ here:
+        urgent_light = Transaction(1, arrival=0.0, length=4.0, deadline=2.0, weight=1.0)
+        lax_heavy = Transaction(2, arrival=0.0, length=4.0, deadline=8.0, weight=40.0)
+        policy.bind([urgent_light, lax_heavy], None)
+        now = 20.0
+        for t in (urgent_light, lax_heavy):
+            t.mark_ready()
+            policy.on_ready(t, now)
+        policy.on_activation(now)
+        assert policy.select(now) is lax_heavy     # activation pick (w/d = 5)
+        assert policy.select(now) is urgent_light  # back to plain EDF
+
+
+class TestEndToEnd:
+    def test_runs_inside_simulator_with_activations(self):
+        policy = BalanceAware(ASETS(), time_rate=0.5, tardy_only=False)
+        txns = [
+            make_txn(i, arrival=0.0, length=2.0, deadline=3.0, weight=float(i))
+            for i in range(1, 6)
+        ]
+        res = Simulator(txns, policy).run()
+        assert res.n == 5
+        assert policy.activations >= 1
+
+    def test_wrapping_asets_star_with_workflows(self):
+        from repro.workload import WorkloadSpec, generate
+
+        spec = WorkloadSpec(
+            n_transactions=50,
+            utilization=1.0,
+            weighted=True,
+            with_workflows=True,
+        )
+        w = generate(spec, seed=5)
+        policy = BalanceAware(ASETSStar(), time_rate=0.01)
+        res = Simulator(
+            w.transactions, policy, workflow_set=w.workflow_set
+        ).run()
+        assert res.n == 50

@@ -1,0 +1,54 @@
+"""Unit tests for the Ready baseline and the policy registry."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.policies import ASETS, Ready, available_policies, make_policy
+from repro.policies.base import Scheduler
+from repro.sim.engine import Simulator
+from tests.conftest import chain
+
+
+class TestReady:
+    def test_is_transaction_level_asets(self):
+        assert isinstance(Ready(), ASETS)
+        assert Ready().name == "ready"
+
+    def test_schedules_only_ready_transactions(self):
+        # The dependent's urgent deadline is invisible to Ready until the
+        # predecessor completes.
+        txns = chain((0.0, 3.0, 50.0), (0.0, 2.0, 4.0))
+        res = Simulator(txns, Ready()).run()
+        assert res.record_of(2).first_start == 3.0
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in available_policies():
+            kwargs = {"time_rate": 0.01} if name == "balance-aware" else {}
+            policy = make_policy(name, **kwargs)
+            assert isinstance(policy, Scheduler)
+
+    def test_expected_names_present(self):
+        names = available_policies()
+        for expected in (
+            "fcfs", "edf", "srpt", "ls", "hdf", "hvf", "mix",
+            "asets", "ready", "asets-star", "balance-aware",
+        ):
+            assert expected in names
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(SchedulingError, match="available"):
+            make_policy("nope")
+
+    def test_kwargs_forwarded(self):
+        assert make_policy("mix", tradeoff=2.5).tradeoff == 2.5
+        assert make_policy("asets", weighted=True).weighted
+
+    def test_fresh_instance_each_call(self):
+        assert make_policy("edf") is not make_policy("edf")
+
+    def test_balance_aware_wraps_asets_star(self):
+        policy = make_policy("balance-aware", time_rate=0.01)
+        assert policy.requires_workflows
+        assert policy.inner.name == "asets-star"

@@ -1,0 +1,181 @@
+"""Unit tests for the heap-based baseline policies."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.policies import EDF, FCFS, HDF, HVF, MIX, LeastSlack, SRPT
+from repro.sim.engine import Simulator
+from tests.conftest import make_txn
+
+
+def select_order(policy, txns, now=0.0):
+    """Feed all transactions as ready; return the policy's pick."""
+    for t in txns:
+        t.mark_ready()
+        policy.on_ready(t, now)
+    return policy.select(now)
+
+
+class TestFCFS:
+    def test_picks_earliest_arrival(self):
+        a = make_txn(1, arrival=5.0)
+        b = make_txn(2, arrival=1.0)
+        assert select_order(FCFS(), [a, b]) is b
+
+    def test_effectively_nonpreemptive(self):
+        first = make_txn(1, arrival=0.0, length=10.0, deadline=100.0)
+        second = make_txn(2, arrival=1.0, length=1.0, deadline=2.0)
+        res = Simulator([first, second], FCFS()).run()
+        assert res.record_of(1).finish == 10.0
+        assert res.record_of(1).preemptions == 0
+
+
+class TestEDF:
+    def test_picks_earliest_deadline(self):
+        a = make_txn(1, deadline=50.0)
+        b = make_txn(2, deadline=10.0)
+        assert select_order(EDF(), [a, b]) is b
+
+    def test_zero_tardiness_on_feasible_instance(self):
+        # EDF meets all deadlines whenever any policy can.
+        txns = [
+            make_txn(1, arrival=0.0, length=2.0, deadline=10.0),
+            make_txn(2, arrival=0.0, length=3.0, deadline=5.0),
+            make_txn(3, arrival=1.0, length=4.0, deadline=20.0),
+        ]
+        res = Simulator(txns, EDF()).run()
+        assert res.average_tardiness == 0.0
+
+    def test_preempts_for_earlier_deadline(self):
+        lax = make_txn(1, arrival=0.0, length=10.0, deadline=100.0)
+        urgent = make_txn(2, arrival=2.0, length=1.0, deadline=4.0)
+        res = Simulator([lax, urgent], EDF()).run()
+        assert res.record_of(2).finish == 3.0
+
+
+class TestSRPT:
+    def test_picks_shortest_remaining(self):
+        a = make_txn(1, length=9.0)
+        b = make_txn(2, length=2.0)
+        assert select_order(SRPT(), [a, b]) is b
+
+    def test_remaining_not_original_length(self):
+        # After partial execution the *remaining* time decides.
+        long = make_txn(1, arrival=0.0, length=10.0, deadline=100.0)
+        mid = make_txn(2, arrival=9.5, length=2.0, deadline=100.0)
+        res = Simulator([long, mid], SRPT()).run()
+        # At t=9.5 the long transaction has only 0.5 left: it finishes.
+        assert res.record_of(1).finish == 10.0
+        assert res.record_of(2).finish == 12.0
+
+    def test_minimizes_mean_response_in_batch(self):
+        # Classic SRPT property on a simultaneous batch.
+        lengths = [5.0, 1.0, 3.0]
+        txns = [
+            make_txn(i + 1, arrival=0.0, length=l, deadline=100.0)
+            for i, l in enumerate(lengths)
+        ]
+        res = Simulator(txns, SRPT()).run()
+        # Shortest-first completion: 1, 4, 9.
+        assert res.average_response_time == pytest.approx((1 + 4 + 9) / 3)
+
+
+class TestLeastSlack:
+    def test_picks_smallest_slack(self):
+        # slack = d - (t + r): a has 5, b has 2.
+        a = make_txn(1, length=5.0, deadline=10.0)
+        b = make_txn(2, length=8.0, deadline=10.0)
+        assert select_order(LeastSlack(), [a, b]) is b
+
+    def test_slack_ordering_invariant_over_time(self):
+        # Ordering by slack equals ordering by d - r regardless of t.
+        a = make_txn(1, length=5.0, deadline=10.0)
+        b = make_txn(2, length=8.0, deadline=10.0)
+        policy = LeastSlack()
+        assert select_order(policy, [a, b], now=100.0) is b
+
+
+class TestHDF:
+    def test_picks_highest_density(self):
+        dense = make_txn(1, length=2.0, weight=8.0)
+        sparse = make_txn(2, length=2.0, weight=1.0)
+        assert select_order(HDF(), [dense, sparse]) is dense
+
+    def test_reduces_to_srpt_with_unit_weights(self):
+        a = make_txn(1, length=9.0)
+        b = make_txn(2, length=2.0)
+        assert select_order(HDF(), [a, b]) is b
+
+    def test_weighted_flow_optimality_in_overload(self):
+        # Two hopeless transactions: running the denser one first gives
+        # lower total weighted tardiness.
+        heavy_short = make_txn(1, arrival=0.0, length=2.0, deadline=0.1, weight=10.0)
+        light_long = make_txn(2, arrival=0.0, length=5.0, deadline=0.1, weight=1.0)
+        res = Simulator([heavy_short, light_long], HDF()).run()
+        alt = Simulator([heavy_short, light_long], FCFS()).run()
+        assert (
+            res.total_weighted_tardiness <= alt.total_weighted_tardiness
+        )
+
+
+class TestHVF:
+    def test_picks_heaviest(self):
+        heavy = make_txn(1, weight=9.0)
+        light = make_txn(2, weight=2.0)
+        assert select_order(HVF(), [heavy, light]) is heavy
+
+
+class TestMIX:
+    def test_zero_tradeoff_is_edf(self):
+        urgent = make_txn(1, deadline=5.0, weight=1.0)
+        heavy = make_txn(2, deadline=9.0, weight=9.0)
+        assert select_order(MIX(tradeoff=0.0), [urgent, heavy]) is urgent
+
+    def test_large_tradeoff_follows_value(self):
+        urgent = make_txn(1, deadline=5.0, weight=1.0)
+        heavy = make_txn(2, deadline=9.0, weight=9.0)
+        assert select_order(MIX(tradeoff=100.0), [urgent, heavy]) is heavy
+
+    def test_negative_tradeoff_rejected(self):
+        with pytest.raises(SchedulingError):
+            MIX(tradeoff=-1.0)
+
+
+class TestLazyHeapMechanics:
+    def test_stale_entries_dropped_on_completion(self):
+        policy = EDF()
+        a = make_txn(1, deadline=5.0)
+        b = make_txn(2, deadline=9.0)
+        assert select_order(policy, [a, b]) is a
+        a.mark_running(0.0)
+        a.charge(a.length)
+        a.mark_completed(a.length)
+        policy.on_completion(a, a.length)
+        assert policy.select(10.0) is b
+
+    def test_requeue_refreshes_key(self):
+        policy = SRPT()
+        a = make_txn(1, length=10.0)
+        b = make_txn(2, length=6.0)
+        assert select_order(policy, [a, b]) is b
+        # b runs 5 units, is suspended with remaining 1 -> still wins; a
+        # runs nothing.  Then b completes and a remains.
+        b.mark_running(0.0)
+        b.charge(5.0)
+        b.mark_suspended()
+        policy.on_requeue(b, 5.0)
+        assert policy.select(5.0) is b
+
+    def test_empty_policy_selects_none(self):
+        assert EDF().select(0.0) is None
+
+    def test_pending_entries_counts_stale(self):
+        policy = SRPT()
+        a = make_txn(1, length=10.0)
+        a.mark_ready()
+        policy.on_ready(a, 0.0)
+        a.mark_running(0.0)
+        a.charge(1.0)
+        a.mark_suspended()
+        policy.on_requeue(a, 1.0)
+        assert policy.pending_entries == 2

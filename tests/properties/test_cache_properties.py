@@ -1,0 +1,60 @@
+"""Property-based tests of the fragment cache planner."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.webdb.cache import FragmentCache
+
+times = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=40,
+).map(sorted)
+
+
+@given(ts=times, ttl=st.floats(min_value=0.1, max_value=200.0, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_hit_plus_miss_counts_and_lengths(ts, ttl):
+    cache = FragmentCache(ttl=ttl, hit_cost=0.1)
+    for t in ts:
+        decision = cache.decide("k", t, miss_length=5.0)
+        assert decision.length == (0.1 if decision.hit else 5.0)
+    assert cache.hits + cache.misses == len(ts)
+
+
+@given(ts=times)
+@settings(max_examples=50, deadline=None)
+def test_hit_count_monotone_in_ttl(ts):
+    # A larger TTL can only turn misses into hits, never the reverse.
+    short = FragmentCache(ttl=5.0)
+    long = FragmentCache(ttl=50.0)
+    for t in ts:
+        short.decide("k", t, 1.0)
+        long.decide("k", t, 1.0)
+    assert long.hits >= short.hits
+
+
+@given(
+    ts=times,
+    ttl=st.floats(min_value=0.1, max_value=200.0, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_consecutive_misses_spaced_by_at_least_ttl(ts, ttl):
+    cache = FragmentCache(ttl=ttl)
+    miss_times = [
+        t for t in ts if not cache.decide("k", t, 1.0).hit
+    ]
+    for a, b in zip(miss_times, miss_times[1:]):
+        if b > a:  # duplicate timestamps always hit after the first
+            assert b - a >= ttl - 1e-9
+
+
+@given(ts=times)
+@settings(max_examples=30, deadline=None)
+def test_replay_after_reset_is_identical(ts):
+    first = FragmentCache(ttl=10.0)
+    decisions_a = [first.decide("k", t, 1.0).hit for t in ts]
+    first.reset()
+    decisions_b = [first.decide("k", t, 1.0).hit for t in ts]
+    assert decisions_a == decisions_b

@@ -1,0 +1,72 @@
+"""Property-based tests of the workload generator's invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.workload.generator import generate
+from repro.workload.spec import WorkloadSpec
+
+specs = st.builds(
+    WorkloadSpec,
+    n_transactions=st.integers(min_value=1, max_value=60),
+    utilization=st.floats(min_value=0.05, max_value=1.5, allow_nan=False),
+    zipf_alpha=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    k_max=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    weighted=st.booleans(),
+    with_workflows=st.booleans(),
+    max_workflow_length=st.integers(min_value=1, max_value=10),
+    max_workflows_per_txn=st.integers(min_value=1, max_value=10),
+)
+
+
+@given(spec=specs, seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_generated_workload_is_well_formed(spec, seed):
+    w = generate(spec, seed)
+    assert w.n == spec.n_transactions
+    ids = [t.txn_id for t in w.transactions]
+    assert ids == sorted(set(ids))
+    for t in w.transactions:
+        assert spec.length_min <= t.length <= spec.length_max
+        assert t.arrival + t.length <= t.deadline + 1e-9
+        assert t.deadline <= t.arrival + t.length * (1 + spec.k_max) + 1e-9
+        if spec.weighted:
+            assert spec.weight_min <= t.weight <= spec.weight_max
+        else:
+            assert t.weight == 1.0
+        # Dependencies always point backward in arrival/id order.
+        assert all(dep < t.txn_id for dep in t.depends_on)
+    if spec.with_workflows:
+        assert w.workflow_set is not None
+        w.workflow_set.validate_acyclic()
+    else:
+        assert all(t.is_independent for t in w.transactions)
+
+
+@given(spec=specs, seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_generation_is_deterministic(spec, seed):
+    a = generate(spec, seed)
+    b = generate(spec, seed)
+    for ta, tb in zip(a.transactions, b.transactions):
+        assert ta.arrival == tb.arrival
+        assert ta.length == tb.length
+        assert ta.deadline == tb.deadline
+        assert ta.weight == tb.weight
+        assert ta.depends_on == tb.depends_on
+
+
+@given(
+    spec=specs,
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_every_generated_workload_simulates_to_completion(spec, seed):
+    from repro.policies import ASETSStar
+    from repro.sim.engine import Simulator
+
+    w = generate(spec, seed)
+    res = Simulator(
+        w.transactions, ASETSStar(), workflow_set=w.workflow_set
+    ).run()
+    assert res.n == w.n

@@ -1,0 +1,30 @@
+"""Unit tests for events and their ordering."""
+
+from repro.sim.events import Event, EventKind
+
+
+def test_kind_priority_order():
+    # Completions free dependents before simultaneous arrivals are seen.
+    assert EventKind.COMPLETION < EventKind.ARRIVAL < EventKind.ACTIVATION
+
+
+def test_sort_key_orders_by_time_then_kind_then_seq():
+    e1 = Event(1.0, EventKind.ARRIVAL, seq=5, txn_id=1)
+    e2 = Event(1.0, EventKind.COMPLETION, seq=9, txn_id=2)
+    e3 = Event(0.5, EventKind.ACTIVATION, seq=1)
+    assert sorted([e1, e2, e3], key=Event.sort_key) == [e3, e2, e1]
+
+
+def test_events_are_frozen():
+    e = Event(1.0, EventKind.ARRIVAL, seq=1, txn_id=1)
+    try:
+        e.time = 2.0
+    except AttributeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("Event should be immutable")
+
+
+def test_activation_has_no_transaction():
+    e = Event(1.0, EventKind.ACTIVATION, seq=1)
+    assert e.txn_id is None

@@ -1,0 +1,129 @@
+"""Tests for the online length profiler and its webdb integration."""
+
+import random
+
+import pytest
+
+from repro.errors import QueryError, SimulationError
+from repro.sim.profiler import LengthProfiler
+from repro.webdb import (
+    ContentFragment,
+    Database,
+    DynamicPage,
+    PageRequest,
+    WebDatabase,
+)
+from repro.webdb.query import Scan
+from repro.webdb.sla import GOLD
+
+
+class TestLengthProfiler:
+    def test_smoothing_validated(self):
+        with pytest.raises(SimulationError):
+            LengthProfiler(smoothing=0.0)
+        with pytest.raises(SimulationError):
+            LengthProfiler(smoothing=1.5)
+
+    def test_fallback_until_first_observation(self):
+        p = LengthProfiler()
+        assert p.estimate("q", fallback=7.0) == 7.0
+        p.observe("q", 3.0)
+        assert p.estimate("q", fallback=7.0) == 3.0
+
+    def test_ema_update(self):
+        p = LengthProfiler(smoothing=0.5)
+        p.observe("q", 20.0)
+        p.observe("q", 10.0)
+        assert p.estimate("q", 0.0) == pytest.approx(15.0)
+
+    def test_converges_to_constant_signal(self):
+        p = LengthProfiler(smoothing=0.3)
+        for _ in range(60):
+            p.observe("q", 4.0)
+        assert p.estimate("q", 0.0) == pytest.approx(4.0)
+
+    def test_observation_validation(self):
+        with pytest.raises(SimulationError):
+            LengthProfiler().observe("q", 0.0)
+
+    def test_bookkeeping(self):
+        p = LengthProfiler()
+        p.observe("a", 1.0)
+        p.observe("a", 2.0)
+        p.observe("b", 1.0)
+        assert p.observations("a") == 2
+        assert p.observations("zzz") == 0
+        assert p.known_classes() == ["a", "b"]
+        p.reset()
+        assert p.known_classes() == []
+
+
+@pytest.fixture
+def noisy_portal():
+    db = Database()
+    stocks = db.create_table("stocks", ["symbol", "price"])
+    for i in range(30):
+        stocks.insert({"symbol": f"S{i}", "price": float(i)})
+    page = DynamicPage("p", [ContentFragment("prices", Scan("stocks"))])
+    return db, page
+
+
+class TestWebdbIntegration:
+    def _submit(self, wdb, page, n=15):
+        rng = random.Random(1)
+        t = 0.0
+        for i in range(n):
+            t += rng.expovariate(1.0)
+            wdb.submit(PageRequest(f"u{i}", page, GOLD, at=t))
+
+    def test_cost_noise_validation(self, noisy_portal):
+        db, _ = noisy_portal
+        with pytest.raises(QueryError):
+            WebDatabase(db, cost_noise=-0.5)
+
+    def test_noise_perturbs_true_lengths(self, noisy_portal):
+        db, page = noisy_portal
+        wdb = WebDatabase(db, cost_noise=0.5)
+        wdb.register_page(page)
+        self._submit(wdb, page)
+        txns, _ = wdb.compile_requests()
+        lengths = {t.length for t in txns}
+        assert len(lengths) > 1  # no longer the single model cost
+        estimates = {t.length_estimate for t in txns}
+        assert len(estimates) == 1  # belief is still the flat model cost
+
+    def test_noise_deterministic_per_mix(self, noisy_portal):
+        db, page = noisy_portal
+        wdb = WebDatabase(db, cost_noise=0.5, noise_seed=7)
+        wdb.register_page(page)
+        self._submit(wdb, page)
+        a, _ = wdb.compile_requests()
+        b, _ = wdb.compile_requests()
+        assert [t.length for t in a] == [t.length for t in b]
+
+    def test_profiler_learns_across_runs(self, noisy_portal):
+        db, page = noisy_portal
+        profiler = LengthProfiler(smoothing=0.5)
+        wdb = WebDatabase(db, profiler=profiler, cost_noise=0.6)
+        wdb.register_page(page)
+        self._submit(wdb, page)
+
+        first_txns, _ = wdb.compile_requests()
+        model = first_txns[0].length_estimate
+        wdb.run("srpt")
+        assert profiler.observations("p/prices") == 15
+
+        second_txns, _ = wdb.compile_requests()
+        learned = second_txns[0].length_estimate
+        true_mean = sum(t.length for t in first_txns) / len(first_txns)
+        # The learned estimate moved from the flat model toward the truth.
+        assert learned != model
+        assert abs(learned - true_mean) < abs(model - true_mean) + 0.05 * true_mean
+
+    def test_without_profiler_nothing_is_observed(self, noisy_portal):
+        db, page = noisy_portal
+        wdb = WebDatabase(db, cost_noise=0.5)
+        wdb.register_page(page)
+        self._submit(wdb, page)
+        report = wdb.run("edf")
+        assert report.simulation.n == 15

@@ -1,0 +1,102 @@
+"""Unit tests for SimulationResult and TransactionRecord."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.results import SimulationResult, TransactionRecord
+from tests.conftest import make_txn
+
+
+def rec(txn_id=1, arrival=0.0, length=2.0, deadline=5.0, weight=1.0, finish=4.0):
+    return TransactionRecord(
+        txn_id=txn_id,
+        arrival=arrival,
+        length=length,
+        deadline=deadline,
+        weight=weight,
+        finish=finish,
+        first_start=arrival,
+        preemptions=0,
+    )
+
+
+class TestTransactionRecord:
+    def test_tardiness_definition(self):
+        assert rec(deadline=5.0, finish=4.0).tardiness == 0.0
+        assert rec(deadline=5.0, finish=7.5).tardiness == 2.5
+
+    def test_weighted_tardiness(self):
+        assert rec(deadline=5.0, finish=7.0, weight=3.0).weighted_tardiness == 6.0
+
+    def test_response_time_and_met_deadline(self):
+        r = rec(arrival=1.0, finish=4.0)
+        assert r.response_time == 3.0
+        assert r.met_deadline
+
+    def test_from_incomplete_transaction_raises(self):
+        with pytest.raises(SimulationError):
+            TransactionRecord.from_transaction(make_txn())
+
+    def test_from_completed_transaction(self):
+        t = make_txn(length=2.0, deadline=9.0, weight=3.0)
+        t.mark_ready()
+        t.mark_running(1.0)
+        t.charge(2.0)
+        t.mark_completed(3.0)
+        r = TransactionRecord.from_transaction(t)
+        assert r.finish == 3.0
+        assert r.weight == 3.0
+        assert r.first_start == 1.0
+
+
+class TestSimulationResult:
+    def test_requires_records(self):
+        with pytest.raises(SimulationError):
+            SimulationResult("edf", [])
+
+    def test_aggregates(self):
+        rs = [
+            rec(1, deadline=5.0, finish=4.0, weight=2.0),   # on time
+            rec(2, deadline=5.0, finish=9.0, weight=3.0),   # tardy 4
+            rec(3, deadline=5.0, finish=7.0, weight=1.0),   # tardy 2
+        ]
+        res = SimulationResult("edf", rs)
+        assert res.n == 3
+        assert res.average_tardiness == pytest.approx(2.0)
+        assert res.average_weighted_tardiness == pytest.approx((12 + 2) / 3)
+        assert res.max_tardiness == 4.0
+        assert res.max_weighted_tardiness == 12.0
+        assert res.total_tardiness == 6.0
+        assert res.deadline_miss_ratio == pytest.approx(2 / 3)
+        assert res.makespan == 9.0
+
+    def test_record_of(self):
+        res = SimulationResult("edf", [rec(5)])
+        assert res.record_of(5).txn_id == 5
+        with pytest.raises(KeyError):
+            res.record_of(99)
+
+    def test_finish_order(self):
+        rs = [rec(1, finish=9.0), rec(2, finish=3.0)]
+        assert SimulationResult("x", rs).finish_order() == [2, 1]
+
+    def test_tardy_records(self):
+        rs = [rec(1, finish=4.0), rec(2, finish=9.0)]
+        tardy = SimulationResult("x", rs).tardy_records()
+        assert [r.txn_id for r in tardy] == [2]
+
+    def test_summary_keys(self):
+        res = SimulationResult("edf", [rec()])
+        summary = res.summary()
+        assert summary["n"] == 1.0
+        assert "average_weighted_tardiness" in summary
+
+    def test_mean_over_runs(self):
+        r1 = SimulationResult("x", [rec(finish=7.0)])  # tardiness 2
+        r2 = SimulationResult("x", [rec(finish=9.0)])  # tardiness 4
+        assert SimulationResult.mean_over_runs([r1, r2], "average_tardiness") == 3.0
+        with pytest.raises(SimulationError):
+            SimulationResult.mean_over_runs([], "average_tardiness")
+
+    def test_repr(self):
+        assert "edf" in repr(SimulationResult("edf", [rec()]))

@@ -1,0 +1,54 @@
+"""Unit tests for execution traces."""
+
+from repro.sim.trace import ExecutionSlice, Trace
+
+
+def test_slices_record_in_order():
+    tr = Trace()
+    tr.record(1, 0.0, 2.0)
+    tr.record(2, 2.0, 5.0)
+    assert [s.txn_id for s in tr.slices()] == [1, 2]
+    assert tr.busy_time() == 5.0
+
+
+def test_adjacent_same_transaction_coalesced():
+    tr = Trace()
+    tr.record(1, 0.0, 2.0)
+    tr.record(1, 2.0, 3.0)
+    assert len(tr) == 1
+    assert tr.slices()[0] == ExecutionSlice(1, 0.0, 3.0)
+
+
+def test_gap_prevents_coalescing():
+    tr = Trace()
+    tr.record(1, 0.0, 2.0)
+    tr.record(1, 3.0, 4.0)
+    assert len(tr) == 2
+
+
+def test_zero_length_slices_ignored():
+    tr = Trace()
+    tr.record(1, 2.0, 2.0)
+    assert len(tr) == 0
+
+
+def test_order_of_first_execution():
+    tr = Trace()
+    tr.record(2, 0.0, 1.0)
+    tr.record(1, 1.0, 2.0)
+    tr.record(2, 2.0, 3.0)
+    assert tr.order_of_first_execution() == [2, 1]
+
+
+def test_slices_of_single_transaction():
+    tr = Trace()
+    tr.record(1, 0.0, 1.0)
+    tr.record(2, 1.0, 2.0)
+    tr.record(1, 2.0, 3.0)
+    assert [s.duration for s in tr.slices_of(1)] == [1.0, 1.0]
+
+
+def test_iteration():
+    tr = Trace()
+    tr.record(1, 0.0, 1.0)
+    assert [s.txn_id for s in tr] == [1]

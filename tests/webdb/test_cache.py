@@ -1,0 +1,157 @@
+"""Unit and integration tests for fragment caching/materialization."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.webdb import (
+    ContentFragment,
+    Database,
+    DynamicPage,
+    PageRequest,
+    WebDatabase,
+)
+from repro.webdb.cache import FragmentCache
+from repro.webdb.query import Aggregate, Input, Scan
+from repro.webdb.sla import GOLD
+
+
+class TestFragmentCacheUnit:
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            FragmentCache(ttl=0.0)
+        with pytest.raises(QueryError):
+            FragmentCache(ttl=1.0, hit_cost=0.0)
+        with pytest.raises(QueryError):
+            FragmentCache(ttl=1.0).decide("k", 0.0, miss_length=0.0)
+
+    def test_miss_then_hit_then_expiry(self):
+        cache = FragmentCache(ttl=10.0, hit_cost=0.1)
+        first = cache.decide("prices", at=0.0, miss_length=2.0)
+        assert not first.hit and first.length == 2.0
+        second = cache.decide("prices", at=9.9, miss_length=2.0)
+        assert second.hit and second.length == 0.1
+        third = cache.decide("prices", at=10.0, miss_length=2.0)
+        assert not third.hit  # ttl boundary: stale
+
+    def test_keys_independent(self):
+        cache = FragmentCache(ttl=10.0)
+        cache.decide("a", 0.0, 1.0)
+        assert not cache.decide("b", 1.0, 1.0).hit
+
+    def test_statistics_and_reset(self):
+        cache = FragmentCache(ttl=10.0)
+        cache.decide("a", 0.0, 1.0)
+        cache.decide("a", 1.0, 1.0)
+        cache.decide("a", 2.0, 1.0)
+        assert cache.hits == 2 and cache.misses == 1
+        assert cache.hit_ratio == pytest.approx(2 / 3)
+        cache.reset()
+        assert cache.hit_ratio == 0.0
+        assert not cache.decide("a", 3.0, 1.0).hit
+
+    def test_hits_do_not_refresh(self):
+        # Freshness is anchored at the last *materialisation*.
+        cache = FragmentCache(ttl=10.0)
+        cache.decide("a", 0.0, 1.0)   # miss, refresh at 0
+        assert cache.decide("a", 9.0, 1.0).hit
+        assert not cache.decide("a", 10.5, 1.0).hit  # expired despite hit at 9
+
+
+class TestCacheableFragmentValidation:
+    def test_dependent_fragment_cannot_be_cached(self):
+        with pytest.raises(QueryError, match="cannot be cached"):
+            ContentFragment(
+                "total", Aggregate(Input("prices"), "count"), cache_key="t"
+            )
+
+    def test_base_table_fragment_can_be_cached(self):
+        frag = ContentFragment("prices", Scan("stocks"), cache_key="prices")
+        assert frag.cache_key == "prices"
+
+
+@pytest.fixture
+def cached_webdb():
+    db = Database()
+    stocks = db.create_table("stocks", ["symbol", "price"])
+    for i in range(30):
+        stocks.insert({"symbol": f"S{i}", "price": float(i)})
+    page = DynamicPage(
+        "portal",
+        [
+            ContentFragment("prices", Scan("stocks"), cache_key="prices"),
+            ContentFragment("count", Aggregate(Input("prices"), "count")),
+        ],
+    )
+    wdb = WebDatabase(db, cache=FragmentCache(ttl=50.0, hit_cost=0.05))
+    wdb.register_page(page)
+    return wdb, page
+
+
+class TestFrontEndIntegration:
+    def test_cached_fragment_compiles_short(self, cached_webdb):
+        wdb, page = cached_webdb
+        wdb.submit(PageRequest("u", page, GOLD, at=0.0))
+        wdb.submit(PageRequest("v", page, GOLD, at=10.0))
+        txns, mappings = wdb.compile_requests()
+        first_prices = txns[mappings[0]["prices"]]
+        second_prices = txns[mappings[1]["prices"]]
+        assert second_prices.length == 0.05
+        assert first_prices.length > 0.05
+        assert wdb.cache.hits == 1
+
+    def test_hit_tightens_deadline(self, cached_webdb):
+        wdb, page = cached_webdb
+        wdb.submit(PageRequest("u", page, GOLD, at=0.0))
+        wdb.submit(PageRequest("v", page, GOLD, at=10.0))
+        txns, mappings = wdb.compile_requests()
+        miss = txns[mappings[0]["prices"]]
+        hit = txns[mappings[1]["prices"]]
+        assert hit.deadline - hit.arrival < miss.deadline - miss.arrival
+
+    def test_uncached_fragments_unaffected(self, cached_webdb):
+        wdb, page = cached_webdb
+        wdb.submit(PageRequest("u", page, GOLD, at=0.0))
+        wdb.submit(PageRequest("v", page, GOLD, at=10.0))
+        txns, mappings = wdb.compile_requests()
+        assert (
+            txns[mappings[0]["count"]].length
+            == txns[mappings[1]["count"]].length
+        )
+
+    def test_out_of_order_submission_planned_in_arrival_order(self, cached_webdb):
+        wdb, page = cached_webdb
+        wdb.submit(PageRequest("late", page, GOLD, at=10.0))
+        wdb.submit(PageRequest("early", page, GOLD, at=0.0))
+        txns, mappings = wdb.compile_requests()
+        # Mapping order follows submission; the cache miss belongs to the
+        # *earlier* request.
+        late_prices = txns[mappings[0]["prices"]]
+        early_prices = txns[mappings[1]["prices"]]
+        assert early_prices.length > 0.05
+        assert late_prices.length == 0.05
+
+    def test_replay_deterministic(self, cached_webdb):
+        wdb, page = cached_webdb
+        wdb.submit(PageRequest("u", page, GOLD, at=0.0))
+        wdb.submit(PageRequest("v", page, GOLD, at=10.0))
+        a = wdb.run("edf")
+        b = wdb.run("edf")
+        assert [p.finish for p in a.page_results] == [
+            p.finish for p in b.page_results
+        ]
+
+    def test_cache_reduces_latency_end_to_end(self, cached_webdb):
+        wdb, page = cached_webdb
+        for i in range(20):
+            wdb.submit(PageRequest(f"u{i}", page, GOLD, at=float(i)))
+        cached_report = wdb.run("edf")
+
+        uncached = WebDatabase(wdb.db)
+        uncached.register_page(page)
+        for i in range(20):
+            uncached.submit(PageRequest(f"u{i}", page, GOLD, at=float(i)))
+        uncached_report = uncached.run("edf")
+        assert (
+            cached_report.average_page_latency
+            < uncached_report.average_page_latency
+        )

@@ -1,0 +1,68 @@
+"""Unit tests for the in-memory store."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.webdb.database import Database, Table
+
+
+class TestTable:
+    def test_construction_validation(self):
+        with pytest.raises(QueryError):
+            Table("", ["a"])
+        with pytest.raises(QueryError):
+            Table("t", [])
+        with pytest.raises(QueryError):
+            Table("t", ["a", "a"])
+
+    def test_insert_schema_checked(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(QueryError):
+            t.insert({"a": 1})
+        with pytest.raises(QueryError):
+            t.insert({"a": 1, "b": 2, "c": 3})
+        t.insert({"a": 1, "b": 2})
+        assert t.row_count == 1
+
+    def test_insert_many(self):
+        t = Table("t", ["a"])
+        t.insert_many([{"a": i} for i in range(5)])
+        assert t.row_count == 5
+
+    def test_scan_returns_copies(self):
+        t = Table("t", ["a"])
+        t.insert({"a": 1})
+        row = next(t.scan())
+        row["a"] = 99
+        assert next(t.scan())["a"] == 1
+
+    def test_delete_where(self):
+        t = Table("t", ["a"])
+        t.insert_many([{"a": i} for i in range(6)])
+        removed = t.delete_where(lambda r: r["a"] % 2 == 0)
+        assert removed == 3
+        assert t.row_count == 3
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        db = Database()
+        db.create_table("t", ["a"])
+        assert "t" in db
+        assert db.table("t").columns == ("a",)
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("t", ["a"])
+        with pytest.raises(QueryError):
+            db.create_table("t", ["b"])
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(QueryError, match="unknown table"):
+            Database().table("nope")
+
+    def test_table_names_sorted(self):
+        db = Database()
+        db.create_table("zz", ["a"])
+        db.create_table("aa", ["a"])
+        assert db.table_names() == ["aa", "zz"]

@@ -1,0 +1,298 @@
+"""Tests for structured predicates and the query optimizer."""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import QueryError
+from repro.webdb.database import Database
+from repro.webdb.optimizer import optimize, output_columns
+from repro.webdb.predicates import (
+    ColumnPredicate,
+    Conjunction,
+    referenced_columns,
+    selectivity_of,
+)
+from repro.webdb.query import (
+    Aggregate,
+    Filter,
+    Input,
+    Join,
+    Limit,
+    Project,
+    Scan,
+    Sort,
+)
+from repro.webdb.sql import parse_sql
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    stocks = db.create_table("stocks", ["symbol", "price", "sector"])
+    rng = random.Random(0)
+    for i in range(40):
+        stocks.insert(
+            {
+                "symbol": f"S{i:02d}",
+                "price": round(rng.uniform(1, 100), 2),
+                "sector": rng.choice(("tech", "energy")),
+            }
+        )
+    positions = db.create_table("positions", ["symbol", "shares", "owner"])
+    for i in rng.sample(range(40), 15):
+        positions.insert(
+            {
+                "symbol": f"S{i:02d}",
+                "shares": rng.randint(1, 50),
+                "owner": rng.choice(("alice", "bob")),
+            }
+        )
+    return db
+
+
+class TestPredicates:
+    def test_column_predicate_callable(self):
+        p = ColumnPredicate("x", ">=", 5)
+        assert p({"x": 5}) and not p({"x": 4})
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            ColumnPredicate("", "=", 1)
+        with pytest.raises(QueryError):
+            ColumnPredicate("x", "~", 1)
+        with pytest.raises(QueryError):
+            Conjunction([])
+
+    def test_missing_column_raises(self):
+        with pytest.raises(QueryError):
+            ColumnPredicate("x", "=", 1)({"y": 2})
+
+    def test_conjunction_semantics(self):
+        c = Conjunction(
+            [ColumnPredicate("x", ">", 1), ColumnPredicate("x", "<", 5)]
+        )
+        assert c({"x": 3}) and not c({"x": 7})
+        assert c.references() == {"x"}
+        assert c.selectivity == pytest.approx(0.33 * 0.33)
+
+    def test_opaque_lambda_unknowable(self):
+        assert referenced_columns(lambda r: True) is None
+        assert selectivity_of(lambda r: True) == pytest.approx(1 / 3)
+        c = Conjunction([ColumnPredicate("x", "=", 1), lambda r: True])
+        assert c.references() is None
+
+    def test_equality_more_selective_than_range(self):
+        eq = ColumnPredicate("x", "=", 1)
+        lt = ColumnPredicate("x", "<", 1)
+        ne = ColumnPredicate("x", "!=", 1)
+        assert eq.selectivity < lt.selectivity < ne.selectivity
+
+
+class TestOutputColumns:
+    def test_scan_and_project(self, db):
+        assert output_columns(Scan("stocks"), db) == {"symbol", "price", "sector"}
+        assert output_columns(Project(Scan("stocks"), ["price"]), db) == {"price"}
+
+    def test_join_union(self, db):
+        plan = Join(Scan("positions"), Scan("stocks"), on="symbol")
+        assert output_columns(plan, db) == {
+            "symbol", "price", "sector", "shares", "owner",
+        }
+
+    def test_input_is_opaque(self, db):
+        assert output_columns(Input("x"), db) is None
+        assert output_columns(Join(Input("x"), Scan("stocks"), on="s"), db) is None
+
+    def test_aggregate(self, db):
+        assert output_columns(Aggregate(Scan("stocks"), "sum", "price"), db) == {
+            "sum_price"
+        }
+        assert output_columns(Aggregate(Scan("stocks"), "count"), db) == {"count"}
+
+
+def assert_equivalent_and_no_dearer(plan, db, bindings=None):
+    optimized = optimize(plan, db)
+    assert optimized.execute(db, bindings) == plan.execute(db, bindings)
+    assert optimized.estimated_cost(db) <= plan.estimated_cost(db) + 1e-9
+    return optimized
+
+
+class TestRules:
+    def test_filter_merge(self, db):
+        plan = Filter(
+            Filter(Scan("stocks"), ColumnPredicate("price", ">", 10)),
+            ColumnPredicate("sector", "=", "tech"),
+        )
+        optimized = assert_equivalent_and_no_dearer(plan, db)
+        assert isinstance(optimized, Filter)
+        assert isinstance(optimized.source, Scan)
+
+    def test_filter_past_sort(self, db):
+        plan = Filter(
+            Sort(Scan("stocks"), by="price"),
+            ColumnPredicate("price", ">", 50),
+        )
+        optimized = assert_equivalent_and_no_dearer(plan, db)
+        assert isinstance(optimized, Sort)
+        # Strictly cheaper: the sort now handles ~a third of the rows.
+        assert optimized.estimated_cost(db) < plan.estimated_cost(db)
+
+    def test_filter_past_project_when_columns_survive(self, db):
+        plan = Filter(
+            Project(Scan("stocks"), ["symbol", "price"]),
+            ColumnPredicate("price", ">", 50),
+        )
+        optimized = assert_equivalent_and_no_dearer(plan, db)
+        assert isinstance(optimized, Project)
+
+    def test_filter_blocked_by_projection_dropping_column(self, db):
+        # The predicate's column does not survive the projection in the
+        # rewritten order; rule must abstain (plan unchanged).
+        plan = Filter(
+            Project(Scan("stocks"), ["price"]),
+            ColumnPredicate("price", ">", 50),
+        )
+        # (column survives here, so it DOES move; build the blocked case:)
+        blocked = Filter(
+            Project(Scan("stocks"), ["symbol"]),
+            lambda r: True,  # opaque: must not move
+        )
+        optimized = optimize(blocked, db)
+        assert isinstance(optimized, Filter)
+        assert isinstance(optimized.source, Project)
+
+    def test_filter_pushed_into_join_left(self, db):
+        plan = Filter(
+            Join(Scan("positions"), Scan("stocks"), on="symbol"),
+            ColumnPredicate("owner", "=", "alice"),
+        )
+        optimized = assert_equivalent_and_no_dearer(plan, db)
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Filter)
+        assert optimized.estimated_cost(db) < plan.estimated_cost(db)
+
+    def test_filter_pushed_into_join_right(self, db):
+        plan = Filter(
+            Join(Scan("positions"), Scan("stocks"), on="symbol"),
+            ColumnPredicate("sector", "=", "tech"),
+        )
+        optimized = assert_equivalent_and_no_dearer(plan, db)
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.right, Filter)
+
+    def test_join_column_predicate_pushed(self, db):
+        plan = Filter(
+            Join(Scan("positions"), Scan("stocks"), on="symbol"),
+            ColumnPredicate("symbol", "=", "S03"),
+        )
+        optimized = assert_equivalent_and_no_dearer(plan, db)
+        assert isinstance(optimized, Join)
+
+    def test_join_with_input_side_blocks_pushdown(self, db):
+        plan = Filter(
+            Join(Input("prices"), Scan("stocks"), on="symbol"),
+            ColumnPredicate("sector", "=", "tech"),
+        )
+        optimized = optimize(plan, db)
+        assert isinstance(optimized, Filter)  # unchanged shape
+
+    def test_limit_merge(self, db):
+        plan = Limit(Limit(Scan("stocks"), 10), 3)
+        optimized = assert_equivalent_and_no_dearer(plan, db)
+        assert isinstance(optimized, Limit)
+        assert optimized.n == 3
+        assert isinstance(optimized.source, Scan)
+
+    def test_deep_composition(self, db):
+        plan = parse_sql(
+            "SELECT symbol, price FROM positions JOIN stocks USING symbol "
+            "WHERE sector = 'tech' AND price > 20 ORDER BY price DESC LIMIT 5"
+        )
+        assert_equivalent_and_no_dearer(plan, db)
+
+    def test_fixpoint_reached(self, db):
+        plan = Filter(
+            Sort(Sort(Scan("stocks"), by="price"), by="symbol"),
+            ColumnPredicate("price", ">", 10),
+        )
+        once = optimize(plan, db)
+        twice = optimize(once, db)
+        assert repr(once) == repr(twice)
+
+
+class TestPropertyEquivalence:
+    @given(
+        threshold=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        sector=st.sampled_from(["tech", "energy", "nope"]),
+        limit=st.integers(min_value=0, max_value=20),
+        descending=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_optimized_sql_always_equivalent(
+        self, threshold, sector, limit, descending
+    ):
+        db = Database()
+        stocks = db.create_table("stocks", ["symbol", "price", "sector"])
+        rng = random.Random(42)
+        for i in range(25):
+            stocks.insert(
+                {
+                    "symbol": f"S{i:02d}",
+                    "price": round(rng.uniform(1, 100), 2),
+                    "sector": rng.choice(("tech", "energy")),
+                }
+            )
+        positions = db.create_table("positions", ["symbol", "shares"])
+        for i in rng.sample(range(25), 10):
+            positions.insert({"symbol": f"S{i:02d}", "shares": rng.randint(1, 9)})
+        direction = "DESC" if descending else "ASC"
+        plan = parse_sql(
+            f"SELECT symbol, price FROM positions JOIN stocks USING symbol "
+            f"WHERE sector = '{sector}' AND price > {threshold:.2f} "
+            f"ORDER BY price {direction} LIMIT {limit}"
+        )
+        optimized = optimize(plan, db)
+        assert optimized.execute(db) == plan.execute(db)
+        assert optimized.estimated_cost(db) <= plan.estimated_cost(db) + 1e-9
+
+
+class TestFrontendIntegration:
+    def test_optimize_queries_flag_reduces_lengths(self, db):
+        from repro.webdb import ContentFragment, DynamicPage, WebDatabase
+        from repro.webdb.sessions import PageRequest
+        from repro.webdb.sla import GOLD
+
+        def make_page():
+            return DynamicPage(
+                "portal",
+                [
+                    ContentFragment(
+                        "techies",
+                        parse_sql(
+                            "SELECT symbol, price FROM positions JOIN stocks "
+                            "USING symbol WHERE sector = 'tech' "
+                            "ORDER BY price DESC"
+                        ),
+                    )
+                ],
+            )
+
+        plain = WebDatabase(db)
+        plain.register_page(make_page())
+        plain.submit(PageRequest("u", plain.page("portal"), GOLD, at=0.0))
+        txns_plain, _ = plain.compile_requests()
+
+        tuned = WebDatabase(db, optimize_queries=True)
+        tuned.register_page(make_page())
+        tuned.submit(PageRequest("u", tuned.page("portal"), GOLD, at=0.0))
+        txns_tuned, _ = tuned.compile_requests()
+
+        assert txns_tuned[0].length < txns_plain[0].length
+        # Content is identical either way.
+        assert (
+            plain.run("edf").page_results[0].content
+            == tuned.run("edf").page_results[0].content
+        )

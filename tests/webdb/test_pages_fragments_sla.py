@@ -1,0 +1,166 @@
+"""Unit tests for fragments, pages, SLA tiers and sessions."""
+
+import random
+
+import pytest
+
+from repro.errors import QueryError
+from repro.webdb.database import Database
+from repro.webdb.fragments import ContentFragment
+from repro.webdb.pages import DynamicPage
+from repro.webdb.query import Aggregate, Input, Scan
+from repro.webdb.sessions import PageRequest, UserSession
+from repro.webdb.sla import BRONZE, GOLD, SILVER, SLA_TIERS, SLATier
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    t = db.create_table("stocks", ["symbol", "price"])
+    t.insert({"symbol": "A", "price": 10.0})
+    return db
+
+
+class TestFragments:
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            ContentFragment("", Scan("stocks"))
+        with pytest.raises(QueryError):
+            ContentFragment("f", Scan("stocks"), urgency=0.0)
+        with pytest.raises(QueryError):
+            ContentFragment("f", Scan("stocks"), weight_boost=-1.0)
+
+    def test_dependencies_from_inputs(self):
+        frag = ContentFragment("total", Aggregate(Input("prices"), "count"))
+        assert frag.dependencies() == {"prices"}
+
+    def test_default_renderer(self, db):
+        frag = ContentFragment("prices", Scan("stocks"))
+        rows = frag.materialise(db, {})
+        text = frag.render(rows)
+        assert text.startswith("== prices ==")
+        assert "symbol=A" in text
+
+    def test_default_renderer_empty(self):
+        frag = ContentFragment("x", Scan("stocks"))
+        assert "(no data)" in frag.render([])
+
+    def test_custom_renderer(self, db):
+        frag = ContentFragment(
+            "prices", Scan("stocks"), renderer=lambda n, rows: f"{n}:{len(rows)}"
+        )
+        assert frag.render([{}, {}]) == "prices:2"
+
+    def test_estimated_cost_positive(self, db):
+        assert ContentFragment("p", Scan("stocks")).estimated_cost(db) > 0
+
+
+class TestPages:
+    def _page(self):
+        return DynamicPage(
+            "portal",
+            [
+                ContentFragment("prices", Scan("stocks")),
+                ContentFragment("total", Aggregate(Input("prices"), "count")),
+            ],
+        )
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            DynamicPage("", [ContentFragment("a", Scan("t"))])
+        with pytest.raises(QueryError):
+            DynamicPage("p", [])
+        with pytest.raises(QueryError):
+            DynamicPage(
+                "p",
+                [
+                    ContentFragment("a", Scan("t")),
+                    ContentFragment("a", Scan("t")),
+                ],
+            )
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(QueryError, match="unknown fragments"):
+            DynamicPage("p", [ContentFragment("a", Input("missing"))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(QueryError, match="cycle"):
+            DynamicPage(
+                "p",
+                [
+                    ContentFragment("a", Input("b")),
+                    ContentFragment("b", Input("a")),
+                ],
+            )
+
+    def test_topological_order(self):
+        page = self._page()
+        assert page.topological_names() == ["prices", "total"]
+        assert [f.name for f in page.fragments()] == ["prices", "total"]
+
+    def test_lookup(self):
+        page = self._page()
+        assert page.fragment("prices").name == "prices"
+        with pytest.raises(QueryError):
+            page.fragment("nope")
+        assert "prices" in page and len(page) == 2
+
+
+class TestSLA:
+    def test_tier_ladder(self):
+        assert GOLD.slack_factor < SILVER.slack_factor < BRONZE.slack_factor
+        assert GOLD.weight > SILVER.weight > BRONZE.weight
+        assert set(SLA_TIERS) == {"gold", "silver", "bronze"}
+
+    def test_deadline_formula(self):
+        # d = a + l + k * urgency * l.
+        assert GOLD.deadline_for(10.0, 4.0) == pytest.approx(18.0)
+        assert GOLD.deadline_for(10.0, 4.0, urgency=0.5) == pytest.approx(16.0)
+
+    def test_deadline_validation(self):
+        with pytest.raises(QueryError):
+            GOLD.deadline_for(0.0, 0.0)
+        with pytest.raises(QueryError):
+            GOLD.deadline_for(0.0, 1.0, urgency=0.0)
+
+    def test_weight_for(self):
+        assert GOLD.weight_for() == 8.0
+        assert GOLD.weight_for(2.0) == 10.0
+        with pytest.raises(QueryError):
+            GOLD.weight_for(-1.0)
+
+    def test_tier_validation(self):
+        with pytest.raises(QueryError):
+            SLATier("x", slack_factor=-1.0, weight=1.0)
+        with pytest.raises(QueryError):
+            SLATier("x", slack_factor=1.0, weight=0.0)
+
+
+class TestSessions:
+    def _page(self):
+        return DynamicPage("p", [ContentFragment("a", Scan("stocks"))])
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            UserSession("u", GOLD, [])
+        with pytest.raises(QueryError):
+            UserSession("u", GOLD, [self._page()], mean_think_time=0.0)
+        with pytest.raises(QueryError):
+            PageRequest("u", self._page(), GOLD, at=-1.0)
+
+    def test_requests_increasing_times(self):
+        session = UserSession("u", GOLD, [self._page()], mean_think_time=5.0)
+        reqs = session.requests(random.Random(0), n=20)
+        times = [r.at for r in reqs]
+        assert times == sorted(times)
+        assert all(r.tier is GOLD for r in reqs)
+
+    def test_mean_think_time_respected(self):
+        session = UserSession("u", GOLD, [self._page()], mean_think_time=5.0)
+        reqs = session.requests(random.Random(1), n=5000)
+        assert reqs[-1].at / len(reqs) == pytest.approx(5.0, rel=0.1)
+
+    def test_negative_count_rejected(self):
+        session = UserSession("u", GOLD, [self._page()])
+        with pytest.raises(QueryError):
+            session.requests(random.Random(0), n=-1)

@@ -1,0 +1,104 @@
+"""Interplay of the fragment cache, cost noise and the length profiler."""
+
+import pytest
+
+from repro.sim.profiler import LengthProfiler
+from repro.webdb import (
+    ContentFragment,
+    Database,
+    DynamicPage,
+    FragmentCache,
+    PageRequest,
+    WebDatabase,
+)
+from repro.webdb.query import Scan
+from repro.webdb.sla import GOLD
+
+
+@pytest.fixture
+def setup():
+    db = Database()
+    stocks = db.create_table("stocks", ["symbol", "price"])
+    for i in range(25):
+        stocks.insert({"symbol": f"S{i}", "price": float(i)})
+    page = DynamicPage(
+        "p", [ContentFragment("prices", Scan("stocks"), cache_key="prices")]
+    )
+    return db, page
+
+
+def submit_two(wdb, page):
+    wdb.submit(PageRequest("u", page, GOLD, at=0.0))
+    wdb.submit(PageRequest("v", page, GOLD, at=5.0))
+
+
+class TestCacheWithNoise:
+    def test_cache_hits_are_noise_free(self, setup):
+        db, page = setup
+        wdb = WebDatabase(
+            db,
+            cache=FragmentCache(ttl=100.0, hit_cost=0.05),
+            cost_noise=0.9,
+            noise_seed=3,
+        )
+        wdb.register_page(page)
+        submit_two(wdb, page)
+        txns, mappings = wdb.compile_requests()
+        hit_txn = txns[mappings[1]["prices"]]
+        # A cache hit reads a materialised copy: exact, tiny cost.
+        assert hit_txn.length == 0.05
+        assert hit_txn.length_estimate == 0.05
+
+    def test_miss_is_noisy_but_estimate_is_model(self, setup):
+        db, page = setup
+        wdb = WebDatabase(
+            db,
+            cache=FragmentCache(ttl=100.0, hit_cost=0.05),
+            cost_noise=0.9,
+            noise_seed=3,
+        )
+        wdb.register_page(page)
+        submit_two(wdb, page)
+        txns, mappings = wdb.compile_requests()
+        miss_txn = txns[mappings[0]["prices"]]
+        assert miss_txn.length != miss_txn.length_estimate
+
+
+class TestProfilerWithCache:
+    def test_profiler_ignores_cache_hits(self, setup):
+        # Only misses (real materialisations) should inform the profile;
+        # the learned estimate must not be dragged toward the hit cost.
+        db, page = setup
+        profiler = LengthProfiler(smoothing=1.0)
+        wdb = WebDatabase(
+            db,
+            cache=FragmentCache(ttl=100.0, hit_cost=0.05),
+            profiler=profiler,
+            cost_noise=0.5,
+            noise_seed=1,
+        )
+        wdb.register_page(page)
+        submit_two(wdb, page)
+        wdb.run("edf")
+        # Recompile: the miss transaction's estimate comes from the
+        # profiler, and the hit stays at the hit cost.
+        txns, mappings = wdb.compile_requests()
+        miss_estimate = txns[mappings[0]["prices"]].length_estimate
+        hit_estimate = txns[mappings[1]["prices"]].length_estimate
+        assert hit_estimate == 0.05
+        assert miss_estimate != 0.05
+
+
+class TestDeadlinesFollowBelief:
+    def test_deadline_derived_from_estimate(self, setup):
+        db, page = setup
+        profiler = LengthProfiler(smoothing=1.0)
+        profiler.observe("p/prices", 10.0)
+        wdb = WebDatabase(db, profiler=profiler, cost_noise=0.5)
+        wdb.register_page(page)
+        wdb.submit(PageRequest("u", page, GOLD, at=0.0))
+        txns, mappings = wdb.compile_requests()
+        txn = txns[mappings[0]["prices"]]
+        assert txn.length_estimate == 10.0
+        # Gold: d = a + est + 1.0 * urgency(=1) * est = 2 * est.
+        assert txn.deadline == pytest.approx(20.0)

@@ -1,0 +1,157 @@
+"""Unit tests for query plans and the cost model."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.webdb.database import Database
+from repro.webdb.query import (
+    Aggregate,
+    Filter,
+    Input,
+    Join,
+    Limit,
+    Project,
+    Scan,
+    Sort,
+)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    stocks = db.create_table("stocks", ["symbol", "price"])
+    stocks.insert_many(
+        [
+            {"symbol": "A", "price": 10.0},
+            {"symbol": "B", "price": 20.0},
+            {"symbol": "C", "price": 30.0},
+        ]
+    )
+    positions = db.create_table("positions", ["symbol", "shares"])
+    positions.insert_many(
+        [{"symbol": "A", "shares": 5}, {"symbol": "C", "shares": 2}]
+    )
+    return db
+
+
+class TestExecution:
+    def test_scan(self, db):
+        assert len(Scan("stocks").execute(db)) == 3
+
+    def test_filter(self, db):
+        rows = Filter(Scan("stocks"), lambda r: r["price"] > 15).execute(db)
+        assert {r["symbol"] for r in rows} == {"B", "C"}
+
+    def test_project(self, db):
+        rows = Project(Scan("stocks"), ["symbol"]).execute(db)
+        assert rows[0] == {"symbol": "A"}
+
+    def test_project_missing_column_raises(self, db):
+        with pytest.raises(QueryError):
+            Project(Scan("stocks"), ["nope"]).execute(db)
+
+    def test_project_requires_columns(self, db):
+        with pytest.raises(QueryError):
+            Project(Scan("stocks"), [])
+
+    def test_join(self, db):
+        rows = Join(Scan("positions"), Scan("stocks"), on="symbol").execute(db)
+        assert len(rows) == 2
+        merged = {r["symbol"]: r for r in rows}
+        assert merged["A"]["shares"] == 5
+        assert merged["A"]["price"] == 10.0
+
+    def test_join_missing_column_raises(self, db):
+        with pytest.raises(QueryError):
+            Join(Scan("positions"), Scan("stocks"), on="nope").execute(db)
+
+    @pytest.mark.parametrize(
+        "fn,column,expected",
+        [
+            ("sum", "price", 60.0),
+            ("avg", "price", 20.0),
+            ("min", "price", 10.0),
+            ("max", "price", 30.0),
+        ],
+    )
+    def test_aggregates(self, db, fn, column, expected):
+        (row,) = Aggregate(Scan("stocks"), fn, column).execute(db)
+        assert row[f"{fn}_{column}"] == expected
+
+    def test_count(self, db):
+        (row,) = Aggregate(Scan("stocks"), "count").execute(db)
+        assert row["count"] == 3
+
+    def test_aggregate_empty_input(self, db):
+        empty = Filter(Scan("stocks"), lambda r: False)
+        (row,) = Aggregate(empty, "sum", "price").execute(db)
+        assert row["sum_price"] is None
+
+    def test_aggregate_validation(self, db):
+        with pytest.raises(QueryError):
+            Aggregate(Scan("stocks"), "median", "price")
+        with pytest.raises(QueryError):
+            Aggregate(Scan("stocks"), "sum")
+
+    def test_sort(self, db):
+        rows = Sort(Scan("stocks"), by="price", descending=True).execute(db)
+        assert [r["symbol"] for r in rows] == ["C", "B", "A"]
+
+    def test_sort_missing_column_raises(self, db):
+        with pytest.raises(QueryError):
+            Sort(Scan("stocks"), by="nope").execute(db)
+
+    def test_limit(self, db):
+        rows = Limit(Sort(Scan("stocks"), by="price"), 2).execute(db)
+        assert len(rows) == 2
+        with pytest.raises(QueryError):
+            Limit(Scan("stocks"), -1)
+
+
+class TestInput:
+    def test_input_reads_bindings(self, db):
+        q = Filter(Input("prices"), lambda r: r["price"] > 15)
+        rows = q.execute(db, {"prices": [{"price": 10.0}, {"price": 20.0}]})
+        assert rows == [{"price": 20.0}]
+
+    def test_unbound_input_raises(self, db):
+        with pytest.raises(QueryError, match="not bound"):
+            Input("prices").execute(db)
+
+    def test_input_returns_copies(self, db):
+        bound = [{"price": 10.0}]
+        rows = Input("prices").execute(db, {"prices": bound})
+        rows[0]["price"] = 99.0
+        assert bound[0]["price"] == 10.0
+
+    def test_input_names_propagate(self, db):
+        q = Join(Input("a"), Filter(Input("b"), lambda r: True), on="x")
+        assert q.input_names() == {"a", "b"}
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(QueryError):
+            Input("")
+
+
+class TestCostModel:
+    def test_costs_positive_and_monotone(self, db):
+        scan = Scan("stocks")
+        filtered = Filter(scan, lambda r: True)
+        joined = Join(scan, Scan("positions"), on="symbol")
+        assert 0 < scan.estimated_cost(db) < filtered.estimated_cost(db)
+        assert joined.estimated_cost(db) > scan.estimated_cost(db)
+
+    def test_cost_deterministic(self, db):
+        q = Join(Scan("stocks"), Scan("positions"), on="symbol")
+        assert q.estimated_cost(db) == q.estimated_cost(db)
+
+    def test_cost_scales_with_rows(self, db):
+        small = Scan("positions").estimated_cost(db)
+        large = Scan("stocks").estimated_cost(db)
+        assert large > small
+
+    def test_repr_round_trip_contains_structure(self, db):
+        q = Limit(Sort(Filter(Scan("stocks"), lambda r: True), by="price"), 1)
+        text = repr(q)
+        for fragment in ("Limit", "Sort", "Filter", "Scan"):
+            assert fragment in text

@@ -1,0 +1,176 @@
+"""Unit tests for the SQL front door."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.webdb.database import Database
+from repro.webdb.query import Aggregate, Filter, Input, Join, Limit, Project, Scan, Sort
+from repro.webdb.sql import parse_sql
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    stocks = db.create_table("stocks", ["symbol", "price", "sector"])
+    stocks.insert_many(
+        [
+            {"symbol": "A", "price": 10.0, "sector": "tech"},
+            {"symbol": "B", "price": 25.0, "sector": "energy"},
+            {"symbol": "C", "price": 40.0, "sector": "tech"},
+        ]
+    )
+    positions = db.create_table("positions", ["symbol", "shares"])
+    positions.insert_many(
+        [{"symbol": "A", "shares": 5}, {"symbol": "C", "shares": 7}]
+    )
+    return db
+
+
+class TestParsing:
+    def test_select_star(self, db):
+        plan = parse_sql("SELECT * FROM stocks")
+        assert isinstance(plan, Scan)
+        assert len(plan.execute(db)) == 3
+
+    def test_projection(self, db):
+        plan = parse_sql("SELECT symbol, price FROM stocks")
+        assert isinstance(plan, Project)
+        rows = plan.execute(db)
+        assert set(rows[0]) == {"symbol", "price"}
+
+    def test_where_with_and(self, db):
+        plan = parse_sql(
+            "SELECT * FROM stocks WHERE price > 15 AND sector = 'tech'"
+        )
+        rows = plan.execute(db)
+        assert [r["symbol"] for r in rows] == ["C"]
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("=", {"B"}),
+            ("!=", {"A", "C"}),
+            ("<", {"A"}),
+            ("<=", {"A", "B"}),
+            (">", {"C"}),
+            (">=", {"B", "C"}),
+        ],
+    )
+    def test_all_operators(self, db, op, expected):
+        plan = parse_sql(f"SELECT * FROM stocks WHERE price {op} 25.0")
+        assert {r["symbol"] for r in plan.execute(db)} == expected
+
+    def test_order_and_limit(self, db):
+        plan = parse_sql("SELECT * FROM stocks ORDER BY price DESC LIMIT 2")
+        assert isinstance(plan, Limit)
+        rows = plan.execute(db)
+        assert [r["symbol"] for r in rows] == ["C", "B"]
+
+    def test_order_ascending_default(self, db):
+        rows = parse_sql("SELECT * FROM stocks ORDER BY price").execute(db)
+        assert [r["symbol"] for r in rows] == ["A", "B", "C"]
+
+    def test_join_using(self, db):
+        plan = parse_sql("SELECT * FROM positions JOIN stocks USING symbol")
+        assert isinstance(plan, Join)
+        rows = plan.execute(db)
+        assert len(rows) == 2
+        assert all("price" in r and "shares" in r for r in rows)
+
+    def test_aggregates(self, db):
+        (row,) = parse_sql("SELECT SUM(price) FROM stocks").execute(db)
+        assert row["sum_price"] == 75.0
+        (row,) = parse_sql("SELECT COUNT(*) FROM stocks").execute(db)
+        assert row["count"] == 3
+        (row,) = parse_sql("SELECT AVG(price) FROM stocks").execute(db)
+        assert row["avg_price"] == 25.0
+
+    def test_aggregate_with_where(self, db):
+        (row,) = parse_sql(
+            "SELECT MAX(price) FROM stocks WHERE sector = 'tech'"
+        ).execute(db)
+        assert row["max_price"] == 40.0
+
+    def test_fragment_source(self, db):
+        plan = parse_sql("SELECT * FROM FRAGMENT prices")
+        assert isinstance(plan, Input)
+        assert plan.input_names() == {"prices"}
+
+    def test_fragment_join_dependency(self):
+        plan = parse_sql(
+            "SELECT * FROM positions JOIN FRAGMENT prices USING symbol"
+        )
+        assert plan.input_names() == {"prices"}
+
+    def test_keywords_case_insensitive(self, db):
+        rows = parse_sql("select * from stocks where price > 30").execute(db)
+        assert len(rows) == 1
+
+    def test_string_literals(self, db):
+        rows = parse_sql("SELECT * FROM stocks WHERE sector = 'tech'").execute(db)
+        assert len(rows) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "   ",
+            "FROM stocks",
+            "SELECT FROM stocks",
+            "SELECT * stocks",
+            "SELECT * FROM stocks WHERE",
+            "SELECT * FROM stocks WHERE price",
+            "SELECT * FROM stocks WHERE price ~ 3",
+            "SELECT * FROM stocks LIMIT 'two'",
+            "SELECT * FROM stocks EXTRA",
+            "SELECT SUM(*) FROM stocks",
+            "SELECT * FROM stocks ORDER price",
+            "SELECT select FROM stocks",
+        ],
+    )
+    def test_malformed_sql_rejected(self, sql):
+        with pytest.raises(QueryError):
+            parse_sql(sql)
+
+    def test_predicate_on_missing_column(self, db):
+        plan = parse_sql("SELECT * FROM stocks WHERE nope = 1")
+        with pytest.raises(QueryError):
+            plan.execute(db)
+
+    def test_untokenizable_input(self):
+        with pytest.raises(QueryError):
+            parse_sql("SELECT * FROM stocks WHERE price > $$$")
+
+
+class TestIntegrationWithFragments:
+    def test_sql_fragment_in_page(self, db):
+        from repro.webdb import ContentFragment, DynamicPage, WebDatabase
+        from repro.webdb.sessions import PageRequest
+        from repro.webdb.sla import GOLD
+
+        page = DynamicPage(
+            "sql-portal",
+            [
+                ContentFragment("prices", parse_sql("SELECT * FROM stocks")),
+                ContentFragment(
+                    "expensive",
+                    parse_sql(
+                        "SELECT symbol FROM FRAGMENT prices WHERE price > 20"
+                    ),
+                ),
+            ],
+        )
+        assert page.topological_names() == ["prices", "expensive"]
+        wdb = WebDatabase(db)
+        wdb.register_page(page)
+        wdb.submit(PageRequest("u", page, GOLD, at=0.0))
+        report = wdb.run("edf")
+        content = report.page_results[0].content
+        assert "symbol=B" in content and "symbol=C" in content
+
+    def test_cost_model_identical_to_plan_api(self, db):
+        hand = Filter(Scan("stocks"), lambda r: r["price"] > 20)
+        sql = parse_sql("SELECT * FROM stocks WHERE price > 20")
+        assert sql.estimated_cost(db) == hand.estimated_cost(db)

@@ -1,0 +1,87 @@
+"""Unit tests for arrivals, deadlines and weights."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.arrivals import arrival_rate, poisson_arrivals
+from repro.workload.deadlines import assign_deadlines, deadline_for
+from repro.workload.weights import sample_weights
+
+
+class TestArrivals:
+    def test_rate_formula(self):
+        # Table I: rate = SystemUtilization / AvgTransactionLength.
+        assert arrival_rate(0.5, 16.0) == pytest.approx(0.03125)
+
+    def test_rate_validation(self):
+        with pytest.raises(WorkloadError):
+            arrival_rate(0.0, 16.0)
+        with pytest.raises(WorkloadError):
+            arrival_rate(0.5, 0.0)
+
+    def test_arrivals_strictly_increasing(self):
+        times = poisson_arrivals(random.Random(0), 500, rate=0.1)
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_mean_interarrival_matches_rate(self):
+        rate = 0.05
+        times = poisson_arrivals(random.Random(3), 20_000, rate)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1.0 / rate, rel=0.03)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            poisson_arrivals(random.Random(0), -1, 1.0)
+        with pytest.raises(WorkloadError):
+            poisson_arrivals(random.Random(0), 5, 0.0)
+
+
+class TestDeadlines:
+    def test_formula(self):
+        # d = a + l + k*l.
+        assert deadline_for(10.0, 4.0, 0.5) == pytest.approx(16.0)
+
+    def test_zero_slack_factor_gives_tight_deadline(self):
+        assert deadline_for(10.0, 4.0, 0.0) == 14.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            deadline_for(0.0, 0.0, 1.0)
+        with pytest.raises(WorkloadError):
+            deadline_for(0.0, 1.0, -0.5)
+
+    def test_assign_respects_bounds(self):
+        rng = random.Random(1)
+        arrivals = [0.0, 5.0, 9.0]
+        lengths = [2.0, 4.0, 1.0]
+        k_max = 3.0
+        deadlines = assign_deadlines(rng, arrivals, lengths, k_max)
+        for a, l, d in zip(arrivals, lengths, deadlines):
+            assert a + l <= d <= a + l + k_max * l
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(WorkloadError):
+            assign_deadlines(random.Random(0), [0.0], [1.0, 2.0], 3.0)
+
+    def test_negative_k_max_rejected(self):
+        with pytest.raises(WorkloadError):
+            assign_deadlines(random.Random(0), [0.0], [1.0], -1.0)
+
+
+class TestWeights:
+    def test_unweighted_gives_unit_weights(self):
+        assert sample_weights(random.Random(0), 5, weighted=False) == [1.0] * 5
+
+    def test_weighted_within_bounds(self):
+        ws = sample_weights(random.Random(0), 1000, 1, 10, weighted=True)
+        assert all(1 <= w <= 10 for w in ws)
+        assert all(w == int(w) for w in ws)
+        assert len(set(ws)) == 10  # all values appear at this sample size
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            sample_weights(random.Random(0), -1)
+        with pytest.raises(WorkloadError):
+            sample_weights(random.Random(0), 5, 5, 2)

@@ -1,0 +1,78 @@
+"""Tests for the workload CLI tool."""
+
+import pytest
+
+from repro.workload.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_flags(self):
+        args = build_parser().parse_args(
+            ["generate", "--n", "50", "--workflows", "--out", "x.json"]
+        )
+        assert args.n == 50
+        assert args.workflows
+
+    def test_simulate_policy_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "x.json", "--policy", "nope"])
+
+
+class TestEndToEnd:
+    def test_generate_stats_simulate_pipeline(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(
+            [
+                "generate",
+                "--n", "60",
+                "--utilization", "0.8",
+                "--workflows",
+                "--weighted",
+                "--seed", "3",
+                "--out", str(trace),
+            ]
+        ) == 0
+        assert "wrote 60 transactions" in capsys.readouterr().out
+        assert trace.exists()
+
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "deadline/precedence conflicts" in out
+
+        assert main(["simulate", str(trace), "--policy", "asets-star"]) == 0
+        out = capsys.readouterr().out
+        assert "average weighted tardiness" in out
+
+    def test_simulate_with_gantt(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        main(["generate", "--n", "12", "--out", str(trace)])
+        capsys.readouterr()
+        assert main(
+            ["simulate", str(trace), "--policy", "edf", "--gantt"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per column" in out
+
+    def test_simulate_multiserver(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        main(["generate", "--n", "30", "--utilization", "1.6", "--out", str(trace)])
+        capsys.readouterr()
+        assert main(["simulate", str(trace), "--servers", "2"]) == 0
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_balance_aware_gets_default_rate(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        main(["generate", "--n", "25", "--weighted", "--workflows",
+              "--out", str(trace)])
+        capsys.readouterr()
+        assert main(
+            ["simulate", str(trace), "--policy", "balance-aware"]
+        ) == 0

@@ -1,0 +1,148 @@
+"""Unit tests for the top-level workload generator and WorkloadSpec."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.generator import generate
+from repro.workload.spec import WorkloadSpec
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_transactions": 0},
+            {"utilization": 0.0},
+            {"zipf_alpha": -1.0},
+            {"length_min": 0},
+            {"length_min": 9, "length_max": 5},
+            {"k_max": -0.1},
+            {"weight_min": 0},
+            {"weight_min": 9, "weight_max": 5},
+            {"max_workflow_length": 0},
+            {"max_workflows_per_txn": 0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(**kwargs)
+
+    def test_sweep_helpers(self):
+        spec = WorkloadSpec()
+        assert spec.with_utilization(0.9).utilization == 0.9
+        assert spec.with_k_max(1.0).k_max == 1.0
+        assert spec.with_alpha(0.9).zipf_alpha == 0.9
+        # Originals unchanged (frozen).
+        assert spec.utilization == 0.5 and spec.k_max == 3.0
+
+
+class TestGeneration:
+    def test_counts_and_id_order(self):
+        w = generate(WorkloadSpec(n_transactions=50), seed=1)
+        assert w.n == 50
+        assert [t.txn_id for t in w.transactions] == list(range(50))
+
+    def test_ids_are_in_arrival_order(self):
+        w = generate(WorkloadSpec(n_transactions=50), seed=1)
+        arrivals = [t.arrival for t in w.transactions]
+        assert arrivals == sorted(arrivals)
+
+    def test_lengths_within_table_one_bounds(self):
+        w = generate(WorkloadSpec(n_transactions=200), seed=2)
+        assert all(1 <= t.length <= 50 for t in w.transactions)
+
+    def test_deadline_formula_bounds(self):
+        spec = WorkloadSpec(n_transactions=200, k_max=3.0)
+        w = generate(spec, seed=3)
+        for t in w.transactions:
+            assert t.arrival + t.length <= t.deadline
+            assert t.deadline <= t.arrival + 4 * t.length + 1e-9
+
+    def test_unweighted_by_default(self):
+        w = generate(WorkloadSpec(n_transactions=20), seed=4)
+        assert all(t.weight == 1.0 for t in w.transactions)
+
+    def test_weighted_uniform_1_to_10(self):
+        w = generate(WorkloadSpec(n_transactions=500, weighted=True), seed=5)
+        assert all(1 <= t.weight <= 10 for t in w.transactions)
+        assert len({t.weight for t in w.transactions}) == 10
+
+    def test_no_workflows_by_default(self):
+        w = generate(WorkloadSpec(n_transactions=20), seed=6)
+        assert w.workflow_set is None
+        assert all(t.is_independent for t in w.transactions)
+
+    def test_workflow_generation(self):
+        spec = WorkloadSpec(
+            n_transactions=100,
+            with_workflows=True,
+            max_workflow_length=5,
+            max_workflows_per_txn=2,
+        )
+        w = generate(spec, seed=7)
+        assert w.workflow_set is not None
+        assert any(not t.is_independent for t in w.transactions)
+        w.workflow_set.validate_acyclic()
+
+    def test_deterministic(self):
+        spec = WorkloadSpec(n_transactions=50, weighted=True, with_workflows=True)
+        a = generate(spec, seed=11)
+        b = generate(spec, seed=11)
+        for ta, tb in zip(a.transactions, b.transactions):
+            assert (ta.arrival, ta.length, ta.deadline, ta.weight) == (
+                tb.arrival, tb.length, tb.deadline, tb.weight,
+            )
+            assert ta.depends_on == tb.depends_on
+
+    def test_seeds_differ(self):
+        spec = WorkloadSpec(n_transactions=50)
+        a = generate(spec, seed=1)
+        b = generate(spec, seed=2)
+        assert [t.arrival for t in a.transactions] != [
+            t.arrival for t in b.transactions
+        ]
+
+    def test_substreams_independent(self):
+        # Changing k_max must not perturb lengths or arrivals.
+        a = generate(WorkloadSpec(n_transactions=50, k_max=1.0), seed=9)
+        b = generate(WorkloadSpec(n_transactions=50, k_max=4.0), seed=9)
+        assert [t.length for t in a.transactions] == [t.length for t in b.transactions]
+        assert [t.arrival for t in a.transactions] == [t.arrival for t in b.transactions]
+        assert [t.deadline for t in a.transactions] != [
+            t.deadline for t in b.transactions
+        ]
+
+    def test_rate_formula(self):
+        w = generate(WorkloadSpec(n_transactions=10, utilization=0.5), seed=1)
+        assert w.rate == pytest.approx(0.5 / w.mean_length)
+
+    def test_empirical_mean_option(self):
+        spec = WorkloadSpec(n_transactions=100, use_empirical_mean=True)
+        w = generate(spec, seed=1)
+        lengths = [t.length for t in w.transactions]
+        assert w.mean_length == pytest.approx(sum(lengths) / len(lengths))
+
+    def test_realized_utilization_near_target(self):
+        spec = WorkloadSpec(n_transactions=2000, utilization=0.6)
+        w = generate(spec, seed=12)
+        assert w.realized_utilization() == pytest.approx(0.6, rel=0.15)
+
+    def test_reset_replays_cleanly(self):
+        from repro.policies import EDF
+        from repro.sim import Simulator
+
+        w = generate(WorkloadSpec(n_transactions=30), seed=13)
+        first = Simulator(w.transactions, EDF()).run()
+        w.reset()
+        second = Simulator(w.transactions, EDF()).run()
+        assert [r.finish for r in first.records] == [
+            r.finish for r in second.records
+        ]
+
+    def test_total_work(self):
+        w = generate(WorkloadSpec(n_transactions=30), seed=14)
+        assert w.total_work() == pytest.approx(
+            sum(t.length for t in w.transactions)
+        )

@@ -1,0 +1,94 @@
+"""Tests for workload diagnostics."""
+
+import pytest
+
+from repro.core.transaction import Transaction
+from repro.core.workflow_set import WorkflowSet
+from repro.workload.generator import Workload, generate
+from repro.workload.spec import WorkloadSpec
+from repro.workload.stats import summarize
+
+
+def hand_workload(txns, with_workflows=True):
+    ws = WorkflowSet(txns) if with_workflows else None
+    return Workload(
+        spec=WorkloadSpec(n_transactions=len(txns), with_workflows=with_workflows),
+        seed=0,
+        transactions=txns,
+        workflow_set=ws,
+        mean_length=sum(t.length for t in txns) / len(txns),
+        rate=0.1,
+    )
+
+
+class TestHandCases:
+    def test_independent_workload(self):
+        txns = [
+            Transaction(i, arrival=0.0, length=2.0, deadline=10.0)
+            for i in range(3)
+        ]
+        stats = summarize(hand_workload(txns, with_workflows=False))
+        assert stats.n_dependent == 0
+        assert stats.conflict_rate == 0.0
+        assert stats.max_chain_depth == 1
+        assert stats.mean_length == 2.0
+
+    def test_conflict_detected(self):
+        # The dependent is due before its predecessor: a conflict.
+        t1 = Transaction(1, arrival=0.0, length=4.0, deadline=20.0)
+        t2 = Transaction(2, arrival=0.0, length=1.0, deadline=3.0, depends_on=[1])
+        stats = summarize(hand_workload([t1, t2]))
+        assert stats.n_dependent == 1
+        assert stats.n_conflicted == 1
+        assert stats.conflict_rate == 1.0
+
+    def test_consistent_deadlines_no_conflict(self):
+        t1 = Transaction(1, arrival=0.0, length=4.0, deadline=5.0)
+        t2 = Transaction(2, arrival=0.0, length=1.0, deadline=9.0, depends_on=[1])
+        stats = summarize(hand_workload([t1, t2]))
+        assert stats.n_conflicted == 0
+
+    def test_structural_tardiness(self):
+        # Closure work (4) + own length (1) > deadline - arrival (3).
+        t1 = Transaction(1, arrival=0.0, length=4.0, deadline=20.0)
+        t2 = Transaction(2, arrival=0.0, length=1.0, deadline=3.0, depends_on=[1])
+        stats = summarize(hand_workload([t1, t2]))
+        assert stats.n_structurally_tardy == 1
+
+    def test_transitive_conflict_counts(self):
+        # Conflict against a *transitive* predecessor.
+        t1 = Transaction(1, arrival=0.0, length=1.0, deadline=50.0)
+        t2 = Transaction(2, arrival=0.0, length=1.0, deadline=60.0, depends_on=[1])
+        t3 = Transaction(3, arrival=0.0, length=1.0, deadline=40.0, depends_on=[2])
+        stats = summarize(hand_workload([t1, t2, t3]))
+        assert stats.n_conflicted == 1  # t3 vs t1/t2
+
+    def test_chain_depth(self):
+        t1 = Transaction(1, arrival=0.0, length=1.0, deadline=9.0)
+        t2 = Transaction(2, arrival=0.0, length=1.0, deadline=9.0, depends_on=[1])
+        t3 = Transaction(3, arrival=0.0, length=1.0, deadline=9.0, depends_on=[2])
+        stats = summarize(hand_workload([t1, t2, t3]))
+        assert stats.max_chain_depth == 3
+
+    def test_as_rows(self):
+        t1 = Transaction(1, arrival=0.0, length=1.0, deadline=9.0)
+        rows = summarize(hand_workload([t1], with_workflows=False)).as_rows()
+        assert any("conflict" in label for label, _ in rows)
+
+
+class TestGeneratedWorkloads:
+    def test_generated_workflow_workload_has_conflicts(self):
+        spec = WorkloadSpec(
+            n_transactions=500, utilization=0.8, with_workflows=True
+        )
+        stats = summarize(generate(spec, seed=3))
+        assert stats.n_dependent > 0
+        assert stats.n_workflows > 0
+        # The generator's whole point: conflicts exist but are not total.
+        assert 0.0 < stats.conflict_rate < 1.0
+        assert stats.max_chain_depth <= spec.max_workflow_length
+
+    def test_dependent_ratio_bounds(self):
+        spec = WorkloadSpec(n_transactions=300, with_workflows=True)
+        stats = summarize(generate(spec, seed=4))
+        assert 0.0 < stats.dependent_ratio < 1.0

@@ -1,0 +1,67 @@
+"""Unit tests for the bounded Zipf sampler."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.zipf import ZipfSampler
+
+
+class TestValidation:
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(alpha=-0.1)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(alpha=0.5, low=5, high=2)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(alpha=0.5, low=0, high=10)
+
+    def test_negative_sample_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0.5).sample_many(random.Random(0), -1)
+
+
+class TestDistribution:
+    def test_pmf_sums_to_one(self):
+        s = ZipfSampler(alpha=0.5, low=1, high=50)
+        assert sum(s.pmf(j) for j in range(1, 51)) == pytest.approx(1.0)
+
+    def test_pmf_outside_support_is_zero(self):
+        s = ZipfSampler(alpha=0.5, low=1, high=50)
+        assert s.pmf(0) == 0.0
+        assert s.pmf(51) == 0.0
+
+    def test_skewed_toward_short(self):
+        # Table I: "skewed toward short transactions".
+        s = ZipfSampler(alpha=0.5, low=1, high=50)
+        assert s.pmf(1) > s.pmf(25) > s.pmf(50)
+
+    def test_alpha_zero_is_uniform(self):
+        s = ZipfSampler(alpha=0.0, low=1, high=10)
+        assert s.pmf(1) == pytest.approx(0.1)
+        assert s.pmf(10) == pytest.approx(0.1)
+        assert s.mean() == pytest.approx(5.5)
+
+    def test_larger_alpha_smaller_mean(self):
+        means = [ZipfSampler(alpha=a).mean() for a in (0.2, 0.5, 1.0, 2.0)]
+        assert means == sorted(means, reverse=True)
+
+    def test_mean_matches_empirical(self):
+        s = ZipfSampler(alpha=0.5, low=1, high=50)
+        rng = random.Random(42)
+        values = s.sample_many(rng, 30_000)
+        assert sum(values) / len(values) == pytest.approx(s.mean(), rel=0.02)
+
+    def test_samples_within_support(self):
+        s = ZipfSampler(alpha=0.9, low=3, high=7)
+        rng = random.Random(1)
+        assert all(3 <= v <= 7 for v in s.sample_many(rng, 1000))
+
+    def test_deterministic_given_seed(self):
+        s = ZipfSampler(alpha=0.5)
+        a = s.sample_many(random.Random(9), 100)
+        b = s.sample_many(random.Random(9), 100)
+        assert a == b
