@@ -8,6 +8,8 @@ O(log N) priority-queue updates; a quadratic regression in the lazy heaps
 would show up here immediately).
 """
 
+import os
+
 import pytest
 
 from repro.experiments.config import PolicySpec
@@ -17,11 +19,14 @@ from repro.workload.spec import WorkloadSpec
 
 POLICIES = ("fcfs", "edf", "srpt", "ls", "hdf", "asets", "asets-star")
 
+#: Workload size; CI smoke runs set REPRO_BENCH_N to a small value.
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "1000"))
+
 
 @pytest.fixture(scope="module")
 def workload():
     spec = WorkloadSpec(
-        n_transactions=1000,
+        n_transactions=BENCH_N,
         utilization=0.9,
         weighted=True,
         with_workflows=True,
@@ -42,4 +47,4 @@ def test_engine_throughput(name, workload, benchmark):
         ).run()
 
     result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
-    assert result.n == 1000
+    assert result.n == BENCH_N

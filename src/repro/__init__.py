@@ -9,6 +9,8 @@ The package provides:
 * a discrete-event RTDBMS simulator (:mod:`repro.sim`),
 * the synthetic workload generator of Table I (:mod:`repro.workload`),
 * tardiness metrics and aggregation (:mod:`repro.metrics`),
+* engine observability — instrumentation hooks, metrics registry, JSONL
+  event logs, run reports (:mod:`repro.obs`),
 * a simulated web-database substrate — in-memory store, content
   fragments, dynamic pages, SLAs (:mod:`repro.webdb`), and
 * an experiment harness regenerating every figure and table of the
@@ -42,6 +44,7 @@ from repro.policies import (
     available_policies,
     make_policy,
 )
+from repro.obs import Instrument, MultiInstrument, NullInstrument, Recorder, RunReport
 from repro.sim import SimulationResult, Simulator, Trace, TransactionRecord
 from repro.workload import Workload, WorkloadSpec, generate
 
@@ -70,6 +73,11 @@ __all__ = [
     "SimulationResult",
     "TransactionRecord",
     "Trace",
+    "Instrument",
+    "NullInstrument",
+    "MultiInstrument",
+    "Recorder",
+    "RunReport",
     "Workload",
     "WorkloadSpec",
     "generate",

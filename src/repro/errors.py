@@ -39,3 +39,7 @@ class QueryError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration is inconsistent."""
+
+
+class ObservabilityError(ReproError):
+    """An instrumentation artefact (metric, event log, report) is invalid."""

@@ -19,6 +19,7 @@ from repro.experiments.config import (
 from repro.experiments.runner import (
     run_policy_on,
     mean_metric,
+    metric_spread,
     utilization_sweep,
 )
 from repro.experiments.figures import (
@@ -49,6 +50,7 @@ __all__ = [
     "DEFAULT_UTILIZATIONS",
     "run_policy_on",
     "mean_metric",
+    "metric_spread",
     "utilization_sweep",
     "figure8",
     "figure9",

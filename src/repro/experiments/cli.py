@@ -10,6 +10,12 @@ Usage::
 
 Each figure command prints the series the corresponding paper figure
 plots, as an aligned text table.
+
+The ``run`` target executes one instrumented run and exposes the
+observability layer (:mod:`repro.obs`)::
+
+    python -m repro.experiments run --policy asets --n 2000 --report
+    python -m repro.experiments run --events-out run.jsonl
 """
 
 from __future__ import annotations
@@ -19,7 +25,12 @@ import sys
 from typing import Callable, Sequence
 
 from repro.experiments import extensions, figures, tables
-from repro.experiments.config import DEFAULT_SEEDS, ExperimentConfig
+from repro.experiments.config import (
+    DEFAULT_PROBE_UTILIZATION,
+    DEFAULT_SEEDS,
+    ExperimentConfig,
+    PolicySpec,
+)
 from repro.metrics.aggregates import MetricSeries
 from repro.metrics.report import format_series
 
@@ -63,8 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(_FIGURES) + ["alpha", "tail", "table1", "claims", "all"],
-        help="which experiment to run",
+        choices=sorted(_FIGURES) + ["alpha", "tail", "table1", "claims", "all", "run"],
+        help="which experiment to run ('run' = one instrumented run)",
     )
     parser.add_argument(
         "--n", type=int, default=1000, help="transactions per run (default 1000)"
@@ -93,6 +104,36 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the series to PATH (.csv or .json)",
+    )
+    group = parser.add_argument_group("run target (single instrumented run)")
+    group.add_argument(
+        "--policy",
+        default="asets",
+        help="policy registry name for 'run' (default asets)",
+    )
+    group.add_argument(
+        "--utilization",
+        type=float,
+        default=DEFAULT_PROBE_UTILIZATION,
+        help=f"target utilization for 'run' (default {DEFAULT_PROBE_UTILIZATION})",
+    )
+    group.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEEDS[0],
+        help=f"workload seed for 'run' (default {DEFAULT_SEEDS[0]})",
+    )
+    group.add_argument(
+        "--events-out",
+        metavar="FILE.jsonl",
+        default=None,
+        help="write the run's JSONL event log to FILE.jsonl",
+    )
+    group.add_argument(
+        "--report",
+        action="store_true",
+        help="print the full run report (scheduling points, preemptions, "
+        "select-latency percentiles)",
     )
     return parser
 
@@ -126,8 +167,40 @@ def _run_figure(name: str, args: argparse.Namespace) -> None:
         print(f"\nseries written to {path}", file=sys.stderr)
 
 
+def _run_instrumented(args: argparse.Namespace) -> int:
+    """One instrumented run: summary line, optional report and JSONL log."""
+    from repro.experiments.runner import run_policy_on
+    from repro.obs import Recorder
+    from repro.workload.generator import generate
+    from repro.workload.spec import WorkloadSpec
+
+    spec = WorkloadSpec(n_transactions=args.n, utilization=args.utilization)
+    workload = generate(spec, seed=args.seed)
+    recorder = Recorder()
+    result = run_policy_on(workload, PolicySpec.of(args.policy), instrument=recorder)
+    report = recorder.report()
+    if args.report:
+        print(report.render())
+    else:
+        print(
+            f"{report.policy}: n={report.n_transactions} "
+            f"avg_tardiness={result.average_tardiness:.3f} "
+            f"scheduling_points={report.scheduling_points} "
+            f"preemptions={report.preemptions}"
+        )
+    if args.events_out:
+        path = recorder.write_events(args.events_out)
+        print(
+            f"event log ({len(recorder.events)} records) written to {path}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.target == "run":
+        return _run_instrumented(args)
     if args.target == "table1":
         print(tables.table1())
         return 0

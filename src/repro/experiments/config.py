@@ -25,6 +25,7 @@ __all__ = [
     "HIGH_UTILIZATIONS",
     "TIME_ACTIVATION_RATES",
     "COUNT_ACTIVATION_RATES",
+    "DEFAULT_PROBE_UTILIZATION",
 ]
 
 #: Five runs per setting, as in Section IV-A.
@@ -46,6 +47,10 @@ TIME_ACTIVATION_RATES: tuple[float, ...] = (0.002, 0.004, 0.006, 0.008, 0.01)
 
 #: Section IV-F: count-based activation rates 0.02 ... 0.1.
 COUNT_ACTIVATION_RATES: tuple[float, ...] = (0.02, 0.04, 0.06, 0.08, 0.1)
+
+#: Default utilization for single instrumented runs (``repro-experiments
+#: run``): high enough that preemption churn and backlog are visible.
+DEFAULT_PROBE_UTILIZATION: float = 0.9
 
 
 @dataclass(frozen=True, slots=True)

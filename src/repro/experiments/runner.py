@@ -10,7 +10,7 @@ averages over seeds.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.experiments.config import ExperimentConfig, PolicySpec
 from repro.metrics.aggregates import MetricSeries, confidence_interval, mean
@@ -19,9 +19,13 @@ from repro.sim.results import SimulationResult
 from repro.workload.generator import Workload, generate
 from repro.workload.spec import WorkloadSpec
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.hooks import Instrument
+
 __all__ = [
     "run_policy_on",
     "mean_metric",
+    "metric_spread",
     "utilization_sweep",
     "generate_workloads",
 ]
@@ -32,17 +36,24 @@ def generate_workloads(spec: WorkloadSpec, seeds: Iterable[int]) -> list[Workloa
     return [generate(spec, seed) for seed in seeds]
 
 
-def run_policy_on(workload: Workload, policy_spec: PolicySpec) -> SimulationResult:
+def run_policy_on(
+    workload: Workload,
+    policy_spec: PolicySpec,
+    instrument: "Instrument | None" = None,
+) -> SimulationResult:
     """Replay ``workload`` under a fresh instance of ``policy_spec``.
 
     The workload is reset first, so call order between policies does not
-    matter.
+    matter.  Pass an :class:`~repro.obs.hooks.Instrument` (e.g. a
+    :class:`~repro.obs.recorder.Recorder`) to observe the run; attach a
+    fresh recorder per run.
     """
     workload.reset()
     return Simulator(
         workload.transactions,
         policy_spec.make(),
         workflow_set=workload.workflow_set,
+        instrument=instrument,
     ).run()
 
 

@@ -1,0 +1,56 @@
+"""Observability for the simulation engine.
+
+The paper's evaluation reads out end-state aggregates; this subpackage
+opens the black box.  It provides:
+
+* :mod:`repro.obs.hooks` — the :class:`Instrument` callback protocol the
+  engine drives (``Simulator(..., instrument=...)``), with a no-op
+  :class:`NullInstrument` and a fan-out :class:`MultiInstrument`;
+* :mod:`repro.obs.metrics` — a dependency-free registry of counters,
+  gauges and fixed-bucket histograms;
+* :mod:`repro.obs.jsonl` — a schema-versioned JSON-lines event-log
+  writer/reader, so any run can be exported and analyzed offline;
+* :mod:`repro.obs.timeline` — ready-queue depth, busy servers and
+  running tardiness sampled at every scheduling point;
+* :mod:`repro.obs.summary` — the per-run :class:`RunReport`;
+* :mod:`repro.obs.recorder` — :class:`Recorder`, the standard instrument
+  combining all of the above.
+
+Quickstart::
+
+    from repro.obs import Recorder
+    recorder = Recorder()
+    result = Simulator(txns, policy, instrument=recorder).run()
+    print(recorder.report().render())
+    recorder.write_events("run.jsonl")
+
+With ``instrument=None`` (the default) the engine's hot path pays a
+single ``is not None`` check per call site — enforced by an overhead
+guard test.
+"""
+
+from repro.obs.hooks import Instrument, MultiInstrument, NullInstrument
+from repro.obs.jsonl import SCHEMA_VERSION, JsonlWriter, iter_records, read, write
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import Recorder
+from repro.obs.summary import RunReport
+from repro.obs.timeline import Timeline, TimelineSample
+
+__all__ = [
+    "Instrument",
+    "NullInstrument",
+    "MultiInstrument",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "JsonlWriter",
+    "write",
+    "read",
+    "iter_records",
+    "Timeline",
+    "TimelineSample",
+    "RunReport",
+    "Recorder",
+]

@@ -1,0 +1,227 @@
+"""A lightweight metrics registry: counters, gauges, fixed-bucket histograms.
+
+No third-party dependencies — the shapes mirror the Prometheus client's
+core types, scaled down to what a simulation run needs:
+
+* :class:`Counter` — a monotonically increasing total (events, time paid);
+* :class:`Gauge` — a value that moves both ways (queue depth), tracking
+  its min/max along the way;
+* :class:`Histogram` — fixed upper-bound buckets with a cumulative-count
+  quantile estimate, for queue-length samples and ``select()`` latency.
+
+:class:`MetricsRegistry` is a typed name → metric map; asking for an
+existing name returns the existing metric, asking for a name registered
+as a different type raises :class:`~repro.errors.ObservabilityError`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Sequence
+
+from repro.errors import ObservabilityError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing counter (ints or floats)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value!r})"
+
+
+class Gauge:
+    """A value that moves both ways; remembers its extremes."""
+
+    __slots__ = ("name", "value", "min", "max", "_seen")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+        self.min: float = 0
+        self.max: float = 0
+        self._seen = False
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if self._seen:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        else:
+            self.min = self.max = value
+            self._seen = True
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value!r})"
+
+
+#: Default bucket bounds, tuned for queue depths and event counts.
+DEFAULT_BUCKETS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+#: Default bounds for ``select()`` wall-time in seconds (1 µs ... 0.1 s).
+LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 1e-2, 1e-1
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative counts.
+
+    ``bounds`` are inclusive upper bounds of the finite buckets; one
+    implicit overflow bucket catches everything above the last bound.
+
+    Examples
+    --------
+    >>> h = Histogram("depth", bounds=(1, 2, 4))
+    >>> for v in (0, 1, 1, 3, 9):
+    ...     h.observe(v)
+    >>> h.count, h.total
+    (5, 14)
+    >>> h.bucket_counts
+    [3, 0, 1, 1]
+    >>> h.quantile(0.5)
+    1
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "max", "min")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        bounds = tuple(bounds)
+        if not bounds:
+            raise ObservabilityError(f"histogram {name!r} needs >= 1 bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ObservabilityError(
+                f"histogram {name!r} bounds must be strictly increasing: {bounds}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.bucket_counts: list[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total: float = 0.0
+        self.max: float = 0.0
+        self.min: float = 0.0
+
+    def observe(self, value: float) -> None:
+        if self.count == 0:
+            self.max = self.min = value
+        else:
+            if value > self.max:
+                self.max = value
+            if value < self.min:
+                self.min = value
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile: the smallest bucket upper bound
+        whose cumulative count covers fraction ``q`` of observations.
+
+        Returns the histogram maximum for the overflow bucket (the true
+        max is tracked exactly), and 0.0 on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        threshold = q * self.count
+        cumulative = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            cumulative += n
+            if cumulative >= threshold:
+                return bound
+        return self.max
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:g})"
+
+
+class MetricsRegistry:
+    """Typed name → metric map with get-or-create semantics."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise ObservabilityError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, bounds))
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def as_dict(self) -> dict[str, dict]:
+        """A JSON-ready snapshot of every metric."""
+        out: dict[str, dict] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {
+                    "type": "gauge",
+                    "value": metric.value,
+                    "min": metric.min,
+                    "max": metric.max,
+                }
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "count": metric.count,
+                    "total": metric.total,
+                    "mean": metric.mean,
+                    "max": metric.max,
+                    "bounds": list(metric.bounds),
+                    "bucket_counts": list(metric.bucket_counts),
+                }
+        return out

@@ -1,0 +1,222 @@
+"""The standard full-fidelity instrument.
+
+:class:`Recorder` subscribes to every engine hook and maintains, in one
+object, the three observability products of this package:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` of counters and
+  histograms (preemption counts, queue-depth samples, ``select()``
+  latency, overhead paid);
+* a structured event list, one dict per engine event, in the
+  schema-versioned JSONL format of :mod:`repro.obs.jsonl`
+  (disable with ``keep_events=False`` for long runs);
+* a :class:`~repro.obs.timeline.Timeline` of ready-queue depth, busy
+  servers and running tardiness sampled at every scheduling point.
+
+After the run, :meth:`report` condenses everything into a
+:class:`~repro.obs.summary.RunReport` and :meth:`write_events` exports
+the event log::
+
+    recorder = Recorder()
+    result = Simulator(txns, policy, instrument=recorder).run()
+    print(recorder.report().render())
+    recorder.write_events("run.jsonl")
+
+A recorder observes exactly one run; attach a fresh one per run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import TYPE_CHECKING
+
+from repro.errors import ObservabilityError
+from repro.obs import jsonl
+from repro.obs.hooks import Instrument
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.summary import RunReport
+from repro.obs.timeline import Timeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.transaction import Transaction
+
+__all__ = ["Recorder"]
+
+
+class Recorder(Instrument):
+    """Collect metrics, events and a timeline from one simulation run.
+
+    Parameters
+    ----------
+    keep_events:
+        When True (default) every engine event is kept as a dict for
+        JSONL export.  Disable on very long runs to keep only metrics
+        and the timeline.
+    """
+
+    def __init__(self, keep_events: bool = True) -> None:
+        self.registry = MetricsRegistry()
+        self.timeline = Timeline()
+        self.events: list[dict] = []
+        self._keep_events = keep_events
+        self._select_samples: list[float] = []
+        self._arrivals = self.registry.counter("arrivals")
+        self._dispatches = self.registry.counter("dispatches")
+        self._preemptions = self.registry.counter("preemptions")
+        self._completions = self.registry.counter("completions")
+        self._sched_points = self.registry.counter("scheduling_points")
+        self._overhead = self.registry.counter("overhead_paid")
+        self._queue_depth = self.registry.histogram("queue_depth")
+        self._select_hist = self.registry.histogram(
+            "select_seconds", bounds=LATENCY_BUCKETS
+        )
+        self._policy = "?"
+        self._n = 0
+        self._servers = 1
+        self._total_tardiness = 0.0
+        self._end_time = 0.0
+        self._started = False
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Instrument callbacks.
+    # ------------------------------------------------------------------
+    def on_run_start(
+        self, policy_name: str, n_transactions: int, servers: int
+    ) -> None:
+        if self._started:
+            raise ObservabilityError(
+                "a Recorder observes exactly one run; attach a fresh one"
+            )
+        self._started = True
+        self._policy = policy_name
+        self._n = n_transactions
+        self._servers = servers
+        if self._keep_events:
+            self.events.append(
+                {
+                    "schema": jsonl.SCHEMA_VERSION,
+                    "kind": "run_start",
+                    "t": 0.0,
+                    "policy": policy_name,
+                    "n": n_transactions,
+                    "servers": servers,
+                }
+            )
+
+    def on_arrival(self, txn: "Transaction", now: float) -> None:
+        self._arrivals.inc()
+        if self._keep_events:
+            self.events.append({"kind": "arrival", "t": now, "txn": txn.txn_id})
+
+    def on_dispatch(self, txn: "Transaction", now: float, overhead: float) -> None:
+        self._dispatches.inc()
+        if self._keep_events:
+            self.events.append(
+                {
+                    "kind": "dispatch",
+                    "t": now,
+                    "txn": txn.txn_id,
+                    "overhead": overhead,
+                }
+            )
+
+    def on_preempt(self, txn: "Transaction", now: float) -> None:
+        self._preemptions.inc()
+        if self._keep_events:
+            self.events.append({"kind": "preempt", "t": now, "txn": txn.txn_id})
+
+    def on_overhead(self, txn: "Transaction", amount: float, now: float) -> None:
+        self._overhead.inc(amount)
+        if self._keep_events:
+            self.events.append(
+                {"kind": "overhead", "t": now, "txn": txn.txn_id, "amount": amount}
+            )
+
+    def on_completion(self, txn: "Transaction", now: float) -> None:
+        self._completions.inc()
+        tardiness = max(0.0, now - txn.deadline)
+        self._total_tardiness += tardiness
+        if self._keep_events:
+            self.events.append(
+                {
+                    "kind": "completion",
+                    "t": now,
+                    "txn": txn.txn_id,
+                    "tardiness": tardiness,
+                }
+            )
+
+    def on_scheduling_point(
+        self, now: float, ready: int, running: int, select_seconds: float
+    ) -> None:
+        self._sched_points.inc()
+        self._queue_depth.observe(ready)
+        self._select_hist.observe(select_seconds)
+        self._select_samples.append(select_seconds)
+        self.timeline.append(now, ready, running, self._total_tardiness)
+        if self._keep_events:
+            self.events.append(
+                {
+                    "kind": "sched",
+                    "t": now,
+                    "ready": ready,
+                    "running": running,
+                    "select_s": select_seconds,
+                }
+            )
+
+    def on_run_end(self, now: float) -> None:
+        self._finished = True
+        self._end_time = now
+        if self._keep_events:
+            self.events.append({"kind": "run_end", "t": now})
+
+    # ------------------------------------------------------------------
+    # Products.
+    # ------------------------------------------------------------------
+    @property
+    def select_samples(self) -> list[float]:
+        """Per-scheduling-point ``select()`` wall-times, in seconds."""
+        return list(self._select_samples)
+
+    def report(self) -> RunReport:
+        """Condense the observed run into a :class:`RunReport`."""
+        if not self._started:
+            raise ObservabilityError("recorder has not observed a run yet")
+        p50, p90, p99, pmax = RunReport.select_percentiles(self._select_samples)
+        return RunReport(
+            policy=self._policy,
+            n_transactions=self._n,
+            servers=self._servers,
+            makespan=self._end_time,
+            scheduling_points=int(self._sched_points.value),
+            preemptions=int(self._preemptions.value),
+            arrivals=int(self._arrivals.value),
+            dispatches=int(self._dispatches.value),
+            completions=int(self._completions.value),
+            overhead_paid=self._overhead.value,
+            total_tardiness=self._total_tardiness,
+            max_ready_depth=self.timeline.max_ready_depth,
+            mean_ready_depth=self.timeline.mean_ready_depth,
+            select_total_seconds=sum(self._select_samples),
+            select_p50=p50,
+            select_p90=p90,
+            select_p99=p99,
+            select_max=pmax,
+        )
+
+    def write_events(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Export the event log as schema-versioned JSONL."""
+        if not self._keep_events:
+            raise ObservabilityError(
+                "recorder was created with keep_events=False; no event log"
+            )
+        if not self.events:
+            raise ObservabilityError("no events recorded; run a simulation first")
+        return jsonl.write(self.events, path)
+
+    def __repr__(self) -> str:
+        return (
+            f"Recorder(policy={self._policy!r}, events={len(self.events)}, "
+            f"scheduling_points={int(self._sched_points.value)})"
+        )

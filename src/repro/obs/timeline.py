@@ -1,0 +1,99 @@
+"""Time series sampled at scheduling points.
+
+Aggregate metrics (average tardiness, miss ratio) hide the *dynamics* a
+scheduler lives in — backlog building up, servers idling, tardiness
+accruing.  A :class:`Timeline` keeps one :class:`TimelineSample` per
+scheduling point: the ready-queue depth, the number of busy servers and
+the tardiness accumulated by completed transactions so far.
+
+The samples are ordinary data; export them with :meth:`Timeline.as_dict`
+or iterate and plot.  Memory cost is one small object per scheduling
+point (about 2N samples for N transactions), which is why the engine
+only pays it when an instrument asks for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["TimelineSample", "Timeline"]
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineSample:
+    """State of the system right after one scheduling point."""
+
+    #: Simulated time of the scheduling point.
+    time: float
+    #: Transactions ready but not dispatched (the backlog).
+    ready: int
+    #: Servers busy after dispatch.
+    running: int
+    #: Cumulative tardiness of the transactions completed so far.
+    tardiness: float
+
+
+class Timeline:
+    """An append-only series of :class:`TimelineSample`."""
+
+    __slots__ = ("_samples",)
+
+    def __init__(self) -> None:
+        self._samples: list[TimelineSample] = []
+
+    def append(
+        self, time: float, ready: int, running: int, tardiness: float
+    ) -> None:
+        self._samples.append(TimelineSample(time, ready, running, tardiness))
+
+    # ------------------------------------------------------------------
+    # Views.
+    # ------------------------------------------------------------------
+    def samples(self) -> list[TimelineSample]:
+        return list(self._samples)
+
+    def times(self) -> list[float]:
+        return [s.time for s in self._samples]
+
+    def ready_depths(self) -> list[int]:
+        return [s.ready for s in self._samples]
+
+    def servers_busy(self) -> list[int]:
+        return [s.running for s in self._samples]
+
+    def running_tardiness(self) -> list[float]:
+        return [s.tardiness for s in self._samples]
+
+    @property
+    def max_ready_depth(self) -> int:
+        """Peak backlog over the run (0 on an empty timeline)."""
+        return max((s.ready for s in self._samples), default=0)
+
+    @property
+    def mean_ready_depth(self) -> float:
+        """Sample-mean backlog (unweighted by interval length)."""
+        if not self._samples:
+            return 0.0
+        return sum(s.ready for s in self._samples) / len(self._samples)
+
+    def as_dict(self) -> dict[str, list[float]]:
+        """Columnar JSON-ready form."""
+        return {
+            "time": self.times(),
+            "ready": self.ready_depths(),
+            "running": self.servers_busy(),
+            "tardiness": self.running_tardiness(),
+        }
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[TimelineSample]:
+        return iter(self._samples)
+
+    def __repr__(self) -> str:
+        return (
+            f"Timeline(samples={len(self._samples)}, "
+            f"max_ready_depth={self.max_ready_depth})"
+        )

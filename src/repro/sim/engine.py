@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.transaction import Transaction, TransactionState
 from repro.core.workflow_set import WorkflowSet
@@ -39,6 +40,9 @@ from repro.sim.event_queue import EventQueue
 from repro.sim.events import Event, EventKind
 from repro.sim.results import SimulationResult, TransactionRecord
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.hooks import Instrument
 
 __all__ = ["Simulator"]
 
@@ -85,6 +89,13 @@ class Simulator:
         a transaction's first dispatch (cache warm-up); a transaction
         that merely continues across a scheduling point pays nothing and
         keeps any unfinished overhead from its own dispatch.
+    instrument:
+        Optional :class:`~repro.obs.hooks.Instrument` receiving engine
+        hooks (arrivals, dispatches, preemptions, completions,
+        scheduling points).  ``None`` (the default) keeps the hot path
+        free of any instrumentation cost beyond one ``is not None``
+        check per call site; ``policy.select`` wall-time is measured
+        (``perf_counter``) only when an instrument is attached.
 
     Examples
     --------
@@ -106,6 +117,7 @@ class Simulator:
         record_trace: bool = False,
         servers: int = 1,
         preemption_overhead: float = 0.0,
+        instrument: "Instrument | None" = None,
     ) -> None:
         if not transactions:
             raise SimulationError("cannot simulate an empty transaction pool")
@@ -116,6 +128,7 @@ class Simulator:
                 f"preemption_overhead must be >= 0, got {preemption_overhead}"
             )
         self._overhead = preemption_overhead
+        self._instrument = instrument
         self._txns = {txn.txn_id: txn for txn in transactions}
         if len(self._txns) != len(transactions):
             raise SimulationError("duplicate transaction ids in pool")
@@ -147,7 +160,9 @@ class Simulator:
         self._running: dict[int, _Dispatch] = {}
         self._token_counter = 0
         self._completed = 0
+        self._ready_count = 0
         self.scheduling_points = 0
+        self.preemptions = 0
 
     def _check_acyclic(self) -> None:
         indegree = {tid: len(txn.depends_on) for tid, txn in self._txns.items()}
@@ -170,6 +185,9 @@ class Simulator:
         """Execute the workload to completion and return the result."""
         self._reset()
         n = len(self._txns)
+        if self._instrument is not None:
+            self._instrument.on_run_start(self._policy.name, n, self._servers)
+        now = 0.0
         while self._completed < n:
             if not self._events:
                 raise SimulationError(
@@ -184,11 +202,19 @@ class Simulator:
             if self._completed >= n:
                 break
             self._reschedule(now)
+        if self._instrument is not None:
+            self._instrument.on_run_end(now)
         records = [
             TransactionRecord.from_transaction(txn)
             for txn in sorted(self._txns.values(), key=lambda t: t.txn_id)
         ]
-        return SimulationResult(self._policy.name, records, self._trace)
+        return SimulationResult(
+            self._policy.name,
+            records,
+            self._trace,
+            scheduling_points=self.scheduling_points,
+            preemptions=self.preemptions,
+        )
 
     def _reset(self) -> None:
         for txn in self._txns.values():
@@ -204,7 +230,9 @@ class Simulator:
         self._running = {}
         self._token_counter = 0
         self._completed = 0
+        self._ready_count = 0
         self.scheduling_points = 0
+        self.preemptions = 0
         self._policy.bind(list(self._txns.values()), self._workflows)
         for txn in self._txns.values():
             self._events.push(
@@ -236,6 +264,8 @@ class Simulator:
             # Context-switch overhead is served before real work.
             overhead = min(elapsed, dispatch.overhead_left)
             dispatch.overhead_left -= overhead
+            if overhead > 0.0 and self._instrument is not None:
+                self._instrument.on_overhead(txn, overhead, now)
             txn.charge(min(elapsed - overhead, txn.remaining))
             if self._trace is not None:
                 self._trace.record(txn.txn_id, dispatch.since, now)
@@ -274,6 +304,8 @@ class Simulator:
         del self._running[event.txn_id]
         self._completed += 1
         self._policy.on_completion(txn, now)
+        if self._instrument is not None:
+            self._instrument.on_completion(txn, now)
         if self._workflows is not None:
             self._workflows.notify_changed(txn.txn_id)
         for dep_id in self._dependents[txn.txn_id]:
@@ -284,13 +316,17 @@ class Simulator:
                 and dependent.state is TransactionState.WAITING
             ):
                 dependent.mark_ready()
+                self._ready_count += 1
                 self._policy.on_ready(dependent, now)
 
     def _handle_arrival(self, event: Event, now: float) -> None:
         txn = self._txns[event.txn_id]
         self._policy.on_arrival(txn, now)
+        if self._instrument is not None:
+            self._instrument.on_arrival(txn, now)
         if self._pending_deps[txn.txn_id] == 0:
             txn.mark_ready()
+            self._ready_count += 1
             self._policy.on_ready(txn, now)
         else:
             txn.mark_waiting()
@@ -310,9 +346,11 @@ class Simulator:
     # ------------------------------------------------------------------
     def _reschedule(self, now: float) -> None:
         self.scheduling_points += 1
+        instrument = self._instrument
         previous = list(self._running.values())
         for dispatch in previous:
             dispatch.txn.mark_suspended()
+            self._ready_count += 1
             self._policy.on_requeue(dispatch.txn, now)
         self._running.clear()
 
@@ -322,8 +360,14 @@ class Simulator:
             d.txn.txn_id: d.overhead_left for d in previous
         }
         dispatched: set[int] = set()
+        select_seconds = 0.0
         for _ in range(self._servers):
-            candidate = self._policy.select(now)
+            if instrument is not None:
+                t0 = perf_counter()
+                candidate = self._policy.select(now)
+                select_seconds += perf_counter() - t0
+            else:
+                candidate = self._policy.select(now)
             if candidate is None:
                 break
             if candidate.state is not TransactionState.READY:
@@ -349,9 +393,19 @@ class Simulator:
             txn = dispatch.txn
             if txn.txn_id not in dispatched and not txn.is_completed:
                 txn.preemptions += 1
+                self.preemptions += 1
+                if instrument is not None:
+                    instrument.on_preempt(txn, now)
+        if instrument is not None:
+            instrument.on_scheduling_point(
+                now, self._ready_count, len(self._running), select_seconds
+            )
 
     def _dispatch(self, txn: Transaction, now: float, overhead: float = 0.0) -> None:
         txn.mark_running(now)
+        self._ready_count -= 1
+        if self._instrument is not None:
+            self._instrument.on_dispatch(txn, now, overhead)
         self._token_counter += 1
         self._running[txn.txn_id] = _Dispatch(
             txn=txn,

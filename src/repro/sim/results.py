@@ -79,6 +79,12 @@ class SimulationResult:
         One :class:`TransactionRecord` per completed transaction.
     trace:
         Optional execution trace (``None`` unless tracing was enabled).
+    scheduling_points:
+        How many scheduling points the engine executed (``None`` when the
+        result was built outside the engine, e.g. in tests).
+    preemptions:
+        Total preemptions over the run.  Defaults to the sum of the
+        per-record preemption counts, which is what the engine reports.
     """
 
     def __init__(
@@ -86,12 +92,20 @@ class SimulationResult:
         policy_name: str,
         records: Sequence[TransactionRecord],
         trace: Trace | None = None,
+        scheduling_points: int | None = None,
+        preemptions: int | None = None,
     ) -> None:
         if not records:
             raise SimulationError("a simulation result needs >= 1 record")
         self.policy_name = policy_name
         self.records = tuple(records)
         self.trace = trace
+        self.scheduling_points = scheduling_points
+        self.total_preemptions = (
+            preemptions
+            if preemptions is not None
+            else sum(r.preemptions for r in self.records)
+        )
         self._by_id = {r.txn_id: r for r in self.records}
 
     # ------------------------------------------------------------------
@@ -159,7 +173,7 @@ class SimulationResult:
 
     def summary(self) -> dict[str, float]:
         """A plain-dict summary, convenient for tabulation and JSON."""
-        return {
+        out = {
             "n": float(self.n),
             "average_tardiness": self.average_tardiness,
             "average_weighted_tardiness": self.average_weighted_tardiness,
@@ -168,7 +182,11 @@ class SimulationResult:
             "deadline_miss_ratio": self.deadline_miss_ratio,
             "average_response_time": self.average_response_time,
             "makespan": self.makespan,
+            "total_preemptions": float(self.total_preemptions),
         }
+        if self.scheduling_points is not None:
+            out["scheduling_points"] = float(self.scheduling_points)
+        return out
 
     @staticmethod
     def mean_over_runs(

@@ -111,6 +111,39 @@ class TestRunner:
         assert "FCFS" in lines[0]
 
 
+class TestInstrumentPassthrough:
+    def test_run_policy_on_drives_an_instrument(self):
+        from repro.obs import Recorder
+
+        spec = WorkloadSpec(n_transactions=30, utilization=0.9)
+        (w,) = generate_workloads(spec, [1])
+        recorder = Recorder()
+        result = run_policy_on(w, PolicySpec.of("edf"), instrument=recorder)
+        report = recorder.report()
+        assert report.completions == result.n == 30
+        assert report.scheduling_points == result.scheduling_points
+        assert report.preemptions == result.total_preemptions
+
+    def test_uninstrumented_call_unchanged(self):
+        spec = WorkloadSpec(n_transactions=30, utilization=0.9)
+        (w,) = generate_workloads(spec, [1])
+        plain = run_policy_on(w, PolicySpec.of("edf"))
+        from repro.obs import NullInstrument
+
+        nulled = run_policy_on(
+            w, PolicySpec.of("edf"), instrument=NullInstrument()
+        )
+        assert plain.average_tardiness == nulled.average_tardiness
+
+    def test_metric_spread_is_public(self):
+        import repro.experiments
+        import repro.experiments.runner as runner
+
+        assert "metric_spread" in runner.__all__
+        assert "metric_spread" in repro.experiments.__all__
+        assert callable(repro.experiments.metric_spread)
+
+
 class TestMetricSpread:
     def test_interval_brackets_mean(self):
         from repro.experiments.runner import metric_spread

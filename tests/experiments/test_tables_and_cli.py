@@ -49,6 +49,43 @@ class TestCLI:
         assert main(["table1"]) == 0
         assert "Parameter" in capsys.readouterr().out
 
+
+class TestRunTarget:
+    def test_summary_line(self, capsys):
+        assert main(["run", "--n", "40", "--policy", "edf"]) == 0
+        out = capsys.readouterr().out
+        assert "edf" in out
+        assert "scheduling_points=" in out
+        assert "preemptions=" in out
+
+    def test_full_report(self, capsys):
+        assert main(["run", "--n", "40", "--policy", "asets", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "Run report" in out
+        assert "scheduling points" in out
+        assert "select p50/p90/p99/max" in out
+
+    def test_events_out_round_trips(self, tmp_path, capsys):
+        from repro.obs import jsonl
+
+        target = tmp_path / "run.jsonl"
+        assert main(["run", "--n", "40", "--events-out", str(target)]) == 0
+        records = jsonl.read(target)
+        assert records[0]["kind"] == "run_start"
+        assert records[0]["policy"] == "asets"
+        assert records[-1]["kind"] == "run_end"
+        kinds = {r["kind"] for r in records}
+        assert {"arrival", "dispatch", "sched", "completion"} <= kinds
+
+    def test_parser_defaults(self):
+        from repro.experiments.config import DEFAULT_PROBE_UTILIZATION
+
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "asets"
+        assert args.utilization == DEFAULT_PROBE_UTILIZATION
+        assert args.events_out is None
+        assert not args.report
+
     def test_figure_command_prints_series(self, capsys):
         assert main(["fig8", "--n", "40", "--seeds", "1", "--quiet"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,96 @@
+"""Unit tests for the JSONL event-log writer and reader."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import jsonl
+
+
+def header(**extra):
+    record = {"schema": jsonl.SCHEMA_VERSION, "kind": "run_start", "t": 0.0}
+    record.update(extra)
+    return record
+
+
+class TestWriter:
+    def test_write_and_read_round_trip(self, tmp_path):
+        records = [
+            header(policy="edf", n=2, servers=1),
+            {"kind": "arrival", "t": 0.5, "txn": 1},
+            {"kind": "completion", "t": 1.5, "txn": 1, "tardiness": 0.0},
+            {"kind": "run_end", "t": 1.5},
+        ]
+        path = jsonl.write(records, tmp_path / "run.jsonl")
+        assert jsonl.read(path) == records
+
+    def test_float_fidelity(self, tmp_path):
+        records = [header(), {"kind": "sched", "t": 0.1 + 0.2, "ready": 0,
+                              "running": 0, "select_s": 1e-7}]
+        path = jsonl.write(records, tmp_path / "f.jsonl")
+        assert jsonl.read(path) == records
+
+    def test_streaming_writer_counts_and_closes(self, tmp_path):
+        with jsonl.JsonlWriter(tmp_path / "s.jsonl") as out:
+            out.write(header())
+            out.write({"kind": "run_end", "t": 1.0})
+            assert out.records_written == 2
+        with pytest.raises(ObservabilityError):
+            out.write({"kind": "late", "t": 2.0})
+
+    def test_one_record_per_line(self, tmp_path):
+        path = jsonl.write([header(), {"kind": "run_end", "t": 0.0}],
+                           tmp_path / "l.jsonl")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+
+
+class TestReader:
+    def test_rejects_missing_header(self, tmp_path):
+        path = jsonl.write([{"kind": "arrival", "t": 0.0, "txn": 1}],
+                           tmp_path / "bad.jsonl")
+        with pytest.raises(ObservabilityError, match="run_start"):
+            jsonl.read(path)
+
+    def test_rejects_future_schema(self, tmp_path):
+        path = jsonl.write([header(schema=jsonl.SCHEMA_VERSION + 1)],
+                           tmp_path / "future.jsonl")
+        with pytest.raises(ObservabilityError, match="schema"):
+            jsonl.read(path)
+
+    def test_rejects_invalid_schema_field(self, tmp_path):
+        path = jsonl.write([header(schema="one")], tmp_path / "alien.jsonl")
+        with pytest.raises(ObservabilityError):
+            jsonl.read(path)
+
+    def test_rejects_broken_json_with_line_number(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"schema": 1, "kind": "run_start", "t": 0}\n{oops\n')
+        with pytest.raises(ObservabilityError, match=":2"):
+            jsonl.read(path)
+
+    def test_rejects_non_object_lines(self, tmp_path):
+        path = tmp_path / "list.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ObservabilityError, match="object"):
+            jsonl.read(path)
+
+    def test_non_strict_skips_header_validation(self, tmp_path):
+        path = jsonl.write([{"kind": "arrival", "t": 0.0, "txn": 1}],
+                           tmp_path / "partial.jsonl")
+        assert jsonl.read(path, strict=False) == [
+            {"kind": "arrival", "t": 0.0, "txn": 1}
+        ]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text(
+            '{"schema": 1, "kind": "run_start", "t": 0}\n\n{"kind": "run_end", "t": 1}\n'
+        )
+        assert len(jsonl.read(path)) == 2
+
+    def test_iter_records_is_lazy(self, tmp_path):
+        path = jsonl.write([header(), {"kind": "run_end", "t": 1.0}],
+                           tmp_path / "i.jsonl")
+        it = jsonl.iter_records(path)
+        assert next(it)["kind"] == "run_start"
+        assert next(it)["kind"] == "run_end"

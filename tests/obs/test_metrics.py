@@ -1,0 +1,104 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("events")
+        c.inc()
+        c.inc(4)
+        c.inc(0.5)
+        assert c.value == 5.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ObservabilityError):
+            Counter("events").inc(-1)
+
+
+class TestGauge:
+    def test_tracks_extremes(self):
+        g = Gauge("depth")
+        for v in (3, -1, 7, 2):
+            g.set(v)
+        assert g.value == 2
+        assert g.min == -1
+        assert g.max == 7
+
+    def test_first_sample_initialises_extremes(self):
+        g = Gauge("depth")
+        g.set(5)
+        assert g.min == g.max == 5
+
+
+class TestHistogram:
+    def test_bucketing_and_totals(self):
+        h = Histogram("depth", bounds=(1, 2, 4))
+        for v in (0, 1, 1, 3, 9):
+            h.observe(v)
+        assert h.count == 5
+        assert h.total == 14
+        assert h.bucket_counts == [3, 0, 1, 1]  # <=1, <=2, <=4, overflow
+        assert h.mean == pytest.approx(2.8)
+        assert h.max == 9
+        assert h.min == 0
+
+    def test_quantiles_at_bucket_resolution(self):
+        h = Histogram("depth", bounds=(1, 2, 4))
+        h.observe_many([0, 1, 1, 3, 9])
+        assert h.quantile(0.5) == 1
+        assert h.quantile(0.8) == 4
+        assert h.quantile(1.0) == 9  # overflow bucket -> exact max
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("x", bounds=(1,)).quantile(0.5) == 0.0
+
+    def test_quantile_range_validated(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("x", bounds=(1,)).quantile(1.5)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("x", bounds=())
+        with pytest.raises(ObservabilityError):
+            Histogram("x", bounds=(2, 1))
+        with pytest.raises(ObservabilityError):
+            Histogram("x", bounds=(1, 1))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("a")
+        with pytest.raises(ObservabilityError):
+            reg.histogram("a")
+
+    def test_names_and_contains(self):
+        reg = MetricsRegistry()
+        reg.counter("z")
+        reg.gauge("a")
+        assert reg.names() == ["a", "z"]
+        assert "z" in reg
+        assert "missing" not in reg
+
+    def test_as_dict_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("events").inc(3)
+        reg.gauge("depth").set(7)
+        reg.histogram("lat", bounds=(1, 2)).observe(1.5)
+        snap = reg.as_dict()
+        assert snap["events"] == {"type": "counter", "value": 3}
+        assert snap["depth"]["type"] == "gauge"
+        assert snap["depth"]["max"] == 7
+        assert snap["lat"]["count"] == 1
+        assert snap["lat"]["bucket_counts"] == [0, 1, 0]

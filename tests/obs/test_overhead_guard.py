@@ -1,0 +1,98 @@
+"""Overhead guard: with no instrument attached, the engine pays nothing.
+
+The instrumentation layer's contract is that ``instrument=None`` (the
+default everywhere) keeps the hot path at pre-instrumentation cost: one
+``is not None`` check per call site, no attribute lookups, no
+``perf_counter`` reads, no calls into ``repro.obs``.  Three guards:
+
+1. structural — ``perf_counter`` is never consulted when disabled;
+2. structural — no function defined in ``repro/obs/`` executes when
+   disabled;
+3. wall-time — a 5000-transaction run with ``instrument=None`` stays
+   within 5% of the same run with a :class:`NullInstrument` attached.
+   The null-instrument run performs a strict superset of the disabled
+   path's work (every hook call site fires a no-op method), so the
+   disabled path must not come out slower; this pins the "fast path"
+   to the pre-hook code path's cost.
+"""
+
+import sys
+from time import perf_counter
+
+import pytest
+
+import repro.sim.engine as engine_mod
+from repro.obs import NullInstrument
+from repro.policies.registry import make_policy
+from repro.sim.engine import Simulator
+from repro.workload.generator import generate
+from repro.workload.spec import WorkloadSpec
+
+
+def _run(workload, instrument):
+    workload.reset()
+    return Simulator(
+        workload.transactions, make_policy("edf"), instrument=instrument
+    ).run()
+
+
+def test_perf_counter_untouched_when_disabled(monkeypatch):
+    real = engine_mod.perf_counter
+    calls = [0]
+
+    def counting():
+        calls[0] += 1
+        return real()
+
+    monkeypatch.setattr(engine_mod, "perf_counter", counting)
+    workload = generate(
+        WorkloadSpec(n_transactions=100, utilization=0.9), seed=11
+    )
+    _run(workload, None)
+    assert calls[0] == 0, "disabled engine must not measure select latency"
+    _run(workload, NullInstrument())
+    assert calls[0] > 0, "instrumented engine must measure select latency"
+
+
+def test_no_obs_code_runs_when_disabled():
+    workload = generate(
+        WorkloadSpec(n_transactions=60, utilization=0.9), seed=11
+    )
+    workload.reset()
+    sim = Simulator(workload.transactions, make_policy("edf"))
+    seen = []
+
+    def profiler(frame, event, arg):
+        if event == "call":
+            filename = frame.f_code.co_filename.replace("\\", "/")
+            if "/obs/" in filename:
+                seen.append(frame.f_code.co_name)
+
+    sys.setprofile(profiler)
+    try:
+        sim.run()
+    finally:
+        sys.setprofile(None)
+    assert seen == [], f"obs code executed on the disabled path: {seen}"
+
+
+def test_disabled_run_within_5_percent_of_null_instrument_path():
+    workload = generate(
+        WorkloadSpec(n_transactions=5000, utilization=0.9), seed=11
+    )
+
+    def best_of(instrument, rounds=3):
+        best = float("inf")
+        for _ in range(rounds):
+            start = perf_counter()
+            _run(workload, instrument)
+            best = min(best, perf_counter() - start)
+        return best
+
+    best_of(None, rounds=1)  # warm caches before measuring
+    t_null_object = best_of(NullInstrument())
+    t_disabled = best_of(None)
+    assert t_disabled <= t_null_object * 1.05, (
+        f"instrument=None took {t_disabled:.4f}s, NullInstrument "
+        f"{t_null_object:.4f}s — the disabled path must not be slower"
+    )

@@ -1,0 +1,129 @@
+"""Integration: Recorder on real simulations, cross-checked against results.
+
+This is the acceptance test of the instrumentation layer: a run with
+``Simulator(..., instrument=Recorder())`` must produce (a) a JSONL event
+log that round-trips through ``obs.jsonl.read()`` and (b) a RunReport
+whose scheduling-point and preemption counts match the
+``SimulationResult``.
+"""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Recorder, jsonl
+from repro.policies import EDF
+from repro.policies.registry import make_policy
+from repro.sim.engine import Simulator
+from repro.workload.generator import generate
+from repro.workload.spec import WorkloadSpec
+from tests.conftest import make_txn
+
+
+@pytest.fixture(scope="module")
+def recorded_run():
+    workload = generate(
+        WorkloadSpec(n_transactions=150, utilization=0.9), seed=23
+    )
+    recorder = Recorder()
+    result = Simulator(
+        workload.transactions, make_policy("asets"), instrument=recorder
+    ).run()
+    return recorder, result
+
+
+def test_counts_match_simulation_result(recorded_run):
+    recorder, result = recorded_run
+    report = recorder.report()
+    assert report.scheduling_points == result.scheduling_points
+    assert report.preemptions == result.total_preemptions
+    assert report.completions == result.n
+    assert report.arrivals == result.n
+    assert report.makespan == pytest.approx(result.makespan)
+    assert report.total_tardiness == pytest.approx(result.total_tardiness)
+
+
+def test_event_log_round_trips_through_jsonl(recorded_run, tmp_path):
+    recorder, _ = recorded_run
+    path = recorder.write_events(tmp_path / "run.jsonl")
+    assert jsonl.read(path) == recorder.events
+    header = recorder.events[0]
+    assert header["kind"] == "run_start"
+    assert header["schema"] == jsonl.SCHEMA_VERSION
+
+
+def test_event_stream_is_consistent(recorded_run):
+    recorder, result = recorded_run
+    kinds = [e["kind"] for e in recorder.events]
+    assert kinds[0] == "run_start"
+    assert kinds[-1] == "run_end"
+    assert kinds.count("arrival") == result.n
+    assert kinds.count("completion") == result.n
+    assert kinds.count("sched") == result.scheduling_points
+    assert kinds.count("preempt") == result.total_preemptions
+    times = [e["t"] for e in recorder.events]
+    assert times == sorted(times), "events must be in chronological order"
+
+
+def test_timeline_sampled_at_every_scheduling_point(recorded_run):
+    recorder, result = recorded_run
+    assert len(recorder.timeline) == result.scheduling_points
+    tardiness = recorder.timeline.running_tardiness()
+    assert tardiness == sorted(tardiness)  # cumulative, never decreases
+    assert tardiness[-1] == pytest.approx(result.total_tardiness)
+
+
+def test_registry_mirrors_report(recorded_run):
+    recorder, result = recorded_run
+    snap = recorder.registry.as_dict()
+    assert snap["completions"]["value"] == result.n
+    assert snap["scheduling_points"]["value"] == result.scheduling_points
+    assert snap["queue_depth"]["count"] == result.scheduling_points
+    assert snap["select_seconds"]["count"] == result.scheduling_points
+
+
+def test_select_latency_percentiles_populated(recorded_run):
+    recorder, _ = recorded_run
+    report = recorder.report()
+    assert len(recorder.select_samples) == report.scheduling_points
+    assert 0.0 <= report.select_p50 <= report.select_p90
+    assert report.select_p90 <= report.select_p99 <= report.select_max
+    assert report.select_total_seconds == pytest.approx(
+        sum(recorder.select_samples)
+    )
+
+
+def test_recorder_observes_exactly_one_run():
+    txns = [make_txn(1, arrival=0.0, length=1.0)]
+    recorder = Recorder()
+    Simulator(txns, EDF(), instrument=recorder).run()
+    txns[0].reset()
+    with pytest.raises(ObservabilityError):
+        Simulator(txns, EDF(), instrument=recorder).run()
+
+
+def test_report_requires_a_run():
+    with pytest.raises(ObservabilityError):
+        Recorder().report()
+
+
+def test_keep_events_false_keeps_metrics_only(tmp_path):
+    txns = [make_txn(1, arrival=0.0, length=1.0)]
+    recorder = Recorder(keep_events=False)
+    Simulator(txns, EDF(), instrument=recorder).run()
+    assert recorder.events == []
+    assert recorder.report().completions == 1
+    with pytest.raises(ObservabilityError):
+        recorder.write_events(tmp_path / "x.jsonl")
+
+
+def test_overhead_paid_recorded(tmp_path):
+    txns = [
+        make_txn(1, arrival=0.0, length=2.0, deadline=50.0),
+        make_txn(2, arrival=0.0, length=2.0, deadline=60.0),
+    ]
+    recorder = Recorder()
+    Simulator(
+        txns, EDF(), preemption_overhead=0.25, instrument=recorder
+    ).run()
+    report = recorder.report()
+    assert report.overhead_paid == pytest.approx(0.5)  # two cold starts

@@ -1,0 +1,78 @@
+"""Unit tests for RunReport rendering and serialisation."""
+
+import json
+
+import pytest
+
+from repro.obs.summary import RunReport
+
+
+def report(**overrides):
+    fields = dict(
+        policy="edf",
+        n_transactions=100,
+        servers=1,
+        makespan=250.0,
+        scheduling_points=220,
+        preemptions=30,
+        arrivals=100,
+        dispatches=215,
+        completions=100,
+        overhead_paid=1.5,
+        total_tardiness=42.0,
+        max_ready_depth=9,
+        mean_ready_depth=3.4,
+        select_total_seconds=0.002,
+        select_p50=5e-6,
+        select_p90=1e-5,
+        select_p99=3e-5,
+        select_max=9e-5,
+    )
+    fields.update(overrides)
+    return RunReport(**fields)
+
+
+def test_as_dict_is_json_ready():
+    d = report().as_dict()
+    assert d["policy"] == "edf"
+    assert d["scheduling_points"] == 220
+    json.dumps(d)  # must serialise without help
+
+
+def test_render_contains_headline_numbers():
+    text = report().render()
+    assert "edf" in text
+    assert "scheduling points" in text
+    assert "220" in text
+    assert "preemptions" in text
+    assert "0.30/txn" in text
+    assert "select p50/p90/p99/max" in text
+
+
+def test_render_scales_latencies_readably():
+    text = report(select_total_seconds=0.25).render()
+    assert "ms" in text or " s" in text
+    assert "5.0 us" in text  # p50 rendered in microseconds
+
+
+def test_preemptions_per_transaction():
+    assert report().preemptions_per_transaction == pytest.approx(0.3)
+    assert report(n_transactions=0).preemptions_per_transaction == 0.0
+
+
+def test_select_percentiles_of_samples():
+    samples = [float(i) for i in range(1, 101)]  # 1..100
+    p50, p90, p99, pmax = RunReport.select_percentiles(samples)
+    assert p50 == pytest.approx(50.5)
+    assert p90 == pytest.approx(90.1)
+    assert p99 == pytest.approx(99.01)
+    assert pmax == 100.0
+
+
+def test_select_percentiles_empty():
+    assert RunReport.select_percentiles([]) == (0.0, 0.0, 0.0, 0.0)
+
+
+def test_extras_rendered():
+    text = report(extras={"note": "smoke"}).render()
+    assert "note" in text and "smoke" in text

@@ -57,6 +57,35 @@ class TestLengthProfiler:
         p.reset()
         assert p.known_classes() == []
 
+    def test_reset_restores_fallback_and_counts(self):
+        p = LengthProfiler(smoothing=0.5)
+        p.observe("q", 20.0)
+        p.observe("q", 10.0)
+        assert p.estimate("q", fallback=99.0) == pytest.approx(15.0)
+        p.reset()
+        assert p.estimate("q", fallback=99.0) == 99.0
+        assert p.observations("q") == 0
+
+    def test_reset_discards_ema_history(self):
+        # The first observation after a reset must be taken verbatim,
+        # not smoothed against pre-reset state.
+        p = LengthProfiler(smoothing=0.5)
+        p.observe("q", 100.0)
+        p.reset()
+        p.observe("q", 4.0)
+        assert p.estimate("q", fallback=0.0) == 4.0
+        assert p.observations("q") == 1
+
+    def test_reset_is_idempotent_and_reusable(self):
+        p = LengthProfiler()
+        p.reset()  # resetting a fresh profiler is fine
+        p.observe("a", 2.0)
+        p.reset()
+        p.reset()
+        assert p.known_classes() == []
+        p.observe("b", 3.0)
+        assert p.known_classes() == ["b"]
+
 
 @pytest.fixture
 def noisy_portal():

@@ -91,6 +91,37 @@ class TestSimulationResult:
         assert summary["n"] == 1.0
         assert "average_weighted_tardiness" in summary
 
+    def test_scheduling_points_surfaced_from_engine(self):
+        from repro.policies import FCFS
+        from repro.sim.engine import Simulator
+
+        txns = [make_txn(1, arrival=0.0), make_txn(2, arrival=1.0)]
+        sim = Simulator(txns, FCFS())
+        res = sim.run()
+        assert res.scheduling_points == sim.scheduling_points
+        assert res.scheduling_points > 0
+        assert res.total_preemptions == sim.preemptions
+        summary = res.summary()
+        assert summary["scheduling_points"] == float(sim.scheduling_points)
+        assert summary["total_preemptions"] == float(sim.preemptions)
+
+    def test_total_preemptions_defaults_to_record_sum(self):
+        records = [
+            TransactionRecord(1, 0.0, 2.0, 5.0, 1.0, 4.0, 0.0, preemptions=2),
+            TransactionRecord(2, 0.0, 2.0, 5.0, 1.0, 6.0, 0.0, preemptions=1),
+        ]
+        res = SimulationResult("edf", records)
+        assert res.total_preemptions == 3
+        assert res.scheduling_points is None
+        assert "scheduling_points" not in res.summary()
+
+    def test_explicit_counts_override(self):
+        res = SimulationResult(
+            "edf", [rec()], scheduling_points=7, preemptions=4
+        )
+        assert res.scheduling_points == 7
+        assert res.total_preemptions == 4
+
     def test_mean_over_runs(self):
         r1 = SimulationResult("x", [rec(finish=7.0)])  # tardiness 2
         r2 = SimulationResult("x", [rec(finish=9.0)])  # tardiness 4

@@ -52,3 +52,60 @@ def test_iteration():
     tr = Trace()
     tr.record(1, 0.0, 1.0)
     assert [s.txn_id for s in tr] == [1]
+
+
+# ----------------------------------------------------------------------
+# Coalescing edge cases.
+# ----------------------------------------------------------------------
+def test_non_adjacent_same_txn_slices_stay_separate():
+    # Same transaction, but a different transaction ran in between: the
+    # later slice is adjacent in the log yet not in time.
+    tr = Trace()
+    tr.record(1, 0.0, 2.0)
+    tr.record(2, 2.0, 3.0)
+    tr.record(1, 3.0, 4.0)
+    assert len(tr) == 3
+    assert [s.duration for s in tr.slices_of(1)] == [2.0, 1.0]
+
+
+def test_zero_length_slice_does_not_break_coalescing_chain():
+    # A zero-length slice is dropped entirely; the next real slice of the
+    # same transaction still coalesces with the one before the no-op.
+    tr = Trace()
+    tr.record(1, 0.0, 2.0)
+    tr.record(1, 2.0, 2.0)  # ignored
+    tr.record(1, 2.0, 3.0)  # still adjacent to [0, 2)
+    assert len(tr) == 1
+    assert tr.slices()[0] == ExecutionSlice(1, 0.0, 3.0)
+
+
+def test_negative_length_slice_ignored():
+    tr = Trace()
+    tr.record(1, 3.0, 2.0)
+    assert len(tr) == 0
+
+
+def test_interleaved_servers_do_not_coalesce_across_transactions():
+    # Two servers syncing at the same instant interleave their slices;
+    # same-time slices of *different* transactions must both survive.
+    tr = Trace()
+    tr.record(1, 0.0, 2.0)
+    tr.record(2, 0.0, 2.0)
+    tr.record(1, 2.0, 4.0)
+    tr.record(2, 2.0, 4.0)
+    # txn 1's [2, 4) is NOT adjacent in the log (txn 2 logged in between),
+    # so it stays separate even though its times touch.
+    assert len(tr) == 4
+    assert tr.busy_time() == 8.0
+    assert [s.duration for s in tr.slices_of(2)] == [2.0, 2.0]
+
+
+def test_interleaved_servers_same_txn_adjacent_times_coalesce_only_in_log_order():
+    # Coalescing is strictly "last logged slice" based: a same-txn slice
+    # whose start touches an *earlier* (non-last) slice is kept separate.
+    tr = Trace()
+    tr.record(1, 0.0, 2.0)
+    tr.record(2, 1.0, 3.0)   # overlapping slice from another server
+    tr.record(1, 2.0, 5.0)   # touches txn 1's end, but not last in log
+    assert len(tr) == 3
+    assert tr.order_of_first_execution() == [1, 2]
