@@ -8,6 +8,18 @@ single ``except`` clause while letting genuine bugs (``TypeError``,
 
 from __future__ import annotations
 
+__all__ = [
+    "ExperimentError",
+    "InvalidTransactionError",
+    "InvalidWorkflowError",
+    "ObservabilityError",
+    "QueryError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "WorkloadError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""

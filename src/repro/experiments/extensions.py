@@ -23,7 +23,7 @@ from typing import Callable, Sequence
 from repro.experiments.config import ExperimentConfig, PolicySpec
 from repro.experiments.runner import generate_workloads, mean_metric
 from repro.metrics.aggregates import MetricSeries, mean
-from repro.metrics.distributions import gini, tardiness_percentile, tardiness
+from repro.metrics.distributions import gini, tardiness, tardiness_percentile
 from repro.sim.engine import Simulator
 from repro.workload.spec import WorkloadSpec
 

@@ -29,15 +29,15 @@ from typing import Callable, Sequence
 
 from repro.experiments.config import (
     COUNT_ACTIVATION_RATES,
-    ExperimentConfig,
     GENERAL_CASE_POLICIES,
     HIGH_UTILIZATIONS,
     LOW_UTILIZATIONS,
     NORMALIZATION_POLICIES,
-    PolicySpec,
     TIME_ACTIVATION_RATES,
     TRANSACTION_LEVEL_POLICIES,
     WORKFLOW_LEVEL_POLICIES,
+    ExperimentConfig,
+    PolicySpec,
 )
 from repro.experiments.runner import (
     generate_workloads,

@@ -12,13 +12,13 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable
 
+from repro.experiments import figures
 from repro.experiments.config import (
     DEFAULT_SEEDS,
     DEFAULT_UTILIZATIONS,
-    ExperimentConfig,
     TIME_ACTIVATION_RATES,
+    ExperimentConfig,
 )
-from repro.experiments import figures
 from repro.metrics.aggregates import mean
 from repro.metrics.report import format_table
 from repro.workload.spec import WorkloadSpec

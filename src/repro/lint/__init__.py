@@ -1,0 +1,57 @@
+"""``repro.lint`` — AST-based invariant checking for the reproduction.
+
+The test suite can only spot-check the properties the reproduction's
+credibility rests on: bit-for-bit determinism given a seed, a zero-cost
+uninstrumented engine hot path, and policies that honour the
+:class:`~repro.policies.base.Scheduler` hook contract.  This package
+enforces those invariants *at the source level* with a dependency-free
+:mod:`ast` walker and a numbered rule library (RL001..RL007), wired into
+CI as a blocking job.
+
+Usage::
+
+    python -m repro.lint [--format json] [--select/--ignore RLxxx] paths...
+
+or programmatically::
+
+    >>> from repro.lint import run_lint
+    >>> run_lint(["src/repro"])  # doctest: +SKIP
+    []
+
+See ``docs/lint.md`` for the rule catalog and the suppression syntax
+(``# repro-lint: disable=RL003 -- reason``).
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    LintResult,
+    ModuleContext,
+    ProjectContext,
+    check_file,
+    collect_modules,
+    lint,
+    run_lint,
+)
+from repro.lint.findings import Finding
+from repro.lint.reporters import parse_json_report, render_json, render_text
+from repro.lint.rules import ALL_RULES, Rule, rules_by_id
+from repro.lint.suppress import Suppressions
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "ProjectContext",
+    "Rule",
+    "Suppressions",
+    "check_file",
+    "collect_modules",
+    "lint",
+    "parse_json_report",
+    "render_json",
+    "render_text",
+    "rules_by_id",
+    "run_lint",
+]

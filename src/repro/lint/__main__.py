@@ -1,0 +1,93 @@
+"""CLI entry point: ``python -m repro.lint [options] paths...``.
+
+Exit status is 0 when no findings survive suppression and rule
+selection, 1 otherwise — CI runs ``python -m repro.lint src`` as a
+blocking job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.lint.engine import lint
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import ALL_RULES
+
+
+def _parse_rule_list(raw: Sequence[str]) -> list[str] | None:
+    if not raw:
+        return None
+    rules: list[str] = []
+    for chunk in raw:
+        rules.extend(part.strip().upper() for part in chunk.split(",") if part.strip())
+    return rules or None
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant checker for the ASETS* reproduction "
+            "(determinism, hot-path discipline, scheduler contract)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (e.g. src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule ids to run exclusively (e.g. RL001,RL006)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.lint src)")
+
+    try:
+        result = lint(
+            args.paths,
+            select=_parse_rule_list(args.select),
+            ignore=_parse_rule_list(args.ignore),
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,381 @@
+"""The lint engine: file walking, AST contexts, and rule dispatch.
+
+The engine parses every ``*.py`` file under the given paths once, wraps
+each in a :class:`ModuleContext` (tree + parent links + suppression map +
+derived dotted module name), groups them into a :class:`ProjectContext`,
+and hands both to the rules: per-module rules see one file at a time,
+project rules (e.g. RL004's registration check) see the whole set.
+
+Module names are derived from the path: everything from the last
+``repro`` path component on becomes the dotted name, so both
+``src/repro/sim/engine.py`` and a test fixture at
+``tests/lint/fixtures/rl001/repro/sim/clock.py`` resolve to a
+``repro.sim...`` module and fall under the same rule scopes.  Files with
+no ``repro`` component lint under their bare stem, which keeps every
+package-scoped rule silent — pass ``module=`` to :func:`check_file` to
+override.
+
+Unparseable files are reported as rule ``RL000`` findings rather than
+crashing the run, so one syntax error cannot hide every other finding.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.suppress import Suppressions
+
+__all__ = [
+    "PARSE_ERROR_RULE",
+    "LintResult",
+    "ModuleContext",
+    "ProjectContext",
+    "ProjectRule",
+    "Rule",
+    "check_file",
+    "collect_modules",
+    "lint",
+    "module_name_for",
+    "run_lint",
+]
+
+#: Pseudo-rule id for files the parser rejects.
+PARSE_ERROR_RULE = "RL000"
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``, anchored at the last ``repro`` part."""
+    parts = list(path.parts)
+    stem_parts = parts[:-1] + [path.stem]
+    if "repro" in stem_parts:
+        anchor = len(stem_parts) - 1 - stem_parts[::-1].index("repro")
+        dotted = stem_parts[anchor:]
+    else:
+        dotted = [path.stem]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1] or [path.stem]
+    return ".".join(dotted)
+
+
+class ModuleContext:
+    """One parsed source file plus the derived views the rules need."""
+
+    def __init__(
+        self, path: Path, source: str, module: str | None = None
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.module = module if module is not None else module_name_for(path)
+        self.is_init = path.name == "__init__.py"
+        self.tree = ast.parse(source, filename=str(path))
+        self.suppressions = Suppressions.from_source(source)
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True iff the module lives under any of the dotted ``prefixes``."""
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Yield ``node``'s parents from the inside out."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def guard_conjuncts(self, node: ast.AST) -> list[ast.expr]:
+        """Every conjunct of every ``if`` test whose *body* contains ``node``.
+
+        Walks outward; at each ``if`` ancestor the node sits in the body
+        of (not the ``else`` branch), the test's ``and``-conjuncts are
+        collected.  Short-circuit guards inside one expression
+        (``x is not None and x.hook()``) contribute the conjuncts to the
+        left of the node's operand.
+        """
+        conjuncts: list[ast.expr] = []
+        child: ast.AST = node
+        for parent in self.ancestors(node):
+            if isinstance(parent, ast.If) and child in parent.body:
+                conjuncts.extend(_flatten_and(parent.test))
+            elif isinstance(parent, ast.IfExp) and child is parent.body:
+                conjuncts.extend(_flatten_and(parent.test))
+            elif isinstance(parent, ast.BoolOp) and isinstance(
+                parent.op, ast.And
+            ):
+                for value in parent.values:
+                    if value is child:
+                        break
+                    conjuncts.extend(_flatten_and(value))
+            child = parent
+        return conjuncts
+
+    def is_guarded_not_none(
+        self, node: ast.AST, receiver: ast.expr | None = None
+    ) -> bool:
+        """True iff ``node`` executes only under an ``X is not None`` test.
+
+        When ``receiver`` is given, the guarded expression ``X`` must be
+        structurally identical to it (``instrument`` guarding
+        ``instrument.on_dispatch``, ``self._instrument`` guarding
+        ``self._instrument.on_arrival``); otherwise any not-None guard
+        counts.
+        """
+        wanted = _dump(receiver) if receiver is not None else None
+        for conjunct in self.guard_conjuncts(node):
+            guarded = _not_none_operand(conjunct)
+            if guarded is None:
+                continue
+            if wanted is None or _dump(guarded) == wanted:
+                return True
+        return False
+
+
+def _flatten_and(test: ast.expr) -> list[ast.expr]:
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        out: list[ast.expr] = []
+        for value in test.values:
+            out.extend(_flatten_and(value))
+        return out
+    return [test]
+
+
+def _not_none_operand(expr: ast.expr) -> ast.expr | None:
+    """Return ``X`` when ``expr`` is exactly ``X is not None``."""
+    if (
+        isinstance(expr, ast.Compare)
+        and len(expr.ops) == 1
+        and isinstance(expr.ops[0], ast.IsNot)
+        and isinstance(expr.comparators[0], ast.Constant)
+        and expr.comparators[0].value is None
+    ):
+        return expr.left
+    return None
+
+
+def _dump(node: ast.AST) -> str:
+    return ast.dump(node, annotate_fields=False, include_attributes=False)
+
+
+@dataclass
+class ProjectContext:
+    """Every module of one lint run, for cross-module rules."""
+
+    modules: list[ModuleContext] = field(default_factory=list)
+
+    def find(self, module: str) -> ModuleContext | None:
+        for ctx in self.modules:
+            if ctx.module == module:
+                return ctx
+        return None
+
+
+class Rule(abc.ABC):
+    """One numbered invariant, checked per module."""
+
+    #: ``RLxxx`` identifier used in reports and suppression comments.
+    rule_id: str = "RL000"
+    #: One-line summary shown by ``--list-rules`` and in docs.
+    summary: str = ""
+
+    @abc.abstractmethod
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        """Yield every violation of this rule in ``module``."""
+
+    def finding(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.rule_id}>"
+
+
+class ProjectRule(Rule):
+    """A rule needing the whole project (cross-module invariants)."""
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    @abc.abstractmethod
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        """Yield every violation visible only across modules."""
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, consumed by the reporters and the CLI."""
+
+    findings: list[Finding]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+
+
+def collect_modules(
+    paths: Sequence[str | Path],
+) -> tuple[ProjectContext, list[Finding]]:
+    """Parse every file under ``paths``; syntax errors become findings."""
+    project = ProjectContext()
+    errors: list[Finding] = []
+    for path in _iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        try:
+            project.modules.append(ModuleContext(path, source))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule=PARSE_ERROR_RULE,
+                    message=f"could not parse file: {exc.msg}",
+                )
+            )
+    return project, errors
+
+
+def _selected(
+    rules: Sequence[Rule],
+    select: Iterable[str] | None,
+    ignore: Iterable[str] | None,
+) -> list[Rule]:
+    chosen = list(rules)
+    if select is not None:
+        wanted = {r.upper() for r in select}
+        chosen = [r for r in chosen if r.rule_id in wanted]
+    if ignore is not None:
+        dropped = {r.upper() for r in ignore}
+        chosen = [r for r in chosen if r.rule_id not in dropped]
+    return chosen
+
+
+def lint(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintResult:
+    """Run ``rules`` (default: all) over ``paths`` and return the result."""
+    if rules is None:
+        from repro.lint.rules import ALL_RULES
+
+        rules = ALL_RULES
+    active = _selected(rules, select, ignore)
+    project, findings = collect_modules(paths)
+    for rule in active:
+        for module in project.modules:
+            findings.extend(rule.check_module(module))
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(project))
+    kept: list[Finding] = []
+    suppressed = 0
+    by_path = {str(ctx.path): ctx for ctx in project.modules}
+    for finding in findings:
+        ctx = by_path.get(finding.path)
+        if ctx is not None and ctx.suppressions.is_suppressed(
+            finding.rule, finding.line
+        ):
+            suppressed += 1
+            continue
+        kept.append(finding)
+    return LintResult(
+        findings=sorted(set(kept)),
+        files_checked=len(project.modules),
+        suppressed=suppressed,
+    )
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Convenience wrapper over :func:`lint` returning just the findings."""
+    return lint(paths, select=select, ignore=ignore, rules=rules).findings
+
+
+def check_file(
+    path: str | Path,
+    module: str | None = None,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one file, optionally forcing its dotted ``module`` name.
+
+    The override lets tests exercise package-scoped rules on fixture
+    snippets living outside a ``repro`` directory.
+    """
+    if rules is None:
+        from repro.lint.rules import ALL_RULES
+
+        rules = ALL_RULES
+    active = _selected(rules, select, ignore)
+    path = Path(path)
+    try:
+        ctx = ModuleContext(path, path.read_text(encoding="utf-8"), module)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=PARSE_ERROR_RULE,
+                message=f"could not parse file: {exc.msg}",
+            )
+        ]
+    project = ProjectContext(modules=[ctx])
+    findings: list[Finding] = []
+    for rule in active:
+        findings.extend(rule.check_module(ctx))
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(project))
+    return sorted(
+        {
+            f
+            for f in findings
+            if not ctx.suppressions.is_suppressed(f.rule, f.line)
+        }
+    )

@@ -1,0 +1,54 @@
+"""The :class:`Finding` record emitted by every lint rule.
+
+A finding pins one rule violation to one source location.  Findings sort
+by ``(path, line, col, rule)`` so reports are stable across runs and
+platforms — the lint layer holds itself to the same determinism standard
+it enforces (RL001).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Examples
+    --------
+    >>> f = Finding("src/x.py", 3, 0, "RL001", "call to time.time()")
+    >>> f.location
+    'src/x.py:3:0'
+    >>> Finding.from_dict(f.to_dict()) == f
+    True
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def location(self) -> str:
+        """``path:line:col``, the clickable prefix of the text report."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form used by the JSON reporter."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (JSON round-trip)."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+        )

@@ -1,0 +1,68 @@
+"""Finding reporters: a human text format and a round-trippable JSON one.
+
+Text findings follow the ``path:line:col: RULE message`` convention every
+editor understands.  The JSON report is schema-versioned (``version: 1``)
+and :func:`parse_json_report` is its exact inverse, so CI artifacts can
+be post-processed without scraping text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+
+__all__ = ["JSON_SCHEMA_VERSION", "parse_json_report", "render_json", "render_text"]
+
+#: Bump when the JSON report layout changes shape.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one finding per line plus a summary."""
+    lines = [
+        f"{f.location}: {f.rule} {f.message}" for f in result.findings
+    ]
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files_checked} "
+        f"file(s) ({result.suppressed} suppressed)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report; invert with :func:`parse_json_report`."""
+    payload: dict[str, Any] = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "findings": [f.to_dict() for f in result.findings],
+        "counts": _counts(result),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _counts(result: LintResult) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts
+
+
+def parse_json_report(text: str) -> LintResult:
+    """Rebuild a :class:`LintResult` from :func:`render_json` output."""
+    payload = json.loads(text)
+    version = payload.get("version")
+    if version != JSON_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported lint report version {version!r}; "
+            f"expected {JSON_SCHEMA_VERSION}"
+        )
+    return LintResult(
+        findings=[Finding.from_dict(d) for d in payload["findings"]],
+        files_checked=int(payload["files_checked"]),
+        suppressed=int(payload["suppressed"]),
+    )

@@ -1,0 +1,44 @@
+"""The rule library: every numbered invariant, assembled in id order.
+
+Each rule module contributes one or two :class:`~repro.lint.engine.Rule`
+subclasses; :data:`ALL_RULES` is the canonical ordered instance list the
+engine and CLI default to.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import ProjectRule, Rule
+from repro.lint.rules.determinism import NoNondeterminism
+from repro.lint.rules.ordering import NoFloatTimeEquality, NoUnorderedSetIteration
+from repro.lint.rules.policies import NoEngineStateMutation, SchedulerContract
+from repro.lint.rules.structure import GuardedObsHooks, PublicModuleAll
+
+__all__ = [
+    "ALL_RULES",
+    "GuardedObsHooks",
+    "NoEngineStateMutation",
+    "NoFloatTimeEquality",
+    "NoNondeterminism",
+    "NoUnorderedSetIteration",
+    "ProjectRule",
+    "PublicModuleAll",
+    "Rule",
+    "SchedulerContract",
+    "rules_by_id",
+]
+
+#: All rules in id order; the default rule set of every lint run.
+ALL_RULES: list[Rule] = [
+    NoNondeterminism(),
+    NoUnorderedSetIteration(),
+    NoFloatTimeEquality(),
+    SchedulerContract(),
+    NoEngineStateMutation(),
+    GuardedObsHooks(),
+    PublicModuleAll(),
+]
+
+
+def rules_by_id() -> dict[str, Rule]:
+    """Map ``RLxxx`` id to its rule instance (for docs and tests)."""
+    return {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,202 @@
+"""RL001 — no nondeterminism inside the simulation core.
+
+A run must be bit-for-bit reproducible given a seed, so the modules that
+decide what the simulator does — ``repro.sim``, ``repro.policies`` and
+``repro.core`` — may not consult wall clocks or unseeded entropy:
+
+* ``time.time`` / ``time.time_ns`` / ``time.monotonic`` and friends,
+* ``datetime.datetime.now`` / ``utcnow`` / ``date.today``,
+* module-level ``random.*`` (the process-global, unseeded RNG;
+  ``random.Random(seed)`` instances are the sanctioned alternative),
+* ``os.urandom``, ``uuid.uuid1`` / ``uuid.uuid4``, and ``secrets.*``.
+
+``time.perf_counter`` is special-cased: it measures, it never steers, and
+``repro.sim.engine`` uses it to time ``policy.select`` — but only when an
+instrument is attached.  The rule therefore allows ``perf_counter`` in
+``repro.sim.engine`` alone, and there only inside a branch guarded by an
+``<...instrument...> is not None`` test, which is exactly the zero-cost
+contract the overhead-guard test pins at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.engine import ModuleContext, Rule
+from repro.lint.findings import Finding
+
+__all__ = ["NoNondeterminism"]
+
+#: Packages the determinism rules protect.
+DETERMINISTIC_PACKAGES = ("repro.sim", "repro.policies", "repro.core")
+
+#: The one module allowed to touch ``perf_counter`` (guarded).
+ENGINE_MODULE = "repro.sim.engine"
+
+_BANNED_EXACT = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "time.process_time": "wall-clock read",
+    "time.thread_time": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "os.getrandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived id",
+    "uuid.uuid4": "OS entropy",
+    "random.SystemRandom": "OS entropy",
+}
+
+#: Module-level ``random.*`` calls are the process-global unseeded RNG;
+#: only constructing a caller-seeded ``random.Random`` is allowed.
+_RANDOM_ALLOWED = {"random.Random"}
+
+_PERF_COUNTERS = {"time.perf_counter", "time.perf_counter_ns"}
+
+
+def _alias_map(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted origin they were imported as."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def _dotted(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Resolve ``node`` to a dotted origin path through the import aliases."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    root = aliases.get(current.id)
+    if root is None:
+        return None
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def _receiver_mentions_instrument(expr: ast.expr) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and "instrument" in node.id.lower():
+            return True
+        if isinstance(node, ast.Attribute) and "instrument" in node.attr.lower():
+            return True
+    return False
+
+
+class NoNondeterminism(Rule):
+    """RL001: the simulation core must stay seed-deterministic."""
+
+    rule_id = "RL001"
+    summary = (
+        "no wall clocks or unseeded entropy in repro.sim/policies/core; "
+        "perf_counter only instrument-guarded in sim/engine.py"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        if not module.in_package(*DETERMINISTIC_PACKAGES):
+            return ()
+        return list(self._check(module))
+
+    def _check(self, module: ModuleContext) -> Iterator[Finding]:
+        aliases = _alias_map(module.tree)
+        in_engine = module.module == ENGINE_MODULE
+        for node in module.walk():
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                origin = _dotted(node, aliases)
+                if origin is None:
+                    continue
+                parent = module.parents.get(node)
+                if isinstance(parent, ast.Attribute) and parent.value is node:
+                    continue  # judged at the outermost attribute
+                if origin in _PERF_COUNTERS:
+                    yield from self._check_perf_counter(
+                        module, node, in_engine
+                    )
+                    continue
+                reason = self._banned_reason(origin)
+                if reason is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"nondeterministic source `{origin}` ({reason}); "
+                        "simulation modules must derive all values from "
+                        "the workload, the event clock, or a seeded "
+                        "random.Random",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if (
+                        alias.name in ("perf_counter", "perf_counter_ns")
+                        and not in_engine
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            "`time.perf_counter` may only be imported by "
+                            f"{ENGINE_MODULE} (instrument-guarded select "
+                            "timing); other simulation modules must not "
+                            "measure wall time",
+                        )
+
+    @staticmethod
+    def _banned_reason(origin: str) -> str | None:
+        if origin in _BANNED_EXACT:
+            return _BANNED_EXACT[origin]
+        if origin.startswith("secrets."):
+            return "OS entropy"
+        if origin.startswith("random.") and origin not in _RANDOM_ALLOWED:
+            return "process-global unseeded RNG"
+        return None
+
+    def _check_perf_counter(
+        self, module: ModuleContext, node: ast.expr, in_engine: bool
+    ) -> Iterator[Finding]:
+        if not in_engine:
+            yield self.finding(
+                module,
+                node,
+                "`time.perf_counter` is reserved for the instrument-guarded "
+                f"select timing in {ENGINE_MODULE}; simulation logic must "
+                "use the event clock",
+            )
+            return
+        conjuncts = module.guard_conjuncts(node)
+        for conjunct in conjuncts:
+            guarded = _guarded_not_none(conjunct)
+            if guarded is not None and _receiver_mentions_instrument(guarded):
+                return
+        yield self.finding(
+            module,
+            node,
+            "`perf_counter` outside an `... instrument ... is not None` "
+            "guard: the uninstrumented hot path must never read the wall "
+            "clock (overhead-guard contract)",
+        )
+
+
+def _guarded_not_none(expr: ast.expr) -> ast.expr | None:
+    if (
+        isinstance(expr, ast.Compare)
+        and len(expr.ops) == 1
+        and isinstance(expr.ops[0], ast.IsNot)
+        and isinstance(expr.comparators[0], ast.Constant)
+        and expr.comparators[0].value is None
+    ):
+        return expr.left
+    return None

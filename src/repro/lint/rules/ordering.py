@@ -1,0 +1,211 @@
+"""RL002/RL003 — deterministic ordering and tolerant time comparison.
+
+RL002: iteration order over a ``set`` is an implementation detail (it
+varies with insertion history and, for strings, with hash randomisation),
+so iterating a bare set inside the scheduling core can silently change
+which transaction wins a tie.  Sets are fine for membership; the moment
+one is *iterated* (``for``, a comprehension, ``list()``/``tuple()``/
+``enumerate()``/``iter()``/``reversed()``) it must go through
+``sorted(...)`` first.  Dicts are insertion-ordered in the supported
+Python versions and stay allowed.
+
+RL003: simulated time is accumulated float arithmetic; two event times
+that are logically equal can differ by an ulp.  Comparing time-like
+values with ``==``/``!=`` therefore needs either the ``_EPS`` tolerance
+pattern from ``repro.sim.engine`` or an explicit suppression stating why
+exact identity is intended (e.g. the scheduling-point identity check in
+``NonPreemptive.select``).  Value-semantics dunders (``__eq__``,
+``__ne__``, ``__hash__``) are exempt: there, exact equality is the
+definition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.engine import ModuleContext, Rule
+from repro.lint.findings import Finding
+from repro.lint.rules.determinism import DETERMINISTIC_PACKAGES
+
+__all__ = ["NoFloatTimeEquality", "NoUnorderedSetIteration"]
+
+_ITERATING_CALLS = {"list", "tuple", "iter", "enumerate", "reversed"}
+
+_TIME_EXACT = {
+    "now",
+    "time",
+    "arrival",
+    "deadline",
+    "since",
+    "finish_time",
+    "start_time",
+}
+_TIME_SUFFIXES = ("_time", "_now", "_deadline", "_arrival")
+
+_EQUALITY_DUNDERS = {"__eq__", "__ne__", "__hash__"}
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _is_set_annotation(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset")
+    if isinstance(node, ast.Subscript):
+        return _is_set_annotation(node.value)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split("[")[0].strip() in ("set", "frozenset")
+    return False
+
+
+def _target_key(node: ast.expr) -> str | None:
+    """Stable key for a Name or ``self.attr`` assignment target."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+class NoUnorderedSetIteration(Rule):
+    """RL002: never iterate a bare set in the scheduling core."""
+
+    rule_id = "RL002"
+    summary = (
+        "iteration over bare set()/set literals in repro.sim/policies/core "
+        "must go through sorted(...)"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        if not module.in_package(*DETERMINISTIC_PACKAGES):
+            return ()
+        return list(self._check(module))
+
+    def _check(self, module: ModuleContext) -> Iterator[Finding]:
+        set_names = self._set_typed_names(module)
+        for node in module.walk():
+            for iter_expr in self._iterated_exprs(node):
+                if _is_set_expr(iter_expr):
+                    yield self._finding(module, iter_expr, "a set expression")
+                else:
+                    key = _target_key(iter_expr)
+                    if key is not None and key in set_names:
+                        yield self._finding(module, iter_expr, f"`{key}`")
+
+    def _iterated_exprs(self, node: ast.AST) -> Iterator[ast.expr]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for comp in node.generators:
+                yield comp.iter
+        elif isinstance(node, ast.DictComp):
+            for comp in node.generators:
+                yield comp.iter
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ITERATING_CALLS
+            and node.args
+        ):
+            yield node.args[0]
+
+    def _set_typed_names(self, module: ModuleContext) -> set[str]:
+        """Names and ``self.attr`` targets ever bound to a set in the file.
+
+        A deliberately coarse, flow-insensitive approximation: a name that
+        *ever* holds a set is treated as a set everywhere.  False
+        positives carry a ``# repro-lint: disable=RL002`` with a reason.
+        """
+        names: set[str] = set()
+        for node in module.walk():
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+                for target in node.targets:
+                    key = _target_key(target)
+                    if key is not None:
+                        names.add(key)
+            elif isinstance(node, ast.AnnAssign) and _is_set_annotation(
+                node.annotation
+            ):
+                key = _target_key(node.target)
+                if key is not None:
+                    names.add(key)
+        return names
+
+    def _finding(
+        self, module: ModuleContext, node: ast.expr, what: str
+    ) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"iteration over {what} has no deterministic order; wrap it in "
+            "sorted(...) or keep a list/dict alongside the set",
+        )
+
+
+class NoFloatTimeEquality(Rule):
+    """RL003: compare simulated time with a tolerance, not ``==``."""
+
+    rule_id = "RL003"
+    summary = (
+        "no ==/!= on simulated-time values; use the _EPS tolerance pattern "
+        "from repro.sim.engine"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        if not module.in_package(*DETERMINISTIC_PACKAGES):
+            return ()
+        return list(self._check(module))
+
+    def _check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            func = module.enclosing_function(node)
+            if func is not None and func.name in _EQUALITY_DUNDERS:
+                continue  # value-semantics dunders define exact equality
+            operands = [node.left, *node.comparators]
+            time_like = next(
+                (o for o in operands if self._is_time_like(o)), None
+            )
+            if time_like is None:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"float equality on simulated time `{_describe(time_like)}`; "
+                "event times accumulate float error — compare with the "
+                "engine's _EPS tolerance (abs(a - b) <= _EPS) or suppress "
+                "with a reason if exact identity is intended",
+            )
+
+    @staticmethod
+    def _is_time_like(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        else:
+            return False
+        return name in _TIME_EXACT or name.endswith(_TIME_SUFFIXES)
+
+
+def _describe(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ast.dump(node)

@@ -1,0 +1,128 @@
+"""RL006/RL007 — structural discipline: guarded hooks, explicit exports.
+
+RL006: the instrumentation layer's contract (see
+``tests/obs/test_overhead_guard.py``) is that ``instrument=None`` keeps
+the engine hot path at pre-instrumentation cost.  PR 1 enforced that
+with one hand-written test; this rule generalises it to *every* hook
+call site in ``repro.sim``: any ``<...instrument...>.on_*(...)`` call
+must sit inside a branch guarded by an ``is not None`` test of that same
+receiver (statement ``if``, conditional expression, or short-circuit
+``and``).  A new hook call pasted without its guard fails CI instead of
+silently taxing every uninstrumented run.
+
+RL007: every public module under ``repro`` declares ``__all__``, keeping
+the wildcard-import surface and the docs' API tables honest.  Modules
+whose filename starts with an underscore (``_version.py``,
+``__main__.py``) are private and exempt; ``__init__.py`` files are the
+package's front door and are required to declare one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.engine import ModuleContext, Rule
+from repro.lint.findings import Finding
+
+__all__ = ["GuardedObsHooks", "PublicModuleAll"]
+
+SIM_PACKAGE = "repro.sim"
+
+
+def _mentions_instrument(expr: ast.expr) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and "instrument" in node.id.lower():
+            return True
+        if isinstance(node, ast.Attribute) and "instrument" in node.attr.lower():
+            return True
+    return False
+
+
+class GuardedObsHooks(Rule):
+    """RL006: every instrument hook call sits behind ``is not None``."""
+
+    rule_id = "RL006"
+    summary = (
+        "every instrument.on_*() call in repro.sim must be guarded by "
+        "`<receiver> is not None`"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        if not module.in_package(SIM_PACKAGE):
+            return ()
+        return list(self._check(module))
+
+    def _check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if not func.attr.startswith("on_"):
+                continue
+            if not _mentions_instrument(func.value):
+                continue
+            if module.is_guarded_not_none(node, receiver=func.value):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"unguarded instrument hook `{func.attr}`: wrap the call in "
+                "`if <receiver> is not None:` so the uninstrumented hot "
+                "path stays zero-cost (overhead-guard contract)",
+            )
+
+
+class PublicModuleAll(Rule):
+    """RL007: public ``repro`` modules declare ``__all__``."""
+
+    rule_id = "RL007"
+    summary = "every public module under repro declares __all__"
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        if not module.in_package("repro"):
+            return ()
+        basename = module.path.stem
+        if basename.startswith("_") and basename != "__init__":
+            return ()
+        if self._declares_all(module.tree):
+            return ()
+        return [
+            Finding(
+                path=str(module.path),
+                line=1,
+                col=0,
+                rule=self.rule_id,
+                message=(
+                    f"public module `{module.module}` does not declare "
+                    "__all__; list the intended API explicitly (or rename "
+                    "the module with a leading underscore if it is private)"
+                ),
+            )
+        ]
+
+    @staticmethod
+    def _declares_all(tree: ast.Module) -> bool:
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                if any(
+                    isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in stmt.targets
+                ):
+                    return True
+            elif isinstance(stmt, ast.AnnAssign):
+                if (
+                    isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "__all__"
+                    and stmt.value is not None
+                ):
+                    return True
+            elif isinstance(stmt, ast.AugAssign):
+                if (
+                    isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "__all__"
+                ):
+                    return True
+        return False

@@ -1,0 +1,81 @@
+"""Suppression comments: ``# repro-lint: disable=RL003 -- reason``.
+
+A suppression names one or more rule ids (comma-separated) and should
+carry a reason after ``--``.  It applies to findings on its own line;
+when the comment is the *only* thing on its line it applies to the next
+non-blank, non-comment line instead, so long guarded statements can keep
+the annotation above them::
+
+    if now != self._last_now:  # repro-lint: disable=RL003 -- identity check
+
+    # repro-lint: disable=RL003 -- identity check
+    if now != self._last_now:
+
+``disable=all`` suppresses every rule on the target line.  Suppressions
+are parsed from raw source lines (not the AST) so they survive in code
+the parser rejects elsewhere in the file.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["Suppressions"]
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s+--\s*(?P<reason>.*))?\s*$"
+)
+
+
+class Suppressions:
+    """Per-file map from line number to the rule ids suppressed there.
+
+    Examples
+    --------
+    >>> s = Suppressions.from_source("x = 1  # repro-lint: disable=RL001")
+    >>> s.is_suppressed("RL001", 1)
+    True
+    >>> s.is_suppressed("RL002", 1)
+    False
+    """
+
+    def __init__(self, by_line: dict[int, frozenset[str]]) -> None:
+        self._by_line = by_line
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        """Parse every pragma comment out of ``source``."""
+        lines = source.splitlines()
+        by_line: dict[int, frozenset[str]] = {}
+        for idx, text in enumerate(lines, start=1):
+            match = _PRAGMA.search(text)
+            if match is None:
+                continue
+            rules = frozenset(
+                part.strip().upper()
+                for part in match.group("rules").split(",")
+                if part.strip()
+            )
+            if not rules:
+                continue
+            target = idx
+            if text.lstrip().startswith("#"):
+                # Comment-only line: the pragma covers the next code line.
+                for nxt in range(idx + 1, len(lines) + 1):
+                    following = lines[nxt - 1].strip()
+                    if following and not following.startswith("#"):
+                        target = nxt
+                        break
+            by_line[target] = by_line.get(target, frozenset()) | rules
+        return cls(by_line)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True iff ``rule`` is disabled on ``line``."""
+        rules = self._by_line.get(line)
+        if rules is None:
+            return False
+        return "ALL" in rules or rule.upper() in rules
+
+    def __len__(self) -> int:
+        return len(self._by_line)

@@ -41,10 +41,15 @@ which the test-suite exploits.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 from repro.core.priorities import aging_key
 from repro.core.transaction import Transaction, TransactionState
 from repro.errors import SchedulingError
 from repro.policies.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.workflow_set import WorkflowSet
 
 __all__ = ["BalanceAware"]
 
@@ -111,7 +116,11 @@ class BalanceAware(Scheduler):
     # ------------------------------------------------------------------
     # Delegation plus local ready-set tracking (needed to find T_old).
     # ------------------------------------------------------------------
-    def bind(self, transactions, workflow_set) -> None:
+    def bind(
+        self,
+        transactions: Sequence[Transaction],
+        workflow_set: "WorkflowSet | None",
+    ) -> None:
         super().bind(transactions, workflow_set)
         self.inner.bind(transactions, workflow_set)
 

@@ -17,8 +17,13 @@ fresh picks from the inner policy.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 from repro.core.transaction import Transaction, TransactionState
 from repro.policies.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.workflow_set import WorkflowSet
 
 __all__ = ["NonPreemptive"]
 
@@ -48,7 +53,11 @@ class NonPreemptive(Scheduler):
     # ------------------------------------------------------------------
     # Delegation.
     # ------------------------------------------------------------------
-    def bind(self, transactions, workflow_set) -> None:
+    def bind(
+        self,
+        transactions: Sequence[Transaction],
+        workflow_set: "WorkflowSet | None",
+    ) -> None:
         super().bind(transactions, workflow_set)
         self.inner.bind(transactions, workflow_set)
         self._pinned.clear()
@@ -75,6 +84,10 @@ class NonPreemptive(Scheduler):
     # Selection: re-offer pins first, then fresh picks.
     # ------------------------------------------------------------------
     def select(self, now: float) -> Transaction | None:
+        # repro-lint: disable=RL003 -- scheduling-point identity, not a
+        # tolerance check: the engine passes the same float `now` to every
+        # select() call of one scheduling point, so exact inequality is
+        # precisely "a new point started".
         if now != self._last_now:
             self._last_now = now
             self._offered = set()

@@ -25,7 +25,7 @@ Name                      Policy
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.errors import SchedulingError
 from repro.policies.asets import ASETS
@@ -45,12 +45,12 @@ from repro.policies.srpt import SRPT
 __all__ = ["make_policy", "available_policies"]
 
 
-def _balance_aware(**kwargs) -> BalanceAware:
+def _balance_aware(**kwargs: Any) -> BalanceAware:
     """Balance-aware ASETS*, the configuration evaluated in Section IV-F."""
     return BalanceAware(ASETSStar(), **kwargs)
 
 
-def _non_preemptive(inner: str = "edf", **kwargs) -> NonPreemptive:
+def _non_preemptive(inner: str = "edf", **kwargs: Any) -> NonPreemptive:
     """Any registry policy, pinned to completion (``inner`` by name)."""
     return NonPreemptive(make_policy(inner, **kwargs))
 
@@ -76,7 +76,7 @@ def available_policies() -> list[str]:
     return sorted(_FACTORIES)
 
 
-def make_policy(name: str, **kwargs) -> Scheduler:
+def make_policy(name: str, **kwargs: Any) -> Scheduler:
     """Construct a fresh policy instance by registry name.
 
     Raises

@@ -54,6 +54,9 @@ class EventQueue:
             raise IndexError("pop_batch on empty event queue")
         first = self.pop()
         batch = [first]
+        # repro-lint: disable=RL003 -- batch identity: only events pushed
+        # with a bit-identical timestamp belong to one scheduling point; a
+        # tolerance here would merge distinct points an ulp apart.
         while self._heap and self._heap[0][1].time == first.time:
             batch.append(self.pop())
         return batch

@@ -1,0 +1,16 @@
+"""RL001 bad fixture: wall clocks and unseeded entropy in ``repro.sim``."""
+
+import os
+import random
+import time
+from datetime import datetime
+
+__all__ = ["jitter"]
+
+
+def jitter() -> float:
+    noise = random.random()
+    stamp = time.time()
+    when = datetime.now()
+    entropy = os.urandom(4)
+    return noise + stamp + when.timestamp() + entropy[0]

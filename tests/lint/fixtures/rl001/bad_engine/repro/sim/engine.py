@@ -1,0 +1,14 @@
+"""RL001 bad fixture: unguarded ``perf_counter`` in the engine module."""
+
+from time import perf_counter
+
+__all__ = ["Sim"]
+
+
+class Sim:
+    def __init__(self) -> None:
+        self._instrument = None
+
+    def select_timed(self) -> float:
+        t0 = perf_counter()
+        return perf_counter() - t0

@@ -1,0 +1,10 @@
+"""RL001 good fixture: seeded RNG and event-clock arithmetic only."""
+
+import random
+
+__all__ = ["sample"]
+
+
+def sample(seed: int, now: float) -> float:
+    rng = random.Random(seed)
+    return now + rng.random()

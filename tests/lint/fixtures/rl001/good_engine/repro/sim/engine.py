@@ -1,0 +1,16 @@
+"""RL001 good fixture: ``perf_counter`` behind the instrument guard."""
+
+from time import perf_counter
+
+__all__ = ["Sim"]
+
+
+class Sim:
+    def __init__(self, instrument: object | None) -> None:
+        self._instrument = instrument
+
+    def select_timed(self) -> float:
+        if self._instrument is not None:
+            t0 = perf_counter()
+            return perf_counter() - t0
+        return 0.0

@@ -1,0 +1,14 @@
+"""RL001 suppressed fixture: a wall-clock read annotated as intentional."""
+
+import time
+
+__all__ = ["stamp"]
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: disable=RL001 -- fixture: sanctioned
+
+
+def stamp_above() -> float:
+    # repro-lint: disable=RL001 -- fixture: pragma on its own line
+    return time.time()

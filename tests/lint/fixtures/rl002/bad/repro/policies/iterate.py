@@ -1,0 +1,19 @@
+"""RL002 bad fixture: iteration over bare sets in a policy module."""
+
+__all__ = ["Picker", "first_ready"]
+
+
+def first_ready(ready_ids: list[int]) -> int | None:
+    pending = set(ready_ids)
+    for txn_id in pending:
+        return txn_id
+    ordered = list({1, 2, 3})
+    return ordered[0]
+
+
+class Picker:
+    def __init__(self) -> None:
+        self._seen: set[int] = set()
+
+    def drain(self) -> list[int]:
+        return [txn_id for txn_id in self._seen]

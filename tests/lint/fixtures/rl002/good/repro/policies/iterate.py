@@ -1,0 +1,22 @@
+"""RL002 good fixture: sets for membership, sorted() for iteration."""
+
+__all__ = ["Picker", "first_ready"]
+
+
+def first_ready(ready_ids: list[int]) -> int | None:
+    pending = set(ready_ids)
+    for txn_id in sorted(pending):
+        return txn_id
+    return None
+
+
+class Picker:
+    def __init__(self) -> None:
+        self._seen: set[int] = set()
+        self._order: list[int] = []
+
+    def saw(self, txn_id: int) -> bool:
+        return txn_id in self._seen
+
+    def drain(self) -> list[int]:
+        return [txn_id for txn_id in self._order if txn_id in self._seen]

@@ -1,0 +1,11 @@
+"""RL002 suppressed fixture: set iteration annotated as order-insensitive."""
+
+__all__ = ["total"]
+
+
+def total(values: list[float]) -> float:
+    unique = set(values)
+    acc = 0.0
+    for value in unique:  # repro-lint: disable=RL002 -- fixture: sum only
+        acc += value
+    return acc

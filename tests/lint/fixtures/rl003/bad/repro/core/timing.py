@@ -1,0 +1,11 @@
+"""RL003 bad fixture: exact float equality on simulated-time values."""
+
+__all__ = ["met_exactly", "same_point"]
+
+
+def same_point(now: float, last_now: float) -> bool:
+    return now == last_now
+
+
+def met_exactly(finish_time: float, deadline: float) -> bool:
+    return finish_time != deadline

@@ -1,0 +1,22 @@
+"""RL003 good fixture: tolerance comparisons plus the ``__eq__`` exemption."""
+
+__all__ = ["Stamp", "same_point"]
+
+_EPS = 1e-9
+
+
+def same_point(now: float, last_now: float) -> bool:
+    return abs(now - last_now) <= _EPS
+
+
+class Stamp:
+    def __init__(self, time: float) -> None:
+        self.time = time
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Stamp):
+            return NotImplemented
+        return self.time == other.time
+
+    def __hash__(self) -> int:
+        return hash(self.time)

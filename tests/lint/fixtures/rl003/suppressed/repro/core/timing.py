@@ -1,0 +1,8 @@
+"""RL003 suppressed fixture: an identity check annotated with its reason."""
+
+__all__ = ["is_new_point"]
+
+
+def is_new_point(now: float, last_now: float) -> bool:
+    # repro-lint: disable=RL003 -- fixture: scheduling-point identity
+    return now != last_now

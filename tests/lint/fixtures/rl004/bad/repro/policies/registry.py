@@ -1,0 +1,9 @@
+"""RL004 bad fixture registry: references no policy class at all."""
+
+__all__ = ["make_policy"]
+
+_FACTORIES: dict[str, object] = {}
+
+
+def make_policy(name: str) -> object:
+    return _FACTORIES[name]

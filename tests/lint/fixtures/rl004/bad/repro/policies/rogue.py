@@ -1,0 +1,12 @@
+"""RL004 bad fixture: a concrete scheduler violating the whole contract."""
+
+from repro.policies.base import Scheduler
+
+__all__ = ["Rogue"]
+
+
+class Rogue(Scheduler):
+    """Sets no ``name``, implements neither hook, never registered."""
+
+    def on_requeue(self, txn, now) -> None:
+        pass

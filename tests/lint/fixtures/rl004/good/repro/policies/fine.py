@@ -1,0 +1,29 @@
+"""RL004 good fixture: a concrete scheduler honouring the contract."""
+
+from repro.policies.base import HeapScheduler, Scheduler
+
+__all__ = ["Fine", "Renamed"]
+
+
+class Fine(HeapScheduler):
+    """Heap policy: name set, on_ready/select inherited, registered."""
+
+    name = "fine"
+
+    def key(self, txn) -> float:
+        return txn.deadline
+
+
+class Renamed(Scheduler):
+    """Wrapper-style policy deriving its name in ``__init__``."""
+
+    def __init__(self, inner: Fine) -> None:
+        super().__init__()
+        self.inner = inner
+        self.name = f"renamed-{inner.name}"
+
+    def on_ready(self, txn, now) -> None:
+        self.inner.on_ready(txn, now)
+
+    def select(self, now):
+        return self.inner.select(now)

@@ -1,0 +1,14 @@
+"""RL004 good fixture registry: every concrete policy is referenced."""
+
+from repro.policies.fine import Fine, Renamed
+
+__all__ = ["make_policy"]
+
+_FACTORIES = {
+    "fine": Fine,
+    "renamed": lambda: Renamed(Fine()),
+}
+
+
+def make_policy(name: str) -> object:
+    return _FACTORIES[name]

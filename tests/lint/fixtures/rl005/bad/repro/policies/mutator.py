@@ -1,0 +1,13 @@
+"""RL005 bad fixture: a policy mutating engine-owned state."""
+
+__all__ = ["Mutator"]
+
+
+class Mutator:
+    def on_ready(self, txn, now: float) -> None:
+        txn.state = "ready"
+        txn.remaining -= 1.0
+        txn.mark_completed(now)
+
+    def cheat(self, engine) -> None:
+        engine._events.push(None)

@@ -1,0 +1,20 @@
+"""RL005 good fixture: a policy that only observes and ranks."""
+
+__all__ = ["Observer"]
+
+
+class Observer:
+    def __init__(self) -> None:
+        self.state = "idle"
+        self._ready: dict[int, object] = {}
+
+    def reset(self) -> None:
+        self.state = "idle"
+        self._ready.clear()
+
+    def on_ready(self, txn, now: float) -> None:
+        self.reset()
+        self._ready[txn.txn_id] = txn
+
+    def best_remaining(self) -> float:
+        return min(t.remaining for t in self._ready.values())

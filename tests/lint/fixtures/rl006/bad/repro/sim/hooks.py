@@ -1,0 +1,11 @@
+"""RL006 bad fixture: an instrument hook call without its guard."""
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    def __init__(self, instrument: object | None) -> None:
+        self._instrument = instrument
+
+    def complete(self, txn, now: float) -> None:
+        self._instrument.on_completion(txn, now)

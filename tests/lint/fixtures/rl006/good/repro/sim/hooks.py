@@ -1,0 +1,21 @@
+"""RL006 good fixture: every hook call guarded, in all three shapes."""
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    def __init__(self, instrument: object | None) -> None:
+        self._instrument = instrument
+
+    def complete(self, txn, now: float) -> None:
+        if self._instrument is not None:
+            self._instrument.on_completion(txn, now)
+
+    def point(self, now: float, overhead: float) -> None:
+        instrument = self._instrument
+        if overhead > 0.0 and instrument is not None:
+            instrument.on_overhead(None, overhead, now)
+
+    def arrive(self, txn, now: float) -> None:
+        instrument = self._instrument
+        _ = instrument is not None and instrument.on_arrival(txn, now)

@@ -1,0 +1,5 @@
+"""RL007 bad fixture: a public module that never declares ``__all__``."""
+
+
+def helper() -> int:
+    return 1

@@ -1,0 +1,5 @@
+"""RL007 exemption fixture: underscore modules need no ``__all__``."""
+
+
+def internal() -> int:
+    return 2

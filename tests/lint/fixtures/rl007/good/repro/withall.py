@@ -1,0 +1,7 @@
+"""RL007 good fixture: a public module with an explicit API."""
+
+__all__ = ["helper"]
+
+
+def helper() -> int:
+    return 1

@@ -1,0 +1,63 @@
+"""The ``python -m repro.lint`` command-line interface."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOOD = str(FIXTURES / "rl001" / "good")
+BAD = str(FIXTURES / "rl001" / "bad")
+
+
+def test_clean_tree_exits_zero(capsys):
+    assert main([GOOD]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_bad_fixture_exits_one_with_line_numbered_finding(capsys):
+    assert main([BAD]) == 1
+    out = capsys.readouterr().out
+    first = out.splitlines()[0]
+    path, line, col, rest = first.split(":", 3)
+    assert path.endswith("clock.py")
+    assert int(line) >= 1 and int(col) >= 0
+    assert "RL001" in rest
+
+
+def test_json_format_is_parseable(capsys):
+    assert main(["--format", "json", BAD]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["counts"]["RL001"] == len(payload["findings"])
+
+
+def test_select_limits_rules(capsys):
+    assert main(["--select", "RL007", BAD]) == 0
+    assert main(["--select", "rl001,RL007", BAD]) == 1
+    capsys.readouterr()
+
+
+def test_ignore_drops_rules(capsys):
+    assert main(["--ignore", "RL001", BAD]) == 0
+    capsys.readouterr()
+
+
+def test_missing_path_exits_two(capsys, tmp_path):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_no_paths_is_a_usage_error():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_list_rules_prints_catalog(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in [f"RL00{i}" for i in range(1, 8)]:
+        assert rule_id in out

@@ -1,0 +1,123 @@
+"""Lint engine mechanics: module naming, suppressions, selection, parsing."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Finding, Suppressions, check_file, run_lint
+from repro.lint.engine import PARSE_ERROR_RULE, lint, module_name_for
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestModuleNameDerivation:
+    def test_anchors_at_last_repro_component(self):
+        assert (
+            module_name_for(Path("src/repro/sim/engine.py"))
+            == "repro.sim.engine"
+        )
+        assert (
+            module_name_for(
+                Path("tests/lint/fixtures/rl001/bad/repro/sim/clock.py")
+            )
+            == "repro.sim.clock"
+        )
+
+    def test_init_maps_to_package(self):
+        assert module_name_for(Path("src/repro/sim/__init__.py")) == "repro.sim"
+        assert module_name_for(Path("src/repro/__init__.py")) == "repro"
+
+    def test_no_repro_component_falls_back_to_stem(self):
+        assert module_name_for(Path("scripts/tool.py")) == "tool"
+
+
+class TestSuppressions:
+    def test_same_line(self):
+        s = Suppressions.from_source("x = 1  # repro-lint: disable=RL001\n")
+        assert s.is_suppressed("RL001", 1)
+        assert not s.is_suppressed("RL002", 1)
+        assert not s.is_suppressed("RL001", 2)
+
+    def test_comment_only_line_covers_next_code_line(self):
+        source = (
+            "# repro-lint: disable=RL003 -- identity check\n"
+            "\n"
+            "# an unrelated comment\n"
+            "x = a == b\n"
+        )
+        s = Suppressions.from_source(source)
+        assert s.is_suppressed("RL003", 4)
+        assert not s.is_suppressed("RL003", 1)
+
+    def test_multiple_rules_and_case(self):
+        s = Suppressions.from_source("x = 1  # repro-lint: disable=rl001,RL002\n")
+        assert s.is_suppressed("RL001", 1)
+        assert s.is_suppressed("rl002", 1)
+
+    def test_disable_all(self):
+        s = Suppressions.from_source("x = 1  # repro-lint: disable=all\n")
+        assert s.is_suppressed("RL999", 1)
+
+    def test_reason_is_optional_but_parsed(self):
+        s = Suppressions.from_source(
+            "x = 1  # repro-lint: disable=RL005 -- wrapper owns this state\n"
+        )
+        assert s.is_suppressed("RL005", 1)
+
+
+class TestFindingOrderingAndRoundTrip:
+    def test_sort_order_is_path_line_col_rule(self):
+        a = Finding("a.py", 2, 0, "RL002", "m")
+        b = Finding("a.py", 1, 0, "RL007", "m")
+        c = Finding("b.py", 1, 0, "RL001", "m")
+        assert sorted([c, a, b]) == [b, a, c]
+
+    def test_dict_round_trip(self):
+        f = Finding("src/x.py", 3, 4, "RL001", "call to time.time()")
+        assert Finding.from_dict(f.to_dict()) == f
+
+
+class TestRunLint:
+    def test_directory_walk_vs_single_file_agree(self, tmp_path):
+        bad = FIXTURES / "rl007" / "bad"
+        by_dir = run_lint([bad], select=["RL007"])
+        by_file = run_lint([bad / "repro" / "noall.py"], select=["RL007"])
+        assert by_dir == by_file
+        assert len(by_dir) == 1
+
+    def test_select_and_ignore(self):
+        bad = FIXTURES / "rl001" / "bad"
+        everything = run_lint([bad])
+        only_all = run_lint([bad], select=["RL007"])
+        without_001 = run_lint([bad], ignore=["RL001"])
+        assert {f.rule for f in everything} == {"RL001"}
+        assert only_all == []
+        assert all(f.rule != "RL001" for f in without_001)
+
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def nope(:\n")
+        findings = run_lint([broken])
+        assert len(findings) == 1
+        assert findings[0].rule == PARSE_ERROR_RULE
+        assert findings[0].line == 1
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_lint([tmp_path / "does-not-exist"])
+
+    def test_lint_counts_files_and_suppressions(self):
+        result = lint([FIXTURES / "rl003" / "suppressed"])
+        assert result.ok
+        assert result.files_checked == 1
+        assert result.suppressed == 1
+
+
+class TestCheckFileModuleOverride:
+    def test_override_pulls_module_into_rule_scope(self, tmp_path):
+        snippet = tmp_path / "snippet.py"
+        snippet.write_text('__all__ = []\nimport time\nT = time.time()\n')
+        assert check_file(snippet, select=["RL001"]) == []
+        scoped = check_file(snippet, module="repro.sim.snippet", select=["RL001"])
+        assert [f.rule for f in scoped] == ["RL001"]
+        assert scoped[0].line == 3

@@ -1,0 +1,55 @@
+"""Reporter formats: editor-friendly text and round-trippable JSON."""
+
+import json
+
+import pytest
+
+from repro.lint import Finding, parse_json_report, render_json, render_text
+from repro.lint.engine import LintResult
+from repro.lint.reporters import JSON_SCHEMA_VERSION
+
+
+def _result():
+    return LintResult(
+        findings=[
+            Finding("src/a.py", 3, 0, "RL001", "call to time.time()"),
+            Finding("src/b.py", 7, 4, "RL007", "missing __all__"),
+        ],
+        files_checked=5,
+        suppressed=1,
+    )
+
+
+def test_text_report_lines_are_clickable_and_summarised():
+    text = render_text(_result())
+    lines = text.splitlines()
+    assert lines[0] == "src/a.py:3:0: RL001 call to time.time()"
+    assert lines[1] == "src/b.py:7:4: RL007 missing __all__"
+    assert lines[-1] == "2 finding(s) in 5 file(s) (1 suppressed)"
+
+
+def test_text_report_for_clean_run():
+    clean = LintResult(findings=[], files_checked=9, suppressed=2)
+    assert render_text(clean) == "0 finding(s) in 9 file(s) (2 suppressed)"
+
+
+def test_json_round_trip_preserves_everything():
+    result = _result()
+    parsed = parse_json_report(render_json(result))
+    assert parsed.findings == result.findings
+    assert parsed.files_checked == result.files_checked
+    assert parsed.suppressed == result.suppressed
+
+
+def test_json_payload_shape():
+    payload = json.loads(render_json(_result()))
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["counts"] == {"RL001": 1, "RL007": 1}
+    assert [f["rule"] for f in payload["findings"]] == ["RL001", "RL007"]
+
+
+def test_unknown_report_version_is_rejected():
+    payload = json.loads(render_json(_result()))
+    payload["version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        parse_json_report(json.dumps(payload))

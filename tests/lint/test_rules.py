@@ -1,0 +1,138 @@
+"""Every rule RL001..RL007: one passing, one failing, one suppressed fixture.
+
+Fixture snippets live under ``tests/lint/fixtures/<rule>/{good,bad,...}``
+in a ``repro/...`` directory layout, so the engine derives in-scope module
+names (``repro.sim.clock`` etc.) from the paths alone — the same way the
+real tree is linted.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.rules import ALL_RULES, rules_by_id
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+ALL_IDS = [f"RL00{i}" for i in range(1, 8)]
+
+
+def findings_for(rule_id, subdir):
+    return run_lint([FIXTURES / rule_id.lower() / subdir], select=[rule_id])
+
+
+def test_rule_catalog_is_complete_and_ordered():
+    assert [rule.rule_id for rule in ALL_RULES] == ALL_IDS
+    assert set(rules_by_id()) == set(ALL_IDS)
+    assert all(rule.summary for rule in ALL_RULES)
+
+
+@pytest.mark.parametrize("rule_id", ALL_IDS)
+def test_good_fixture_is_clean(rule_id):
+    assert findings_for(rule_id, "good") == []
+
+
+@pytest.mark.parametrize("rule_id", ALL_IDS)
+def test_bad_fixture_fails_with_line_numbers(rule_id):
+    findings = findings_for(rule_id, "bad")
+    assert findings, f"{rule_id} bad fixture produced no findings"
+    assert all(f.rule == rule_id for f in findings)
+    assert all(f.line >= 1 for f in findings)
+
+
+class TestRL001:
+    def test_flags_every_entropy_source(self):
+        findings = findings_for("RL001", "bad")
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 4
+        assert "random.random" in messages
+        assert "time.time" in messages
+        assert "datetime.datetime.now" in messages
+        assert "os.urandom" in messages
+
+    def test_suppressed_fixture_is_clean(self):
+        assert findings_for("RL001", "suppressed") == []
+
+    def test_unguarded_perf_counter_in_engine_module(self):
+        findings = findings_for("RL001", "bad_engine")
+        assert len(findings) == 2  # two unguarded perf_counter reads
+        assert all("perf_counter" in f.message for f in findings)
+
+    def test_guarded_perf_counter_in_engine_module_is_clean(self):
+        assert findings_for("RL001", "good_engine") == []
+
+    def test_perf_counter_import_outside_engine_module(self, tmp_path):
+        mod = tmp_path / "repro" / "sim" / "helper.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("__all__ = []\nfrom time import perf_counter\n")
+        findings = run_lint([mod], select=["RL001"])
+        assert len(findings) == 1
+        assert "only be imported" in findings[0].message
+
+
+class TestRL002:
+    def test_flags_all_three_iteration_shapes(self):
+        findings = findings_for("RL002", "bad")
+        assert len(findings) == 3  # for-loop, list(), comprehension
+
+    def test_suppressed_fixture_is_clean(self):
+        assert findings_for("RL002", "suppressed") == []
+
+
+class TestRL003:
+    def test_flags_both_comparisons(self):
+        findings = findings_for("RL003", "bad")
+        assert len(findings) == 2
+        assert any("now" in f.message for f in findings)
+
+    def test_suppressed_fixture_is_clean(self):
+        assert findings_for("RL003", "suppressed") == []
+
+
+class TestRL004:
+    def test_bad_scheduler_breaks_all_four_clauses(self):
+        findings = findings_for("RL004", "bad")
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 4
+        assert "never sets `name`" in messages
+        assert "`on_ready`" in messages
+        assert "`select`" in messages
+        assert "not referenced" in messages
+
+    def test_registration_check_skipped_without_registry(self, tmp_path):
+        target = tmp_path / "repro" / "policies" / "lonely.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "__all__ = []\n"
+            "from repro.policies.base import HeapScheduler\n"
+            "class Lonely(HeapScheduler):\n"
+            "    name = 'lonely'\n"
+            "    def key(self, txn):\n"
+            "        return txn.deadline\n"
+        )
+        assert run_lint([target], select=["RL004"]) == []
+
+
+class TestRL005:
+    def test_flags_writes_calls_and_internals(self):
+        findings = findings_for("RL005", "bad")
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 4
+        assert "`state`" in messages
+        assert "`remaining`" in messages
+        assert "mark_completed" in messages
+        assert "_events" in messages
+
+
+class TestRL006:
+    def test_unguarded_hook_names_the_hook(self):
+        findings = findings_for("RL006", "bad")
+        assert len(findings) == 1
+        assert "on_completion" in findings[0].message
+
+
+class TestRL007:
+    def test_private_modules_are_exempt(self):
+        # The good dir contains _private.py without __all__ on purpose.
+        assert findings_for("RL007", "good") == []

@@ -3,12 +3,18 @@
 The instrumentation layer's contract is that ``instrument=None`` (the
 default everywhere) keeps the hot path at pre-instrumentation cost: one
 ``is not None`` check per call site, no attribute lookups, no
-``perf_counter`` reads, no calls into ``repro.obs``.  Three guards:
+``perf_counter`` reads, no calls into ``repro.obs``.  Four guards:
 
-1. structural — ``perf_counter`` is never consulted when disabled;
-2. structural — no function defined in ``repro/obs/`` executes when
+1. static — the engine source satisfies lint rules RL001 (``perf_counter``
+   only inside an instrument-guarded branch) and RL006 (every hook call
+   site guarded by ``is not None``).  The assertion *delegates to the rule
+   implementations in* :mod:`repro.lint`, so this test and the blocking
+   CI lint job can never drift apart: tightening or fixing a rule
+   tightens both.
+2. dynamic — ``perf_counter`` is never consulted when disabled;
+3. dynamic — no function defined in ``repro/obs/`` executes when
    disabled;
-3. wall-time — a 5000-transaction run with ``instrument=None`` stays
+4. wall-time — a 5000-transaction run with ``instrument=None`` stays
    within 5% of the same run with a :class:`NullInstrument` attached.
    The null-instrument run performs a strict superset of the disabled
    path's work (every hook call site fires a no-op method), so the
@@ -17,11 +23,13 @@ default everywhere) keeps the hot path at pre-instrumentation cost: one
 """
 
 import sys
+from pathlib import Path
 from time import perf_counter
 
 import pytest
 
 import repro.sim.engine as engine_mod
+from repro.lint import check_file
 from repro.obs import NullInstrument
 from repro.policies.registry import make_policy
 from repro.sim.engine import Simulator
@@ -34,6 +42,23 @@ def _run(workload, instrument):
     return Simulator(
         workload.transactions, make_policy("edf"), instrument=instrument
     ).run()
+
+
+def test_engine_source_satisfies_hot_path_rules():
+    """Static half of the guard, delegated to repro.lint RL001/RL006.
+
+    The hand-written structural assertion this replaces could drift from
+    the CI lint job; running the actual rule implementations over the
+    engine source means one shared definition of "perf_counter is
+    guarded" and "every hook call site is guarded".
+    """
+    engine_path = Path(engine_mod.__file__)
+    findings = check_file(
+        engine_path, module="repro.sim.engine", select=["RL001", "RL006"]
+    )
+    assert findings == [], "\n".join(
+        f"{f.location}: {f.rule} {f.message}" for f in findings
+    )
 
 
 def test_perf_counter_untouched_when_disabled(monkeypatch):

@@ -10,6 +10,8 @@ import pytest
 
 import repro.core.transaction
 import repro.core.workflow_set
+import repro.lint.findings
+import repro.lint.suppress
 import repro.policies.registry
 import repro.sim.engine
 import repro.sim.event_queue
@@ -23,6 +25,8 @@ import repro.workload.zipf
 MODULES = [
     repro.core.transaction,
     repro.core.workflow_set,
+    repro.lint.findings,
+    repro.lint.suppress,
     repro.policies.registry,
     repro.sim.engine,
     repro.sim.event_queue,
