@@ -6,13 +6,23 @@ performance of the discrete-event engine per policy, guarding against
 complexity regressions (the paper argues ASETS* scales like EDF/SRPT via
 O(log N) priority-queue updates; a quadratic regression in the lazy heaps
 would show up here immediately).
+
+Besides the pytest-benchmark table, the module emits a machine-readable
+``BENCH_engine.json`` at the repo root — per-policy throughput (txns/s)
+and ``policy.select()`` wall-time percentiles from one instrumented run —
+so successive PRs leave a comparable perf trajectory (CI uploads the file
+as an artifact on every run).
 """
 
+import json
 import os
+import pathlib
 
 import pytest
 
 from repro.experiments.config import PolicySpec
+from repro.metrics.distributions import percentile
+from repro.obs import Recorder
 from repro.sim.engine import Simulator
 from repro.workload.generator import generate
 from repro.workload.spec import WorkloadSpec
@@ -21,6 +31,12 @@ POLICIES = ("fcfs", "edf", "srpt", "ls", "hdf", "asets", "asets-star")
 
 #: Workload size; CI smoke runs set REPRO_BENCH_N to a small value.
 BENCH_N = int(os.environ.get("REPRO_BENCH_N", "1000"))
+
+#: Machine-readable perf snapshot, written after the last policy runs.
+BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+#: policy name -> measurements, filled by the parametrized benchmark.
+_RESULTS: dict[str, dict] = {}
 
 
 @pytest.fixture(scope="module")
@@ -32,6 +48,24 @@ def workload():
         with_workflows=True,
     )
     return generate(spec, seed=1)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_json_sink():
+    """Write ``BENCH_engine.json`` once every parametrized case ran."""
+    yield
+    if not _RESULTS:
+        return
+    payload = {
+        "schema": 1,
+        "n_transactions": BENCH_N,
+        "utilization": 0.9,
+        "seed": 1,
+        "policies": _RESULTS,
+    }
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 @pytest.mark.parametrize("name", POLICIES)
@@ -48,3 +82,24 @@ def test_engine_throughput(name, workload, benchmark):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     assert result.n == BENCH_N
+
+    # One instrumented run (outside the timed rounds) for select() wall
+    # times; its own overhead does not pollute the throughput numbers.
+    recorder = Recorder(keep_events=False)
+    workload.reset()
+    Simulator(
+        workload.transactions,
+        policy_spec.make(),
+        workflow_set=workload.workflow_set,
+        instrument=recorder,
+    ).run()
+    samples = recorder.select_samples
+    mean_s = benchmark.stats.stats.mean
+    _RESULTS[name] = {
+        "mean_run_seconds": mean_s,
+        "min_run_seconds": benchmark.stats.stats.min,
+        "throughput_txns_per_s": BENCH_N / mean_s if mean_s > 0 else 0.0,
+        "select_p50_seconds": percentile(samples, 50) if samples else 0.0,
+        "select_p95_seconds": percentile(samples, 95) if samples else 0.0,
+        "scheduling_points": len(samples),
+    }

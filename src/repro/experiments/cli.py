@@ -15,7 +15,14 @@ The ``run`` target executes one instrumented run and exposes the
 observability layer (:mod:`repro.obs`)::
 
     python -m repro.experiments run --policy asets --n 2000 --report
-    python -m repro.experiments run --events-out run.jsonl
+    python -m repro.experiments run --events-out run.jsonl --trace-out t.json
+
+The ``analyze`` and ``diff`` targets run the deadline-miss forensics of
+:mod:`repro.obs.analyze` over recorded event logs::
+
+    python -m repro.experiments analyze run.jsonl --top 10
+    python -m repro.experiments analyze run.jsonl --format json
+    python -m repro.experiments diff asets.jsonl asets_star.jsonl
 """
 
 from __future__ import annotations
@@ -74,8 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(_FIGURES) + ["alpha", "tail", "table1", "claims", "all", "run"],
-        help="which experiment to run ('run' = one instrumented run)",
+        choices=sorted(_FIGURES)
+        + ["alpha", "tail", "table1", "claims", "all", "run", "analyze", "diff"],
+        help="which experiment to run ('run' = one instrumented run; "
+        "'analyze'/'diff' = forensics over recorded event logs)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="LOG.jsonl",
+        help="event log(s): one for 'analyze', two for 'diff'",
     )
     parser.add_argument(
         "--n", type=int, default=1000, help="transactions per run (default 1000)"
@@ -134,6 +149,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the full run report (scheduling points, preemptions, "
         "select-latency percentiles)",
+    )
+    forensics = parser.add_argument_group(
+        "forensics (analyze / diff targets, and --trace-out on run)"
+    )
+    forensics.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="report format for 'analyze' and 'diff' (default text)",
+    )
+    forensics.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="how many transactions the text reports detail (default 5)",
+    )
+    forensics.add_argument(
+        "--trace-out",
+        metavar="FILE.json",
+        default=None,
+        help="export a Chrome trace-event / Perfetto JSON of the run "
+        "(valid on 'run' and 'analyze')",
     )
     return parser
 
@@ -194,11 +232,68 @@ def _run_instrumented(args: argparse.Namespace) -> int:
             f"event log ({len(recorder.events)} records) written to {path}",
             file=sys.stderr,
         )
+    if args.trace_out:
+        from repro.obs.analyze import reconstruct, write_trace
+
+        trace_path = write_trace(reconstruct(recorder.events), args.trace_out)
+        print(f"perfetto trace written to {trace_path}", file=sys.stderr)
+    return 0
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    """Forensics report over one recorded event log."""
+    from repro.obs.analyze import (
+        attribute_all,
+        reconstruct_file,
+        render_analysis_json,
+        render_analysis_text,
+        write_trace,
+    )
+
+    run = reconstruct_file(args.paths[0])
+    blames = attribute_all(run)
+    if args.fmt == "json":
+        print(render_analysis_json(run, blames))
+    else:
+        print(render_analysis_text(run, blames, top=args.top))
+    if args.trace_out:
+        trace_path = write_trace(run, args.trace_out)
+        print(f"perfetto trace written to {trace_path}", file=sys.stderr)
+    return 0
+
+
+def _run_diff(args: argparse.Namespace) -> int:
+    """Cross-run diff of two event logs of the same workload."""
+    from repro.obs.analyze import (
+        diff_runs,
+        reconstruct_file,
+        render_diff_json,
+        render_diff_text,
+    )
+
+    diff = diff_runs(
+        reconstruct_file(args.paths[0]), reconstruct_file(args.paths[1])
+    )
+    if args.fmt == "json":
+        print(render_diff_json(diff))
+    else:
+        print(render_diff_text(diff, top=args.top))
     return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    expected_paths = {"analyze": 1, "diff": 2}.get(args.target, 0)
+    if len(args.paths) != expected_paths:
+        parser.error(
+            f"target '{args.target}' takes exactly {expected_paths} "
+            f"event-log path(s), got {len(args.paths)}"
+        )
+    if args.target == "analyze":
+        return _run_analyze(args)
+    if args.target == "diff":
+        return _run_diff(args)
     if args.target == "run":
         return _run_instrumented(args)
     if args.target == "table1":

@@ -14,7 +14,12 @@ opens the black box.  It provides:
   running tardiness sampled at every scheduling point;
 * :mod:`repro.obs.summary` — the per-run :class:`RunReport`;
 * :mod:`repro.obs.recorder` — :class:`Recorder`, the standard instrument
-  combining all of the above.
+  combining all of the above;
+* :mod:`repro.obs.analyze` — deadline-miss forensics over recorded
+  event logs: lifecycle spans, tardiness blame attribution, Perfetto
+  trace export and cross-run diffing (imported explicitly via
+  ``from repro.obs import analyze`` — it is an offline analysis layer,
+  not part of the recording hot path).
 
 Quickstart::
 

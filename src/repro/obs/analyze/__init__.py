@@ -1,0 +1,96 @@
+"""Deadline-miss forensics over schema-v1 event logs.
+
+PR 1's :mod:`repro.obs` made the engine observable; this subpackage
+makes the observations *answer questions*.  From a ``.jsonl`` event log
+(or a live :class:`~repro.obs.recorder.Recorder`) it produces:
+
+* :mod:`~repro.obs.analyze.lifecycle` — per-transaction lifecycles as
+  typed spans (``queued`` / ``running`` / ``preempted`` / ``overhead``)
+  satisfying the exact conservation invariant
+  ``sum(spans) == completion - arrival``;
+* :mod:`~repro.obs.analyze.blame` — tardiness blame attribution whose
+  components sum to the measured tardiness, with the ranked list of
+  transactions a tardy one waited behind;
+* :mod:`~repro.obs.analyze.critical_path` — the workflow-aware walk
+  explaining dependency wait for chained transactions;
+* :mod:`~repro.obs.analyze.perfetto` — Chrome trace-event / Perfetto
+  JSON export (open any run in ``ui.perfetto.dev``);
+* :mod:`~repro.obs.analyze.diff` — cross-run diffing of the same
+  workload under two policies (who flipped on-time<->tardy, and where
+  the time moved);
+* :mod:`~repro.obs.analyze.reporters` — aligned-text and versioned-JSON
+  reporters following the :mod:`repro.lint` conventions.
+
+Quickstart::
+
+    from repro.obs.analyze import (
+        attribute_all, diff_runs, reconstruct_file, write_trace,
+    )
+
+    run = reconstruct_file("asets.jsonl")
+    for report in attribute_all(run)[:5]:
+        print(report.txn_id, dict(report.components))
+    write_trace(run, "asets.perfetto.json")
+
+or from the command line::
+
+    python -m repro.experiments analyze asets.jsonl --trace-out t.json
+    python -m repro.experiments diff asets.jsonl asets_star.jsonl
+"""
+
+from repro.obs.analyze.lifecycle import (
+    RunLifecycles,
+    Segment,
+    Span,
+    SpanKind,
+    TxnLifecycle,
+    reconstruct,
+    reconstruct_file,
+)
+from repro.obs.analyze.blame import (
+    BlameReport,
+    Culprit,
+    attribute,
+    attribute_all,
+)
+from repro.obs.analyze.critical_path import CriticalPathStep, critical_path
+from repro.obs.analyze.diff import RunDiff, TxnDelta, diff_runs
+from repro.obs.analyze.perfetto import (
+    to_trace,
+    validate_trace,
+    validate_trace_file,
+    write_trace,
+)
+from repro.obs.analyze.reporters import (
+    render_analysis_json,
+    render_analysis_text,
+    render_diff_json,
+    render_diff_text,
+)
+
+__all__ = [
+    "SpanKind",
+    "Span",
+    "Segment",
+    "TxnLifecycle",
+    "RunLifecycles",
+    "reconstruct",
+    "reconstruct_file",
+    "BlameReport",
+    "Culprit",
+    "attribute",
+    "attribute_all",
+    "CriticalPathStep",
+    "critical_path",
+    "RunDiff",
+    "TxnDelta",
+    "diff_runs",
+    "to_trace",
+    "write_trace",
+    "validate_trace",
+    "validate_trace_file",
+    "render_analysis_text",
+    "render_analysis_json",
+    "render_diff_text",
+    "render_diff_json",
+]

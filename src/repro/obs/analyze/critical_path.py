@@ -1,0 +1,91 @@
+"""Workflow-aware critical-path walk for chained transactions.
+
+A dependent transaction can be tardy through no fault of the scheduler's
+treatment of *it*: its slack was already gone by the time its last
+predecessor completed.  :func:`critical_path` walks that chain backwards
+— from a transaction to the dependency that gated its readiness, then to
+the dependency that gated *that* one, and so on — producing the path a
+slack budget actually travelled along.
+
+Each step records ``gated_for``: how long past the successor's arrival
+the predecessor kept it unready (the successor's dependency wait that
+this link explains).  The head of the path (the transaction under
+analysis) carries ``gated_for = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.analyze.lifecycle import RunLifecycles, TxnLifecycle
+
+__all__ = ["CriticalPathStep", "critical_path"]
+
+
+@dataclass(frozen=True, slots=True)
+class CriticalPathStep:
+    """One transaction on a dependency critical path."""
+
+    txn_id: int
+    arrival: float
+    completion: float
+    tardiness: float
+    #: Time this transaction kept its *successor* on the path unready
+    #: (``completion - successor.arrival``); 0 for the path head.
+    gated_for: float
+
+
+def _blocking_dep(
+    run: RunLifecycles, lc: TxnLifecycle
+) -> TxnLifecycle | None:
+    """The latest-completing dependency (smallest id on ties), if any."""
+    best: TxnLifecycle | None = None
+    for dep_id in sorted(lc.deps):
+        dep = run.lifecycles.get(dep_id)
+        if dep is None:
+            continue
+        if best is None or dep.completion > best.completion:
+            best = dep
+    return best
+
+
+def critical_path(
+    run: RunLifecycles, txn_id: int
+) -> tuple[CriticalPathStep, ...]:
+    """Walk the gating-dependency chain back from ``txn_id``.
+
+    The walk stops when a transaction has no dependencies, when its
+    gating predecessor finished before it arrived (no delay to explain),
+    or — defensively, on corrupt logs — when a cycle is detected.
+    """
+    lc = run.get(txn_id)
+    path = [
+        CriticalPathStep(
+            txn_id=lc.txn_id,
+            arrival=lc.arrival,
+            completion=lc.completion,
+            tardiness=lc.tardiness,
+            gated_for=0.0,
+        )
+    ]
+    visited = {lc.txn_id}
+    current = lc
+    while True:
+        blocking = _blocking_dep(run, current)
+        if blocking is None or blocking.txn_id in visited:
+            break
+        gated = blocking.completion - current.arrival
+        if gated <= 0.0:
+            break
+        path.append(
+            CriticalPathStep(
+                txn_id=blocking.txn_id,
+                arrival=blocking.arrival,
+                completion=blocking.completion,
+                tardiness=blocking.tardiness,
+                gated_for=gated,
+            )
+        )
+        visited.add(blocking.txn_id)
+        current = blocking
+    return tuple(path)

@@ -1,0 +1,144 @@
+"""Cross-run diffing: same workload, two policies, where did time move?
+
+Given two reconstructed runs of the *same* workload (same seed, so the
+same transaction ids, arrivals and service demands), the diff answers
+the question the paper's aggregate figures cannot: **which** transactions
+flipped between on-time and tardy under the other policy, and which
+lifecycle component (queue wait, preemption churn, overhead, dependency
+gating) absorbed or released the time.
+
+The workloads must match: differing transaction id sets or arrival
+times raise :class:`~repro.errors.ObservabilityError` rather than
+produce a nonsense diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ObservabilityError
+from repro.obs.analyze.lifecycle import RunLifecycles, TxnLifecycle
+
+__all__ = ["TxnDelta", "RunDiff", "diff_runs"]
+
+#: Arrival times of a replayed workload are bit-identical; this slop
+#: only forgives JSON round-trip noise.
+_ARRIVAL_TOLERANCE = 1e-9
+
+
+def _breakdown(lc: TxnLifecycle) -> dict[str, float]:
+    return {
+        "tardiness": lc.tardiness,
+        "dependency_wait": lc.dependency_wait,
+        "wait_behind": lc.queued_time - lc.dependency_wait,
+        "preemption_gap": lc.preempted_time,
+        "overhead": lc.overhead_time,
+        "response_time": lc.response_time,
+        "completion": lc.completion,
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class TxnDelta:
+    """One transaction's lifecycle under run A vs run B."""
+
+    txn_id: int
+    #: ``"a_only_tardy"`` | ``"b_only_tardy"`` | ``"both_tardy"``.
+    flip: str
+    a: Mapping[str, float]
+    b: Mapping[str, float]
+
+    @property
+    def tardiness_delta(self) -> float:
+        """B minus A; positive = worse under B."""
+        return self.b["tardiness"] - self.a["tardiness"]
+
+    def delta(self, key: str) -> float:
+        return self.b[key] - self.a[key]
+
+
+@dataclass(frozen=True, slots=True)
+class RunDiff:
+    """The full A-vs-B comparison of one workload under two policies."""
+
+    policy_a: str
+    policy_b: str
+    n: int
+    total_tardiness_a: float
+    total_tardiness_b: float
+    tardy_a: tuple[int, ...]
+    tardy_b: tuple[int, ...]
+    #: Tardy under A, on time under B (B fixed them).
+    fixed_by_b: tuple[int, ...]
+    #: On time under A, tardy under B (B broke them).
+    broken_by_b: tuple[int, ...]
+    #: Tardy under both policies.
+    tardy_in_both: tuple[int, ...]
+    #: Per-transaction breakdowns for every flipped or still-tardy
+    #: transaction, largest absolute tardiness swing first.
+    deltas: tuple[TxnDelta, ...]
+
+    @property
+    def total_tardiness_delta(self) -> float:
+        return self.total_tardiness_b - self.total_tardiness_a
+
+    def flipped(self) -> tuple[TxnDelta, ...]:
+        """Only the transactions that changed on-time/tardy status."""
+        return tuple(d for d in self.deltas if d.flip != "both_tardy")
+
+
+def diff_runs(a: RunLifecycles, b: RunLifecycles) -> RunDiff:
+    """Diff two reconstructed runs of the same workload."""
+    ids_a, ids_b = set(a.lifecycles), set(b.lifecycles)
+    if ids_a != ids_b:
+        only_a = sorted(ids_a - ids_b)[:5]
+        only_b = sorted(ids_b - ids_a)[:5]
+        raise ObservabilityError(
+            "cannot diff runs over different transaction sets "
+            f"(only in A: {only_a}..., only in B: {only_b}...)"
+        )
+    for txn_id in sorted(ids_a):
+        arr_a = a.lifecycles[txn_id].arrival
+        arr_b = b.lifecycles[txn_id].arrival
+        if abs(arr_a - arr_b) > _ARRIVAL_TOLERANCE:
+            raise ObservabilityError(
+                f"transaction {txn_id} arrives at {arr_a} in A but "
+                f"{arr_b} in B; the logs are not the same workload"
+            )
+    tardy_a = tuple(sorted(t.txn_id for t in a.tardy()))
+    tardy_b = tuple(sorted(t.txn_id for t in b.tardy()))
+    set_a, set_b = set(tardy_a), set(tardy_b)
+    fixed = tuple(sorted(set_a - set_b))
+    broken = tuple(sorted(set_b - set_a))
+    both = tuple(sorted(set_a & set_b))
+    deltas = []
+    for txn_id in (*fixed, *broken, *both):
+        if txn_id in set_a and txn_id in set_b:
+            flip = "both_tardy"
+        elif txn_id in set_a:
+            flip = "a_only_tardy"
+        else:
+            flip = "b_only_tardy"
+        deltas.append(
+            TxnDelta(
+                txn_id=txn_id,
+                flip=flip,
+                a=_breakdown(a.lifecycles[txn_id]),
+                b=_breakdown(b.lifecycles[txn_id]),
+            )
+        )
+    deltas.sort(key=lambda d: (-abs(d.tardiness_delta), d.txn_id))
+    return RunDiff(
+        policy_a=a.policy,
+        policy_b=b.policy,
+        n=len(a.lifecycles),
+        total_tardiness_a=a.total_tardiness,
+        total_tardiness_b=b.total_tardiness,
+        tardy_a=tardy_a,
+        tardy_b=tardy_b,
+        fixed_by_b=fixed,
+        broken_by_b=broken,
+        tardy_in_both=both,
+        deltas=tuple(deltas),
+    )

@@ -1,0 +1,444 @@
+"""Per-transaction lifecycle reconstruction from schema-v1 event logs.
+
+The engine's event log (:mod:`repro.obs.jsonl`) is a flat stream; this
+module folds it back into one :class:`TxnLifecycle` per transaction — a
+contiguous list of typed :class:`Span` objects covering every instant
+from arrival to completion:
+
+``queued``
+    Not yet holding a server: from arrival to the first dispatch
+    (including time blocked on unfinished dependencies — the blame
+    layer splits that part out using :attr:`TxnLifecycle.ready_time`).
+``overhead``
+    Serving context-switch overhead at the start of a running segment,
+    before any real work resumes.
+``running``
+    Actually processing on a server.
+``preempted``
+    Re-queued after losing a server, until the next dispatch.
+
+Reconstruction is exact by construction: each span starts where the
+previous one ended, so their durations telescope to
+``completion - arrival`` (the **conservation invariant**, checked by
+:meth:`TxnLifecycle.conservation_error` and pinned by a property test
+over randomized workloads).
+
+The same fold also yields the run's global list of :class:`Segment`
+objects — who held a server, when — which the blame layer uses to name
+the transactions a tardy transaction waited behind, and the Perfetto
+exporter turns into per-server tracks.
+
+Logs written before the additive schema-1 fields (``deps`` on
+``arrival``, ``response_time`` on ``completion``) reconstruct fine:
+dependency wait simply folds into ``queued`` and response time is
+recomputed.
+"""
+
+from __future__ import annotations
+
+import enum
+import pathlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import ObservabilityError
+from repro.obs import jsonl
+
+__all__ = [
+    "SpanKind",
+    "Span",
+    "Segment",
+    "TxnLifecycle",
+    "RunLifecycles",
+    "reconstruct",
+    "reconstruct_file",
+]
+
+
+class SpanKind(enum.Enum):
+    """What a transaction was doing during one span of its lifecycle."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    PREEMPTED = "preempted"
+    OVERHEAD = "overhead"
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One contiguous, typed interval of a transaction's lifecycle."""
+
+    kind: SpanKind
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """One server occupation: ``txn_id`` held a server over [start, end).
+
+    ``overhead`` is the context-switch cost actually served inside the
+    segment (charged at the segment start, before real work).
+    """
+
+    txn_id: int
+    start: float
+    end: float
+    overhead: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class TxnLifecycle:
+    """The reconstructed lifecycle of one completed transaction."""
+
+    txn_id: int
+    arrival: float
+    completion: float
+    tardiness: float
+    #: ``f_i - a_i``; taken from the log when present, recomputed otherwise.
+    response_time: float
+    #: Dependency list as logged (empty for old logs / independent txns).
+    deps: tuple[int, ...]
+    #: When the transaction became schedulable: its arrival, or the
+    #: completion of its last dependency, whichever is later.
+    ready_time: float
+    #: Simulated time of the first dispatch.
+    first_dispatch: float
+    spans: tuple[Span, ...]
+
+    def total(self, kind: SpanKind) -> float:
+        """Summed duration of every span of ``kind``."""
+        return sum((s.duration for s in self.spans if s.kind is kind), 0.0)
+
+    @property
+    def queued_time(self) -> float:
+        return self.total(SpanKind.QUEUED)
+
+    @property
+    def running_time(self) -> float:
+        """Actual service received — equals the transaction's length."""
+        return self.total(SpanKind.RUNNING)
+
+    @property
+    def preempted_time(self) -> float:
+        return self.total(SpanKind.PREEMPTED)
+
+    @property
+    def overhead_time(self) -> float:
+        return self.total(SpanKind.OVERHEAD)
+
+    @property
+    def dependency_wait(self) -> float:
+        """Part of the queued time spent blocked on unfinished deps."""
+        return self.ready_time - self.arrival
+
+    @property
+    def is_tardy(self) -> bool:
+        return self.tardiness > 0.0
+
+    @property
+    def deadline(self) -> float | None:
+        """The soft deadline, recoverable exactly only for tardy txns."""
+        if not self.is_tardy:
+            return None
+        return self.completion - self.tardiness
+
+    @property
+    def conservation_error(self) -> float:
+        """|sum(spans) - (completion - arrival)| — ~0 by construction."""
+        total = sum(s.duration for s in self.spans)
+        return abs(total - (self.completion - self.arrival))
+
+
+class _TxnBuilder:
+    """Per-transaction state machine over its own event sub-stream."""
+
+    __slots__ = (
+        "txn_id",
+        "arrival",
+        "deps",
+        "completion",
+        "tardiness",
+        "response_time",
+        "segments",
+        "gaps",
+        "_running_since",
+        "_running_overhead",
+        "_waiting_since",
+        "_dispatched_once",
+    )
+
+    def __init__(self, txn_id: int) -> None:
+        self.txn_id = txn_id
+        self.arrival: float | None = None
+        self.deps: tuple[int, ...] = ()
+        self.completion: float | None = None
+        self.tardiness = 0.0
+        self.response_time: float | None = None
+        self.segments: list[Segment] = []
+        #: Waiting intervals, chronological: (start, end, kind).
+        self.gaps: list[tuple[float, float, SpanKind]] = []
+        self._running_since: float | None = None
+        self._running_overhead = 0.0
+        self._waiting_since: float | None = None
+        self._dispatched_once = False
+
+    def _fail(self, message: str) -> ObservabilityError:
+        return ObservabilityError(f"transaction {self.txn_id}: {message}")
+
+    def on_arrival(self, t: float, deps: tuple[int, ...]) -> None:
+        if self.arrival is not None:
+            raise self._fail(f"duplicate arrival at t={t}")
+        self.arrival = t
+        self.deps = deps
+        self._waiting_since = t
+
+    def on_dispatch(self, t: float) -> None:
+        if self.arrival is None:
+            raise self._fail(f"dispatch at t={t} before arrival")
+        if self._running_since is not None:
+            # Continuation across a scheduling point: the engine emits a
+            # fresh dispatch for a transaction that keeps its server; the
+            # segment simply continues.
+            return
+        if self._waiting_since is None:  # pragma: no cover - defensive
+            raise self._fail(f"dispatch at t={t} with no open wait")
+        kind = SpanKind.PREEMPTED if self._dispatched_once else SpanKind.QUEUED
+        self.gaps.append((self._waiting_since, t, kind))
+        self._waiting_since = None
+        self._running_since = t
+        self._running_overhead = 0.0
+        self._dispatched_once = True
+
+    def on_overhead(self, t: float, amount: float) -> None:
+        if self._running_since is None:
+            raise self._fail(f"overhead charged at t={t} while not running")
+        self._running_overhead += amount
+
+    def _close_segment(self, t: float) -> None:
+        if self._running_since is None:
+            raise self._fail(f"segment closed at t={t} while not running")
+        self.segments.append(
+            Segment(
+                txn_id=self.txn_id,
+                start=self._running_since,
+                end=t,
+                overhead=self._running_overhead,
+            )
+        )
+        self._running_since = None
+        self._running_overhead = 0.0
+
+    def on_preempt(self, t: float) -> None:
+        self._close_segment(t)
+        self._waiting_since = t
+
+    def on_completion(
+        self, t: float, tardiness: float, response_time: float | None
+    ) -> None:
+        if self.completion is not None:
+            raise self._fail(f"duplicate completion at t={t}")
+        self._close_segment(t)
+        self.completion = t
+        self.tardiness = tardiness
+        self.response_time = response_time
+
+    @property
+    def is_complete(self) -> bool:
+        return self.arrival is not None and self.completion is not None
+
+    def build(self, ready_time: float) -> TxnLifecycle:
+        if self.arrival is None or self.completion is None:
+            raise self._fail("cannot build an incomplete lifecycle")
+        spans: list[Span] = []
+        # Gaps and segments strictly alternate (gap, segment, gap, ...);
+        # zip them back into one chronological, contiguous span list.
+        pieces: list[tuple[float, float, SpanKind, float]] = [
+            (start, end, kind, 0.0) for start, end, kind in self.gaps
+        ]
+        pieces += [
+            (seg.start, seg.end, SpanKind.RUNNING, seg.overhead)
+            for seg in self.segments
+        ]
+        pieces.sort(key=lambda p: (p[0], p[1]))
+        for start, end, kind, overhead in pieces:
+            if kind is SpanKind.RUNNING:
+                # Overhead is served contiguously from the segment start.
+                split = start + min(overhead, end - start)
+                if split > start:
+                    spans.append(Span(SpanKind.OVERHEAD, start, split))
+                if end > split:
+                    spans.append(Span(SpanKind.RUNNING, split, end))
+            elif end > start:
+                spans.append(Span(kind, start, end))
+        first_dispatch = (
+            self.segments[0].start if self.segments else self.completion
+        )
+        return TxnLifecycle(
+            txn_id=self.txn_id,
+            arrival=self.arrival,
+            completion=self.completion,
+            tardiness=self.tardiness,
+            response_time=(
+                self.response_time
+                if self.response_time is not None
+                else self.completion - self.arrival
+            ),
+            deps=self.deps,
+            ready_time=ready_time,
+            first_dispatch=first_dispatch,
+            spans=tuple(spans),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RunLifecycles:
+    """Every reconstructed lifecycle of one run, plus run metadata."""
+
+    policy: str
+    #: Transaction count announced by the run header.
+    n: int
+    servers: int
+    #: Completion time of the last transaction (run_end ``t``).
+    makespan: float
+    #: Completed lifecycles, keyed by transaction id.
+    lifecycles: Mapping[int, TxnLifecycle]
+    #: Every server occupation of the run, sorted by (start, txn_id).
+    segments: tuple[Segment, ...]
+    #: Ids seen in the log that never completed (aborted / partial logs).
+    incomplete: tuple[int, ...]
+
+    def __iter__(self) -> Iterator[TxnLifecycle]:
+        for txn_id in sorted(self.lifecycles):
+            yield self.lifecycles[txn_id]
+
+    def __len__(self) -> int:
+        return len(self.lifecycles)
+
+    def get(self, txn_id: int) -> TxnLifecycle:
+        try:
+            return self.lifecycles[txn_id]
+        except KeyError:
+            raise ObservabilityError(
+                f"no completed lifecycle for transaction {txn_id}"
+            ) from None
+
+    def tardy(self) -> list[TxnLifecycle]:
+        """Tardy lifecycles, worst first (ties broken by id)."""
+        return sorted(
+            (lc for lc in self if lc.is_tardy),
+            key=lambda lc: (-lc.tardiness, lc.txn_id),
+        )
+
+    @property
+    def total_tardiness(self) -> float:
+        return sum((lc.tardiness for lc in self.lifecycles.values()), 0.0)
+
+
+def reconstruct(records: Iterable[dict]) -> RunLifecycles:
+    """Fold an event-record stream into a :class:`RunLifecycles`.
+
+    ``records`` is anything yielding schema-1 event dicts headed by a
+    ``run_start`` record — :func:`repro.obs.jsonl.iter_records` output or
+    a live :attr:`repro.obs.recorder.Recorder.events` list.
+    """
+    iterator = iter(records)
+    try:
+        header = next(iterator)
+    except StopIteration:
+        raise ObservabilityError("empty event stream: no run_start header")
+    if header.get("kind") != "run_start":
+        raise ObservabilityError(
+            "event stream must start with a 'run_start' header, got "
+            f"kind={header.get('kind')!r}"
+        )
+    schema = header.get("schema")
+    if not isinstance(schema, int) or schema > jsonl.SCHEMA_VERSION:
+        raise ObservabilityError(
+            f"unsupported event-log schema {schema!r}; this analyzer "
+            f"supports <= {jsonl.SCHEMA_VERSION}"
+        )
+    builders: dict[int, _TxnBuilder] = {}
+    makespan = 0.0
+
+    def builder(record: dict) -> _TxnBuilder:
+        txn_id = record["txn"]
+        if txn_id not in builders:
+            builders[txn_id] = _TxnBuilder(txn_id)
+        return builders[txn_id]
+
+    for record in iterator:
+        kind = record.get("kind")
+        t = float(record.get("t", 0.0))
+        if kind == "arrival":
+            builder(record).on_arrival(t, tuple(record.get("deps", ())))
+        elif kind == "dispatch":
+            builder(record).on_dispatch(t)
+        elif kind == "preempt":
+            builder(record).on_preempt(t)
+        elif kind == "overhead":
+            builder(record).on_overhead(t, float(record["amount"]))
+        elif kind == "completion":
+            response = record.get("response_time")
+            builder(record).on_completion(
+                t,
+                float(record["tardiness"]),
+                None if response is None else float(response),
+            )
+            makespan = max(makespan, t)
+        elif kind == "run_end":
+            makespan = max(makespan, t)
+        # 'sched' samples and unknown (future additive) kinds are skipped.
+
+    lifecycles: dict[int, TxnLifecycle] = {}
+    incomplete: list[int] = []
+    completions = {
+        b.txn_id: b.completion
+        for b in builders.values()
+        if b.completion is not None
+    }
+    for txn_id in sorted(builders):
+        b = builders[txn_id]
+        if not b.is_complete:
+            incomplete.append(txn_id)
+            continue
+        assert b.arrival is not None  # narrowed by is_complete
+        gate = b.arrival
+        for dep in b.deps:
+            dep_completion = completions.get(dep)
+            if dep_completion is not None:
+                gate = max(gate, dep_completion)
+        # Clamp: a corrupt log must not push readiness past the first
+        # dispatch (the engine only dispatches schedulable transactions).
+        first_dispatch = b.segments[0].start if b.segments else gate
+        ready_time = min(max(b.arrival, gate), first_dispatch)
+        lifecycles[txn_id] = b.build(ready_time)
+
+    segments = sorted(
+        (seg for b in builders.values() for seg in b.segments),
+        key=lambda seg: (seg.start, seg.txn_id),
+    )
+    return RunLifecycles(
+        policy=str(header.get("policy", "?")),
+        n=int(header.get("n", len(builders))),
+        servers=int(header.get("servers", 1)),
+        makespan=makespan,
+        lifecycles=lifecycles,
+        segments=tuple(segments),
+        incomplete=tuple(incomplete),
+    )
+
+
+def reconstruct_file(
+    path: str | pathlib.Path, strict: bool = True
+) -> RunLifecycles:
+    """Reconstruct lifecycles straight from a ``.jsonl`` event log."""
+    return reconstruct(jsonl.iter_records(path, strict=strict))

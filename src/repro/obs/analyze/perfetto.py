@@ -1,0 +1,242 @@
+"""Chrome trace-event / Perfetto JSON export of a reconstructed run.
+
+Any run becomes a file that opens directly in ``ui.perfetto.dev`` (or
+``chrome://tracing``):
+
+* **one track per server** — every :class:`~.lifecycle.Segment` is a
+  complete (``ph: "X"``) event named after the transaction holding the
+  server, with its context-switch overhead in ``args``;
+* **one async track per tardy transaction** — the transaction's typed
+  lifecycle spans (``queued`` / ``overhead`` / ``running`` /
+  ``preempted``) as async begin/end (``ph: "b"`` / ``"e"``) pairs keyed
+  by the transaction id, so each tardy transaction reads as one lane
+  from arrival to completion.
+
+Simulated time units map to trace microseconds (1 time unit = 1 us ×
+:data:`TIME_SCALE`); the scale is arbitrary but uniform, so relative
+positions are faithful.
+
+:func:`validate_trace` is the structural checker CI runs against an
+exported file: JSON parses, ``traceEvents`` is non-empty, every event
+carries the mandatory keys, timestamps are non-negative and **monotone
+per track**, and async begin/end pairs balance.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Mapping
+
+from repro.errors import ObservabilityError
+from repro.obs.analyze.lifecycle import RunLifecycles
+
+__all__ = [
+    "TIME_SCALE",
+    "to_trace",
+    "write_trace",
+    "validate_trace",
+    "validate_trace_file",
+]
+
+#: Trace microseconds per simulated time unit.
+TIME_SCALE = 1_000_000.0
+
+#: pid of the per-server track group / the tardy-transaction group.
+_SERVERS_PID = 1
+_TARDY_PID = 2
+
+
+def _meta(pid: int, tid: int, name: str, value: str) -> dict[str, Any]:
+    return {
+        "name": name,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "ts": 0,
+        "args": {"name": value},
+    }
+
+
+def to_trace(
+    run: RunLifecycles, max_tardy_tracks: int | None = 50
+) -> dict[str, Any]:
+    """Render a run as a Chrome trace-event JSON object.
+
+    ``max_tardy_tracks`` caps the per-transaction async tracks (worst
+    tardiness first; ``None`` = no cap) — Perfetto handles thousands of
+    tracks, humans do not.
+    """
+    events: list[dict[str, Any]] = [
+        _meta(_SERVERS_PID, 0, "process_name", f"servers ({run.policy})")
+    ]
+    # Assign segments to server lanes greedily: a lane is free once its
+    # last segment ended.  With servers=1 everything lands on lane 0.
+    lane_free_at: list[float] = []
+    lane_of: list[int] = []
+    for seg in run.segments:
+        for lane, free_at in enumerate(lane_free_at):
+            if free_at <= seg.start + 1e-12:
+                lane_free_at[lane] = seg.end
+                lane_of.append(lane)
+                break
+        else:
+            lane_free_at.append(seg.end)
+            lane_of.append(len(lane_free_at) - 1)
+    for lane in range(len(lane_free_at)):
+        events.append(_meta(_SERVERS_PID, lane, "thread_name", f"server {lane}"))
+    for seg, lane in zip(run.segments, lane_of):
+        events.append(
+            {
+                "name": f"txn {seg.txn_id}",
+                "cat": "exec",
+                "ph": "X",
+                "ts": seg.start * TIME_SCALE,
+                "dur": seg.duration * TIME_SCALE,
+                "pid": _SERVERS_PID,
+                "tid": lane,
+                "args": {"txn": seg.txn_id, "overhead": seg.overhead},
+            }
+        )
+
+    tardy = run.tardy()
+    if max_tardy_tracks is not None:
+        tardy = tardy[:max_tardy_tracks]
+    if tardy:
+        events.append(
+            _meta(_TARDY_PID, 0, "process_name", "tardy transactions")
+        )
+    for lc in tardy:
+        track_id = f"0x{lc.txn_id:x}"
+        for span in lc.spans:
+            common = {
+                "cat": "txn",
+                "id": track_id,
+                "pid": _TARDY_PID,
+                "tid": 0,
+                "name": span.kind.value,
+            }
+            events.append(
+                {
+                    **common,
+                    "ph": "b",
+                    "ts": span.start * TIME_SCALE,
+                    "args": {"txn": lc.txn_id, "tardiness": lc.tardiness},
+                }
+            )
+            events.append(
+                {**common, "ph": "e", "ts": span.end * TIME_SCALE, "args": {}}
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "policy": run.policy,
+            "n": run.n,
+            "servers": run.servers,
+            "makespan": run.makespan,
+        },
+    }
+
+
+def write_trace(
+    run: RunLifecycles,
+    path: str | pathlib.Path,
+    max_tardy_tracks: int | None = 50,
+) -> pathlib.Path:
+    """Export :func:`to_trace` output as a JSON file; returns the path."""
+    path = pathlib.Path(path)
+    trace = to_trace(run, max_tardy_tracks=max_tardy_tracks)
+    path.write_text(json.dumps(trace, separators=(",", ":")), encoding="utf-8")
+    return path
+
+
+_KNOWN_PHASES = {"X", "M", "b", "e", "n", "B", "E", "i"}
+
+
+def validate_trace(trace: Mapping[str, Any]) -> dict[str, int]:
+    """Structurally validate a Chrome trace-event JSON object.
+
+    Checks: non-empty ``traceEvents``; mandatory keys and numeric,
+    non-negative timestamps on every event; ``ts`` monotone
+    non-decreasing per ``(pid, tid)`` track for complete events; async
+    ``b``/``e`` pairs balanced per ``(cat, id)``.  Returns a small
+    summary dict; raises :class:`~repro.errors.ObservabilityError` on
+    the first violation.
+    """
+    trace_events = trace.get("traceEvents")
+    if not isinstance(trace_events, list) or not trace_events:
+        raise ObservabilityError("trace has no traceEvents")
+    last_ts: dict[tuple[int, int], float] = {}
+    async_depth: dict[tuple[str, str], int] = {}
+    async_last_ts: dict[tuple[str, str], float] = {}
+    for index, event in enumerate(trace_events):
+        if not isinstance(event, dict):
+            raise ObservabilityError(f"traceEvents[{index}] is not an object")
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            raise ObservabilityError(
+                f"traceEvents[{index}] has unknown phase {ph!r}"
+            )
+        for key in ("pid", "tid", "ts", "name"):
+            if key not in event:
+                raise ObservabilityError(
+                    f"traceEvents[{index}] is missing {key!r}"
+                )
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ObservabilityError(
+                f"traceEvents[{index}] has invalid ts {ts!r}"
+            )
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ObservabilityError(
+                    f"traceEvents[{index}] has invalid dur {dur!r}"
+                )
+            track = (event["pid"], event["tid"])
+            if ts < last_ts.get(track, 0.0):
+                raise ObservabilityError(
+                    f"traceEvents[{index}]: ts {ts} regresses on track "
+                    f"pid={track[0]} tid={track[1]}"
+                )
+            last_ts[track] = float(ts)
+        elif ph in ("b", "e"):
+            key2 = (str(event.get("cat")), str(event.get("id")))
+            if ts < async_last_ts.get(key2, 0.0):
+                raise ObservabilityError(
+                    f"traceEvents[{index}]: async ts {ts} regresses on "
+                    f"track cat={key2[0]} id={key2[1]}"
+                )
+            async_last_ts[key2] = float(ts)
+            async_depth[key2] = async_depth.get(key2, 0) + (
+                1 if ph == "b" else -1
+            )
+            if async_depth[key2] < 0:
+                raise ObservabilityError(
+                    f"traceEvents[{index}]: async 'e' without matching "
+                    f"'b' on cat={key2[0]} id={key2[1]}"
+                )
+    unbalanced = sorted(k for k, depth in async_depth.items() if depth != 0)
+    if unbalanced:
+        raise ObservabilityError(
+            f"unbalanced async begin/end pairs on {len(unbalanced)} "
+            f"track(s), first: cat={unbalanced[0][0]} id={unbalanced[0][1]}"
+        )
+    return {
+        "events": len(trace_events),
+        "tracks": len(last_ts),
+        "async_tracks": len(async_depth),
+    }
+
+
+def validate_trace_file(path: str | pathlib.Path) -> dict[str, int]:
+    """Load ``path`` as JSON and :func:`validate_trace` it."""
+    path = pathlib.Path(path)
+    try:
+        trace = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(trace, dict):
+        raise ObservabilityError(f"{path}: trace root must be a JSON object")
+    return validate_trace(trace)

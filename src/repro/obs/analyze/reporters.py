@@ -1,0 +1,200 @@
+"""Forensics reporters: aligned text for terminals, versioned JSON for CI.
+
+Mirrors the :mod:`repro.lint.reporters` conventions — a human format
+with one headline per finding, and a schema-versioned (``version: 1``)
+JSON document that downstream tooling can consume without scraping
+text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.obs.analyze.blame import BlameReport
+from repro.obs.analyze.diff import RunDiff, TxnDelta
+from repro.obs.analyze.lifecycle import RunLifecycles
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "render_analysis_text",
+    "render_analysis_json",
+    "render_diff_text",
+    "render_diff_json",
+]
+
+#: Bump when either JSON report layout changes shape.
+JSON_SCHEMA_VERSION = 1
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def _blame_dict(report: BlameReport) -> dict[str, Any]:
+    return {
+        "txn": report.txn_id,
+        "tardiness": report.tardiness,
+        "deadline": report.deadline,
+        "components": dict(report.components),
+        "residual": report.residual,
+        "culprits": [
+            {"txn": c.txn_id, "seconds": c.seconds} for c in report.culprits
+        ],
+        "critical_path": [
+            {
+                "txn": step.txn_id,
+                "arrival": step.arrival,
+                "completion": step.completion,
+                "tardiness": step.tardiness,
+                "gated_for": step.gated_for,
+            }
+            for step in report.critical_path
+        ],
+    }
+
+
+def _blame_lines(report: BlameReport, culprit_limit: int = 3) -> list[str]:
+    parts = " | ".join(
+        f"{name} {_fmt(amount)}" for name, amount in report.components
+    )
+    lines = [
+        f"txn {report.txn_id}: tardiness {_fmt(report.tardiness)} "
+        f"(deadline {_fmt(report.deadline)})",
+        f"  {parts}",
+    ]
+    if report.culprits:
+        shown = report.culprits[:culprit_limit]
+        rendered = ", ".join(
+            ("idle" if c.txn_id is None else f"txn {c.txn_id}")
+            + f" ({_fmt(c.seconds)})"
+            for c in shown
+        )
+        more = len(report.culprits) - len(shown)
+        suffix = f" +{more} more" if more > 0 else ""
+        lines.append(f"  waited behind: {rendered}{suffix}")
+    if len(report.critical_path) > 1:
+        chain = " <- ".join(
+            f"txn {step.txn_id}"
+            + (f" (gated {_fmt(step.gated_for)})" if step.gated_for else "")
+            for step in report.critical_path
+        )
+        lines.append(f"  critical path: {chain}")
+    return lines
+
+
+def render_analysis_text(
+    run: RunLifecycles, blames: Sequence[BlameReport], top: int = 5
+) -> str:
+    """Human-readable forensics report for one run."""
+    tardy = len(run.tardy())
+    lines = [
+        f"Deadline forensics — {run.policy}: "
+        f"n={len(run)} servers={run.servers} makespan={_fmt(run.makespan)}",
+        f"tardy {tardy}/{len(run)}, "
+        f"total tardiness {_fmt(run.total_tardiness)}",
+    ]
+    if run.incomplete:
+        lines.append(f"incomplete transactions in log: {len(run.incomplete)}")
+    shown = list(blames[:top])
+    if shown:
+        lines.append(f"worst {len(shown)} tardy transaction(s):")
+        for report in shown:
+            lines += _blame_lines(report)
+    else:
+        lines.append("no tardy transactions — nothing to attribute")
+    return "\n".join(lines)
+
+
+def render_analysis_json(
+    run: RunLifecycles, blames: Sequence[BlameReport]
+) -> str:
+    """Machine-readable forensics report (schema-versioned)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "policy": run.policy,
+        "n": len(run),
+        "servers": run.servers,
+        "makespan": run.makespan,
+        "tardy": len(run.tardy()),
+        "total_tardiness": run.total_tardiness,
+        "incomplete": list(run.incomplete),
+        "transactions": [_blame_dict(b) for b in blames],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _delta_lines(delta: TxnDelta) -> list[str]:
+    labels = {
+        "a_only_tardy": "tardy under A only (B fixed it)",
+        "b_only_tardy": "tardy under B only (B broke it)",
+        "both_tardy": "tardy under both",
+    }
+    moved = ", ".join(
+        f"{key} {delta.delta(key):+.3f}"
+        for key in (
+            "dependency_wait",
+            "wait_behind",
+            "preemption_gap",
+            "overhead",
+        )
+        if abs(delta.delta(key)) > 5e-4
+    )
+    lines = [
+        f"txn {delta.txn_id}: {labels[delta.flip]}, "
+        f"tardiness {_fmt(delta.a['tardiness'])} -> "
+        f"{_fmt(delta.b['tardiness'])} ({delta.tardiness_delta:+.3f})"
+    ]
+    if moved:
+        lines.append(f"  time moved: {moved}")
+    return lines
+
+
+def render_diff_text(diff: RunDiff, top: int = 5) -> str:
+    """Human-readable cross-run diff."""
+    lines = [
+        f"Run diff — A={diff.policy_a} vs B={diff.policy_b} (n={diff.n})",
+        f"total tardiness: {_fmt(diff.total_tardiness_a)} -> "
+        f"{_fmt(diff.total_tardiness_b)} ({diff.total_tardiness_delta:+.3f})",
+        f"tardy: {len(diff.tardy_a)} -> {len(diff.tardy_b)} "
+        f"(fixed by B: {len(diff.fixed_by_b)}, "
+        f"broken by B: {len(diff.broken_by_b)}, "
+        f"tardy in both: {len(diff.tardy_in_both)})",
+    ]
+    flipped = diff.flipped()
+    if flipped:
+        shown = flipped[:top]
+        lines.append(f"top {len(shown)} flipped transaction(s):")
+        for delta in shown:
+            lines += _delta_lines(delta)
+    else:
+        lines.append("no transactions flipped on-time<->tardy")
+    return "\n".join(lines)
+
+
+def render_diff_json(diff: RunDiff) -> str:
+    """Machine-readable cross-run diff (schema-versioned)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "policy_a": diff.policy_a,
+        "policy_b": diff.policy_b,
+        "n": diff.n,
+        "total_tardiness_a": diff.total_tardiness_a,
+        "total_tardiness_b": diff.total_tardiness_b,
+        "tardy_a": list(diff.tardy_a),
+        "tardy_b": list(diff.tardy_b),
+        "fixed_by_b": list(diff.fixed_by_b),
+        "broken_by_b": list(diff.broken_by_b),
+        "tardy_in_both": list(diff.tardy_in_both),
+        "deltas": [
+            {
+                "txn": d.txn_id,
+                "flip": d.flip,
+                "a": dict(d.a),
+                "b": dict(d.b),
+                "tardiness_delta": d.tardiness_delta,
+            }
+            for d in diff.deltas
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

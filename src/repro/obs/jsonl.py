@@ -17,14 +17,21 @@ Every subsequent record carries ``kind`` and ``t`` (simulated time):
 ========== ==========================================================
 ``kind``    extra fields
 ========== ==========================================================
-arrival     ``txn``
+arrival     ``txn`` [+ ``deps``]
 dispatch    ``txn``, ``overhead``
 preempt     ``txn``
 overhead    ``txn``, ``amount``
-completion  ``txn``, ``tardiness``
+completion  ``txn``, ``tardiness`` [+ ``response_time``]
 sched       ``ready``, ``running``, ``select_s``
-run_end     —
+run_end     [+ ``completed``, ``tardy``, ``makespan``]
 ========== ==========================================================
+
+Fields in brackets are *additive* schema-1 extensions (still schema 1):
+``deps`` is the transaction's dependency list (omitted when empty),
+``response_time`` is ``f_i - a_i``, and the ``run_end`` trailer carries
+the run totals.  Logs written before these fields existed remain valid;
+readers — including :mod:`repro.obs.analyze` — must tolerate their
+absence.
 
 Reading is strict by default: a missing/alien header or an unparseable
 line raises :class:`~repro.errors.ObservabilityError`.  Pass

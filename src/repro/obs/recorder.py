@@ -72,6 +72,7 @@ class Recorder(Instrument):
         self._policy = "?"
         self._n = 0
         self._servers = 1
+        self._tardy = 0
         self._total_tardiness = 0.0
         self._end_time = 0.0
         self._started = False
@@ -106,7 +107,10 @@ class Recorder(Instrument):
     def on_arrival(self, txn: "Transaction", now: float) -> None:
         self._arrivals.inc()
         if self._keep_events:
-            self.events.append({"kind": "arrival", "t": now, "txn": txn.txn_id})
+            record = {"kind": "arrival", "t": now, "txn": txn.txn_id}
+            if txn.depends_on:
+                record["deps"] = list(txn.depends_on)
+            self.events.append(record)
 
     def on_dispatch(self, txn: "Transaction", now: float, overhead: float) -> None:
         self._dispatches.inc()
@@ -136,6 +140,8 @@ class Recorder(Instrument):
         self._completions.inc()
         tardiness = max(0.0, now - txn.deadline)
         self._total_tardiness += tardiness
+        if tardiness > 0.0:
+            self._tardy += 1
         if self._keep_events:
             self.events.append(
                 {
@@ -143,6 +149,7 @@ class Recorder(Instrument):
                     "t": now,
                     "txn": txn.txn_id,
                     "tardiness": tardiness,
+                    "response_time": now - txn.arrival,
                 }
             )
 
@@ -169,7 +176,15 @@ class Recorder(Instrument):
         self._finished = True
         self._end_time = now
         if self._keep_events:
-            self.events.append({"kind": "run_end", "t": now})
+            self.events.append(
+                {
+                    "kind": "run_end",
+                    "t": now,
+                    "completed": int(self._completions.value),
+                    "tardy": self._tardy,
+                    "makespan": now,
+                }
+            )
 
     # ------------------------------------------------------------------
     # Products.

@@ -153,6 +153,11 @@ class SimulationResult:
         return missed / self.n
 
     @property
+    def tardy_count(self) -> int:
+        """How many transactions finished after their deadline."""
+        return sum(1 for r in self.records if not r.met_deadline)
+
+    @property
     def makespan(self) -> float:
         """Completion time of the last transaction."""
         return max(r.finish for r in self.records)
@@ -170,6 +175,15 @@ class SimulationResult:
     def tardy_records(self) -> list[TransactionRecord]:
         """Records of transactions that missed their deadline."""
         return [r for r in self.records if not r.met_deadline]
+
+    def tardiness_by_id(self) -> dict[int, float]:
+        """Measured per-transaction tardiness, keyed by transaction id.
+
+        The ground truth the forensics layer (:mod:`repro.obs.analyze`)
+        must reproduce from the event log alone — blame components for a
+        tardy transaction sum to exactly these values.
+        """
+        return {r.txn_id: r.tardiness for r in self.records}
 
     def summary(self) -> dict[str, float]:
         """A plain-dict summary, convenient for tabulation and JSON."""

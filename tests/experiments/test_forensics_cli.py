@@ -1,0 +1,81 @@
+"""CLI tests for the forensics targets: analyze, diff and --trace-out."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.obs.analyze import validate_trace_file
+
+
+@pytest.fixture(scope="module")
+def logs(tmp_path_factory):
+    root = tmp_path_factory.mktemp("forensics")
+    a = root / "a.jsonl"
+    b = root / "b.jsonl"
+    argv = ["run", "--n", "80", "--seed", "5"]
+    assert main(argv + ["--policy", "asets", "--events-out", str(a)]) == 0
+    assert main(argv + ["--policy", "asets-star", "--events-out", str(b)]) == 0
+    return a, b
+
+
+class TestAnalyze:
+    def test_text_report(self, logs, capsys):
+        a, _ = logs
+        assert main(["analyze", str(a), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Deadline forensics — asets")
+        assert "slack credit" in out or "tardy" in out
+
+    def test_json_report(self, logs, capsys):
+        a, _ = logs
+        assert main(["analyze", str(a), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["policy"] == "asets"
+        for txn in payload["transactions"]:
+            assert abs(txn["residual"]) <= 1e-9
+
+    def test_analyze_can_export_trace(self, logs, tmp_path, capsys):
+        a, _ = logs
+        trace = tmp_path / "from_log.json"
+        assert main(["analyze", str(a), "--trace-out", str(trace)]) == 0
+        assert validate_trace_file(trace)["events"] > 0
+
+    def test_wrong_arity_rejected(self, logs):
+        a, b = logs
+        with pytest.raises(SystemExit):
+            main(["analyze"])
+        with pytest.raises(SystemExit):
+            main(["analyze", str(a), str(b)])
+
+
+class TestDiff:
+    def test_text_report(self, logs, capsys):
+        a, b = logs
+        assert main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Run diff — A=asets vs B=asets-star")
+
+    def test_json_report(self, logs, capsys):
+        a, b = logs
+        assert main(["diff", str(a), str(b), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy_a"] == "asets"
+        assert payload["policy_b"] == "asets-star"
+
+    def test_wrong_arity_rejected(self, logs):
+        a, _ = logs
+        with pytest.raises(SystemExit):
+            main(["diff", str(a)])
+
+
+class TestRunTraceOut:
+    def test_run_writes_valid_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert (
+            main(["run", "--n", "60", "--trace-out", str(trace)]) == 0
+        )
+        summary = validate_trace_file(trace)
+        assert summary["events"] > 0
+        assert summary["tracks"] >= 1

@@ -21,6 +21,7 @@ EXPECTED = {
     "balance_tradeoff.py": "worst victim under ASETS*",
     "sql_dashboard.py": "hit ratio",
     "schedule_anatomy.py": "ASETS",
+    "deadline_forensics.py": "Run diff — A=asets vs B=asets-star",
 }
 
 

@@ -1,0 +1,91 @@
+"""Unit tests for blame attribution and the critical-path walk."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.analyze import attribute, attribute_all, critical_path, reconstruct
+from tests.obs.analyze.test_lifecycle import SCENARIO, header
+
+
+@pytest.fixture()
+def run():
+    return reconstruct(SCENARIO)
+
+
+class TestBlameComponents:
+    def test_components_sum_to_tardiness(self, run):
+        for report in attribute_all(run):
+            assert abs(report.residual) <= 1e-9
+
+    def test_txn2_breakdown(self, run):
+        # txn 2: arrival 1, deadline 7 (completion 8, tardiness 1);
+        # queued 4 behind txn 1, overhead 0.5, service 2.5.
+        report = attribute(run, 2)
+        assert report.component("dependency_wait") == pytest.approx(0.0)
+        assert report.component("wait_behind") == pytest.approx(4.0)
+        assert report.component("preemption_gap") == pytest.approx(0.0)
+        assert report.component("overhead") == pytest.approx(0.5)
+        # slack_credit = arrival + service - deadline = 1 + 2.5 - 7.
+        assert report.component("slack_credit") == pytest.approx(-3.5)
+        assert report.attributed == pytest.approx(report.tardiness)
+
+    def test_culprits_name_the_server_holder(self, run):
+        report = attribute(run, 2)
+        assert [(c.txn_id, c.seconds) for c in report.culprits] == [
+            (1, pytest.approx(4.0))
+        ]
+
+    def test_single_server_culprits_cover_the_wait(self, run):
+        report = attribute(run, 2)
+        covered = sum(c.seconds for c in report.culprits)
+        wait = report.component("wait_behind") + report.component(
+            "preemption_gap"
+        )
+        assert covered == pytest.approx(wait)
+
+    def test_ontime_txn_rejected(self, run):
+        with pytest.raises(ObservabilityError, match="met its deadline"):
+            attribute(run, 3)
+
+    def test_reports_ranked_worst_first(self, run):
+        reports = attribute_all(run)
+        tardiness = [r.tardiness for r in reports]
+        assert tardiness == sorted(tardiness, reverse=True)
+
+
+class TestCriticalPath:
+    def test_independent_txn_has_single_step(self, run):
+        path = critical_path(run, 1)
+        assert len(path) == 1
+        assert path[0].txn_id == 1
+        assert path[0].gated_for == 0.0
+
+    def test_dependent_txn_walks_to_gating_predecessor(self, run):
+        path = critical_path(run, 3)
+        assert [step.txn_id for step in path] == [3, 2]
+        # txn 2 completed at 8; txn 3 arrived at 2 -> gated 6 time units.
+        assert path[1].gated_for == pytest.approx(6.0)
+
+    def test_chain_walks_transitively(self):
+        events = [
+            header(n=3),
+            {"kind": "arrival", "t": 0.0, "txn": 1},
+            {"kind": "dispatch", "t": 0.0, "txn": 1, "overhead": 0.0},
+            {"kind": "arrival", "t": 0.0, "txn": 2, "deps": [1]},
+            {"kind": "arrival", "t": 0.0, "txn": 3, "deps": [2]},
+            {"kind": "completion", "t": 2.0, "txn": 1, "tardiness": 0.0},
+            {"kind": "dispatch", "t": 2.0, "txn": 2, "overhead": 0.0},
+            {"kind": "completion", "t": 5.0, "txn": 2, "tardiness": 1.0},
+            {"kind": "dispatch", "t": 5.0, "txn": 3, "overhead": 0.0},
+            {"kind": "completion", "t": 6.0, "txn": 3, "tardiness": 2.0},
+            {"kind": "run_end", "t": 6.0},
+        ]
+        run = reconstruct(events)
+        path = critical_path(run, 3)
+        assert [step.txn_id for step in path] == [3, 2, 1]
+        assert path[1].gated_for == pytest.approx(5.0)
+        assert path[2].gated_for == pytest.approx(2.0)
+        # The blame report carries the same chain.
+        report = attribute(run, 3)
+        assert [s.txn_id for s in report.critical_path] == [3, 2, 1]
+        assert abs(report.residual) <= 1e-9

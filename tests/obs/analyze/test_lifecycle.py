@@ -1,0 +1,203 @@
+"""Unit tests for lifecycle reconstruction from hand-crafted event logs."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.analyze import (
+    RunLifecycles,
+    SpanKind,
+    reconstruct,
+    reconstruct_file,
+)
+
+
+def header(n=3, policy="test", servers=1):
+    return {
+        "schema": 1,
+        "kind": "run_start",
+        "t": 0.0,
+        "policy": policy,
+        "n": n,
+        "servers": servers,
+    }
+
+
+#: A three-transaction single-server run exercising queueing, overhead,
+#: dependency gating and continuation dispatches:
+#: txn 1 runs [0, 5]; txn 2 queues behind it, pays 0.5 overhead, runs to
+#: 8; txn 3 depends on txn 2, so it is gated until t=8 despite arriving
+#: at t=2.
+SCENARIO = [
+    header(),
+    {"kind": "arrival", "t": 0.0, "txn": 1},
+    {"kind": "dispatch", "t": 0.0, "txn": 1, "overhead": 0.0},
+    {"kind": "sched", "t": 0.0, "ready": 0, "running": 1, "select_s": 0.0},
+    {"kind": "arrival", "t": 1.0, "txn": 2},
+    {"kind": "dispatch", "t": 1.0, "txn": 1, "overhead": 0.0},  # continuation
+    {"kind": "arrival", "t": 2.0, "txn": 3, "deps": [2]},
+    {"kind": "dispatch", "t": 2.0, "txn": 1, "overhead": 0.0},  # continuation
+    {"kind": "completion", "t": 5.0, "txn": 1, "tardiness": 1.0,
+     "response_time": 5.0},
+    {"kind": "dispatch", "t": 5.0, "txn": 2, "overhead": 0.5},
+    {"kind": "overhead", "t": 8.0, "txn": 2, "amount": 0.5},
+    {"kind": "completion", "t": 8.0, "txn": 2, "tardiness": 1.0,
+     "response_time": 7.0},
+    {"kind": "dispatch", "t": 8.0, "txn": 3, "overhead": 0.0},
+    {"kind": "completion", "t": 9.0, "txn": 3, "tardiness": 0.0,
+     "response_time": 7.0},
+    {"kind": "run_end", "t": 9.0, "completed": 3, "tardy": 2,
+     "makespan": 9.0},
+]
+
+
+class TestReconstruct:
+    def test_header_metadata(self):
+        run = reconstruct(SCENARIO)
+        assert isinstance(run, RunLifecycles)
+        assert run.policy == "test"
+        assert run.n == 3
+        assert run.servers == 1
+        assert run.makespan == pytest.approx(9.0)
+        assert len(run) == 3
+        assert run.incomplete == ()
+
+    def test_simple_lifecycle_is_one_running_span(self):
+        run = reconstruct(SCENARIO)
+        lc = run.get(1)
+        assert [s.kind for s in lc.spans] == [SpanKind.RUNNING]
+        assert lc.spans[0].start == 0.0
+        assert lc.spans[0].end == 5.0
+        assert lc.running_time == pytest.approx(5.0)
+
+    def test_overhead_split_from_running(self):
+        run = reconstruct(SCENARIO)
+        lc = run.get(2)
+        kinds = [s.kind for s in lc.spans]
+        assert kinds == [SpanKind.QUEUED, SpanKind.OVERHEAD, SpanKind.RUNNING]
+        queued, overhead, running = lc.spans
+        assert (queued.start, queued.end) == (1.0, 5.0)
+        assert (overhead.start, overhead.end) == (5.0, 5.5)
+        assert (running.start, running.end) == (5.5, 8.0)
+        assert lc.overhead_time == pytest.approx(0.5)
+
+    def test_dependency_gating_sets_ready_time(self):
+        run = reconstruct(SCENARIO)
+        lc = run.get(3)
+        assert lc.deps == (2,)
+        assert lc.ready_time == pytest.approx(8.0)
+        assert lc.dependency_wait == pytest.approx(6.0)
+        assert [s.kind for s in lc.spans] == [SpanKind.QUEUED, SpanKind.RUNNING]
+
+    def test_conservation_invariant(self):
+        run = reconstruct(SCENARIO)
+        for lc in run:
+            assert lc.conservation_error <= 1e-9
+            starts_align = all(
+                a.end == b.start for a, b in zip(lc.spans, lc.spans[1:])
+            )
+            assert starts_align
+            assert lc.spans[0].start == lc.arrival
+            assert lc.spans[-1].end == lc.completion
+
+    def test_segments_are_sorted_and_disjoint(self):
+        run = reconstruct(SCENARIO)
+        assert [seg.txn_id for seg in run.segments] == [1, 2, 3]
+        for a, b in zip(run.segments, run.segments[1:]):
+            assert a.end <= b.start
+
+    def test_tardy_ranked_worst_first(self):
+        run = reconstruct(SCENARIO)
+        assert [lc.txn_id for lc in run.tardy()] == [1, 2]
+
+    def test_deadline_recovered_for_tardy_only(self):
+        run = reconstruct(SCENARIO)
+        assert run.get(1).deadline == pytest.approx(4.0)
+        assert run.get(3).deadline is None
+
+
+class TestPreemption:
+    EVENTS = [
+        header(n=2),
+        {"kind": "arrival", "t": 0.0, "txn": 10},
+        {"kind": "dispatch", "t": 0.0, "txn": 10, "overhead": 0.0},
+        {"kind": "arrival", "t": 2.0, "txn": 11},
+        {"kind": "dispatch", "t": 2.0, "txn": 11, "overhead": 0.0},
+        {"kind": "preempt", "t": 2.0, "txn": 10},
+        {"kind": "completion", "t": 4.0, "txn": 11, "tardiness": 0.0},
+        {"kind": "dispatch", "t": 4.0, "txn": 10, "overhead": 0.0},
+        {"kind": "completion", "t": 5.0, "txn": 10, "tardiness": 0.5},
+        {"kind": "run_end", "t": 5.0},
+    ]
+
+    def test_preempted_gap_is_typed(self):
+        run = reconstruct(self.EVENTS)
+        lc = run.get(10)
+        kinds = [s.kind for s in lc.spans]
+        assert kinds == [SpanKind.RUNNING, SpanKind.PREEMPTED, SpanKind.RUNNING]
+        assert lc.preempted_time == pytest.approx(2.0)
+        assert lc.running_time == pytest.approx(3.0)
+
+    def test_missing_additive_fields_tolerated(self):
+        # No deps / response_time / run_end totals anywhere: still fine.
+        run = reconstruct(self.EVENTS)
+        lc = run.get(10)
+        assert lc.response_time == pytest.approx(5.0)  # recomputed
+        assert lc.deps == ()
+
+
+class TestMalformedLogs:
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ObservabilityError, match="no run_start"):
+            reconstruct([])
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ObservabilityError, match="run_start"):
+            reconstruct([{"kind": "arrival", "t": 0.0, "txn": 1}])
+
+    def test_future_schema_rejected(self):
+        bad = dict(header())
+        bad["schema"] = 99
+        with pytest.raises(ObservabilityError, match="schema"):
+            reconstruct([bad])
+
+    def test_dispatch_before_arrival_rejected(self):
+        events = [
+            header(n=1),
+            {"kind": "dispatch", "t": 1.0, "txn": 7, "overhead": 0.0},
+        ]
+        with pytest.raises(ObservabilityError, match="before arrival"):
+            reconstruct(events)
+
+    def test_duplicate_completion_rejected(self):
+        events = [
+            header(n=1),
+            {"kind": "arrival", "t": 0.0, "txn": 1},
+            {"kind": "dispatch", "t": 0.0, "txn": 1, "overhead": 0.0},
+            {"kind": "completion", "t": 1.0, "txn": 1, "tardiness": 0.0},
+            {"kind": "completion", "t": 2.0, "txn": 1, "tardiness": 0.0},
+        ]
+        with pytest.raises(ObservabilityError, match="duplicate completion"):
+            reconstruct(events)
+
+    def test_incomplete_txns_reported_not_fatal(self):
+        events = [
+            header(n=2),
+            {"kind": "arrival", "t": 0.0, "txn": 1},
+            {"kind": "dispatch", "t": 0.0, "txn": 1, "overhead": 0.0},
+            {"kind": "arrival", "t": 1.0, "txn": 2},
+            {"kind": "completion", "t": 3.0, "txn": 1, "tardiness": 0.0},
+        ]
+        run = reconstruct(events)
+        assert run.incomplete == (2,)
+        assert list(run.lifecycles) == [1]
+
+
+class TestFileRoundTrip:
+    def test_reconstruct_file(self, tmp_path):
+        from repro.obs import jsonl
+
+        path = tmp_path / "run.jsonl"
+        jsonl.write(SCENARIO, path)
+        run = reconstruct_file(path)
+        assert len(run) == 3
+        assert run.get(2).overhead_time == pytest.approx(0.5)

@@ -1,0 +1,116 @@
+"""Unit tests for the Chrome trace-event / Perfetto exporter."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.analyze import (
+    reconstruct,
+    to_trace,
+    validate_trace,
+    validate_trace_file,
+    write_trace,
+)
+from repro.obs.analyze.perfetto import TIME_SCALE
+from tests.obs.analyze.test_lifecycle import SCENARIO
+
+
+@pytest.fixture()
+def run():
+    return reconstruct(SCENARIO)
+
+
+class TestExport:
+    def test_trace_validates(self, run):
+        summary = validate_trace(to_trace(run))
+        assert summary["events"] > 0
+        assert summary["tracks"] == 1  # one server lane
+        assert summary["async_tracks"] == 2  # two tardy transactions
+
+    def test_one_complete_event_per_segment(self, run):
+        trace = to_trace(run)
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(run.segments)
+        names = {e["name"] for e in complete}
+        assert names == {"txn 1", "txn 2", "txn 3"}
+
+    def test_timestamps_scaled_to_microseconds(self, run):
+        trace = to_trace(run)
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        first = min(complete, key=lambda e: e["ts"])
+        assert first["ts"] == pytest.approx(0.0)
+        assert first["dur"] == pytest.approx(5.0 * TIME_SCALE)
+
+    def test_async_spans_balance_per_tardy_txn(self, run):
+        trace = to_trace(run)
+        begins = [e for e in trace["traceEvents"] if e["ph"] == "b"]
+        ends = [e for e in trace["traceEvents"] if e["ph"] == "e"]
+        assert len(begins) == len(ends) > 0
+        span_names = {e["name"] for e in begins}
+        assert span_names <= {"queued", "running", "preempted", "overhead"}
+
+    def test_tardy_track_cap(self, run):
+        trace = to_trace(run, max_tardy_tracks=1)
+        ids = {e["id"] for e in trace["traceEvents"] if e["ph"] == "b"}
+        assert len(ids) == 1
+
+    def test_other_data_carries_run_metadata(self, run):
+        trace = to_trace(run)
+        assert trace["otherData"]["policy"] == "test"
+        assert trace["otherData"]["n"] == 3
+
+
+class TestValidate:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ObservabilityError, match="no traceEvents"):
+            validate_trace({"traceEvents": []})
+
+    def test_ts_regression_rejected(self):
+        events = [
+            {"name": "a", "ph": "X", "ts": 10.0, "dur": 1.0, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "X", "ts": 5.0, "dur": 1.0, "pid": 1, "tid": 0},
+        ]
+        with pytest.raises(ObservabilityError, match="regresses"):
+            validate_trace({"traceEvents": events})
+
+    def test_unbalanced_async_rejected(self):
+        events = [
+            {"name": "queued", "cat": "txn", "id": "0x1", "ph": "b",
+             "ts": 0.0, "pid": 2, "tid": 0},
+        ]
+        with pytest.raises(ObservabilityError, match="unbalanced"):
+            validate_trace({"traceEvents": events})
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ObservabilityError, match="missing"):
+            validate_trace({"traceEvents": [{"ph": "X", "ts": 0.0}]})
+
+    def test_negative_dur_rejected(self):
+        events = [
+            {"name": "a", "ph": "X", "ts": 0.0, "dur": -1.0, "pid": 1, "tid": 0},
+        ]
+        with pytest.raises(ObservabilityError, match="dur"):
+            validate_trace({"traceEvents": events})
+
+
+class TestFile:
+    def test_write_and_validate_file(self, run, tmp_path):
+        path = write_trace(run, tmp_path / "trace.json")
+        summary = validate_trace_file(path)
+        assert summary["events"] > 0
+        # The file is plain Chrome trace-event JSON.
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_invalid_json_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ObservabilityError, match="invalid JSON"):
+            validate_trace_file(path)
+
+    def test_non_object_root_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ObservabilityError, match="root"):
+            validate_trace_file(path)

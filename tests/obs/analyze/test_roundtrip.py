@@ -1,0 +1,71 @@
+"""The acceptance round trip: engine → jsonl → analyze → exact blame.
+
+One 1000-transaction instrumented run per policy flavour; the event log
+is written to disk, read back, reconstructed, and every tardy
+transaction's blame components must sum to the tardiness the engine
+itself measured — within 1e-9, the repo's conservation budget.
+"""
+
+import pytest
+
+from repro.experiments.config import PolicySpec
+from repro.obs import Recorder
+from repro.obs.analyze import attribute_all, reconstruct_file
+from repro.sim.engine import Simulator
+from repro.workload.generator import generate
+from repro.workload.spec import WorkloadSpec
+
+TOLERANCE = 1e-9
+
+
+def _instrumented_run(tmp_path, policy, overhead=0.0, n=1000):
+    spec = WorkloadSpec(
+        n_transactions=n, utilization=0.9, weighted=True, with_workflows=True
+    )
+    workload = generate(spec, seed=11)
+    recorder = Recorder()
+    result = Simulator(
+        workload.transactions,
+        PolicySpec.of(policy).make(),
+        workflow_set=workload.workflow_set,
+        preemption_overhead=overhead,
+        instrument=recorder,
+    ).run()
+    path = tmp_path / f"{policy}.jsonl"
+    recorder.write_events(path)
+    return result, reconstruct_file(path)
+
+
+@pytest.mark.parametrize(
+    "policy,overhead",
+    [("asets", 0.0), ("asets-star", 0.0), ("srpt", 0.05)],
+)
+def test_blame_sums_equal_measured_tardiness(tmp_path, policy, overhead):
+    result, run = _instrumented_run(tmp_path, policy, overhead=overhead)
+    assert len(run) == result.n == 1000
+    measured = result.tardiness_by_id()
+    reports = attribute_all(run)
+    # Every tardy transaction the engine saw gets a report, and no other.
+    assert {r.txn_id for r in reports} == {
+        txn_id for txn_id, t in measured.items() if t > 0
+    }
+    assert len(reports) == result.tardy_count > 0
+    for report in reports:
+        assert abs(report.attributed - measured[report.txn_id]) <= TOLERANCE
+        assert abs(report.residual) <= TOLERANCE
+
+
+def test_lifecycles_match_engine_records(tmp_path):
+    result, run = _instrumented_run(tmp_path, "asets", overhead=0.02, n=400)
+    for record in result.records:
+        lc = run.get(record.txn_id)
+        assert lc.arrival == pytest.approx(record.arrival, abs=TOLERANCE)
+        assert lc.completion == pytest.approx(record.finish, abs=TOLERANCE)
+        # Service reconstructed from spans equals the true length.
+        assert lc.running_time == pytest.approx(record.length, abs=1e-6)
+        assert lc.first_dispatch == pytest.approx(
+            record.first_start, abs=TOLERANCE
+        )
+        assert lc.conservation_error <= TOLERANCE
+    total_overhead = sum(lc.overhead_time for lc in run)
+    assert total_overhead > 0.0  # the overhead model actually engaged

@@ -1,0 +1,121 @@
+"""Property-based tests of lifecycle reconstruction invariants.
+
+Strategy: run the instrumented engine on arbitrary small transaction
+pools (optionally with dependencies and preemption overhead), feed the
+resulting schema-1 event stream to ``repro.obs.analyze`` and check the
+reconstruction invariants that the forensics layer promises:
+
+* conservation — every lifecycle's spans tile [arrival, completion]
+  exactly, so their durations sum to the response time;
+* exactness — blame components for every tardy transaction sum to the
+  tardiness the engine itself measured;
+* typing — spans are contiguous, non-negative and correctly kinded.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.transaction import Transaction
+from repro.obs import Recorder
+from repro.obs.analyze import SpanKind, attribute_all, reconstruct
+from repro.policies.registry import make_policy
+from repro.sim.engine import Simulator
+
+finite = {"allow_nan": False, "allow_infinity": False}
+
+POLICIES = ["fcfs", "srpt", "asets-star"]
+
+
+@st.composite
+def transaction_pools(draw, max_size=12):
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    txns = []
+    for i in range(n):
+        arrival = draw(st.floats(min_value=0.0, max_value=50.0, **finite))
+        length = draw(st.floats(min_value=0.1, max_value=20.0, **finite))
+        slack = draw(st.floats(min_value=0.0, max_value=3.0, **finite))
+        deps = []
+        if i > 0:
+            deps = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=i - 1),
+                    unique=True,
+                    max_size=2,
+                )
+            )
+        txns.append(
+            Transaction(
+                txn_id=i,
+                arrival=arrival,
+                length=length,
+                deadline=arrival + length * (1 + slack),
+                depends_on=deps,
+            )
+        )
+    return txns
+
+
+def _reconstructed(txns, name, overhead):
+    recorder = Recorder()
+    result = Simulator(
+        txns,
+        make_policy(name),
+        preemption_overhead=overhead,
+        instrument=recorder,
+    ).run()
+    return result, reconstruct(recorder.events)
+
+
+@pytest.mark.parametrize("name", POLICIES)
+@given(
+    txns=transaction_pools(),
+    overhead=st.floats(min_value=0.0, max_value=0.5, **finite),
+)
+@settings(max_examples=25, deadline=None)
+def test_conservation_invariant(name, txns, overhead):
+    result, run = _reconstructed(txns, name, overhead)
+    assert len(run) == len(txns)
+    assert run.incomplete == ()
+    for lc in run:
+        assert lc.conservation_error <= 1e-9
+        assert lc.spans[0].start == pytest.approx(lc.arrival, abs=1e-9)
+        assert lc.spans[-1].end == pytest.approx(lc.completion, abs=1e-9)
+        for a, b in zip(lc.spans, lc.spans[1:]):
+            assert b.start == pytest.approx(a.end, abs=1e-9)
+        for span in lc.spans:
+            assert span.end >= span.start
+            assert isinstance(span.kind, SpanKind)
+
+
+@pytest.mark.parametrize("name", POLICIES)
+@given(
+    txns=transaction_pools(),
+    overhead=st.floats(min_value=0.0, max_value=0.5, **finite),
+)
+@settings(max_examples=25, deadline=None)
+def test_blame_is_exact_on_random_workloads(name, txns, overhead):
+    result, run = _reconstructed(txns, name, overhead)
+    measured = {
+        r.txn_id: max(0.0, r.finish - r.deadline) for r in result.records
+    }
+    for report in attribute_all(run):
+        assert abs(report.residual) <= 1e-9
+        assert report.attributed == pytest.approx(
+            measured[report.txn_id], abs=1e-9
+        )
+
+
+@pytest.mark.parametrize("name", POLICIES)
+@given(txns=transaction_pools())
+@settings(max_examples=15, deadline=None)
+def test_running_time_matches_service_demand(name, txns):
+    # With zero overhead, reconstructed RUNNING time is exactly the
+    # transaction's service demand.
+    _, run = _reconstructed(txns, name, 0.0)
+    lengths = {t.txn_id: t.length for t in txns}
+    for lc in run:
+        assert lc.running_time == pytest.approx(
+            lengths[lc.txn_id], rel=1e-6
+        )
+        assert lc.overhead_time == pytest.approx(0.0, abs=1e-12)
