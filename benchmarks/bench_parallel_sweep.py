@@ -1,0 +1,86 @@
+"""Sequential vs parallel sweep wall time (the ``--jobs`` harness).
+
+Times the default Figure 8/9-style utilization sweep once through the
+sequential path (``jobs=1``) and once through the process pool
+(``jobs = cpu count``), asserts the merged rows are byte-identical, and
+writes ``BENCH_sweep.json`` at the repo root — wall times, the measured
+speedup and the worker count — so successive PRs (and the CI artifact)
+track how close the harness gets to linear scaling.
+
+On a single-core runner the parallel path is expected to be *slower*
+(pool setup + pickling, no parallelism to win back); the JSON records
+whatever was measured — the ≥2x claim is for >= 4 cores.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.experiments.config import (
+    TRANSACTION_LEVEL_POLICIES,
+    ExperimentConfig,
+)
+from repro.experiments.parallel import resolve_jobs
+from repro.experiments.runner import utilization_sweep
+from repro.workload.spec import WorkloadSpec
+
+#: Scale knobs shared with the other benches; CI smoke runs shrink them.
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "1000"))
+BENCH_SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "5"))
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
+
+SPEC = WorkloadSpec(zipf_alpha=0.5, k_max=3.0)
+UTILIZATIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _sweep(jobs: int):
+    config = ExperimentConfig().scaled(BENCH_N, BENCH_SEEDS)
+    start = time.perf_counter()
+    series = utilization_sweep(
+        SPEC,
+        TRANSACTION_LEVEL_POLICIES,
+        "average_tardiness",
+        config,
+        utilizations=UTILIZATIONS,
+        jobs=jobs,
+        failures=None if jobs == 1 else [],
+    )
+    return series, time.perf_counter() - start
+
+
+def test_parallel_sweep_speedup(publish):
+    workers = resolve_jobs(0)  # one per core
+    sequential, seq_seconds = _sweep(jobs=1)
+    parallel, par_seconds = _sweep(jobs=workers)
+
+    assert repr(sequential.as_rows()) == repr(parallel.as_rows())
+
+    speedup = seq_seconds / par_seconds if par_seconds > 0 else 0.0
+    cells = len(UTILIZATIONS) * BENCH_SEEDS * len(TRANSACTION_LEVEL_POLICIES)
+    payload = {
+        "schema": 1,
+        "n_transactions": BENCH_N,
+        "seeds": BENCH_SEEDS,
+        "utilizations": list(UTILIZATIONS),
+        "policies": [p.display for p in TRANSACTION_LEVEL_POLICIES],
+        "cells": cells,
+        "workers": workers,
+        "sequential_seconds": seq_seconds,
+        "parallel_seconds": par_seconds,
+        "speedup": speedup,
+        "rows_identical": True,
+    }
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    publish(
+        "parallel_sweep",
+        f"utilization sweep, {cells} cells ({BENCH_N} txns x {BENCH_SEEDS} "
+        f"seeds x {len(TRANSACTION_LEVEL_POLICIES)} policies)\n"
+        f"  sequential (jobs=1):      {seq_seconds:8.2f} s\n"
+        f"  parallel   (jobs={workers}):{par_seconds:10.2f} s\n"
+        f"  speedup:                  {speedup:8.2f}x\n"
+        f"  rows byte-identical:      yes",
+    )

@@ -32,30 +32,45 @@ __all__ = ["Workflow", "RepresentativeView"]
 class RepresentativeView:
     """Snapshot of a workflow's representative transaction (Definition 9).
 
-    Exposes the same ``deadline`` / ``remaining`` / ``weight`` attributes as
-    a real transaction, so the slack helpers and the ASETS* decision rule
-    can treat it uniformly.
+    Exposes the same ``deadline`` / ``remaining`` / ``weight`` /
+    ``scheduling_remaining`` attributes as a real transaction, so the slack
+    helpers and the ASETS* decision rule can treat it uniformly.  Like
+    :class:`~repro.core.transaction.Transaction`, the view keeps the
+    engine's ground truth (``remaining``) apart from the scheduler's
+    belief (``scheduling_remaining``, aggregated from the members' length
+    estimates): the estimate-error discussion of §II-A only makes sense if
+    policies rank by the believed value, never the oracle one.
     """
 
-    __slots__ = ("deadline", "remaining", "weight")
+    __slots__ = ("deadline", "remaining", "weight", "scheduling_remaining")
 
-    def __init__(self, deadline: float, remaining: float, weight: float) -> None:
+    def __init__(
+        self,
+        deadline: float,
+        remaining: float,
+        weight: float,
+        scheduling_remaining: float | None = None,
+    ) -> None:
         self.deadline = deadline
         self.remaining = remaining
         self.weight = weight
+        # Exact estimates (the default) make belief and truth coincide.
+        self.scheduling_remaining = (
+            remaining if scheduling_remaining is None else scheduling_remaining
+        )
 
     def slack(self, at: float) -> float:
-        """Slack of the representative, :math:`d_{rep} - (t + r_{rep})`."""
-        return self.deadline - (at + self.remaining)
+        """Believed slack of the representative, :math:`d_{rep} - (t + r_{rep})`."""
+        return self.deadline - (at + self.scheduling_remaining)
 
     def is_past_deadline(self, at: float) -> bool:
-        """EDF-List membership test applied to the representative."""
-        return at + self.remaining > self.deadline
+        """EDF-List membership test (Definition 6), on the believed time."""
+        return at + self.scheduling_remaining > self.deadline
 
     def __repr__(self) -> str:
         return (
             f"RepresentativeView(d={self.deadline:g}, r={self.remaining:g}, "
-            f"w={self.weight:g})"
+            f"r_sched={self.scheduling_remaining:g}, w={self.weight:g})"
         )
 
     def __eq__(self, other: object) -> bool:
@@ -65,10 +80,13 @@ class RepresentativeView:
             self.deadline == other.deadline
             and self.remaining == other.remaining
             and self.weight == other.weight
+            and self.scheduling_remaining == other.scheduling_remaining
         )
 
     def __hash__(self) -> int:
-        return hash((self.deadline, self.remaining, self.weight))
+        return hash(
+            (self.deadline, self.remaining, self.weight, self.scheduling_remaining)
+        )
 
 
 class Workflow:
@@ -224,8 +242,11 @@ class Workflow:
             return
         self._rep = RepresentativeView(
             deadline=min(txn.deadline for txn in pending),
-            remaining=min(txn.scheduling_remaining for txn in pending),
+            remaining=min(txn.remaining for txn in pending),
             weight=max(txn.weight for txn in pending),
+            scheduling_remaining=min(
+                txn.scheduling_remaining for txn in pending
+            ),
         )
         ready = [
             txn

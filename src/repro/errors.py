@@ -17,6 +17,7 @@ __all__ = [
     "ReproError",
     "SchedulingError",
     "SimulationError",
+    "SweepError",
     "WorkloadError",
 ]
 
@@ -55,3 +56,30 @@ class ExperimentError(ReproError):
 
 class ObservabilityError(ReproError):
     """An instrumentation artefact (metric, event log, report) is invalid."""
+
+
+class SweepError(ExperimentError):
+    """One or more cells of an experiment sweep failed.
+
+    Raised by the sweep harness when the caller did not opt into failure
+    capture (``failures=``): every surviving cell has still been computed
+    — the exception aggregates each failed cell's ``(x, seed, policy)``
+    coordinates and traceback (:attr:`failures`) rather than losing the
+    whole sweep to the first error.
+    """
+
+    def __init__(self, failures):  # type: ignore[no-untyped-def]
+        self.failures = list(failures)
+        coords = ", ".join(
+            f"(x={f.x:g}, seed={f.seed}, policy={f.policy!r})"
+            for f in self.failures[:5]
+        )
+        more = (
+            f" and {len(self.failures) - 5} more"
+            if len(self.failures) > 5
+            else ""
+        )
+        super().__init__(
+            f"{len(self.failures)} sweep cell(s) failed: {coords}{more}; "
+            "first traceback:\n" + self.failures[0].traceback
+        )

@@ -33,6 +33,7 @@ from typing import Callable, Sequence
 
 from repro.experiments import extensions, figures, tables
 from repro.experiments.config import (
+    DEFAULT_JOBS,
     DEFAULT_PROBE_UTILIZATION,
     DEFAULT_SEEDS,
     ExperimentConfig,
@@ -103,6 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-setting progress lines"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=DEFAULT_JOBS,
+        metavar="N",
+        help="worker processes for the sweeps (default "
+        f"{DEFAULT_JOBS} = sequential; 0 = one per core); results are "
+        "byte-identical at any N",
     )
     parser.add_argument(
         "--chart",
@@ -186,9 +196,33 @@ def _progress(args: argparse.Namespace) -> Callable[[str], None] | None:
     return lambda line: print(f"  {line}", file=sys.stderr)
 
 
-def _run_figure(name: str, args: argparse.Namespace) -> None:
+def _report_failures(failures: "list[object]") -> int:
+    """Print captured sweep-cell failures to stderr; return the exit code."""
+    if not failures:
+        return 0
+    print(f"\n{len(failures)} sweep cell(s) failed:", file=sys.stderr)
+    for f in failures:
+        print(
+            f"  x={f.x:g} seed={f.seed} policy={f.policy}: {f.error}",  # type: ignore[attr-defined]
+            file=sys.stderr,
+        )
+    print(
+        "surviving cells were averaged; columns with no surviving seed "
+        "report nan (first traceback follows)",
+        file=sys.stderr,
+    )
+    print(failures[0].traceback, file=sys.stderr)  # type: ignore[attr-defined]
+    return 1
+
+
+def _run_figure(name: str, args: argparse.Namespace) -> int:
     fn, title = _FIGURES[name]
-    series = fn(_config(args), progress=_progress(args))
+    # jobs == 1 keeps the sequential path (failures=None → fail fast);
+    # jobs != 1 opts into per-cell failure capture so one bad cell cannot
+    # kill a long sweep.
+    failures: list = []
+    kwargs = {} if args.jobs == 1 else {"jobs": args.jobs, "failures": failures}
+    series = fn(_config(args), progress=_progress(args), **kwargs)
     print(format_series(series, title))
     if series.raw is not None:
         print()
@@ -203,6 +237,7 @@ def _run_figure(name: str, args: argparse.Namespace) -> None:
 
         path = write_series(series, args.export)
         print(f"\nseries written to {path}", file=sys.stderr)
+    return _report_failures(failures)
 
 
 def _run_instrumented(args: argparse.Namespace) -> int:
@@ -300,28 +335,37 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(tables.table1())
         return 0
     if args.target == "claims":
-        results = tables.headline_claims(_config(args), _progress(args))
+        results = tables.headline_claims(
+            _config(args), _progress(args), jobs=args.jobs
+        )
         print(tables.format_claims(results))
         return 0 if all(r.holds for r in results) else 1
     if args.target == "tail":
+        # Record-level statistics: always sequential (no cell grid).
         series = extensions.tail_analysis(_config(args), progress=_progress(args))
         print("Tardiness distribution per policy")
         print(extensions.format_tail_table(series))
         return 0
     if args.target == "alpha":
-        sweeps = figures.alpha_sweep(config=_config(args), progress=_progress(args))
+        failures: list = []
+        kwargs = (
+            {} if args.jobs == 1 else {"jobs": args.jobs, "failures": failures}
+        )
+        sweeps = figures.alpha_sweep(
+            config=_config(args), progress=_progress(args), **kwargs
+        )
         for alpha, series in sweeps.items():
             crossover = series.crossover("EDF", "SRPT")
             print(format_series(series, f"alpha={alpha} (EDF/SRPT crossover: {crossover})"))
             print()
-        return 0
+        return _report_failures(failures)
     if args.target == "all":
+        code = 0
         for name in sorted(_FIGURES):
-            _run_figure(name, args)
+            code = max(code, _run_figure(name, args))
             print()
-        return 0
-    _run_figure(args.target, args)
-    return 0
+        return code
+    return _run_figure(args.target, args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,6 +19,7 @@ from repro.policies.registry import make_policy
 __all__ = [
     "PolicySpec",
     "ExperimentConfig",
+    "DEFAULT_JOBS",
     "DEFAULT_SEEDS",
     "DEFAULT_UTILIZATIONS",
     "LOW_UTILIZATIONS",
@@ -30,6 +31,11 @@ __all__ = [
 
 #: Five runs per setting, as in Section IV-A.
 DEFAULT_SEEDS: tuple[int, ...] = (11, 23, 37, 41, 53)
+
+#: Default worker count for the sweeps: 1 = the sequential in-process
+#: path.  ``--jobs 0`` on the CLI means "one worker per core"
+#: (:func:`repro.experiments.parallel.resolve_jobs`).
+DEFAULT_JOBS: int = 1
 
 #: The paper's utilization grid, 0.1 ... 1.0.
 DEFAULT_UTILIZATIONS: tuple[float, ...] = tuple(

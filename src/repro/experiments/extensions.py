@@ -18,7 +18,7 @@ ext-estimation`` etc.) and the benchmark suite.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.experiments.config import ExperimentConfig, PolicySpec
 from repro.experiments.runner import generate_workloads, mean_metric
@@ -26,6 +26,9 @@ from repro.metrics.aggregates import MetricSeries, mean
 from repro.metrics.distributions import gini, tardiness, tardiness_percentile
 from repro.sim.engine import Simulator
 from repro.workload.spec import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.parallel import CellFailure
 
 __all__ = [
     "estimation_robustness",
@@ -58,6 +61,8 @@ def estimation_robustness(
     utilization: float = 0.8,
     errors: Sequence[float] = ESTIMATION_ERRORS,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
 ) -> MetricSeries:
     """Average tardiness vs. maximum relative length-estimation error.
 
@@ -65,6 +70,27 @@ def estimation_robustness(
     run on the corrupted estimates.  True lengths, deadlines and offered
     load are identical across error levels (paired comparison).
     """
+    specs = [
+        WorkloadSpec(
+            n_transactions=config.n_transactions,
+            utilization=utilization,
+            length_estimate_error=error,
+        )
+        for error in errors
+    ]
+    if jobs != 1 or failures is not None:
+        from repro.experiments.parallel import SweepColumn, grid_sweep
+
+        return grid_sweep(
+            [SweepColumn(x=e, spec=s) for e, s in zip(errors, specs)],
+            _LENGTH_AWARE_POLICIES,
+            "average_tardiness",
+            config.seeds,
+            x_label="max relative estimation error",
+            jobs=jobs,
+            progress=progress,
+            failures=failures,
+        )
     series = MetricSeries(
         x_label="max relative estimation error",
         x=list(errors),
@@ -73,12 +99,7 @@ def estimation_robustness(
     values: dict[str, list[float]] = {
         p.display: [] for p in _LENGTH_AWARE_POLICIES
     }
-    for error in errors:
-        spec = WorkloadSpec(
-            n_transactions=config.n_transactions,
-            utilization=utilization,
-            length_estimate_error=error,
-        )
+    for error, spec in zip(errors, specs):
         workloads = generate_workloads(spec, config.seeds)
         for policy in _LENGTH_AWARE_POLICIES:
             value = mean_metric(workloads, policy, "average_tardiness")
@@ -95,8 +116,34 @@ def multiserver_sweep(
     per_server_utilization: float = 0.8,
     server_counts: Sequence[int] = SERVER_COUNTS,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
 ) -> MetricSeries:
     """Average tardiness vs. server count at constant per-server load."""
+    if jobs != 1 or failures is not None:
+        from repro.experiments.parallel import SweepColumn, grid_sweep
+
+        columns = [
+            SweepColumn(
+                x=float(m),
+                spec=WorkloadSpec(
+                    n_transactions=config.n_transactions,
+                    utilization=per_server_utilization * m,
+                ),
+                servers=m,
+            )
+            for m in server_counts
+        ]
+        return grid_sweep(
+            columns,
+            _LENGTH_AWARE_POLICIES,
+            "average_tardiness",
+            config.seeds,
+            x_label="servers",
+            jobs=jobs,
+            progress=progress,
+            failures=failures,
+        )
     series = MetricSeries(
         x_label="servers",
         x=[float(m) for m in server_counts],

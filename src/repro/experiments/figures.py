@@ -25,7 +25,7 @@ Figure 17    balance-aware: avg weighted tardiness vs activation rate
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.experiments.config import (
     COUNT_ACTIVATION_RATES,
@@ -46,6 +46,9 @@ from repro.experiments.runner import (
 )
 from repro.metrics.aggregates import MetricSeries
 from repro.workload.spec import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.parallel import CellFailure
 
 __all__ = [
     "figure8",
@@ -86,6 +89,8 @@ _BALANCE_UTILIZATION = 1.0
 def figure8(
     config: ExperimentConfig = ExperimentConfig(),
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
 ) -> MetricSeries:
     """Average tardiness under low system utilization (Figure 8)."""
     return utilization_sweep(
@@ -95,12 +100,16 @@ def figure8(
         config,
         utilizations=LOW_UTILIZATIONS,
         progress=progress,
+        jobs=jobs,
+        failures=failures,
     )
 
 
 def figure9(
     config: ExperimentConfig = ExperimentConfig(),
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
 ) -> MetricSeries:
     """Average tardiness under high system utilization (Figure 9)."""
     return utilization_sweep(
@@ -110,6 +119,8 @@ def figure9(
         config,
         utilizations=HIGH_UTILIZATIONS,
         progress=progress,
+        jobs=jobs,
+        failures=failures,
     )
 
 
@@ -117,6 +128,8 @@ def normalized_tardiness(
     k_max: float,
     config: ExperimentConfig = ExperimentConfig(),
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
 ) -> MetricSeries:
     """ASETS* average tardiness normalized to EDF and to SRPT.
 
@@ -133,6 +146,8 @@ def normalized_tardiness(
         "average_tardiness",
         config,
         progress=progress,
+        jobs=jobs,
+        failures=failures,
     )
     out = MetricSeries(
         x_label="utilization",
@@ -150,30 +165,52 @@ def normalized_tardiness(
     return out
 
 
-def figure10(config: ExperimentConfig = ExperimentConfig(), progress=None) -> MetricSeries:
+def figure10(
+    config: ExperimentConfig = ExperimentConfig(),
+    progress=None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
+) -> MetricSeries:
     """Normalized average tardiness at the default k_max = 3 (Figure 10)."""
-    return normalized_tardiness(3.0, config, progress)
+    return normalized_tardiness(3.0, config, progress, jobs=jobs, failures=failures)
 
 
-def figure11(config: ExperimentConfig = ExperimentConfig(), progress=None) -> MetricSeries:
+def figure11(
+    config: ExperimentConfig = ExperimentConfig(),
+    progress=None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
+) -> MetricSeries:
     """Normalized average tardiness at k_max = 1 (Figure 11)."""
-    return normalized_tardiness(1.0, config, progress)
+    return normalized_tardiness(1.0, config, progress, jobs=jobs, failures=failures)
 
 
-def figure12(config: ExperimentConfig = ExperimentConfig(), progress=None) -> MetricSeries:
+def figure12(
+    config: ExperimentConfig = ExperimentConfig(),
+    progress=None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
+) -> MetricSeries:
     """Normalized average tardiness at k_max = 2 (Figure 12)."""
-    return normalized_tardiness(2.0, config, progress)
+    return normalized_tardiness(2.0, config, progress, jobs=jobs, failures=failures)
 
 
-def figure13(config: ExperimentConfig = ExperimentConfig(), progress=None) -> MetricSeries:
+def figure13(
+    config: ExperimentConfig = ExperimentConfig(),
+    progress=None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
+) -> MetricSeries:
     """Normalized average tardiness at k_max = 4 (Figure 13)."""
-    return normalized_tardiness(4.0, config, progress)
+    return normalized_tardiness(4.0, config, progress, jobs=jobs, failures=failures)
 
 
 def alpha_sweep(
     alphas: Sequence[float] = (0.2, 0.5, 0.9, 1.2),
     config: ExperimentConfig = ExperimentConfig(),
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
 ) -> dict[float, MetricSeries]:
     """Length-distribution skew study (Section IV-C, plots omitted there).
 
@@ -192,6 +229,8 @@ def alpha_sweep(
             "average_tardiness",
             config,
             progress=progress,
+            jobs=jobs,
+            failures=failures,
         )
     return out
 
@@ -199,6 +238,8 @@ def alpha_sweep(
 def figure14(
     config: ExperimentConfig = ExperimentConfig(),
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
 ) -> MetricSeries:
     """Workflow level: ASETS* vs the Ready baseline (Figure 14).
 
@@ -211,12 +252,16 @@ def figure14(
         "average_tardiness",
         config,
         progress=progress,
+        jobs=jobs,
+        failures=failures,
     )
 
 
 def figure15(
     config: ExperimentConfig = ExperimentConfig(),
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
 ) -> MetricSeries:
     """The general case: ASETS* vs EDF vs HDF on weighted tardiness (Figure 15)."""
     return utilization_sweep(
@@ -225,6 +270,8 @@ def figure15(
         "average_weighted_tardiness",
         config,
         progress=progress,
+        jobs=jobs,
+        failures=failures,
     )
 
 
@@ -235,6 +282,8 @@ def balance_aware_sweep(
     config: ExperimentConfig = ExperimentConfig(),
     utilization: float = _BALANCE_UTILIZATION,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
 ) -> MetricSeries:
     """Balance-aware ASETS* against plain ASETS* over activation rates.
 
@@ -249,66 +298,120 @@ def balance_aware_sweep(
         utilization=utilization,
         n_transactions=config.n_transactions,
     )
-    workloads = generate_workloads(spec, config.seeds)
     baseline_spec = PolicySpec.of("asets-star", "ASETS*")
-    baseline = mean_metric(workloads, baseline_spec, metric)
+
+    def rate_policy(rate: float) -> PolicySpec:
+        kwargs = {"time_rate": rate} if rate_kind == "time" else {"count_rate": rate}
+        return PolicySpec.of("balance-aware", "ASETS* (balance-aware)", **kwargs)
+
     series = MetricSeries(
         x_label=f"{rate_kind}-based activation rate",
         x=list(rates),
         metric=metric,
     )
-    balanced_values = []
-    for rate in rates:
-        kwargs = {"time_rate": rate} if rate_kind == "time" else {"count_rate": rate}
-        policy = PolicySpec.of("balance-aware", "ASETS* (balance-aware)", **kwargs)
-        value = mean_metric(workloads, policy, metric)
-        balanced_values.append(value)
-        if progress is not None:
-            progress(f"rate={rate:<6} balance-aware {metric}={value:.3f}")
-    series.add("ASETS*", [baseline] * len(series.x))
-    series.add("ASETS* (balance-aware)", balanced_values)
+
+    if jobs == 1 and failures is None:
+        workloads = generate_workloads(spec, config.seeds)
+        baseline = mean_metric(workloads, baseline_spec, metric)
+        balanced_values = []
+        for rate in rates:
+            value = mean_metric(workloads, rate_policy(rate), metric)
+            balanced_values.append(value)
+            if progress is not None:
+                progress(f"rate={rate:<6} balance-aware {metric}={value:.3f}")
+        series.add("ASETS*", [baseline] * len(series.x))
+        series.add("ASETS* (balance-aware)", balanced_values)
+        return series
+
+    # Parallel path: one group per seed, carrying the baseline plus one
+    # balanced policy per rate, so every workload is generated once and
+    # replayed len(rates) + 1 times — the same work as the sequential
+    # path, fanned out over seeds.
+    from repro.errors import SweepError
+    from repro.experiments.parallel import CellGroup, run_cell_groups
+    from repro.metrics.aggregates import mean as _mean
+
+    policy_tuple = (baseline_spec,) + tuple(rate_policy(rate) for rate in rates)
+    groups = [
+        CellGroup(
+            index=0,
+            x=utilization,
+            seed=seed,
+            spec=spec,
+            policies=policy_tuple,
+            metric=metric,
+        )
+        for seed in config.seeds
+    ]
+    results, cell_failures = run_cell_groups(groups, jobs, progress)
+    if cell_failures:
+        if failures is None:
+            raise SweepError(cell_failures)
+        failures.extend(cell_failures)
+
+    def seed_mean(pos: int) -> float:
+        values = [
+            results[(0, seed, pos)]
+            for seed in config.seeds
+            if (0, seed, pos) in results
+        ]
+        return _mean(values) if values else float("nan")
+
+    series.add("ASETS*", [seed_mean(0)] * len(series.x))
+    series.add(
+        "ASETS* (balance-aware)",
+        [seed_mean(1 + i) for i in range(len(rates))],
+    )
     return series
 
 
 def figure16(
     config: ExperimentConfig = ExperimentConfig(),
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
 ) -> MetricSeries:
     """Worst case: maximum weighted tardiness vs time-based rate (Figure 16)."""
     return balance_aware_sweep(
         "max_weighted_tardiness", TIME_ACTIVATION_RATES, "time", config,
-        progress=progress,
+        progress=progress, jobs=jobs, failures=failures,
     )
 
 
 def figure17(
     config: ExperimentConfig = ExperimentConfig(),
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
 ) -> MetricSeries:
     """Average case: average weighted tardiness vs time-based rate (Figure 17)."""
     return balance_aware_sweep(
         "average_weighted_tardiness", TIME_ACTIVATION_RATES, "time", config,
-        progress=progress,
+        progress=progress, jobs=jobs, failures=failures,
     )
 
 
 def figure16_count_based(
     config: ExperimentConfig = ExperimentConfig(),
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
 ) -> MetricSeries:
     """Count-based twin of Figure 16 ("same behavior", Section IV-F)."""
     return balance_aware_sweep(
         "max_weighted_tardiness", COUNT_ACTIVATION_RATES, "count", config,
-        progress=progress,
+        progress=progress, jobs=jobs, failures=failures,
     )
 
 
 def figure17_count_based(
     config: ExperimentConfig = ExperimentConfig(),
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
 ) -> MetricSeries:
     """Count-based twin of Figure 17."""
     return balance_aware_sweep(
         "average_weighted_tardiness", COUNT_ACTIVATION_RATES, "count", config,
-        progress=progress,
+        progress=progress, jobs=jobs, failures=failures,
     )

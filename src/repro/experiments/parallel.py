@@ -1,0 +1,292 @@
+"""Process-pool fan-out for the experiment sweeps.
+
+The sequential sweeps in :mod:`repro.experiments.runner` walk a
+(x-value × seed × policy) grid one cell at a time.  Every cell is an
+independent simulation, so this module fans the grid out across worker
+processes and merges the per-cell results back **deterministically**: the
+merged :class:`~repro.metrics.aggregates.MetricSeries` is byte-identical
+to the sequential one regardless of worker count or completion order.
+
+The unit of work shipped to a worker is a :class:`CellGroup` — one
+``(spec, seed)`` pair plus the full policy list.  The worker generates
+the workload *once* and replays it per policy (resetting in between),
+exactly like the sequential path; shipping whole groups instead of
+single cells avoids regenerating the same workload ``|policies|`` times.
+
+Determinism argument: ``generate(spec, seed)`` is pure and each replay
+is a deterministic function of ``(workload, policy)``, so every cell
+value is the same float no matter where or when it is computed.  The
+merge then averages those values *in seed order* with the same
+:func:`~repro.metrics.aggregates.mean` the sequential path uses, so the
+resulting series match bit for bit.
+
+Failures are captured per cell: a raising policy (or a failing workload
+generation, which fails every cell of its group) yields a
+:class:`CellFailure` carrying the ``(x, seed, policy)`` coordinates and
+the worker-side traceback.  Callers either collect them (``failures=``)
+— failed cells are simply left out of the seed average, and a column
+with no surviving seed reports ``nan`` — or get a
+:class:`~repro.errors.SweepError` aggregating them all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import threading
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from traceback import format_exc
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import SweepError
+from repro.experiments.config import PolicySpec
+from repro.metrics.aggregates import MetricSeries, mean
+from repro.sim.engine import Simulator
+from repro.workload.generator import generate
+from repro.workload.spec import WorkloadSpec
+
+__all__ = [
+    "CellGroup",
+    "CellFailure",
+    "GroupResult",
+    "SweepColumn",
+    "grid_sweep",
+    "resolve_jobs",
+    "run_cell_groups",
+]
+
+#: Type of the optional per-line progress callback shared by the sweeps.
+ProgressFn = Callable[[str], None]
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Map the user-facing ``--jobs`` value to a worker count.
+
+    ``jobs >= 1`` is taken literally; ``jobs <= 0`` means "one per
+    available core" (like ``make -j`` with no argument).
+    """
+    if jobs >= 1:
+        return jobs
+    import os
+
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CellGroup:
+    """One (spec, seed) workload replayed under every policy.
+
+    ``index`` is the group's position along the sweep's x axis; together
+    with ``seed`` and the policy position it addresses each cell of the
+    grid, independent of completion order.
+    """
+
+    index: int
+    x: float
+    seed: int
+    spec: WorkloadSpec
+    policies: tuple[PolicySpec, ...]
+    metric: str
+    servers: int = 1
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CellFailure:
+    """Coordinates and worker-side traceback of one failed sweep cell."""
+
+    x: float
+    seed: int
+    policy: str
+    error: str
+    traceback: str
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GroupResult:
+    """What a worker sends back: one outcome per policy of the group.
+
+    ``values[i]`` is the metric value of policy ``i`` (``None`` if that
+    cell failed); ``failures[i]`` is the matching :class:`CellFailure`
+    (``None`` if the cell succeeded).
+    """
+
+    group: CellGroup
+    values: tuple[float | None, ...]
+    failures: tuple[CellFailure | None, ...]
+
+
+def _run_group(group: CellGroup) -> GroupResult:
+    """Worker entry point: generate once, replay per policy.
+
+    Must stay a module-level function (and :class:`CellGroup` picklable)
+    for :class:`~concurrent.futures.ProcessPoolExecutor`.
+    """
+    try:
+        workload = generate(group.spec, group.seed)
+    except Exception as exc:  # noqa: BLE001 - reported per cell
+        tb = format_exc()
+        failures = tuple(
+            CellFailure(
+                x=group.x,
+                seed=group.seed,
+                policy=policy.display,
+                error=repr(exc),
+                traceback=tb,
+            )
+            for policy in group.policies
+        )
+        return GroupResult(group, (None,) * len(group.policies), failures)
+
+    values: list[float | None] = []
+    failures_out: list[CellFailure | None] = []
+    for policy in group.policies:
+        try:
+            workload.reset()
+            result = Simulator(
+                workload.transactions,
+                policy.make(),
+                workflow_set=workload.workflow_set,
+                servers=group.servers,
+            ).run()
+            values.append(float(getattr(result, group.metric)))
+            failures_out.append(None)
+        except Exception as exc:  # noqa: BLE001 - reported per cell
+            values.append(None)
+            failures_out.append(
+                CellFailure(
+                    x=group.x,
+                    seed=group.seed,
+                    policy=policy.display,
+                    error=repr(exc),
+                    traceback=format_exc(),
+                )
+            )
+    return GroupResult(group, tuple(values), tuple(failures_out))
+
+
+def run_cell_groups(
+    groups: Sequence[CellGroup],
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
+) -> tuple[dict[tuple[int, int, int], float], list[CellFailure]]:
+    """Execute the groups and index every cell result by its coordinates.
+
+    Returns ``(results, failures)`` where ``results`` maps
+    ``(group.index, group.seed, policy_position)`` to the metric value.
+    The mapping is completion-order independent by construction; the
+    failure list is sorted by the same coordinates.
+
+    With ``jobs == 1`` everything runs inline in this process (no pool,
+    no pickling); with ``jobs > 1`` groups are fanned out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  ``progress`` is
+    invoked under a lock, one line per finished group, so callers may
+    share a callback across concurrent sweeps.
+    """
+    jobs = resolve_jobs(jobs)
+    lock = threading.Lock()
+
+    def report(result: GroupResult) -> None:
+        if progress is None:
+            return
+        failed = sum(1 for f in result.failures if f is not None)
+        suffix = "" if not failed else f" ({failed} cell(s) failed)"
+        with lock:
+            progress(
+                f"x={result.group.x:g} seed={result.group.seed} "
+                f"[{len(result.group.policies)} policies]{suffix}"
+            )
+
+    results: dict[tuple[int, int, int], float] = {}
+    failures: list[CellFailure] = []
+
+    def merge(result: GroupResult) -> None:
+        for pos, (value, failure) in enumerate(
+            zip(result.values, result.failures)
+        ):
+            if failure is not None:
+                failures.append(failure)
+            else:
+                assert value is not None
+                results[(result.group.index, result.group.seed, pos)] = value
+        report(result)
+
+    if jobs == 1:
+        for group in groups:
+            merge(_run_group(group))
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_run_group, group) for group in groups]
+            for future in as_completed(futures):
+                merge(future.result())
+
+    failures.sort(key=lambda f: (f.x, f.seed, f.policy))
+    return results, failures
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SweepColumn:
+    """One x-axis position of a grid sweep: its spec and server count."""
+
+    x: float
+    spec: WorkloadSpec
+    servers: int = 1
+
+
+def grid_sweep(
+    columns: Sequence[SweepColumn],
+    policies: Sequence[PolicySpec],
+    metric: str,
+    seeds: Iterable[int],
+    *,
+    x_label: str,
+    series_metric: str | None = None,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
+    failures: list[CellFailure] | None = None,
+) -> MetricSeries:
+    """Run a (column × seed × policy) grid and merge it deterministically.
+
+    The returned series carries, per policy, the per-column metric
+    averaged over seeds *in seed order* — exactly what the sequential
+    sweeps compute.  Cells listed in ``failures`` are excluded from
+    their seed average; a column whose every seed failed reports
+    ``nan``.  When ``failures`` is ``None`` any cell failure raises
+    :class:`~repro.errors.SweepError` (after the whole grid has run).
+    """
+    seed_list = list(seeds)
+    policy_list = list(policies)
+    groups = [
+        CellGroup(
+            index=i,
+            x=column.x,
+            seed=seed,
+            spec=column.spec,
+            policies=tuple(policy_list),
+            metric=metric,
+            servers=column.servers,
+        )
+        for i, column in enumerate(columns)
+        for seed in seed_list
+    ]
+    results, cell_failures = run_cell_groups(groups, jobs, progress)
+    if cell_failures:
+        if failures is None:
+            raise SweepError(cell_failures)
+        failures.extend(cell_failures)
+
+    series = MetricSeries(
+        x_label=x_label,
+        x=[column.x for column in columns],
+        metric=series_metric if series_metric is not None else metric,
+    )
+    for pos, policy in enumerate(policy_list):
+        column_means: list[float] = []
+        for i in range(len(columns)):
+            values = [
+                results[(i, seed, pos)]
+                for seed in seed_list
+                if (i, seed, pos) in results
+            ]
+            column_means.append(mean(values) if values else math.nan)
+        series.add(policy.display, column_means)
+    return series

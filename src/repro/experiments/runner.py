@@ -20,6 +20,7 @@ from repro.workload.generator import Workload, generate
 from repro.workload.spec import WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.parallel import CellFailure
     from repro.obs.hooks import Instrument
 
 __all__ = [
@@ -94,6 +95,8 @@ def utilization_sweep(
     config: ExperimentConfig,
     utilizations: Sequence[float] | None = None,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    failures: "list[CellFailure] | None" = None,
 ) -> MetricSeries:
     """The workhorse behind Figures 8-15: metric vs utilization per policy.
 
@@ -114,24 +117,59 @@ def utilization_sweep(
         Overrides ``config.utilizations`` (Figures 8/9 use half grids).
     progress:
         Optional callable receiving one human-readable line per setting.
+    jobs:
+        Worker processes; ``1`` (the default) runs the sweep inline,
+        ``> 1`` fans the (utilization × seed × policy) grid out through
+        :mod:`repro.experiments.parallel`.  Results are byte-identical
+        either way.
+    failures:
+        Opt-in cell-failure capture for the parallel harness: pass a
+        list to collect :class:`~repro.experiments.parallel.CellFailure`
+        entries instead of raising
+        :class:`~repro.errors.SweepError`.
     """
     xs = list(utilizations if utilizations is not None else config.utilizations)
-    series = MetricSeries(x_label="utilization", x=xs, metric=metric)
-    values: dict[str, list[float]] = {p.display: [] for p in policies}
-    for util in xs:
-        spec = dataclasses.replace(
-            base_spec,
-            utilization=util,
-            n_transactions=config.n_transactions,
-        )
-        workloads = generate_workloads(spec, config.seeds)
+    if jobs == 1 and failures is None:
+        series = MetricSeries(x_label="utilization", x=xs, metric=metric)
+        values: dict[str, list[float]] = {p.display: [] for p in policies}
+        for util in xs:
+            spec = dataclasses.replace(
+                base_spec,
+                utilization=util,
+                n_transactions=config.n_transactions,
+            )
+            workloads = generate_workloads(spec, config.seeds)
+            for policy in policies:
+                value = mean_metric(workloads, policy, metric)
+                values[policy.display].append(value)
+                if progress is not None:
+                    progress(
+                        f"U={util:<4} {policy.display:<10} {metric}={value:.3f}"
+                    )
         for policy in policies:
-            value = mean_metric(workloads, policy, metric)
-            values[policy.display].append(value)
-            if progress is not None:
-                progress(
-                    f"U={util:<4} {policy.display:<10} {metric}={value:.3f}"
-                )
-    for policy in policies:
-        series.add(policy.display, values[policy.display])
-    return series
+            series.add(policy.display, values[policy.display])
+        return series
+
+    from repro.experiments.parallel import SweepColumn, grid_sweep
+
+    columns = [
+        SweepColumn(
+            x=util,
+            spec=dataclasses.replace(
+                base_spec,
+                utilization=util,
+                n_transactions=config.n_transactions,
+            ),
+        )
+        for util in xs
+    ]
+    return grid_sweep(
+        columns,
+        policies,
+        metric,
+        config.seeds,
+        x_label="utilization",
+        jobs=jobs,
+        progress=progress,
+        failures=failures,
+    )

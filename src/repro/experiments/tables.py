@@ -62,17 +62,20 @@ class ClaimResult:
 def headline_claims(
     config: ExperimentConfig = ExperimentConfig(),
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
 ) -> list[ClaimResult]:
     """Check the seven headline claims of DESIGN.md section 4.
 
     Runs the underlying experiments at the scale of ``config`` and
     compares shapes (who wins, where the crossover falls), not absolute
-    numbers.
+    numbers.  ``jobs > 1`` fans every underlying sweep out over worker
+    processes; a failing cell raises :class:`~repro.errors.SweepError`
+    (the claims need every cell, so there is nothing useful to salvage).
     """
     results: list[ClaimResult] = []
 
     # Claims 1 & 2 come from the full-grid k_max = 3 sweep.
-    fig10 = figures.figure10(config, progress)
+    fig10 = figures.figure10(config, progress, jobs=jobs)
     raw = fig10.raw
     assert raw is not None
     crossover = raw.crossover("EDF", "SRPT")
@@ -109,7 +112,7 @@ def headline_claims(
     # Claim 3: crossover moves right with k_max.
     crossovers = {}
     for k_max, fig in ((1.0, figures.figure11), (4.0, figures.figure13)):
-        series = fig(config, progress)
+        series = fig(config, progress, jobs=jobs)
         assert series.raw is not None
         crossovers[k_max] = series.raw.crossover("EDF", "SRPT")
     shifted = (
@@ -126,7 +129,7 @@ def headline_claims(
     )
 
     # Claim 5 (workflow level): ASETS* beats Ready.
-    fig14 = figures.figure14(config, progress)
+    fig14 = figures.figure14(config, progress, jobs=jobs)
     ready = fig14.get("Ready")
     astar = fig14.get("ASETS*")
     gains = [
@@ -147,7 +150,7 @@ def headline_claims(
     )
 
     # Claim 6 (general case): ASETS* <= min(EDF, HDF) on weighted tardiness.
-    fig15 = figures.figure15(config, progress)
+    fig15 = figures.figure15(config, progress, jobs=jobs)
     dominated_w = all(
         a <= min(e, h) * 1.05
         for a, e, h in zip(
@@ -164,8 +167,8 @@ def headline_claims(
     )
 
     # Claim 7 (balance-aware): worst case improves, average degrades mildly.
-    fig16 = figures.figure16(config, progress)
-    fig17 = figures.figure17(config, progress)
+    fig16 = figures.figure16(config, progress, jobs=jobs)
+    fig17 = figures.figure17(config, progress, jobs=jobs)
     base_max = fig16.get("ASETS*")[0]
     best_max = min(fig16.get("ASETS* (balance-aware)"))
     base_avg = fig17.get("ASETS*")[0]

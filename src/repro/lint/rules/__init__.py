@@ -10,7 +10,11 @@ from __future__ import annotations
 from repro.lint.engine import ProjectRule, Rule
 from repro.lint.rules.determinism import NoNondeterminism
 from repro.lint.rules.ordering import NoFloatTimeEquality, NoUnorderedSetIteration
-from repro.lint.rules.policies import NoEngineStateMutation, SchedulerContract
+from repro.lint.rules.policies import (
+    NoEngineStateMutation,
+    NoOracleRemainingRead,
+    SchedulerContract,
+)
 from repro.lint.rules.structure import GuardedObsHooks, PublicModuleAll
 
 __all__ = [
@@ -19,6 +23,7 @@ __all__ = [
     "NoEngineStateMutation",
     "NoFloatTimeEquality",
     "NoNondeterminism",
+    "NoOracleRemainingRead",
     "NoUnorderedSetIteration",
     "ProjectRule",
     "PublicModuleAll",
@@ -36,6 +41,7 @@ ALL_RULES: list[Rule] = [
     NoEngineStateMutation(),
     GuardedObsHooks(),
     PublicModuleAll(),
+    NoOracleRemainingRead(),
 ]
 
 

@@ -22,6 +22,18 @@ methods (``mark_*``, ``charge``, ``reset``), and any touch of engine
 internals (``_events``, ``_running``, ``_pending_deps``) are contract
 violations — the engine's accounting would desynchronise from the
 transcript and the run would no longer replay.
+
+RL008: policies rank by the scheduler's *belief*, never the engine's
+ground truth.  ``remaining`` is the true remaining processing time the
+engine charges against; ``believed_remaining`` is the raw estimate-based
+store behind the ``scheduling_remaining`` property.  Policy code reading
+either directly is an oracle leak: with inexact length estimates
+(``WorkloadSpec.length_estimate_error > 0``) the policy would rank by
+information the system cannot have (§II-A), silently inflating its
+results.  The leak is invisible under the default exact estimates —
+belief and truth coincide, every test stays green — which is exactly why
+it needs a static rule.  Use ``scheduling_remaining`` (also available on
+:class:`~repro.core.workflow.RepresentativeView`) instead.
 """
 
 from __future__ import annotations
@@ -33,7 +45,11 @@ from typing import Iterable, Iterator
 from repro.lint.engine import ModuleContext, ProjectContext, ProjectRule, Rule
 from repro.lint.findings import Finding
 
-__all__ = ["NoEngineStateMutation", "SchedulerContract"]
+__all__ = [
+    "NoEngineStateMutation",
+    "NoOracleRemainingRead",
+    "SchedulerContract",
+]
 
 POLICIES_PACKAGE = "repro.policies"
 REGISTRY_MODULE = "repro.policies.registry"
@@ -74,6 +90,10 @@ LIFECYCLE_METHODS = {
 
 #: Private engine attributes policies must never reach into.
 ENGINE_INTERNALS = {"_events", "_running", "_pending_deps"}
+
+#: Ground-truth remaining-time attributes policies must never *read*
+#: (RL008); ``scheduling_remaining`` is the sanctioned accessor.
+ORACLE_REMAINING_ATTRS = {"remaining", "believed_remaining"}
 
 
 @dataclass
@@ -355,3 +375,37 @@ class NoEngineStateMutation(Rule):
             f"call to lifecycle method `{func.attr}()`: transaction state "
             "transitions belong to the engine, not the policy",
         )
+
+
+class NoOracleRemainingRead(Rule):
+    """RL008: policies read ``scheduling_remaining``, never ground truth."""
+
+    rule_id = "RL008"
+    summary = (
+        "no reads of Transaction.remaining / believed_remaining from "
+        "repro.policies; rank by scheduling_remaining (the belief)"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        if not module.in_package(POLICIES_PACKAGE):
+            return ()
+        return list(self._check(module))
+
+    def _check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in ORACLE_REMAINING_ATTRS:
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue  # writes are RL005's finding, not a second one
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                continue  # the policy's own attribute of the same name
+            yield self.finding(
+                module,
+                node,
+                f"read of ground-truth `{node.attr}`: policies must rank by "
+                "`scheduling_remaining` (the estimate-based belief) — with "
+                "inexact length estimates this read is an oracle leak "
+                "(§II-A)",
+            )

@@ -25,6 +25,14 @@ With singleton workflows and unit weights this is exactly transaction-level
 ASETS; the policy therefore "decides at which level to operate" simply by
 the structure of the workload, as the paper advertises.
 
+All quantities above are the *scheduler's* view: feasibility, density and
+slack are computed from ``scheduling_remaining`` (the believed remaining
+time aggregated from length estimates), matching ASETS and
+:meth:`~repro.core.transaction.Transaction.is_past_deadline`.  Reading the
+engine's ground-truth ``remaining`` here would be an oracle leak — with
+inexact estimates the policy would rank by information the system cannot
+have (§II-A) — and is forbidden by lint rule RL008.
+
 Implementation note: workflow membership of the two lists depends on the
 clock and representatives change whenever any member arrives, completes or
 runs, so instead of heaps the policy scans the set of *active* workflows
@@ -90,12 +98,12 @@ class ASETSStar(Scheduler):
             head = wf.head()
             if head is None or head.state is not TransactionState.READY:
                 continue  # workflow cannot run right now
-            if now + rep.remaining <= rep.deadline:
+            if now + rep.scheduling_remaining <= rep.deadline:
                 key = (rep.deadline, wf.wf_id)
                 if best_edf_key is None or key < best_edf_key:
                     best_edf, best_edf_key = wf, key
             else:
-                key = (-(rep.weight / rep.remaining), wf.wf_id)
+                key = (-(rep.weight / rep.scheduling_remaining), wf.wf_id)
                 if best_hdf_key is None or key < best_hdf_key:
                     best_hdf, best_hdf_key = wf, key
 
@@ -155,7 +163,10 @@ class ASETSStar(Scheduler):
         ]
         out.sort(
             key=lambda wf: (
-                -(wf.representative().weight / wf.representative().remaining),
+                -(
+                    wf.representative().weight
+                    / wf.representative().scheduling_remaining
+                ),
                 wf.wf_id,
             )
         )

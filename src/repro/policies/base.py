@@ -71,8 +71,22 @@ class Scheduler(abc.ABC):
         transactions: Sequence[Transaction],
         workflow_set: "WorkflowSet | None",
     ) -> None:
-        """Attach the policy to a run.  Called once before simulation."""
+        """Attach the policy to a run.  Called once before simulation.
+
+        Raises :class:`~repro.errors.SchedulingError` on duplicate
+        transaction ids: building the dict would silently drop all but the
+        last duplicate, and the policy's view of the pool would diverge
+        from the engine's.
+        """
         self._transactions = {txn.txn_id: txn for txn in transactions}
+        if len(self._transactions) != len(transactions):
+            counts: dict[int, int] = {}
+            for txn in transactions:
+                counts[txn.txn_id] = counts.get(txn.txn_id, 0) + 1
+            duplicates = sorted(tid for tid, c in counts.items() if c > 1)
+            raise SchedulingError(
+                f"duplicate transaction ids in bind(): {duplicates}"
+            )
         self._workflow_set = workflow_set
 
     def on_arrival(self, txn: Transaction, now: float) -> None:

@@ -155,3 +155,37 @@ class TestRepresentativeView:
         assert hash(a) == hash(b)
         assert a != RepresentativeView(1, 2, 4)
         assert a.__eq__(object()) is NotImplemented
+
+    def test_scheduling_remaining_defaults_to_remaining(self):
+        rep = RepresentativeView(deadline=10, remaining=3, weight=2)
+        assert rep.scheduling_remaining == 3
+
+    def test_belief_and_truth_kept_apart(self):
+        # slack / is_past_deadline judge on the believed value, never the
+        # ground-truth one (the §II-A estimate-error model).
+        rep = RepresentativeView(
+            deadline=10, remaining=8, weight=1, scheduling_remaining=3
+        )
+        assert rep.slack(at=4) == 3  # 10 - (4 + 3), not 10 - (4 + 8)
+        assert not rep.is_past_deadline(at=7)
+        assert rep.is_past_deadline(at=7.5)
+        assert rep != RepresentativeView(
+            deadline=10, remaining=8, weight=1, scheduling_remaining=8
+        )
+
+    def test_workflow_aggregates_belief_separately(self):
+        # Member beliefs diverge from truth; the representative carries
+        # the min of each basis independently (Definition 9 on beliefs).
+        t1 = Transaction(
+            1, arrival=0, length=6, deadline=9, length_estimate=2.0
+        )
+        t2 = Transaction(
+            2, arrival=0, length=3, deadline=5, depends_on=[1],
+            length_estimate=7.0,
+        )
+        t1.mark_ready()
+        t2.mark_waiting()
+        wf = wf_of([t1, t2], root=2)
+        rep = wf.representative()
+        assert rep.remaining == 3  # min true remaining (t2)
+        assert rep.scheduling_remaining == 2  # min believed remaining (t1)

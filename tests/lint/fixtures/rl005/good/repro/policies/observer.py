@@ -17,4 +17,4 @@ class Observer:
         self._ready[txn.txn_id] = txn
 
     def best_remaining(self) -> float:
-        return min(t.remaining for t in self._ready.values())
+        return min(t.scheduling_remaining for t in self._ready.values())

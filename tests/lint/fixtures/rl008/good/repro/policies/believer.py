@@ -1,0 +1,17 @@
+"""RL008 good fixture: a policy ranking by the believed remaining time."""
+
+__all__ = ["Believer"]
+
+
+class Believer:
+    def __init__(self) -> None:
+        self.remaining = 0.0  # the policy's own counter, not a txn field
+
+    def feasible(self, rep, now: float) -> bool:
+        return now + rep.scheduling_remaining <= rep.deadline
+
+    def density(self, rep) -> float:
+        return -(rep.weight / rep.scheduling_remaining)
+
+    def own_state(self) -> float:
+        return self.remaining

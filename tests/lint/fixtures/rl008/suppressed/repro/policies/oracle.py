@@ -1,0 +1,10 @@
+"""RL008 suppressed fixture: a sanctioned ground-truth read."""
+
+__all__ = ["ClairvoyantBaseline"]
+
+
+class ClairvoyantBaseline:
+    """An explicitly-clairvoyant reference policy (upper bound study)."""
+
+    def key(self, txn) -> float:
+        return txn.remaining  # repro-lint: disable=RL008 -- fixture: clairvoyant baseline

@@ -1,4 +1,4 @@
-"""Every rule RL001..RL007: one passing, one failing, one suppressed fixture.
+"""Every rule RL001..RL008: one passing, one failing, one suppressed fixture.
 
 Fixture snippets live under ``tests/lint/fixtures/<rule>/{good,bad,...}``
 in a ``repro/...`` directory layout, so the engine derives in-scope module
@@ -15,7 +15,7 @@ from repro.lint.rules import ALL_RULES, rules_by_id
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-ALL_IDS = [f"RL00{i}" for i in range(1, 8)]
+ALL_IDS = [f"RL00{i}" for i in range(1, 9)]
 
 
 def findings_for(rule_id, subdir):
@@ -136,3 +136,35 @@ class TestRL007:
     def test_private_modules_are_exempt(self):
         # The good dir contains _private.py without __all__ on purpose.
         assert findings_for("RL007", "good") == []
+
+
+class TestRL008:
+    def test_flags_the_pre_fix_asets_star_reads(self):
+        findings = findings_for("RL008", "bad")
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 3  # feasibility, density, believed store
+        assert "`remaining`" in messages
+        assert "`believed_remaining`" in messages
+        assert "oracle leak" in messages
+
+    def test_self_attribute_of_same_name_is_fine(self):
+        assert findings_for("RL008", "good") == []
+
+    def test_suppressed_fixture_is_clean(self):
+        assert findings_for("RL008", "suppressed") == []
+
+    def test_flags_reintroduced_ground_truth_feasibility(self, tmp_path):
+        # The acceptance check: the exact pre-fix ASETS* line, brought
+        # back, must trip the rule.
+        mod = tmp_path / "repro" / "policies" / "asets_star.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(
+            "__all__ = []\n"
+            "def select(rep, now):\n"
+            "    if now + rep.remaining <= rep.deadline:\n"
+            "        return rep\n"
+            "    return None\n"
+        )
+        findings = run_lint([mod], select=["RL008"])
+        assert len(findings) == 1
+        assert findings[0].line == 3

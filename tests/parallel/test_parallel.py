@@ -1,0 +1,156 @@
+"""Unit tests for the process-pool sweep harness (repro.experiments.parallel)."""
+
+import math
+
+import pytest
+
+from repro.errors import SweepError
+from repro.experiments.config import PolicySpec
+from repro.experiments import parallel
+from repro.experiments.parallel import (
+    CellGroup,
+    SweepColumn,
+    _run_group,
+    grid_sweep,
+    resolve_jobs,
+    run_cell_groups,
+)
+from repro.workload.spec import WorkloadSpec
+
+SPEC = WorkloadSpec(n_transactions=40, utilization=0.8)
+POLICIES = (PolicySpec.of("edf", "EDF"), PolicySpec.of("srpt", "SRPT"))
+#: A policy whose cell fails inside the worker: the registry rejects the
+#: bogus constructor kwarg only when ``make()`` runs.
+BOOM = PolicySpec.of("edf", "BOOM", bogus_kwarg=1)
+
+
+def group(index=0, seed=11, policies=POLICIES, spec=SPEC):
+    return CellGroup(
+        index=index,
+        x=0.8,
+        seed=seed,
+        spec=spec,
+        policies=tuple(policies),
+        metric="average_tardiness",
+    )
+
+
+class TestResolveJobs:
+    def test_explicit_counts_taken_literally(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_zero_or_negative_means_per_core(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(-3) == resolve_jobs(0)
+
+
+class TestRunGroup:
+    def test_success_produces_one_value_per_policy(self):
+        result = _run_group(group())
+        assert len(result.values) == len(POLICIES)
+        assert all(v is not None for v in result.values)
+        assert result.failures == (None, None)
+
+    def test_policy_failure_is_captured_not_raised(self):
+        result = _run_group(group(policies=POLICIES + (BOOM,)))
+        assert result.values[:2] != (None, None)
+        assert result.values[2] is None
+        failure = result.failures[2]
+        assert failure.policy == "BOOM"
+        assert failure.seed == 11
+        assert "bogus_kwarg" in failure.traceback
+
+    def test_generation_failure_fails_every_cell(self, monkeypatch):
+        def explode(spec, seed):
+            raise RuntimeError("generator down")
+
+        monkeypatch.setattr(parallel, "generate", explode)
+        result = _run_group(group())
+        assert result.values == (None, None)
+        assert all(f is not None for f in result.failures)
+        assert all("generator down" in f.traceback for f in result.failures)
+
+
+class TestRunCellGroups:
+    def test_results_keyed_by_grid_coordinates(self):
+        groups = [group(index=i, seed=s) for i in (0, 1) for s in (11, 23)]
+        results, failures = run_cell_groups(groups, jobs=1)
+        assert failures == []
+        assert set(results) == {
+            (i, s, p) for i in (0, 1) for s in (11, 23) for p in (0, 1)
+        }
+
+    def test_pool_matches_inline_exactly(self):
+        groups = [group(index=i, seed=s) for i in (0, 1) for s in (11, 23)]
+        inline, _ = run_cell_groups(groups, jobs=1)
+        pooled, _ = run_cell_groups(groups, jobs=3)
+        assert repr(sorted(inline.items())) == repr(sorted(pooled.items()))
+
+    def test_failures_sorted_by_coordinates(self):
+        groups = [
+            group(index=i, seed=s, policies=(BOOM,))
+            for i in (1, 0)
+            for s in (23, 11)
+        ]
+        _, failures = run_cell_groups(groups, jobs=2)
+        assert [(f.x, f.seed) for f in failures] == sorted(
+            (f.x, f.seed) for f in failures
+        )
+
+    def test_progress_called_once_per_group(self):
+        groups = [group(index=i, seed=s) for i in (0, 1) for s in (11, 23)]
+        seq_lines, par_lines = [], []
+        run_cell_groups(groups, jobs=1, progress=seq_lines.append)
+        run_cell_groups(groups, jobs=2, progress=par_lines.append)
+        assert len(seq_lines) == len(groups)
+        # Completion order may differ under the pool; the line *set* not.
+        assert sorted(par_lines) == sorted(seq_lines)
+
+
+class TestGridSweep:
+    def columns(self):
+        return [
+            SweepColumn(
+                x=u, spec=WorkloadSpec(n_transactions=40, utilization=u)
+            )
+            for u in (0.4, 0.9)
+        ]
+
+    def test_series_shape_and_labels(self):
+        series = grid_sweep(
+            self.columns(),
+            POLICIES,
+            "average_tardiness",
+            (11, 23),
+            x_label="utilization",
+        )
+        assert series.x == [0.4, 0.9]
+        assert list(series.series) == ["EDF", "SRPT"]
+
+    def test_all_failed_column_reports_nan(self):
+        failures = []
+        series = grid_sweep(
+            self.columns(),
+            POLICIES + (BOOM,),
+            "average_tardiness",
+            (11, 23),
+            x_label="utilization",
+            jobs=2,
+            failures=failures,
+        )
+        assert all(math.isnan(v) for v in series.get("BOOM"))
+        assert not any(math.isnan(v) for v in series.get("EDF"))
+        assert len(failures) == 4  # 2 columns x 2 seeds
+
+    def test_raises_sweep_error_without_capture(self):
+        with pytest.raises(SweepError) as exc:
+            grid_sweep(
+                self.columns(),
+                (BOOM,),
+                "average_tardiness",
+                (11,),
+                x_label="utilization",
+            )
+        assert len(exc.value.failures) == 2
+        assert "BOOM" in str(exc.value)

@@ -16,6 +16,28 @@ def select_order(policy, txns, now=0.0):
     return policy.select(now)
 
 
+class TestBindContract:
+    def test_duplicate_txn_ids_raise(self):
+        # Building the id dict would silently drop all but the last
+        # duplicate, desynchronising the policy's pool from the engine's.
+        a = make_txn(1, length=2.0)
+        b = make_txn(2, length=3.0)
+        dup = make_txn(1, length=4.0)
+        policy = EDF()
+        with pytest.raises(SchedulingError, match=r"duplicate.*\[1\]"):
+            policy.bind([a, b, dup], None)
+
+    def test_all_duplicate_ids_reported_sorted(self):
+        txns = [make_txn(i) for i in (3, 1, 3, 2, 1)]
+        policy = EDF()
+        with pytest.raises(SchedulingError, match=r"\[1, 3\]"):
+            policy.bind(txns, None)
+
+    def test_unique_ids_bind_fine(self):
+        policy = EDF()
+        policy.bind([make_txn(1), make_txn(2)], None)
+
+
 class TestFCFS:
     def test_picks_earliest_arrival(self):
         a = make_txn(1, arrival=5.0)
