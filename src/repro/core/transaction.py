@@ -34,6 +34,12 @@ class TransactionState(enum.Enum):
     COMPLETED``, with possible ``RUNNING -> READY`` moves on preemption and
     a direct ``CREATED -> READY`` move for independent transactions whose
     dependency list is empty on arrival.
+
+    Fault injection (:mod:`repro.faults`) adds two terminal failure states
+    and one loop: an injected abort moves ``RUNNING -> WAITING`` (awaiting
+    re-submission) and back to ``READY`` on retry, or ``RUNNING -> ABORTED``
+    once the retry budget is exhausted; admission control moves
+    ``READY -> SHED``.  Without a fault plan these transitions never occur.
     """
 
     CREATED = "created"
@@ -41,6 +47,8 @@ class TransactionState(enum.Enum):
     READY = "ready"
     RUNNING = "running"
     COMPLETED = "completed"
+    ABORTED = "aborted"
+    SHED = "shed"
 
 
 class Transaction:
@@ -79,6 +87,7 @@ class Transaction:
         "weight",
         "depends_on",
         "length_estimate",
+        "submitted_deadline",
         "remaining",
         "believed_remaining",
         "state",
@@ -86,6 +95,8 @@ class Transaction:
         "first_start_time",
         "last_dispatch_time",
         "preemptions",
+        "retries",
+        "attempt_served",
     )
 
     #: Floor for a positive believed remaining time: an under-estimated
@@ -122,6 +133,10 @@ class Transaction:
         #: Equal to the true length unless the workload injected
         #: estimation error.
         self.length_estimate = float(length_estimate)
+        #: The deadline as originally submitted.  ``deadline`` itself is
+        #: mutable only under fault injection (re-submission after an abort
+        #: extends it with backoff); :meth:`reset` restores this value.
+        self.submitted_deadline = float(deadline)
         # Mutable simulation state.  ``remaining`` is ground truth (the
         # engine's accounting); ``believed_remaining`` is what policies
         # see through :attr:`scheduling_remaining`.
@@ -132,6 +147,11 @@ class Transaction:
         self.first_start_time: float | None = None
         self.last_dispatch_time: float | None = None
         self.preemptions = 0
+        self.retries = 0
+        #: Processing time served during the *current* attempt; the fault
+        #: layer consults it to decide when an abort trigger fires and how
+        #: much work a full-restart abort loses.
+        self.attempt_served = 0.0
 
     @staticmethod
     def _validate(
@@ -241,6 +261,20 @@ class Transaction:
     def is_completed(self) -> bool:
         return self.state is TransactionState.COMPLETED
 
+    @property
+    def is_finished(self) -> bool:
+        """True iff the transaction reached any terminal state.
+
+        Terminal states are COMPLETED, ABORTED (retry budget exhausted)
+        and SHED (rejected by admission control); the latter two only
+        occur under fault injection.
+        """
+        return self.state in (
+            TransactionState.COMPLETED,
+            TransactionState.ABORTED,
+            TransactionState.SHED,
+        )
+
     # ------------------------------------------------------------------
     # Lifecycle transitions, called by the simulation engine only.
     # ------------------------------------------------------------------
@@ -288,12 +322,26 @@ class Transaction:
                 f"of transaction {self.txn_id}"
             )
         self.remaining = max(0.0, self.remaining - amount)
+        self.attempt_served += amount
         if self.remaining <= 0.0:
             self.believed_remaining = 0.0
         else:
             self.believed_remaining = max(
                 self._MIN_BELIEF, self.believed_remaining - amount
             )
+
+    def inflate(self, extra: float) -> None:
+        """Add ``extra`` ground-truth work (a transient processing stall).
+
+        The scheduler's belief is deliberately left untouched: a stall is
+        invisible until the transaction out-lives its estimate, exactly
+        like an under-estimated length (§II-A).
+        """
+        if extra < 0 or not math.isfinite(extra):
+            raise InvalidTransactionError(
+                f"stall amount must be finite and >= 0, got {extra}"
+            )
+        self.remaining += extra
 
     def mark_completed(self, now: float) -> None:
         self._expect_state(TransactionState.RUNNING)
@@ -307,12 +355,58 @@ class Transaction:
         self.state = TransactionState.COMPLETED
         self.finish_time = now
 
+    # ------------------------------------------------------------------
+    # Fault-injection transitions (:mod:`repro.faults`), engine-driven.
+    # ------------------------------------------------------------------
+    def mark_retry_wait(self) -> None:
+        """Move RUNNING -> WAITING after an injected abort, pending retry."""
+        self._expect_state(TransactionState.RUNNING)
+        self.state = TransactionState.WAITING
+
+    def rollback(self, full: bool) -> None:
+        """Discard the current attempt's progress after an abort.
+
+        ``full`` restarts from scratch (work-loss ``"restart"``: both the
+        ground truth and the belief return to their initial values);
+        otherwise the attempt resumes from its checkpoint (work-loss
+        ``"checkpoint"``: nothing is re-done).  Either way a new attempt
+        begins, so :attr:`attempt_served` is zeroed.
+        """
+        if full:
+            self.remaining = self.length
+            self.believed_remaining = self.length_estimate
+        self.attempt_served = 0.0
+
+    def resubmit(self, now: float, deadline: float) -> None:
+        """Re-enter the ready pool after the retry backoff elapsed."""
+        self._expect_state(TransactionState.WAITING)
+        if deadline < now:
+            raise InvalidTransactionError(
+                f"re-submission deadline {deadline} precedes retry time {now}"
+            )
+        self.deadline = float(deadline)
+        self.retries += 1
+        self.state = TransactionState.READY
+
+    def mark_aborted(self, now: float) -> None:
+        """Terminal abort: the retry budget is exhausted."""
+        self._expect_state(TransactionState.RUNNING)
+        self.state = TransactionState.ABORTED
+        self.finish_time = now
+
+    def mark_shed(self, now: float) -> None:
+        """Terminal rejection by admission control (READY work only)."""
+        self._expect_state(TransactionState.READY)
+        self.state = TransactionState.SHED
+        self.finish_time = now
+
     def reset(self) -> None:
         """Restore the transaction to its pre-simulation state.
 
         Lets a single generated workload be replayed under several
         policies without regenerating it.
         """
+        self.deadline = self.submitted_deadline
         self.remaining = self.length
         self.believed_remaining = self.length_estimate
         self.state = TransactionState.CREATED
@@ -320,6 +414,8 @@ class Transaction:
         self.first_start_time = None
         self.last_dispatch_time = None
         self.preemptions = 0
+        self.retries = 0
+        self.attempt_served = 0.0
 
     def _expect_state(self, expected: TransactionState) -> None:
         if self.state is not expected:

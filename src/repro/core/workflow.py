@@ -184,17 +184,25 @@ class Workflow:
         self._dirty = True
 
     def pending_members(self) -> list[Transaction]:
-        """Members that have been submitted but not completed.
+        """Members that have been submitted but not finished.
 
         The scheduler only knows about transactions that have arrived
         (Section II-A: characteristics become available on submission), so
-        members still in ``CREATED`` state are invisible.
+        members still in ``CREATED`` state are invisible.  Terminal
+        failure states (``ABORTED`` / ``SHED``, fault injection only) are
+        excluded like ``COMPLETED`` — a dead member must not pin the
+        workflow's representative or block its head forever.
         """
         return [
             txn
             for txn in self.members()
             if txn.state
-            not in (TransactionState.CREATED, TransactionState.COMPLETED)
+            not in (
+                TransactionState.CREATED,
+                TransactionState.COMPLETED,
+                TransactionState.ABORTED,
+                TransactionState.SHED,
+            )
         ]
 
     @property

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 __all__ = [
     "ExperimentError",
+    "FaultError",
     "InvalidTransactionError",
     "InvalidWorkflowError",
     "ObservabilityError",
@@ -52,6 +53,10 @@ class QueryError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration is inconsistent."""
+
+
+class FaultError(ReproError):
+    """A fault-injection spec or plan is invalid."""
 
 
 class ObservabilityError(ReproError):

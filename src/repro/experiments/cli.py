@@ -23,11 +23,20 @@ The ``analyze`` and ``diff`` targets run the deadline-miss forensics of
     python -m repro.experiments analyze run.jsonl --top 10
     python -m repro.experiments analyze run.jsonl --format json
     python -m repro.experiments diff asets.jsonl asets_star.jsonl
+
+The ``chaos`` target reruns the transaction-level comparison under a
+deterministic :mod:`repro.faults` plan (``--faults`` tunes it), and any
+sweep accepts ``--cell-timeout`` to convert hung workers into reported
+cell failures instead of blocking forever::
+
+    python -m repro.experiments chaos --faults abort_prob=0.2,crash_count=2
+    python -m repro.experiments fig8 --jobs 4 --cell-timeout 300
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
 from typing import Callable, Sequence
 
@@ -73,6 +82,17 @@ _FIGURES: dict[str, tuple[Callable[..., MetricSeries], str]] = {
     ),
 }
 
+#: Every valid positional target, figures included.
+_TARGETS: tuple[str, ...] = tuple(
+    sorted(_FIGURES)
+    + ["alpha", "tail", "table1", "claims", "chaos", "all", "run", "analyze", "diff"]
+)
+
+#: Default fault plan of the ``chaos`` target (overridden by --faults).
+_DEFAULT_CHAOS_FAULTS = (
+    "abort_prob=0.1,max_retries=2,stall_prob=0.1,stall_max=1.0,crash_count=1"
+)
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -80,12 +100,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the tables and figures of "
         "'Adaptive Scheduling of Web Transactions' (ICDE 2009).",
     )
+    # No argparse ``choices``: the target is validated in main() so an
+    # unknown name gets a did-you-mean suggestion (still exit code 2).
     parser.add_argument(
         "target",
-        choices=sorted(_FIGURES)
-        + ["alpha", "tail", "table1", "claims", "all", "run", "analyze", "diff"],
-        help="which experiment to run ('run' = one instrumented run; "
-        "'analyze'/'diff' = forensics over recorded event logs)",
+        metavar="TARGET",
+        help="which experiment to run: "
+        f"{', '.join(_TARGETS)} ('run' = one instrumented run; "
+        "'analyze'/'diff' = forensics over recorded event logs; "
+        "'chaos' = fault-injection sweep)",
     )
     parser.add_argument(
         "paths",
@@ -113,6 +136,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweeps (default "
         f"{DEFAULT_JOBS} = sequential; 0 = one per core); results are "
         "byte-identical at any N",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="no-progress watchdog for the sweeps: if no cell finishes "
+        "within SECONDS, pending cells become reported failures instead "
+        "of hanging the sweep (forces the worker-pool path)",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="fault-injection spec as 'key=value,...' (e.g. "
+        "'seed=7,abort_prob=0.1,crash_count=2'); applies to 'run' and "
+        "'chaos'",
     )
     parser.add_argument(
         "--chart",
@@ -215,14 +255,52 @@ def _report_failures(failures: "list[object]") -> int:
     return 1
 
 
+def _unknown_name_error(
+    parser: argparse.ArgumentParser, kind: str, value: str, valid: Sequence[str]
+) -> None:
+    """Exit 2 with a did-you-mean hint for a misspelled name."""
+    close = difflib.get_close_matches(value, valid, n=3, cutoff=0.5)
+    hint = f" — did you mean: {', '.join(close)}?" if close else ""
+    parser.error(
+        f"unknown {kind} {value!r}{hint} (choose from: {', '.join(valid)})"
+    )
+
+
+def _parse_faults(
+    parser: argparse.ArgumentParser, args: argparse.Namespace, default: str | None = None
+):
+    """Parse --faults (or ``default``) into a FaultSpec, exiting 2 on errors."""
+    text = args.faults if args.faults is not None else default
+    if text is None:
+        return None
+    from repro.errors import FaultError
+    from repro.faults import parse_fault_spec
+
+    try:
+        return parse_fault_spec(text)
+    except FaultError as exc:
+        parser.error(f"bad --faults spec: {exc}")
+
+
+def _sweep_kwargs(args: argparse.Namespace, failures: list) -> dict:
+    """Shared sweep kwargs: parallel fan-out and the cell watchdog.
+
+    jobs == 1 with no timeout keeps the sequential path (failures=None →
+    fail fast); anything else opts into per-cell failure capture so one
+    bad cell cannot kill a long sweep.
+    """
+    if args.jobs == 1 and args.cell_timeout is None:
+        return {}
+    kwargs: dict = {"jobs": args.jobs, "failures": failures}
+    if args.cell_timeout is not None:
+        kwargs["cell_timeout"] = args.cell_timeout
+    return kwargs
+
+
 def _run_figure(name: str, args: argparse.Namespace) -> int:
     fn, title = _FIGURES[name]
-    # jobs == 1 keeps the sequential path (failures=None → fail fast);
-    # jobs != 1 opts into per-cell failure capture so one bad cell cannot
-    # kill a long sweep.
     failures: list = []
-    kwargs = {} if args.jobs == 1 else {"jobs": args.jobs, "failures": failures}
-    series = fn(_config(args), progress=_progress(args), **kwargs)
+    series = fn(_config(args), progress=_progress(args), **_sweep_kwargs(args, failures))
     print(format_series(series, title))
     if series.raw is not None:
         print()
@@ -240,7 +318,7 @@ def _run_figure(name: str, args: argparse.Namespace) -> int:
     return _report_failures(failures)
 
 
-def _run_instrumented(args: argparse.Namespace) -> int:
+def _run_instrumented(args: argparse.Namespace, fault_spec=None) -> int:
     """One instrumented run: summary line, optional report and JSONL log."""
     from repro.experiments.runner import run_policy_on
     from repro.obs import Recorder
@@ -250,16 +328,24 @@ def _run_instrumented(args: argparse.Namespace) -> int:
     spec = WorkloadSpec(n_transactions=args.n, utilization=args.utilization)
     workload = generate(spec, seed=args.seed)
     recorder = Recorder()
-    result = run_policy_on(workload, PolicySpec.of(args.policy), instrument=recorder)
+    result = run_policy_on(
+        workload, PolicySpec.of(args.policy), instrument=recorder, faults=fault_spec
+    )
     report = recorder.report()
     if args.report:
         print(report.render())
     else:
+        fault_suffix = ""
+        if fault_spec is not None:
+            fault_suffix = (
+                f" aborted={result.aborted_count} shed={result.shed_count} "
+                f"retries={result.total_retries}"
+            )
         print(
             f"{report.policy}: n={report.n_transactions} "
             f"avg_tardiness={result.average_tardiness:.3f} "
             f"scheduling_points={report.scheduling_points} "
-            f"preemptions={report.preemptions}"
+            f"preemptions={report.preemptions}{fault_suffix}"
         )
     if args.events_out:
         path = recorder.write_events(args.events_out)
@@ -273,6 +359,37 @@ def _run_instrumented(args: argparse.Namespace) -> int:
         trace_path = write_trace(reconstruct(recorder.events), args.trace_out)
         print(f"perfetto trace written to {trace_path}", file=sys.stderr)
     return 0
+
+
+def _run_chaos(args: argparse.Namespace, fault_spec) -> int:
+    """Fault-injection sweep: the transaction-level comparison under a
+    deterministic fault plan (Figure 8/9 conditions plus adversity)."""
+    from repro.experiments.config import TRANSACTION_LEVEL_POLICIES
+    from repro.experiments.runner import utilization_sweep
+    from repro.workload.spec import WorkloadSpec
+
+    failures: list = []
+    series = utilization_sweep(
+        WorkloadSpec(),
+        TRANSACTION_LEVEL_POLICIES,
+        "average_tardiness",
+        _config(args),
+        progress=_progress(args),
+        fault_spec=fault_spec,
+        **_sweep_kwargs(args, failures),
+    )
+    print(
+        format_series(
+            series,
+            f"Chaos sweep: avg tardiness under faults ({fault_spec.describe()})",
+        )
+    )
+    if args.export:
+        from repro.experiments.export import write_series
+
+        path = write_series(series, args.export)
+        print(f"\nseries written to {path}", file=sys.stderr)
+    return _report_failures(failures)
 
 
 def _run_analyze(args: argparse.Namespace) -> int:
@@ -319,6 +436,8 @@ def _run_diff(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.target not in _TARGETS:
+        _unknown_name_error(parser, "target", args.target, _TARGETS)
     expected_paths = {"analyze": 1, "diff": 2}.get(args.target, 0)
     if len(args.paths) != expected_paths:
         parser.error(
@@ -330,13 +449,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.target == "diff":
         return _run_diff(args)
     if args.target == "run":
-        return _run_instrumented(args)
+        from repro.policies.registry import available_policies
+
+        if args.policy not in available_policies():
+            _unknown_name_error(
+                parser, "policy", args.policy, available_policies()
+            )
+        return _run_instrumented(args, fault_spec=_parse_faults(parser, args))
+    if args.target == "chaos":
+        return _run_chaos(
+            args, _parse_faults(parser, args, default=_DEFAULT_CHAOS_FAULTS)
+        )
     if args.target == "table1":
         print(tables.table1())
         return 0
     if args.target == "claims":
         results = tables.headline_claims(
-            _config(args), _progress(args), jobs=args.jobs
+            _config(args),
+            _progress(args),
+            jobs=args.jobs,
+            cell_timeout=args.cell_timeout,
         )
         print(tables.format_claims(results))
         return 0 if all(r.holds for r in results) else 1
@@ -348,11 +480,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.target == "alpha":
         failures: list = []
-        kwargs = (
-            {} if args.jobs == 1 else {"jobs": args.jobs, "failures": failures}
-        )
         sweeps = figures.alpha_sweep(
-            config=_config(args), progress=_progress(args), **kwargs
+            config=_config(args),
+            progress=_progress(args),
+            **_sweep_kwargs(args, failures),
         )
         for alpha, series in sweeps.items():
             crossover = series.crossover("EDF", "SRPT")

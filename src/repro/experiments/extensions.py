@@ -63,6 +63,7 @@ def estimation_robustness(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Average tardiness vs. maximum relative length-estimation error.
 
@@ -78,7 +79,7 @@ def estimation_robustness(
         )
         for error in errors
     ]
-    if jobs != 1 or failures is not None:
+    if jobs != 1 or failures is not None or cell_timeout is not None:
         from repro.experiments.parallel import SweepColumn, grid_sweep
 
         return grid_sweep(
@@ -90,6 +91,7 @@ def estimation_robustness(
             jobs=jobs,
             progress=progress,
             failures=failures,
+            cell_timeout=cell_timeout,
         )
     series = MetricSeries(
         x_label="max relative estimation error",
@@ -118,9 +120,10 @@ def multiserver_sweep(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Average tardiness vs. server count at constant per-server load."""
-    if jobs != 1 or failures is not None:
+    if jobs != 1 or failures is not None or cell_timeout is not None:
         from repro.experiments.parallel import SweepColumn, grid_sweep
 
         columns = [
@@ -143,6 +146,7 @@ def multiserver_sweep(
             jobs=jobs,
             progress=progress,
             failures=failures,
+            cell_timeout=cell_timeout,
         )
     series = MetricSeries(
         x_label="servers",

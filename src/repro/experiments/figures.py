@@ -91,6 +91,7 @@ def figure8(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Average tardiness under low system utilization (Figure 8)."""
     return utilization_sweep(
@@ -102,6 +103,7 @@ def figure8(
         progress=progress,
         jobs=jobs,
         failures=failures,
+        cell_timeout=cell_timeout,
     )
 
 
@@ -110,6 +112,7 @@ def figure9(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Average tardiness under high system utilization (Figure 9)."""
     return utilization_sweep(
@@ -121,6 +124,7 @@ def figure9(
         progress=progress,
         jobs=jobs,
         failures=failures,
+        cell_timeout=cell_timeout,
     )
 
 
@@ -130,6 +134,7 @@ def normalized_tardiness(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """ASETS* average tardiness normalized to EDF and to SRPT.
 
@@ -148,6 +153,7 @@ def normalized_tardiness(
         progress=progress,
         jobs=jobs,
         failures=failures,
+        cell_timeout=cell_timeout,
     )
     out = MetricSeries(
         x_label="utilization",
@@ -170,9 +176,10 @@ def figure10(
     progress=None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Normalized average tardiness at the default k_max = 3 (Figure 10)."""
-    return normalized_tardiness(3.0, config, progress, jobs=jobs, failures=failures)
+    return normalized_tardiness(3.0, config, progress, jobs=jobs, failures=failures, cell_timeout=cell_timeout)
 
 
 def figure11(
@@ -180,9 +187,10 @@ def figure11(
     progress=None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Normalized average tardiness at k_max = 1 (Figure 11)."""
-    return normalized_tardiness(1.0, config, progress, jobs=jobs, failures=failures)
+    return normalized_tardiness(1.0, config, progress, jobs=jobs, failures=failures, cell_timeout=cell_timeout)
 
 
 def figure12(
@@ -190,9 +198,10 @@ def figure12(
     progress=None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Normalized average tardiness at k_max = 2 (Figure 12)."""
-    return normalized_tardiness(2.0, config, progress, jobs=jobs, failures=failures)
+    return normalized_tardiness(2.0, config, progress, jobs=jobs, failures=failures, cell_timeout=cell_timeout)
 
 
 def figure13(
@@ -200,9 +209,10 @@ def figure13(
     progress=None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Normalized average tardiness at k_max = 4 (Figure 13)."""
-    return normalized_tardiness(4.0, config, progress, jobs=jobs, failures=failures)
+    return normalized_tardiness(4.0, config, progress, jobs=jobs, failures=failures, cell_timeout=cell_timeout)
 
 
 def alpha_sweep(
@@ -211,6 +221,7 @@ def alpha_sweep(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> dict[float, MetricSeries]:
     """Length-distribution skew study (Section IV-C, plots omitted there).
 
@@ -231,6 +242,7 @@ def alpha_sweep(
             progress=progress,
             jobs=jobs,
             failures=failures,
+            cell_timeout=cell_timeout,
         )
     return out
 
@@ -240,6 +252,7 @@ def figure14(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Workflow level: ASETS* vs the Ready baseline (Figure 14).
 
@@ -254,6 +267,7 @@ def figure14(
         progress=progress,
         jobs=jobs,
         failures=failures,
+        cell_timeout=cell_timeout,
     )
 
 
@@ -262,6 +276,7 @@ def figure15(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """The general case: ASETS* vs EDF vs HDF on weighted tardiness (Figure 15)."""
     return utilization_sweep(
@@ -272,6 +287,7 @@ def figure15(
         progress=progress,
         jobs=jobs,
         failures=failures,
+        cell_timeout=cell_timeout,
     )
 
 
@@ -284,6 +300,7 @@ def balance_aware_sweep(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Balance-aware ASETS* against plain ASETS* over activation rates.
 
@@ -310,7 +327,7 @@ def balance_aware_sweep(
         metric=metric,
     )
 
-    if jobs == 1 and failures is None:
+    if jobs == 1 and failures is None and cell_timeout is None:
         workloads = generate_workloads(spec, config.seeds)
         baseline = mean_metric(workloads, baseline_spec, metric)
         balanced_values = []
@@ -343,7 +360,9 @@ def balance_aware_sweep(
         )
         for seed in config.seeds
     ]
-    results, cell_failures = run_cell_groups(groups, jobs, progress)
+    results, cell_failures = run_cell_groups(
+        groups, jobs, progress, timeout=cell_timeout
+    )
     if cell_failures:
         if failures is None:
             raise SweepError(cell_failures)
@@ -370,11 +389,13 @@ def figure16(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Worst case: maximum weighted tardiness vs time-based rate (Figure 16)."""
     return balance_aware_sweep(
         "max_weighted_tardiness", TIME_ACTIVATION_RATES, "time", config,
         progress=progress, jobs=jobs, failures=failures,
+        cell_timeout=cell_timeout,
     )
 
 
@@ -383,11 +404,13 @@ def figure17(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Average case: average weighted tardiness vs time-based rate (Figure 17)."""
     return balance_aware_sweep(
         "average_weighted_tardiness", TIME_ACTIVATION_RATES, "time", config,
         progress=progress, jobs=jobs, failures=failures,
+        cell_timeout=cell_timeout,
     )
 
 
@@ -396,11 +419,13 @@ def figure16_count_based(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Count-based twin of Figure 16 ("same behavior", Section IV-F)."""
     return balance_aware_sweep(
         "max_weighted_tardiness", COUNT_ACTIVATION_RATES, "count", config,
         progress=progress, jobs=jobs, failures=failures,
+        cell_timeout=cell_timeout,
     )
 
 
@@ -409,9 +434,11 @@ def figure17_count_based(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Count-based twin of Figure 17."""
     return balance_aware_sweep(
         "average_weighted_tardiness", COUNT_ACTIVATION_RATES, "count", config,
         progress=progress, jobs=jobs, failures=failures,
+        cell_timeout=cell_timeout,
     )

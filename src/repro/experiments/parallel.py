@@ -27,6 +27,15 @@ the worker-side traceback.  Callers either collect them (``failures=``)
 — failed cells are simply left out of the seed average, and a column
 with no surviving seed reports ``nan`` — or get a
 :class:`~repro.errors.SweepError` aggregating them all.
+
+A sweep can also inject faults: a :class:`~repro.faults.FaultSpec` on a
+:class:`CellGroup` is expanded worker-side into a
+:class:`~repro.faults.plan.FaultPlan` (specs are small and picklable;
+plans are rebuilt deterministically from the spec, so shipping the spec
+keeps the pickle payload flat).  And it can guard against hangs: a
+``timeout`` hands the whole run to the process pool (even with one
+worker) and converts any window with no completed group into per-cell
+timeout :class:`CellFailure` entries instead of blocking forever.
 """
 
 from __future__ import annotations
@@ -34,12 +43,13 @@ from __future__ import annotations
 import dataclasses
 import math
 import threading
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from traceback import format_exc
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import SweepError
 from repro.experiments.config import PolicySpec
+from repro.faults import FaultSpec, plan_faults
 from repro.metrics.aggregates import MetricSeries, mean
 from repro.sim.engine import Simulator
 from repro.workload.generator import generate
@@ -88,6 +98,8 @@ class CellGroup:
     policies: tuple[PolicySpec, ...]
     metric: str
     servers: int = 1
+    #: Optional fault injection; the plan is rebuilt worker-side.
+    fault_spec: FaultSpec | None = None
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -137,6 +149,15 @@ def _run_group(group: CellGroup) -> GroupResult:
         )
         return GroupResult(group, (None,) * len(group.policies), failures)
 
+    plan = None
+    if group.fault_spec is not None and not group.fault_spec.is_null:
+        # Built once per group: the plan keys off static transaction
+        # attributes (id, length, arrival), so it is replay-safe across
+        # the per-policy resets below.
+        plan = plan_faults(
+            group.fault_spec, workload.transactions, servers=group.servers
+        )
+
     values: list[float | None] = []
     failures_out: list[CellFailure | None] = []
     for policy in group.policies:
@@ -147,6 +168,7 @@ def _run_group(group: CellGroup) -> GroupResult:
                 policy.make(),
                 workflow_set=workload.workflow_set,
                 servers=group.servers,
+                faults=plan,
             ).run()
             values.append(float(getattr(result, group.metric)))
             failures_out.append(None)
@@ -168,6 +190,7 @@ def run_cell_groups(
     groups: Sequence[CellGroup],
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    timeout: float | None = None,
 ) -> tuple[dict[tuple[int, int, int], float], list[CellFailure]]:
     """Execute the groups and index every cell result by its coordinates.
 
@@ -181,6 +204,13 @@ def run_cell_groups(
     :class:`~concurrent.futures.ProcessPoolExecutor`.  ``progress`` is
     invoked under a lock, one line per finished group, so callers may
     share a callback across concurrent sweeps.
+
+    ``timeout`` (wall-clock seconds) is the watchdog window: if *no*
+    group completes within it, every still-pending group is converted to
+    per-policy timeout :class:`CellFailure` entries and the pool is
+    abandoned without waiting for the hung worker.  Setting a timeout
+    forces the pool path even with ``jobs == 1`` — an inline hang could
+    never be interrupted.
     """
     jobs = resolve_jobs(jobs)
     lock = threading.Lock()
@@ -210,17 +240,78 @@ def run_cell_groups(
                 results[(result.group.index, result.group.seed, pos)] = value
         report(result)
 
-    if jobs == 1:
+    if jobs == 1 and timeout is None:
         for group in groups:
             merge(_run_group(group))
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_run_group, group) for group in groups]
-            for future in as_completed(futures):
-                merge(future.result())
+        _run_pooled(groups, jobs, timeout, merge, failures)
 
     failures.sort(key=lambda f: (f.x, f.seed, f.policy))
     return results, failures
+
+
+def _timeout_failures(group: CellGroup, timeout: float) -> list[CellFailure]:
+    return [
+        CellFailure(
+            x=group.x,
+            seed=group.seed,
+            policy=policy.display,
+            error=f"TimeoutError: no result within {timeout:g}s",
+            traceback="(worker timed out; no worker-side traceback)",
+        )
+        for policy in group.policies
+    ]
+
+
+def _run_pooled(
+    groups: Sequence[CellGroup],
+    jobs: int,
+    timeout: float | None,
+    merge: Callable[[GroupResult], None],
+    failures: list[CellFailure],
+) -> None:
+    """Pool execution with an optional no-progress watchdog."""
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    timed_out = False
+    try:
+        future_to_group = {
+            pool.submit(_run_group, group): group for group in groups
+        }
+        pending = set(future_to_group)
+        while pending:
+            done, pending = wait(
+                pending, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # Nothing finished inside the watchdog window: treat every
+                # outstanding group (hung or queued behind it) as failed.
+                timed_out = True
+                for future in pending:
+                    future.cancel()
+                    failures.extend(
+                        _timeout_failures(future_to_group[future], timeout or 0.0)
+                    )
+                break
+            for future in done:
+                merge(future.result())
+    finally:
+        if timed_out:
+            # Best effort: reap the hung workers *before* shutdown (which
+            # drops its process handles) so neither this call nor
+            # interpreter exit blocks on them.  The manager thread then
+            # observes the dead workers and winds itself down.
+            # ``_processes`` is a private detail, so tolerate its absence
+            # on future Python versions.
+            try:
+                procs = list(pool._processes.values())  # type: ignore[union-attr]
+            except Exception:  # pragma: no cover - interpreter-specific
+                procs = []
+            for proc in procs:
+                try:
+                    proc.terminate()
+                except Exception:  # pragma: no cover - already gone
+                    pass
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -243,6 +334,8 @@ def grid_sweep(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     failures: list[CellFailure] | None = None,
+    fault_spec: FaultSpec | None = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """Run a (column × seed × policy) grid and merge it deterministically.
 
@@ -252,6 +345,9 @@ def grid_sweep(
     their seed average; a column whose every seed failed reports
     ``nan``.  When ``failures`` is ``None`` any cell failure raises
     :class:`~repro.errors.SweepError` (after the whole grid has run).
+    ``fault_spec`` injects the same fault plan per (spec, seed) group;
+    ``cell_timeout`` arms the no-progress watchdog of
+    :func:`run_cell_groups`.
     """
     seed_list = list(seeds)
     policy_list = list(policies)
@@ -264,11 +360,14 @@ def grid_sweep(
             policies=tuple(policy_list),
             metric=metric,
             servers=column.servers,
+            fault_spec=fault_spec,
         )
         for i, column in enumerate(columns)
         for seed in seed_list
     ]
-    results, cell_failures = run_cell_groups(groups, jobs, progress)
+    results, cell_failures = run_cell_groups(
+        groups, jobs, progress, timeout=cell_timeout
+    )
     if cell_failures:
         if failures is None:
             raise SweepError(cell_failures)

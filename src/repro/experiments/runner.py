@@ -13,6 +13,7 @@ import dataclasses
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.faults import FaultSpec, plan_faults
 from repro.metrics.aggregates import MetricSeries, confidence_interval, mean
 from repro.sim.engine import Simulator
 from repro.sim.results import SimulationResult
@@ -41,20 +42,28 @@ def run_policy_on(
     workload: Workload,
     policy_spec: PolicySpec,
     instrument: "Instrument | None" = None,
+    faults: FaultSpec | None = None,
 ) -> SimulationResult:
     """Replay ``workload`` under a fresh instance of ``policy_spec``.
 
     The workload is reset first, so call order between policies does not
     matter.  Pass an :class:`~repro.obs.hooks.Instrument` (e.g. a
     :class:`~repro.obs.recorder.Recorder`) to observe the run; attach a
-    fresh recorder per run.
+    fresh recorder per run.  ``faults`` injects a deterministic
+    :mod:`repro.faults` plan derived from the spec's own seed —
+    independent of the workload seed, so the same fault schedule replays
+    under every policy.
     """
     workload.reset()
+    plan = None
+    if faults is not None and not faults.is_null:
+        plan = plan_faults(faults, workload.transactions)
     return Simulator(
         workload.transactions,
         policy_spec.make(),
         workflow_set=workload.workflow_set,
         instrument=instrument,
+        faults=plan,
     ).run()
 
 
@@ -62,10 +71,12 @@ def mean_metric(
     workloads: Sequence[Workload],
     policy_spec: PolicySpec,
     metric: str,
+    faults: FaultSpec | None = None,
 ) -> float:
     """Average one named :class:`SimulationResult` attribute over seeds."""
     return mean(
-        getattr(run_policy_on(w, policy_spec), metric) for w in workloads
+        getattr(run_policy_on(w, policy_spec, faults=faults), metric)
+        for w in workloads
     )
 
 
@@ -97,6 +108,8 @@ def utilization_sweep(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
+    fault_spec: FaultSpec | None = None,
+    cell_timeout: float | None = None,
 ) -> MetricSeries:
     """The workhorse behind Figures 8-15: metric vs utilization per policy.
 
@@ -127,9 +140,16 @@ def utilization_sweep(
         list to collect :class:`~repro.experiments.parallel.CellFailure`
         entries instead of raising
         :class:`~repro.errors.SweepError`.
+    fault_spec:
+        Optional :class:`~repro.faults.FaultSpec`; the same seeded fault
+        schedule is injected per (utilization, seed) workload so the
+        policies compete under identical adversity.
+    cell_timeout:
+        Wall-clock seconds of the no-progress watchdog; forces the pool
+        path (a hung inline cell could never be interrupted).
     """
     xs = list(utilizations if utilizations is not None else config.utilizations)
-    if jobs == 1 and failures is None:
+    if jobs == 1 and failures is None and cell_timeout is None:
         series = MetricSeries(x_label="utilization", x=xs, metric=metric)
         values: dict[str, list[float]] = {p.display: [] for p in policies}
         for util in xs:
@@ -140,7 +160,7 @@ def utilization_sweep(
             )
             workloads = generate_workloads(spec, config.seeds)
             for policy in policies:
-                value = mean_metric(workloads, policy, metric)
+                value = mean_metric(workloads, policy, metric, faults=fault_spec)
                 values[policy.display].append(value)
                 if progress is not None:
                     progress(
@@ -172,4 +192,6 @@ def utilization_sweep(
         jobs=jobs,
         progress=progress,
         failures=failures,
+        fault_spec=fault_spec,
+        cell_timeout=cell_timeout,
     )

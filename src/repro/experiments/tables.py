@@ -63,6 +63,7 @@ def headline_claims(
     config: ExperimentConfig = ExperimentConfig(),
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
+    cell_timeout: float | None = None,
 ) -> list[ClaimResult]:
     """Check the seven headline claims of DESIGN.md section 4.
 
@@ -75,7 +76,7 @@ def headline_claims(
     results: list[ClaimResult] = []
 
     # Claims 1 & 2 come from the full-grid k_max = 3 sweep.
-    fig10 = figures.figure10(config, progress, jobs=jobs)
+    fig10 = figures.figure10(config, progress, jobs=jobs, cell_timeout=cell_timeout)
     raw = fig10.raw
     assert raw is not None
     crossover = raw.crossover("EDF", "SRPT")
@@ -112,7 +113,7 @@ def headline_claims(
     # Claim 3: crossover moves right with k_max.
     crossovers = {}
     for k_max, fig in ((1.0, figures.figure11), (4.0, figures.figure13)):
-        series = fig(config, progress, jobs=jobs)
+        series = fig(config, progress, jobs=jobs, cell_timeout=cell_timeout)
         assert series.raw is not None
         crossovers[k_max] = series.raw.crossover("EDF", "SRPT")
     shifted = (
@@ -129,7 +130,7 @@ def headline_claims(
     )
 
     # Claim 5 (workflow level): ASETS* beats Ready.
-    fig14 = figures.figure14(config, progress, jobs=jobs)
+    fig14 = figures.figure14(config, progress, jobs=jobs, cell_timeout=cell_timeout)
     ready = fig14.get("Ready")
     astar = fig14.get("ASETS*")
     gains = [
@@ -150,7 +151,7 @@ def headline_claims(
     )
 
     # Claim 6 (general case): ASETS* <= min(EDF, HDF) on weighted tardiness.
-    fig15 = figures.figure15(config, progress, jobs=jobs)
+    fig15 = figures.figure15(config, progress, jobs=jobs, cell_timeout=cell_timeout)
     dominated_w = all(
         a <= min(e, h) * 1.05
         for a, e, h in zip(
@@ -167,8 +168,8 @@ def headline_claims(
     )
 
     # Claim 7 (balance-aware): worst case improves, average degrades mildly.
-    fig16 = figures.figure16(config, progress, jobs=jobs)
-    fig17 = figures.figure17(config, progress, jobs=jobs)
+    fig16 = figures.figure16(config, progress, jobs=jobs, cell_timeout=cell_timeout)
+    fig17 = figures.figure17(config, progress, jobs=jobs, cell_timeout=cell_timeout)
     base_max = fig16.get("ASETS*")[0]
     best_max = min(fig16.get("ASETS* (balance-aware)"))
     base_avg = fig17.get("ASETS*")[0]

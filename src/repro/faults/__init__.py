@@ -1,0 +1,63 @@
+"""Deterministic fault injection and overload protection.
+
+The paper evaluates ASETS* under clean conditions — every transaction
+runs to completion and every server stays up.  Its target domain (web
+transactions backing dynamic pages) is exactly where aborts, restarts
+and overload are routine, and the firm-deadline RTDBMS literature treats
+abort/re-submission as first class.  This package adds that dimension to
+the simulator without disturbing the paper-reproduction paths: a run
+with no :class:`FaultSpec` is byte-identical to one built before this
+package existed.
+
+Three pieces:
+
+* :mod:`~repro.faults.spec` — :class:`FaultSpec`, the frozen, picklable
+  description of what to inject (aborts with configurable work loss,
+  server crash windows, transient stalls, an admission-control guard)
+  plus the CLI's ``key=value,...`` parser;
+* :mod:`~repro.faults.plan` — :func:`plan_faults` expands a spec against
+  a workload into a deterministic :class:`FaultPlan` using RNG
+  substreams seeded only by ``spec.seed``;
+* :mod:`~repro.faults.admission` — pluggable shed policies picking the
+  lowest-value ready work under overload.
+
+Quickstart::
+
+    from repro.faults import FaultSpec, plan_faults
+
+    spec = FaultSpec(seed=7, abort_prob=0.1, crash_count=2)
+    plan = plan_faults(spec, workload.transactions)
+    result = Simulator(workload.transactions, policy, faults=plan).run()
+    print(result.summary())   # completed / tardy / aborted / shed / retries
+
+or from the command line::
+
+    python -m repro.experiments run --policy asets \\
+        --faults "seed=7,abort_prob=0.1,crash_count=2"
+    python -m repro.experiments chaos --jobs 2
+"""
+
+from repro.faults.admission import (
+    ShedByFeasibility,
+    ShedByWeight,
+    ShedPolicy,
+    available_shed_policies,
+    make_shed_policy,
+)
+from repro.faults.plan import CrashWindow, FaultPlan, TxnFaultSchedule, plan_faults
+from repro.faults.spec import WORK_LOSS_MODES, FaultSpec, parse_fault_spec
+
+__all__ = [
+    "CrashWindow",
+    "FaultPlan",
+    "FaultSpec",
+    "ShedByFeasibility",
+    "ShedByWeight",
+    "ShedPolicy",
+    "TxnFaultSchedule",
+    "WORK_LOSS_MODES",
+    "available_shed_policies",
+    "make_shed_policy",
+    "parse_fault_spec",
+    "plan_faults",
+]

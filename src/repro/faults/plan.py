@@ -1,0 +1,166 @@
+"""Deterministic fault plans: where each fault of a :class:`FaultSpec` lands.
+
+:func:`plan_faults` expands a spec against one concrete workload into a
+:class:`FaultPlan` — per-transaction abort/stall schedules plus global
+server crash windows — using dedicated RNG substreams seeded only by
+``spec.seed`` (the :func:`repro.workload.generator` substream idiom, so
+fault draws are decorrelated from every workload stream).  All draws
+happen up front, per transaction in ascending id order: the plan for a
+given ``(spec, workload)`` pair is a pure function, identical across
+processes, ``--jobs`` values and repeated runs.
+
+Fault *positions* are expressed in served processing time within an
+attempt (an abort at ``0.4 * length`` fires once the attempt has been
+charged that much work), so the plan is meaningful under any scheduling
+policy — a preemption postpones the trigger together with the work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Iterable, Mapping
+
+from repro.core.transaction import Transaction
+from repro.errors import FaultError
+from repro.faults.spec import FaultSpec
+
+__all__ = ["CrashWindow", "FaultPlan", "TxnFaultSchedule", "plan_faults"]
+
+_STREAM_ABORTS = 0xFA17_0001
+_STREAM_STALLS = 0xFA17_0002
+_STREAM_CRASHES = 0xFA17_0003
+
+#: Fault positions are drawn in the central band of an attempt so a
+#: trigger never coincides (within float noise) with a dispatch or a
+#: completion boundary.
+_POSITION_LO = 0.05
+_POSITION_HI = 0.95
+
+
+def _substream(seed: int, offset: int) -> random.Random:
+    # Tuple hashing over ints is deterministic (no string randomisation),
+    # matching the workload generator's substream construction.
+    return random.Random(hash((seed, offset)))
+
+
+@dataclasses.dataclass(frozen=True)
+class TxnFaultSchedule:
+    """Per-transaction fault schedule.
+
+    ``abort_points`` are served-time thresholds consumed one per attempt:
+    attempt ``k`` (0-based) is aborted once it has served
+    ``abort_points[k]`` time units; attempts beyond the tuple run
+    fault-free.  ``stall_at`` (or ``None``) is the served-time threshold
+    of the single transient stall, which inflates the true remaining work
+    by ``stall_extra`` the first time any attempt crosses it.
+    """
+
+    txn_id: int
+    abort_points: tuple[float, ...] = ()
+    stall_at: float | None = None
+    stall_extra: float = 0.0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.abort_points and self.stall_at is None
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashWindow:
+    """One server-down interval ``[start, start + duration)``."""
+
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A spec expanded against one workload: the concrete fault schedule.
+
+    ``schedules`` only holds transactions with at least one planned fault;
+    :meth:`schedule_for` returns ``None`` for the rest.  ``crash_windows``
+    are sorted by start time and may overlap (overlaps stack: two
+    concurrent windows take two servers down).
+    """
+
+    spec: FaultSpec
+    schedules: Mapping[int, TxnFaultSchedule]
+    crash_windows: tuple[CrashWindow, ...] = ()
+
+    def schedule_for(self, txn_id: int) -> TxnFaultSchedule | None:
+        return self.schedules.get(txn_id)
+
+    @property
+    def n_planned_aborts(self) -> int:
+        """Total abort triggers planned (not all necessarily fire)."""
+        return sum(len(s.abort_points) for s in self.schedules.values())
+
+
+def plan_faults(
+    spec: FaultSpec,
+    transactions: Iterable[Transaction],
+    servers: int = 1,
+) -> FaultPlan:
+    """Expand ``spec`` into the concrete :class:`FaultPlan` for a workload.
+
+    Deterministic in ``(spec, transaction set, servers)``: transactions
+    are visited in ascending id order and every stream's draws are fully
+    consumed regardless of what downstream consumers use.
+    """
+    if servers < 1:
+        raise FaultError(f"servers must be >= 1, got {servers}")
+    txns = sorted(transactions, key=lambda t: t.txn_id)
+    if not txns:
+        raise FaultError("cannot plan faults for an empty workload")
+
+    rng_aborts = _substream(spec.seed, _STREAM_ABORTS)
+    rng_stalls = _substream(spec.seed, _STREAM_STALLS)
+    schedules: dict[int, TxnFaultSchedule] = {}
+    for txn in txns:
+        # Abort attempt k iff the k-th Bernoulli draw succeeds; at most
+        # max_retries + 1 attempts can ever be aborted (the last one
+        # terminally), so the draw count is bounded per transaction.
+        points: list[float] = []
+        while (
+            len(points) <= spec.max_retries
+            and rng_aborts.random() < spec.abort_prob
+        ):
+            fraction = rng_aborts.uniform(_POSITION_LO, _POSITION_HI)
+            points.append(fraction * txn.length)
+        stall_at: float | None = None
+        stall_extra = 0.0
+        if rng_stalls.random() < spec.stall_prob:
+            stall_at = rng_stalls.uniform(_POSITION_LO, _POSITION_HI) * txn.length
+            stall_extra = rng_stalls.uniform(0.0, spec.stall_max)
+        if points or stall_at is not None:
+            schedules[txn.txn_id] = TxnFaultSchedule(
+                txn_id=txn.txn_id,
+                abort_points=tuple(points),
+                stall_at=stall_at,
+                stall_extra=stall_extra,
+            )
+
+    windows: list[CrashWindow] = []
+    if spec.crash_count:
+        rng_crashes = _substream(spec.seed, _STREAM_CRASHES)
+        # Spread windows over the busy horizon: last arrival plus the
+        # serial drain time of the total work across the server pool.
+        horizon = max(t.arrival for t in txns) + sum(
+            t.length for t in txns
+        ) / servers
+        for _ in range(spec.crash_count):
+            start = rng_crashes.uniform(0.0, horizon)
+            duration = rng_crashes.uniform(
+                spec.crash_min_duration, spec.crash_max_duration
+            )
+            windows.append(CrashWindow(start=start, duration=duration))
+        windows.sort(key=lambda w: (w.start, w.duration))
+
+    return FaultPlan(
+        spec=spec, schedules=schedules, crash_windows=tuple(windows)
+    )

@@ -1,0 +1,219 @@
+"""Declarative fault-injection specifications.
+
+A :class:`FaultSpec` describes *what kinds* of faults a run should suffer
+— abort probability and work-loss model, server crash windows, transient
+processing stalls, and an optional admission-control guard — without
+fixing *where* they land.  The concrete schedule is derived by
+:func:`repro.faults.plan.plan_faults` from the spec's own ``seed``, using
+RNG substreams that are fully independent of the workload seeds: the same
+workload can be replayed with different fault draws, and the same fault
+draw can be applied to different policies.
+
+Specs are frozen and picklable so parallel sweep workers
+(:mod:`repro.experiments.parallel`) can rebuild identical plans
+process-side.
+
+Command-line front ends accept the compact ``key=value,...`` syntax of
+:func:`parse_fault_spec`::
+
+    --faults "seed=7,abort_prob=0.1,crash_count=2,backlog_limit=40"
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import FaultError
+
+__all__ = ["FaultSpec", "WORK_LOSS_MODES", "parse_fault_spec"]
+
+#: Accepted work-loss models for an injected abort: ``"restart"`` re-does
+#: the whole transaction (firm-deadline RTDBMS tradition), ``"checkpoint"``
+#: resumes from the abort point (only the retry delay is lost).
+WORK_LOSS_MODES = ("restart", "checkpoint")
+
+#: Admission-control shed policies (see :mod:`repro.faults.admission`).
+_SHED_POLICIES = ("weight", "feasibility")
+
+
+@dataclasses.dataclass(frozen=True, eq=True)
+class FaultSpec:
+    """What faults to inject, independent of any particular workload.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the fault RNG streams.  Independent of workload seeds.
+    abort_prob:
+        Per-attempt probability in ``[0, 1]`` that a transaction's attempt
+        is aborted partway through.
+    work_loss:
+        ``"restart"`` (abort discards all served work) or ``"checkpoint"``
+        (the attempt resumes where it stopped).
+    max_retries:
+        Retry budget per transaction; once exhausted the next abort is
+        terminal (outcome ``aborted``).
+    retry_delay:
+        Base re-submission delay after an abort, in simulated time units.
+    retry_backoff:
+        Exponential factor (>= 1) applied to both the retry delay and the
+        re-submission deadline extension: retry ``k`` (0-based) waits
+        ``retry_delay * retry_backoff**k``.
+    crash_count:
+        Number of server crash windows to draw over the workload horizon.
+    crash_min_duration / crash_max_duration:
+        Uniform bounds of each crash window's length.
+    stall_prob:
+        Probability in ``[0, 1]`` that a transaction suffers one transient
+        processing-time stall.
+    stall_max:
+        Upper bound of the uniform extra-work draw for a stall.
+    backlog_limit:
+        Admission-control threshold: when the instantaneous ready backlog
+        exceeds this many transactions, the overload guard sheds the
+        lowest-value ready work down to the limit.  ``None`` disables the
+        guard.
+    shed_policy:
+        Which work the guard considers lowest-value: ``"weight"``
+        (smallest weight first) or ``"feasibility"`` (most-infeasible
+        first, i.e. smallest believed slack).
+    """
+
+    seed: int = 0
+    abort_prob: float = 0.0
+    work_loss: str = "restart"
+    max_retries: int = 3
+    retry_delay: float = 1.0
+    retry_backoff: float = 2.0
+    crash_count: int = 0
+    crash_min_duration: float = 1.0
+    crash_max_duration: float = 5.0
+    stall_prob: float = 0.0
+    stall_max: float = 1.0
+    backlog_limit: int | None = None
+    shed_policy: str = "weight"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int):
+            raise FaultError(f"seed must be an int, got {self.seed!r}")
+        for name in ("abort_prob", "stall_prob"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise FaultError(f"{name} must be in [0, 1], got {value}")
+        if self.work_loss not in WORK_LOSS_MODES:
+            raise FaultError(
+                f"work_loss must be one of {WORK_LOSS_MODES}, "
+                f"got {self.work_loss!r}"
+            )
+        if self.max_retries < 0:
+            raise FaultError(f"max_retries must be >= 0, got {self.max_retries}")
+        for name in ("retry_delay", "stall_max"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise FaultError(
+                    f"{name} must be finite and >= 0, got {value}"
+                )
+        if not math.isfinite(self.retry_backoff) or self.retry_backoff < 1.0:
+            raise FaultError(
+                f"retry_backoff must be >= 1, got {self.retry_backoff}"
+            )
+        if self.crash_count < 0:
+            raise FaultError(f"crash_count must be >= 0, got {self.crash_count}")
+        if self.crash_min_duration <= 0 or not math.isfinite(
+            self.crash_min_duration
+        ):
+            raise FaultError(
+                "crash_min_duration must be finite and > 0, "
+                f"got {self.crash_min_duration}"
+            )
+        if self.crash_max_duration < self.crash_min_duration or not math.isfinite(
+            self.crash_max_duration
+        ):
+            raise FaultError(
+                "crash_max_duration must be finite and >= crash_min_duration, "
+                f"got {self.crash_max_duration}"
+            )
+        if self.backlog_limit is not None and self.backlog_limit < 1:
+            raise FaultError(
+                f"backlog_limit must be >= 1 or None, got {self.backlog_limit}"
+            )
+        if self.shed_policy not in _SHED_POLICIES:
+            raise FaultError(
+                f"shed_policy must be one of {_SHED_POLICIES}, "
+                f"got {self.shed_policy!r}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """True iff this spec can never inject anything."""
+        return (
+            self.abort_prob == 0.0
+            and self.stall_prob == 0.0
+            and self.crash_count == 0
+            and self.backlog_limit is None
+        )
+
+    def describe(self) -> str:
+        """Compact ``key=value,...`` of the non-default fields.
+
+        The inverse of :func:`parse_fault_spec` up to field order; used
+        in CLI titles and reports so a run's adversity is self-describing.
+        """
+        parts = []
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value != field.default:
+                parts.append(f"{field.name}={value}")
+        return ",".join(parts) if parts else "null"
+
+
+_INT_FIELDS = ("seed", "max_retries", "crash_count", "backlog_limit")
+_STR_FIELDS = ("work_loss", "shed_policy")
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse the CLI's compact ``key=value,...`` syntax into a spec.
+
+    Examples
+    --------
+    >>> parse_fault_spec("abort_prob=0.2,max_retries=1").abort_prob
+    0.2
+    >>> parse_fault_spec("seed=7,crash_count=2").seed
+    7
+    """
+    field_names = {f.name for f in dataclasses.fields(FaultSpec)}
+    kwargs: dict[str, object] = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, raw = item.partition("=")
+        key = key.strip()
+        if not sep:
+            raise FaultError(
+                f"malformed fault spec item {item!r}: expected key=value"
+            )
+        if key not in field_names:
+            raise FaultError(
+                f"unknown fault spec field {key!r}; known fields: "
+                + ", ".join(sorted(field_names))
+            )
+        raw = raw.strip()
+        if key in _STR_FIELDS:
+            kwargs[key] = raw
+        elif key in _INT_FIELDS:
+            try:
+                kwargs[key] = int(raw)
+            except ValueError:
+                raise FaultError(
+                    f"fault spec field {key!r} expects an integer, got {raw!r}"
+                ) from None
+        else:
+            try:
+                kwargs[key] = float(raw)
+            except ValueError:
+                raise FaultError(
+                    f"fault spec field {key!r} expects a number, got {raw!r}"
+                ) from None
+    return FaultSpec(**kwargs)  # type: ignore[arg-type]

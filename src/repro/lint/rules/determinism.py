@@ -29,7 +29,12 @@ from repro.lint.findings import Finding
 __all__ = ["NoNondeterminism"]
 
 #: Packages the determinism rules protect.
-DETERMINISTIC_PACKAGES = ("repro.sim", "repro.policies", "repro.core")
+DETERMINISTIC_PACKAGES = (
+    "repro.sim",
+    "repro.policies",
+    "repro.core",
+    "repro.faults",
+)
 
 #: The one module allowed to touch ``perf_counter`` (guarded).
 ENGINE_MODULE = "repro.sim.engine"

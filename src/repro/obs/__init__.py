@@ -35,7 +35,14 @@ guard test.
 """
 
 from repro.obs.hooks import Instrument, MultiInstrument, NullInstrument
-from repro.obs.jsonl import SCHEMA_VERSION, JsonlWriter, iter_records, read, write
+from repro.obs.jsonl import (
+    SCHEMA_VERSION,
+    JsonlWriter,
+    iter_records,
+    read,
+    read_tolerant,
+    write,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.recorder import Recorder
 from repro.obs.summary import RunReport
@@ -53,6 +60,7 @@ __all__ = [
     "JsonlWriter",
     "write",
     "read",
+    "read_tolerant",
     "iter_records",
     "Timeline",
     "TimelineSample",

@@ -5,9 +5,9 @@ makes the observations *answer questions*.  From a ``.jsonl`` event log
 (or a live :class:`~repro.obs.recorder.Recorder`) it produces:
 
 * :mod:`~repro.obs.analyze.lifecycle` — per-transaction lifecycles as
-  typed spans (``queued`` / ``running`` / ``preempted`` / ``overhead``)
-  satisfying the exact conservation invariant
-  ``sum(spans) == completion - arrival``;
+  typed spans (``queued`` / ``running`` / ``preempted`` / ``overhead``
+  / ``retry_wait``) satisfying the exact conservation invariant
+  ``sum(spans) == completion - arrival``, fault outcomes included;
 * :mod:`~repro.obs.analyze.blame` — tardiness blame attribution whose
   components sum to the measured tardiness, with the ranked list of
   transactions a tardy one waited behind;

@@ -3,12 +3,20 @@
 For a completed transaction, its timeline decomposes exactly::
 
     completion = arrival + dependency_wait + wait_behind
-               + preemption_gap + overhead + service
+               + preemption_gap + retry_wait + overhead + service
 
 so its tardiness ``T = completion - deadline`` satisfies the identity ::
 
-    T = dependency_wait + wait_behind + preemption_gap + overhead
-      + (arrival + service - deadline)
+    T = dependency_wait + wait_behind + preemption_gap + retry_wait
+      + rework + stall + overhead
+      + (arrival + first_attempt_service - deadline)
+
+Under a :mod:`repro.faults` plan the service received splits into the
+transaction's intrinsic length plus the ``rework`` re-served after abort
+rollbacks plus the ``stall`` work injected by transient stalls;
+``retry_wait`` is the backoff time between an abort and its
+re-submission.  All three are identically zero fault-free, collapsing
+the identity to its classic form.
 
 The last term is the (negated) slack the transaction was born with —
 reported as the ``slack_credit`` component, normally negative: the slack
@@ -45,6 +53,9 @@ COMPONENTS = (
     "dependency_wait",
     "wait_behind",
     "preemption_gap",
+    "retry_wait",
+    "rework",
+    "stall",
     "overhead",
     "slack_credit",
 )
@@ -97,7 +108,12 @@ class BlameReport:
 
 
 def _waiting_intervals(lc: TxnLifecycle) -> list[tuple[float, float]]:
-    """Intervals where ``lc`` was ready but not holding a server."""
+    """Intervals where ``lc`` was ready but not holding a server.
+
+    ``retry_wait`` spans are deliberately excluded: a transaction
+    backing off after an abort is *not* schedulable, so nobody can be
+    blamed for the server time it missed.
+    """
     intervals: list[tuple[float, float]] = []
     for span in lc.spans:
         if span.kind is SpanKind.QUEUED:
@@ -159,12 +175,18 @@ def attribute(run: RunLifecycles, txn_id: int) -> BlameReport:
         )
     dependency_wait = lc.dependency_wait
     wait_behind = lc.queued_time - dependency_wait
+    # The slack credit is measured against the *first-attempt* service:
+    # rework and stall inflation are billed as their own components.
+    first_attempt = lc.running_time - lc.rework - lc.stall_extra
     components = (
         ("dependency_wait", dependency_wait),
         ("wait_behind", wait_behind),
         ("preemption_gap", lc.preempted_time),
+        ("retry_wait", lc.retry_wait_time),
+        ("rework", lc.rework),
+        ("stall", lc.stall_extra),
         ("overhead", lc.overhead_time),
-        ("slack_credit", (lc.arrival + lc.running_time) - deadline),
+        ("slack_credit", (lc.arrival + first_attempt) - deadline),
     )
     return BlameReport(
         txn_id=txn_id,

@@ -33,6 +33,8 @@ def _breakdown(lc: TxnLifecycle) -> dict[str, float]:
         "dependency_wait": lc.dependency_wait,
         "wait_behind": lc.queued_time - lc.dependency_wait,
         "preemption_gap": lc.preempted_time,
+        "retry_wait": lc.retry_wait_time,
+        "rework": lc.rework,
         "overhead": lc.overhead_time,
         "response_time": lc.response_time,
         "completion": lc.completion,

@@ -16,12 +16,18 @@ from arrival to completion:
     Actually processing on a server.
 ``preempted``
     Re-queued after losing a server, until the next dispatch.
+``retry_wait``
+    Backing off after a non-terminal fault abort, until re-submission
+    (only under a :mod:`repro.faults` plan).
 
 Reconstruction is exact by construction: each span starts where the
 previous one ended, so their durations telescope to
 ``completion - arrival`` (the **conservation invariant**, checked by
 :meth:`TxnLifecycle.conservation_error` and pinned by a property test
-over randomized workloads).
+over randomized workloads).  The invariant extends unchanged to
+fault-terminated transactions: an exhausted abort or an admission shed
+simply ends the lifecycle at the terminal event (``completion`` is then
+the failure time and :attr:`TxnLifecycle.outcome` records which).
 
 The same fold also yields the run's global list of :class:`Segment`
 objects — who held a server, when — which the blame layer uses to name
@@ -38,6 +44,7 @@ from __future__ import annotations
 
 import enum
 import pathlib
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
@@ -62,6 +69,7 @@ class SpanKind(enum.Enum):
     RUNNING = "running"
     PREEMPTED = "preempted"
     OVERHEAD = "overhead"
+    RETRY_WAIT = "retry_wait"
 
 
 @dataclass(frozen=True, slots=True)
@@ -97,7 +105,12 @@ class Segment:
 
 @dataclass(frozen=True, slots=True)
 class TxnLifecycle:
-    """The reconstructed lifecycle of one completed transaction."""
+    """The reconstructed lifecycle of one finished transaction.
+
+    ``completion`` is the instant the lifecycle ended: the completion
+    time for ``outcome == "completed"``, otherwise the terminal-abort or
+    shed time.
+    """
 
     txn_id: int
     arrival: float
@@ -113,6 +126,15 @@ class TxnLifecycle:
     #: Simulated time of the first dispatch.
     first_dispatch: float
     spans: tuple[Span, ...]
+    #: How the lifecycle ended: ``completed`` / ``aborted`` / ``shed``.
+    outcome: str = "completed"
+    #: Fault-retry count (``retry`` events observed).
+    retries: int = 0
+    #: Served work discarded by abort rollbacks (rework the transaction
+    #: had to repeat; 0 under checkpoint-resume work loss).
+    rework: float = 0.0
+    #: Extra service injected by transient stalls.
+    stall_extra: float = 0.0
 
     def total(self, kind: SpanKind) -> float:
         """Summed duration of every span of ``kind``."""
@@ -124,12 +146,22 @@ class TxnLifecycle:
 
     @property
     def running_time(self) -> float:
-        """Actual service received — equals the transaction's length."""
+        """Actual service received.
+
+        Fault-free this equals the transaction's length; under faults it
+        is length + :attr:`rework` + :attr:`stall_extra` for completed
+        transactions (aborted work is re-served, stalls inject work).
+        """
         return self.total(SpanKind.RUNNING)
 
     @property
     def preempted_time(self) -> float:
         return self.total(SpanKind.PREEMPTED)
+
+    @property
+    def retry_wait_time(self) -> float:
+        """Time spent backing off between an abort and its retry."""
+        return self.total(SpanKind.RETRY_WAIT)
 
     @property
     def overhead_time(self) -> float:
@@ -170,9 +202,14 @@ class _TxnBuilder:
         "response_time",
         "segments",
         "gaps",
+        "outcome",
+        "retries",
+        "rework",
+        "stall_extra",
         "_running_since",
         "_running_overhead",
         "_waiting_since",
+        "_wait_kind",
         "_dispatched_once",
     )
 
@@ -186,9 +223,15 @@ class _TxnBuilder:
         self.segments: list[Segment] = []
         #: Waiting intervals, chronological: (start, end, kind).
         self.gaps: list[tuple[float, float, SpanKind]] = []
+        self.outcome = "completed"
+        self.retries = 0
+        self.rework = 0.0
+        self.stall_extra = 0.0
         self._running_since: float | None = None
         self._running_overhead = 0.0
         self._waiting_since: float | None = None
+        #: Overrides the kind of the currently open wait (retry backoff).
+        self._wait_kind: SpanKind | None = None
         self._dispatched_once = False
 
     def _fail(self, message: str) -> ObservabilityError:
@@ -211,9 +254,10 @@ class _TxnBuilder:
             return
         if self._waiting_since is None:  # pragma: no cover - defensive
             raise self._fail(f"dispatch at t={t} with no open wait")
-        kind = SpanKind.PREEMPTED if self._dispatched_once else SpanKind.QUEUED
-        self.gaps.append((self._waiting_since, t, kind))
+        default = SpanKind.PREEMPTED if self._dispatched_once else SpanKind.QUEUED
+        self.gaps.append((self._waiting_since, t, self._wait_kind or default))
         self._waiting_since = None
+        self._wait_kind = None
         self._running_since = t
         self._running_overhead = 0.0
         self._dispatched_once = True
@@ -250,6 +294,45 @@ class _TxnBuilder:
         self.completion = t
         self.tardiness = tardiness
         self.response_time = response_time
+
+    def on_stall(self, amount: float) -> None:
+        if self._running_since is None:
+            raise self._fail("stall while not running")
+        self.stall_extra += amount
+
+    def on_abort(self, t: float, lost: float, exhausted: bool) -> None:
+        self._close_segment(t)
+        self.rework += lost
+        if exhausted:
+            if self.completion is not None:
+                raise self._fail(f"terminal abort at t={t} after completion")
+            self.completion = t
+            self.outcome = "aborted"
+        else:
+            self._waiting_since = t
+            self._wait_kind = SpanKind.RETRY_WAIT
+
+    def on_retry(self, t: float) -> None:
+        if self._waiting_since is None or self._wait_kind is not SpanKind.RETRY_WAIT:
+            raise self._fail(f"retry at t={t} without a pending abort")
+        self.retries += 1
+        self.gaps.append((self._waiting_since, t, SpanKind.RETRY_WAIT))
+        # Back in the ready pool; the time until the next dispatch is an
+        # ordinary (preempted) scheduling wait, not retry backoff.
+        self._waiting_since = t
+        self._wait_kind = None
+
+    def on_shed(self, t: float) -> None:
+        if self.completion is not None:
+            raise self._fail(f"shed at t={t} after completion")
+        if self._waiting_since is None:  # pragma: no cover - defensive
+            raise self._fail(f"shed at t={t} with no open wait")
+        default = SpanKind.PREEMPTED if self._dispatched_once else SpanKind.QUEUED
+        self.gaps.append((self._waiting_since, t, self._wait_kind or default))
+        self._waiting_since = None
+        self._wait_kind = None
+        self.completion = t
+        self.outcome = "shed"
 
     @property
     def is_complete(self) -> bool:
@@ -296,6 +379,10 @@ class _TxnBuilder:
             ready_time=ready_time,
             first_dispatch=first_dispatch,
             spans=tuple(spans),
+            outcome=self.outcome,
+            retries=self.retries,
+            rework=self.rework,
+            stall_extra=self.stall_extra,
         )
 
 
@@ -309,12 +396,17 @@ class RunLifecycles:
     servers: int
     #: Completion time of the last transaction (run_end ``t``).
     makespan: float
-    #: Completed lifecycles, keyed by transaction id.
+    #: Finished lifecycles (any outcome), keyed by transaction id.
     lifecycles: Mapping[int, TxnLifecycle]
     #: Every server occupation of the run, sorted by (start, txn_id).
     segments: tuple[Segment, ...]
-    #: Ids seen in the log that never completed (aborted / partial logs).
+    #: Ids seen in the log that never finished (partial / truncated logs).
     incomplete: tuple[int, ...]
+    #: Server crash windows from ``fault.crash``/``fault.recover`` pairs;
+    #: a window still open at run end is closed at the makespan.
+    crash_windows: tuple[tuple[float, float], ...] = ()
+    #: Torn trailing lines dropped by the tolerant loader (0 or 1).
+    truncated_lines: int = 0
 
     def __iter__(self) -> Iterator[TxnLifecycle]:
         for txn_id in sorted(self.lifecycles):
@@ -338,17 +430,28 @@ class RunLifecycles:
             key=lambda lc: (-lc.tardiness, lc.txn_id),
         )
 
+    def outcome_counts(self) -> dict[str, int]:
+        """``{"completed": ..., "aborted": ..., "shed": ...}`` totals."""
+        counts = {"completed": 0, "aborted": 0, "shed": 0}
+        for lc in self.lifecycles.values():
+            counts[lc.outcome] = counts.get(lc.outcome, 0) + 1
+        return counts
+
     @property
     def total_tardiness(self) -> float:
         return sum((lc.tardiness for lc in self.lifecycles.values()), 0.0)
 
 
-def reconstruct(records: Iterable[dict]) -> RunLifecycles:
+def reconstruct(
+    records: Iterable[dict], truncated_lines: int = 0
+) -> RunLifecycles:
     """Fold an event-record stream into a :class:`RunLifecycles`.
 
     ``records`` is anything yielding schema-1 event dicts headed by a
     ``run_start`` record — :func:`repro.obs.jsonl.iter_records` output or
     a live :attr:`repro.obs.recorder.Recorder.events` list.
+    ``truncated_lines`` is passed through from a tolerant load so the
+    result records how much of the log was torn off.
     """
     iterator = iter(records)
     try:
@@ -368,6 +471,8 @@ def reconstruct(records: Iterable[dict]) -> RunLifecycles:
         )
     builders: dict[int, _TxnBuilder] = {}
     makespan = 0.0
+    open_crashes: deque[float] = deque()
+    crash_windows: list[tuple[float, float]] = []
 
     def builder(record: dict) -> _TxnBuilder:
         txn_id = record["txn"]
@@ -394,6 +499,25 @@ def reconstruct(records: Iterable[dict]) -> RunLifecycles:
                 None if response is None else float(response),
             )
             makespan = max(makespan, t)
+        elif kind == "fault.stall":
+            builder(record).on_stall(float(record["amount"]))
+        elif kind == "fault.abort":
+            builder(record).on_abort(
+                t, float(record["lost"]), bool(record.get("exhausted", False))
+            )
+            makespan = max(makespan, t)
+        elif kind == "retry":
+            builder(record).on_retry(t)
+        elif kind == "shed":
+            builder(record).on_shed(t)
+            makespan = max(makespan, t)
+        elif kind == "fault.crash":
+            open_crashes.append(t)
+        elif kind == "fault.recover":
+            # Crash and recover events are totally ordered per window
+            # (FIFO: the earliest unclosed crash recovers first).
+            if open_crashes:
+                crash_windows.append((open_crashes.popleft(), t))
         elif kind == "run_end":
             makespan = max(makespan, t)
         # 'sched' samples and unknown (future additive) kinds are skipped.
@@ -426,6 +550,10 @@ def reconstruct(records: Iterable[dict]) -> RunLifecycles:
         (seg for b in builders.values() for seg in b.segments),
         key=lambda seg: (seg.start, seg.txn_id),
     )
+    # A crash window still open at run end (truncated log, or a recovery
+    # scheduled past the last completion) closes at the makespan.
+    for start in open_crashes:
+        crash_windows.append((start, max(start, makespan)))
     return RunLifecycles(
         policy=str(header.get("policy", "?")),
         n=int(header.get("n", len(builders))),
@@ -434,11 +562,19 @@ def reconstruct(records: Iterable[dict]) -> RunLifecycles:
         lifecycles=lifecycles,
         segments=tuple(segments),
         incomplete=tuple(incomplete),
+        crash_windows=tuple(sorted(crash_windows)),
+        truncated_lines=truncated_lines,
     )
 
 
 def reconstruct_file(
     path: str | pathlib.Path, strict: bool = True
 ) -> RunLifecycles:
-    """Reconstruct lifecycles straight from a ``.jsonl`` event log."""
-    return reconstruct(jsonl.iter_records(path, strict=strict))
+    """Reconstruct lifecycles straight from a ``.jsonl`` event log.
+
+    Loads via :func:`repro.obs.jsonl.read_tolerant`, so a log whose
+    final line was torn by a crash still reconstructs (the drop is
+    recorded in :attr:`RunLifecycles.truncated_lines`).
+    """
+    records, truncated = jsonl.read_tolerant(path, strict=strict)
+    return reconstruct(records, truncated_lines=truncated)

@@ -8,9 +8,13 @@ Any run becomes a file that opens directly in ``ui.perfetto.dev`` (or
   server, with its context-switch overhead in ``args``;
 * **one async track per tardy transaction** — the transaction's typed
   lifecycle spans (``queued`` / ``overhead`` / ``running`` /
-  ``preempted``) as async begin/end (``ph: "b"`` / ``"e"``) pairs keyed
-  by the transaction id, so each tardy transaction reads as one lane
-  from arrival to completion.
+  ``preempted`` / ``retry_wait``) as async begin/end (``ph: "b"`` /
+  ``"e"``) pairs keyed by the transaction id, so each tardy transaction
+  reads as one lane from arrival to completion;
+* **one fault track** — when the run carried server crash windows
+  (:mod:`repro.faults`), each window is a complete (``ph: "X"``) event
+  named ``crash`` so outage intervals line up visually with the server
+  and transaction lanes.  Fault-free runs emit no such track.
 
 Simulated time units map to trace microseconds (1 time unit = 1 us ×
 :data:`TIME_SCALE`); the scale is arbitrary but uniform, so relative
@@ -42,9 +46,11 @@ __all__ = [
 #: Trace microseconds per simulated time unit.
 TIME_SCALE = 1_000_000.0
 
-#: pid of the per-server track group / the tardy-transaction group.
+#: pid of the per-server track group / the tardy-transaction group /
+#: the fault (crash-window) group.
 _SERVERS_PID = 1
 _TARDY_PID = 2
+_FAULTS_PID = 3
 
 
 def _meta(pid: int, tid: int, name: str, value: str) -> dict[str, Any]:
@@ -126,6 +132,22 @@ def to_trace(
             )
             events.append(
                 {**common, "ph": "e", "ts": span.end * TIME_SCALE, "args": {}}
+            )
+    if run.crash_windows:
+        events.append(_meta(_FAULTS_PID, 0, "process_name", "faults"))
+        events.append(_meta(_FAULTS_PID, 0, "thread_name", "crash windows"))
+        for start, end in run.crash_windows:
+            events.append(
+                {
+                    "name": "crash",
+                    "cat": "fault",
+                    "ph": "X",
+                    "ts": start * TIME_SCALE,
+                    "dur": (end - start) * TIME_SCALE,
+                    "pid": _FAULTS_PID,
+                    "tid": 0,
+                    "args": {"start": start, "end": end},
+                }
             )
     return {
         "traceEvents": events,

@@ -96,6 +96,23 @@ def render_analysis_text(
     ]
     if run.incomplete:
         lines.append(f"incomplete transactions in log: {len(run.incomplete)}")
+    counts = run.outcome_counts()
+    if counts["aborted"] or counts["shed"]:
+        lines.append(
+            f"outcomes: completed {counts['completed']}, "
+            f"aborted {counts['aborted']}, shed {counts['shed']}"
+        )
+    if run.crash_windows:
+        total_down = sum(end - start for start, end in run.crash_windows)
+        lines.append(
+            f"server crash windows: {len(run.crash_windows)} "
+            f"(down {_fmt(total_down)} time units)"
+        )
+    if run.truncated_lines:
+        lines.append(
+            f"log truncated: dropped {run.truncated_lines} torn trailing "
+            f"line(s)"
+        )
     shown = list(blames[:top])
     if shown:
         lines.append(f"worst {len(shown)} tardy transaction(s):")
@@ -110,6 +127,7 @@ def render_analysis_json(
     run: RunLifecycles, blames: Sequence[BlameReport]
 ) -> str:
     """Machine-readable forensics report (schema-versioned)."""
+    counts = run.outcome_counts()
     payload = {
         "version": JSON_SCHEMA_VERSION,
         "policy": run.policy,
@@ -119,6 +137,10 @@ def render_analysis_json(
         "tardy": len(run.tardy()),
         "total_tardiness": run.total_tardiness,
         "incomplete": list(run.incomplete),
+        "aborted": counts["aborted"],
+        "shed": counts["shed"],
+        "crash_windows": [list(w) for w in run.crash_windows],
+        "truncated_lines": run.truncated_lines,
         "transactions": [_blame_dict(b) for b in blames],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
@@ -136,6 +158,8 @@ def _delta_lines(delta: TxnDelta) -> list[str]:
             "dependency_wait",
             "wait_behind",
             "preemption_gap",
+            "retry_wait",
+            "rework",
             "overhead",
         )
         if abs(delta.delta(key)) > 5e-4

@@ -65,6 +65,45 @@ class Instrument:
     def on_completion(self, txn: "Transaction", now: float) -> None:
         """``txn`` finished all its work."""
 
+    # ------------------------------------------------------------------
+    # Fault-injection hooks (:mod:`repro.faults`); never called without
+    # a fault plan.
+    # ------------------------------------------------------------------
+    def on_stall(self, txn: "Transaction", amount: float, now: float) -> None:
+        """A transient stall inflated ``txn``'s true remaining work by
+        ``amount`` time units (the scheduler's belief is untouched)."""
+
+    def on_abort(
+        self,
+        txn: "Transaction",
+        now: float,
+        lost: float,
+        attempt: int,
+        exhausted: bool,
+    ) -> None:
+        """Attempt ``attempt`` (0-based) of ``txn`` was aborted.
+
+        ``lost`` is the served work discarded by the rollback (0 under
+        checkpoint-resume work loss).  ``exhausted`` marks the terminal
+        abort: the retry budget is spent and ``txn`` will never run
+        again."""
+
+    def on_retry(
+        self, txn: "Transaction", now: float, attempt: int, deadline: float
+    ) -> None:
+        """``txn`` was re-submitted as attempt ``attempt`` (1-based)
+        with the backoff-extended ``deadline``."""
+
+    def on_crash(self, now: float, down: int) -> None:
+        """A server crash window opened; ``down`` servers are now down."""
+
+    def on_recover(self, now: float, down: int) -> None:
+        """A crash window closed; ``down`` servers remain down."""
+
+    def on_shed(self, txn: "Transaction", now: float, reason: str) -> None:
+        """Admission control rejected ready ``txn`` (overload);
+        ``reason`` names the shed policy that picked it."""
+
     def on_scheduling_point(
         self, now: float, ready: int, running: int, select_seconds: float
     ) -> None:
@@ -135,6 +174,39 @@ class MultiInstrument(Instrument):
     def on_completion(self, txn: "Transaction", now: float) -> None:
         for ins in self.instruments:
             ins.on_completion(txn, now)
+
+    def on_stall(self, txn: "Transaction", amount: float, now: float) -> None:
+        for ins in self.instruments:
+            ins.on_stall(txn, amount, now)
+
+    def on_abort(
+        self,
+        txn: "Transaction",
+        now: float,
+        lost: float,
+        attempt: int,
+        exhausted: bool,
+    ) -> None:
+        for ins in self.instruments:
+            ins.on_abort(txn, now, lost, attempt, exhausted)
+
+    def on_retry(
+        self, txn: "Transaction", now: float, attempt: int, deadline: float
+    ) -> None:
+        for ins in self.instruments:
+            ins.on_retry(txn, now, attempt, deadline)
+
+    def on_crash(self, now: float, down: int) -> None:
+        for ins in self.instruments:
+            ins.on_crash(now, down)
+
+    def on_recover(self, now: float, down: int) -> None:
+        for ins in self.instruments:
+            ins.on_recover(now, down)
+
+    def on_shed(self, txn: "Transaction", now: float, reason: str) -> None:
+        for ins in self.instruments:
+            ins.on_shed(txn, now, reason)
 
     def on_scheduling_point(
         self, now: float, ready: int, running: int, select_seconds: float

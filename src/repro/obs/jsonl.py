@@ -14,39 +14,60 @@ The first record is the run header::
 
 Every subsequent record carries ``kind`` and ``t`` (simulated time):
 
-========== ==========================================================
-``kind``    extra fields
-========== ==========================================================
-arrival     ``txn`` [+ ``deps``]
-dispatch    ``txn``, ``overhead``
-preempt     ``txn``
-overhead    ``txn``, ``amount``
-completion  ``txn``, ``tardiness`` [+ ``response_time``]
-sched       ``ready``, ``running``, ``select_s``
-run_end     [+ ``completed``, ``tardy``, ``makespan``]
-========== ==========================================================
+============= ==========================================================
+``kind``       extra fields
+============= ==========================================================
+arrival        ``txn`` [+ ``deps``]
+dispatch       ``txn``, ``overhead``
+preempt        ``txn``
+overhead       ``txn``, ``amount``
+completion     ``txn``, ``tardiness`` [+ ``response_time``]
+sched          ``ready``, ``running``, ``select_s``
+fault.stall    ``txn``, ``amount``
+fault.abort    ``txn``, ``lost``, ``attempt`` [+ ``exhausted``]
+retry          ``txn``, ``attempt``, ``deadline``
+fault.crash    ``down``
+fault.recover  ``down``
+shed           ``txn``, ``reason``
+run_end        [+ ``completed``, ``tardy``, ``makespan``,
+               ``aborted``, ``shed``, ``retries``]
+============= ==========================================================
 
 Fields in brackets are *additive* schema-1 extensions (still schema 1):
 ``deps`` is the transaction's dependency list (omitted when empty),
 ``response_time`` is ``f_i - a_i``, and the ``run_end`` trailer carries
-the run totals.  Logs written before these fields existed remain valid;
-readers — including :mod:`repro.obs.analyze` — must tolerate their
-absence.
+the run totals.  The fault kinds (``fault.*``, ``retry``, ``shed``) are
+likewise additive: only runs under a :mod:`repro.faults` plan emit them,
+and the ``run_end`` outcome counters appear only when nonzero — a
+fault-free log is byte-identical to the pre-fault format.  Logs written
+before these fields existed remain valid; readers — including
+:mod:`repro.obs.analyze` — must tolerate their absence.
 
 Reading is strict by default: a missing/alien header or an unparseable
 line raises :class:`~repro.errors.ObservabilityError`.  Pass
-``strict=False`` to read partial logs (e.g. from an aborted run).
+``strict=False`` to read partial logs (e.g. from an aborted run), or use
+:func:`read_tolerant` to accept a log whose *final* line was cut short
+by a crash (the writer flushes per event, so at most one trailing line
+can ever be torn).
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import warnings
 from typing import IO, Iterable, Iterator
 
 from repro.errors import ObservabilityError
 
-__all__ = ["SCHEMA_VERSION", "JsonlWriter", "write", "read", "iter_records"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "JsonlWriter",
+    "write",
+    "read",
+    "read_tolerant",
+    "iter_records",
+]
 
 #: Current event-log schema version; bumped on incompatible changes.
 SCHEMA_VERSION = 1
@@ -72,6 +93,10 @@ class JsonlWriter:
             raise ObservabilityError(f"writer for {self.path} already closed")
         self._file.write(json.dumps(record, separators=(",", ":")))
         self._file.write("\n")
+        # Crash tolerance: flush per event so a killed process loses at
+        # most the line it was writing — which :func:`read_tolerant`
+        # then tolerates instead of rejecting the whole log.
+        self._file.flush()
         self.records_written += 1
 
     def close(self) -> None:
@@ -148,3 +173,55 @@ def _validate_header(record: dict, path: pathlib.Path) -> None:
 def read(path: str | pathlib.Path, strict: bool = True) -> list[dict]:
     """Read a whole event log into memory (header included)."""
     return list(iter_records(path, strict=strict))
+
+
+def read_tolerant(
+    path: str | pathlib.Path, strict: bool = True
+) -> tuple[list[dict], int]:
+    """Read an event log, tolerating a truncated *final* line.
+
+    The per-event flush of :class:`JsonlWriter` guarantees a crashed run
+    loses at most the one line it was mid-write, so only the last
+    non-empty line may legally fail to parse: it is dropped with a
+    :class:`UserWarning` and counted in the returned
+    ``(records, truncated_lines)`` pair (``truncated_lines`` is 0 or 1).
+    An unparseable line anywhere *else* still raises
+    :class:`~repro.errors.ObservabilityError` — that is corruption, not
+    truncation.
+    """
+    path = pathlib.Path(path)
+    raw: list[tuple[int, str]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if line:
+                raw.append((lineno, line))
+    records: list[dict] = []
+    truncated = 0
+    for index, (lineno, line) in enumerate(raw):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if index == len(raw) - 1:
+                warnings.warn(
+                    f"{path}:{lineno}: dropping truncated trailing line "
+                    f"({exc})",
+                    UserWarning,
+                    stacklevel=2,
+                )
+                truncated = 1
+                break
+            raise ObservabilityError(
+                f"{path}:{lineno}: invalid JSON: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise ObservabilityError(
+                f"{path}:{lineno}: expected a JSON object, got "
+                f"{type(record).__name__}"
+            )
+        records.append(record)
+    if records and strict:
+        _validate_header(records[0], path)
+    if not records:
+        raise ObservabilityError(f"{path}: no parseable records")
+    return records, truncated

@@ -65,10 +65,16 @@ class Recorder(Instrument):
         self._completions = self.registry.counter("completions")
         self._sched_points = self.registry.counter("scheduling_points")
         self._overhead = self.registry.counter("overhead_paid")
+        self._aborts = self.registry.counter("aborts")
+        self._retries = self.registry.counter("retries")
+        self._sheds = self.registry.counter("sheds")
+        self._crashes = self.registry.counter("crashes")
+        self._stalls = self.registry.counter("stalls")
         self._queue_depth = self.registry.histogram("queue_depth")
         self._select_hist = self.registry.histogram(
             "select_seconds", bounds=LATENCY_BUCKETS
         )
+        self._aborted_exhausted = 0
         self._policy = "?"
         self._n = 0
         self._servers = 1
@@ -153,6 +159,71 @@ class Recorder(Instrument):
                 }
             )
 
+    # ------------------------------------------------------------------
+    # Fault-injection callbacks (schema-1 additive event kinds; a
+    # fault-free run emits none of them, keeping its log byte-identical).
+    # ------------------------------------------------------------------
+    def on_stall(self, txn: "Transaction", amount: float, now: float) -> None:
+        self._stalls.inc()
+        if self._keep_events:
+            self.events.append(
+                {"kind": "fault.stall", "t": now, "txn": txn.txn_id, "amount": amount}
+            )
+
+    def on_abort(
+        self,
+        txn: "Transaction",
+        now: float,
+        lost: float,
+        attempt: int,
+        exhausted: bool,
+    ) -> None:
+        self._aborts.inc()
+        if exhausted:
+            self._aborted_exhausted += 1
+        if self._keep_events:
+            record = {
+                "kind": "fault.abort",
+                "t": now,
+                "txn": txn.txn_id,
+                "lost": lost,
+                "attempt": attempt,
+            }
+            if exhausted:
+                record["exhausted"] = True
+            self.events.append(record)
+
+    def on_retry(
+        self, txn: "Transaction", now: float, attempt: int, deadline: float
+    ) -> None:
+        self._retries.inc()
+        if self._keep_events:
+            self.events.append(
+                {
+                    "kind": "retry",
+                    "t": now,
+                    "txn": txn.txn_id,
+                    "attempt": attempt,
+                    "deadline": deadline,
+                }
+            )
+
+    def on_crash(self, now: float, down: int) -> None:
+        self._crashes.inc()
+        if self._keep_events:
+            self.events.append({"kind": "fault.crash", "t": now, "down": down})
+
+    def on_recover(self, now: float, down: int) -> None:
+        if self._keep_events:
+            self.events.append({"kind": "fault.recover", "t": now, "down": down})
+
+    def on_shed(self, txn: "Transaction", now: float, reason: str) -> None:
+        self._sheds.inc()
+        if self._keep_events:
+            self.events.append(
+                {"kind": "shed", "t": now, "txn": txn.txn_id, "reason": reason}
+            )
+
     def on_scheduling_point(
         self, now: float, ready: int, running: int, select_seconds: float
     ) -> None:
@@ -176,15 +247,22 @@ class Recorder(Instrument):
         self._finished = True
         self._end_time = now
         if self._keep_events:
-            self.events.append(
-                {
-                    "kind": "run_end",
-                    "t": now,
-                    "completed": int(self._completions.value),
-                    "tardy": self._tardy,
-                    "makespan": now,
-                }
-            )
+            record = {
+                "kind": "run_end",
+                "t": now,
+                "completed": int(self._completions.value),
+                "tardy": self._tardy,
+                "makespan": now,
+            }
+            # Additive schema-1 keys, present only when nonzero so a
+            # fault-free log stays byte-identical to the pre-fault format.
+            if self._aborted_exhausted:
+                record["aborted"] = self._aborted_exhausted
+            if self._sheds.value:
+                record["shed"] = int(self._sheds.value)
+            if self._retries.value:
+                record["retries"] = int(self._retries.value)
+            self.events.append(record)
 
     # ------------------------------------------------------------------
     # Products.
@@ -218,6 +296,11 @@ class Recorder(Instrument):
             select_p90=p90,
             select_p99=p99,
             select_max=pmax,
+            aborted=self._aborted_exhausted,
+            shed=int(self._sheds.value),
+            retries=int(self._retries.value),
+            crashes=int(self._crashes.value),
+            stalls=int(self._stalls.value),
         )
 
     def write_events(self, path: str | pathlib.Path) -> pathlib.Path:

@@ -60,6 +60,13 @@ class RunReport:
     select_p90: float = 0.0
     select_p99: float = 0.0
     select_max: float = 0.0
+    #: Fault-injection outcomes (:mod:`repro.faults`); all zero — and
+    #: absent from the rendered report — in a fault-free run.
+    aborted: int = 0
+    shed: int = 0
+    retries: int = 0
+    crashes: int = 0
+    stalls: int = 0
     extras: dict = field(default_factory=dict)
 
     @staticmethod
@@ -109,6 +116,13 @@ class RunReport:
                  self.select_p50, self.select_p90,
                  self.select_p99, self.select_max))),
         ]
+        if self.aborted or self.shed or self.retries or self.crashes or self.stalls:
+            rows.append((
+                "faults",
+                f"aborted={self.aborted} shed={self.shed} "
+                f"retries={self.retries} crashes={self.crashes} "
+                f"stalls={self.stalls}",
+            ))
         for key, value in sorted(self.extras.items()):
             rows.append((key, str(value)))
         width = max(len(label) for label, _ in rows)

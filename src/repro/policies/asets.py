@@ -81,10 +81,15 @@ class ASETS(Scheduler):
         self._seq = itertools.count()
         # (deadline, arrival, id, seq, txn): feasible txns, EDF order.
         self._edf: list[tuple[float, float, int, int, Transaction]] = []
-        # (latest_start, remaining_snapshot, seq, txn): migration thresholds.
-        self._migrate: list[tuple[float, float, int, Transaction]] = []
-        # (order_key, arrival, id, seq, txn): tardy txns, SRPT/HDF order.
-        self._srpt: list[tuple[float, float, int, int, Transaction]] = []
+        # (latest_start, remaining_snapshot, seq, deadline, txn): migration
+        # thresholds.  The deadline snapshot rides along *after* the unique
+        # seq — it can never influence heap order — and marks entries stale
+        # when a fault retry re-submits the transaction with a new deadline.
+        self._migrate: list[tuple[float, float, int, float, Transaction]] = []
+        # (order_key, arrival, id, seq, deadline, txn): tardy txns,
+        # SRPT/HDF order; the deadline snapshot serves the same staleness
+        # role as on the migration heap.
+        self._srpt: list[tuple[float, float, int, int, float, Transaction]] = []
 
     # ------------------------------------------------------------------
     # Insertion.
@@ -99,13 +104,26 @@ class ASETS(Scheduler):
             )
             heapq.heappush(
                 self._migrate,
-                (txn.latest_start_time(), txn.scheduling_remaining, seq, txn),
+                (
+                    txn.latest_start_time(),
+                    txn.scheduling_remaining,
+                    seq,
+                    txn.deadline,
+                    txn,
+                ),
             )
 
     def _push_srpt(self, txn: Transaction) -> None:
         heapq.heappush(
             self._srpt,
-            (self._srpt_key(txn), txn.arrival, txn.txn_id, next(self._seq), txn),
+            (
+                self._srpt_key(txn),
+                txn.arrival,
+                txn.txn_id,
+                next(self._seq),
+                txn.deadline,
+                txn,
+            ),
         )
 
     def _srpt_key(self, txn: Transaction) -> float:
@@ -124,12 +142,17 @@ class ASETS(Scheduler):
         exact unless the transaction ran in between — in that case the
         snapshot mismatch identifies the entry as stale and a fresher
         entry (pushed at requeue time) carries the correct threshold.
+        A deadline mismatch likewise marks staleness: a fault retry
+        re-submits the transaction with an extended deadline (and, under
+        checkpoint work loss, an *unchanged* remaining), so the deadline
+        snapshot is the only discriminator for the pre-abort entry.
         """
         while self._migrate and self._migrate[0][0] < now:
-            _, snapshot, _, txn = heapq.heappop(self._migrate)
+            _, snapshot, _, deadline, txn = heapq.heappop(self._migrate)
             if txn.state is not TransactionState.READY:
                 continue
-            if snapshot != txn.scheduling_remaining:
+            # repro-lint: disable=RL003 -- snapshot identity, not arithmetic
+            if snapshot != txn.scheduling_remaining or deadline != txn.deadline:
                 continue  # stale: the transaction ran and was re-inserted
             # The threshold passed, so the transaction belongs to the
             # SRPT-List now.  Push unconditionally: re-deriving the
@@ -140,8 +163,15 @@ class ASETS(Scheduler):
 
     def _top_edf(self, now: float) -> Transaction | None:
         while self._edf:
-            _, _, _, _, txn = self._edf[0]
+            deadline, _, _, _, txn = self._edf[0]
             if txn.state is not TransactionState.READY:
+                heapq.heappop(self._edf)
+                continue
+            # repro-lint: disable=RL003 -- snapshot identity, not arithmetic
+            if deadline != txn.deadline:
+                # Stale pre-retry entry: the fault layer re-submitted the
+                # transaction with a new deadline and on_ready pushed a
+                # fresh, correctly-keyed entry.
                 heapq.heappop(self._edf)
                 continue
             if txn.is_past_deadline(now):
@@ -156,15 +186,20 @@ class ASETS(Scheduler):
 
     def _top_srpt(self, now: float) -> Transaction | None:
         while self._srpt:
-            key, _, _, _, txn = self._srpt[0]
+            key, _, _, _, deadline, txn = self._srpt[0]
             if txn.state is not TransactionState.READY:
                 heapq.heappop(self._srpt)
                 continue
-            if key != self._srpt_key(txn):
-                heapq.heappop(self._srpt)  # superseded by a requeued entry
+            # repro-lint: disable=RL003 -- snapshot identity, not arithmetic
+            if key != self._srpt_key(txn) or deadline != txn.deadline:
+                # Superseded by a requeued entry, or left over from a
+                # pre-retry attempt (the extended deadline may have moved
+                # the transaction back to the EDF-List).
+                heapq.heappop(self._srpt)
                 continue
-            # Membership is one-way, so no deadline re-check: an entry on
-            # this list stays here until the transaction completes.
+            # Membership is one-way *within an attempt*, so no deadline
+            # feasibility re-check: an entry on this list stays here until
+            # the transaction completes or is re-submitted by a retry.
             return txn
         return None
 
@@ -199,9 +234,11 @@ class ASETS(Scheduler):
         self._migrate_expired(now)
         seen: set[int] = set()
         out = []
-        for _, _, _, _, txn in sorted(self._edf):
+        for deadline, _, _, _, txn in sorted(self._edf):
             if (
                 txn.state is TransactionState.READY
+                # repro-lint: disable=RL003 -- snapshot identity, not arithmetic
+                and deadline == txn.deadline
                 and not txn.is_past_deadline(now)
                 and txn.txn_id not in seen
             ):
@@ -214,10 +251,12 @@ class ASETS(Scheduler):
         self._migrate_expired(now)
         seen: set[int] = set()
         out = []
-        for key, _, _, _, txn in sorted(self._srpt):
+        for key, _, _, _, deadline, txn in sorted(self._srpt):
             if (
                 txn.state is TransactionState.READY
                 and key == self._srpt_key(txn)
+                # repro-lint: disable=RL003 -- snapshot identity, not arithmetic
+                and deadline == txn.deadline
                 and txn.txn_id not in seen
             ):
                 seen.add(txn.txn_id)

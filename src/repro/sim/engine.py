@@ -42,6 +42,8 @@ from repro.sim.results import SimulationResult, TransactionRecord
 from repro.sim.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.admission import ShedPolicy
+    from repro.faults.plan import FaultPlan, TxnFaultSchedule
     from repro.obs.hooks import Instrument
 
 __all__ = ["Simulator"]
@@ -60,6 +62,17 @@ class _Dispatch:
     #: Context-switch overhead still to be served before real work
     #: resumes (0 unless the simulator models preemption costs).
     overhead_left: float = 0.0
+
+
+@dataclass(slots=True)
+class _FaultState:
+    """Mutable per-transaction cursor over its planned fault schedule."""
+
+    schedule: "TxnFaultSchedule"
+    #: Index of the next unconsumed abort point (one per attempt).
+    next_abort: int = 0
+    #: A stall fires at most once per transaction, across all attempts.
+    stall_fired: bool = False
 
 
 class Simulator:
@@ -96,6 +109,16 @@ class Simulator:
         free of any instrumentation cost beyond one ``is not None``
         check per call site; ``policy.select`` wall-time is measured
         (``perf_counter``) only when an instrument is attached.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` enabling fault
+        injection: planned aborts with bounded retries and exponential
+        backoff, server crash/recovery windows (crashed servers drain
+        their running transaction back to the ready pool), transient
+        processing stalls, and — when the plan's spec sets
+        ``backlog_limit`` — admission control shedding lowest-value
+        ready work under overload.  ``None`` (the default) keeps every
+        code path and event schedule byte-identical to the fault-free
+        engine.
 
     Examples
     --------
@@ -118,6 +141,7 @@ class Simulator:
         servers: int = 1,
         preemption_overhead: float = 0.0,
         instrument: "Instrument | None" = None,
+        faults: "FaultPlan | None" = None,
     ) -> None:
         if not transactions:
             raise SimulationError("cannot simulate an empty transaction pool")
@@ -129,6 +153,14 @@ class Simulator:
             )
         self._overhead = preemption_overhead
         self._instrument = instrument
+        self._faults = faults
+        self._shed_policy: "ShedPolicy | None" = None
+        self._shed_limit: int | None = None
+        if faults is not None and faults.spec.backlog_limit is not None:
+            from repro.faults.admission import make_shed_policy
+
+            self._shed_limit = faults.spec.backlog_limit
+            self._shed_policy = make_shed_policy(faults.spec.shed_policy)
         self._txns = {txn.txn_id: txn for txn in transactions}
         if len(self._txns) != len(transactions):
             raise SimulationError("duplicate transaction ids in pool")
@@ -160,6 +192,11 @@ class Simulator:
         self._running: dict[int, _Dispatch] = {}
         self._token_counter = 0
         self._completed = 0
+        #: Transactions in any terminal state (completed + aborted +
+        #: shed); the run loop drains until every transaction finished.
+        self._finished = 0
+        self._down = 0
+        self._fault_state: dict[int, _FaultState] = {}
         self._ready_count = 0
         self.scheduling_points = 0
         self.preemptions = 0
@@ -188,18 +225,18 @@ class Simulator:
         if self._instrument is not None:
             self._instrument.on_run_start(self._policy.name, n, self._servers)
         now = 0.0
-        while self._completed < n:
+        while self._finished < n:
             if not self._events:
                 raise SimulationError(
-                    f"event queue exhausted with {n - self._completed} "
-                    "transactions incomplete"
+                    f"event queue exhausted with {n - self._finished} "
+                    "transactions unfinished"
                 )
             batch = self._events.pop_batch()
             now = batch[0].time
             self._sync_running(now)
             for event in batch:
                 self._handle(event, now)
-            if self._completed >= n:
+            if self._finished >= n:
                 break
             self._reschedule(now)
         if self._instrument is not None:
@@ -230,6 +267,8 @@ class Simulator:
         self._running = {}
         self._token_counter = 0
         self._completed = 0
+        self._finished = 0
+        self._down = 0
         self._ready_count = 0
         self.scheduling_points = 0
         self.preemptions = 0
@@ -238,6 +277,18 @@ class Simulator:
             self._events.push(
                 Event(txn.arrival, EventKind.ARRIVAL, next(self._seq), txn.txn_id)
             )
+        if self._faults is not None:
+            self._fault_state = {
+                tid: _FaultState(schedule=sched)
+                for tid, sched in sorted(self._faults.schedules.items())
+            }
+            for window in self._faults.crash_windows:
+                self._events.push(
+                    Event(window.start, EventKind.CRASH, next(self._seq))
+                )
+                self._events.push(
+                    Event(window.end, EventKind.RECOVER, next(self._seq))
+                )
         period = self._policy.activation_period
         if period is not None:
             if period <= 0:
@@ -278,6 +329,14 @@ class Simulator:
             self._handle_completion(event, now)
         elif event.kind is EventKind.ARRIVAL:
             self._handle_arrival(event, now)
+        elif event.kind is EventKind.FAULT:
+            self._handle_fault(event, now)
+        elif event.kind is EventKind.CRASH:
+            self._handle_crash(now)
+        elif event.kind is EventKind.RECOVER:
+            self._handle_recover(now)
+        elif event.kind is EventKind.RETRY:
+            self._handle_retry(event, now)
         else:
             self._handle_activation(now)
 
@@ -303,11 +362,25 @@ class Simulator:
         txn.mark_completed(now)
         del self._running[event.txn_id]
         self._completed += 1
+        self._finished += 1
         self._policy.on_completion(txn, now)
         if self._instrument is not None:
             self._instrument.on_completion(txn, now)
         if self._workflows is not None:
             self._workflows.notify_changed(txn.txn_id)
+        self._release_dependents(txn, now)
+
+    def _release_dependents(self, txn: Transaction, now: float) -> None:
+        """Unblock dependents once ``txn`` reached a terminal state.
+
+        Shared by completion and by the terminal fault outcomes
+        (aborted-exhausted, shed): a dead dependency no longer gates its
+        dependents — the page renders the fragment from a fallback, the
+        dependent fragments still materialise (documented in
+        ``docs/faults.md``).  A dependent parked in retry-wait is never
+        touched here: its dependencies completed before it first ran, so
+        its pending count is already zero.
+        """
         for dep_id in self._dependents[txn.txn_id]:
             self._pending_deps[dep_id] -= 1
             dependent = self._txns[dep_id]
@@ -336,10 +409,210 @@ class Simulator:
     def _handle_activation(self, now: float) -> None:
         self._policy.on_activation(now)
         period = self._policy.activation_period
-        if period is not None and self._completed < len(self._txns):
+        if period is not None and self._finished < len(self._txns):
             self._events.push(
                 Event(now + period, EventKind.ACTIVATION, next(self._seq))
             )
+
+    # ------------------------------------------------------------------
+    # Fault injection (:mod:`repro.faults`); no-ops without a fault plan.
+    # ------------------------------------------------------------------
+    def _pending_trigger(
+        self, txn: Transaction, state: _FaultState
+    ) -> tuple[str, float] | None:
+        """The next planned fault of the current attempt, or ``None``.
+
+        Thresholds are served-time positions within the attempt.  On a
+        tie the stall fires first (it keeps the transaction running, so
+        the subsequent abort still has something to interrupt).
+        """
+        sched = state.schedule
+        best: tuple[str, float] | None = None
+        if sched.stall_at is not None and not state.stall_fired:
+            best = ("stall", sched.stall_at)
+        if state.next_abort < len(sched.abort_points):
+            abort_at = sched.abort_points[state.next_abort]
+            if best is None or abort_at < best[1]:
+                best = ("abort", abort_at)
+        return best
+
+    def _schedule_fault_trigger(
+        self, txn: Transaction, now: float, overhead: float, token: int
+    ) -> None:
+        """Arm the attempt's next fault trigger, if it precedes completion.
+
+        Called at dispatch (and after a stall re-issues the completion):
+        the trigger fires once the attempt has served up to the planned
+        threshold.  A preemption makes the event stale via its dispatch
+        ``token`` — the work postpones, and so does the fault.
+        """
+        state = self._fault_state.get(txn.txn_id)
+        if state is None:
+            return
+        trigger = self._pending_trigger(txn, state)
+        if trigger is None:
+            return
+        delta = trigger[1] - txn.attempt_served
+        if delta >= txn.remaining - 1e-12:
+            return  # the attempt completes before the fault lands
+        self._events.push(
+            Event(
+                now + overhead + max(0.0, delta),
+                EventKind.FAULT,
+                next(self._seq),
+                txn.txn_id,
+                token=token,
+            )
+        )
+
+    def _handle_fault(self, event: Event, now: float) -> None:
+        dispatch = self._running.get(event.txn_id)
+        if dispatch is None or event.token != dispatch.token:
+            return  # stale: that dispatch was preempted or re-issued
+        txn = dispatch.txn
+        state = self._fault_state[txn.txn_id]
+        trigger = self._pending_trigger(txn, state)
+        if trigger is None:  # pragma: no cover - defensive
+            return
+        if trigger[0] == "stall":
+            self._fire_stall(dispatch, state, now)
+        else:
+            self._fire_abort(dispatch, state, now)
+
+    def _fire_stall(
+        self, dispatch: _Dispatch, state: _FaultState, now: float
+    ) -> None:
+        """Inflate the running attempt's true remaining work.
+
+        The belief is untouched (a stall is invisible to the scheduler
+        until the work out-lives its estimate), but the pending
+        completion event is now premature: re-issue it under a fresh
+        token and re-arm the next trigger of this attempt.
+        """
+        txn = dispatch.txn
+        extra = state.schedule.stall_extra
+        state.stall_fired = True
+        txn.inflate(extra)
+        if self._instrument is not None:
+            self._instrument.on_stall(txn, extra, now)
+        if self._workflows is not None:
+            self._workflows.notify_changed(txn.txn_id)
+        self._token_counter += 1
+        dispatch.token = self._token_counter
+        self._events.push(
+            Event(
+                now + dispatch.overhead_left + txn.remaining,
+                EventKind.COMPLETION,
+                next(self._seq),
+                txn.txn_id,
+                token=dispatch.token,
+            )
+        )
+        self._schedule_fault_trigger(
+            txn, now, dispatch.overhead_left, dispatch.token
+        )
+
+    def _fire_abort(
+        self, dispatch: _Dispatch, state: _FaultState, now: float
+    ) -> None:
+        """Abort the running attempt: retry with backoff, or give up."""
+        assert self._faults is not None
+        spec = self._faults.spec
+        txn = dispatch.txn
+        state.next_abort += 1
+        attempt = txn.retries
+        full_restart = spec.work_loss == "restart"
+        lost = txn.attempt_served if full_restart else 0.0
+        exhausted = txn.retries >= spec.max_retries
+        del self._running[txn.txn_id]
+        if exhausted:
+            txn.mark_aborted(now)
+            self._finished += 1
+            if self._instrument is not None:
+                self._instrument.on_abort(txn, now, lost, attempt, True)
+            if self._workflows is not None:
+                self._workflows.notify_changed(txn.txn_id)
+            self._release_dependents(txn, now)
+            return
+        txn.mark_retry_wait()
+        txn.rollback(full=full_restart)
+        if self._instrument is not None:
+            self._instrument.on_abort(txn, now, lost, attempt, False)
+        if self._workflows is not None:
+            self._workflows.notify_changed(txn.txn_id)
+        delay = spec.retry_delay * spec.retry_backoff**txn.retries
+        self._events.push(
+            Event(now + delay, EventKind.RETRY, next(self._seq), txn.txn_id)
+        )
+
+    def _handle_retry(self, event: Event, now: float) -> None:
+        """Re-submit an aborted transaction after its backoff elapsed.
+
+        The re-submission deadline stretches the original *relative*
+        deadline by the backoff factor: retry ``k`` (1-based) gets
+        ``now + (d - a) * backoff**(k-1)`` — the SLA of a re-issued
+        fragment is renegotiated from the moment of re-submission.
+        """
+        assert self._faults is not None
+        txn = self._txns[event.txn_id]
+        spec = self._faults.spec
+        relative = txn.submitted_deadline - txn.arrival
+        new_deadline = now + relative * spec.retry_backoff**txn.retries
+        txn.resubmit(now, new_deadline)
+        self._ready_count += 1
+        if self._instrument is not None:
+            self._instrument.on_retry(txn, now, txn.retries, new_deadline)
+        self._policy.on_ready(txn, now)
+        if self._workflows is not None:
+            self._workflows.notify_changed(txn.txn_id)
+
+    def _handle_crash(self, now: float) -> None:
+        """A crash window opens: one server goes down.
+
+        The dispatch drain is not special-cased: the universal
+        suspend-and-reselect of :meth:`_reschedule` already returns every
+        running transaction to the ready pool, and the reduced server
+        count simply re-dispatches fewer of them (preempted work is
+        never lost, so a drained transaction resumes where it stopped).
+        """
+        self._down += 1
+        if self._instrument is not None:
+            self._instrument.on_crash(now, self._down)
+
+    def _handle_recover(self, now: float) -> None:
+        self._down = max(0, self._down - 1)
+        if self._instrument is not None:
+            self._instrument.on_recover(now, self._down)
+
+    def _shed_overload(self, now: float) -> None:
+        """Admission control: shed lowest-value ready work over the limit.
+
+        Runs before the universal suspend, so running work is never a
+        victim.  Shedding a transaction releases its dependents (they
+        render from fallbacks), which can push the backlog back over the
+        limit — hence the loop, which terminates because every pass
+        sheds at least one transaction.
+        """
+        assert self._shed_policy is not None and self._shed_limit is not None
+        instrument = self._instrument
+        while True:
+            ready = [
+                txn
+                for txn in self._txns.values()
+                if txn.state is TransactionState.READY
+            ]
+            excess = len(ready) - self._shed_limit
+            if excess <= 0:
+                return
+            for txn in self._shed_policy.victims(ready, now, excess):
+                txn.mark_shed(now)
+                self._ready_count -= 1
+                self._finished += 1
+                if instrument is not None:
+                    instrument.on_shed(txn, now, self._shed_policy.name)
+                if self._workflows is not None:
+                    self._workflows.notify_changed(txn.txn_id)
+                self._release_dependents(txn, now)
 
     # ------------------------------------------------------------------
     # Dispatch.
@@ -347,6 +620,10 @@ class Simulator:
     def _reschedule(self, now: float) -> None:
         self.scheduling_points += 1
         instrument = self._instrument
+        # Admission control runs before the universal suspend: only READY
+        # work can be shed, never a transaction holding a server.
+        if self._shed_limit is not None:
+            self._shed_overload(now)
         previous = list(self._running.values())
         for dispatch in previous:
             dispatch.txn.mark_suspended()
@@ -359,9 +636,15 @@ class Simulator:
         leftover_overhead = {
             d.txn.txn_id: d.overhead_left for d in previous
         }
+        # Crashed servers accept no work until their window closes.
+        available = (
+            self._servers
+            if self._faults is None
+            else max(0, self._servers - self._down)
+        )
         dispatched: set[int] = set()
         select_seconds = 0.0
-        for _ in range(self._servers):
+        for _ in range(available):
             if instrument is not None:
                 t0 = perf_counter()
                 candidate = self._policy.select(now)
@@ -384,7 +667,7 @@ class Simulator:
             self._dispatch(candidate, now, overhead)
             dispatched.add(candidate.txn_id)
 
-        if previous and not dispatched:
+        if previous and not dispatched and available > 0:
             raise SchedulingError(
                 f"policy {self._policy.name} idled while "
                 f"{sorted(previously_running)} were runnable"
@@ -422,3 +705,5 @@ class Simulator:
                 token=self._token_counter,
             )
         )
+        if self._faults is not None:
+            self._schedule_fault_trigger(txn, now, overhead, self._token_counter)

@@ -1,15 +1,25 @@
 """Event types of the RTDBMS simulator.
 
-Three kinds of events advance the simulation clock:
+Three kinds of events advance the simulation clock in every run:
 
 * ``ARRIVAL`` — a transaction is submitted to the database,
 * ``COMPLETION`` — the running transaction finishes, and
 * ``ACTIVATION`` — a periodic tick requested by the balance-aware policy
   (Section III-D, time-based activation).
 
+Fault injection (:mod:`repro.faults`) adds four more, never scheduled
+without a fault plan:
+
+* ``FAULT`` — a planned abort/stall trigger on a running transaction,
+* ``CRASH`` / ``RECOVER`` — a server crash window opens / closes, and
+* ``RETRY`` — an aborted transaction's re-submission delay elapsed.
+
 Events carry a monotonically increasing sequence number so that
 simultaneous events are processed in a deterministic order: completions
-first (freeing dependents), then arrivals, then activation ticks.
+first (freeing dependents), then fault triggers and crash transitions,
+then arrivals and retries, then activation ticks.  The relative order of
+the original three kinds is unchanged, keeping fault-free runs
+byte-identical to the pre-fault engine.
 """
 
 from __future__ import annotations
@@ -24,8 +34,12 @@ class EventKind(enum.IntEnum):
     """Event kinds, ordered by processing priority at equal timestamps."""
 
     COMPLETION = 0
-    ARRIVAL = 1
-    ACTIVATION = 2
+    FAULT = 1
+    CRASH = 2
+    RECOVER = 3
+    ARRIVAL = 4
+    RETRY = 5
+    ACTIVATION = 6
 
 
 @dataclass(frozen=True, slots=True)

@@ -11,16 +11,33 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.core.transaction import Transaction
+from repro.core.transaction import Transaction, TransactionState
 from repro.errors import SimulationError
 from repro.sim.trace import Trace
 
-__all__ = ["TransactionRecord", "SimulationResult"]
+__all__ = ["OUTCOMES", "TransactionRecord", "SimulationResult"]
+
+
+#: Terminal outcomes a record can carry.  ``completed`` is the only one
+#: reachable without fault injection; ``aborted`` means the retry budget
+#: was exhausted, ``shed`` that admission control rejected the work.
+OUTCOMES = ("completed", "aborted", "shed")
+
+_STATE_TO_OUTCOME = {
+    TransactionState.COMPLETED: "completed",
+    TransactionState.ABORTED: "aborted",
+    TransactionState.SHED: "shed",
+}
 
 
 @dataclass(frozen=True, slots=True)
 class TransactionRecord:
-    """Immutable per-transaction outcome of one simulation run."""
+    """Immutable per-transaction outcome of one simulation run.
+
+    ``finish`` is the completion time for ``completed`` records and the
+    abort/shed time otherwise.  ``first_start`` is ``None`` only for
+    transactions shed before ever running.
+    """
 
     txn_id: int
     arrival: float
@@ -28,12 +45,21 @@ class TransactionRecord:
     deadline: float
     weight: float
     finish: float
-    first_start: float
+    first_start: float | None
     preemptions: int
+    outcome: str = "completed"
+    retries: int = 0
 
     @property
     def tardiness(self) -> float:
-        """Definition 3: :math:`\\max(0, f_i - d_i)`."""
+        """Definition 3: :math:`\\max(0, f_i - d_i)`; 0 unless completed.
+
+        Tardiness is only defined for work that was actually delivered;
+        aborted and shed transactions are accounted as outcome counts,
+        not as tardiness mass.
+        """
+        if self.outcome != "completed":
+            return 0.0
         return max(0.0, self.finish - self.deadline)
 
     @property
@@ -48,13 +74,18 @@ class TransactionRecord:
 
     @property
     def met_deadline(self) -> bool:
-        return self.finish <= self.deadline
+        return self.outcome == "completed" and self.finish <= self.deadline
 
     @classmethod
     def from_transaction(cls, txn: Transaction) -> "TransactionRecord":
-        if txn.finish_time is None or txn.first_start_time is None:
+        outcome = _STATE_TO_OUTCOME.get(txn.state)
+        if outcome is None or txn.finish_time is None:
             raise SimulationError(
-                f"transaction {txn.txn_id} did not complete; cannot record"
+                f"transaction {txn.txn_id} did not finish; cannot record"
+            )
+        if outcome == "completed" and txn.first_start_time is None:
+            raise SimulationError(
+                f"transaction {txn.txn_id} completed without ever starting"
             )
         return cls(
             txn_id=txn.txn_id,
@@ -65,6 +96,8 @@ class TransactionRecord:
             finish=txn.finish_time,
             first_start=txn.first_start_time,
             preemptions=txn.preemptions,
+            outcome=outcome,
+            retries=txn.retries,
         )
 
 
@@ -110,20 +143,31 @@ class SimulationResult:
 
     # ------------------------------------------------------------------
     # Aggregates (Definitions 4 and 5, plus Section IV-F's worst case).
+    #
+    # Tardiness aggregates average over the *completed* transactions
+    # (records carry zero tardiness otherwise); without fault injection
+    # every record is completed and the definitions are the paper's.
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:
         return len(self.records)
 
     @property
+    def _n_completed(self) -> int:
+        count = sum(1 for r in self.records if r.outcome == "completed")
+        return count if count else 1  # guard: all-failed run averages to 0
+
+    @property
     def average_tardiness(self) -> float:
-        """Definition 4: :math:`\\frac{1}{N}\\sum t_i`."""
-        return sum(r.tardiness for r in self.records) / self.n
+        """Definition 4: :math:`\\frac{1}{N}\\sum t_i` over completed work."""
+        return sum(r.tardiness for r in self.records) / self._n_completed
 
     @property
     def average_weighted_tardiness(self) -> float:
-        """Definition 5: :math:`\\frac{1}{N}\\sum t_i w_i`."""
-        return sum(r.weighted_tardiness for r in self.records) / self.n
+        """Definition 5: :math:`\\frac{1}{N}\\sum t_i w_i` over completed work."""
+        return (
+            sum(r.weighted_tardiness for r in self.records) / self._n_completed
+        )
 
     @property
     def max_tardiness(self) -> float:
@@ -136,7 +180,10 @@ class SimulationResult:
 
     @property
     def average_response_time(self) -> float:
-        return sum(r.response_time for r in self.records) / self.n
+        completed = [r for r in self.records if r.outcome == "completed"]
+        if not completed:
+            return 0.0
+        return sum(r.response_time for r in completed) / len(completed)
 
     @property
     def total_tardiness(self) -> float:
@@ -148,14 +195,44 @@ class SimulationResult:
 
     @property
     def deadline_miss_ratio(self) -> float:
-        """Fraction of transactions that finished after their deadline."""
-        missed = sum(1 for r in self.records if not r.met_deadline)
-        return missed / self.n
+        """Fraction of completed transactions finishing past their deadline."""
+        completed = [r for r in self.records if r.outcome == "completed"]
+        if not completed:
+            return 0.0
+        missed = sum(1 for r in completed if not r.met_deadline)
+        return missed / len(completed)
 
     @property
     def tardy_count(self) -> int:
-        """How many transactions finished after their deadline."""
-        return sum(1 for r in self.records if not r.met_deadline)
+        """How many transactions completed after their deadline."""
+        return sum(
+            1
+            for r in self.records
+            if r.outcome == "completed" and not r.met_deadline
+        )
+
+    # ------------------------------------------------------------------
+    # Outcome taxonomy (fault injection; all-zero in fault-free runs).
+    # ------------------------------------------------------------------
+    @property
+    def completed_count(self) -> int:
+        """How many transactions ran to completion."""
+        return sum(1 for r in self.records if r.outcome == "completed")
+
+    @property
+    def aborted_count(self) -> int:
+        """How many transactions exhausted their retry budget."""
+        return sum(1 for r in self.records if r.outcome == "aborted")
+
+    @property
+    def shed_count(self) -> int:
+        """How many transactions admission control rejected."""
+        return sum(1 for r in self.records if r.outcome == "shed")
+
+    @property
+    def total_retries(self) -> int:
+        """Total re-submissions across the run."""
+        return sum(r.retries for r in self.records)
 
     @property
     def makespan(self) -> float:
@@ -173,8 +250,12 @@ class SimulationResult:
         return [r.txn_id for r in sorted(self.records, key=lambda r: r.finish)]
 
     def tardy_records(self) -> list[TransactionRecord]:
-        """Records of transactions that missed their deadline."""
-        return [r for r in self.records if not r.met_deadline]
+        """Records of completed transactions that missed their deadline."""
+        return [
+            r
+            for r in self.records
+            if r.outcome == "completed" and not r.met_deadline
+        ]
 
     def tardiness_by_id(self) -> dict[int, float]:
         """Measured per-transaction tardiness, keyed by transaction id.
@@ -197,6 +278,10 @@ class SimulationResult:
             "average_response_time": self.average_response_time,
             "makespan": self.makespan,
             "total_preemptions": float(self.total_preemptions),
+            "completed": float(self.completed_count),
+            "aborted": float(self.aborted_count),
+            "shed": float(self.shed_count),
+            "retries": float(self.total_retries),
         }
         if self.scheduling_points is not None:
             out["scheduling_points"] = float(self.scheduling_points)

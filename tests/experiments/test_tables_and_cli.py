@@ -42,8 +42,11 @@ class TestCLI:
         assert args.n == 50
 
     def test_unknown_target_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["fig99"])
+        # Validation happens in main() (not argparse choices) so the
+        # error can carry a did-you-mean hint; exit code stays 2.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99"])
+        assert excinfo.value.code == 2
 
     def test_table1_command(self, capsys):
         assert main(["table1"]) == 0

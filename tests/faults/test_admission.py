@@ -1,0 +1,66 @@
+"""Unit tests for the admission-control shed policies."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    ShedByFeasibility,
+    ShedByWeight,
+    available_shed_policies,
+    make_shed_policy,
+)
+
+from tests.conftest import make_txn
+
+
+class TestRegistry:
+    def test_both_paper_policies_registered(self):
+        assert available_shed_policies() == ["feasibility", "weight"]
+
+    def test_make_by_name(self):
+        assert isinstance(make_shed_policy("weight"), ShedByWeight)
+        assert isinstance(make_shed_policy("feasibility"), ShedByFeasibility)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(FaultError, match="coin-flip"):
+            make_shed_policy("coin-flip")
+
+
+class TestShedByWeight:
+    def test_lowest_weight_goes_first(self):
+        ready = [
+            make_txn(txn_id=1, weight=5.0),
+            make_txn(txn_id=2, weight=1.0),
+            make_txn(txn_id=3, weight=3.0),
+        ]
+        victims = ShedByWeight().victims(ready, now=0.0, excess=2)
+        assert [t.txn_id for t in victims] == [2, 3]
+
+    def test_ties_break_by_id(self):
+        ready = [make_txn(txn_id=i, weight=1.0) for i in (3, 1, 2)]
+        victims = ShedByWeight().victims(ready, now=0.0, excess=2)
+        assert [t.txn_id for t in victims] == [1, 2]
+
+
+class TestShedByFeasibility:
+    def test_least_slack_goes_first(self):
+        # Same length, staggered deadlines: id 2 is closest to infeasible.
+        ready = [
+            make_txn(txn_id=1, length=5.0, deadline=30.0),
+            make_txn(txn_id=2, length=5.0, deadline=6.0),
+            make_txn(txn_id=3, length=5.0, deadline=12.0),
+        ]
+        victims = ShedByFeasibility().victims(ready, now=0.0, excess=1)
+        assert [t.txn_id for t in victims] == [2]
+
+
+class TestVictims:
+    def test_non_positive_excess_sheds_nothing(self):
+        ready = [make_txn(txn_id=1)]
+        assert ShedByWeight().victims(ready, now=0.0, excess=0) == []
+        assert ShedByWeight().victims(ready, now=0.0, excess=-1) == []
+
+    def test_excess_beyond_pool_returns_everything(self):
+        ready = [make_txn(txn_id=i) for i in (1, 2)]
+        victims = ShedByWeight().victims(ready, now=0.0, excess=5)
+        assert [t.txn_id for t in victims] == [1, 2]

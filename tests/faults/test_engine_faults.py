@@ -1,0 +1,192 @@
+"""Engine behavior under hand-crafted fault plans.
+
+These tests bypass :func:`~repro.faults.plan.plan_faults` and feed the
+engine exact :class:`FaultPlan` objects, so each scenario pins one
+mechanism: restart vs checkpoint work loss, retry budgets and backoff,
+crash windows draining running work, and the admission-control guard.
+"""
+
+import pytest
+
+from repro.faults import CrashWindow, FaultPlan, FaultSpec, TxnFaultSchedule
+from repro.faults.plan import plan_faults
+from repro.obs import Recorder
+from repro.policies.registry import make_policy
+from repro.sim.engine import Simulator
+from repro.workload.generator import generate
+from repro.workload.spec import WorkloadSpec
+
+from tests.conftest import make_txn
+
+_EPS = 1e-9
+
+
+def run(txns, plan, policy="edf", **kwargs):
+    return Simulator(txns, make_policy(policy), faults=plan, **kwargs).run()
+
+
+def abort_plan(txn_ids_to_points, spec=None, crash_windows=()):
+    spec = spec if spec is not None else FaultSpec(abort_prob=0.5)
+    return FaultPlan(
+        spec=spec,
+        schedules={
+            tid: TxnFaultSchedule(txn_id=tid, abort_points=tuple(points))
+            for tid, points in txn_ids_to_points.items()
+        },
+        crash_windows=tuple(crash_windows),
+    )
+
+
+class TestAbortRetry:
+    def test_restart_loses_served_work(self):
+        txn = make_txn(txn_id=1, length=5.0, deadline=100.0)
+        spec = FaultSpec(
+            abort_prob=0.5, work_loss="restart", retry_delay=1.0, max_retries=3
+        )
+        result = run([txn], abort_plan({1: [2.0]}, spec))
+        record = result.records[0]
+        assert record.outcome == "completed"
+        assert record.retries == 1
+        # 2.0 served and lost, 1.0 backoff, then the full 5.0 again.
+        assert record.finish == pytest.approx(2.0 + 1.0 + 5.0, abs=_EPS)
+
+    def test_checkpoint_resumes_from_abort_point(self):
+        txn = make_txn(txn_id=1, length=5.0, deadline=100.0)
+        spec = FaultSpec(
+            abort_prob=0.5, work_loss="checkpoint", retry_delay=1.0, max_retries=3
+        )
+        result = run([txn], abort_plan({1: [2.0]}, spec))
+        record = result.records[0]
+        assert record.retries == 1
+        # Progress survives: only the backoff gap is added to the length.
+        assert record.finish == pytest.approx(5.0 + 1.0, abs=_EPS)
+
+    def test_backoff_grows_exponentially(self):
+        txn = make_txn(txn_id=1, length=6.0, deadline=200.0)
+        spec = FaultSpec(
+            abort_prob=0.5,
+            work_loss="checkpoint",
+            retry_delay=1.0,
+            retry_backoff=2.0,
+            max_retries=3,
+        )
+        result = run([txn], abort_plan({1: [1.0, 1.0]}, spec))
+        record = result.records[0]
+        assert record.retries == 2
+        # Two checkpointed aborts: waits of 1.0 and then 2.0.
+        assert record.finish == pytest.approx(6.0 + 1.0 + 2.0, abs=_EPS)
+
+    def test_exhausted_budget_is_terminal(self):
+        txn = make_txn(txn_id=1, length=5.0, deadline=100.0)
+        spec = FaultSpec(abort_prob=0.5, max_retries=0)
+        result = run([txn], abort_plan({1: [2.0]}, spec))
+        record = result.records[0]
+        assert record.outcome == "aborted"
+        assert result.aborted_count == 1
+        assert record.finish == pytest.approx(2.0, abs=_EPS)
+
+    def test_unfaulted_transactions_unaffected(self):
+        txns = [
+            make_txn(txn_id=1, length=5.0, deadline=100.0),
+            make_txn(txn_id=2, arrival=20.0, length=3.0, deadline=100.0),
+        ]
+        result = run(txns, abort_plan({1: [2.0]}, FaultSpec(abort_prob=0.5)))
+        clean = next(r for r in result.records if r.txn_id == 2)
+        assert clean.retries == 0
+        assert clean.outcome == "completed"
+        assert clean.finish == pytest.approx(23.0, abs=_EPS)
+
+
+class TestStalls:
+    def test_stall_inflates_service_time(self):
+        txn = make_txn(txn_id=1, length=5.0, deadline=100.0)
+        plan = FaultPlan(
+            spec=FaultSpec(stall_prob=0.5),
+            schedules={
+                1: TxnFaultSchedule(txn_id=1, stall_at=2.0, stall_extra=1.5)
+            },
+        )
+        result = run([txn], plan)
+        assert result.records[0].finish == pytest.approx(6.5, abs=_EPS)
+
+
+class TestCrashWindows:
+    def test_crash_drains_running_work(self):
+        txn = make_txn(txn_id=1, length=5.0, deadline=100.0)
+        plan = abort_plan(
+            {},
+            spec=FaultSpec(crash_count=1),
+            crash_windows=[CrashWindow(start=2.0, duration=3.0)],
+        )
+        result = run([txn], plan)
+        # Served 2.0, server down [2, 5), then the rest of the work.
+        assert result.records[0].finish >= 5.0 + 3.0 - _EPS
+
+    def test_crash_events_recorded(self):
+        txn = make_txn(txn_id=1, length=5.0, deadline=100.0)
+        plan = abort_plan(
+            {},
+            spec=FaultSpec(crash_count=1),
+            crash_windows=[CrashWindow(start=2.0, duration=3.0)],
+        )
+        recorder = Recorder()
+        Simulator(
+            [txn], make_policy("edf"), faults=plan, instrument=recorder
+        ).run()
+        kinds = [e["kind"] for e in recorder.events]
+        assert "fault.crash" in kinds
+        assert "fault.recover" in kinds
+
+
+class TestAdmissionControl:
+    def burst(self, n=8):
+        # Simultaneous arrivals, distinct weights: overload at t=0.
+        return [
+            make_txn(txn_id=i, arrival=0.0, length=4.0, deadline=6.0, weight=i)
+            for i in range(1, n + 1)
+        ]
+
+    def test_backlog_over_limit_sheds(self):
+        spec = FaultSpec(backlog_limit=3, shed_policy="weight")
+        result = run(self.burst(), FaultPlan(spec=spec, schedules={}))
+        assert result.shed_count > 0
+        shed = [r for r in result.records if r.outcome == "shed"]
+        for record in shed:
+            assert record.retries == 0
+
+    def test_weight_policy_sheds_lightest_first(self):
+        spec = FaultSpec(backlog_limit=3, shed_policy="weight")
+        result = run(self.burst(), FaultPlan(spec=spec, schedules={}))
+        shed_ids = {r.txn_id for r in result.records if r.outcome == "shed"}
+        kept_ids = {r.txn_id for r in result.records if r.outcome != "shed"}
+        # Weights equal ids here, so every shed id is below every kept id.
+        assert max(shed_ids) < min(kept_ids)
+
+    def test_under_limit_nothing_sheds(self):
+        spec = FaultSpec(backlog_limit=50)
+        result = run(self.burst(), FaultPlan(spec=spec, schedules={}))
+        assert result.shed_count == 0
+
+
+class TestFaultCountsInResult:
+    def test_summary_reports_fault_counters(self):
+        workload = generate(
+            WorkloadSpec(n_transactions=30, utilization=0.9), seed=7
+        )
+        spec = FaultSpec(seed=1, abort_prob=0.3, max_retries=1)
+        plan = plan_faults(spec, workload.transactions)
+        result = run(workload.transactions, plan, policy="asets")
+        summary = result.summary()
+        assert summary["retries"] == float(result.total_retries)
+        assert summary["aborted"] == float(result.aborted_count)
+        assert summary["shed"] == float(result.shed_count)
+
+    def test_fault_free_run_has_zero_counters(self):
+        workload = generate(
+            WorkloadSpec(n_transactions=30, utilization=0.9), seed=7
+        )
+        result = Simulator(workload.transactions, make_policy("asets")).run()
+        assert result.aborted_count == 0
+        assert result.shed_count == 0
+        assert result.total_retries == 0
+        assert all(r.outcome == "completed" for r in result.records)

@@ -1,0 +1,106 @@
+"""Property-based tests of the fault-injection invariants.
+
+Strategy: draw arbitrary :class:`FaultSpec` knobs (seed, abort/stall
+probabilities, crash windows, admission limits) and check the two
+promises the subsystem makes for *any* spec:
+
+* **replayability** — two instrumented runs under the same spec emit
+  byte-identical event streams (modulo the wall-clock ``select_s``
+  field);
+* **conservation under faults** — every reconstructed lifecycle still
+  tiles [arrival, end-of-life] exactly (error <= 1e-9), whether the
+  transaction completed, exhausted its retries, or was shed, and blame
+  attribution stays exact for the tardy completions.
+"""
+
+import json
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.faults import FaultSpec, plan_faults
+from repro.obs import Recorder
+from repro.obs.analyze import attribute_all, reconstruct
+from repro.policies.registry import make_policy
+from repro.sim.engine import Simulator
+from repro.workload.generator import generate
+from repro.workload.spec import WorkloadSpec
+
+SPEC = WorkloadSpec(n_transactions=25, utilization=0.9)
+
+
+@st.composite
+def fault_specs(draw):
+    backlog = draw(st.one_of(st.none(), st.integers(min_value=2, max_value=10)))
+    return FaultSpec(
+        seed=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        abort_prob=draw(st.floats(min_value=0.0, max_value=0.5)),
+        work_loss=draw(st.sampled_from(["restart", "checkpoint"])),
+        max_retries=draw(st.integers(min_value=0, max_value=3)),
+        retry_delay=draw(st.floats(min_value=0.1, max_value=2.0)),
+        crash_count=draw(st.integers(min_value=0, max_value=2)),
+        stall_prob=draw(st.floats(min_value=0.0, max_value=0.4)),
+        stall_max=draw(st.floats(min_value=0.0, max_value=2.0)),
+        backlog_limit=backlog,
+        shed_policy=draw(st.sampled_from(["weight", "feasibility"])),
+    )
+
+
+def _record(fault_spec, policy="asets", seed=11):
+    workload = generate(SPEC, seed=seed)
+    plan = plan_faults(fault_spec, workload.transactions)
+    recorder = Recorder()
+    result = Simulator(
+        workload.transactions,
+        make_policy(policy),
+        workflow_set=workload.workflow_set,
+        instrument=recorder,
+        faults=plan,
+    ).run()
+    return result, recorder.events
+
+
+def _norm(events):
+    out = []
+    for event in events:
+        event = dict(event)
+        event.pop("select_s", None)
+        out.append(json.dumps(event, sort_keys=True))
+    return out
+
+
+@given(fault_spec=fault_specs())
+@settings(max_examples=20, deadline=None)
+def test_any_spec_replays_byte_identically(fault_spec):
+    _, first = _record(fault_spec)
+    _, second = _record(fault_spec)
+    assert _norm(first) == _norm(second)
+
+
+@given(fault_spec=fault_specs())
+@settings(max_examples=20, deadline=None)
+def test_conservation_holds_for_every_outcome(fault_spec):
+    result, events = _record(fault_spec)
+    run = reconstruct(events)
+    assert run.incomplete == ()
+    outcomes = {lc.txn_id: lc.outcome for lc in run}
+    for record in result.records:
+        assert outcomes[record.txn_id] == record.outcome
+    for lc in run:
+        assert lc.conservation_error <= 1e-9
+
+
+@given(fault_spec=fault_specs())
+@settings(max_examples=15, deadline=None)
+def test_blame_stays_exact_under_faults(fault_spec):
+    result, events = _record(fault_spec)
+    run = reconstruct(events)
+    completed = {
+        r.txn_id: max(0.0, r.finish - r.deadline)
+        for r in result.records
+        if r.outcome == "completed"
+    }
+    for report in attribute_all(run):
+        assert abs(report.residual) <= 1e-9
+        if report.txn_id in completed:
+            assert abs(report.attributed - completed[report.txn_id]) <= 1e-9

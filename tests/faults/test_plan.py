@@ -1,0 +1,104 @@
+"""Unit tests for FaultPlan expansion (repro.faults.plan)."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultSpec, plan_faults
+from repro.workload.generator import generate
+from repro.workload.spec import WorkloadSpec
+
+from tests.conftest import make_txn
+
+SPEC = FaultSpec(seed=5, abort_prob=0.3, stall_prob=0.2, crash_count=3)
+
+
+def txns(n=20):
+    return generate(
+        WorkloadSpec(n_transactions=n, utilization=0.8), seed=11
+    ).transactions
+
+
+class TestDeterminism:
+    def test_same_inputs_same_plan(self):
+        assert plan_faults(SPEC, txns()) == plan_faults(SPEC, txns())
+
+    def test_independent_of_transaction_iteration_order(self):
+        pool = txns()
+        assert plan_faults(SPEC, pool) == plan_faults(SPEC, list(reversed(pool)))
+
+    def test_fault_seed_changes_plan(self):
+        pool = txns()
+        a = plan_faults(SPEC, pool)
+        b = plan_faults(
+            FaultSpec(seed=6, abort_prob=0.3, stall_prob=0.2, crash_count=3), pool
+        )
+        assert a != b
+
+
+class TestSchedules:
+    def test_only_faulted_transactions_carry_schedules(self):
+        plan = plan_faults(SPEC, txns())
+        for tid, sched in plan.schedules.items():
+            assert sched.txn_id == tid
+            assert not sched.is_empty
+        clean = set(t.txn_id for t in txns()) - set(plan.schedules)
+        for tid in clean:
+            assert plan.schedule_for(tid) is None
+
+    def test_abort_points_fall_inside_the_attempt(self):
+        pool = txns(50)
+        lengths = {t.txn_id: t.length for t in pool}
+        plan = plan_faults(FaultSpec(seed=1, abort_prob=0.5), pool)
+        assert plan.n_planned_aborts > 0
+        for tid, sched in plan.schedules.items():
+            for point in sched.abort_points:
+                assert 0.0 < point < lengths[tid]
+
+    def test_abort_budget_bounded_by_retries(self):
+        plan = plan_faults(
+            FaultSpec(seed=2, abort_prob=1.0, max_retries=2), txns()
+        )
+        for sched in plan.schedules.values():
+            # terminal abort at attempt max_retries is the last possible one
+            assert len(sched.abort_points) <= 3
+
+    def test_stall_carries_extra_work(self):
+        plan = plan_faults(
+            FaultSpec(seed=3, stall_prob=1.0, stall_max=2.0), txns()
+        )
+        for sched in plan.schedules.values():
+            assert sched.stall_at is not None
+            assert 0.0 <= sched.stall_extra <= 2.0
+
+
+class TestCrashWindows:
+    def test_count_and_ordering(self):
+        plan = plan_faults(SPEC, txns())
+        assert len(plan.crash_windows) == 3
+        starts = [w.start for w in plan.crash_windows]
+        assert starts == sorted(starts)
+        for window in plan.crash_windows:
+            assert window.end == window.start + window.duration
+            assert (
+                SPEC.crash_min_duration
+                <= window.duration
+                <= SPEC.crash_max_duration
+            )
+
+    def test_windows_independent_of_abort_knobs(self):
+        pool = txns()
+        a = plan_faults(FaultSpec(seed=5, crash_count=3), pool)
+        b = plan_faults(
+            FaultSpec(seed=5, crash_count=3, abort_prob=0.9), pool
+        )
+        assert a.crash_windows == b.crash_windows
+
+
+class TestErrors:
+    def test_empty_workload_rejected(self):
+        with pytest.raises(FaultError, match="empty"):
+            plan_faults(SPEC, [])
+
+    def test_bad_server_count_rejected(self):
+        with pytest.raises(FaultError, match="servers"):
+            plan_faults(SPEC, [make_txn()], servers=0)

@@ -1,0 +1,93 @@
+"""Unit tests for FaultSpec validation and the key=value parser."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultSpec, parse_fault_spec
+
+
+class TestValidation:
+    def test_defaults_are_null(self):
+        spec = FaultSpec()
+        assert spec.is_null
+
+    def test_any_active_knob_is_not_null(self):
+        assert not FaultSpec(abort_prob=0.1).is_null
+        assert not FaultSpec(stall_prob=0.1).is_null
+        assert not FaultSpec(crash_count=1).is_null
+        assert not FaultSpec(backlog_limit=10).is_null
+
+    @pytest.mark.parametrize("field", ["abort_prob", "stall_prob"])
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_probabilities_must_be_in_unit_interval(self, field, value):
+        with pytest.raises(FaultError, match=field):
+            FaultSpec(**{field: value})
+
+    def test_work_loss_mode_checked(self):
+        with pytest.raises(FaultError, match="work_loss"):
+            FaultSpec(work_loss="rewind")
+
+    def test_retry_backoff_below_one_rejected(self):
+        with pytest.raises(FaultError, match="retry_backoff"):
+            FaultSpec(retry_backoff=0.5)
+
+    def test_negative_retry_budget_rejected(self):
+        with pytest.raises(FaultError, match="max_retries"):
+            FaultSpec(max_retries=-1)
+
+    def test_crash_duration_ordering_checked(self):
+        with pytest.raises(FaultError, match="crash_max_duration"):
+            FaultSpec(crash_min_duration=5.0, crash_max_duration=1.0)
+
+    def test_backlog_limit_must_be_positive(self):
+        with pytest.raises(FaultError, match="backlog_limit"):
+            FaultSpec(backlog_limit=0)
+
+    def test_unknown_shed_policy_rejected(self):
+        with pytest.raises(FaultError, match="shed_policy"):
+            FaultSpec(shed_policy="coin-flip")
+
+
+class TestParser:
+    def test_parses_ints_floats_and_strings(self):
+        spec = parse_fault_spec(
+            "seed=7,abort_prob=0.25,work_loss=checkpoint,crash_count=2"
+        )
+        assert spec.seed == 7
+        assert spec.abort_prob == 0.25
+        assert spec.work_loss == "checkpoint"
+        assert spec.crash_count == 2
+
+    def test_whitespace_and_empty_items_tolerated(self):
+        spec = parse_fault_spec(" abort_prob = 0.1 , , max_retries = 1 ")
+        assert spec.abort_prob == 0.1
+        assert spec.max_retries == 1
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(FaultError, match="key=value"):
+            parse_fault_spec("abort_prob")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault spec field"):
+            parse_fault_spec("abort_probability=0.1")
+
+    def test_non_integer_for_int_field_rejected(self):
+        with pytest.raises(FaultError, match="integer"):
+            parse_fault_spec("crash_count=2.5")
+
+    def test_non_number_for_float_field_rejected(self):
+        with pytest.raises(FaultError, match="number"):
+            parse_fault_spec("abort_prob=lots")
+
+    def test_parsed_spec_still_validated(self):
+        with pytest.raises(FaultError, match="abort_prob"):
+            parse_fault_spec("abort_prob=2")
+
+
+class TestDescribe:
+    def test_null_spec_describes_as_null(self):
+        assert FaultSpec().describe() == "null"
+
+    def test_describe_round_trips_through_parser(self):
+        spec = FaultSpec(seed=3, abort_prob=0.2, crash_count=1, work_loss="checkpoint")
+        assert parse_fault_spec(spec.describe()) == spec

@@ -108,6 +108,9 @@ class TestReporters:
             "dependency_wait",
             "wait_behind",
             "preemption_gap",
+            "retry_wait",
+            "rework",
+            "stall",
             "overhead",
             "slack_credit",
         }

@@ -1,0 +1,150 @@
+"""Forensics over fault-injected runs: lifecycles, blame, traces, crash logs.
+
+End-to-end over real event streams: run an instrumented simulation under
+a nonzero fault plan and check that the analyze layer reconstructs fault
+outcomes, attributes retry/rework time exactly, exports crash windows to
+the Perfetto trace, and survives a crash-truncated log file.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import FaultSpec, plan_faults
+from repro.obs import Recorder
+from repro.obs.analyze import (
+    SpanKind,
+    attribute_all,
+    reconstruct,
+    reconstruct_file,
+    to_trace,
+    validate_trace,
+)
+from repro.obs.analyze.reporters import (
+    render_analysis_json,
+    render_analysis_text,
+)
+from repro.policies.registry import make_policy
+from repro.sim.engine import Simulator
+from repro.workload.generator import generate
+from repro.workload.spec import WorkloadSpec
+
+FAULTS = FaultSpec(
+    seed=3, abort_prob=0.4, stall_prob=0.15, crash_count=2, max_retries=2
+)
+
+
+@pytest.fixture(scope="module")
+def faulted():
+    workload = generate(
+        WorkloadSpec(n_transactions=40, utilization=0.9), seed=11
+    )
+    plan = plan_faults(FAULTS, workload.transactions)
+    recorder = Recorder()
+    result = Simulator(
+        workload.transactions,
+        make_policy("asets"),
+        workflow_set=workload.workflow_set,
+        instrument=recorder,
+        faults=plan,
+    ).run()
+    return result, recorder.events, reconstruct(recorder.events)
+
+
+class TestLifecycleOutcomes:
+    def test_outcomes_match_engine_records(self, faulted):
+        result, _, run = faulted
+        by_id = {lc.txn_id: lc for lc in run}
+        for record in result.records:
+            assert by_id[record.txn_id].outcome == record.outcome
+            assert by_id[record.txn_id].retries == record.retries
+
+    def test_outcome_counts_sum_to_n(self, faulted):
+        result, _, run = faulted
+        counts = run.outcome_counts()
+        assert sum(counts.values()) == result.n
+
+    def test_retried_transactions_carry_retry_wait_spans(self, faulted):
+        _, _, run = faulted
+        retried = [lc for lc in run if lc.retries > 0]
+        assert retried, "fixture must exercise retries"
+        for lc in retried:
+            assert lc.retry_wait_time > 0.0
+            assert any(s.kind is SpanKind.RETRY_WAIT for s in lc.spans)
+
+    def test_conservation_for_every_outcome(self, faulted):
+        _, _, run = faulted
+        seen = set()
+        for lc in run:
+            seen.add(lc.outcome)
+            assert lc.conservation_error <= 1e-9
+        assert "completed" in seen
+
+    def test_crash_windows_reconstructed(self, faulted):
+        _, _, run = faulted
+        assert len(run.crash_windows) == 2
+        for start, end in run.crash_windows:
+            assert end > start
+
+
+class TestBlameUnderFaults:
+    def test_residual_stays_exact_with_rework(self, faulted):
+        _, _, run = faulted
+        reports = attribute_all(run)
+        assert reports, "fixture must produce tardy transactions"
+        for report in reports:
+            assert abs(report.residual) <= 1e-9
+
+    def test_rework_component_present_for_retried_tardy(self, faulted):
+        _, _, run = faulted
+        retried_tardy = {
+            lc.txn_id for lc in run if lc.retries > 0 and lc.rework > 0
+        }
+        hit = False
+        for report in attribute_all(run):
+            if report.txn_id in retried_tardy:
+                components = dict(report.components)
+                assert components["rework"] > 0.0
+                assert components["retry_wait"] >= 0.0
+                hit = True
+        assert hit, "fixture must produce a retried-and-tardy transaction"
+
+
+class TestTraceExport:
+    def test_trace_valid_and_carries_crash_track(self, faulted):
+        _, _, run = faulted
+        trace = to_trace(run)
+        validate_trace(trace)
+        crash_spans = [
+            e
+            for e in trace["traceEvents"]
+            if e.get("ph") == "X" and e.get("name") == "crash"
+        ]
+        assert len(crash_spans) == len(run.crash_windows)
+
+
+class TestTruncatedLogs:
+    def _write_truncated(self, events, path):
+        lines = [json.dumps(e) for e in events]
+        lines[-1] = lines[-1][: max(1, len(lines[-1]) // 2)]
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_analyze_loads_truncated_log(self, faulted, tmp_path):
+        _, events, _ = faulted
+        path = tmp_path / "crash.jsonl"
+        self._write_truncated(events, path)
+        with pytest.warns(UserWarning, match="truncated"):
+            run = reconstruct_file(path)
+        assert run.truncated_lines == 1
+        assert len(run) > 0
+
+    def test_reports_surface_the_truncation(self, faulted, tmp_path):
+        _, events, _ = faulted
+        path = tmp_path / "crash.jsonl"
+        self._write_truncated(events, path)
+        with pytest.warns(UserWarning):
+            run = reconstruct_file(path)
+        blames = attribute_all(run)
+        assert "truncated" in render_analysis_text(run, blames)
+        payload = json.loads(render_analysis_json(run, blames))
+        assert payload["truncated_lines"] == 1

@@ -94,3 +94,47 @@ class TestReader:
         it = jsonl.iter_records(path)
         assert next(it)["kind"] == "run_start"
         assert next(it)["kind"] == "run_end"
+
+
+class TestReadTolerant:
+    def _log(self, tmp_path, tail=""):
+        path = tmp_path / "crash.jsonl"
+        path.write_text(
+            '{"schema": 1, "kind": "run_start", "t": 0.0}\n'
+            '{"kind": "arrival", "t": 0.5, "txn": 1}\n' + tail
+        )
+        return path
+
+    def test_clean_log_reads_with_zero_truncation(self, tmp_path):
+        records, truncated = jsonl.read_tolerant(self._log(tmp_path))
+        assert truncated == 0
+        assert [r["kind"] for r in records] == ["run_start", "arrival"]
+
+    def test_truncated_trailing_line_dropped_with_warning(self, tmp_path):
+        path = self._log(tmp_path, '{"kind": "completion", "t": 1.')
+        with pytest.warns(UserWarning, match="truncated trailing line"):
+            records, truncated = jsonl.read_tolerant(path)
+        assert truncated == 1
+        assert [r["kind"] for r in records] == ["run_start", "arrival"]
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            '{"schema": 1, "kind": "run_start", "t": 0.0}\n'
+            "{oops\n"
+            '{"kind": "run_end", "t": 1.0}\n'
+        )
+        with pytest.raises(ObservabilityError, match=":2"):
+            jsonl.read_tolerant(path)
+
+    def test_per_event_flush_survives_kill(self, tmp_path):
+        # The writer flushes per record, so a reader sees every record
+        # written so far even while the log is still open.
+        path = tmp_path / "live.jsonl"
+        writer = jsonl.JsonlWriter(path)
+        writer.write({"schema": jsonl.SCHEMA_VERSION, "kind": "run_start", "t": 0.0})
+        writer.write({"kind": "arrival", "t": 0.5, "txn": 1})
+        records, truncated = jsonl.read_tolerant(path)
+        writer.close()
+        assert truncated == 0
+        assert len(records) == 2
