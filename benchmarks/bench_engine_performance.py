@@ -12,11 +12,24 @@ Besides the pytest-benchmark table, the module emits a machine-readable
 and ``policy.select()`` wall-time percentiles from one instrumented run —
 so successive PRs leave a comparable perf trajectory (CI uploads the file
 as an artifact on every run).
+
+The streaming-tier tests take the same snapshot at scale: for each tier
+in ``REPRO_BENCH_TIERS`` (default ``100000``; add ``1000000`` for the
+full-size run) they launch ``rss_probe.py`` in fresh subprocesses —
+once on the plain engine path and once in constant-memory streaming
+mode — and record peak RSS, wall time and the streaming overhead ratio.
+``python -m repro.perfgate`` compares the emitted file against the
+committed baseline with the tolerances stored in its ``gate`` section;
+set ``REPRO_BENCH_OUT`` to write somewhere other than the baseline
+path (CI's perf-gate job writes ``BENCH_current.json`` so the baseline
+it gates against stays untouched).
 """
 
 import json
 import os
 import pathlib
+import subprocess
+import sys
 
 import pytest
 
@@ -32,11 +45,36 @@ POLICIES = ("fcfs", "edf", "srpt", "ls", "hdf", "asets", "asets-star")
 #: Workload size; CI smoke runs set REPRO_BENCH_N to a small value.
 BENCH_N = int(os.environ.get("REPRO_BENCH_N", "1000"))
 
+#: Streaming-tier sizes (comma-separated). Empty string disables the
+#: tier tests; "100000,1000000" adds the million-transaction run.
+TIERS = tuple(
+    int(t)
+    for t in os.environ.get("REPRO_BENCH_TIERS", "100000").split(",")
+    if t.strip()
+)
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
 #: Machine-readable perf snapshot, written after the last policy runs.
-BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+BENCH_JSON = pathlib.Path(
+    os.environ.get("REPRO_BENCH_OUT", _REPO_ROOT / "BENCH_engine.json")
+)
+
+#: Regression tolerances consumed by ``python -m repro.perfgate``.
+#: Generous by design: CI machines are noisy and shared, so the gate
+#: flags order-of-magnitude slips (a quadratic regression, unbounded
+#: record retention), not scheduler jitter.
+GATE = {
+    "throughput_drop_tolerance": 0.6,
+    "rss_growth_tolerance": 0.5,
+    "streaming_overhead_max": 0.5,
+}
 
 #: policy name -> measurements, filled by the parametrized benchmark.
 _RESULTS: dict[str, dict] = {}
+
+#: str(tier size) -> plain/streaming probe results + derived ratios.
+_TIER_RESULTS: dict[str, dict] = {}
 
 
 @pytest.fixture(scope="module")
@@ -52,16 +90,18 @@ def workload():
 
 @pytest.fixture(scope="module", autouse=True)
 def bench_json_sink():
-    """Write ``BENCH_engine.json`` once every parametrized case ran."""
+    """Write the perf snapshot once every parametrized case ran."""
     yield
-    if not _RESULTS:
+    if not _RESULTS and not _TIER_RESULTS:
         return
     payload = {
-        "schema": 1,
+        "schema": 2,
         "n_transactions": BENCH_N,
         "utilization": 0.9,
         "seed": 1,
         "policies": _RESULTS,
+        "tiers": _TIER_RESULTS,
+        "gate": GATE,
     }
     BENCH_JSON.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -102,4 +142,68 @@ def test_engine_throughput(name, workload, benchmark):
         "select_p50_seconds": percentile(samples, 50) if samples else 0.0,
         "select_p95_seconds": percentile(samples, 95) if samples else 0.0,
         "scheduling_points": len(samples),
+    }
+
+
+def _probe(n: int, mode: str) -> dict:
+    """Run ``rss_probe.py`` in a fresh interpreter and parse its JSON."""
+    env = dict(os.environ)
+    src = str(_REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    # Two in-process reps (best wall time) below a million transactions;
+    # the overhead ratio compares mins, damping scheduler noise.
+    reps = "2" if n < 1_000_000 else "1"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(pathlib.Path(__file__).with_name("rss_probe.py")),
+            "--n",
+            str(n),
+            "--mode",
+            mode,
+            "--reps",
+            reps,
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_streaming_tier(tier):
+    """Peak-RSS + overhead snapshot of the constant-memory path at scale.
+
+    Each mode runs in its own subprocess so ``ru_maxrss`` (a
+    process-lifetime high-water mark) isolates that run.  The asserts
+    here are liveness-level only — the actual regression gate is
+    ``python -m repro.perfgate`` against the committed baseline, whose
+    tolerances live in the snapshot's ``gate`` section.
+    """
+    plain = _probe(tier, "plain")
+    streaming = _probe(tier, "streaming")
+    assert plain["completed"] + plain["tardy"] >= 0  # probe parsed
+    assert streaming["completed"] == plain["completed"]
+    assert streaming["tardy"] == plain["tardy"]
+    overhead = (
+        streaming["wall_seconds"] / plain["wall_seconds"] - 1.0
+        if plain["wall_seconds"] > 0
+        else 0.0
+    )
+    _TIER_RESULTS[str(tier)] = {
+        "n": tier,
+        "plain": plain,
+        "streaming": streaming,
+        "streaming_overhead_ratio": overhead,
+        "rss_ratio_streaming_vs_plain": (
+            streaming["peak_rss_mb"] / plain["peak_rss_mb"]
+            if plain["peak_rss_mb"] > 0
+            else 0.0
+        ),
     }

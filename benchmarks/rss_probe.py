@@ -1,0 +1,120 @@
+"""Subprocess probe: peak RSS and wall time of one engine run.
+
+``resource.getrusage(RUSAGE_SELF).ru_maxrss`` is a process-lifetime
+high-water mark, so each measurement needs its own interpreter — the
+bench (and the perf gate's CI job) runs this script once per
+``(tier, mode)`` cell and parses the JSON line it prints::
+
+    python benchmarks/rss_probe.py --n 100000 --mode streaming
+
+Modes
+-----
+``plain``
+    The default engine path: records retained, no instrument.  This is
+    the wall-clock and memory baseline the streaming overhead is judged
+    against.
+``streaming``
+    Constant-memory path: ``retain_records=False`` plus a
+    :class:`~repro.obs.streaming.StreamingRecorder` (quantile sketches,
+    moments, top-k).  Peak RSS here must stay flat as ``--n`` grows —
+    that is the whole point of the streaming telemetry layer.
+
+On Linux ``ru_maxrss`` is in KiB (macOS reports bytes; this repo's CI
+and dev images are Linux, and the probe normalizes for both).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+
+from repro.experiments.config import PolicySpec
+from repro.workload.generator import generate
+from repro.workload.spec import WorkloadSpec
+
+
+def _peak_rss_mb() -> float:
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=100_000)
+    parser.add_argument("--policy", default="asets-star")
+    parser.add_argument(
+        "--mode", choices=("plain", "streaming"), default="streaming"
+    )
+    parser.add_argument("--utilization", type=float, default=0.9)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        help="tumbling-window width (streaming mode only)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=1,
+        help="engine runs to take the best (min) wall time over",
+    )
+    args = parser.parse_args(argv)
+
+    spec = WorkloadSpec(
+        n_transactions=args.n,
+        utilization=args.utilization,
+        weighted=True,
+        with_workflows=True,
+    )
+    t0 = time.perf_counter()
+    workload = generate(spec, seed=args.seed)
+    gen_seconds = time.perf_counter() - t0
+
+    policy_spec = PolicySpec.of(args.policy)
+    payload: dict = {
+        "n": args.n,
+        "policy": args.policy,
+        "mode": args.mode,
+        "gen_seconds": gen_seconds,
+    }
+
+    walls = []
+    for _ in range(max(1, args.reps)):
+        t0 = time.perf_counter()
+        if args.mode == "plain":
+            from repro.sim.engine import Simulator
+
+            workload.reset()
+            result = Simulator(
+                workload.transactions,
+                policy_spec.make(),
+                workflow_set=workload.workflow_set,
+            ).run()
+        else:
+            from repro.experiments.runner import run_policy_streaming
+
+            result, recorder = run_policy_streaming(
+                workload, policy_spec, window=args.window
+            )
+            telemetry = recorder.telemetry
+            payload["tardiness_p99"] = telemetry.tardiness.quantile(0.99)
+            payload["response_p99"] = telemetry.response.quantile(0.99)
+        walls.append(time.perf_counter() - t0)
+    payload["wall_seconds"] = min(walls)
+    payload["reps"] = len(walls)
+    payload["completed"] = result.completed_count
+    payload["tardy"] = result.tardy_count
+    payload["deadline_miss_ratio"] = result.deadline_miss_ratio
+    payload["peak_rss_mb"] = _peak_rss_mb()
+    print(json.dumps(payload, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

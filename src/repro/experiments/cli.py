@@ -129,6 +129,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-setting progress lines"
     )
     parser.add_argument(
+        "--progress",
+        nargs="?",
+        const=-1.0,  # sentinel: "flag given without a value"
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock heartbeat to stderr at most every SECONDS "
+        "(default 10 when given without a value): sim-time, backlog and "
+        "txns/s on 'run'/'chaos', finished groups on the sweeps; off by "
+        "default and zero-cost when off",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=DEFAULT_JOBS,
@@ -195,6 +207,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's JSONL event log to FILE.jsonl",
     )
     group.add_argument(
+        "--events-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="keep only RATE (0 < RATE <= 1) of per-transaction events in "
+        "--events-out; tardy completions and window snapshots are always "
+        "kept and 'analyze' scale-corrects thinned totals (default 1.0 = "
+        "everything)",
+    )
+    group.add_argument(
+        "--events-rotate",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="rotate --events-out into BYTES-sized parts "
+        "(FILE-0001.jsonl, ... + FILE.manifest.json); 'analyze' and "
+        "read_tolerant() accept the base path transparently",
+    )
+    group.add_argument(
+        "--streaming",
+        action="store_true",
+        help="constant-memory run: per-transaction retention off, "
+        "quantiles/top-k from online sketches (repro.obs.streaming); "
+        "events stream straight to --events-out instead of buffering",
+    )
+    group.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="WIDTH",
+        help="with --streaming: emit window.snapshot time-series events "
+        "per WIDTH simulated-time window (queue depth, utilization, "
+        "throughput, miss rate)",
+    )
+    group.add_argument(
         "--report",
         action="store_true",
         help="print the full run report (scheduling points, preemptions, "
@@ -230,7 +277,23 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig().scaled(args.n, args.seeds)
 
 
+def _heartbeat_interval(args: argparse.Namespace) -> float | None:
+    """The --progress interval in seconds, or ``None`` when off."""
+    if args.progress is None:
+        return None
+    if args.progress == -1.0:  # bare --progress
+        from repro.obs.progress import DEFAULT_INTERVAL
+
+        return DEFAULT_INTERVAL
+    return args.progress
+
+
 def _progress(args: argparse.Namespace) -> Callable[[str], None] | None:
+    interval = _heartbeat_interval(args)
+    if interval is not None:
+        from repro.obs.progress import SweepHeartbeat
+
+        return SweepHeartbeat(interval)
     if args.quiet:
         return None
     return lambda line: print(f"  {line}", file=sys.stderr)
@@ -318,6 +381,81 @@ def _run_figure(name: str, args: argparse.Namespace) -> int:
     return _report_failures(failures)
 
 
+def _make_sink(args: argparse.Namespace):
+    """The --events-out sink: plain or rotating JSONL writer."""
+    from repro.obs.jsonl import JsonlWriter, RotatingJsonlWriter
+
+    if args.events_rotate is not None:
+        return RotatingJsonlWriter(args.events_out, max_bytes=args.events_rotate)
+    return JsonlWriter(args.events_out)
+
+
+def _run_streaming(args: argparse.Namespace, fault_spec=None) -> int:
+    """Constant-memory run: sketches + optional windows, retention off."""
+    from repro.experiments.runner import run_policy_streaming
+    from repro.workload.generator import generate
+    from repro.workload.spec import WorkloadSpec
+
+    spec = WorkloadSpec(n_transactions=args.n, utilization=args.utilization)
+    workload = generate(spec, seed=args.seed)
+    sink = _make_sink(args) if args.events_out else None
+    interval = _heartbeat_interval(args)
+    try:
+        if interval is None:
+            result, recorder = run_policy_streaming(
+                workload,
+                PolicySpec.of(args.policy),
+                window=args.window,
+                sink=sink,
+                sample=args.events_sample,
+                faults=fault_spec,
+            )
+        else:
+            # Heartbeat rides along via MultiInstrument; it observes only.
+            from repro.faults import plan_faults
+            from repro.obs.hooks import MultiInstrument
+            from repro.obs.progress import Heartbeat
+            from repro.obs.streaming import StreamingRecorder
+            from repro.sim.engine import Simulator
+
+            workload.reset()
+            plan = None
+            if fault_spec is not None and not fault_spec.is_null:
+                plan = plan_faults(fault_spec, workload.transactions)
+            recorder = StreamingRecorder(
+                window=args.window, sink=sink, sample=args.events_sample
+            )
+            result = Simulator(
+                workload.transactions,
+                PolicySpec.of(args.policy).make(),
+                workflow_set=workload.workflow_set,
+                instrument=MultiInstrument([recorder, Heartbeat(interval)]),
+                faults=plan,
+                retain_records=False,
+            ).run()
+    finally:
+        if sink is not None:
+            sink.close()
+    report = recorder.report()
+    if args.report:
+        print(report.render())
+    else:
+        print(
+            f"{report.policy}: n={report.n_transactions} "
+            f"avg_tardiness={result.average_tardiness:.3f} "
+            f"tardiness_p99={report.tardiness_p99:.3f} "
+            f"miss_ratio={report.miss_ratio:.4f} "
+            f"scheduling_points={report.scheduling_points}"
+        )
+    if args.events_out:
+        print(
+            f"event log ({sink.records_written} records) streamed to "
+            f"{args.events_out}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _run_instrumented(args: argparse.Namespace, fault_spec=None) -> int:
     """One instrumented run: summary line, optional report and JSONL log."""
     from repro.experiments.runner import run_policy_on
@@ -325,11 +463,21 @@ def _run_instrumented(args: argparse.Namespace, fault_spec=None) -> int:
     from repro.workload.generator import generate
     from repro.workload.spec import WorkloadSpec
 
+    if args.streaming:
+        return _run_streaming(args, fault_spec)
+
     spec = WorkloadSpec(n_transactions=args.n, utilization=args.utilization)
     workload = generate(spec, seed=args.seed)
     recorder = Recorder()
+    interval = _heartbeat_interval(args)
+    instrument = recorder
+    if interval is not None:
+        from repro.obs.hooks import MultiInstrument
+        from repro.obs.progress import Heartbeat
+
+        instrument = MultiInstrument([recorder, Heartbeat(interval)])
     result = run_policy_on(
-        workload, PolicySpec.of(args.policy), instrument=recorder, faults=fault_spec
+        workload, PolicySpec.of(args.policy), instrument=instrument, faults=fault_spec
     )
     report = recorder.report()
     if args.report:
@@ -348,9 +496,32 @@ def _run_instrumented(args: argparse.Namespace, fault_spec=None) -> int:
             f"preemptions={report.preemptions}{fault_suffix}"
         )
     if args.events_out:
-        path = recorder.write_events(args.events_out)
+        if args.events_sample < 1.0 or args.events_rotate is not None:
+            # Re-export the buffered events through the sampling /
+            # rotation pipeline the streaming path writes natively.
+            from repro.obs.jsonl import EventSampler
+
+            sampler = (
+                EventSampler(args.events_sample)
+                if args.events_sample < 1.0
+                else None
+            )
+            with _make_sink(args) as sink:
+                for record in recorder.events:
+                    if sampler is not None:
+                        if record.get("kind") == "run_start":
+                            record = dict(record, sample=sampler.rate)
+                        filtered = sampler.filter(record)
+                        if filtered is None:
+                            continue
+                        record = filtered
+                    sink.write(record)
+            path, written = sink.path, sink.records_written
+        else:
+            path = recorder.write_events(args.events_out)
+            written = len(recorder.events)
         print(
-            f"event log ({len(recorder.events)} records) written to {path}",
+            f"event log ({written} records) written to {path}",
             file=sys.stderr,
         )
     if args.trace_out:
@@ -454,6 +625,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.policy not in available_policies():
             _unknown_name_error(
                 parser, "policy", args.policy, available_policies()
+            )
+        if not 0.0 < args.events_sample <= 1.0:
+            parser.error(
+                f"--events-sample must be in (0, 1], got {args.events_sample}"
+            )
+        if args.events_rotate is not None and args.events_rotate < 1:
+            parser.error(
+                f"--events-rotate must be >= 1 byte, got {args.events_rotate}"
+            )
+        if (
+            args.events_sample < 1.0 or args.events_rotate is not None
+        ) and not args.events_out:
+            parser.error(
+                "--events-sample/--events-rotate need --events-out"
+            )
+        if args.window is not None and not args.streaming:
+            parser.error("--window needs --streaming")
+        if args.streaming and args.trace_out:
+            parser.error(
+                "--trace-out needs buffered events; drop --streaming, or "
+                "run 'analyze --trace-out' over the streamed --events-out log"
             )
         return _run_instrumented(args, fault_spec=_parse_faults(parser, args))
     if args.target == "chaos":

@@ -45,7 +45,7 @@ import math
 import threading
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from traceback import format_exc
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.errors import SweepError
 from repro.experiments.config import PolicySpec
@@ -55,11 +55,15 @@ from repro.sim.engine import Simulator
 from repro.workload.generator import generate
 from repro.workload.spec import WorkloadSpec
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.streaming import RunTelemetry
+
 __all__ = [
     "CellGroup",
     "CellFailure",
     "GroupResult",
     "SweepColumn",
+    "TelemetrySpec",
     "grid_sweep",
     "resolve_jobs",
     "run_cell_groups",
@@ -83,6 +87,24 @@ def resolve_jobs(jobs: int) -> int:
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
+class TelemetrySpec:
+    """Per-cell streaming-telemetry request, shipped to sweep workers.
+
+    When attached to a :class:`CellGroup` every cell runs with per-txn
+    retention off and a
+    :class:`~repro.obs.streaming.StreamingRecorder`; the resulting
+    :class:`~repro.obs.streaming.RunTelemetry` rides home in the
+    :class:`GroupResult`.  The sweep merges per-policy telemetry in grid
+    order (column, then seed), and the sketch merges are associative, so
+    the merged telemetry is byte-identical whatever the worker count.
+    """
+
+    quantile_accuracy: float = 0.01
+    window: float | None = None
+    topk: int = 16
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
 class CellGroup:
     """One (spec, seed) workload replayed under every policy.
 
@@ -100,6 +122,8 @@ class CellGroup:
     servers: int = 1
     #: Optional fault injection; the plan is rebuilt worker-side.
     fault_spec: FaultSpec | None = None
+    #: Optional streaming telemetry; cells then run with retention off.
+    telemetry: TelemetrySpec | None = None
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -119,12 +143,16 @@ class GroupResult:
 
     ``values[i]`` is the metric value of policy ``i`` (``None`` if that
     cell failed); ``failures[i]`` is the matching :class:`CellFailure`
-    (``None`` if the cell succeeded).
+    (``None`` if the cell succeeded).  When the group requested
+    telemetry, ``telemetry[i]`` carries policy ``i``'s
+    :class:`~repro.obs.streaming.RunTelemetry` (``None`` on failure, or
+    an empty tuple when telemetry was off).
     """
 
     group: CellGroup
     values: tuple[float | None, ...]
     failures: tuple[CellFailure | None, ...]
+    telemetry: "tuple[RunTelemetry | None, ...]" = ()
 
 
 def _run_group(group: CellGroup) -> GroupResult:
@@ -160,20 +188,36 @@ def _run_group(group: CellGroup) -> GroupResult:
 
     values: list[float | None] = []
     failures_out: list[CellFailure | None] = []
+    telemetry_out: "list[RunTelemetry | None]" = []
     for policy in group.policies:
         try:
             workload.reset()
+            recorder = None
+            if group.telemetry is not None:
+                from repro.obs.streaming import StreamingRecorder
+
+                recorder = StreamingRecorder(
+                    quantile_accuracy=group.telemetry.quantile_accuracy,
+                    window=group.telemetry.window,
+                    topk=group.telemetry.topk,
+                )
             result = Simulator(
                 workload.transactions,
                 policy.make(),
                 workflow_set=workload.workflow_set,
                 servers=group.servers,
                 faults=plan,
+                instrument=recorder,
+                retain_records=group.telemetry is None,
             ).run()
             values.append(float(getattr(result, group.metric)))
             failures_out.append(None)
+            telemetry_out.append(
+                recorder.telemetry if recorder is not None else None
+            )
         except Exception as exc:  # noqa: BLE001 - reported per cell
             values.append(None)
+            telemetry_out.append(None)
             failures_out.append(
                 CellFailure(
                     x=group.x,
@@ -183,7 +227,12 @@ def _run_group(group: CellGroup) -> GroupResult:
                     traceback=format_exc(),
                 )
             )
-    return GroupResult(group, tuple(values), tuple(failures_out))
+    return GroupResult(
+        group,
+        tuple(values),
+        tuple(failures_out),
+        tuple(telemetry_out) if group.telemetry is not None else (),
+    )
 
 
 def run_cell_groups(
@@ -191,13 +240,17 @@ def run_cell_groups(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     timeout: float | None = None,
+    telemetry_out: "dict[tuple[int, int, int], RunTelemetry] | None" = None,
 ) -> tuple[dict[tuple[int, int, int], float], list[CellFailure]]:
     """Execute the groups and index every cell result by its coordinates.
 
     Returns ``(results, failures)`` where ``results`` maps
     ``(group.index, group.seed, policy_position)`` to the metric value.
     The mapping is completion-order independent by construction; the
-    failure list is sorted by the same coordinates.
+    failure list is sorted by the same coordinates.  When groups carry a
+    :class:`TelemetrySpec`, pass ``telemetry_out`` to collect each
+    cell's :class:`~repro.obs.streaming.RunTelemetry` under the same
+    coordinate key.
 
     With ``jobs == 1`` everything runs inline in this process (no pool,
     no pickling); with ``jobs > 1`` groups are fanned out over a
@@ -233,11 +286,16 @@ def run_cell_groups(
         for pos, (value, failure) in enumerate(
             zip(result.values, result.failures)
         ):
+            coord = (result.group.index, result.group.seed, pos)
             if failure is not None:
                 failures.append(failure)
             else:
                 assert value is not None
-                results[(result.group.index, result.group.seed, pos)] = value
+                results[coord] = value
+                if telemetry_out is not None and result.telemetry:
+                    cell_telemetry = result.telemetry[pos]
+                    if cell_telemetry is not None:
+                        telemetry_out[coord] = cell_telemetry
         report(result)
 
     if jobs == 1 and timeout is None:
@@ -336,6 +394,8 @@ def grid_sweep(
     failures: list[CellFailure] | None = None,
     fault_spec: FaultSpec | None = None,
     cell_timeout: float | None = None,
+    telemetry: TelemetrySpec | None = None,
+    telemetry_out: "dict[str, RunTelemetry] | None" = None,
 ) -> MetricSeries:
     """Run a (column × seed × policy) grid and merge it deterministically.
 
@@ -348,6 +408,14 @@ def grid_sweep(
     ``fault_spec`` injects the same fault plan per (spec, seed) group;
     ``cell_timeout`` arms the no-progress watchdog of
     :func:`run_cell_groups`.
+
+    ``telemetry`` opts every cell into constant-memory streaming
+    telemetry; ``telemetry_out`` (a dict the caller owns) then receives,
+    per policy display name, the cells' telemetry merged **in grid order**
+    — column index first, then seed order, independent of completion
+    order.  Together with the associative sketch merge this makes the
+    merged telemetry byte-identical (``as_dict()``-equal) for any
+    ``jobs`` count.
     """
     seed_list = list(seeds)
     policy_list = list(policies)
@@ -361,17 +429,39 @@ def grid_sweep(
             metric=metric,
             servers=column.servers,
             fault_spec=fault_spec,
+            telemetry=telemetry,
         )
         for i, column in enumerate(columns)
         for seed in seed_list
     ]
+    cell_telemetry: "dict[tuple[int, int, int], RunTelemetry] | None" = (
+        {} if telemetry is not None and telemetry_out is not None else None
+    )
     results, cell_failures = run_cell_groups(
-        groups, jobs, progress, timeout=cell_timeout
+        groups, jobs, progress, timeout=cell_timeout,
+        telemetry_out=cell_telemetry,
     )
     if cell_failures:
         if failures is None:
             raise SweepError(cell_failures)
         failures.extend(cell_failures)
+
+    if cell_telemetry is not None:
+        assert telemetry is not None and telemetry_out is not None
+        from repro.obs.streaming import RunTelemetry
+
+        for pos, policy in enumerate(policy_list):
+            merged = RunTelemetry(
+                telemetry.quantile_accuracy, topk=telemetry.topk
+            )
+            # Fixed grid order — the determinism lever for the float
+            # (moments) part of the merge; sketches are order-free.
+            for i in range(len(columns)):
+                for seed in seed_list:
+                    cell = cell_telemetry.get((i, seed, pos))
+                    if cell is not None:
+                        merged.merge(cell)
+            telemetry_out[policy.display] = merged
 
     series = MetricSeries(
         x_label=x_label,

@@ -23,9 +23,12 @@ from repro.workload.spec import WorkloadSpec
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.parallel import CellFailure
     from repro.obs.hooks import Instrument
+    from repro.obs.jsonl import EventSink
+    from repro.obs.streaming import StreamingRecorder
 
 __all__ = [
     "run_policy_on",
+    "run_policy_streaming",
     "mean_metric",
     "metric_spread",
     "utilization_sweep",
@@ -67,6 +70,49 @@ def run_policy_on(
     ).run()
 
 
+def run_policy_streaming(
+    workload: Workload,
+    policy_spec: PolicySpec,
+    quantile_accuracy: float = 0.01,
+    window: float | None = None,
+    sink: "EventSink | None" = None,
+    sample: float = 1.0,
+    faults: FaultSpec | None = None,
+) -> "tuple[SimulationResult, StreamingRecorder]":
+    """Replay ``workload`` in constant-memory streaming mode.
+
+    Per-transaction record retention is off (the result answers every
+    aggregate from a :class:`~repro.sim.results.StreamSummary`) and a
+    :class:`~repro.obs.streaming.StreamingRecorder` rides along for
+    tardiness/response quantiles, top-k culprits and — with ``window`` —
+    tumbling-window time-series.  Returns ``(result, recorder)``;
+    ``recorder.report()`` yields the quantile-bearing
+    :class:`~repro.obs.summary.RunReport` and ``recorder.telemetry`` the
+    mergeable :class:`~repro.obs.streaming.RunTelemetry`.
+    """
+    from repro.obs.streaming import StreamingRecorder
+
+    workload.reset()
+    plan = None
+    if faults is not None and not faults.is_null:
+        plan = plan_faults(faults, workload.transactions)
+    recorder = StreamingRecorder(
+        quantile_accuracy=quantile_accuracy,
+        window=window,
+        sink=sink,
+        sample=sample,
+    )
+    result = Simulator(
+        workload.transactions,
+        policy_spec.make(),
+        workflow_set=workload.workflow_set,
+        instrument=recorder,
+        faults=plan,
+        retain_records=False,
+    ).run()
+    return result, recorder
+
+
 def mean_metric(
     workloads: Sequence[Workload],
     policy_spec: PolicySpec,
@@ -84,6 +130,7 @@ def metric_spread(
     workloads: Sequence[Workload],
     policy_spec: PolicySpec,
     metric: str,
+    streaming: bool = False,
 ) -> tuple[float, float, float]:
     """Mean plus a normal-approximation confidence interval over seeds.
 
@@ -91,10 +138,21 @@ def metric_spread(
     the interval quantifies how much seed noise those means carry —
     worth checking before reading anything into a small gap between two
     policies.
+
+    With ``streaming=True`` each run executes in constant-memory mode
+    (``retain_records=False`` + :func:`run_policy_streaming`); every
+    aggregate metric answers exactly from the stream summary, so the
+    returned values are identical to the stored-record path.
     """
-    values = [
-        getattr(run_policy_on(w, policy_spec), metric) for w in workloads
-    ]
+    if streaming:
+        values = [
+            getattr(run_policy_streaming(w, policy_spec)[0], metric)
+            for w in workloads
+        ]
+    else:
+        values = [
+            getattr(run_policy_on(w, policy_spec), metric) for w in workloads
+        ]
     low, high = confidence_interval(values)
     return mean(values), low, high
 

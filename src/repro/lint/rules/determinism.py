@@ -34,6 +34,7 @@ DETERMINISTIC_PACKAGES = (
     "repro.policies",
     "repro.core",
     "repro.faults",
+    "repro.obs.streaming",
 )
 
 #: The one module allowed to touch ``perf_counter`` (guarded).

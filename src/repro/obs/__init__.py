@@ -15,6 +15,13 @@ opens the black box.  It provides:
 * :mod:`repro.obs.summary` — the per-run :class:`RunReport`;
 * :mod:`repro.obs.recorder` — :class:`Recorder`, the standard instrument
   combining all of the above;
+* :mod:`repro.obs.streaming` — constant-memory telemetry: mergeable
+  quantile sketches, streaming moments, top-k culprits, tumbling-window
+  time-series and the :class:`StreamingRecorder` instrument that keeps a
+  10\\ :sup:`6`-transaction run in bounded memory;
+* :mod:`repro.obs.progress` — wall-clock :class:`Heartbeat` /
+  :class:`SweepHeartbeat` progress lines (outside the deterministic
+  boundary; armed by the CLI's ``--progress``);
 * :mod:`repro.obs.analyze` — deadline-miss forensics over recorded
   event logs: lifecycle spans, tardiness blame attribution, Perfetto
   trace export and cross-run diffing (imported explicitly via
@@ -37,14 +44,25 @@ guard test.
 from repro.obs.hooks import Instrument, MultiInstrument, NullInstrument
 from repro.obs.jsonl import (
     SCHEMA_VERSION,
+    EventSampler,
     JsonlWriter,
+    RotatingJsonlWriter,
     iter_records,
     read,
     read_tolerant,
     write,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.progress import Heartbeat, SweepHeartbeat
 from repro.obs.recorder import Recorder
+from repro.obs.streaming import (
+    QuantileSketch,
+    RunTelemetry,
+    StreamingMoments,
+    StreamingRecorder,
+    TopK,
+    WindowAggregator,
+)
 from repro.obs.summary import RunReport
 from repro.obs.timeline import Timeline, TimelineSample
 
@@ -58,6 +76,8 @@ __all__ = [
     "MetricsRegistry",
     "SCHEMA_VERSION",
     "JsonlWriter",
+    "RotatingJsonlWriter",
+    "EventSampler",
     "write",
     "read",
     "read_tolerant",
@@ -66,4 +86,12 @@ __all__ = [
     "TimelineSample",
     "RunReport",
     "Recorder",
+    "StreamingRecorder",
+    "RunTelemetry",
+    "QuantileSketch",
+    "StreamingMoments",
+    "TopK",
+    "WindowAggregator",
+    "Heartbeat",
+    "SweepHeartbeat",
 ]

@@ -407,6 +407,17 @@ class RunLifecycles:
     crash_windows: tuple[tuple[float, float], ...] = ()
     #: Torn trailing lines dropped by the tolerant loader (0 or 1).
     truncated_lines: int = 0
+    #: Record-sampling rate declared by the run header (``"sample"``);
+    #: ``1.0`` for full logs.  When below 1, per-transaction counts here
+    #: cover only the sampled population — scale thinned totals by
+    #: ``1 / sample_rate`` to estimate run-level volumes.
+    sample_rate: float = 1.0
+    #: Tardy completions of transactions thinned out by sampling.  The
+    #: sampler keeps every tardy completion (flagged ``"sampled": false``)
+    #: so deadline-miss accounting stays *exact* on sampled logs; these
+    #: counters hold the ones whose lifecycles could not be rebuilt.
+    unsampled_tardy: int = 0
+    unsampled_tardiness: float = 0.0
 
     def __iter__(self) -> Iterator[TxnLifecycle]:
         for txn_id in sorted(self.lifecycles):
@@ -473,6 +484,9 @@ def reconstruct(
     makespan = 0.0
     open_crashes: deque[float] = deque()
     crash_windows: list[tuple[float, float]] = []
+    sample_rate = float(header.get("sample", 1.0))
+    unsampled_tardy = 0
+    unsampled_tardiness = 0.0
 
     def builder(record: dict) -> _TxnBuilder:
         txn_id = record["txn"]
@@ -483,6 +497,16 @@ def reconstruct(
     for record in iterator:
         kind = record.get("kind")
         t = float(record.get("t", 0.0))
+        if record.get("sampled") is False:
+            # A tardy completion of a transaction the sampler thinned
+            # out: kept for exact miss accounting, but its arrival and
+            # dispatch events are gone, so it must never reach a builder
+            # (which would reject a completion while idle).
+            if kind == "completion":
+                unsampled_tardy += 1
+                unsampled_tardiness += float(record.get("tardiness", 0.0))
+                makespan = max(makespan, t)
+            continue
         if kind == "arrival":
             builder(record).on_arrival(t, tuple(record.get("deps", ())))
         elif kind == "dispatch":
@@ -564,6 +588,9 @@ def reconstruct(
         incomplete=tuple(incomplete),
         crash_windows=tuple(sorted(crash_windows)),
         truncated_lines=truncated_lines,
+        sample_rate=sample_rate,
+        unsampled_tardy=unsampled_tardy,
+        unsampled_tardiness=unsampled_tardiness,
     )
 
 

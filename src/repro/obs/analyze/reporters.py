@@ -94,6 +94,18 @@ def render_analysis_text(
         f"tardy {tardy}/{len(run)}, "
         f"total tardiness {_fmt(run.total_tardiness)}",
     ]
+    if run.sample_rate < 1.0:
+        est = round(len(run) / run.sample_rate)
+        lines.append(
+            f"sampled log (rate {run.sample_rate:g}): lifecycles cover "
+            f"{len(run)} of ~{est} transactions; tardy counts are exact"
+        )
+        if run.unsampled_tardy:
+            lines.append(
+                f"unsampled tardy completions: {run.unsampled_tardy} "
+                f"(+{_fmt(run.unsampled_tardiness)} tardiness, "
+                f"exact, lifecycles unavailable)"
+            )
     if run.incomplete:
         lines.append(f"incomplete transactions in log: {len(run.incomplete)}")
     counts = run.outcome_counts()
@@ -141,6 +153,9 @@ def render_analysis_json(
         "shed": counts["shed"],
         "crash_windows": [list(w) for w in run.crash_windows],
         "truncated_lines": run.truncated_lines,
+        "sample_rate": run.sample_rate,
+        "unsampled_tardy": run.unsampled_tardy,
+        "unsampled_tardiness": run.unsampled_tardiness,
         "transactions": [_blame_dict(b) for b in blames],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -43,12 +43,40 @@ fault-free log is byte-identical to the pre-fault format.  Logs written
 before these fields existed remain valid; readers — including
 :mod:`repro.obs.analyze` — must tolerate their absence.
 
+Two additive schema-1 extensions support constant-memory streaming
+(:mod:`repro.obs.streaming`):
+
+* ``window.snapshot`` records — one per closed tumbling window, carrying
+  ``window``, ``start``, ``end``, ``arrivals``, ``completions``,
+  ``tardy``, ``miss_rate``, ``throughput``, ``tardiness``,
+  ``utilization``, ``queue_max``, ``queue_mean`` [+ ``partial``];
+* sampled logs — the header gains ``"sample": r`` (the per-transaction
+  keep rate) and completions of *unsampled* tardy transactions are still
+  written, marked ``"sampled": false``, so tardy counts and tardiness
+  totals stay exact under sampling (:class:`EventSampler`).
+
 Reading is strict by default: a missing/alien header or an unparseable
 line raises :class:`~repro.errors.ObservabilityError`.  Pass
 ``strict=False`` to read partial logs (e.g. from an aborted run), or use
 :func:`read_tolerant` to accept a log whose *final* line was cut short
 by a crash (the writer flushes per event, so at most one trailing line
 can ever be torn).
+
+Rotation
+--------
+:class:`RotatingJsonlWriter` splits one logical log over size-bounded
+parts — ``events-0001.jsonl``, ``events-0002.jsonl``, ... — described by
+a manifest (``events.manifest.json``)::
+
+    {"schema": 1, "kind": "manifest", "base": "events.jsonl",
+     "parts": ["events-0001.jsonl", ...], "records": 12345,
+     "max_bytes": 1048576}
+
+The manifest is rewritten at every rotation and at close, so after a
+crash it lists every part that exists (the final part may end in a torn
+line, exactly like the single-file case).  :func:`read_tolerant` accepts
+the base path, the manifest path, or a plain single-file log, and
+iterates the whole set transparently.
 """
 
 from __future__ import annotations
@@ -56,13 +84,17 @@ from __future__ import annotations
 import json
 import pathlib
 import warnings
-from typing import IO, Iterable, Iterator
+from typing import IO, Iterable, Iterator, Protocol
 
 from repro.errors import ObservabilityError
 
 __all__ = [
     "SCHEMA_VERSION",
+    "KEEP_ALWAYS_KINDS",
+    "EventSink",
+    "EventSampler",
     "JsonlWriter",
+    "RotatingJsonlWriter",
     "write",
     "read",
     "read_tolerant",
@@ -71,6 +103,18 @@ __all__ = [
 
 #: Current event-log schema version; bumped on incompatible changes.
 SCHEMA_VERSION = 1
+
+#: Event kinds an :class:`EventSampler` must never drop: run framing,
+#: aggregate window snapshots, and whole-system fault transitions.
+KEEP_ALWAYS_KINDS = frozenset(
+    {"run_start", "run_end", "window.snapshot", "fault.crash", "fault.recover"}
+)
+
+
+class EventSink(Protocol):
+    """Anything that accepts event records one at a time."""
+
+    def write(self, record: dict) -> None: ...  # pragma: no cover
 
 
 class JsonlWriter:
@@ -109,6 +153,152 @@ class JsonlWriter:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class RotatingJsonlWriter:
+    """A :class:`JsonlWriter` that rotates into size-bounded parts.
+
+    ``path`` is the *logical* log path (e.g. ``out/events.jsonl``); the
+    actual bytes land in numbered sibling parts
+    (``out/events-0001.jsonl``, ...) listed by a manifest at
+    ``out/events.manifest.json``.  A record never straddles parts: when
+    appending a line would push the current part past ``max_bytes`` (and
+    the part already holds at least one record), the writer rolls over
+    first.  The manifest is rewritten on every rotation and on close, so
+    it is never more than one part behind reality.
+    """
+
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        max_bytes: int = 64 * 1024 * 1024,
+    ) -> None:
+        if max_bytes < 1:
+            raise ObservabilityError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.path = pathlib.Path(path)
+        self.max_bytes = max_bytes
+        self._stem = self.path.stem
+        self._dir = self.path.parent
+        self.manifest_path = self._dir / f"{self._stem}.manifest.json"
+        self.parts: list[pathlib.Path] = []
+        self.records_written = 0
+        self._part_bytes = 0
+        self._part_records = 0
+        self._file: IO[str] | None = None
+        self._open_part()
+
+    def _open_part(self) -> None:
+        part = self._dir / f"{self._stem}-{len(self.parts) + 1:04d}.jsonl"
+        self.parts.append(part)
+        self._file = part.open("w", encoding="utf-8")
+        self._part_bytes = 0
+        self._part_records = 0
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "schema": SCHEMA_VERSION,
+            "kind": "manifest",
+            "base": self.path.name,
+            "parts": [p.name for p in self.parts],
+            "records": self.records_written,
+            "max_bytes": self.max_bytes,
+        }
+        with self.manifest_path.open("w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, separators=(",", ":"))
+            handle.write("\n")
+
+    def write(self, record: dict) -> None:
+        if self._file is None:
+            raise ObservabilityError(f"writer for {self.path} already closed")
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        size = len(line.encode("utf-8"))
+        if self._part_records and self._part_bytes + size > self.max_bytes:
+            self._file.close()
+            self._open_part()
+        assert self._file is not None
+        self._file.write(line)
+        self._file.flush()
+        self._part_bytes += size
+        self._part_records += 1
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+            self._write_manifest()
+
+    def __enter__(self) -> "RotatingJsonlWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class EventSampler:
+    """Deterministic per-transaction event sampling, tail-exact.
+
+    Thins an event stream to roughly ``rate`` of its transactions while
+    keeping the records analysis cannot afford to lose:
+
+    * kinds in :data:`KEEP_ALWAYS_KINDS` always pass;
+    * a transaction is *sampled* iff
+      ``(txn_id * 2654435761) % 2**32 < rate * 2**32`` (Fibonacci
+      hashing — deterministic, uniform, seed-free), and every event of a
+      sampled transaction passes;
+    * **tardy completions of unsampled transactions pass anyway**,
+      marked ``"sampled": false`` — so deadline misses and tardiness
+      mass survive sampling exactly, only the on-time bulk is thinned
+      (the "head/tail bias": heads of the log and tails of the
+      distribution are kept);
+    * transaction-less ``sched`` points pass every ``round(1/rate)``-th
+      occurrence.
+
+    Readers estimate thinned totals as ``count / rate``
+    (:mod:`repro.obs.analyze` applies this scale correction when the
+    header carries ``"sample"``).
+    """
+
+    #: Knuth's multiplicative-hash constant (2^32 / φ).
+    _HASH = 2654435761
+    _MOD = 2**32
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ObservabilityError(
+                f"sample rate must be in (0, 1], got {rate}"
+            )
+        self.rate = rate
+        self._threshold = int(rate * self._MOD)
+        self._sched_stride = max(1, round(1.0 / rate))
+        self._sched_seen = 0
+
+    def keeps_txn(self, txn_id: int) -> bool:
+        """Whether ``txn_id`` is in the sampled subset."""
+        return (txn_id * self._HASH) % self._MOD < self._threshold
+
+    def filter(self, record: dict) -> dict | None:
+        """The record to persist, or ``None`` to drop it."""
+        if self.rate == 1.0:
+            return record
+        kind = record.get("kind", "")
+        if kind in KEEP_ALWAYS_KINDS:
+            return record
+        txn = record.get("txn")
+        if txn is None:
+            if kind == "sched":
+                self._sched_seen += 1
+                if (self._sched_seen - 1) % self._sched_stride == 0:
+                    return record
+            return None
+        if self.keeps_txn(int(txn)):
+            return record
+        if kind == "completion" and record.get("tardiness", 0.0) > 0.0:
+            kept = dict(record)
+            kept["sampled"] = False
+            return kept
+        return None
 
 
 def write(records: Iterable[dict], path: str | pathlib.Path) -> pathlib.Path:
@@ -175,6 +365,80 @@ def read(path: str | pathlib.Path, strict: bool = True) -> list[dict]:
     return list(iter_records(path, strict=strict))
 
 
+def _resolve_parts(path: pathlib.Path) -> list[pathlib.Path]:
+    """The file(s) making up one logical log, in read order.
+
+    Accepts a plain single-file log, a rotated set's manifest, or a
+    rotated set's *base* path (the logical name the writer was given —
+    the manifest is looked up next to it).
+    """
+    if path.name.endswith(".manifest.json"):
+        manifest_path = path
+    else:
+        manifest_path = path.parent / f"{path.stem}.manifest.json"
+        if path.exists() or not manifest_path.exists():
+            if not path.exists():
+                raise ObservabilityError(f"{path}: no such event log")
+            return [path]
+    try:
+        with manifest_path.open("r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ObservabilityError(
+            f"{manifest_path}: unreadable manifest: {exc}"
+        ) from exc
+    if manifest.get("kind") != "manifest" or "parts" not in manifest:
+        raise ObservabilityError(
+            f"{manifest_path}: not an event-log manifest"
+        )
+    parts = [manifest_path.parent / name for name in manifest["parts"]]
+    if not parts:
+        raise ObservabilityError(f"{manifest_path}: manifest lists no parts")
+    for part in parts:
+        if not part.exists():
+            raise ObservabilityError(
+                f"{manifest_path}: listed part {part.name} is missing"
+            )
+    return parts
+
+
+def _parse_lines(
+    path: pathlib.Path, tolerate_tail: bool
+) -> tuple[list[dict], int]:
+    """Parse one physical file; drop a torn final line if tolerated."""
+    raw: list[tuple[int, str]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if line:
+                raw.append((lineno, line))
+    records: list[dict] = []
+    truncated = 0
+    for index, (lineno, line) in enumerate(raw):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if tolerate_tail and index == len(raw) - 1:
+                warnings.warn(
+                    f"{path}:{lineno}: dropping truncated trailing line "
+                    f"({exc})",
+                    UserWarning,
+                    stacklevel=3,
+                )
+                truncated = 1
+                break
+            raise ObservabilityError(
+                f"{path}:{lineno}: invalid JSON: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise ObservabilityError(
+                f"{path}:{lineno}: expected a JSON object, got "
+                f"{type(record).__name__}"
+            )
+        records.append(record)
+    return records, truncated
+
+
 def read_tolerant(
     path: str | pathlib.Path, strict: bool = True
 ) -> tuple[list[dict], int]:
@@ -188,40 +452,22 @@ def read_tolerant(
     An unparseable line anywhere *else* still raises
     :class:`~repro.errors.ObservabilityError` — that is corruption, not
     truncation.
+
+    ``path`` may also be a :class:`RotatingJsonlWriter` base path or
+    manifest: the rotated parts are then read in order as one logical
+    log (only the *last* part's tail may be torn; the run header lives
+    in the first part).
     """
-    path = pathlib.Path(path)
-    raw: list[tuple[int, str]] = []
-    with path.open("r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if line:
-                raw.append((lineno, line))
+    parts = _resolve_parts(pathlib.Path(path))
     records: list[dict] = []
     truncated = 0
-    for index, (lineno, line) in enumerate(raw):
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            if index == len(raw) - 1:
-                warnings.warn(
-                    f"{path}:{lineno}: dropping truncated trailing line "
-                    f"({exc})",
-                    UserWarning,
-                    stacklevel=2,
-                )
-                truncated = 1
-                break
-            raise ObservabilityError(
-                f"{path}:{lineno}: invalid JSON: {exc}"
-            ) from exc
-        if not isinstance(record, dict):
-            raise ObservabilityError(
-                f"{path}:{lineno}: expected a JSON object, got "
-                f"{type(record).__name__}"
-            )
-        records.append(record)
+    for index, part in enumerate(parts):
+        part_records, truncated = _parse_lines(
+            part, tolerate_tail=(index == len(parts) - 1)
+        )
+        records.extend(part_records)
     if records and strict:
-        _validate_header(records[0], path)
+        _validate_header(records[0], parts[0])
     if not records:
         raise ObservabilityError(f"{path}: no parseable records")
     return records, truncated

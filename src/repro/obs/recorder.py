@@ -39,7 +39,160 @@ from repro.obs.timeline import Timeline
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.transaction import Transaction
 
-__all__ = ["Recorder"]
+__all__ = [
+    "Recorder",
+    "abort_record",
+    "arrival_record",
+    "completion_record",
+    "crash_record",
+    "dispatch_record",
+    "overhead_record",
+    "preempt_record",
+    "recover_record",
+    "retry_record",
+    "run_end_record",
+    "run_start_record",
+    "sched_record",
+    "shed_record",
+    "stall_record",
+]
+
+
+# ----------------------------------------------------------------------
+# Event-record builders.
+#
+# These define the one canonical dict shape per event kind (the schema
+# table in :mod:`repro.obs.jsonl`).  Both :class:`Recorder` and the
+# constant-memory :class:`~repro.obs.streaming.StreamingRecorder` build
+# their records here, so a streamed log is byte-identical to a buffered
+# one and :mod:`repro.obs.analyze` reads either.
+# ----------------------------------------------------------------------
+def run_start_record(
+    schema: int, policy: str, n: int, servers: int
+) -> dict:
+    return {
+        "schema": schema,
+        "kind": "run_start",
+        "t": 0.0,
+        "policy": policy,
+        "n": n,
+        "servers": servers,
+    }
+
+
+def arrival_record(txn: "Transaction", now: float) -> dict:
+    record = {"kind": "arrival", "t": now, "txn": txn.txn_id}
+    if txn.depends_on:
+        record["deps"] = list(txn.depends_on)
+    return record
+
+
+def dispatch_record(txn: "Transaction", now: float, overhead: float) -> dict:
+    return {
+        "kind": "dispatch",
+        "t": now,
+        "txn": txn.txn_id,
+        "overhead": overhead,
+    }
+
+
+def preempt_record(txn: "Transaction", now: float) -> dict:
+    return {"kind": "preempt", "t": now, "txn": txn.txn_id}
+
+
+def overhead_record(txn: "Transaction", amount: float, now: float) -> dict:
+    return {"kind": "overhead", "t": now, "txn": txn.txn_id, "amount": amount}
+
+
+def completion_record(txn: "Transaction", now: float, tardiness: float) -> dict:
+    return {
+        "kind": "completion",
+        "t": now,
+        "txn": txn.txn_id,
+        "tardiness": tardiness,
+        "response_time": now - txn.arrival,
+    }
+
+
+def stall_record(txn: "Transaction", amount: float, now: float) -> dict:
+    return {"kind": "fault.stall", "t": now, "txn": txn.txn_id, "amount": amount}
+
+
+def abort_record(
+    txn: "Transaction", now: float, lost: float, attempt: int, exhausted: bool
+) -> dict:
+    record = {
+        "kind": "fault.abort",
+        "t": now,
+        "txn": txn.txn_id,
+        "lost": lost,
+        "attempt": attempt,
+    }
+    if exhausted:
+        record["exhausted"] = True
+    return record
+
+
+def retry_record(
+    txn: "Transaction", now: float, attempt: int, deadline: float
+) -> dict:
+    return {
+        "kind": "retry",
+        "t": now,
+        "txn": txn.txn_id,
+        "attempt": attempt,
+        "deadline": deadline,
+    }
+
+
+def crash_record(now: float, down: int) -> dict:
+    return {"kind": "fault.crash", "t": now, "down": down}
+
+
+def recover_record(now: float, down: int) -> dict:
+    return {"kind": "fault.recover", "t": now, "down": down}
+
+
+def shed_record(txn: "Transaction", now: float, reason: str) -> dict:
+    return {"kind": "shed", "t": now, "txn": txn.txn_id, "reason": reason}
+
+
+def sched_record(
+    now: float, ready: int, running: int, select_seconds: float
+) -> dict:
+    return {
+        "kind": "sched",
+        "t": now,
+        "ready": ready,
+        "running": running,
+        "select_s": select_seconds,
+    }
+
+
+def run_end_record(
+    now: float,
+    completed: int,
+    tardy: int,
+    aborted: int = 0,
+    shed: int = 0,
+    retries: int = 0,
+) -> dict:
+    record = {
+        "kind": "run_end",
+        "t": now,
+        "completed": completed,
+        "tardy": tardy,
+        "makespan": now,
+    }
+    # Additive schema-1 keys, present only when nonzero so a fault-free
+    # log stays byte-identical to the pre-fault format.
+    if aborted:
+        record["aborted"] = aborted
+    if shed:
+        record["shed"] = shed
+    if retries:
+        record["retries"] = retries
+    return record
 
 
 class Recorder(Instrument):
@@ -100,47 +253,30 @@ class Recorder(Instrument):
         self._servers = servers
         if self._keep_events:
             self.events.append(
-                {
-                    "schema": jsonl.SCHEMA_VERSION,
-                    "kind": "run_start",
-                    "t": 0.0,
-                    "policy": policy_name,
-                    "n": n_transactions,
-                    "servers": servers,
-                }
+                run_start_record(
+                    jsonl.SCHEMA_VERSION, policy_name, n_transactions, servers
+                )
             )
 
     def on_arrival(self, txn: "Transaction", now: float) -> None:
         self._arrivals.inc()
         if self._keep_events:
-            record = {"kind": "arrival", "t": now, "txn": txn.txn_id}
-            if txn.depends_on:
-                record["deps"] = list(txn.depends_on)
-            self.events.append(record)
+            self.events.append(arrival_record(txn, now))
 
     def on_dispatch(self, txn: "Transaction", now: float, overhead: float) -> None:
         self._dispatches.inc()
         if self._keep_events:
-            self.events.append(
-                {
-                    "kind": "dispatch",
-                    "t": now,
-                    "txn": txn.txn_id,
-                    "overhead": overhead,
-                }
-            )
+            self.events.append(dispatch_record(txn, now, overhead))
 
     def on_preempt(self, txn: "Transaction", now: float) -> None:
         self._preemptions.inc()
         if self._keep_events:
-            self.events.append({"kind": "preempt", "t": now, "txn": txn.txn_id})
+            self.events.append(preempt_record(txn, now))
 
     def on_overhead(self, txn: "Transaction", amount: float, now: float) -> None:
         self._overhead.inc(amount)
         if self._keep_events:
-            self.events.append(
-                {"kind": "overhead", "t": now, "txn": txn.txn_id, "amount": amount}
-            )
+            self.events.append(overhead_record(txn, amount, now))
 
     def on_completion(self, txn: "Transaction", now: float) -> None:
         self._completions.inc()
@@ -149,15 +285,7 @@ class Recorder(Instrument):
         if tardiness > 0.0:
             self._tardy += 1
         if self._keep_events:
-            self.events.append(
-                {
-                    "kind": "completion",
-                    "t": now,
-                    "txn": txn.txn_id,
-                    "tardiness": tardiness,
-                    "response_time": now - txn.arrival,
-                }
-            )
+            self.events.append(completion_record(txn, now, tardiness))
 
     # ------------------------------------------------------------------
     # Fault-injection callbacks (schema-1 additive event kinds; a
@@ -166,9 +294,7 @@ class Recorder(Instrument):
     def on_stall(self, txn: "Transaction", amount: float, now: float) -> None:
         self._stalls.inc()
         if self._keep_events:
-            self.events.append(
-                {"kind": "fault.stall", "t": now, "txn": txn.txn_id, "amount": amount}
-            )
+            self.events.append(stall_record(txn, amount, now))
 
     def on_abort(
         self,
@@ -182,47 +308,28 @@ class Recorder(Instrument):
         if exhausted:
             self._aborted_exhausted += 1
         if self._keep_events:
-            record = {
-                "kind": "fault.abort",
-                "t": now,
-                "txn": txn.txn_id,
-                "lost": lost,
-                "attempt": attempt,
-            }
-            if exhausted:
-                record["exhausted"] = True
-            self.events.append(record)
+            self.events.append(abort_record(txn, now, lost, attempt, exhausted))
 
     def on_retry(
         self, txn: "Transaction", now: float, attempt: int, deadline: float
     ) -> None:
         self._retries.inc()
         if self._keep_events:
-            self.events.append(
-                {
-                    "kind": "retry",
-                    "t": now,
-                    "txn": txn.txn_id,
-                    "attempt": attempt,
-                    "deadline": deadline,
-                }
-            )
+            self.events.append(retry_record(txn, now, attempt, deadline))
 
     def on_crash(self, now: float, down: int) -> None:
         self._crashes.inc()
         if self._keep_events:
-            self.events.append({"kind": "fault.crash", "t": now, "down": down})
+            self.events.append(crash_record(now, down))
 
     def on_recover(self, now: float, down: int) -> None:
         if self._keep_events:
-            self.events.append({"kind": "fault.recover", "t": now, "down": down})
+            self.events.append(recover_record(now, down))
 
     def on_shed(self, txn: "Transaction", now: float, reason: str) -> None:
         self._sheds.inc()
         if self._keep_events:
-            self.events.append(
-                {"kind": "shed", "t": now, "txn": txn.txn_id, "reason": reason}
-            )
+            self.events.append(shed_record(txn, now, reason))
 
     def on_scheduling_point(
         self, now: float, ready: int, running: int, select_seconds: float
@@ -234,35 +341,23 @@ class Recorder(Instrument):
         self.timeline.append(now, ready, running, self._total_tardiness)
         if self._keep_events:
             self.events.append(
-                {
-                    "kind": "sched",
-                    "t": now,
-                    "ready": ready,
-                    "running": running,
-                    "select_s": select_seconds,
-                }
+                sched_record(now, ready, running, select_seconds)
             )
 
     def on_run_end(self, now: float) -> None:
         self._finished = True
         self._end_time = now
         if self._keep_events:
-            record = {
-                "kind": "run_end",
-                "t": now,
-                "completed": int(self._completions.value),
-                "tardy": self._tardy,
-                "makespan": now,
-            }
-            # Additive schema-1 keys, present only when nonzero so a
-            # fault-free log stays byte-identical to the pre-fault format.
-            if self._aborted_exhausted:
-                record["aborted"] = self._aborted_exhausted
-            if self._sheds.value:
-                record["shed"] = int(self._sheds.value)
-            if self._retries.value:
-                record["retries"] = int(self._retries.value)
-            self.events.append(record)
+            self.events.append(
+                run_end_record(
+                    now,
+                    completed=int(self._completions.value),
+                    tardy=self._tardy,
+                    aborted=self._aborted_exhausted,
+                    shed=int(self._sheds.value),
+                    retries=int(self._retries.value),
+                )
+            )
 
     # ------------------------------------------------------------------
     # Products.

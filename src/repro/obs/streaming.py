@@ -1,0 +1,1157 @@
+"""Constant-memory streaming telemetry: sketches, windows, a recorder.
+
+The paper's headline claims are about *tail* behaviour — deadline-miss
+rates and tardiness distributions under load — but the exact quantile
+path materialises every per-transaction outcome before it can rank
+anything.  At 10⁶–10⁷ transactions that is exactly what blows the RSS
+budget.  This module provides **online aggregates** whose memory cost is
+independent of stream length, so tardiness / response-time quantiles can
+be read off a million-transaction run without storing a single
+per-transaction record:
+
+:class:`QuantileSketch`
+    A deterministic relative-error quantile sketch over logarithmic
+    buckets (the DDSketch construction; the role P²/GK play in other
+    systems).  For any quantile ``q`` the estimate ``x̂`` satisfies
+    ``|x̂ − x_q| <= α·|x_q|`` where ``α`` is the configured
+    ``relative_accuracy`` and ``x_q`` the exact ``q``-quantile of the
+    ingested stream.  Memory is ``O(log(max/min)/α)`` buckets, however
+    long the stream.  Merging adds integer bucket counts, so it is
+    **exactly associative and commutative**: merged shards are
+    byte-identical (:meth:`QuantileSketch.as_dict`) to single-stream
+    ingestion, in any merge order or grouping.
+
+:class:`StreamingMoments`
+    Welford's online mean/variance, merged with the Chan et al.
+    parallel-variance formula.  The merge is mathematically associative;
+    floating-point rounding makes different merge *groupings* differ in
+    the last ulps, so deterministic pipelines must merge in a fixed
+    order (``repro.experiments.parallel`` merges in grid order, which is
+    why ``jobs=N`` telemetry is byte-identical to ``jobs=1``).
+
+:class:`TopK`
+    A weighted Misra–Gries heavy-hitters summary ("count-min-free":
+    no hashing, no probabilistic collisions) for the largest tardiness
+    contributors.  Every stored estimate ``ĉ`` satisfies
+    ``c − D <= ĉ <= c`` for the true weight ``c``, where ``D``
+    (:attr:`TopK.undercount_bound`) is the total decremented mass,
+    itself bounded by ``W / (capacity + 1)`` for total weight ``W``.
+    The bound survives merging (Agarwal et al., *Mergeable Summaries*).
+
+:class:`WindowAggregator`
+    Tumbling windows over **simulated** time.  Each closed window emits
+    one additive schema-1 ``window.snapshot`` event carrying arrivals,
+    completions, throughput, miss rate, queue-depth stats and server
+    utilization for that window — a bounded time-series where the
+    :class:`~repro.obs.timeline.Timeline` would keep one sample per
+    scheduling point.
+
+:class:`RunTelemetry`
+    The per-run bundle of all of the above, with an associative
+    :meth:`RunTelemetry.merge` used by the parallel sweep harness.
+
+:class:`StreamingRecorder`
+    An :class:`~repro.obs.hooks.Instrument` maintaining a
+    :class:`RunTelemetry` (plus optional windows and an optional JSONL
+    sink with sampling) in constant memory, and condensing the run into
+    a quantile-bearing :class:`~repro.obs.summary.RunReport`.
+
+Everything here is deterministic — no wall clocks, no unseeded entropy —
+and ``repro.obs.streaming`` is enforced as such by ``repro.lint``
+(RL001/RL002 via ``DETERMINISTIC_PACKAGES``).  Wall-clock progress
+heartbeats live in :mod:`repro.obs.progress` instead, outside the
+deterministic boundary.  See ``docs/streaming.md`` for the guarantees
+and formats in full.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from repro.errors import ObservabilityError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.transaction import Transaction
+    from repro.obs.jsonl import EventSink
+    from repro.obs.summary import RunReport
+
+from repro.obs.hooks import Instrument
+
+__all__ = [
+    "QuantileSketch",
+    "StreamingMoments",
+    "TopK",
+    "WindowAggregator",
+    "RunTelemetry",
+    "StreamingRecorder",
+]
+
+#: Magnitudes below this collapse into the sketch's exact zero bucket.
+MIN_TRACKABLE = 1e-12
+
+
+class QuantileSketch:
+    """Deterministic relative-error quantile sketch (log buckets).
+
+    Values are routed to geometric buckets with boundaries ``γ^k`` where
+    ``γ = (1 + α) / (1 − α)``; bucket ``k`` covers ``(γ^(k−1), γ^k]``
+    and reports the estimate ``2γ^k / (γ + 1)``, which is within
+    relative error ``α`` of every value in the bucket.  Negative values
+    get a mirrored bucket map; magnitudes below :data:`MIN_TRACKABLE`
+    share one exact zero bucket (tardiness streams are mostly zeros).
+
+    All counts are integers, so :meth:`merge` (bucket-wise addition) is
+    exactly associative and commutative and :meth:`as_dict` of merged
+    shards is byte-identical to single-stream ingestion.
+
+    Examples
+    --------
+    >>> s = QuantileSketch(relative_accuracy=0.01)
+    >>> for v in range(1, 1001):
+    ...     s.add(float(v))
+    >>> abs(s.quantile(0.5) - 500) <= 0.01 * 500 + 1
+    True
+    """
+
+    __slots__ = (
+        "relative_accuracy",
+        "_log_gamma",
+        "_positive",
+        "_negative",
+        "_zero",
+        "count",
+        "_min",
+        "_max",
+    )
+
+    def __init__(self, relative_accuracy: float = 0.01) -> None:
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ObservabilityError(
+                f"relative_accuracy must be in (0, 1), got {relative_accuracy}"
+            )
+        self.relative_accuracy = relative_accuracy
+        gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._log_gamma = math.log(gamma)
+        self._positive: dict[int, int] = {}
+        self._negative: dict[int, int] = {}
+        self._zero = 0
+        self.count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------------
+    # Ingestion.
+    # ------------------------------------------------------------------
+    def _key(self, magnitude: float) -> int:
+        return math.ceil(math.log(magnitude) / self._log_gamma)
+
+    def _estimate(self, key: int) -> float:
+        gamma_k = math.exp(key * self._log_gamma)
+        alpha = self.relative_accuracy
+        # Midpoint of (γ^(k-1), γ^k] in relative terms: 2γ^k / (γ + 1)
+        # = γ^k (1 − α), within α of both bucket edges.
+        return gamma_k * (1.0 - alpha)
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Ingest ``value`` (``count`` times; counts stay integral)."""
+        if count < 1:
+            raise ObservabilityError(f"count must be >= 1, got {count}")
+        if value > MIN_TRACKABLE:
+            key = self._key(value)
+            self._positive[key] = self._positive.get(key, 0) + count
+        elif value < -MIN_TRACKABLE:
+            key = self._key(-value)
+            self._negative[key] = self._negative.get(key, 0) + count
+        else:
+            value = 0.0
+            self._zero += count
+        self.count += count
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    @property
+    def min(self) -> float:
+        """Exact minimum ingested value (0.0 on an empty sketch)."""
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Exact maximum ingested value (0.0 on an empty sketch)."""
+        return self._max if self.count else 0.0
+
+    @property
+    def sum(self) -> float:
+        """Bucket-reconstructed sum; within relative ``α`` of the exact
+        sum when all values share a sign (exact totals come from
+        :class:`StreamingMoments`, which tracks them online)."""
+        total = 0.0
+        for key in sorted(self._negative):
+            total -= self._estimate(key) * self._negative[key]
+        for key in sorted(self._positive):
+            total += self._estimate(key) * self._positive[key]
+        return total
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimate, within relative error ``α``.
+
+        Guarantee: for the exact ``q``-quantile ``x_q`` (the value at
+        rank ``max(0, ceil(q·n) − 1)`` of the sorted stream), the
+        returned ``x̂`` satisfies ``|x̂ − x_q| <= α·|x_q|``; ``q`` of 0
+        and 1 return the exact tracked min/max.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        rank = max(0, math.ceil(q * self.count) - 1)
+        # Ascending value order: negatives (large magnitude first), the
+        # zero bucket, then positives (small magnitude first).
+        cumulative = 0
+        for key in sorted(self._negative, reverse=True):
+            cumulative += self._negative[key]
+            if cumulative > rank:
+                return -self._estimate(key)
+        cumulative += self._zero
+        if cumulative > rank:
+            return 0.0
+        for key in sorted(self._positive):
+            cumulative += self._positive[key]
+            if cumulative > rank:
+                return self._estimate(key)
+        return self.max  # pragma: no cover - unreachable (counts add up)
+
+    # ------------------------------------------------------------------
+    # Merge and serialisation.
+    # ------------------------------------------------------------------
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other`` into this sketch (bucket-wise integer adds).
+
+        Exactly associative and commutative; both sketches must share
+        the same ``relative_accuracy`` (the bucket maps are only
+        compatible at equal γ).
+        """
+        if other.relative_accuracy != self.relative_accuracy:
+            raise ObservabilityError(
+                "cannot merge sketches with different relative_accuracy "
+                f"({self.relative_accuracy} vs {other.relative_accuracy})"
+            )
+        for key in sorted(other._positive):
+            self._positive[key] = (
+                self._positive.get(key, 0) + other._positive[key]
+            )
+        for key in sorted(other._negative):
+            self._negative[key] = (
+                self._negative.get(key, 0) + other._negative[key]
+            )
+        self._zero += other._zero
+        self.count += other.count
+        if other.count:
+            if other._min < self._min:
+                self._min = other._min
+            if other._max > self._max:
+                self._max = other._max
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot; byte-stable under merge order/grouping."""
+        return {
+            "relative_accuracy": self.relative_accuracy,
+            "count": self.count,
+            "zero": self._zero,
+            "min": self.min,
+            "max": self.max,
+            "positive": {str(k): self._positive[k] for k in sorted(self._positive)},
+            "negative": {str(k): self._negative[k] for k in sorted(self._negative)},
+        }
+
+    @classmethod
+    def from_dict(cls, state: Mapping) -> "QuantileSketch":
+        sketch = cls(relative_accuracy=float(state["relative_accuracy"]))
+        sketch._zero = int(state["zero"])
+        sketch.count = int(state["count"])
+        if sketch.count:
+            sketch._min = float(state["min"])
+            sketch._max = float(state["max"])
+        sketch._positive = {
+            int(k): int(v) for k, v in state["positive"].items()
+        }
+        sketch._negative = {
+            int(k): int(v) for k, v in state["negative"].items()
+        }
+        return sketch
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(alpha={self.relative_accuracy}, "
+            f"count={self.count}, buckets="
+            f"{len(self._positive) + len(self._negative) + bool(self._zero)})"
+        )
+
+
+class StreamingMoments:
+    """Welford online mean/variance with the Chan et al. parallel merge.
+
+    ``mean`` and ``variance`` are exact up to floating-point rounding;
+    memory is O(1) regardless of stream length.  The merge is
+    associative mathematically; merge in a fixed order when byte
+    determinism matters (the sweep harness does).
+
+    Examples
+    --------
+    >>> m = StreamingMoments()
+    >>> for v in (1.0, 2.0, 3.0, 4.0):
+    ...     m.add(v)
+    >>> m.mean, m.variance
+    (2.5, 1.25)
+    """
+
+    __slots__ = ("count", "mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 on fewer than two samples)."""
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def total(self) -> float:
+        return self.mean * self.count
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def merge(self, other: "StreamingMoments") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / total
+        )
+        self.mean += delta * other.count / total
+        self.count = total
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "variance": self.variance,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingMoments(count={self.count}, mean={self.mean:g}, "
+            f"stddev={self.stddev:g})"
+        )
+
+
+class TopK:
+    """Weighted Misra–Gries heavy-hitters summary (no hashing).
+
+    Tracks at most ``capacity`` keys.  When a new key overflows the
+    table, the minimum stored weight is subtracted from *every* counter
+    (keys hitting zero are dropped) and added to the decrement total
+    ``D``.  For every key the stored estimate ``ĉ`` satisfies
+    ``c − D <= ĉ <= c`` against the true ingested weight ``c``, with
+    ``D <= W / (capacity + 1)`` for total ingested weight ``W`` — and
+    the same bound holds after any sequence of :meth:`merge` calls.
+
+    Ties are broken deterministically (first-inserted evicts first),
+    so the structure is fully reproducible.
+
+    Internally the MG "subtract the floor from everyone" decrement is
+    lazy: counters store ``estimate + offset`` and a trim only raises
+    the shared ``offset`` and evicts keys at or below it — O(capacity)
+    per eviction with no dict rebuild, which keeps the per-completion
+    cost flat on runs where every tardy transaction is a fresh key.
+    """
+
+    __slots__ = ("capacity", "_counters", "_offset", "_shed", "total_weight")
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ObservabilityError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._counters: dict[int, float] = {}
+        #: Shared lazy decrement: true estimate = stored − offset.
+        self._offset = 0.0
+        #: Total decremented mass D: per-key undercount is at most this.
+        self._shed = 0.0
+        self.total_weight = 0.0
+
+    def add(self, key: int, weight: float = 1.0) -> None:
+        if weight <= 0.0:
+            if weight == 0.0:
+                return
+            raise ObservabilityError(f"weight must be >= 0, got {weight}")
+        self.total_weight += weight
+        counters = self._counters
+        if key in counters:
+            counters[key] += weight
+        else:
+            counters[key] = weight + self._offset
+            if len(counters) > self.capacity:
+                self._trim()
+
+    def _trim(self) -> None:
+        """Raise the offset until ``capacity`` keys fit again.
+
+        Only the minimum key is evicted per pass; keys tied with the
+        floor stay behind at estimate zero (``c == offset``, excluded
+        from :meth:`items`) and fall out of the next trim.  The
+        invariant ``c >= offset`` holds for every stored counter, so
+        the offset never moves backwards and estimates never go
+        negative.
+        """
+        counters = self._counters
+        while len(counters) > self.capacity:
+            min_key = min(counters, key=counters.__getitem__)
+            floor = counters[min_key]
+            self._shed += floor - self._offset
+            self._offset = floor
+            del counters[min_key]
+
+    @property
+    def undercount_bound(self) -> float:
+        """Max possible undercount of any estimate (the decrement total)."""
+        return self._shed
+
+    def estimate(self, key: int) -> float:
+        """Lower-bound weight estimate for ``key`` (0.0 if untracked)."""
+        stored = self._counters.get(key)
+        return 0.0 if stored is None else stored - self._offset
+
+    def items(self) -> list[tuple[int, float]]:
+        """Tracked keys, heaviest first (ties broken by key)."""
+        offset = self._offset
+        return sorted(
+            ((k, c - offset) for k, c in self._counters.items() if c > offset),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+
+    def top(self, k: int) -> list[tuple[int, float]]:
+        return self.items()[:k]
+
+    def merge(self, other: "TopK") -> None:
+        """Fold ``other`` in; the MG error bound is preserved."""
+        if other.capacity != self.capacity:
+            raise ObservabilityError(
+                "cannot merge TopK summaries with different capacities "
+                f"({self.capacity} vs {other.capacity})"
+            )
+        offset = other._offset
+        for key in sorted(other._counters):
+            weight = other._counters[key] - offset
+            if key in self._counters:
+                self._counters[key] += weight
+            else:
+                self._counters[key] = weight + self._offset
+        self._shed += other._shed
+        self.total_weight += other.total_weight
+        if len(self._counters) > self.capacity:
+            self._trim()
+
+    def as_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "total_weight": self.total_weight,
+            "undercount_bound": self.undercount_bound,
+            "items": [[k, w] for k, w in self.items()],
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __repr__(self) -> str:
+        return (
+            f"TopK(capacity={self.capacity}, tracked={len(self._counters)}, "
+            f"undercount<={self._shed:g})"
+        )
+
+
+class WindowAggregator:
+    """Tumbling windows over simulated time, emitting ``window.snapshot``.
+
+    Window ``i`` covers ``[i·width, (i+1)·width)``.  Counters accumulate
+    as the engine reports events; when simulated time crosses a window
+    boundary the closed window(s) are emitted as additive schema-1
+    records::
+
+        {"kind": "window.snapshot", "t": <end>, "window": i,
+         "start": ..., "end": ..., "arrivals": n, "completions": n,
+         "tardy": n, "miss_rate": x, "throughput": x, "tardiness": x,
+         "utilization": x, "queue_max": n, "queue_mean": x}
+
+    ``utilization`` is busy-server time integrated over the window
+    divided by ``servers × width`` (the engine's running count is
+    piecewise constant between scheduling points, so the integral is
+    exact).  The final, possibly partial window is emitted by
+    :meth:`finish` with an extra ``"partial": true`` field.
+    """
+
+    __slots__ = (
+        "width",
+        "servers",
+        "_index",
+        "_arrivals",
+        "_completions",
+        "_tardy",
+        "_tardiness",
+        "_queue_samples",
+        "_queue_sum",
+        "_queue_max",
+        "_busy",
+        "_last_time",
+        "_last_running",
+        "snapshots_emitted",
+    )
+
+    def __init__(self, width: float, servers: int = 1) -> None:
+        if width <= 0:
+            raise ObservabilityError(f"window width must be > 0, got {width}")
+        self.width = width
+        self.servers = max(1, servers)
+        self._index = 0
+        self._reset_counters()
+        self._last_time = 0.0
+        self._last_running = 0
+        self.snapshots_emitted = 0
+
+    def _reset_counters(self) -> None:
+        self._arrivals = 0
+        self._completions = 0
+        self._tardy = 0
+        self._tardiness = 0.0
+        self._queue_samples = 0
+        self._queue_sum = 0
+        self._queue_max = 0
+        self._busy = 0.0
+
+    def _snapshot(self, end: float, partial: bool) -> dict:
+        start = self._index * self.width
+        span = max(end - start, MIN_TRACKABLE)
+        record = {
+            "kind": "window.snapshot",
+            "t": end,
+            "window": self._index,
+            "start": start,
+            "end": end,
+            "arrivals": self._arrivals,
+            "completions": self._completions,
+            "tardy": self._tardy,
+            "miss_rate": (
+                self._tardy / self._completions if self._completions else 0.0
+            ),
+            "throughput": self._completions / span,
+            "tardiness": self._tardiness,
+            "utilization": self._busy / (span * self.servers),
+            "queue_max": self._queue_max,
+            "queue_mean": (
+                self._queue_sum / self._queue_samples
+                if self._queue_samples
+                else 0.0
+            ),
+        }
+        if partial:
+            record["partial"] = True
+        self.snapshots_emitted += 1
+        return record
+
+    def _integrate(self, until: float) -> None:
+        if until > self._last_time:
+            self._busy += self._last_running * (until - self._last_time)
+            self._last_time = until
+
+    def advance(self, now: float) -> list[dict]:
+        """Close every window ending at or before ``now``; return their
+        snapshot records (often empty, bounded by elapsed sim time)."""
+        out: list[dict] = []
+        boundary = (self._index + 1) * self.width
+        while now >= boundary:
+            self._integrate(boundary)
+            out.append(self._snapshot(boundary, partial=False))
+            self._index += 1
+            self._reset_counters()
+            boundary = (self._index + 1) * self.width
+        return out
+
+    def observe_arrival(self) -> None:
+        self._arrivals += 1
+
+    def observe_completion(self, tardiness: float) -> None:
+        self._completions += 1
+        self._tardiness += tardiness
+        if tardiness > 0.0:
+            self._tardy += 1
+
+    def observe_point(self, now: float, ready: int, running: int) -> None:
+        """One scheduling point: sample the queue, step the integral."""
+        self._integrate(now)
+        self._last_running = running
+        self._queue_samples += 1
+        self._queue_sum += ready
+        if ready > self._queue_max:
+            self._queue_max = ready
+
+    def finish(self, now: float) -> list[dict]:
+        """Flush at run end: close full windows, emit the partial tail."""
+        out = self.advance(now)
+        self._integrate(now)
+        if now > self._index * self.width:
+            out.append(self._snapshot(now, partial=True))
+        return out
+
+
+class RunTelemetry:
+    """The constant-memory telemetry bundle of one (or many merged) runs.
+
+    Carries quantile sketches for tardiness and response time, exact
+    moments for both, a Misra–Gries summary of the heaviest tardiness
+    contributors ("blame culprits"), and exact integer outcome counts.
+    :meth:`merge` folds another run's telemetry in; the parallel sweep
+    harness merges per-cell telemetry in grid order, which makes
+    ``jobs=N`` output byte-identical to ``jobs=1``
+    (:meth:`as_dict` compares equal, key for key).
+    """
+
+    __slots__ = (
+        "quantile_accuracy",
+        "tardiness",
+        "response",
+        "tardiness_moments",
+        "response_moments",
+        "culprits",
+        "arrivals",
+        "completed",
+        "tardy",
+        "aborted",
+        "shed",
+        "retries",
+        "preemptions",
+        "weighted_total",
+        "weighted_max",
+        "makespan",
+    )
+
+    def __init__(
+        self, quantile_accuracy: float = 0.01, topk: int = 16
+    ) -> None:
+        self.quantile_accuracy = quantile_accuracy
+        self.tardiness = QuantileSketch(quantile_accuracy)
+        self.response = QuantileSketch(quantile_accuracy)
+        self.tardiness_moments = StreamingMoments()
+        self.response_moments = StreamingMoments()
+        self.culprits = TopK(topk)
+        self.arrivals = 0
+        self.completed = 0
+        self.tardy = 0
+        self.aborted = 0
+        self.shed = 0
+        self.retries = 0
+        self.preemptions = 0
+        self.weighted_total = 0.0
+        self.weighted_max = 0.0
+        self.makespan = 0.0
+
+    # ------------------------------------------------------------------
+    # Ingestion.
+    # ------------------------------------------------------------------
+    def observe_completion(
+        self, txn_id: int, tardiness: float, response: float, weight: float
+    ) -> None:
+        self.completed += 1
+        self.tardiness.add(tardiness)
+        self.response.add(response)
+        self.tardiness_moments.add(tardiness)
+        self.response_moments.add(response)
+        weighted = tardiness * weight
+        self.weighted_total += weighted
+        if weighted > self.weighted_max:
+            self.weighted_max = weighted
+        if tardiness > 0.0:
+            self.tardy += 1
+            self.culprits.add(txn_id, tardiness)
+
+    # ------------------------------------------------------------------
+    # Scalars (mirror :class:`~repro.sim.results.SimulationResult`).
+    # ------------------------------------------------------------------
+    @property
+    def average_tardiness(self) -> float:
+        """Definition 4 over completed work (exact, via moments)."""
+        return self.tardiness_moments.total / max(1, self.completed)
+
+    @property
+    def average_weighted_tardiness(self) -> float:
+        return self.weighted_total / max(1, self.completed)
+
+    @property
+    def max_tardiness(self) -> float:
+        return self.tardiness_moments.max
+
+    @property
+    def max_weighted_tardiness(self) -> float:
+        return self.weighted_max
+
+    @property
+    def total_tardiness(self) -> float:
+        return self.tardiness_moments.total
+
+    @property
+    def average_response_time(self) -> float:
+        return self.response_moments.total / max(1, self.completed)
+
+    @property
+    def deadline_miss_ratio(self) -> float:
+        return self.tardy / self.completed if self.completed else 0.0
+
+    def merge(self, other: "RunTelemetry") -> None:
+        """Fold another run's telemetry in (fixed-order merging gives
+        byte-identical results; sketch parts are order-independent)."""
+        self.tardiness.merge(other.tardiness)
+        self.response.merge(other.response)
+        self.tardiness_moments.merge(other.tardiness_moments)
+        self.response_moments.merge(other.response_moments)
+        self.culprits.merge(other.culprits)
+        self.arrivals += other.arrivals
+        self.completed += other.completed
+        self.tardy += other.tardy
+        self.aborted += other.aborted
+        self.shed += other.shed
+        self.retries += other.retries
+        self.preemptions += other.preemptions
+        self.weighted_total += other.weighted_total
+        if other.weighted_max > self.weighted_max:
+            self.weighted_max = other.weighted_max
+        if other.makespan > self.makespan:
+            self.makespan = other.makespan
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot; the unit of byte-identity tests."""
+        return {
+            "quantile_accuracy": self.quantile_accuracy,
+            "arrivals": self.arrivals,
+            "completed": self.completed,
+            "tardy": self.tardy,
+            "aborted": self.aborted,
+            "shed": self.shed,
+            "retries": self.retries,
+            "preemptions": self.preemptions,
+            "weighted_total": self.weighted_total,
+            "weighted_max": self.weighted_max,
+            "makespan": self.makespan,
+            "tardiness": self.tardiness.as_dict(),
+            "response": self.response.as_dict(),
+            "tardiness_moments": self.tardiness_moments.as_dict(),
+            "response_moments": self.response_moments.as_dict(),
+            "culprits": self.culprits.as_dict(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RunTelemetry(completed={self.completed}, tardy={self.tardy}, "
+            f"p99_tardiness={self.tardiness.quantile(0.99):g})"
+        )
+
+
+class StreamingRecorder(Instrument):
+    """Constant-memory instrument: sketches + windows + optional sink.
+
+    The streaming counterpart of :class:`~repro.obs.recorder.Recorder`:
+    it retains **no per-transaction or per-event state**.  Completions
+    feed the run's :class:`RunTelemetry`; scheduling points feed the
+    optional :class:`WindowAggregator`; and when a ``sink`` is given
+    every event record is written through it immediately (optionally
+    sampled), instead of being buffered in memory.
+
+    Parameters
+    ----------
+    quantile_accuracy:
+        Relative error ``α`` of the quantile sketches (default 0.01).
+    window:
+        Tumbling-window width in simulated time units; ``None`` (the
+        default) disables the windowed time-series.
+    sink:
+        Optional event sink — a :class:`~repro.obs.jsonl.JsonlWriter` or
+        :class:`~repro.obs.jsonl.RotatingJsonlWriter` — receiving every
+        (sampled) event record as it happens.  The caller owns closing.
+    sample:
+        Per-transaction event sampling rate in ``(0, 1]`` applied to the
+        sink (head/tail-biased: see
+        :class:`~repro.obs.jsonl.EventSampler`).  Telemetry is always
+        exact — sampling only thins the persisted log.
+    topk:
+        Capacity of the tardiness-culprit summary.
+    """
+
+    def __init__(
+        self,
+        quantile_accuracy: float = 0.01,
+        window: float | None = None,
+        sink: "EventSink | None" = None,
+        sample: float = 1.0,
+        topk: int = 16,
+    ) -> None:
+        self.telemetry = RunTelemetry(quantile_accuracy, topk=topk)
+        self._window_width = window
+        self._windows: WindowAggregator | None = None
+        self._sink = sink
+        self._sampler = None
+        if sample != 1.0 or sink is not None:
+            from repro.obs.jsonl import EventSampler
+
+            self._sampler = EventSampler(sample) if sample != 1.0 else None
+        self._policy = "?"
+        self._n = 0
+        self._servers = 1
+        self._started = False
+        self._finished = False
+        self._end_time = 0.0
+        self._sched_points = 0
+        self._select_total = 0.0
+        self._select_max = 0.0
+        self._dispatches = 0
+        self._overhead_paid = 0.0
+        self._max_ready = 0
+        self._ready_sum = 0
+        self._crashes = 0
+        self._stalls = 0
+        if sink is None and window is None:
+            # Pure-aggregate mode (the metric_spread / parallel-telemetry
+            # path): the hot callbacks never branch on a sink or window,
+            # so bind lean variants that skip those checks entirely and
+            # keep the streaming overhead within the perf-gate budget.
+            self.on_arrival = self._on_arrival_lean  # type: ignore[method-assign]
+            self.on_dispatch = self._on_dispatch_lean  # type: ignore[method-assign]
+            self.on_completion = self._on_completion_lean  # type: ignore[method-assign]
+            self.on_scheduling_point = self._on_scheduling_point_lean  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    # Plumbing.
+    # ------------------------------------------------------------------
+    def _on_arrival_lean(self, txn: "Transaction", now: float) -> None:
+        self.telemetry.arrivals += 1
+
+    def _on_dispatch_lean(
+        self, txn: "Transaction", now: float, overhead: float
+    ) -> None:
+        self._dispatches += 1
+
+    def _on_completion_lean(self, txn: "Transaction", now: float) -> None:
+        tardiness = now - txn.deadline
+        if tardiness < 0.0:
+            tardiness = 0.0
+        self.telemetry.observe_completion(
+            txn.txn_id, tardiness, now - txn.arrival, txn.weight
+        )
+
+    def _on_scheduling_point_lean(
+        self, now: float, ready: int, running: int, select_seconds: float
+    ) -> None:
+        self._sched_points += 1
+        self._select_total += select_seconds
+        if select_seconds > self._select_max:
+            self._select_max = select_seconds
+        self._ready_sum += ready
+        if ready > self._max_ready:
+            self._max_ready = ready
+    def _emit(self, record: dict) -> None:
+        if self._sink is None:
+            return
+        if self._sampler is not None:
+            filtered = self._sampler.filter(record)
+            if filtered is None:
+                return
+            record = filtered
+        self._sink.write(record)
+
+    def _tick(self, now: float) -> None:
+        if self._windows is not None:
+            for snapshot in self._windows.advance(now):
+                # Window snapshots bypass sampling: they are the
+                # aggregate record sampling must never thin.
+                if self._sink is not None:
+                    self._sink.write(snapshot)
+
+    # ------------------------------------------------------------------
+    # Instrument callbacks.
+    # ------------------------------------------------------------------
+    def on_run_start(
+        self, policy_name: str, n_transactions: int, servers: int
+    ) -> None:
+        if self._started:
+            raise ObservabilityError(
+                "a StreamingRecorder observes exactly one run; "
+                "attach a fresh one"
+            )
+        self._started = True
+        self._policy = policy_name
+        self._n = n_transactions
+        self._servers = servers
+        if self._window_width is not None:
+            self._windows = WindowAggregator(self._window_width, servers)
+        if self._sink is not None:
+            from repro.obs import jsonl
+            from repro.obs.recorder import run_start_record
+
+            header = run_start_record(
+                jsonl.SCHEMA_VERSION, policy_name, n_transactions, servers
+            )
+            if self._sampler is not None:
+                header["sample"] = self._sampler.rate
+            if self._window_width is not None:
+                header["window"] = self._window_width
+            self._sink.write(header)
+
+    def on_arrival(self, txn: "Transaction", now: float) -> None:
+        self._tick(now)
+        self.telemetry.arrivals += 1
+        if self._windows is not None:
+            self._windows.observe_arrival()
+        if self._sink is not None:
+            from repro.obs.recorder import arrival_record
+
+            self._emit(arrival_record(txn, now))
+
+    def on_dispatch(self, txn: "Transaction", now: float, overhead: float) -> None:
+        self._tick(now)
+        self._dispatches += 1
+        if self._sink is not None:
+            from repro.obs.recorder import dispatch_record
+
+            self._emit(dispatch_record(txn, now, overhead))
+
+    def on_preempt(self, txn: "Transaction", now: float) -> None:
+        self.telemetry.preemptions += 1
+        if self._sink is not None:
+            from repro.obs.recorder import preempt_record
+
+            self._emit(preempt_record(txn, now))
+
+    def on_overhead(self, txn: "Transaction", amount: float, now: float) -> None:
+        self._overhead_paid += amount
+        if self._sink is not None:
+            from repro.obs.recorder import overhead_record
+
+            self._emit(overhead_record(txn, amount, now))
+
+    def on_completion(self, txn: "Transaction", now: float) -> None:
+        self._tick(now)
+        tardiness = now - txn.deadline
+        if tardiness < 0.0:
+            tardiness = 0.0
+        self.telemetry.observe_completion(
+            txn.txn_id, tardiness, now - txn.arrival, txn.weight
+        )
+        if self._windows is not None:
+            self._windows.observe_completion(tardiness)
+        if self._sink is not None:
+            from repro.obs.recorder import completion_record
+
+            self._emit(completion_record(txn, now, tardiness))
+
+    def on_stall(self, txn: "Transaction", amount: float, now: float) -> None:
+        self._stalls += 1
+        if self._sink is not None:
+            from repro.obs.recorder import stall_record
+
+            self._emit(stall_record(txn, amount, now))
+
+    def on_abort(
+        self,
+        txn: "Transaction",
+        now: float,
+        lost: float,
+        attempt: int,
+        exhausted: bool,
+    ) -> None:
+        self._tick(now)
+        if exhausted:
+            self.telemetry.aborted += 1
+        if self._sink is not None:
+            from repro.obs.recorder import abort_record
+
+            self._emit(abort_record(txn, now, lost, attempt, exhausted))
+
+    def on_retry(
+        self, txn: "Transaction", now: float, attempt: int, deadline: float
+    ) -> None:
+        self.telemetry.retries += 1
+        if self._sink is not None:
+            from repro.obs.recorder import retry_record
+
+            self._emit(retry_record(txn, now, attempt, deadline))
+
+    def on_crash(self, now: float, down: int) -> None:
+        self._crashes += 1
+        if self._sink is not None:
+            from repro.obs.recorder import crash_record
+
+            self._emit(crash_record(now, down))
+
+    def on_recover(self, now: float, down: int) -> None:
+        if self._sink is not None:
+            from repro.obs.recorder import recover_record
+
+            self._emit(recover_record(now, down))
+
+    def on_shed(self, txn: "Transaction", now: float, reason: str) -> None:
+        self._tick(now)
+        self.telemetry.shed += 1
+        if self._sink is not None:
+            from repro.obs.recorder import shed_record
+
+            self._emit(shed_record(txn, now, reason))
+
+    def on_scheduling_point(
+        self, now: float, ready: int, running: int, select_seconds: float
+    ) -> None:
+        self._tick(now)
+        self._sched_points += 1
+        self._select_total += select_seconds
+        if select_seconds > self._select_max:
+            self._select_max = select_seconds
+        self._ready_sum += ready
+        if ready > self._max_ready:
+            self._max_ready = ready
+        if self._windows is not None:
+            self._windows.observe_point(now, ready, running)
+        if self._sink is not None:
+            from repro.obs.recorder import sched_record
+
+            self._emit(sched_record(now, ready, running, select_seconds))
+
+    def on_run_end(self, now: float) -> None:
+        self._finished = True
+        self._end_time = now
+        self.telemetry.makespan = now
+        if self._windows is not None and self._sink is not None:
+            for snapshot in self._windows.finish(now):
+                self._sink.write(snapshot)
+        elif self._windows is not None:
+            self._windows.finish(now)
+        if self._sink is not None:
+            from repro.obs.recorder import run_end_record
+
+            self._sink.write(
+                run_end_record(
+                    now,
+                    completed=self.telemetry.completed,
+                    tardy=self.telemetry.tardy,
+                    aborted=self.telemetry.aborted,
+                    shed=self.telemetry.shed,
+                    retries=self.telemetry.retries,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Products.
+    # ------------------------------------------------------------------
+    def report(self) -> "RunReport":
+        """Condense the run into a quantile-bearing :class:`RunReport`."""
+        if not self._started:
+            raise ObservabilityError(
+                "streaming recorder has not observed a run yet"
+            )
+        from repro.obs.summary import RunReport
+
+        t = self.telemetry
+        return RunReport(
+            policy=self._policy,
+            n_transactions=self._n,
+            servers=self._servers,
+            makespan=self._end_time,
+            scheduling_points=self._sched_points,
+            preemptions=t.preemptions,
+            arrivals=t.arrivals,
+            dispatches=self._dispatches,
+            completions=t.completed,
+            overhead_paid=self._overhead_paid,
+            total_tardiness=t.total_tardiness,
+            max_ready_depth=self._max_ready,
+            mean_ready_depth=(
+                self._ready_sum / self._sched_points
+                if self._sched_points
+                else 0.0
+            ),
+            select_total_seconds=self._select_total,
+            select_max=self._select_max,
+            aborted=t.aborted,
+            shed=t.shed,
+            retries=t.retries,
+            crashes=self._crashes,
+            stalls=self._stalls,
+            quantile_accuracy=t.quantile_accuracy,
+            tardiness_p50=t.tardiness.quantile(0.50),
+            tardiness_p90=t.tardiness.quantile(0.90),
+            tardiness_p99=t.tardiness.quantile(0.99),
+            response_p50=t.response.quantile(0.50),
+            response_p95=t.response.quantile(0.95),
+            response_p99=t.response.quantile(0.99),
+            miss_ratio=t.deadline_miss_ratio,
+        )
+
+    def __iter__(self) -> Iterator[None]:  # pragma: no cover - guard
+        raise ObservabilityError(
+            "StreamingRecorder keeps no event list; attach a sink to "
+            "persist events"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingRecorder(policy={self._policy!r}, "
+            f"completed={self.telemetry.completed}, "
+            f"scheduling_points={self._sched_points})"
+        )

@@ -67,6 +67,19 @@ class RunReport:
     retries: int = 0
     crashes: int = 0
     stalls: int = 0
+    #: Streaming-telemetry quantiles (:mod:`repro.obs.streaming`).
+    #: ``quantile_accuracy`` is the sketch's relative-error bound α and
+    #: doubles as the presence flag: ``None`` (exact / non-streaming
+    #: runs) leaves these fields out of the rendered report.  Each
+    #: estimate is within ``α × true value`` of the exact quantile.
+    quantile_accuracy: float | None = None
+    tardiness_p50: float = 0.0
+    tardiness_p90: float = 0.0
+    tardiness_p99: float = 0.0
+    response_p50: float = 0.0
+    response_p95: float = 0.0
+    response_p99: float = 0.0
+    miss_ratio: float = 0.0
     extras: dict = field(default_factory=dict)
 
     @staticmethod
@@ -116,6 +129,18 @@ class RunReport:
                  self.select_p50, self.select_p90,
                  self.select_p99, self.select_max))),
         ]
+        if self.quantile_accuracy is not None:
+            rows.append((
+                "tardiness p50/p90/p99",
+                f"{self.tardiness_p50:g} / {self.tardiness_p90:g} / "
+                f"{self.tardiness_p99:g} (±{self.quantile_accuracy:.0%} rel)",
+            ))
+            rows.append((
+                "response p50/p95/p99",
+                f"{self.response_p50:g} / {self.response_p95:g} / "
+                f"{self.response_p99:g}",
+            ))
+            rows.append(("deadline miss ratio", f"{self.miss_ratio:.4f}"))
         if self.aborted or self.shed or self.retries or self.crashes or self.stalls:
             rows.append((
                 "faults",

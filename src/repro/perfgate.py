@@ -1,0 +1,160 @@
+"""CI perf-regression gate over ``BENCH_engine.json`` snapshots.
+
+``benchmarks/bench_engine_performance.py`` emits a machine-readable
+perf snapshot: per-policy engine throughput plus, for each streaming
+tier, peak RSS and wall time of the plain and constant-memory paths.
+This module compares a freshly measured snapshot against the committed
+baseline and exits nonzero on a regression::
+
+    python -m repro.perfgate BENCH_current.json --baseline BENCH_engine.json
+
+Three checks, with tolerances read from the **baseline's** ``gate``
+section (so loosening the gate is a reviewed change to the committed
+file, not a CI-side knob):
+
+* per-policy throughput must not drop below
+  ``baseline * (1 - throughput_drop_tolerance)``;
+* per-tier streaming peak RSS must not exceed
+  ``baseline * (1 + rss_growth_tolerance)``;
+* per-tier streaming wall-clock overhead (vs the instrument-off plain
+  path measured in the *same* snapshot) must stay under
+  ``streaming_overhead_max``.
+
+Only keys present in **both** snapshots are compared, so a baseline
+regenerated with more tiers than CI measures does not fail the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass, field
+from typing import IO
+
+__all__ = ["DEFAULT_GATE", "GateReport", "compare", "load", "main"]
+
+#: Fallback tolerances for baselines predating the ``gate`` section.
+DEFAULT_GATE = {
+    "throughput_drop_tolerance": 0.6,
+    "rss_growth_tolerance": 0.5,
+    "streaming_overhead_max": 0.5,
+}
+
+
+@dataclass(slots=True)
+class GateReport:
+    """Outcome of one gate evaluation: passed checks and regressions."""
+
+    checks: list[str] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [f"perf gate: {len(self.checks)} check(s)"]
+        lines += [f"  ok   {line}" for line in self.checks]
+        lines += [f"  FAIL {line}" for line in self.failures]
+        lines.append(
+            "perf gate: PASS" if self.ok else
+            f"perf gate: FAIL ({len(self.failures)} regression(s))"
+        )
+        return "\n".join(lines)
+
+
+def load(path: str | pathlib.Path) -> dict:
+    """Read one snapshot; raises ``ValueError`` on a non-object payload."""
+    data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: perf snapshot must be a JSON object")
+    return data
+
+
+def _gate_value(gate: dict, key: str) -> float:
+    return float(gate.get(key, DEFAULT_GATE[key]))
+
+
+def compare(current: dict, baseline: dict) -> GateReport:
+    """Evaluate ``current`` against ``baseline`` and its tolerances."""
+    report = GateReport()
+    gate = baseline.get("gate") or DEFAULT_GATE
+
+    drop_tol = _gate_value(gate, "throughput_drop_tolerance")
+    base_policies = baseline.get("policies") or {}
+    cur_policies = current.get("policies") or {}
+    for name in sorted(set(base_policies) & set(cur_policies)):
+        base_tp = float(base_policies[name].get("throughput_txns_per_s", 0.0))
+        cur_tp = float(cur_policies[name].get("throughput_txns_per_s", 0.0))
+        if base_tp <= 0:
+            continue
+        floor = base_tp * (1.0 - drop_tol)
+        line = (
+            f"throughput[{name}]: {cur_tp:.0f}/s "
+            f"(baseline {base_tp:.0f}/s, floor {floor:.0f}/s)"
+        )
+        (report.checks if cur_tp >= floor else report.failures).append(line)
+
+    rss_tol = _gate_value(gate, "rss_growth_tolerance")
+    overhead_max = _gate_value(gate, "streaming_overhead_max")
+    base_tiers = baseline.get("tiers") or {}
+    cur_tiers = current.get("tiers") or {}
+    for tier in sorted(set(base_tiers) & set(cur_tiers), key=int):
+        base_rss = float(
+            base_tiers[tier].get("streaming", {}).get("peak_rss_mb", 0.0)
+        )
+        cur_rss = float(
+            cur_tiers[tier].get("streaming", {}).get("peak_rss_mb", 0.0)
+        )
+        if base_rss > 0:
+            ceiling = base_rss * (1.0 + rss_tol)
+            line = (
+                f"streaming rss[n={tier}]: {cur_rss:.1f} MB "
+                f"(baseline {base_rss:.1f} MB, ceiling {ceiling:.1f} MB)"
+            )
+            (
+                report.checks if cur_rss <= ceiling else report.failures
+            ).append(line)
+        overhead = float(
+            cur_tiers[tier].get("streaming_overhead_ratio", 0.0)
+        )
+        line = (
+            f"streaming overhead[n={tier}]: {overhead:+.1%} "
+            f"(max {overhead_max:+.1%})"
+        )
+        (
+            report.checks if overhead <= overhead_max else report.failures
+        ).append(line)
+
+    return report
+
+
+def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perfgate",
+        description="Gate a perf snapshot against the committed baseline.",
+    )
+    parser.add_argument("current", help="freshly measured BENCH_*.json")
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_engine.json",
+        help="committed baseline snapshot (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    stream = out if out is not None else sys.stdout
+
+    report = compare(load(args.current), load(args.baseline))
+    print(report.render(), file=stream)
+    if not report.checks and not report.failures:
+        print(
+            "perf gate: WARNING — no overlapping policies or tiers "
+            "between current and baseline; nothing was gated",
+            file=stream,
+        )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

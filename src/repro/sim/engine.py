@@ -38,7 +38,7 @@ from repro.errors import SchedulingError, SimulationError
 from repro.policies.base import Scheduler
 from repro.sim.event_queue import EventQueue
 from repro.sim.events import Event, EventKind
-from repro.sim.results import SimulationResult, TransactionRecord
+from repro.sim.results import SimulationResult, StreamSummary, TransactionRecord
 from repro.sim.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -119,6 +119,15 @@ class Simulator:
         ready work under overload.  ``None`` (the default) keeps every
         code path and event schedule byte-identical to the fault-free
         engine.
+    retain_records:
+        When True (default) the result carries one
+        :class:`~repro.sim.results.TransactionRecord` per transaction
+        plus a by-id index.  ``False`` is streaming mode: the result
+        carries only a constant-size
+        :class:`~repro.sim.results.StreamSummary` (every aggregate
+        metric still answers; per-transaction queries raise).  Pair with
+        a :class:`~repro.obs.streaming.StreamingRecorder` instrument for
+        quantiles and windowed time-series at bounded memory.
 
     Examples
     --------
@@ -142,6 +151,7 @@ class Simulator:
         preemption_overhead: float = 0.0,
         instrument: "Instrument | None" = None,
         faults: "FaultPlan | None" = None,
+        retain_records: bool = True,
     ) -> None:
         if not transactions:
             raise SimulationError("cannot simulate an empty transaction pool")
@@ -153,6 +163,7 @@ class Simulator:
             )
         self._overhead = preemption_overhead
         self._instrument = instrument
+        self._retain_records = retain_records
         self._faults = faults
         self._shed_policy: "ShedPolicy | None" = None
         self._shed_limit: int | None = None
@@ -241,6 +252,19 @@ class Simulator:
             self._reschedule(now)
         if self._instrument is not None:
             self._instrument.on_run_end(now)
+        if not self._retain_records:
+            summary = StreamSummary.from_transactions(
+                sorted(self._txns.values(), key=lambda t: t.txn_id),
+                preemptions=self.preemptions,
+            )
+            return SimulationResult(
+                self._policy.name,
+                (),
+                self._trace,
+                scheduling_points=self.scheduling_points,
+                preemptions=self.preemptions,
+                stream_summary=summary,
+            )
         records = [
             TransactionRecord.from_transaction(txn)
             for txn in sorted(self._txns.values(), key=lambda t: t.txn_id)

@@ -15,7 +15,7 @@ from repro.core.transaction import Transaction, TransactionState
 from repro.errors import SimulationError
 from repro.sim.trace import Trace
 
-__all__ = ["OUTCOMES", "TransactionRecord", "SimulationResult"]
+__all__ = ["OUTCOMES", "TransactionRecord", "StreamSummary", "SimulationResult"]
 
 
 #: Terminal outcomes a record can carry.  ``completed`` is the only one
@@ -101,6 +101,83 @@ class TransactionRecord:
         )
 
 
+@dataclass(frozen=True, slots=True)
+class StreamSummary:
+    """Constant-size aggregates of a run whose records were not retained.
+
+    Built by the engine under ``retain_records=False`` (streaming mode):
+    one pass over the transaction pool at run end, no
+    :class:`TransactionRecord` tuple, no by-id index.  Every aggregate a
+    :class:`SimulationResult` exposes is answerable from these scalars;
+    per-transaction queries are not (use streaming telemetry's top-k for
+    the heaviest culprits instead).
+    """
+
+    n: int
+    completed: int
+    tardy: int
+    aborted: int
+    shed: int
+    retries: int
+    preemptions: int
+    total_tardiness: float
+    total_weighted_tardiness: float
+    max_tardiness: float
+    max_weighted_tardiness: float
+    total_response_time: float
+    makespan: float
+
+    @classmethod
+    def from_transactions(
+        cls, transactions: Iterable[Transaction], preemptions: int = 0
+    ) -> "StreamSummary":
+        n = completed = tardy = aborted = shed = retries = 0
+        total_t = total_wt = max_t = max_wt = total_resp = makespan = 0.0
+        for txn in transactions:
+            outcome = _STATE_TO_OUTCOME.get(txn.state)
+            if outcome is None or txn.finish_time is None:
+                raise SimulationError(
+                    f"transaction {txn.txn_id} did not finish; cannot record"
+                )
+            n += 1
+            retries += txn.retries
+            if txn.finish_time > makespan:
+                makespan = txn.finish_time
+            if outcome == "aborted":
+                aborted += 1
+                continue
+            if outcome == "shed":
+                shed += 1
+                continue
+            completed += 1
+            tardiness = max(0.0, txn.finish_time - txn.deadline)
+            weighted = tardiness * txn.weight
+            total_t += tardiness
+            total_wt += weighted
+            if tardiness > 0.0:
+                tardy += 1
+            if tardiness > max_t:
+                max_t = tardiness
+            if weighted > max_wt:
+                max_wt = weighted
+            total_resp += txn.finish_time - txn.arrival
+        return cls(
+            n=n,
+            completed=completed,
+            tardy=tardy,
+            aborted=aborted,
+            shed=shed,
+            retries=retries,
+            preemptions=preemptions,
+            total_tardiness=total_t,
+            total_weighted_tardiness=total_wt,
+            max_tardiness=max_t,
+            max_weighted_tardiness=max_wt,
+            total_response_time=total_resp,
+            makespan=makespan,
+        )
+
+
 class SimulationResult:
     """Per-run metrics over a completed transaction set.
 
@@ -109,7 +186,8 @@ class SimulationResult:
     policy_name:
         Name of the scheduling policy that produced the run.
     records:
-        One :class:`TransactionRecord` per completed transaction.
+        One :class:`TransactionRecord` per completed transaction — or
+        empty, iff ``stream_summary`` is given.
     trace:
         Optional execution trace (``None`` unless tracing was enabled).
     scheduling_points:
@@ -118,6 +196,13 @@ class SimulationResult:
     preemptions:
         Total preemptions over the run.  Defaults to the sum of the
         per-record preemption counts, which is what the engine reports.
+    stream_summary:
+        Constant-size aggregates from a ``retain_records=False`` run.
+        Every aggregate property answers from the summary; the
+        per-transaction queries (:meth:`record_of`, :meth:`finish_order`,
+        :meth:`tardy_records`, :meth:`tardiness_by_id`) raise
+        :class:`~repro.errors.SimulationError` since the data was never
+        kept.
     """
 
     def __init__(
@@ -127,19 +212,35 @@ class SimulationResult:
         trace: Trace | None = None,
         scheduling_points: int | None = None,
         preemptions: int | None = None,
+        stream_summary: StreamSummary | None = None,
     ) -> None:
-        if not records:
+        if not records and stream_summary is None:
             raise SimulationError("a simulation result needs >= 1 record")
+        if records and stream_summary is not None:
+            raise SimulationError(
+                "records and stream_summary are mutually exclusive"
+            )
         self.policy_name = policy_name
         self.records = tuple(records)
+        self.stream_summary = stream_summary
         self.trace = trace
         self.scheduling_points = scheduling_points
-        self.total_preemptions = (
-            preemptions
-            if preemptions is not None
-            else sum(r.preemptions for r in self.records)
-        )
+        if preemptions is not None:
+            self.total_preemptions = preemptions
+        elif stream_summary is not None:
+            self.total_preemptions = stream_summary.preemptions
+        else:
+            self.total_preemptions = sum(r.preemptions for r in self.records)
         self._by_id = {r.txn_id: r for r in self.records}
+
+    def _need_records(self, what: str) -> None:
+        if self.stream_summary is not None:
+            raise SimulationError(
+                f"{what} needs per-transaction records, but this result "
+                "was produced with retain_records=False (streaming mode); "
+                "re-run with retention on, or use streaming telemetry's "
+                "top-k/sketches for per-transaction questions"
+            )
 
     # ------------------------------------------------------------------
     # Aggregates (Definitions 4 and 5, plus Section IV-F's worst case).
@@ -150,36 +251,50 @@ class SimulationResult:
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:
+        if self.stream_summary is not None:
+            return self.stream_summary.n
         return len(self.records)
 
     @property
     def _n_completed(self) -> int:
-        count = sum(1 for r in self.records if r.outcome == "completed")
+        if self.stream_summary is not None:
+            count = self.stream_summary.completed
+        else:
+            count = sum(1 for r in self.records if r.outcome == "completed")
         return count if count else 1  # guard: all-failed run averages to 0
 
     @property
     def average_tardiness(self) -> float:
         """Definition 4: :math:`\\frac{1}{N}\\sum t_i` over completed work."""
-        return sum(r.tardiness for r in self.records) / self._n_completed
+        return self.total_tardiness / self._n_completed
 
     @property
     def average_weighted_tardiness(self) -> float:
         """Definition 5: :math:`\\frac{1}{N}\\sum t_i w_i` over completed work."""
-        return (
-            sum(r.weighted_tardiness for r in self.records) / self._n_completed
-        )
+        return self.total_weighted_tardiness / self._n_completed
 
     @property
     def max_tardiness(self) -> float:
+        if self.stream_summary is not None:
+            return self.stream_summary.max_tardiness
         return max(r.tardiness for r in self.records)
 
     @property
     def max_weighted_tardiness(self) -> float:
         """Worst-case metric of Figure 16."""
+        if self.stream_summary is not None:
+            return self.stream_summary.max_weighted_tardiness
         return max(r.weighted_tardiness for r in self.records)
 
     @property
     def average_response_time(self) -> float:
+        if self.stream_summary is not None:
+            if not self.stream_summary.completed:
+                return 0.0
+            return (
+                self.stream_summary.total_response_time
+                / self.stream_summary.completed
+            )
         completed = [r for r in self.records if r.outcome == "completed"]
         if not completed:
             return 0.0
@@ -187,15 +302,23 @@ class SimulationResult:
 
     @property
     def total_tardiness(self) -> float:
+        if self.stream_summary is not None:
+            return self.stream_summary.total_tardiness
         return sum(r.tardiness for r in self.records)
 
     @property
     def total_weighted_tardiness(self) -> float:
+        if self.stream_summary is not None:
+            return self.stream_summary.total_weighted_tardiness
         return sum(r.weighted_tardiness for r in self.records)
 
     @property
     def deadline_miss_ratio(self) -> float:
         """Fraction of completed transactions finishing past their deadline."""
+        if self.stream_summary is not None:
+            if not self.stream_summary.completed:
+                return 0.0
+            return self.stream_summary.tardy / self.stream_summary.completed
         completed = [r for r in self.records if r.outcome == "completed"]
         if not completed:
             return 0.0
@@ -205,6 +328,8 @@ class SimulationResult:
     @property
     def tardy_count(self) -> int:
         """How many transactions completed after their deadline."""
+        if self.stream_summary is not None:
+            return self.stream_summary.tardy
         return sum(
             1
             for r in self.records
@@ -217,29 +342,40 @@ class SimulationResult:
     @property
     def completed_count(self) -> int:
         """How many transactions ran to completion."""
+        if self.stream_summary is not None:
+            return self.stream_summary.completed
         return sum(1 for r in self.records if r.outcome == "completed")
 
     @property
     def aborted_count(self) -> int:
         """How many transactions exhausted their retry budget."""
+        if self.stream_summary is not None:
+            return self.stream_summary.aborted
         return sum(1 for r in self.records if r.outcome == "aborted")
 
     @property
     def shed_count(self) -> int:
         """How many transactions admission control rejected."""
+        if self.stream_summary is not None:
+            return self.stream_summary.shed
         return sum(1 for r in self.records if r.outcome == "shed")
 
     @property
     def total_retries(self) -> int:
         """Total re-submissions across the run."""
+        if self.stream_summary is not None:
+            return self.stream_summary.retries
         return sum(r.retries for r in self.records)
 
     @property
     def makespan(self) -> float:
         """Completion time of the last transaction."""
+        if self.stream_summary is not None:
+            return self.stream_summary.makespan
         return max(r.finish for r in self.records)
 
     def record_of(self, txn_id: int) -> TransactionRecord:
+        self._need_records("record_of()")
         try:
             return self._by_id[txn_id]
         except KeyError:
@@ -247,10 +383,12 @@ class SimulationResult:
 
     def finish_order(self) -> list[int]:
         """Transaction ids sorted by completion time."""
+        self._need_records("finish_order()")
         return [r.txn_id for r in sorted(self.records, key=lambda r: r.finish)]
 
     def tardy_records(self) -> list[TransactionRecord]:
         """Records of completed transactions that missed their deadline."""
+        self._need_records("tardy_records()")
         return [
             r
             for r in self.records
@@ -264,6 +402,7 @@ class SimulationResult:
         must reproduce from the event log alone — blame components for a
         tardy transaction sum to exactly these values.
         """
+        self._need_records("tardiness_by_id()")
         return {r.txn_id: r.tardiness for r in self.records}
 
     def summary(self) -> dict[str, float]:

@@ -1,0 +1,123 @@
+"""CLI surface of the streaming telemetry layer.
+
+``run --streaming`` must produce a quantile-bearing report without
+retaining records; its event stream (optionally sampled and rotated)
+must round-trip through ``analyze``; the flag combinations that cannot
+work must be rejected up front.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_streaming_run_prints_quantile_summary(capsys):
+    assert main(
+        ["run", "--policy", "asets-star", "--n", "80", "--streaming"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "tardiness_p99=" in out
+    assert "miss_ratio=" in out
+
+
+def test_streaming_report_includes_sketch_quantiles(capsys):
+    assert main(
+        [
+            "run",
+            "--policy",
+            "edf",
+            "--n",
+            "80",
+            "--streaming",
+            "--window",
+            "100",
+            "--report",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "rel)" in out  # the ±accuracy annotation on quantile rows
+
+
+def test_streaming_events_analyze_round_trip(tmp_path, capsys):
+    events = tmp_path / "events.jsonl"
+    assert main(
+        [
+            "run",
+            "--policy",
+            "asets-star",
+            "--n",
+            "120",
+            "--streaming",
+            "--window",
+            "150",
+            "--events-out",
+            str(events),
+            "--events-rotate",
+            "4096",
+            "--events-sample",
+            "0.25",
+        ]
+    ) == 0
+    capsys.readouterr()
+    manifest = json.loads(
+        (tmp_path / "events.manifest.json").read_text()
+    )
+    assert manifest["kind"] == "manifest"
+    assert manifest["parts"]
+
+    assert main(["analyze", str(events), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "sampled log (rate 0.25)" in out
+
+
+def test_progress_heartbeat_writes_to_stderr(capsys):
+    assert main(
+        [
+            "run",
+            "--policy",
+            "edf",
+            "--n",
+            "60",
+            "--streaming",
+            "--progress=1e-9",
+        ]
+    ) == 0
+    err = capsys.readouterr().err
+    # A near-zero interval forces a beat at every scheduling point.
+    assert "[hb]" in err
+    assert "miss=" in err
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["run", "--n", "20", "--window", "10"],  # --window needs --streaming
+        ["run", "--n", "20", "--events-sample", "0.5"],  # needs --events-out
+        ["run", "--n", "20", "--events-rotate", "100"],  # needs --events-out
+        ["run", "--n", "20", "--streaming", "--trace-out", "t.json"],
+    ],
+)
+def test_invalid_flag_combinations_are_rejected(argv, tmp_path, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    assert exc.value.code == 2
+    assert capsys.readouterr().err
+
+
+@pytest.mark.parametrize("rate", ["0", "-0.5", "1.5"])
+def test_out_of_range_sample_rate_rejected(rate, tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "run",
+                "--n",
+                "20",
+                "--events-out",
+                str(tmp_path / "e.jsonl"),
+                "--events-sample",
+                rate,
+            ]
+        )
+    capsys.readouterr()

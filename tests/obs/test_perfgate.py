@@ -1,0 +1,143 @@
+"""The perf-regression gate: pass on parity, fail on synthetic regressions."""
+
+import io
+import json
+
+import pytest
+
+from repro.perfgate import DEFAULT_GATE, compare, load, main
+
+
+def snapshot(*, throughput=50_000.0, rss=1400.0, overhead=0.08):
+    return {
+        "schema": 2,
+        "policies": {
+            "edf": {"throughput_txns_per_s": throughput, "n": 1000},
+            "asets-star": {"throughput_txns_per_s": throughput * 0.8},
+        },
+        "tiers": {
+            "100000": {
+                "plain": {"wall_seconds": 5.0, "peak_rss_mb": rss},
+                "streaming": {
+                    "wall_seconds": 5.0 * (1 + overhead),
+                    "peak_rss_mb": rss,
+                },
+                "streaming_overhead_ratio": overhead,
+                "rss_ratio_streaming_vs_plain": 1.0,
+            }
+        },
+        "gate": dict(DEFAULT_GATE),
+    }
+
+
+class TestCompare:
+    def test_identical_snapshots_pass(self):
+        base = snapshot()
+        report = compare(snapshot(), base)
+        assert report.ok
+        assert report.failures == []
+        # Two throughput checks + RSS + overhead.
+        assert len(report.checks) == 4
+        assert "PASS" in report.render()
+
+    def test_synthetic_throughput_regression_fails(self):
+        base = snapshot()
+        tol = base["gate"]["throughput_drop_tolerance"]
+        bad = snapshot(throughput=50_000.0 * (1 - tol) * 0.9)
+        report = compare(bad, base)
+        assert not report.ok
+        assert any("throughput[edf]" in f for f in report.failures)
+        assert "FAIL" in report.render()
+
+    def test_synthetic_rss_regression_fails(self):
+        base = snapshot()
+        tol = base["gate"]["rss_growth_tolerance"]
+        bad = snapshot(rss=1400.0 * (1 + tol) * 1.1)
+        report = compare(bad, base)
+        assert not report.ok
+        assert any("streaming rss" in f for f in report.failures)
+
+    def test_synthetic_overhead_regression_fails(self):
+        base = snapshot()
+        bad = snapshot(
+            overhead=base["gate"]["streaming_overhead_max"] + 0.05
+        )
+        report = compare(bad, base)
+        assert not report.ok
+        assert any("streaming overhead" in f for f in report.failures)
+
+    def test_tolerances_come_from_the_baseline(self):
+        base = snapshot()
+        base["gate"]["throughput_drop_tolerance"] = 0.01
+        slightly_slower = snapshot(throughput=50_000.0 * 0.95)
+        report = compare(slightly_slower, base)
+        assert not report.ok  # 5% drop against a 1% gate
+
+    def test_only_overlapping_keys_are_gated(self):
+        base = snapshot()
+        base["policies"]["only-in-baseline"] = {
+            "throughput_txns_per_s": 1.0
+        }
+        base["tiers"]["1000000"] = base["tiers"]["100000"]
+        report = compare(snapshot(), base)
+        assert report.ok
+        assert len(report.checks) == 4  # extra baseline keys ignored
+
+    def test_missing_sections_tolerated(self):
+        report = compare({"schema": 2}, snapshot())
+        assert report.ok
+        assert report.checks == [] and report.failures == []
+
+    def test_gateless_baseline_uses_defaults(self):
+        base = snapshot()
+        del base["gate"]
+        report = compare(snapshot(), base)
+        assert report.ok
+
+
+class TestCli:
+    def _write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_pass_exits_zero(self, tmp_path):
+        cur = self._write(tmp_path, "cur.json", snapshot())
+        base = self._write(tmp_path, "base.json", snapshot())
+        out = io.StringIO()
+        assert main([cur, "--baseline", base], out=out) == 0
+        assert "perf gate: PASS" in out.getvalue()
+
+    def test_regression_exits_one(self, tmp_path):
+        cur = self._write(tmp_path, "cur.json", snapshot(throughput=100.0))
+        base = self._write(tmp_path, "base.json", snapshot())
+        out = io.StringIO()
+        assert main([cur, "--baseline", base], out=out) == 1
+        assert "FAIL" in out.getvalue()
+
+    def test_warns_when_nothing_overlaps(self, tmp_path):
+        cur = self._write(tmp_path, "cur.json", {"schema": 2})
+        base = self._write(tmp_path, "base.json", snapshot())
+        out = io.StringIO()
+        assert main([cur, "--baseline", base], out=out) == 0
+        assert "WARNING" in out.getvalue()
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load(path)
+
+    def test_committed_baseline_gates_itself(self, tmp_path):
+        """The repo's own BENCH_engine.json must pass against itself."""
+        import pathlib
+
+        baseline = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "BENCH_engine.json"
+        )
+        if not baseline.exists():
+            pytest.skip("no committed baseline")
+        data = load(baseline)
+        report = compare(data, data)
+        assert report.ok

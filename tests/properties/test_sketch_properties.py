@@ -1,0 +1,164 @@
+"""Property-based tests of the streaming-sketch guarantees.
+
+Three families of properties:
+
+* **error bounds** — the quantile sketch's documented relative-error
+  guarantee and the Misra–Gries undercount bound hold for arbitrary
+  inputs, not just friendly distributions;
+* **merge identities** — sketch merges are associative and commutative
+  to the byte (integer bucket counts), and sharding a stream any way
+  then merging reproduces the single-stream sketch exactly;
+* **moment merges** — Chan's combination matches the bulk computation
+  within floating-point tolerance for any split.
+"""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.obs.streaming import (
+    MIN_TRACKABLE,
+    QuantileSketch,
+    StreamingMoments,
+    TopK,
+)
+
+finite = {"allow_nan": False, "allow_infinity": False}
+
+values = st.floats(min_value=-1e9, max_value=1e9, **finite)
+positive_values = st.floats(min_value=1e-6, max_value=1e9, **finite)
+accuracies = st.sampled_from([0.005, 0.01, 0.05])
+quantiles = st.floats(min_value=0.0, max_value=1.0, **finite)
+
+
+def _exact_quantile(sorted_values, q):
+    rank = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[rank]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.lists(values, min_size=1, max_size=300),
+    alpha=accuracies,
+    q=quantiles,
+)
+def test_quantile_relative_error_bound(data, alpha, q):
+    sketch = QuantileSketch(alpha)
+    for v in data:
+        sketch.add(v)
+    exact = _exact_quantile(sorted(data), q)
+    got = sketch.quantile(q)
+    if abs(exact) <= MIN_TRACKABLE:
+        assert abs(got) <= MIN_TRACKABLE
+    else:
+        assert abs(got - exact) <= alpha * abs(exact) + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.lists(values, max_size=120),
+    b=st.lists(values, max_size=120),
+    c=st.lists(values, max_size=120),
+)
+def test_sketch_merge_associative_and_commutative_to_the_byte(a, b, c):
+    def sketch_of(data):
+        s = QuantileSketch(0.01)
+        for v in data:
+            s.add(v)
+        return s
+
+    # (a ⊕ b) ⊕ c
+    left = sketch_of(a)
+    left.merge(sketch_of(b))
+    left.merge(sketch_of(c))
+    # a ⊕ (b ⊕ c)
+    right_inner = sketch_of(b)
+    right_inner.merge(sketch_of(c))
+    right = sketch_of(a)
+    right.merge(right_inner)
+    # (c ⊕ b) ⊕ a — commuted order
+    commuted = sketch_of(c)
+    commuted.merge(sketch_of(b))
+    commuted.merge(sketch_of(a))
+
+    assert left.as_dict() == right.as_dict() == commuted.as_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.lists(values, min_size=1, max_size=300),
+    n_shards=st.integers(min_value=1, max_value=5),
+)
+def test_sharded_sketches_merge_to_the_single_stream(data, n_shards):
+    whole = QuantileSketch(0.01)
+    shards = [QuantileSketch(0.01) for _ in range(n_shards)]
+    for i, v in enumerate(data):
+        whole.add(v)
+        shards[i % n_shards].add(v)
+    merged = shards[0]
+    for shard in shards[1:]:
+        merged.merge(shard)
+    assert merged.as_dict() == whole.as_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.lists(values, min_size=1, max_size=300))
+def test_sketch_dict_round_trip(data):
+    s = QuantileSketch(0.01)
+    for v in data:
+        s.add(v)
+    assert QuantileSketch.from_dict(s.as_dict()).as_dict() == s.as_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.lists(values, min_size=2, max_size=300),
+    split=st.floats(min_value=0.0, max_value=1.0, **finite),
+)
+def test_moments_merge_matches_bulk(data, split):
+    cut = int(split * len(data))
+    bulk = StreamingMoments()
+    a, b = StreamingMoments(), StreamingMoments()
+    for i, v in enumerate(data):
+        bulk.add(v)
+        (a if i < cut else b).add(v)
+    a.merge(b)
+    assert a.count == bulk.count
+    assert a.mean == bulk.mean or math.isclose(
+        a.mean, bulk.mean, rel_tol=1e-9, abs_tol=1e-6
+    )
+    assert a.variance == bulk.variance or math.isclose(
+        a.variance, bulk.variance, rel_tol=1e-6, abs_tol=1e-6
+    )
+    assert a.min == bulk.min and a.max == bulk.max
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=20), positive_values),
+        min_size=1,
+        max_size=200,
+    ),
+    capacity=st.integers(min_value=1, max_value=8),
+    n_shards=st.integers(min_value=1, max_value=4),
+)
+def test_topk_undercount_bound_holds_through_merges(
+    entries, capacity, n_shards
+):
+    shards = [TopK(capacity) for _ in range(n_shards)]
+    true: dict[int, float] = {}
+    for i, (key, weight) in enumerate(entries):
+        shards[i % n_shards].add(key, weight)
+        true[key] = true.get(key, 0.0) + weight
+    merged = shards[0]
+    for shard in shards[1:]:
+        merged.merge(shard)
+    total = sum(true.values())
+    tolerance = 1e-9 * max(1.0, total)
+    assert merged.total_weight <= total + tolerance
+    assert merged.undercount_bound <= total / (capacity + 1) + tolerance
+    for key, estimate in merged.items():
+        assert estimate <= true[key] + tolerance
+        assert estimate >= true[key] - merged.undercount_bound - tolerance
