@@ -5,12 +5,19 @@ credibility rests on: bit-for-bit determinism given a seed, a zero-cost
 uninstrumented engine hot path, and policies that honour the
 :class:`~repro.policies.base.Scheduler` hook contract.  This package
 enforces those invariants *at the source level* with a dependency-free
-:mod:`ast` walker and a numbered rule library (RL001..RL007), wired into
+:mod:`ast` walker and a numbered rule library (RL001..RL012), wired into
 CI as a blocking job.
+
+Rules RL001–RL009 are per-statement AST matchers.  RL010–RL012 are the
+*dataflow* rules: per-function control-flow graphs
+(:mod:`repro.lint.cfg`), a taint lattice with one-level call summaries
+(:mod:`repro.lint.dataflow`), believed-vs-true basis tracking (RL010),
+sim-vs-wall time-dimension analysis (RL011), and static event-schema
+contracts cross-checked against ``EVENT_SCHEMAS`` (RL012).
 
 Usage::
 
-    python -m repro.lint [--format json] [--select/--ignore RLxxx] paths...
+    python -m repro.lint [--format json|sarif] [--select/--ignore RLxxx] paths...
 
 or programmatically::
 
@@ -24,6 +31,14 @@ See ``docs/lint.md`` for the rule catalog and the suppression syntax
 
 from __future__ import annotations
 
+from repro.lint.cfg import CFG, Block, build_cfg
+from repro.lint.dataflow import (
+    CallSummary,
+    TaintAnalysis,
+    TaintSpec,
+    reaching_definitions,
+    summarize_module,
+)
 from repro.lint.engine import (
     LintResult,
     ModuleContext,
@@ -34,24 +49,39 @@ from repro.lint.engine import (
     run_lint,
 )
 from repro.lint.findings import Finding
-from repro.lint.reporters import parse_json_report, render_json, render_text
+from repro.lint.reporters import (
+    parse_json_report,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.lint.rules import ALL_RULES, Rule, rules_by_id
-from repro.lint.suppress import Suppressions
+from repro.lint.suppress import Pragma, Suppressions
 
 __all__ = [
     "ALL_RULES",
+    "Block",
+    "CFG",
+    "CallSummary",
     "Finding",
     "LintResult",
     "ModuleContext",
+    "Pragma",
     "ProjectContext",
     "Rule",
     "Suppressions",
+    "TaintAnalysis",
+    "TaintSpec",
+    "build_cfg",
     "check_file",
     "collect_modules",
     "lint",
     "parse_json_report",
+    "reaching_definitions",
     "render_json",
+    "render_sarif",
     "render_text",
     "rules_by_id",
     "run_lint",
+    "summarize_module",
 ]

@@ -12,7 +12,7 @@ import sys
 from typing import Sequence
 
 from repro.lint.engine import lint
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_json, render_sarif, render_text
 from repro.lint.rules import ALL_RULES
 
 
@@ -40,9 +40,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; sarif for code scanning)",
     )
     parser.add_argument(
         "--select",
@@ -84,6 +84,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result, rules=ALL_RULES))
     else:
         print(render_text(result))
     return 0 if result.ok else 1

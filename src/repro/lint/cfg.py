@@ -1,0 +1,304 @@
+"""Per-function control-flow graphs for the dataflow rules.
+
+:func:`build_cfg` lowers one ``ast.FunctionDef`` body into basic blocks
+of *simple* statements linked by successor edges.  Compound statements
+never appear inside a block's statement list; they become the block's
+``terminator`` and their sub-suites are lowered into separate blocks:
+
+* ``if``/``match`` fan out to one block per branch and re-join;
+* ``while``/``for`` get a header block with a back edge from the body
+  (so fixpoint analyses see loop-carried state) and an exit edge;
+* ``try`` is approximated conservatively: every block created inside
+  the ``try`` suite gets an edge to every handler entry, so a handler
+  observes the state at the end of *any* block of the protected region
+  (block granularity — taint dead before a block's end is not seen);
+* ``return``/``raise`` edge to the synthetic exit block;
+* ``break``/``continue`` edge to the innermost loop's exit/header.
+
+``with`` bodies run in line; the item bindings are represented by the
+``ast.withitem`` nodes themselves appearing in the statement list (the
+dataflow transfer function binds ``optional_vars`` from the context
+expression).  Nested ``def``/``class``/``lambda`` are treated as opaque
+simple statements — the analyses are intraprocedural; calls into
+same-module helpers are handled by one-level summaries in
+:mod:`repro.lint.dataflow` instead.
+
+The graph is deterministic: block ids are allocated in lowering order,
+successor lists preserve insertion order, and :meth:`CFG.blocks` is id
+ordered — the lint layer holds itself to RL001.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+__all__ = ["Block", "CFG", "FunctionNode", "build_cfg"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Statement types lowered as block terminators, never list members.
+_COMPOUND = (
+    ast.If,
+    ast.While,
+    ast.For,
+    ast.AsyncFor,
+    ast.Try,
+    ast.Return,
+    ast.Raise,
+    ast.Break,
+    ast.Continue,
+    ast.Match,
+)
+
+
+class Block:
+    """One basic block: simple statements plus an optional terminator."""
+
+    __slots__ = ("block_id", "label", "stmts", "terminator", "succs", "preds")
+
+    def __init__(self, block_id: int, label: str) -> None:
+        self.block_id = block_id
+        self.label = label
+        #: Simple statements (plus ``ast.withitem`` binding markers).
+        self.stmts: list[ast.AST] = []
+        #: The compound/jump statement ending the block, if any.
+        self.terminator: ast.stmt | None = None
+        self.succs: list["Block"] = []
+        self.preds: list["Block"] = []
+
+    def __repr__(self) -> str:
+        succ = ",".join(str(b.block_id) for b in self.succs)
+        return (
+            f"<Block {self.block_id} {self.label!r} "
+            f"stmts={len(self.stmts)} succs=[{succ}]>"
+        )
+
+
+class CFG:
+    """The control-flow graph of one function body."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self._blocks: list[Block] = []
+        self.entry = self.new_block("entry")
+        self.exit = self.new_block("exit")
+
+    @property
+    def blocks(self) -> list[Block]:
+        """Every block, in allocation (= lowering) order."""
+        return list(self._blocks)
+
+    def new_block(self, label: str) -> Block:
+        block = Block(len(self._blocks), label)
+        self._blocks.append(block)
+        return block
+
+    def add_edge(self, src: Block, dst: Block) -> None:
+        if dst not in src.succs:
+            src.succs.append(dst)
+            dst.preds.append(src)
+
+    def iter_rpo(self) -> Iterator[Block]:
+        """Blocks in reverse post-order from the entry (fast fixpoints)."""
+        seen: set[int] = set()
+        order: list[Block] = []
+
+        def visit(block: Block) -> None:
+            seen.add(block.block_id)
+            for succ in block.succs:
+                if succ.block_id not in seen:
+                    visit(succ)
+            order.append(block)
+
+        visit(self.entry)
+        result = list(reversed(order))
+        # Unreachable blocks (e.g. code after a return) come last so
+        # analyses still walk their statements.
+        for block in self._blocks:
+            if block.block_id not in seen:
+                result.append(block)
+        return iter(result)
+
+
+class _Builder:
+    """Recursive statement lowering with loop/handler stacks."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.cfg = CFG(func)
+        self.current = self.cfg.new_block("body")
+        self.cfg.add_edge(self.cfg.entry, self.current)
+        #: (continue target, break target) per active loop.
+        self._loops: list[tuple[Block, Block]] = []
+        #: Handler entry blocks of every active ``try`` suite.
+        self._handlers: list[list[Block]] = []
+
+    # ------------------------------------------------------------------
+    def build(self) -> CFG:
+        self._suite(self.cfg.func.body)
+        self.cfg.add_edge(self.current, self.cfg.exit)
+        return self.cfg
+
+    def _new_block(self, label: str) -> Block:
+        """A fresh block wired to every active exception handler."""
+        block = self.cfg.new_block(label)
+        for handlers in self._handlers:
+            for handler in handlers:
+                self.cfg.add_edge(block, handler)
+        return block
+
+    def _start(self, label: str, *preds: Block) -> Block:
+        block = self._new_block(label)
+        for pred in preds:
+            self.cfg.add_edge(pred, block)
+        return block
+
+    def _suite(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._statement(stmt)
+
+    # ------------------------------------------------------------------
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, (ast.While,)):
+            self._while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._try(stmt)
+        elif isinstance(stmt, ast.Match):
+            self._match(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.current.stmts.extend(stmt.items)
+            self._suite(stmt.body)
+        elif isinstance(stmt, (ast.Return, ast.Raise)):
+            self.current.terminator = stmt
+            self.cfg.add_edge(self.current, self.cfg.exit)
+            self.current = self._new_block("unreachable")
+        elif isinstance(stmt, ast.Break):
+            self.current.terminator = stmt
+            if self._loops:
+                self.cfg.add_edge(self.current, self._loops[-1][1])
+            self.current = self._new_block("unreachable")
+        elif isinstance(stmt, ast.Continue):
+            self.current.terminator = stmt
+            if self._loops:
+                self.cfg.add_edge(self.current, self._loops[-1][0])
+            self.current = self._new_block("unreachable")
+        else:
+            # Simple statement (incl. nested def/class, kept opaque).
+            self.current.stmts.append(stmt)
+
+    def _if(self, stmt: ast.If) -> None:
+        self.current.terminator = stmt
+        head = self.current
+        after = self._new_block("if_join")
+        then = self._start("if_then", head)
+        self.current = then
+        self._suite(stmt.body)
+        self.cfg.add_edge(self.current, after)
+        if stmt.orelse:
+            orelse = self._start("if_else", head)
+            self.current = orelse
+            self._suite(stmt.orelse)
+            self.cfg.add_edge(self.current, after)
+        else:
+            self.cfg.add_edge(head, after)
+        self.current = after
+
+    def _while(self, stmt: ast.While) -> None:
+        head = self._start("while_head", self.current)
+        head.terminator = stmt
+        after = self._new_block("while_exit")
+        body = self._start("while_body", head)
+        self._loops.append((head, after))
+        self.current = body
+        self._suite(stmt.body)
+        self.cfg.add_edge(self.current, head)
+        self._loops.pop()
+        if stmt.orelse:
+            orelse = self._start("while_else", head)
+            self.current = orelse
+            self._suite(stmt.orelse)
+            self.cfg.add_edge(self.current, after)
+        else:
+            self.cfg.add_edge(head, after)
+        self.current = after
+
+    def _for(self, stmt: ast.For | ast.AsyncFor) -> None:
+        head = self._start("for_head", self.current)
+        head.terminator = stmt  # transfer binds target from iter here
+        after = self._new_block("for_exit")
+        body = self._start("for_body", head)
+        self._loops.append((head, after))
+        self.current = body
+        self._suite(stmt.body)
+        self.cfg.add_edge(self.current, head)
+        self._loops.pop()
+        if stmt.orelse:
+            orelse = self._start("for_else", head)
+            self.current = orelse
+            self._suite(stmt.orelse)
+            self.cfg.add_edge(self.current, after)
+        else:
+            self.cfg.add_edge(head, after)
+        self.current = after
+
+    def _try(self, stmt: ast.Try) -> None:
+        after = self._new_block("try_join")
+        handler_entries = [
+            self.cfg.new_block(f"except_{i}")
+            for i, _ in enumerate(stmt.handlers)
+        ]
+        # The protected suite: every block inside edges to every handler.
+        self._handlers.append(handler_entries)
+        body = self._start("try_body", self.current)
+        for handler in handler_entries:
+            self.cfg.add_edge(body, handler)
+        self.current = body
+        self._suite(stmt.body)
+        self._handlers.pop()
+        # ``else`` runs only on normal completion of the body.
+        if stmt.orelse:
+            self._suite(stmt.orelse)
+        body_end = self.current
+
+        ends = [body_end]
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            self.current = entry
+            if handler.name is not None:
+                # Bind the exception name: represented by the handler
+                # node itself (the transfer function handles it).
+                entry.stmts.append(handler)
+            self._suite(handler.body)
+            ends.append(self.current)
+
+        if stmt.finalbody:
+            final = self._new_block("finally")
+            for end in ends:
+                self.cfg.add_edge(end, final)
+            self.current = final
+            self._suite(stmt.finalbody)
+            self.cfg.add_edge(self.current, after)
+        else:
+            for end in ends:
+                self.cfg.add_edge(end, after)
+        self.current = after
+
+    def _match(self, stmt: ast.Match) -> None:
+        self.current.terminator = stmt
+        head = self.current
+        after = self._new_block("match_join")
+        for i, case in enumerate(stmt.cases):
+            arm = self._start(f"case_{i}", head)
+            self.current = arm
+            self._suite(case.body)
+            self.cfg.add_edge(self.current, after)
+        self.cfg.add_edge(head, after)  # no case may match
+        self.current = after
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Lower ``func``'s body into a :class:`CFG`."""
+    return _Builder(func).build()

@@ -1,0 +1,710 @@
+"""Intraprocedural dataflow over :mod:`repro.lint.cfg` graphs.
+
+Two analyses share the worklist solver:
+
+* :func:`reaching_definitions` — the classic may-analysis mapping each
+  block entry to the set of ``(name, line)`` definitions that can reach
+  it; used by tests and as the foundation the taint engine is built on.
+* :class:`TaintAnalysis` — a label lattice over local names.  A *label*
+  is a ``(tag, description, line)`` triple introduced by a rule-supplied
+  :class:`TaintSpec` (e.g. ``("true", ".remaining", 104)`` for a
+  ground-truth read, ``("wall", "perf_counter()", 12)`` for a wall-clock
+  sample).  Labels propagate through assignments, augmented assignments,
+  tuple unpacking, arithmetic, comparisons, boolean operators,
+  conditional expressions, container literals, subscripts,
+  comprehensions, ``for`` targets, ``with`` bindings and function calls;
+  the join at CFG merge points is set union, so a value tainted on *any*
+  path stays tainted.
+
+Assignments to plain names are tracked precisely; stores through
+``self.x`` (or any dotted name chain) are tracked under the dotted key
+so a value laundered through an instance attribute inside one function
+is still seen.  Everything else (subscript stores, starred targets) is
+handled conservatively.
+
+Call summaries
+--------------
+:func:`summarize_module` gives every same-module function a one-level
+summary: the labels its return value *generates* and the parameters
+whose taint *propagates* to the return value.  At a call site the
+engine resolves ``helper(x)`` and ``self._helper(x)`` against these
+summaries, so::
+
+    def _density(self, rep):
+        return rep.weight / rep.remaining      # summary: own={true}
+
+    key = self._density(rep)                   # key is tainted "true"
+
+flows through the helper without interprocedural fixpointing.  Calls
+that resolve to no summary conservatively union the taint of their
+arguments (and receiver); a small sanitizer list (``len``,
+``isinstance``, ...) returns clean values.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.lint.cfg import CFG, Block, FunctionNode, build_cfg
+
+__all__ = [
+    "CallSummary",
+    "EMPTY",
+    "Label",
+    "TaintAnalysis",
+    "TaintSpec",
+    "iter_functions",
+    "point_exprs",
+    "reaching_definitions",
+    "summarize_module",
+]
+
+#: ``(tag, description, line)``: what kind of taint, introduced where.
+Label = tuple[str, str, int]
+
+EMPTY: frozenset[Label] = frozenset()
+
+#: Marker tag for parameter-origin labels used while summarizing.
+_PARAM_TAG = "<param>"
+
+#: Calls whose result never carries operand taint (counts, predicates).
+DEFAULT_SANITIZERS = frozenset(
+    {"len", "isinstance", "issubclass", "type", "id", "bool", "repr", "hash"}
+)
+
+
+class TaintSpec:
+    """Rule-supplied source classification; subclass per rule family.
+
+    ``classify_attribute``/``classify_call`` return the labels a node
+    *introduces* (sources); ``param_labels`` seeds function parameters.
+    The engine handles all propagation.
+    """
+
+    sanitizers: frozenset[str] = DEFAULT_SANITIZERS
+
+    def classify_attribute(self, node: ast.Attribute) -> frozenset[Label]:
+        return EMPTY
+
+    def classify_call(self, node: ast.Call) -> frozenset[Label]:
+        return EMPTY
+
+    def param_labels(self, name: str) -> frozenset[Label]:
+        return EMPTY
+
+
+# ----------------------------------------------------------------------
+# Helpers shared by both analyses.
+# ----------------------------------------------------------------------
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator[tuple[FunctionNode, str | None]]:
+    """Yield every function with its enclosing class name (or None).
+
+    Nested functions are yielded too (with the innermost class context);
+    lambdas are not — they are analysed in-place by the expression
+    evaluator.
+    """
+
+    def walk(node: ast.AST, cls: str | None) -> Iterator[tuple[FunctionNode, str | None]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls
+                yield from walk(child, cls)
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, child.name)
+            else:
+                yield from walk(child, cls)
+
+    return walk(tree, None)
+
+
+def _param_names(func: FunctionNode) -> list[str]:
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    names.extend(a.arg for a in args.kwonlyargs)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _target_key(node: ast.expr) -> str | None:
+    """A trackable environment key for an assignment target.
+
+    Plain names map to themselves; dotted chains of names
+    (``self.x.y``) map to their dotted string.  Anything else
+    (subscripts, calls) is untrackable.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _target_key(node.value)
+        if base is not None:
+            return f"{base}.{node.attr}"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions.
+# ----------------------------------------------------------------------
+def _stmt_defs(stmt: ast.AST) -> Iterator[tuple[str, int]]:
+    """The ``(name, line)`` definitions a simple statement generates."""
+    line = getattr(stmt, "lineno", 0)
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            yield from _target_defs(target, line)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        yield from _target_defs(stmt.target, line)
+    elif isinstance(stmt, ast.withitem):
+        if stmt.optional_vars is not None:
+            yield from _target_defs(stmt.optional_vars, line)
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            yield (stmt.name, line)
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.NamedExpr) and isinstance(
+            node.target, ast.Name
+        ):
+            yield (node.target.id, getattr(node, "lineno", line))
+
+
+def _target_defs(target: ast.expr, line: int) -> Iterator[tuple[str, int]]:
+    if isinstance(target, ast.Name):
+        yield (target.id, line)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_defs(element, line)
+    elif isinstance(target, ast.Starred):
+        yield from _target_defs(target.value, line)
+
+
+def _block_defs(block: Block) -> list[tuple[str, int]]:
+    defs: list[tuple[str, int]] = []
+    for stmt in block.stmts:
+        defs.extend(_stmt_defs(stmt))
+    term = block.terminator
+    if isinstance(term, (ast.For, ast.AsyncFor)):
+        defs.extend(_target_defs(term.target, term.lineno))
+    elif term is not None:
+        for node in ast.walk(
+            term.test if isinstance(term, (ast.If, ast.While)) else term
+        ):
+            if isinstance(node, ast.NamedExpr) and isinstance(
+                node.target, ast.Name
+            ):
+                defs.append((node.target.id, node.lineno))
+    return defs
+
+
+def reaching_definitions(
+    cfg: CFG,
+) -> dict[int, frozenset[tuple[str, int]]]:
+    """Map each block id to the definitions reaching its *entry*.
+
+    Parameters count as definitions at the function's ``def`` line.
+    """
+    entry_defs = frozenset(
+        (name, cfg.func.lineno) for name in _param_names(cfg.func)
+    )
+    gen: dict[int, list[tuple[str, int]]] = {}
+    kill_names: dict[int, set[str]] = {}
+    for block in cfg.blocks:
+        defs = _block_defs(block)
+        gen[block.block_id] = defs
+        kill_names[block.block_id] = {name for name, _ in defs}
+
+    def transfer(
+        block: Block, inset: frozenset[tuple[str, int]]
+    ) -> frozenset[tuple[str, int]]:
+        killed = kill_names[block.block_id]
+        out = {d for d in inset if d[0] not in killed}
+        # Within a block, later definitions of a name shadow earlier
+        # ones; keep only the last per name.
+        last: dict[str, tuple[str, int]] = {}
+        for d in gen[block.block_id]:
+            last[d[0]] = d
+        out.update(last.values())
+        return frozenset(out)
+
+    entry: dict[int, frozenset[tuple[str, int]]] = {
+        block.block_id: frozenset() for block in cfg.blocks
+    }
+    entry[cfg.entry.block_id] = entry_defs
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.iter_rpo():
+            if block is cfg.entry:
+                inset = entry_defs
+            else:
+                inset = frozenset().union(
+                    *(
+                        transfer(pred, entry[pred.block_id])
+                        for pred in block.preds
+                    )
+                ) if block.preds else frozenset()
+            if inset != entry[block.block_id]:
+                entry[block.block_id] = inset
+                changed = True
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Call summaries.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CallSummary:
+    """One-level taint summary of a same-module function."""
+
+    name: str
+    params: tuple[str, ...]
+    #: Labels the return value generates from sources in the body.
+    own: frozenset[Label]
+    #: Parameter names whose taint reaches the return value.
+    propagated: frozenset[str]
+
+    @property
+    def has_self(self) -> bool:
+        return bool(self.params) and self.params[0] in ("self", "cls")
+
+
+class _ParamSpec(TaintSpec):
+    """Wraps a rule spec, additionally seeding params with markers."""
+
+    def __init__(self, inner: TaintSpec) -> None:
+        self.inner = inner
+        self.sanitizers = inner.sanitizers
+
+    def classify_attribute(self, node: ast.Attribute) -> frozenset[Label]:
+        return self.inner.classify_attribute(node)
+
+    def classify_call(self, node: ast.Call) -> frozenset[Label]:
+        return self.inner.classify_call(node)
+
+    def param_labels(self, name: str) -> frozenset[Label]:
+        return self.inner.param_labels(name) | {(_PARAM_TAG, name, 0)}
+
+
+def summarize_module(
+    tree: ast.AST, spec: TaintSpec
+) -> dict[str, CallSummary]:
+    """One-level summaries for every function defined in ``tree``.
+
+    Functions sharing a bare name (methods of different classes) merge
+    conservatively: their own-labels union, their propagated sets union,
+    and the parameter list of the first definition wins.
+    """
+    summaries: dict[str, CallSummary] = {}
+    param_spec = _ParamSpec(spec)
+    for func, _cls in iter_functions(tree):
+        analysis = TaintAnalysis(func, param_spec, summaries={})
+        analysis.run()
+        returned: frozenset[Label] = EMPTY
+        for block in analysis.cfg.blocks:
+            term = block.terminator
+            if isinstance(term, ast.Return) and term.value is not None:
+                env = analysis.env_before_terminator(block)
+                returned |= analysis.eval(term.value, env)
+        own = frozenset(lbl for lbl in returned if lbl[0] != _PARAM_TAG)
+        propagated = frozenset(
+            lbl[1] for lbl in returned if lbl[0] == _PARAM_TAG
+        )
+        summary = CallSummary(
+            name=func.name,
+            params=tuple(_param_names(func)),
+            own=own,
+            propagated=propagated,
+        )
+        previous = summaries.get(func.name)
+        if previous is not None:
+            summary = CallSummary(
+                name=func.name,
+                params=previous.params,
+                own=previous.own | summary.own,
+                propagated=previous.propagated | summary.propagated,
+            )
+        summaries[func.name] = summary
+    return summaries
+
+
+# ----------------------------------------------------------------------
+# The taint engine.
+# ----------------------------------------------------------------------
+Env = dict[str, frozenset[Label]]
+
+
+def _join(envs: list[Env]) -> Env:
+    out: Env = {}
+    for env in envs:
+        for name, labels in env.items():
+            if labels:
+                out[name] = out.get(name, EMPTY) | labels
+    return out
+
+
+def _env_eq(a: Env, b: Env) -> bool:
+    return {k: v for k, v in a.items() if v} == {
+        k: v for k, v in b.items() if v
+    }
+
+
+class TaintAnalysis:
+    """Taint fixpoint over one function's CFG.
+
+    Usage::
+
+        analysis = TaintAnalysis(func, spec, summaries)
+        analysis.run()
+        for stmt, env in analysis.iter_states():
+            labels = analysis.eval(some_expr, env)
+    """
+
+    def __init__(
+        self,
+        func: FunctionNode,
+        spec: TaintSpec,
+        summaries: dict[str, CallSummary] | None = None,
+        cfg: CFG | None = None,
+    ) -> None:
+        self.func = func
+        self.spec = spec
+        self.summaries = summaries if summaries is not None else {}
+        self.cfg = cfg if cfg is not None else build_cfg(func)
+        self._entry_envs: dict[int, Env] = {}
+
+    # -- fixpoint ------------------------------------------------------
+    def entry_env(self) -> Env:
+        env: Env = {}
+        for name in _param_names(self.func):
+            labels = self.spec.param_labels(name)
+            if labels:
+                env[name] = labels
+        return env
+
+    def run(self) -> "TaintAnalysis":
+        envs: dict[int, Env] = {
+            block.block_id: {} for block in self.cfg.blocks
+        }
+        envs[self.cfg.entry.block_id] = self.entry_env()
+        changed = True
+        while changed:
+            changed = False
+            for block in self.cfg.iter_rpo():
+                if block is self.cfg.entry:
+                    inset = self.entry_env()
+                elif block.preds:
+                    inset = _join(
+                        [
+                            self._transfer_block(
+                                pred, dict(envs[pred.block_id])
+                            )
+                            for pred in block.preds
+                        ]
+                    )
+                else:
+                    inset = {}
+                if not _env_eq(inset, envs[block.block_id]):
+                    envs[block.block_id] = inset
+                    changed = True
+        self._entry_envs = envs
+        return self
+
+    def env_at(self, block: Block) -> Env:
+        """The environment at ``block``'s entry (run() first)."""
+        return dict(self._entry_envs.get(block.block_id, {}))
+
+    def env_before_terminator(self, block: Block) -> Env:
+        """The environment after the block's simple statements."""
+        env = self.env_at(block)
+        for stmt in block.stmts:
+            self.transfer_stmt(stmt, env)
+        return env
+
+    def iter_states(self) -> Iterator[tuple[ast.AST, Env]]:
+        """Yield ``(statement, env-before)`` for every program point.
+
+        Simple statements first, then the terminator, per block, in
+        block-id order.  The yielded env reflects all *earlier*
+        statements of the block; mutate-free inspection only.
+        """
+        for block in self.cfg.blocks:
+            env = self.env_at(block)
+            for stmt in block.stmts:
+                yield stmt, env
+                self.transfer_stmt(stmt, env)
+            if block.terminator is not None:
+                yield block.terminator, env
+
+    # -- transfer ------------------------------------------------------
+    def _transfer_block(self, block: Block, env: Env) -> Env:
+        for stmt in block.stmts:
+            self.transfer_stmt(stmt, env)
+        term = block.terminator
+        if isinstance(term, (ast.For, ast.AsyncFor)):
+            self._bind(term.target, self.eval(term.iter, env), env)
+        elif isinstance(term, (ast.If, ast.While)) and term.test is not None:
+            self.eval(term.test, env)  # NamedExpr bindings in the test
+        return env
+
+    def transfer_stmt(self, stmt: ast.AST, env: Env) -> None:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._assign(target, stmt.value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            labels = self.eval(stmt.value, env)
+            key = _target_key(stmt.target)
+            if key is not None:
+                env[key] = env.get(key, EMPTY) | labels
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, stmt.value, env)
+        elif isinstance(stmt, ast.withitem):
+            labels = self.eval(stmt.context_expr, env)
+            if stmt.optional_vars is not None:
+                self._bind(stmt.optional_vars, labels, env)
+        elif isinstance(stmt, ast.ExceptHandler):
+            if stmt.name:
+                env[stmt.name] = EMPTY
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                key = _target_key(target)
+                if key is not None:
+                    env.pop(key, None)
+        elif isinstance(stmt, (ast.Assert,)):
+            self.eval(stmt.test, env)
+        # Nested defs/classes/imports are opaque.
+
+    def _assign(
+        self, target: ast.expr, value: ast.expr, env: Env
+    ) -> None:
+        """Bind ``target = value``, element-wise for matching tuples.
+
+        ``a, b = x, y`` binds each name from its own right-hand element
+        instead of smearing the union over both — the precision that
+        keeps ``best, best_key = wf, key`` from tainting ``best``.
+        """
+        if (
+            isinstance(target, (ast.Tuple, ast.List))
+            and isinstance(value, (ast.Tuple, ast.List))
+            and len(target.elts) == len(value.elts)
+            and not any(isinstance(e, ast.Starred) for e in target.elts)
+            and not any(isinstance(e, ast.Starred) for e in value.elts)
+        ):
+            for sub_target, sub_value in zip(target.elts, value.elts):
+                self._assign(sub_target, sub_value, env)
+            return
+        self._bind(target, self.eval(value, env), env)
+
+    def _bind(
+        self, target: ast.expr, labels: frozenset[Label], env: Env
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, labels, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, labels, env)
+        else:
+            key = _target_key(target)
+            if key is not None:
+                env[key] = labels
+
+    # -- expression evaluation -----------------------------------------
+    def eval(self, node: ast.expr, env: Env) -> frozenset[Label]:
+        """The labels carried by ``node`` under ``env``.
+
+        Evaluation is total: unknown constructs propagate the union of
+        their children, so taint is never silently dropped.
+        """
+        if isinstance(node, ast.Name):
+            return env.get(node.id, EMPTY)
+        if isinstance(node, ast.Constant):
+            return EMPTY
+        if isinstance(node, ast.Attribute):
+            labels = self.spec.classify_attribute(node)
+            key = _target_key(node)
+            if key is not None and key in env:
+                labels |= env[key]
+            return labels | self.eval(node.value, env)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.BinOp):
+            return self.eval(node.left, env) | self.eval(node.right, env)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand, env)
+        if isinstance(node, ast.BoolOp):
+            out = EMPTY
+            for value in node.values:
+                out |= self.eval(value, env)
+            return out
+        if isinstance(node, ast.Compare):
+            out = self.eval(node.left, env)
+            for comparator in node.comparators:
+                out |= self.eval(comparator, env)
+            return out
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return self.eval(node.body, env) | self.eval(node.orelse, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = EMPTY
+            for element in node.elts:
+                out |= self.eval(element, env)
+            return out
+        if isinstance(node, ast.Dict):
+            out = EMPTY
+            for key, value in zip(node.keys, node.values):
+                if key is not None:
+                    out |= self.eval(key, env)
+                out |= self.eval(value, env)
+            return out
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.Slice):
+            out = EMPTY
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    out |= self.eval(part, env)
+            return out
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, env)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.Yield):
+            return (
+                self.eval(node.value, env)
+                if node.value is not None
+                else EMPTY
+            )
+        if isinstance(node, ast.NamedExpr):
+            labels = self.eval(node.value, env)
+            self._bind(node.target, labels, env)
+            return labels
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+        ):
+            inner = dict(env)
+            for gen in node.generators:
+                self._bind(gen.target, self.eval(gen.iter, inner), inner)
+                for cond in gen.ifs:
+                    self.eval(cond, inner)
+            return self.eval(node.elt, inner)
+        if isinstance(node, ast.DictComp):
+            inner = dict(env)
+            for gen in node.generators:
+                self._bind(gen.target, self.eval(gen.iter, inner), inner)
+                for cond in gen.ifs:
+                    self.eval(cond, inner)
+            return self.eval(node.key, inner) | self.eval(node.value, inner)
+        if isinstance(node, ast.Lambda):
+            return EMPTY  # the function object itself carries no taint
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.JoinedStr):
+            out = EMPTY
+            for value in node.values:
+                out |= self.eval(value, env)
+            return out
+        # Unknown node: conservative union over expression children.
+        out = EMPTY
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                out |= self.eval(child, env)
+        return out
+
+    def _eval_call(self, node: ast.Call, env: Env) -> frozenset[Label]:
+        source = self.spec.classify_call(node)
+        name = _call_name(node.func)
+        if name is not None and name in self.spec.sanitizers:
+            # Evaluate for NamedExpr side effects, drop the taint.
+            for arg in node.args:
+                self.eval(arg, env)
+            return source
+        summary = self._resolve_summary(node)
+        if summary is not None:
+            return source | self._apply_summary(node, summary, env)
+        out = source
+        for arg in node.args:
+            out |= self.eval(arg, env)
+        for kw in node.keywords:
+            out |= self.eval(kw.value, env)
+        if isinstance(node.func, ast.Attribute):
+            out |= self.eval(node.func.value, env)
+        return out
+
+    def _resolve_summary(self, node: ast.Call) -> CallSummary | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self.summaries.get(func.id)
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ) and func.value.id in ("self", "cls"):
+            return self.summaries.get(func.attr)
+        return None
+
+    def _apply_summary(
+        self, node: ast.Call, summary: CallSummary, env: Env
+    ) -> frozenset[Label]:
+        out = frozenset(
+            lbl for lbl in summary.own if lbl[0] != _PARAM_TAG
+        )
+        params = list(summary.params)
+        if summary.has_self and isinstance(node.func, ast.Attribute):
+            params = params[1:]
+        for index, arg in enumerate(node.args):
+            arg_labels = self.eval(arg, env)
+            if index < len(params) and params[index] in summary.propagated:
+                out |= arg_labels
+        for kw in node.keywords:
+            kw_labels = self.eval(kw.value, env)
+            if kw.arg is not None and kw.arg in summary.propagated:
+                out |= kw_labels
+            elif kw.arg is None:  # **kwargs: conservative
+                out |= kw_labels
+        return out
+
+
+def _call_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+# ----------------------------------------------------------------------
+# Walking expressions of one program point (for rule decision sites).
+# ----------------------------------------------------------------------
+def point_exprs(stmt: ast.AST) -> Iterator[ast.expr]:
+    """The expressions *evaluated at* a CFG program point.
+
+    For compound terminators only the controlling expression belongs to
+    the point (the suites live in other blocks); for simple statements
+    the whole statement's expressions do.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield stmt.test
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield stmt.iter
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            yield stmt.value
+    elif isinstance(stmt, ast.Raise):
+        if stmt.exc is not None:
+            yield stmt.exc
+        if stmt.cause is not None:
+            yield stmt.cause
+    elif isinstance(stmt, ast.Match):
+        yield stmt.subject
+    elif isinstance(stmt, ast.withitem):
+        yield stmt.context_expr
+    elif isinstance(stmt, (ast.Try, ast.ExceptHandler)):
+        return
+    elif isinstance(stmt, ast.stmt):
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                yield child

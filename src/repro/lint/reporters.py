@@ -1,9 +1,11 @@
-"""Finding reporters: a human text format and a round-trippable JSON one.
+"""Finding reporters: human text, round-trippable JSON, and SARIF.
 
 Text findings follow the ``path:line:col: RULE message`` convention every
 editor understands.  The JSON report is schema-versioned (``version: 1``)
 and :func:`parse_json_report` is its exact inverse, so CI artifacts can
-be post-processed without scraping text.
+be post-processed without scraping text.  :func:`render_sarif` emits
+SARIF 2.1.0 for GitHub code scanning, so findings surface as inline
+annotations on pull requests.
 """
 
 from __future__ import annotations
@@ -14,7 +16,14 @@ from typing import Any
 from repro.lint.engine import LintResult
 from repro.lint.findings import Finding
 
-__all__ = ["JSON_SCHEMA_VERSION", "parse_json_report", "render_json", "render_text"]
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
+    "parse_json_report",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]
 
 #: Bump when the JSON report layout changes shape.
 JSON_SCHEMA_VERSION = 1
@@ -50,6 +59,75 @@ def _counts(result: LintResult) -> dict[str, int]:
     for finding in result.findings:
         counts[finding.rule] = counts.get(finding.rule, 0) + 1
     return counts
+
+
+#: SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(result: LintResult, rules: Any = None) -> str:
+    """SARIF 2.1.0 report for GitHub code-scanning upload.
+
+    ``rules`` is an optional iterable of rule instances (anything with
+    ``rule_id`` and ``summary``); when given, the tool component carries
+    per-rule metadata so annotations link to rule descriptions.
+    """
+    rule_meta = []
+    seen: set[str] = set()
+    for rule in rules or ():
+        rule_id = getattr(rule, "rule_id", None)
+        if rule_id is None or rule_id in seen:
+            continue
+        seen.add(rule_id)
+        rule_meta.append(
+            {
+                "id": rule_id,
+                "shortDescription": {
+                    "text": getattr(rule, "summary", "") or rule_id
+                },
+            }
+        )
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in result.findings
+    ]
+    payload: dict[str, Any] = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": "docs/lint.md",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def parse_json_report(text: str) -> LintResult:

@@ -2,13 +2,17 @@
 
 Each rule module contributes one or two :class:`~repro.lint.engine.Rule`
 subclasses; :data:`ALL_RULES` is the canonical ordered instance list the
-engine and CLI default to.
+engine and CLI default to.  RL001–RL009 are per-statement rules;
+RL010/RL011 run the dataflow engine of :mod:`repro.lint.dataflow`, and
+RL012 is a project rule over the whole module set.
 """
 
 from __future__ import annotations
 
 from repro.lint.engine import ProjectRule, Rule
 from repro.lint.rules.determinism import NoNondeterminism
+from repro.lint.rules.events import EventSchemaContracts
+from repro.lint.rules.hygiene import SuppressionHasReason
 from repro.lint.rules.ordering import NoFloatTimeEquality, NoUnorderedSetIteration
 from repro.lint.rules.policies import (
     NoEngineStateMutation,
@@ -16,9 +20,13 @@ from repro.lint.rules.policies import (
     SchedulerContract,
 )
 from repro.lint.rules.structure import GuardedObsHooks, PublicModuleAll
+from repro.lint.rules.taint import BelievedBasisTaint
+from repro.lint.rules.timedim import TimeDimensionMixing
 
 __all__ = [
     "ALL_RULES",
+    "BelievedBasisTaint",
+    "EventSchemaContracts",
     "GuardedObsHooks",
     "NoEngineStateMutation",
     "NoFloatTimeEquality",
@@ -29,6 +37,8 @@ __all__ = [
     "PublicModuleAll",
     "Rule",
     "SchedulerContract",
+    "SuppressionHasReason",
+    "TimeDimensionMixing",
     "rules_by_id",
 ]
 
@@ -42,6 +52,10 @@ ALL_RULES: list[Rule] = [
     GuardedObsHooks(),
     PublicModuleAll(),
     NoOracleRemainingRead(),
+    SuppressionHasReason(),
+    BelievedBasisTaint(),
+    TimeDimensionMixing(),
+    EventSchemaContracts(),
 ]
 
 

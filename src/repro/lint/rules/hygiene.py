@@ -1,0 +1,48 @@
+"""RL009 — suppression pragmas must carry a reason.
+
+A ``# repro-lint: disable=RLnnn`` pragma grants a permanent, reviewed
+exemption from an invariant; the review is only meaningful if the
+*grounds* travel with the code.  Every pragma must therefore carry
+``-- <reason>`` text.  CI runs the full rule set, so a reasonless
+suppression fails the ``analysis`` job the moment it lands — there is
+no separate flag to forget.
+
+The finding anchors on the pragma's own line.  Suppressing RL009 itself
+requires a reasoned pragma, which is exactly the point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.engine import ModuleContext, Rule
+from repro.lint.findings import Finding
+
+__all__ = ["SuppressionHasReason"]
+
+
+class SuppressionHasReason(Rule):
+    """RL009: every ``repro-lint: disable`` pragma carries ``-- reason``."""
+
+    rule_id = "RL009"
+    summary = (
+        "every suppression pragma carries a '-- reason' explaining the "
+        "exemption"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        for pragma in module.suppressions.pragmas:
+            if pragma.has_reason:
+                continue
+            rules = ",".join(sorted(pragma.rules))
+            yield Finding(
+                path=str(module.path),
+                line=pragma.line,
+                col=0,
+                rule=self.rule_id,
+                message=(
+                    f"suppression of {rules} has no reason; write "
+                    f"`# repro-lint: disable={rules} -- <why this site "
+                    "is exempt>`"
+                ),
+            )

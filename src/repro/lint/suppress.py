@@ -19,13 +19,34 @@ the parser rejects elsewhere in the file.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 
-__all__ = ["Suppressions"]
+__all__ = ["Pragma", "Suppressions"]
 
 _PRAGMA = re.compile(
     r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
     r"(?:\s+--\s*(?P<reason>.*))?\s*$"
 )
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment.
+
+    ``line`` is where the comment sits; ``target`` the code line it
+    applies to (the next code line for comment-only pragmas).  ``reason``
+    is the text after ``--``, or ``None`` when absent — RL009 requires
+    every pragma to carry one.
+    """
+
+    line: int
+    target: int
+    rules: frozenset[str]
+    reason: str | None
+
+    @property
+    def has_reason(self) -> bool:
+        return bool(self.reason and self.reason.strip())
 
 
 class Suppressions:
@@ -38,16 +59,25 @@ class Suppressions:
     True
     >>> s.is_suppressed("RL002", 1)
     False
+    >>> s.pragmas[0].has_reason
+    False
     """
 
-    def __init__(self, by_line: dict[int, frozenset[str]]) -> None:
+    def __init__(
+        self,
+        by_line: dict[int, frozenset[str]],
+        pragmas: tuple[Pragma, ...] = (),
+    ) -> None:
         self._by_line = by_line
+        #: Every pragma in source order (for hygiene rules / reports).
+        self.pragmas = pragmas
 
     @classmethod
     def from_source(cls, source: str) -> "Suppressions":
         """Parse every pragma comment out of ``source``."""
         lines = source.splitlines()
         by_line: dict[int, frozenset[str]] = {}
+        pragmas: list[Pragma] = []
         for idx, text in enumerate(lines, start=1):
             match = _PRAGMA.search(text)
             if match is None:
@@ -68,7 +98,15 @@ class Suppressions:
                         target = nxt
                         break
             by_line[target] = by_line.get(target, frozenset()) | rules
-        return cls(by_line)
+            pragmas.append(
+                Pragma(
+                    line=idx,
+                    target=target,
+                    rules=rules,
+                    reason=match.group("reason"),
+                )
+            )
+        return cls(by_line, tuple(pragmas))
 
     def is_suppressed(self, rule: str, line: int) -> bool:
         """True iff ``rule`` is disabled on ``line``."""

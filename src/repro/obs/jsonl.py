@@ -84,6 +84,7 @@ from __future__ import annotations
 import json
 import pathlib
 import warnings
+from dataclasses import dataclass, field
 from typing import IO, Iterable, Iterator, Protocol
 
 from repro.errors import ObservabilityError
@@ -91,6 +92,8 @@ from repro.errors import ObservabilityError
 __all__ = [
     "SCHEMA_VERSION",
     "KEEP_ALWAYS_KINDS",
+    "EVENT_SCHEMAS",
+    "EventSchema",
     "EventSink",
     "EventSampler",
     "JsonlWriter",
@@ -109,6 +112,111 @@ SCHEMA_VERSION = 1
 KEEP_ALWAYS_KINDS = frozenset(
     {"run_start", "run_end", "window.snapshot", "fault.crash", "fault.recover"}
 )
+
+
+@dataclass(frozen=True)
+class EventSchema:
+    """The declared field contract of one event kind.
+
+    ``required`` fields appear in every record of the kind; ``optional``
+    fields are the *additive* schema-1 extensions (present only under
+    the conditions documented in the module header).  A field in
+    neither set is undeclared — emitting it is a schema drift.
+    """
+
+    required: frozenset[str]
+    optional: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def all_fields(self) -> frozenset[str]:
+        return self.required | self.optional
+
+
+#: The declarative schema-1 registry: one entry per event kind, kept in
+#: sync with the record builders in :mod:`repro.obs.recorder` and the
+#: window snapshots of :mod:`repro.obs.streaming`.  The lint rule RL012
+#: parses this literal statically and cross-checks every emit site and
+#: every :mod:`repro.obs.analyze` consumer against it, so edit the
+#: builders and this table together.  Evolution is additive-only: a
+#: required field can never be removed or demoted within schema 1.
+#:
+#: ``sampled`` is universal (the :class:`EventSampler` may stamp it on
+#: any kept record) and is therefore not repeated per kind.
+EVENT_SCHEMAS: dict[str, EventSchema] = {
+    "run_start": EventSchema(
+        required=frozenset({"schema", "kind", "t", "policy", "n", "servers"}),
+        optional=frozenset({"sample"}),
+    ),
+    "arrival": EventSchema(
+        required=frozenset({"kind", "t", "txn"}),
+        optional=frozenset({"deps"}),
+    ),
+    "dispatch": EventSchema(
+        required=frozenset({"kind", "t", "txn", "overhead"}),
+    ),
+    "preempt": EventSchema(
+        required=frozenset({"kind", "t", "txn"}),
+    ),
+    "overhead": EventSchema(
+        required=frozenset({"kind", "t", "txn", "amount"}),
+    ),
+    "completion": EventSchema(
+        required=frozenset({"kind", "t", "txn", "tardiness"}),
+        optional=frozenset({"response_time"}),
+    ),
+    "sched": EventSchema(
+        required=frozenset({"kind", "t", "ready", "running", "select_s"}),
+    ),
+    "fault.stall": EventSchema(
+        required=frozenset({"kind", "t", "txn", "amount"}),
+    ),
+    "fault.abort": EventSchema(
+        required=frozenset({"kind", "t", "txn", "lost", "attempt"}),
+        optional=frozenset({"exhausted"}),
+    ),
+    "retry": EventSchema(
+        required=frozenset({"kind", "t", "txn", "attempt", "deadline"}),
+    ),
+    "fault.crash": EventSchema(
+        required=frozenset({"kind", "t", "down"}),
+    ),
+    "fault.recover": EventSchema(
+        required=frozenset({"kind", "t", "down"}),
+    ),
+    "shed": EventSchema(
+        required=frozenset({"kind", "t", "txn", "reason"}),
+    ),
+    "run_end": EventSchema(
+        required=frozenset({"kind", "t", "completed", "tardy", "makespan"}),
+        optional=frozenset({"aborted", "shed", "retries"}),
+    ),
+    "window.snapshot": EventSchema(
+        required=frozenset(
+            {
+                "kind",
+                "t",
+                "window",
+                "start",
+                "end",
+                "arrivals",
+                "completions",
+                "tardy",
+                "miss_rate",
+                "throughput",
+                "tardiness",
+                "utilization",
+                "queue_max",
+                "queue_mean",
+            }
+        ),
+        optional=frozenset({"partial"}),
+    ),
+    "manifest": EventSchema(
+        required=frozenset(
+            {"schema", "kind", "base", "parts", "records", "max_bytes"}
+        ),
+    ),
+}
 
 
 class EventSink(Protocol):

@@ -1,0 +1,12 @@
+"""Two reasonless pragmas: inline and comment-line."""
+
+__all__ = ["pick"]
+
+
+def pick(items: set) -> list:
+    return list(items)  # repro-lint: disable=RL002
+
+
+# repro-lint: disable=RL003
+def same(now: float, last: float) -> bool:
+    return now == last

@@ -1,0 +1,45 @@
+"""The fixed ASETS* shape: every decision rides scheduling_remaining.
+
+Laundering the *belief* through locals, helpers and tuples is fine —
+RL010 only taints the ground-truth basis.
+"""
+
+__all__ = ["ASETSStarFixed"]
+
+
+class ASETSStarFixed:
+    def _density(self, rep):
+        return rep.weight / rep.scheduling_remaining
+
+    def select(self, now):
+        best_edf = None
+        best_edf_key = None
+        best_hdf = None
+        best_hdf_key = None
+        for wf in self._active.values():
+            rep = wf.representative()
+            srem = rep.scheduling_remaining
+            if now + srem <= rep.deadline:
+                key = (rep.deadline, wf.wf_id)
+                if best_edf_key is None or key < best_edf_key:
+                    best_edf, best_edf_key = wf, key
+            else:
+                key = (-self._density(rep), wf.wf_id)
+                if best_hdf_key is None or key < best_hdf_key:
+                    best_hdf, best_hdf_key = wf, key
+        if best_edf is not None:
+            return best_edf
+        return best_hdf
+
+    def hdf_list(self, now):
+        out = [wf for wf in self._active_list if self._runnable(wf)]
+        out.sort(
+            key=lambda wf: (
+                -(
+                    wf.representative().weight
+                    / wf.representative().scheduling_remaining
+                ),
+                wf.wf_id,
+            )
+        )
+        return out

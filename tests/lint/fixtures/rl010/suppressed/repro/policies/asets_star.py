@@ -1,0 +1,12 @@
+"""A deliberately clairvoyant baseline, exempted with reasons."""
+
+__all__ = ["Oracle"]
+
+
+class Oracle:
+    def select(self, now, reps):
+        r = getattr(reps[0], "remaining")
+        # repro-lint: disable=RL010 -- clairvoyant upper-bound baseline
+        if now + r <= reps[0].deadline:
+            return reps[0]
+        return None

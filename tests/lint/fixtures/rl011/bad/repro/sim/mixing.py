@@ -1,0 +1,23 @@
+"""Three ways to cross the sim/wall clock boundary."""
+
+from time import perf_counter
+
+__all__ = ["overdue", "deadline_vs_wall", "log_wall"]
+
+
+def overdue(engine):
+    start = perf_counter()
+    return engine.now - start  # sim minus wall
+
+
+def deadline_vs_wall(txn, wall_start):
+    if txn.deadline < wall_start:  # sim compared to wall
+        return True
+    return False
+
+
+def log_wall(txn, events):
+    from repro.obs.recorder import arrival_record
+
+    wall = perf_counter()
+    events.append(arrival_record(txn, wall))  # wall into a sim-time slot

@@ -1,0 +1,19 @@
+"""Dimension-sound uses of both clocks."""
+
+from time import perf_counter
+
+__all__ = ["tardiness", "wall_elapsed", "rate"]
+
+
+def tardiness(txn, now):
+    return max(0.0, now - txn.deadline)  # sim minus sim
+
+
+def wall_elapsed(started_wall):
+    return perf_counter() - started_wall  # wall minus wall
+
+
+def rate(completed, now):
+    wall_span = perf_counter()
+    scale = now * 0.0 + 1.0  # sim arithmetic stays sim-only
+    return scale * (completed / wall_span)  # division never mixes

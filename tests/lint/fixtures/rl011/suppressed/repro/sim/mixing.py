@@ -1,0 +1,11 @@
+"""A cross-clock diagnostic, exempted with its grounds."""
+
+from time import perf_counter
+
+__all__ = ["drift"]
+
+
+def drift(engine):
+    wall = perf_counter()
+    # repro-lint: disable=RL011 -- intentional cross-clock drift probe
+    return engine.now - wall

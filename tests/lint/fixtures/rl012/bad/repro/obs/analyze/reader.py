@@ -1,0 +1,11 @@
+"""Consumers reading fields no emitter produces."""
+
+__all__ = ["consume"]
+
+
+def consume(records):
+    for record in records:
+        kind = record["kind"]
+        if kind == "ping":
+            print(record["val"])  # val belongs to pong, not ping
+        print(record.get("bogus"))  # no kind produces this at all

@@ -1,0 +1,16 @@
+"""Toy registry with one never-emitted kind."""
+
+__all__ = ["EVENT_SCHEMAS"]
+
+
+class EventSchema:
+    def __init__(self, required, optional=frozenset()):
+        self.required = required
+        self.optional = optional
+
+
+EVENT_SCHEMAS = {
+    "ping": EventSchema(required={"kind", "t"}),
+    "pong": EventSchema(required={"kind", "t", "val"}, optional={"note"}),
+    "ghost": EventSchema(required={"kind", "t"}),
+}

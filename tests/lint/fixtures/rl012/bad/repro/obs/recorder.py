@@ -1,0 +1,15 @@
+"""Three emit-site drifts: unknown kind, missing field, undeclared."""
+
+__all__ = ["mystery_record", "bare_pong", "fat_ping"]
+
+
+def mystery_record(now):
+    return {"kind": "mystery", "t": now}
+
+
+def bare_pong(now):
+    return {"kind": "pong", "t": now}
+
+
+def fat_ping(now):
+    return {"kind": "ping", "t": now, "payload": [1, 2, 3]}

@@ -1,0 +1,15 @@
+"""Consumers reading only declared fields, branch-aware."""
+
+__all__ = ["consume"]
+
+
+def consume(records):
+    total = 0.0
+    for record in records:
+        kind = record["kind"]
+        if kind == "pong":
+            total += record["val"]
+            print(record.get("note", ""))
+        elif record.get("kind") in ("ping", "pong"):
+            print(record["t"])
+    return total

@@ -1,0 +1,14 @@
+"""Emit sites matching the registry, incl. a conditional addition."""
+
+__all__ = ["ping_record", "pong_record"]
+
+
+def ping_record(now):
+    return {"kind": "ping", "t": now}
+
+
+def pong_record(now, val, note):
+    record = {"kind": "pong", "t": now, "val": val}
+    if note:
+        record["note"] = note
+    return record

@@ -1,0 +1,14 @@
+"""Toy registry for the suppression fixture."""
+
+__all__ = ["EVENT_SCHEMAS"]
+
+
+class EventSchema:
+    def __init__(self, required, optional=frozenset()):
+        self.required = required
+        self.optional = optional
+
+
+EVENT_SCHEMAS = {
+    "ping": EventSchema(required={"kind", "t"}),
+}

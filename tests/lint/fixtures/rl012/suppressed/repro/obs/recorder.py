@@ -1,0 +1,8 @@
+"""An experimental kind, exempted while it stabilises."""
+
+__all__ = ["probe_record"]
+
+
+def probe_record(now):
+    # repro-lint: disable=RL012 -- experimental kind, schema TBD
+    return {"kind": "probe", "t": now}

@@ -1,0 +1,135 @@
+"""CFG construction: block shapes, edges and traversal order."""
+
+import ast
+
+from repro.lint.cfg import build_cfg
+
+
+def cfg_of(source):
+    tree = ast.parse(source)
+    func = next(
+        n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)
+    )
+    return build_cfg(func)
+
+
+def labels(cfg):
+    return [b.label for b in cfg.blocks]
+
+
+def successors(cfg, label):
+    block = next(b for b in cfg.blocks if b.label == label)
+    return {s.label for s in block.succs}
+
+
+def test_straight_line_body_is_one_block():
+    cfg = cfg_of("def f(x):\n    y = x + 1\n    return y\n")
+    body = next(b for b in cfg.blocks if b.label == "body")
+    assert len(body.stmts) == 1  # the assignment
+    assert isinstance(body.terminator, ast.Return)
+    assert cfg.exit in body.succs
+
+
+def test_if_else_fans_out_and_rejoins():
+    cfg = cfg_of(
+        "def f(x):\n"
+        "    if x:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        a = 2\n"
+        "    return a\n"
+    )
+    assert successors(cfg, "body") == {"if_then", "if_else"}
+    assert successors(cfg, "if_then") == {"if_join"}
+    assert successors(cfg, "if_else") == {"if_join"}
+
+
+def test_if_without_else_edges_head_to_join():
+    cfg = cfg_of("def f(x):\n    if x:\n        a = 1\n    return x\n")
+    assert successors(cfg, "body") == {"if_then", "if_join"}
+
+
+def test_while_loop_has_back_edge_and_exit():
+    cfg = cfg_of(
+        "def f(n):\n"
+        "    while n:\n"
+        "        n -= 1\n"
+        "    return n\n"
+    )
+    assert successors(cfg, "while_head") >= {"while_body", "while_exit"}
+    assert "while_head" in successors(cfg, "while_body")
+
+
+def test_for_loop_break_and_continue_target_loop_blocks():
+    cfg = cfg_of(
+        "def f(xs):\n"
+        "    for x in xs:\n"
+        "        if x:\n"
+        "            break\n"
+        "        continue\n"
+        "    return xs\n"
+    )
+    by_label = {}
+    for block in cfg.blocks:
+        by_label.setdefault(block.label, []).append(block)
+    break_block = next(
+        b for b in cfg.blocks if isinstance(b.terminator, ast.Break)
+    )
+    continue_block = next(
+        b for b in cfg.blocks if isinstance(b.terminator, ast.Continue)
+    )
+    assert by_label["for_exit"][0] in break_block.succs
+    assert by_label["for_head"][0] in continue_block.succs
+
+
+def test_try_edges_protected_blocks_to_handlers():
+    cfg = cfg_of(
+        "def f(x):\n"
+        "    try:\n"
+        "        y = risky(x)\n"
+        "        z = risky(y)\n"
+        "    except ValueError:\n"
+        "        z = 0\n"
+        "    return z\n"
+    )
+    handler = next(b for b in cfg.blocks if b.label == "except_0")
+    body = next(b for b in cfg.blocks if b.label == "try_body")
+    assert handler in body.succs
+    join = next(b for b in cfg.blocks if b.label == "try_join")
+    assert join in handler.succs or any(
+        join in s.succs for s in handler.succs
+    )
+
+
+def test_return_ends_block_and_code_after_is_unreachable():
+    cfg = cfg_of("def f():\n    return 1\n    x = 2\n")
+    unreachable = [b for b in cfg.blocks if b.label == "unreachable"]
+    assert unreachable and unreachable[0].stmts  # holds `x = 2`
+    assert not unreachable[0].preds
+
+
+def test_rpo_starts_at_entry_and_covers_all_reachable_blocks():
+    cfg = cfg_of(
+        "def f(x):\n"
+        "    if x:\n"
+        "        a = 1\n"
+        "    while a:\n"
+        "        a -= 1\n"
+        "    return a\n"
+    )
+    order = list(cfg.iter_rpo())
+    assert order[0] is cfg.entry
+    assert {b.block_id for b in order} == {
+        b.block_id for b in cfg.blocks
+    }
+
+
+def test_with_items_appear_as_binding_markers():
+    cfg = cfg_of(
+        "def f(p):\n"
+        "    with open(p) as fh:\n"
+        "        data = fh.read()\n"
+        "    return data\n"
+    )
+    body = next(b for b in cfg.blocks if b.label == "body")
+    assert any(isinstance(s, ast.withitem) for s in body.stmts)

@@ -35,6 +35,17 @@ def test_json_format_is_parseable(capsys):
     assert payload["counts"]["RL001"] == len(payload["findings"])
 
 
+def test_sarif_format_is_valid_and_carries_rule_metadata(capsys):
+    assert main(["--format", "sarif", BAD]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    (run,) = payload["runs"]
+    assert any(
+        r["id"] == "RL001" for r in run["tool"]["driver"]["rules"]
+    )
+    assert all(res["ruleId"] == "RL001" for res in run["results"])
+
+
 def test_select_limits_rules(capsys):
     assert main(["--select", "RL007", BAD]) == 0
     assert main(["--select", "rl001,RL007", BAD]) == 1

@@ -1,0 +1,267 @@
+"""The dataflow core: reaching defs, taint joins, call summaries."""
+
+import ast
+
+from repro.lint.cfg import build_cfg
+from repro.lint.dataflow import (
+    TaintAnalysis,
+    TaintSpec,
+    iter_functions,
+    reaching_definitions,
+    summarize_module,
+)
+
+
+class OracleSpec(TaintSpec):
+    """Taints loads of ``.secret`` (non-self receivers)."""
+
+    def classify_attribute(self, node):
+        if node.attr == "secret" and isinstance(node.ctx, ast.Load):
+            if not (
+                isinstance(node.value, ast.Name) and node.value.id == "self"
+            ):
+                return frozenset({("oracle", ".secret", node.lineno)})
+        return frozenset()
+
+
+def analyze(source, func_name=None):
+    tree = ast.parse(source)
+    summaries = summarize_module(tree, OracleSpec())
+    funcs = {f.name: f for f, _ in iter_functions(tree)}
+    func = funcs[func_name] if func_name else next(iter(funcs.values()))
+    return TaintAnalysis(func, OracleSpec(), summaries).run()
+
+
+def env_after(analysis):
+    """The merged environment flowing into the exit block."""
+    return analysis.env_at(analysis.cfg.exit)
+
+
+def tags(env, name):
+    return {lbl[0] for lbl in env.get(name, frozenset())}
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions.
+# ----------------------------------------------------------------------
+def test_reaching_definitions_joins_branches():
+    src = (
+        "def f(c):\n"
+        "    if c:\n"
+        "        x = 1\n"
+        "    else:\n"
+        "        x = 2\n"
+        "    return x\n"
+    )
+    tree = ast.parse(src)
+    func = next(n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef))
+    cfg = build_cfg(func)
+    reaching = reaching_definitions(cfg)
+    join = next(b for b in cfg.blocks if b.label == "if_join")
+    x_defs = {line for name, line in reaching[join.block_id] if name == "x"}
+    assert x_defs == {3, 5}
+
+
+def test_reaching_definitions_kills_redefinitions():
+    src = "def f():\n    x = 1\n    x = 2\n    return x\n"
+    tree = ast.parse(src)
+    func = next(n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef))
+    cfg = build_cfg(func)
+    reaching = reaching_definitions(cfg)
+    exit_defs = reaching[cfg.exit.block_id]
+    assert {line for name, line in exit_defs if name == "x"} == {3}
+
+
+def test_loop_carried_definitions_reach_the_header():
+    src = (
+        "def f(n):\n"
+        "    total = 0\n"
+        "    while n:\n"
+        "        total = total + n\n"
+        "        n -= 1\n"
+        "    return total\n"
+    )
+    tree = ast.parse(src)
+    func = next(n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef))
+    cfg = build_cfg(func)
+    reaching = reaching_definitions(cfg)
+    head = next(b for b in cfg.blocks if b.label == "while_head")
+    total_defs = {
+        line for name, line in reaching[head.block_id] if name == "total"
+    }
+    assert total_defs == {2, 4}  # initial and loop-carried
+
+
+# ----------------------------------------------------------------------
+# Taint propagation.
+# ----------------------------------------------------------------------
+def test_taint_flows_through_assignment_chain():
+    analysis = analyze(
+        "def f(txn):\n"
+        "    a = txn.secret\n"
+        "    b = a + 1\n"
+        "    c = (b, 0)\n"
+        "    return c\n"
+    )
+    env = env_after(analysis)
+    assert tags(env, "c") == {"oracle"}
+
+
+def test_taint_joins_at_branch_merge():
+    analysis = analyze(
+        "def f(txn, c):\n"
+        "    if c:\n"
+        "        x = txn.secret\n"
+        "    else:\n"
+        "        x = 0\n"
+        "    return x\n"
+    )
+    assert tags(env_after(analysis), "x") == {"oracle"}
+
+
+def test_clean_reassignment_clears_taint():
+    analysis = analyze(
+        "def f(txn):\n"
+        "    x = txn.secret\n"
+        "    x = 0\n"
+        "    return x\n"
+    )
+    assert tags(env_after(analysis), "x") == set()
+
+
+def test_loop_carried_taint_reaches_fixpoint():
+    analysis = analyze(
+        "def f(txn, xs):\n"
+        "    acc = 0\n"
+        "    for x in xs:\n"
+        "        acc = acc + txn.secret\n"
+        "    return acc\n"
+    )
+    assert tags(env_after(analysis), "acc") == {"oracle"}
+
+
+def test_structural_tuple_assignment_keeps_elements_apart():
+    analysis = analyze(
+        "def f(txn, wf):\n"
+        "    best, key = wf, txn.secret\n"
+        "    return best\n"
+    )
+    env = env_after(analysis)
+    assert tags(env, "key") == {"oracle"}
+    assert tags(env, "best") == set()
+
+
+def test_sanitizer_calls_drop_taint():
+    analysis = analyze(
+        "def f(txn):\n"
+        "    n = len(txn.secret)\n"
+        "    return n\n"
+    )
+    assert tags(env_after(analysis), "n") == set()
+
+
+def test_comprehension_taints_via_generator_target():
+    analysis = analyze(
+        "def f(reps):\n"
+        "    keys = [r.secret for r in reps]\n"
+        "    return keys\n"
+    )
+    assert tags(env_after(analysis), "keys") == {"oracle"}
+
+
+def test_except_handler_sees_mid_try_state():
+    analysis = analyze(
+        "def f(txn, c):\n"
+        "    x = 0\n"
+        "    try:\n"
+        "        x = txn.secret\n"
+        "        if c:\n"
+        "            x = 0\n"
+        "    except ValueError:\n"
+        "        y = x\n"
+        "    return x\n"
+    )
+    # The handler joins the end-of-block states of the protected
+    # region, one of which still carries the taint — so y stays
+    # tainted at exit even though a later block cleared x.
+    assert "oracle" in tags(env_after(analysis), "y")
+
+
+def test_self_attribute_store_is_tracked_by_dotted_key():
+    analysis = analyze(
+        "def f(self, txn):\n"
+        "    self.cache = txn.secret\n"
+        "    z = self.cache\n"
+        "    return z\n"
+    )
+    assert tags(env_after(analysis), "z") == {"oracle"}
+
+
+# ----------------------------------------------------------------------
+# Call summaries.
+# ----------------------------------------------------------------------
+def test_summary_captures_own_sources():
+    src = (
+        "def density(rep):\n"
+        "    return rep.weight / rep.secret\n"
+    )
+    summaries = summarize_module(ast.parse(src), OracleSpec())
+    assert {lbl[0] for lbl in summaries["density"].own} == {"oracle"}
+    # The receiver's own taint also reaches the return value, so rep
+    # is (conservatively) a propagated parameter.
+    assert summaries["density"].propagated == frozenset({"rep"})
+
+
+def test_summary_captures_propagated_params():
+    src = "def ident(x, y):\n    return x\n"
+    summaries = summarize_module(ast.parse(src), OracleSpec())
+    assert summaries["ident"].propagated == frozenset({"x"})
+
+
+def test_call_site_applies_own_labels():
+    analysis = analyze(
+        "def density(rep):\n"
+        "    return rep.weight / rep.secret\n"
+        "def pick(reps):\n"
+        "    k = density(reps[0])\n"
+        "    return k\n",
+        func_name="pick",
+    )
+    assert tags(env_after(analysis), "k") == {"oracle"}
+
+
+def test_call_site_propagates_argument_taint_positionally():
+    analysis = analyze(
+        "def second(a, b):\n"
+        "    return b\n"
+        "def pick(txn, wf):\n"
+        "    clean = second(txn.secret, wf)\n"
+        "    dirty = second(wf, txn.secret)\n"
+        "    return clean, dirty\n",
+        func_name="pick",
+    )
+    env = env_after(analysis)
+    assert tags(env, "clean") == set()
+    assert tags(env, "dirty") == {"oracle"}
+
+
+def test_method_summary_resolves_self_calls_skipping_self_param():
+    analysis = analyze(
+        "class P:\n"
+        "    def _key(self, rep):\n"
+        "        return rep.secret\n"
+        "    def pick(self, rep):\n"
+        "        k = self._key(rep)\n"
+        "        return k\n",
+        func_name="pick",
+    )
+    assert tags(env_after(analysis), "k") == {"oracle"}
+
+
+def test_unknown_call_unions_argument_taint():
+    analysis = analyze(
+        "def f(txn):\n"
+        "    v = unknown_helper(txn.secret, 1)\n"
+        "    return v\n"
+    )
+    assert tags(env_after(analysis), "v") == {"oracle"}

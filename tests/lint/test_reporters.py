@@ -1,12 +1,19 @@
-"""Reporter formats: editor-friendly text and round-trippable JSON."""
+"""Reporter formats: text, round-trippable JSON, and SARIF."""
 
 import json
 
 import pytest
 
-from repro.lint import Finding, parse_json_report, render_json, render_text
+from repro.lint import (
+    Finding,
+    parse_json_report,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.lint.engine import LintResult
-from repro.lint.reporters import JSON_SCHEMA_VERSION
+from repro.lint.reporters import JSON_SCHEMA_VERSION, SARIF_VERSION
+from repro.lint.rules import ALL_RULES
 
 
 def _result():
@@ -53,3 +60,36 @@ def test_unknown_report_version_is_rejected():
     payload["version"] = 99
     with pytest.raises(ValueError, match="version"):
         parse_json_report(json.dumps(payload))
+
+
+def test_sarif_payload_shape():
+    payload = json.loads(render_sarif(_result(), rules=ALL_RULES))
+    assert payload["version"] == SARIF_VERSION
+    (run,) = payload["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro.lint"
+    assert {r["id"] for r in driver["rules"]} == {
+        rule.rule_id for rule in ALL_RULES
+    }
+    first, second = run["results"]
+    assert first["ruleId"] == "RL001"
+    assert first["level"] == "error"
+    (loc,) = first["locations"]
+    region = loc["physicalLocation"]["region"]
+    assert region == {"startLine": 3, "startColumn": 1}  # 1-based column
+    assert second["locations"][0]["physicalLocation"]["region"][
+        "startLine"
+    ] == 7
+
+
+def test_sarif_normalises_paths_and_zero_lines():
+    result = LintResult(
+        findings=[Finding("src\\win\\mod.py", 0, 0, "RL007", "m")],
+        files_checked=1,
+        suppressed=0,
+    )
+    payload = json.loads(render_sarif(result))
+    (res,) = payload["runs"][0]["results"]
+    physical = res["locations"][0]["physicalLocation"]
+    assert physical["artifactLocation"]["uri"] == "src/win/mod.py"
+    assert physical["region"]["startLine"] == 1  # SARIF lines are >= 1

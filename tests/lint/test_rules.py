@@ -1,9 +1,10 @@
-"""Every rule RL001..RL008: one passing, one failing, one suppressed fixture.
+"""Every rule RL001..RL012: one passing, one failing, one suppressed fixture.
 
 Fixture snippets live under ``tests/lint/fixtures/<rule>/{good,bad,...}``
 in a ``repro/...`` directory layout, so the engine derives in-scope module
 names (``repro.sim.clock`` etc.) from the paths alone — the same way the
-real tree is linted.
+real tree is linted.  The RL012 fixtures are small multi-module projects
+(registry + emitters + consumers), since the rule is cross-module.
 """
 
 from pathlib import Path
@@ -15,7 +16,7 @@ from repro.lint.rules import ALL_RULES, rules_by_id
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-ALL_IDS = [f"RL00{i}" for i in range(1, 9)]
+ALL_IDS = [f"RL00{i}" for i in range(1, 10)] + ["RL010", "RL011", "RL012"]
 
 
 def findings_for(rule_id, subdir):
@@ -168,3 +169,101 @@ class TestRL008:
         findings = run_lint([mod], select=["RL008"])
         assert len(findings) == 1
         assert findings[0].line == 3
+
+
+class TestRL009:
+    def test_flags_inline_and_comment_line_pragmas(self):
+        findings = findings_for("RL009", "bad")
+        assert len(findings) == 2
+        assert all("reason" in f.message for f in findings)
+        # Findings anchor on the pragma's own line.
+        assert [f.line for f in findings] == [7, 10]
+
+    def test_reasoned_pragmas_are_clean(self):
+        assert findings_for("RL009", "good") == []
+
+
+class TestRL010:
+    def test_flags_exactly_the_three_pre_fix_leak_sites(self):
+        findings = findings_for("RL010", "bad")
+        lines = sorted(f.line for f in findings)
+        # Feasibility test (laundered through getattr + a local),
+        # cached-key comparison fed by the density local, and the
+        # hdf_list sort key lambda.
+        assert lines == [20, 27, 36]
+        messages = "\n".join(f.message for f in findings)
+        assert "scheduling_remaining" in messages
+        assert 'getattr(..., "remaining")' in messages
+        assert "`.believed_remaining`" in messages
+
+    def test_rl008_misses_the_laundered_feasibility_site(self):
+        # The point of the upgrade: RL008 sees no ast.Attribute load on
+        # the getattr line or the comparison it feeds.
+        bad = FIXTURES / "rl010" / "bad"
+        rl008_lines = {f.line for f in run_lint([bad], select=["RL008"])}
+        assert 19 not in rl008_lines and 20 not in rl008_lines
+        rl010_lines = {f.line for f in run_lint([bad], select=["RL010"])}
+        assert 20 in rl010_lines
+
+    def test_belief_basis_flows_are_clean(self):
+        # scheduling_remaining through locals, helpers and tuples.
+        assert findings_for("RL010", "good") == []
+
+    def test_suppressed_fixture_is_clean(self):
+        assert findings_for("RL010", "suppressed") == []
+
+
+class TestRL011:
+    def test_flags_arithmetic_comparison_and_hook_crossing(self):
+        findings = findings_for("RL011", "bad")
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 3
+        assert "arithmetic mixes time dimensions" in messages
+        assert "comparison mixes time dimensions" in messages
+        assert "sim-time parameter" in messages
+
+    def test_rates_and_same_dimension_arithmetic_are_clean(self):
+        assert findings_for("RL011", "good") == []
+
+    def test_suppressed_fixture_is_clean(self):
+        assert findings_for("RL011", "suppressed") == []
+
+
+class TestRL012:
+    def test_flags_every_drift_shape(self):
+        findings = findings_for("RL012", "bad")
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 6
+        assert "unregistered event kind 'mystery'" in messages
+        assert "lacks required field(s) ['val']" in messages
+        assert "undeclared field(s) ['payload']" in messages
+        assert "'ghost' has no emit site" in messages
+        assert "reads field 'val' in a branch handling kind(s) ['ping']" in messages
+        assert "reads field 'bogus'" in messages
+
+    def test_conforming_project_is_clean(self):
+        assert findings_for("RL012", "good") == []
+
+    def test_suppressed_fixture_is_clean(self):
+        assert findings_for("RL012", "suppressed") == []
+
+    def test_registry_drift_on_the_real_tree_fails(self, tmp_path):
+        # Acceptance: demoting a required schema-1 field in the real
+        # registry module must produce a finding even with no other
+        # repro.obs modules in the run.
+        import re
+
+        src = Path("src/repro/obs/jsonl.py").read_text(encoding="utf-8")
+        drifted = src.replace(
+            'required=frozenset({"kind", "t", "txn", "tardiness"}),',
+            'required=frozenset({"kind", "t", "txn"}),',
+        )
+        assert drifted != src
+        mod = tmp_path / "repro" / "obs" / "jsonl.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(drifted, encoding="utf-8")
+        findings = run_lint([mod], select=["RL012"])
+        assert any(
+            re.search(r"'completion' no longer requires.*tardiness", f.message)
+            for f in findings
+        )
