@@ -8,8 +8,11 @@ O(log N) priority-queue updates; a quadratic regression in the lazy heaps
 would show up here immediately).
 
 Besides the pytest-benchmark table, the module emits a machine-readable
-``BENCH_engine.json`` at the repo root — per-policy throughput (txns/s)
-and ``policy.select()`` wall-time percentiles from one instrumented run —
+``BENCH_engine.json`` at the repo root — per-policy throughput (txns/s),
+``policy.select()`` wall-time percentiles from one instrumented run, and
+(schema 3) a full per-phase profile from one
+:class:`~repro.obs.profile.PhaseProfiler` run: per-phase/probe p50/p95
+and the fitted cost-vs-depth scaling exponents (docs/profiling.md) —
 so successive PRs leave a comparable perf trajectory (CI uploads the file
 as an artifact on every run).
 
@@ -35,7 +38,7 @@ import pytest
 
 from repro.experiments.config import PolicySpec
 from repro.metrics.distributions import percentile
-from repro.obs import Recorder
+from repro.obs import PhaseProfiler, Recorder
 from repro.sim.engine import Simulator
 from repro.workload.generator import generate
 from repro.workload.spec import WorkloadSpec
@@ -68,6 +71,10 @@ GATE = {
     "throughput_drop_tolerance": 0.6,
     "rss_growth_tolerance": 0.5,
     "streaming_overhead_max": 0.5,
+    # Per-phase mean cost per occurrence (profile section, schema 3):
+    # loose enough for shared-CI noise on microsecond phases, tight
+    # enough to catch a complexity-class slip in any single phase.
+    "phase_cost_growth_tolerance": 3.0,
 }
 
 #: policy name -> measurements, filled by the parametrized benchmark.
@@ -95,7 +102,7 @@ def bench_json_sink():
     if not _RESULTS and not _TIER_RESULTS:
         return
     payload = {
-        "schema": 2,
+        "schema": 3,
         "n_transactions": BENCH_N,
         "utilization": 0.9,
         "seed": 1,
@@ -134,6 +141,18 @@ def test_engine_throughput(name, workload, benchmark):
         instrument=recorder,
     ).run()
     samples = recorder.select_samples
+
+    # One profiled run (also outside the timed rounds) for the schema-3
+    # per-phase breakdown and cost-vs-depth scaling exponents.
+    profiler = PhaseProfiler()
+    workload.reset()
+    Simulator(
+        workload.transactions,
+        policy_spec.make(),
+        workflow_set=workload.workflow_set,
+        profiler=profiler,
+    ).run()
+
     mean_s = benchmark.stats.stats.mean
     _RESULTS[name] = {
         "mean_run_seconds": mean_s,
@@ -142,6 +161,7 @@ def test_engine_throughput(name, workload, benchmark):
         "select_p50_seconds": percentile(samples, 50) if samples else 0.0,
         "select_p95_seconds": percentile(samples, 95) if samples else 0.0,
         "scheduling_points": len(samples),
+        "profile": profiler.snapshot(name).as_dict(),
     }
 
 

@@ -24,6 +24,15 @@ The ``analyze`` and ``diff`` targets run the deadline-miss forensics of
     python -m repro.experiments analyze run.jsonl --format json
     python -m repro.experiments diff asets.jsonl asets_star.jsonl
 
+The ``profile`` target attaches the hot-path profiler
+(:mod:`repro.obs.profile`) to one run and prints the per-phase/probe
+breakdown; ``--profile-out`` dumps the snapshot as JSON (also valid on
+``run``) and ``--flame-out`` exports a flamegraph::
+
+    python -m repro.experiments profile --policy asets-star --n 5000
+    python -m repro.experiments profile --flame-out sel.speedscope.json
+    python -m repro.experiments run --policy edf --profile-out prof.json
+
 The ``chaos`` target reruns the transaction-level comparison under a
 deterministic :mod:`repro.faults` plan (``--faults`` tunes it), and any
 sweep accepts ``--cell-timeout`` to convert hung workers into reported
@@ -85,8 +94,22 @@ _FIGURES: dict[str, tuple[Callable[..., MetricSeries], str]] = {
 #: Every valid positional target, figures included.
 _TARGETS: tuple[str, ...] = tuple(
     sorted(_FIGURES)
-    + ["alpha", "tail", "table1", "claims", "chaos", "all", "run", "analyze", "diff"]
+    + [
+        "alpha",
+        "tail",
+        "table1",
+        "claims",
+        "chaos",
+        "all",
+        "run",
+        "profile",
+        "analyze",
+        "diff",
+    ]
 )
+
+#: Flamegraph export formats of the ``profile`` target.
+_FLAME_FORMATS = ("speedscope", "collapsed")
 
 #: Default fault plan of the ``chaos`` target (overridden by --faults).
 _DEFAULT_CHAOS_FAULTS = (
@@ -107,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TARGET",
         help="which experiment to run: "
         f"{', '.join(_TARGETS)} ('run' = one instrumented run; "
+        "'profile' = one profiled run with a per-phase breakdown; "
         "'analyze'/'diff' = forensics over recorded event logs; "
         "'chaos' = fault-injection sweep)",
     )
@@ -163,8 +187,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         default=None,
         help="fault-injection spec as 'key=value,...' (e.g. "
-        "'seed=7,abort_prob=0.1,crash_count=2'); applies to 'run' and "
-        "'chaos'",
+        "'seed=7,abort_prob=0.1,crash_count=2'); applies to 'run', "
+        "'profile' and 'chaos'",
     )
     parser.add_argument(
         "--chart",
@@ -186,19 +210,20 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument(
         "--policy",
         default="asets",
-        help="policy registry name for 'run' (default asets)",
+        help="policy registry name for 'run'/'profile' (default asets)",
     )
     group.add_argument(
         "--utilization",
         type=float,
         default=DEFAULT_PROBE_UTILIZATION,
-        help=f"target utilization for 'run' (default {DEFAULT_PROBE_UTILIZATION})",
+        help="target utilization for 'run'/'profile' "
+        f"(default {DEFAULT_PROBE_UTILIZATION})",
     )
     group.add_argument(
         "--seed",
         type=int,
         default=DEFAULT_SEEDS[0],
-        help=f"workload seed for 'run' (default {DEFAULT_SEEDS[0]})",
+        help=f"workload seed for 'run'/'profile' (default {DEFAULT_SEEDS[0]})",
     )
     group.add_argument(
         "--events-out",
@@ -269,6 +294,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="export a Chrome trace-event / Perfetto JSON of the run "
         "(valid on 'run' and 'analyze')",
+    )
+    profiling = parser.add_argument_group(
+        "profiling ('profile' target, and --profile-out on 'run')"
+    )
+    profiling.add_argument(
+        "--profile-out",
+        metavar="FILE.json",
+        default=None,
+        help="write the profile snapshot (phases, probes, depth scaling; "
+        "the BENCH schema-3 'profile' section) to FILE.json",
+    )
+    profiling.add_argument(
+        "--flame-out",
+        metavar="FILE",
+        default=None,
+        help="export the select-time flamegraph to FILE "
+        "('profile' target only; format from --flame-format)",
+    )
+    profiling.add_argument(
+        "--flame-format",
+        default="speedscope",
+        metavar="FORMAT",
+        help="flamegraph format for --flame-out: "
+        f"{', '.join(_FLAME_FORMATS)} (default speedscope)",
     )
     return parser
 
@@ -456,6 +505,68 @@ def _run_streaming(args: argparse.Namespace, fault_spec=None) -> int:
     return 0
 
 
+def _write_profile(snapshot, path: str) -> str:
+    """Write one ProfileSnapshot as indented JSON; returns the path."""
+    import json
+    import pathlib
+
+    pathlib.Path(path).write_text(
+        json.dumps(snapshot.as_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def _run_profile(args: argparse.Namespace, fault_spec=None) -> int:
+    """One profiled run: phase/probe report plus JSON/flamegraph exports."""
+    from repro.experiments.runner import run_policy_on
+    from repro.obs.profile import PhaseProfiler
+    from repro.workload.generator import generate
+    from repro.workload.spec import WorkloadSpec
+
+    # Warm-up: a small discarded profiled run lets the adaptive
+    # interpreter specialize the hot loop first, so the measured run's
+    # inter-span gaps reflect steady state, not first-pass bytecode.
+    warmup = generate(
+        WorkloadSpec(n_transactions=100, utilization=args.utilization), seed=1
+    )
+    run_policy_on(warmup, PolicySpec.of(args.policy), profiler=PhaseProfiler())
+
+    spec = WorkloadSpec(n_transactions=args.n, utilization=args.utilization)
+    workload = generate(spec, seed=args.seed)
+    profiler = PhaseProfiler()
+    result = run_policy_on(
+        workload, PolicySpec.of(args.policy), faults=fault_spec, profiler=profiler
+    )
+    snapshot = profiler.snapshot(args.policy)
+    print(snapshot.render())
+    print(
+        f"\n{args.policy}: n={result.n} "
+        f"avg_tardiness={result.average_tardiness:.3f} "
+        f"select_total_s={snapshot.select_total_s:.4f}"
+    )
+    if args.profile_out:
+        print(
+            "profile snapshot written to "
+            f"{_write_profile(snapshot, args.profile_out)}",
+            file=sys.stderr,
+        )
+    if args.flame_out:
+        import json
+        import pathlib
+
+        if args.flame_format == "speedscope":
+            text = json.dumps(snapshot.to_speedscope()) + "\n"
+        else:
+            text = snapshot.to_collapsed()
+        pathlib.Path(args.flame_out).write_text(text, encoding="utf-8")
+        print(
+            f"flamegraph ({args.flame_format}) written to {args.flame_out}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _run_instrumented(args: argparse.Namespace, fault_spec=None) -> int:
     """One instrumented run: summary line, optional report and JSONL log."""
     from repro.experiments.runner import run_policy_on
@@ -476,8 +587,17 @@ def _run_instrumented(args: argparse.Namespace, fault_spec=None) -> int:
         from repro.obs.progress import Heartbeat
 
         instrument = MultiInstrument([recorder, Heartbeat(interval)])
+    profiler = None
+    if args.profile_out:
+        from repro.obs.profile import PhaseProfiler
+
+        profiler = PhaseProfiler()
     result = run_policy_on(
-        workload, PolicySpec.of(args.policy), instrument=instrument, faults=fault_spec
+        workload,
+        PolicySpec.of(args.policy),
+        instrument=instrument,
+        faults=fault_spec,
+        profiler=profiler,
     )
     report = recorder.report()
     if args.report:
@@ -529,6 +649,12 @@ def _run_instrumented(args: argparse.Namespace, fault_spec=None) -> int:
 
         trace_path = write_trace(reconstruct(recorder.events), args.trace_out)
         print(f"perfetto trace written to {trace_path}", file=sys.stderr)
+    if profiler is not None:
+        print(
+            "profile snapshot written to "
+            f"{_write_profile(profiler.snapshot(args.policy), args.profile_out)}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -615,10 +741,26 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"target '{args.target}' takes exactly {expected_paths} "
             f"event-log path(s), got {len(args.paths)}"
         )
+    if args.profile_out and args.target not in ("run", "profile"):
+        parser.error("--profile-out applies to the 'run' and 'profile' targets")
+    if args.flame_out and args.target != "profile":
+        parser.error("--flame-out/--flame-format apply to the 'profile' target")
     if args.target == "analyze":
         return _run_analyze(args)
     if args.target == "diff":
         return _run_diff(args)
+    if args.target == "profile":
+        from repro.policies.registry import available_policies
+
+        if args.policy not in available_policies():
+            _unknown_name_error(
+                parser, "policy", args.policy, available_policies()
+            )
+        if args.flame_format not in _FLAME_FORMATS:
+            _unknown_name_error(
+                parser, "flame format", args.flame_format, _FLAME_FORMATS
+            )
+        return _run_profile(args, fault_spec=_parse_faults(parser, args))
     if args.target == "run":
         from repro.policies.registry import available_policies
 
@@ -646,6 +788,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(
                 "--trace-out needs buffered events; drop --streaming, or "
                 "run 'analyze --trace-out' over the streamed --events-out log"
+            )
+        if args.streaming and args.profile_out:
+            parser.error(
+                "--profile-out needs the buffered engine path; drop "
+                "--streaming, or use the 'profile' target"
             )
         return _run_instrumented(args, fault_spec=_parse_faults(parser, args))
     if args.target == "chaos":

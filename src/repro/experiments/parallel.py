@@ -56,6 +56,7 @@ from repro.workload.generator import generate
 from repro.workload.spec import WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import ProfileSnapshot
     from repro.obs.streaming import RunTelemetry
 
 __all__ = [
@@ -124,6 +125,10 @@ class CellGroup:
     fault_spec: FaultSpec | None = None
     #: Optional streaming telemetry; cells then run with retention off.
     telemetry: TelemetrySpec | None = None
+    #: When True every cell runs with a fresh
+    #: :class:`~repro.obs.profile.PhaseProfiler` and ships its
+    #: :class:`~repro.obs.profile.ProfileSnapshot` home.
+    profile: bool = False
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -146,13 +151,16 @@ class GroupResult:
     (``None`` if the cell succeeded).  When the group requested
     telemetry, ``telemetry[i]`` carries policy ``i``'s
     :class:`~repro.obs.streaming.RunTelemetry` (``None`` on failure, or
-    an empty tuple when telemetry was off).
+    an empty tuple when telemetry was off); ``profiles[i]`` is the
+    analogous :class:`~repro.obs.profile.ProfileSnapshot` when the group
+    requested profiling.
     """
 
     group: CellGroup
     values: tuple[float | None, ...]
     failures: tuple[CellFailure | None, ...]
     telemetry: "tuple[RunTelemetry | None, ...]" = ()
+    profiles: "tuple[ProfileSnapshot | None, ...]" = ()
 
 
 def _run_group(group: CellGroup) -> GroupResult:
@@ -189,6 +197,7 @@ def _run_group(group: CellGroup) -> GroupResult:
     values: list[float | None] = []
     failures_out: list[CellFailure | None] = []
     telemetry_out: "list[RunTelemetry | None]" = []
+    profiles_out: "list[ProfileSnapshot | None]" = []
     for policy in group.policies:
         try:
             workload.reset()
@@ -201,6 +210,11 @@ def _run_group(group: CellGroup) -> GroupResult:
                     window=group.telemetry.window,
                     topk=group.telemetry.topk,
                 )
+            profiler = None
+            if group.profile:
+                from repro.obs.profile import PhaseProfiler
+
+                profiler = PhaseProfiler()
             result = Simulator(
                 workload.transactions,
                 policy.make(),
@@ -209,15 +223,22 @@ def _run_group(group: CellGroup) -> GroupResult:
                 faults=plan,
                 instrument=recorder,
                 retain_records=group.telemetry is None,
+                profiler=profiler,
             ).run()
             values.append(float(getattr(result, group.metric)))
             failures_out.append(None)
             telemetry_out.append(
                 recorder.telemetry if recorder is not None else None
             )
+            profiles_out.append(
+                profiler.snapshot(policy.display)
+                if profiler is not None
+                else None
+            )
         except Exception as exc:  # noqa: BLE001 - reported per cell
             values.append(None)
             telemetry_out.append(None)
+            profiles_out.append(None)
             failures_out.append(
                 CellFailure(
                     x=group.x,
@@ -232,6 +253,7 @@ def _run_group(group: CellGroup) -> GroupResult:
         tuple(values),
         tuple(failures_out),
         tuple(telemetry_out) if group.telemetry is not None else (),
+        tuple(profiles_out) if group.profile else (),
     )
 
 
@@ -241,6 +263,7 @@ def run_cell_groups(
     progress: ProgressFn | None = None,
     timeout: float | None = None,
     telemetry_out: "dict[tuple[int, int, int], RunTelemetry] | None" = None,
+    profile_out: "dict[tuple[int, int, int], ProfileSnapshot] | None" = None,
 ) -> tuple[dict[tuple[int, int, int], float], list[CellFailure]]:
     """Execute the groups and index every cell result by its coordinates.
 
@@ -250,7 +273,9 @@ def run_cell_groups(
     failure list is sorted by the same coordinates.  When groups carry a
     :class:`TelemetrySpec`, pass ``telemetry_out`` to collect each
     cell's :class:`~repro.obs.streaming.RunTelemetry` under the same
-    coordinate key.
+    coordinate key; when groups set ``profile``, ``profile_out``
+    likewise collects each cell's
+    :class:`~repro.obs.profile.ProfileSnapshot`.
 
     With ``jobs == 1`` everything runs inline in this process (no pool,
     no pickling); with ``jobs > 1`` groups are fanned out over a
@@ -296,6 +321,10 @@ def run_cell_groups(
                     cell_telemetry = result.telemetry[pos]
                     if cell_telemetry is not None:
                         telemetry_out[coord] = cell_telemetry
+                if profile_out is not None and result.profiles:
+                    cell_profile = result.profiles[pos]
+                    if cell_profile is not None:
+                        profile_out[coord] = cell_profile
         report(result)
 
     if jobs == 1 and timeout is None:
@@ -396,6 +425,8 @@ def grid_sweep(
     cell_timeout: float | None = None,
     telemetry: TelemetrySpec | None = None,
     telemetry_out: "dict[str, RunTelemetry] | None" = None,
+    profile: bool = False,
+    profile_out: "dict[str, ProfileSnapshot] | None" = None,
 ) -> MetricSeries:
     """Run a (column × seed × policy) grid and merge it deterministically.
 
@@ -416,6 +447,13 @@ def grid_sweep(
     order.  Together with the associative sketch merge this makes the
     merged telemetry byte-identical (``as_dict()``-equal) for any
     ``jobs`` count.
+
+    ``profile=True`` runs every cell under a fresh
+    :class:`~repro.obs.profile.PhaseProfiler`; ``profile_out`` then
+    receives, per policy display name, the cells'
+    :class:`~repro.obs.profile.ProfileSnapshot` merged in the same
+    fixed grid order.  Counts and structure are deterministic for any
+    ``jobs`` count (wall-clock totals naturally vary run to run).
     """
     seed_list = list(seeds)
     policy_list = list(policies)
@@ -430,6 +468,7 @@ def grid_sweep(
             servers=column.servers,
             fault_spec=fault_spec,
             telemetry=telemetry,
+            profile=profile,
         )
         for i, column in enumerate(columns)
         for seed in seed_list
@@ -437,9 +476,13 @@ def grid_sweep(
     cell_telemetry: "dict[tuple[int, int, int], RunTelemetry] | None" = (
         {} if telemetry is not None and telemetry_out is not None else None
     )
+    cell_profiles: "dict[tuple[int, int, int], ProfileSnapshot] | None" = (
+        {} if profile and profile_out is not None else None
+    )
     results, cell_failures = run_cell_groups(
         groups, jobs, progress, timeout=cell_timeout,
         telemetry_out=cell_telemetry,
+        profile_out=cell_profiles,
     )
     if cell_failures:
         if failures is None:
@@ -462,6 +505,20 @@ def grid_sweep(
                     if cell is not None:
                         merged.merge(cell)
             telemetry_out[policy.display] = merged
+
+    if cell_profiles is not None:
+        assert profile_out is not None
+        from repro.obs.profile import ProfileSnapshot
+
+        for pos, policy in enumerate(policy_list):
+            merged_profile = ProfileSnapshot(policy=policy.display)
+            # Same fixed grid order as the telemetry merge above.
+            for i in range(len(columns)):
+                for seed in seed_list:
+                    cell_snap = cell_profiles.get((i, seed, pos))
+                    if cell_snap is not None:
+                        merged_profile.merge(cell_snap)
+            profile_out[policy.display] = merged_profile
 
     series = MetricSeries(
         x_label=x_label,

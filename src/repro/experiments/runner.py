@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.parallel import CellFailure
     from repro.obs.hooks import Instrument
     from repro.obs.jsonl import EventSink
+    from repro.obs.profile import PhaseProfiler
     from repro.obs.streaming import StreamingRecorder
 
 __all__ = [
@@ -46,6 +47,7 @@ def run_policy_on(
     policy_spec: PolicySpec,
     instrument: "Instrument | None" = None,
     faults: FaultSpec | None = None,
+    profiler: "PhaseProfiler | None" = None,
 ) -> SimulationResult:
     """Replay ``workload`` under a fresh instance of ``policy_spec``.
 
@@ -55,7 +57,10 @@ def run_policy_on(
     fresh recorder per run.  ``faults`` injects a deterministic
     :mod:`repro.faults` plan derived from the spec's own seed —
     independent of the workload seed, so the same fault schedule replays
-    under every policy.
+    under every policy.  ``profiler`` attaches a
+    :class:`~repro.obs.profile.PhaseProfiler` for per-phase hot-path
+    attribution (observation-only; results are byte-identical with or
+    without it).
     """
     workload.reset()
     plan = None
@@ -67,6 +72,7 @@ def run_policy_on(
         workflow_set=workload.workflow_set,
         instrument=instrument,
         faults=plan,
+        profiler=profiler,
     ).run()
 
 

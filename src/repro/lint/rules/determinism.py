@@ -11,11 +11,13 @@ decide what the simulator does — ``repro.sim``, ``repro.policies`` and
 * ``os.urandom``, ``uuid.uuid1`` / ``uuid.uuid4``, and ``secrets.*``.
 
 ``time.perf_counter`` is special-cased: it measures, it never steers, and
-``repro.sim.engine`` uses it to time ``policy.select`` — but only when an
-instrument is attached.  The rule therefore allows ``perf_counter`` in
-``repro.sim.engine`` alone, and there only inside a branch guarded by an
-``<...instrument...> is not None`` test, which is exactly the zero-cost
-contract the overhead-guard test pins at runtime.
+exactly two modules may touch it.  ``repro.sim.engine`` times
+``policy.select`` and its loop phases — but only inside a branch guarded
+by an ``<...instrument...> is not None`` or ``<...profiler...> is not
+None`` test.  ``repro.obs.profile`` (the phase profiler itself) may read
+it only inside a branch guarded by an ``<...enabled...>`` truthiness
+test — the profiler's master switch.  Both mirror the zero-cost contract
+the overhead-guard test pins at runtime.
 """
 
 from __future__ import annotations
@@ -35,10 +37,14 @@ DETERMINISTIC_PACKAGES = (
     "repro.core",
     "repro.faults",
     "repro.obs.streaming",
+    "repro.obs.profile",
 )
 
-#: The one module allowed to touch ``perf_counter`` (guarded).
+#: The engine may touch ``perf_counter`` (instrument/profiler-guarded).
 ENGINE_MODULE = "repro.sim.engine"
+
+#: The profiler may touch ``perf_counter`` (``enabled``-guarded).
+PROFILE_MODULE = "repro.obs.profile"
 
 _BANNED_EXACT = {
     "time.time": "wall-clock read",
@@ -96,12 +102,18 @@ def _dotted(node: ast.expr, aliases: dict[str, str]) -> str | None:
     return ".".join(reversed(parts))
 
 
-def _receiver_mentions_instrument(expr: ast.expr) -> bool:
+def _mentions(expr: ast.expr, *needles: str) -> bool:
+    """True when any name/attribute in ``expr`` contains a needle."""
     for node in ast.walk(expr):
-        if isinstance(node, ast.Name) and "instrument" in node.id.lower():
-            return True
-        if isinstance(node, ast.Attribute) and "instrument" in node.attr.lower():
-            return True
+        if isinstance(node, ast.Name):
+            name = node.id.lower()
+        elif isinstance(node, ast.Attribute):
+            name = node.attr.lower()
+        else:
+            continue
+        for needle in needles:
+            if needle in name:
+                return True
     return False
 
 
@@ -111,7 +123,8 @@ class NoNondeterminism(Rule):
     rule_id = "RL001"
     summary = (
         "no wall clocks or unseeded entropy in repro.sim/policies/core; "
-        "perf_counter only instrument-guarded in sim/engine.py"
+        "perf_counter only instrument/profiler-guarded in sim/engine.py "
+        "and enabled-guarded in obs/profile.py"
     )
 
     def check_module(self, module: ModuleContext) -> Iterable[Finding]:
@@ -122,6 +135,7 @@ class NoNondeterminism(Rule):
     def _check(self, module: ModuleContext) -> Iterator[Finding]:
         aliases = _alias_map(module.tree)
         in_engine = module.module == ENGINE_MODULE
+        in_profile = module.module == PROFILE_MODULE
         for node in module.walk():
             if isinstance(node, (ast.Name, ast.Attribute)):
                 origin = _dotted(node, aliases)
@@ -132,7 +146,7 @@ class NoNondeterminism(Rule):
                     continue  # judged at the outermost attribute
                 if origin in _PERF_COUNTERS:
                     yield from self._check_perf_counter(
-                        module, node, in_engine
+                        module, node, in_engine, in_profile
                     )
                     continue
                 reason = self._banned_reason(origin)
@@ -150,14 +164,16 @@ class NoNondeterminism(Rule):
                     if (
                         alias.name in ("perf_counter", "perf_counter_ns")
                         and not in_engine
+                        and not in_profile
                     ):
                         yield self.finding(
                             module,
                             node,
                             "`time.perf_counter` may only be imported by "
-                            f"{ENGINE_MODULE} (instrument-guarded select "
-                            "timing); other simulation modules must not "
-                            "measure wall time",
+                            f"{ENGINE_MODULE} (instrument/profiler-guarded "
+                            f"timing) and {PROFILE_MODULE} (enabled-guarded "
+                            "accumulation); other simulation modules must "
+                            "not measure wall time",
                         )
 
     @staticmethod
@@ -171,28 +187,45 @@ class NoNondeterminism(Rule):
         return None
 
     def _check_perf_counter(
-        self, module: ModuleContext, node: ast.expr, in_engine: bool
+        self,
+        module: ModuleContext,
+        node: ast.expr,
+        in_engine: bool,
+        in_profile: bool,
     ) -> Iterator[Finding]:
-        if not in_engine:
+        if in_engine:
+            for conjunct in module.guard_conjuncts(node):
+                guarded = _guarded_not_none(conjunct)
+                if guarded is not None and _mentions(
+                    guarded, "instrument", "profil"
+                ):
+                    return
             yield self.finding(
                 module,
                 node,
-                "`time.perf_counter` is reserved for the instrument-guarded "
-                f"select timing in {ENGINE_MODULE}; simulation logic must "
-                "use the event clock",
+                "`perf_counter` outside an `... instrument/profiler ... is "
+                "not None` guard: the unobserved hot path must never read "
+                "the wall clock (overhead-guard contract)",
             )
             return
-        conjuncts = module.guard_conjuncts(node)
-        for conjunct in conjuncts:
-            guarded = _guarded_not_none(conjunct)
-            if guarded is not None and _receiver_mentions_instrument(guarded):
-                return
+        if in_profile:
+            for conjunct in module.guard_conjuncts(node):
+                if _mentions(conjunct, "enabled"):
+                    return
+            yield self.finding(
+                module,
+                node,
+                "`perf_counter` outside an `... enabled ...` guard: a "
+                "disabled profiler must never read the wall clock "
+                "(zero-cost-when-off contract)",
+            )
+            return
         yield self.finding(
             module,
             node,
-            "`perf_counter` outside an `... instrument ... is not None` "
-            "guard: the uninstrumented hot path must never read the wall "
-            "clock (overhead-guard contract)",
+            "`time.perf_counter` is reserved for the guarded timing in "
+            f"{ENGINE_MODULE} and {PROFILE_MODULE}; simulation logic must "
+            "use the event clock",
         )
 
 

@@ -22,6 +22,10 @@ opens the black box.  It provides:
 * :mod:`repro.obs.progress` — wall-clock :class:`Heartbeat` /
   :class:`SweepHeartbeat` progress lines (outside the deterministic
   boundary; armed by the CLI's ``--progress``);
+* :mod:`repro.obs.profile` — the hot-path profiler
+  (``Simulator(..., profiler=PhaseProfiler())``): engine phase timers,
+  policy :class:`Probe` spans, cost-vs-depth scaling fits and
+  collapsed-stack/speedscope flamegraph exports (docs/profiling.md);
 * :mod:`repro.obs.analyze` — deadline-miss forensics over recorded
   event logs: lifecycle spans, tardiness blame attribution, Perfetto
   trace export and cross-run diffing (imported explicitly via
@@ -53,6 +57,13 @@ from repro.obs.jsonl import (
     write,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    PhaseProfiler,
+    PhaseStat,
+    Probe,
+    ProfileSnapshot,
+    validate_speedscope,
+)
 from repro.obs.progress import Heartbeat, SweepHeartbeat
 from repro.obs.recorder import Recorder
 from repro.obs.streaming import (
@@ -94,4 +105,9 @@ __all__ = [
     "WindowAggregator",
     "Heartbeat",
     "SweepHeartbeat",
+    "PhaseProfiler",
+    "PhaseStat",
+    "Probe",
+    "ProfileSnapshot",
+    "validate_speedscope",
 ]

@@ -418,6 +418,11 @@ class RunLifecycles:
     #: counters hold the ones whose lifecycles could not be rebuilt.
     unsampled_tardy: int = 0
     unsampled_tardiness: float = 0.0
+    #: Per-scheduling-point ``(ready_depth, select_seconds)`` samples from
+    #: the log's ``sched`` records — the input of the "select cost by
+    #: queue depth" report section (:mod:`repro.obs.profile` fits the
+    #: scaling exponent).  Empty for logs recorded without sampling.
+    sched_samples: tuple[tuple[int, float], ...] = ()
 
     def __iter__(self) -> Iterator[TxnLifecycle]:
         for txn_id in sorted(self.lifecycles):
@@ -487,6 +492,7 @@ def reconstruct(
     sample_rate = float(header.get("sample", 1.0))
     unsampled_tardy = 0
     unsampled_tardiness = 0.0
+    sched_samples: list[tuple[int, float]] = []
 
     def builder(record: dict) -> _TxnBuilder:
         txn_id = record["txn"]
@@ -542,9 +548,13 @@ def reconstruct(
             # (FIFO: the earliest unclosed crash recovers first).
             if open_crashes:
                 crash_windows.append((open_crashes.popleft(), t))
+        elif kind == "sched":
+            sched_samples.append(
+                (int(record["ready"]), float(record["select_s"]))
+            )
         elif kind == "run_end":
             makespan = max(makespan, t)
-        # 'sched' samples and unknown (future additive) kinds are skipped.
+        # Unknown (future additive) kinds are skipped.
 
     lifecycles: dict[int, TxnLifecycle] = {}
     incomplete: list[int] = []
@@ -591,6 +601,7 @@ def reconstruct(
         sample_rate=sample_rate,
         unsampled_tardy=unsampled_tardy,
         unsampled_tardiness=unsampled_tardiness,
+        sched_samples=tuple(sched_samples),
     )
 
 

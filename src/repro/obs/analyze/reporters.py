@@ -14,6 +14,11 @@ from typing import Any, Sequence
 from repro.obs.analyze.blame import BlameReport
 from repro.obs.analyze.diff import RunDiff, TxnDelta
 from repro.obs.analyze.lifecycle import RunLifecycles
+from repro.obs.profile import (
+    depth_bucket_range,
+    depth_rows_from_samples,
+    fit_depth_exponent,
+)
 
 __all__ = [
     "JSON_SCHEMA_VERSION",
@@ -83,6 +88,55 @@ def _blame_lines(report: BlameReport, culprit_limit: int = 3) -> list[str]:
     return lines
 
 
+def _depth_fit(
+    run: RunLifecycles,
+) -> tuple[list[tuple[int, int, float, float]], float | None]:
+    """Depth-bucketed select-cost rows + fitted exponent from ``sched``
+    samples (both empty/None when the log carries none)."""
+    if not run.sched_samples:
+        return [], None
+    rows = depth_rows_from_samples(run.sched_samples)
+    exponent = fit_depth_exponent(
+        (mean_depth, mean_cost, count)
+        for _, count, mean_depth, mean_cost in rows
+    )
+    return rows, exponent
+
+
+def _depth_lines(run: RunLifecycles) -> list[str]:
+    rows, exponent = _depth_fit(run)
+    if not rows:
+        return []
+    fit = f" (~depth^{exponent:.2f})" if exponent is not None else ""
+    lines = [f"select cost by ready-queue depth{fit}:"]
+    for bucket, count, mean_depth, mean_cost in rows:
+        low, high = depth_bucket_range(bucket)
+        label = f"{low}" if low == high else f"{low}-{high}"
+        lines.append(
+            f"  depth {label:>9}: n={count:<7} "
+            f"mean={mean_cost * 1e6:.2f}us (mean depth {mean_depth:.1f})"
+        )
+    return lines
+
+
+def _depth_dict(run: RunLifecycles) -> dict[str, Any] | None:
+    rows, exponent = _depth_fit(run)
+    if not rows:
+        return None
+    return {
+        "exponent": exponent,
+        "buckets": [
+            {
+                "depth_range": list(depth_bucket_range(bucket)),
+                "count": count,
+                "mean_depth": mean_depth,
+                "mean_cost_s": mean_cost,
+            }
+            for bucket, count, mean_depth, mean_cost in rows
+        ],
+    }
+
+
 def render_analysis_text(
     run: RunLifecycles, blames: Sequence[BlameReport], top: int = 5
 ) -> str:
@@ -125,6 +179,7 @@ def render_analysis_text(
             f"log truncated: dropped {run.truncated_lines} torn trailing "
             f"line(s)"
         )
+    lines += _depth_lines(run)
     shown = list(blames[:top])
     if shown:
         lines.append(f"worst {len(shown)} tardy transaction(s):")
@@ -156,6 +211,7 @@ def render_analysis_json(
         "sample_rate": run.sample_rate,
         "unsampled_tardy": run.unsampled_tardy,
         "unsampled_tardiness": run.unsampled_tardiness,
+        "select_by_depth": _depth_dict(run),
         "transactions": [_blame_dict(b) for b in blames],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -18,10 +18,17 @@ file, not a CI-side knob):
   ``baseline * (1 + rss_growth_tolerance)``;
 * per-tier streaming wall-clock overhead (vs the instrument-off plain
   path measured in the *same* snapshot) must stay under
-  ``streaming_overhead_max``.
+  ``streaming_overhead_max``;
+* (schema 3) per-policy, per-phase mean cost per occurrence from the
+  ``profile`` section must not exceed
+  ``baseline * (1 + phase_cost_growth_tolerance)`` — so a regression in
+  one phase (say the ASETS* scan) fails the gate even if the end-to-end
+  throughput check absorbs it.
 
 Only keys present in **both** snapshots are compared, so a baseline
-regenerated with more tiers than CI measures does not fail the gate.
+regenerated with more tiers than CI measures does not fail the gate, and
+a schema-2 baseline without ``profile`` sections simply skips the
+per-phase checks.
 """
 
 from __future__ import annotations
@@ -36,10 +43,14 @@ from typing import IO
 __all__ = ["DEFAULT_GATE", "GateReport", "compare", "load", "main"]
 
 #: Fallback tolerances for baselines predating the ``gate`` section.
+#: Phase costs are per-occurrence means of shared-CI wall time, so the
+#: tolerance is deliberately loose — the check exists to catch order-of-
+#: magnitude slips (a quadratic scan), not percent-level noise.
 DEFAULT_GATE = {
     "throughput_drop_tolerance": 0.6,
     "rss_growth_tolerance": 0.5,
     "streaming_overhead_max": 0.5,
+    "phase_cost_growth_tolerance": 3.0,
 }
 
 
@@ -96,6 +107,29 @@ def compare(current: dict, baseline: dict) -> GateReport:
             f"(baseline {base_tp:.0f}/s, floor {floor:.0f}/s)"
         )
         (report.checks if cur_tp >= floor else report.failures).append(line)
+
+    phase_tol = _gate_value(gate, "phase_cost_growth_tolerance")
+    for name in sorted(set(base_policies) & set(cur_policies)):
+        base_phases = (base_policies[name].get("profile") or {}).get(
+            "phases"
+        ) or {}
+        cur_phases = (cur_policies[name].get("profile") or {}).get(
+            "phases"
+        ) or {}
+        for phase in sorted(set(base_phases) & set(cur_phases)):
+            base_mean = float(base_phases[phase].get("mean_s", 0.0))
+            cur_mean = float(cur_phases[phase].get("mean_s", 0.0))
+            if base_mean <= 0:
+                continue
+            ceiling = base_mean * (1.0 + phase_tol)
+            line = (
+                f"phase[{name}/{phase}]: {cur_mean * 1e6:.2f}us/occurrence "
+                f"(baseline {base_mean * 1e6:.2f}us, "
+                f"ceiling {ceiling * 1e6:.2f}us)"
+            )
+            (
+                report.checks if cur_mean <= ceiling else report.failures
+            ).append(line)
 
     rss_tol = _gate_value(gate, "rss_growth_tolerance")
     overhead_max = _gate_value(gate, "streaming_overhead_max")

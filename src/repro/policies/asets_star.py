@@ -84,6 +84,30 @@ class ASETSStar(Scheduler):
     # Selection.
     # ------------------------------------------------------------------
     def select(self, now: float) -> Transaction | None:
+        probe = self._probe
+        if probe is None:
+            best_edf, best_hdf = self._scan(now)
+        else:
+            with probe.span("scan"):
+                best_edf, best_hdf = self._scan(now)
+        if best_edf is None and best_hdf is None:
+            return None
+        if best_hdf is None:
+            return self._head_of(best_edf)
+        if best_edf is None:
+            return self._head_of(best_hdf)
+        if probe is None:
+            return self._decide(best_edf, best_hdf, now)
+        with probe.span("decide"):
+            return self._decide(best_edf, best_hdf, now)
+
+    def _scan(self, now: float) -> tuple[Workflow | None, Workflow | None]:
+        """One pass over the active set: top of the EDF- and HDF-lists.
+
+        Also prunes workflows whose representative vanished (all members
+        reached a terminal state) — the paper's lists only ever hold
+        pending workflows.
+        """
         best_edf: Workflow | None = None
         best_edf_key: tuple[float, int] | None = None
         best_hdf: Workflow | None = None
@@ -109,14 +133,7 @@ class ASETSStar(Scheduler):
 
         for wf_id in completed:
             del self._active[wf_id]
-
-        if best_edf is None and best_hdf is None:
-            return None
-        if best_hdf is None:
-            return self._head_of(best_edf)
-        if best_edf is None:
-            return self._head_of(best_hdf)
-        return self._decide(best_edf, best_hdf, now)
+        return best_edf, best_hdf
 
     def _decide(self, wf_edf: Workflow, wf_hdf: Workflow, now: float) -> Transaction:
         """Figure 7 lines 15-21: weighted negative-impact comparison."""

@@ -50,6 +50,7 @@ from repro.policies.base import Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.core.workflow_set import WorkflowSet
+    from repro.obs.profile import Probe
 
 __all__ = ["BalanceAware"]
 
@@ -124,6 +125,11 @@ class BalanceAware(Scheduler):
         super().bind(transactions, workflow_set)
         self.inner.bind(transactions, workflow_set)
 
+    def attach_probe(self, probe: "Probe | None") -> None:
+        """Propagate the probe so the inner policy's spans attribute too."""
+        super().attach_probe(probe)
+        self.inner.attach_probe(probe)
+
     def on_arrival(self, txn: Transaction, now: float) -> None:
         self.inner.on_arrival(txn, now)
 
@@ -163,7 +169,12 @@ class BalanceAware(Scheduler):
             self._pinned = None
 
         if self._pending_activation:
-            t_old = self._pick_t_old(now)
+            probe = self._probe
+            if probe is None:
+                t_old = self._pick_t_old(now)
+            else:
+                with probe.span("aging"):
+                    t_old = self._pick_t_old(now)
             if t_old is not None:
                 self._pending_activation = False
                 if self.pin_until_completion:

@@ -37,6 +37,7 @@ from repro.errors import SchedulingError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.core.workflow_set import WorkflowSet
+    from repro.obs.profile import Probe
 
 __all__ = ["Scheduler", "ScanScheduler", "HeapScheduler"]
 
@@ -58,6 +59,12 @@ class Scheduler(abc.ABC):
     #: If set, the simulator fires :meth:`on_activation` every this many
     #: time units (Section III-D, time-based activation).
     activation_period: float | None = None
+
+    #: Select-scoped profiling probe.  The engine attaches one at bind
+    #: time only when a :class:`~repro.obs.profile.PhaseProfiler` is in
+    #: play; the default ``None`` keeps every select path probe-free at
+    #: the cost of a single ``is None`` check (zero-cost-when-off).
+    _probe: "Probe | None" = None
 
     def __init__(self) -> None:
         self._transactions: dict[int, Transaction] = {}
@@ -88,6 +95,16 @@ class Scheduler(abc.ABC):
                 f"duplicate transaction ids in bind(): {duplicates}"
             )
         self._workflow_set = workflow_set
+
+    def attach_probe(self, probe: "Probe | None") -> None:
+        """Attach (or with ``None`` detach) a profiling probe.
+
+        Called by the engine right after :meth:`bind`.  Policies wrap
+        their internal select stages in ``probe.span(...)`` blocks when
+        a probe is present; spans must only fire inside :meth:`select`
+        (the profiler's overhead correction is per scheduling point).
+        """
+        self._probe = probe
 
     def on_arrival(self, txn: Transaction, now: float) -> None:
         """The transaction was submitted (possibly still waiting on deps)."""
@@ -153,14 +170,25 @@ class ScanScheduler(Scheduler):
         self._ready.pop(txn.txn_id, None)
 
     def select(self, now: float) -> Transaction | None:
-        candidates = [
-            t
-            for t in self._ready.values()
-            if t.state is TransactionState.READY
-        ]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda t: self.sort_key(t, now))
+        probe = self._probe
+        if probe is None:
+            candidates = [
+                t
+                for t in self._ready.values()
+                if t.state is TransactionState.READY
+            ]
+            if not candidates:
+                return None
+            return min(candidates, key=lambda t: self.sort_key(t, now))
+        with probe.span("scan"):
+            candidates = [
+                t
+                for t in self._ready.values()
+                if t.state is TransactionState.READY
+            ]
+            if not candidates:
+                return None
+            return min(candidates, key=lambda t: self.sort_key(t, now))
 
     @abc.abstractmethod
     def sort_key(self, txn: Transaction, now: float) -> tuple:
@@ -204,17 +232,31 @@ class HeapScheduler(Scheduler):
         )
 
     def select(self, now: float) -> Transaction | None:
-        heap = self._heap
-        while heap:
-            stored_key, _, _, _, txn = heap[0]
-            if txn.state is not TransactionState.READY:
-                heapq.heappop(heap)
-                continue
-            if stored_key != self.key(txn):
-                heapq.heappop(heap)  # superseded by a requeued entry
-                continue
-            return txn
-        return None
+        probe = self._probe
+        if probe is None:
+            heap = self._heap
+            while heap:
+                stored_key, _, _, _, txn = heap[0]
+                if txn.state is not TransactionState.READY:
+                    heapq.heappop(heap)
+                    continue
+                if stored_key != self.key(txn):
+                    heapq.heappop(heap)  # superseded by a requeued entry
+                    continue
+                return txn
+            return None
+        with probe.span("heap-pop"):
+            heap = self._heap
+            while heap:
+                stored_key, _, _, _, txn = heap[0]
+                if txn.state is not TransactionState.READY:
+                    heapq.heappop(heap)
+                    continue
+                if stored_key != self.key(txn):
+                    heapq.heappop(heap)  # superseded by a requeued entry
+                    continue
+                return txn
+            return None
 
     @property
     def pending_entries(self) -> int:

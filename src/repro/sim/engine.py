@@ -45,11 +45,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.admission import ShedPolicy
     from repro.faults.plan import FaultPlan, TxnFaultSchedule
     from repro.obs.hooks import Instrument
+    from repro.obs.profile import PhaseProfiler
 
 __all__ = ["Simulator"]
 
 #: Tolerance for floating-point residues when a completion event fires.
 _EPS = 1e-9
+
+#: Event kinds charged to the ``faults`` profiling phase (the rest of the
+#: batch loop is ``events``: arrivals, completions, activations).
+_FAULT_KINDS = frozenset(
+    (EventKind.FAULT, EventKind.CRASH, EventKind.RECOVER, EventKind.RETRY)
+)
 
 
 @dataclass(slots=True)
@@ -109,6 +116,16 @@ class Simulator:
         free of any instrumentation cost beyond one ``is not None``
         check per call site; ``policy.select`` wall-time is measured
         (``perf_counter``) only when an instrument is attached.
+    profiler:
+        Optional :class:`~repro.obs.profile.PhaseProfiler` splitting the
+        main loop's wall time into named phases (``pop``, ``sync``,
+        ``events``, ``faults``, ``select``, ``dispatch``, ``emit``) and
+        handing the policy a :class:`~repro.obs.profile.Probe` at bind
+        time so its internal select stages self-attribute.  ``None``
+        (the default) keeps the hot path identical to the unprofiled
+        engine — the same zero-cost contract as ``instrument``.
+        Profiling is observation-only: the event schedule and every
+        simulation output stay byte-identical with or without it.
     faults:
         Optional :class:`~repro.faults.plan.FaultPlan` enabling fault
         injection: planned aborts with bounded retries and exponential
@@ -152,6 +169,7 @@ class Simulator:
         instrument: "Instrument | None" = None,
         faults: "FaultPlan | None" = None,
         retain_records: bool = True,
+        profiler: "PhaseProfiler | None" = None,
     ) -> None:
         if not transactions:
             raise SimulationError("cannot simulate an empty transaction pool")
@@ -163,6 +181,7 @@ class Simulator:
             )
         self._overhead = preemption_overhead
         self._instrument = instrument
+        self._profiler = profiler
         self._retain_records = retain_records
         self._faults = faults
         self._shed_policy: "ShedPolicy | None" = None
@@ -236,17 +255,38 @@ class Simulator:
         if self._instrument is not None:
             self._instrument.on_run_start(self._policy.name, n, self._servers)
         now = 0.0
+        profiler = self._profiler
         while self._finished < n:
             if not self._events:
                 raise SimulationError(
                     f"event queue exhausted with {n - self._finished} "
                     "transactions unfinished"
                 )
-            batch = self._events.pop_batch()
-            now = batch[0].time
-            self._sync_running(now)
-            for event in batch:
-                self._handle(event, now)
+            if profiler is not None:
+                # Profiled loop body: identical work, phase-timed.  Kept
+                # as a separate branch so the unprofiled path below pays
+                # nothing (the zero-cost-when-off contract, RL001).
+                t_pop = perf_counter()
+                batch = self._events.pop_batch()
+                now = batch[0].time
+                t_sync = perf_counter()
+                profiler.engine_phase("pop", t_sync - t_pop)
+                self._sync_running(now)
+                t_events = perf_counter()
+                profiler.engine_phase("sync", t_events - t_sync)
+                for event in batch:
+                    t_handle = perf_counter()
+                    self._handle(event, now)
+                    profiler.engine_phase(
+                        "faults" if event.kind in _FAULT_KINDS else "events",
+                        perf_counter() - t_handle,
+                    )
+            else:
+                batch = self._events.pop_batch()
+                now = batch[0].time
+                self._sync_running(now)
+                for event in batch:
+                    self._handle(event, now)
             if self._finished >= n:
                 break
             self._reschedule(now)
@@ -297,6 +337,12 @@ class Simulator:
         self.scheduling_points = 0
         self.preemptions = 0
         self._policy.bind(list(self._txns.values()), self._workflows)
+        # Probe attachment mirrors the instrument contract: without a
+        # profiler the policy holds None and its select paths pay a
+        # single ``is None`` check.
+        self._policy.attach_probe(
+            self._profiler.probe() if self._profiler is not None else None
+        )
         for txn in self._txns.values():
             self._events.push(
                 Event(txn.arrival, EventKind.ARRIVAL, next(self._seq), txn.txn_id)
@@ -644,6 +690,8 @@ class Simulator:
     def _reschedule(self, now: float) -> None:
         self.scheduling_points += 1
         instrument = self._instrument
+        profiler = self._profiler
+        t_body = perf_counter() if profiler is not None else 0.0
         # Admission control runs before the universal suspend: only READY
         # work can be shed, never a transaction holding a server.
         if self._shed_limit is not None:
@@ -669,7 +717,14 @@ class Simulator:
         dispatched: set[int] = set()
         select_seconds = 0.0
         for _ in range(available):
-            if instrument is not None:
+            if profiler is not None:
+                profiler.select_begin(self._ready_count)
+                t0 = perf_counter()
+                candidate = self._policy.select(now)
+                dt = perf_counter() - t0
+                select_seconds += dt
+                profiler.select_end(dt)
+            elif instrument is not None:
                 t0 = perf_counter()
                 candidate = self._policy.select(now)
                 select_seconds += perf_counter() - t0
@@ -703,7 +758,15 @@ class Simulator:
                 self.preemptions += 1
                 if instrument is not None:
                     instrument.on_preempt(txn, now)
-        if instrument is not None:
+        if profiler is not None:
+            t_emit = perf_counter()
+            if instrument is not None:
+                instrument.on_scheduling_point(
+                    now, self._ready_count, len(self._running), select_seconds
+                )
+            t_done = perf_counter()
+            profiler.point_end(select_seconds, t_emit - t_body, t_done - t_emit)
+        elif instrument is not None:
             instrument.on_scheduling_point(
                 now, self._ready_count, len(self._running), select_seconds
             )

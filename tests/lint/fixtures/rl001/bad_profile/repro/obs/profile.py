@@ -1,0 +1,15 @@
+"""RL001 bad fixture: unguarded ``perf_counter`` in the profile module."""
+
+from time import perf_counter
+
+__all__ = ["Profiler"]
+
+
+class Profiler:
+    def __init__(self) -> None:
+        self.enabled = False
+        self.total_s = 0.0
+
+    def sample(self) -> float:
+        t0 = perf_counter()
+        return perf_counter() - t0

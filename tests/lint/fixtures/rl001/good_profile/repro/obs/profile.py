@@ -1,0 +1,19 @@
+"""RL001 good fixture: ``perf_counter`` behind the ``enabled`` guard."""
+
+from time import perf_counter
+
+__all__ = ["Profiler"]
+
+
+class Profiler:
+    def __init__(self) -> None:
+        self.enabled = True
+        self.total_s = 0.0
+
+    def sample(self) -> float:
+        if self.enabled:
+            t0 = perf_counter()
+            delta = perf_counter() - t0
+            self.total_s += delta
+            return delta
+        return 0.0

@@ -63,6 +63,15 @@ class TestRL001:
     def test_guarded_perf_counter_in_engine_module_is_clean(self):
         assert findings_for("RL001", "good_engine") == []
 
+    def test_unguarded_perf_counter_in_profile_module(self):
+        findings = findings_for("RL001", "bad_profile")
+        assert len(findings) == 2  # two unguarded perf_counter reads
+        assert all("perf_counter" in f.message for f in findings)
+        assert any("enabled" in f.message for f in findings)
+
+    def test_enabled_guarded_perf_counter_in_profile_module_is_clean(self):
+        assert findings_for("RL001", "good_profile") == []
+
     def test_perf_counter_import_outside_engine_module(self, tmp_path):
         mod = tmp_path / "repro" / "sim" / "helper.py"
         mod.parent.mkdir(parents=True)

@@ -201,3 +201,61 @@ class TestFileRoundTrip:
         run = reconstruct_file(path)
         assert len(run) == 3
         assert run.get(2).overhead_time == pytest.approx(0.5)
+
+
+class TestSchedSamples:
+    def test_sched_records_collected_as_depth_samples(self):
+        events = [
+            header(n=1),
+            {"kind": "arrival", "t": 0.0, "txn": 1},
+            {"kind": "dispatch", "t": 0.0, "txn": 1, "overhead": 0.0},
+            {"kind": "sched", "t": 0.0, "ready": 0, "running": 1,
+             "select_s": 1e-6},
+            {"kind": "sched", "t": 1.0, "ready": 4, "running": 1,
+             "select_s": 3e-6},
+            {"kind": "completion", "t": 2.0, "txn": 1, "tardiness": 0.0},
+        ]
+        run = reconstruct(events)
+        assert run.sched_samples == ((0, 1e-6), (4, 3e-6))
+
+    def test_scenario_without_sched_records_yields_empty(self):
+        events = [e for e in SCENARIO if e["kind"] != "sched"]
+        assert reconstruct(events).sched_samples == ()
+
+    def test_depth_section_in_text_and_json_reports(self):
+        from repro.obs.analyze import (
+            attribute_all,
+            render_analysis_json,
+            render_analysis_text,
+        )
+
+        run = reconstruct(SCENARIO + [
+            {"kind": "sched", "t": 9.0, "ready": 4, "running": 0,
+             "select_s": 2e-6},
+        ])
+        blames = attribute_all(run)
+        text = render_analysis_text(run, blames)
+        assert "select cost by ready-queue depth" in text
+
+        import json
+
+        payload = json.loads(render_analysis_json(run, blames))
+        section = payload["select_by_depth"]
+        assert section is not None
+        assert {b["depth_range"][0] for b in section["buckets"]} == {0, 4}
+
+    def test_depth_section_absent_without_samples(self):
+        from repro.obs.analyze import (
+            attribute_all,
+            render_analysis_json,
+            render_analysis_text,
+        )
+
+        run = reconstruct([e for e in SCENARIO if e["kind"] != "sched"])
+        blames = attribute_all(run)
+        assert "queue depth" not in render_analysis_text(run, blames)
+
+        import json
+
+        payload = json.loads(render_analysis_json(run, blames))
+        assert payload["select_by_depth"] is None

@@ -61,6 +61,22 @@ def test_engine_source_satisfies_hot_path_rules():
     )
 
 
+def test_profile_module_satisfies_hot_path_rules():
+    """RL001 also covers repro.obs.profile: every ``perf_counter`` read
+    there must sit behind an ``enabled`` guard, so a disabled profiler
+    accumulates nothing."""
+    import repro.obs.profile as profile_mod
+
+    findings = check_file(
+        Path(profile_mod.__file__),
+        module="repro.obs.profile",
+        select=["RL001"],
+    )
+    assert findings == [], "\n".join(
+        f"{f.location}: {f.rule} {f.message}" for f in findings
+    )
+
+
 def test_perf_counter_untouched_when_disabled(monkeypatch):
     real = engine_mod.perf_counter
     calls = [0]

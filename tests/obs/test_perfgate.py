@@ -8,13 +8,22 @@ import pytest
 from repro.perfgate import DEFAULT_GATE, compare, load, main
 
 
-def snapshot(*, throughput=50_000.0, rss=1400.0, overhead=0.08):
+def snapshot(*, throughput=50_000.0, rss=1400.0, overhead=0.08, phase_mean=None):
+    policies = {
+        "edf": {"throughput_txns_per_s": throughput, "n": 1000},
+        "asets-star": {"throughput_txns_per_s": throughput * 0.8},
+    }
+    if phase_mean is not None:
+        # Schema-3 per-phase profile section (subset: what the gate reads).
+        policies["edf"]["profile"] = {
+            "phases": {
+                "select": {"count": 1000, "mean_s": phase_mean},
+                "dispatch": {"count": 1000, "mean_s": phase_mean / 2},
+            }
+        }
     return {
-        "schema": 2,
-        "policies": {
-            "edf": {"throughput_txns_per_s": throughput, "n": 1000},
-            "asets-star": {"throughput_txns_per_s": throughput * 0.8},
-        },
+        "schema": 2 if phase_mean is None else 3,
+        "policies": policies,
         "tiers": {
             "100000": {
                 "plain": {"wall_seconds": 5.0, "peak_rss_mb": rss},
@@ -93,6 +102,28 @@ class TestCompare:
         del base["gate"]
         report = compare(snapshot(), base)
         assert report.ok
+
+    def test_phase_parity_passes(self):
+        base = snapshot(phase_mean=2e-6)
+        report = compare(snapshot(phase_mean=2e-6), base)
+        assert report.ok
+        assert sum("phase[edf/" in c for c in report.checks) == 2
+
+    def test_synthetic_phase_regression_fails(self):
+        base = snapshot(phase_mean=2e-6)
+        tol = base["gate"]["phase_cost_growth_tolerance"]
+        bad = snapshot(phase_mean=2e-6 * (1 + tol) * 1.5)
+        report = compare(bad, base)
+        assert not report.ok
+        assert any("phase[edf/select]" in f for f in report.failures)
+        # Other checks (throughput, rss, overhead) still pass.
+        assert any("throughput[edf]" in c for c in report.checks)
+
+    def test_schema2_baseline_skips_phase_checks(self):
+        """A profile-less (schema 2) baseline gates nothing per-phase."""
+        report = compare(snapshot(phase_mean=2e-6), snapshot())
+        assert report.ok
+        assert not any("phase[" in c for c in report.checks)
 
 
 class TestCli:

