@@ -10,11 +10,16 @@ would show up here immediately).
 Besides the pytest-benchmark table, the module emits a machine-readable
 ``BENCH_engine.json`` at the repo root — per-policy throughput (txns/s),
 ``policy.select()`` wall-time percentiles from one instrumented run, and
-(schema 3) a full per-phase profile from one
+a full per-phase profile from one
 :class:`~repro.obs.profile.PhaseProfiler` run: per-phase/probe p50/p95
 and the fitted cost-vs-depth scaling exponents (docs/profiling.md) —
 so successive PRs leave a comparable perf trajectory (CI uploads the file
-as an artifact on every run).
+as an artifact on every run).  Schema 4 adds two gated tolerances on top
+of the schema-3 payload: ``depth_exponent_tolerance`` (an absolute
+ceiling per (policy, phase) scaling exponent — the check that catches an
+incremental structure quietly degenerating back into a linear scan) and
+``tier_wall_growth_tolerance`` (per-tier wall time, which is where the
+million-transaction run would feel it).
 
 The streaming-tier tests take the same snapshot at scale: for each tier
 in ``REPRO_BENCH_TIERS`` (default ``100000``; add ``1000000`` for the
@@ -75,6 +80,14 @@ GATE = {
     # loose enough for shared-CI noise on microsecond phases, tight
     # enough to catch a complexity-class slip in any single phase.
     "phase_cost_growth_tolerance": 3.0,
+    # Absolute ceiling on each (policy, phase) cost-vs-depth scaling
+    # exponent (schema 4).  Exponents are complexity classes, so the
+    # tolerance is additive, not relative: ~depth^0.1 drifting past
+    # ~depth^0.6 means an incremental structure fell back to scanning.
+    "depth_exponent_tolerance": 0.5,
+    # Per-tier plain/streaming wall time (schema 4): the 10^6 tier is
+    # where a quadratic slip becomes minutes, so gate it directly.
+    "tier_wall_growth_tolerance": 1.0,
 }
 
 #: policy name -> measurements, filled by the parametrized benchmark.
@@ -102,7 +115,7 @@ def bench_json_sink():
     if not _RESULTS and not _TIER_RESULTS:
         return
     payload = {
-        "schema": 3,
+        "schema": 4,
         "n_transactions": BENCH_N,
         "utilization": 0.9,
         "seed": 1,

@@ -89,7 +89,7 @@ class Transaction:
         "length_estimate",
         "submitted_deadline",
         "remaining",
-        "believed_remaining",
+        "scheduling_remaining",
         "state",
         "finish_time",
         "first_start_time",
@@ -138,10 +138,12 @@ class Transaction:
         #: extends it with backoff); :meth:`reset` restores this value.
         self.submitted_deadline = float(deadline)
         # Mutable simulation state.  ``remaining`` is ground truth (the
-        # engine's accounting); ``believed_remaining`` is what policies
-        # see through :attr:`scheduling_remaining`.
+        # engine's accounting); ``scheduling_remaining`` is the belief
+        # policies rank by.  The belief is the plain slot (it sits on
+        # every policy's hottest lines) and :attr:`believed_remaining`
+        # is the property alias kept for the engine-facing vocabulary.
         self.remaining = float(length)
-        self.believed_remaining = self.length_estimate
+        self.scheduling_remaining = self.length_estimate
         self.state = TransactionState.CREATED
         self.finish_time: float | None = None
         self.first_start_time: float | None = None
@@ -193,14 +195,21 @@ class Transaction:
     # Derived quantities (Definition 2 and the ASETS list predicates).
     # ------------------------------------------------------------------
     @property
-    def scheduling_remaining(self) -> float:
-        """The remaining time as the *scheduler* believes it.
+    def believed_remaining(self) -> float:
+        """Alias of :attr:`scheduling_remaining`, the scheduler's belief.
 
-        Policies rank by this; the engine executes by :attr:`remaining`.
-        Identical to :attr:`remaining` when the length estimate is exact
-        (the default).
+        Policies rank by :attr:`scheduling_remaining` (a plain slot, as
+        it sits on every policy's hottest lines); the engine executes by
+        :attr:`remaining`.  The two coincide when the length estimate is
+        exact (the default).  This alias keeps the engine-facing
+        "belief" vocabulary (and stays the name lint rule RL008 bans
+        policies from touching, exactly like ``remaining``).
         """
-        return self.believed_remaining
+        return self.scheduling_remaining
+
+    @believed_remaining.setter
+    def believed_remaining(self, value: float) -> None:
+        self.scheduling_remaining = value
 
     def slack(self, at: float) -> float:
         """Return the slack :math:`s_i = d_i - (t + r_i)` at time ``at``.
@@ -209,7 +218,7 @@ class Transaction:
         deadline even if it starts immediately.  Computed from the
         scheduler's belief about the remaining time.
         """
-        return self.deadline - (at + self.believed_remaining)
+        return self.deadline - (at + self.scheduling_remaining)
 
     def is_past_deadline(self, at: float) -> bool:
         """True iff the transaction cannot meet its deadline from ``at``.
@@ -217,16 +226,16 @@ class Transaction:
         This is the SRPT-List membership test of Definition 7:
         :math:`t + r_i > d_i`, judged on the believed remaining time.
         """
-        return at + self.believed_remaining > self.deadline
+        return at + self.scheduling_remaining > self.deadline
 
     def latest_start_time(self) -> float:
         """Latest time the transaction can start and still meet its deadline.
 
-        While a transaction waits (``believed_remaining`` frozen), it
+        While a transaction waits (``scheduling_remaining`` frozen), it
         belongs to the EDF-List exactly until the clock passes this value
         — the policies use it as a static migration threshold.
         """
-        return self.deadline - self.believed_remaining
+        return self.deadline - self.scheduling_remaining
 
     def tardiness(self) -> float:
         """Return the tardiness :math:`t_i = \\max(0, f_i - d_i)`.
@@ -324,10 +333,10 @@ class Transaction:
         self.remaining = max(0.0, self.remaining - amount)
         self.attempt_served += amount
         if self.remaining <= 0.0:
-            self.believed_remaining = 0.0
+            self.scheduling_remaining = 0.0
         else:
-            self.believed_remaining = max(
-                self._MIN_BELIEF, self.believed_remaining - amount
+            self.scheduling_remaining = max(
+                self._MIN_BELIEF, self.scheduling_remaining - amount
             )
 
     def inflate(self, extra: float) -> None:
@@ -351,7 +360,7 @@ class Transaction:
                 "time units of work left"
             )
         self.remaining = 0.0
-        self.believed_remaining = 0.0
+        self.scheduling_remaining = 0.0
         self.state = TransactionState.COMPLETED
         self.finish_time = now
 
@@ -374,7 +383,7 @@ class Transaction:
         """
         if full:
             self.remaining = self.length
-            self.believed_remaining = self.length_estimate
+            self.scheduling_remaining = self.length_estimate
         self.attempt_served = 0.0
 
     def resubmit(self, now: float, deadline: float) -> None:
@@ -408,7 +417,7 @@ class Transaction:
         """
         self.deadline = self.submitted_deadline
         self.remaining = self.length
-        self.believed_remaining = self.length_estimate
+        self.scheduling_remaining = self.length_estimate
         self.state = TransactionState.CREATED
         self.finish_time = None
         self.first_start_time = None

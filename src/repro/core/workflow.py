@@ -28,6 +28,17 @@ from repro.errors import InvalidWorkflowError
 
 __all__ = ["Workflow", "RepresentativeView"]
 
+# Hoisted state constants: enum attribute lookups are measurable in
+# _refresh, which runs at every invalidation of every touched workflow.
+_CREATED = TransactionState.CREATED
+_COMPLETED = TransactionState.COMPLETED
+_ABORTED = TransactionState.ABORTED
+_SHED = TransactionState.SHED
+_WAITING = TransactionState.WAITING
+_READY = TransactionState.READY
+_RUNNING = TransactionState.RUNNING
+_INF = float("inf")
+
 
 class RepresentativeView:
     """Snapshot of a workflow's representative transaction (Definition 9).
@@ -105,7 +116,21 @@ class Workflow:
         this is validated at construction time.
     """
 
-    __slots__ = ("wf_id", "root_id", "_members", "_order", "_dirty", "_head", "_rep")
+    __slots__ = (
+        "wf_id",
+        "root_id",
+        "_members",
+        "_order",
+        "_member_seq",
+        "_dirty",
+        "_rep",
+        "has_pending",
+        "rep_deadline",
+        "rep_scheduling_remaining",
+        "rep_weight",
+        "rep_true_remaining",
+        "head_txn",
+    )
 
     def __init__(
         self, wf_id: int, root_id: int, members: Mapping[int, Transaction]
@@ -125,9 +150,25 @@ class Workflow:
         self.root_id = root_id
         self._members = dict(members)
         self._order = self._topological_order()
+        # Members as objects in topological order: the refresh loop runs
+        # at every invalidation of every touched workflow, and the
+        # id -> Transaction dict lookups are measurable there.
+        self._member_seq = tuple(self._members[tid] for tid in self._order)
         self._dirty = True
-        self._head: Transaction | None = None
         self._rep: RepresentativeView | None = None
+        # Plain-slot aggregate mirror of the representative view, valid
+        # after refresh() while has_pending is True.  The incremental
+        # ASETS* hot path reads these directly — no snapshot allocation
+        # per touched workflow per scheduling point.  rep_true_remaining
+        # is the engine-truth minimum, swept lazily at view build (see
+        # representative()); policies must keep ranking by
+        # rep_scheduling_remaining (the believed value, RL008).
+        self.has_pending = False
+        self.rep_deadline = _INF
+        self.rep_scheduling_remaining = _INF
+        self.rep_weight = -_INF
+        self.rep_true_remaining = _INF
+        self.head_txn: Transaction | None = None
 
     def _topological_order(self) -> tuple[int, ...]:
         """Return member ids in a dependency-respecting order.
@@ -180,8 +221,95 @@ class Workflow:
         return len(self._members)
 
     def invalidate(self) -> None:
-        """Mark cached head/representative stale (member state changed)."""
+        """Mark cached head/representative stale (member state changed).
+
+        The full re-sweep is only *required* for changes that can remove
+        a member from the pending set or worsen its contribution —
+        completion, abort, shed, retry.  The monotone changes (a member
+        arriving, a believed time shrinking) have O(1) targeted updates
+        below; :meth:`~repro.core.workflow_set.WorkflowSet.notify_changed`
+        routes by event kind.
+        """
         self._dirty = True
+
+    def note_arrival(self, txn: Transaction) -> None:
+        """O(1) aggregate update for a member entering the pending set.
+
+        A new pending member can only *improve* the min/max aggregates,
+        never remove a contribution, so merging its fields is exactly
+        what the full sweep would recompute.  No-op (sweep pending) when
+        the workflow is already dirty.
+        """
+        if self._dirty:
+            return
+        self._rep = None
+        deadline = txn.deadline
+        believed = txn.scheduling_remaining
+        state = txn.state
+        if not self.has_pending:
+            self.has_pending = True
+            self.rep_deadline = deadline
+            self.rep_scheduling_remaining = believed
+            self.rep_weight = txn.weight
+            self.head_txn = (
+                txn if state is _READY or state is _RUNNING else None
+            )
+            return
+        if deadline < self.rep_deadline:
+            self.rep_deadline = deadline
+        if believed < self.rep_scheduling_remaining:
+            self.rep_scheduling_remaining = believed
+        if txn.weight > self.rep_weight:
+            self.rep_weight = txn.weight
+        if state is _READY or state is _RUNNING:
+            head = self.head_txn
+            if head is None or (deadline, believed, txn.txn_id) < (
+                head.deadline,
+                head.scheduling_remaining,
+                head.txn_id,
+            ):
+                self.head_txn = txn
+
+    def note_shrunk(self, txn: Transaction) -> None:
+        """O(1) aggregate update for a member whose believed time shrank.
+
+        Charging a running member only ever *lowers* its believed
+        remaining time (and its true remaining), so the believed min can
+        be merged in place and the head choice can only swing toward the
+        charged member.  Deadline and weight are untouched by a charge.
+        No-op (sweep pending) when the workflow is already dirty.
+        """
+        if self._dirty:
+            return
+        if not self.has_pending:
+            # A charged member is pending by definition; a clean
+            # no-pending snapshot means the caller raced a lifecycle
+            # change — fall back to the sweep.
+            self._dirty = True
+            return
+        self._rep = None
+        believed = txn.scheduling_remaining
+        if believed < self.rep_scheduling_remaining:
+            self.rep_scheduling_remaining = believed
+        state = txn.state
+        if state is _READY or state is _RUNNING:
+            head = self.head_txn
+            if head is None or (txn.deadline, believed, txn.txn_id) < (
+                head.deadline,
+                head.scheduling_remaining,
+                head.txn_id,
+            ):
+                self.head_txn = txn
+
+    def note_truth_changed(self) -> None:
+        """Drop the cached representative view (true remaining moved).
+
+        A stall inflates the engine-truth remaining time without touching
+        any believed value, deadline, weight or state: the slot
+        aggregates stay exact, only the lazily built snapshot (which
+        carries ``remaining``) must be rebuilt.
+        """
+        self._rep = None
 
     def pending_members(self) -> list[Transaction]:
         """Members that have been submitted but not finished.
@@ -226,8 +354,9 @@ class Workflow:
         workflow cannot run right now (either everything completed or the
         runnable member has not arrived yet).
         """
-        self._refresh()
-        return self._head
+        if self._dirty:
+            self._refresh()
+        return self.head_txn
 
     def representative(self) -> RepresentativeView | None:
         """Return the representative transaction (Definition 9), or ``None``.
@@ -235,39 +364,112 @@ class Workflow:
         Aggregates over the *pending* (submitted, not completed) members:
         minimum deadline, minimum remaining processing time, maximum
         weight.  ``None`` when no member is pending.
+
+        The snapshot object is built lazily from the plain-slot
+        aggregates and cached until the next invalidation, so callers
+        that only need the raw numbers (the incremental ASETS* heaps)
+        can read the ``rep_*`` slots without paying for an allocation.
         """
-        self._refresh()
-        return self._rep
+        if self._dirty:
+            self._refresh()
+        if not self.has_pending:
+            return None
+        rep = self._rep
+        if rep is None:
+            # The engine-truth minimum is swept here, not in _refresh:
+            # no policy may rank by it (RL008), so the believed-value
+            # hot path never pays for it — only view consumers
+            # (reference scan, introspection, analysis) do, and the
+            # result is cached until the next change notification.
+            r_min = _INF
+            for txn in self._member_seq:
+                state = txn.state
+                if (
+                    state is _READY
+                    or state is _RUNNING
+                    or state is _WAITING
+                ):
+                    if txn.remaining < r_min:
+                        r_min = txn.remaining
+            self.rep_true_remaining = r_min
+            rep = self._rep = RepresentativeView(
+                deadline=self.rep_deadline,
+                remaining=r_min,
+                weight=self.rep_weight,
+                scheduling_remaining=self.rep_scheduling_remaining,
+            )
+        return rep
+
+    def peek(self) -> tuple[RepresentativeView | None, Transaction | None]:
+        """Representative and head in one call (one cache check).
+
+        Fusing the two accessors guarantees the pair is read from the
+        *same* refresh — a sort or decision can never pair one refresh's
+        representative with another's head.
+        """
+        if self._dirty:
+            self._refresh()
+        if not self.has_pending:
+            return None, None
+        return self.representative(), self.head_txn
+
+    def refresh(self) -> None:
+        """Recompute the ``rep_*`` / ``head_txn`` slots if invalidated.
+
+        The allocation-free companion to :meth:`peek` for hot paths that
+        read the slot aggregates directly.
+        """
+        if self._dirty:
+            self._refresh()
 
     def _refresh(self) -> None:
-        if not self._dirty:
-            return
-        pending = self.pending_members()
-        if not pending:
-            self._head = None
-            self._rep = None
-            self._dirty = False
-            return
-        self._rep = RepresentativeView(
-            deadline=min(txn.deadline for txn in pending),
-            remaining=min(txn.remaining for txn in pending),
-            weight=max(txn.weight for txn in pending),
-            scheduling_remaining=min(
-                txn.scheduling_remaining for txn in pending
-            ),
-        )
-        ready = [
-            txn
-            for txn in pending
-            if txn.state in (TransactionState.READY, TransactionState.RUNNING)
-        ]
-        if ready:
-            self._head = min(
-                ready, key=lambda txn: (txn.deadline, txn.scheduling_remaining, txn.txn_id)
-            )
-        else:
-            self._head = None
+        # One fused pass over the members replaces the previous four
+        # min/max generator sweeps plus two list builds — this runs at
+        # every invalidation of every touched workflow, squarely on the
+        # engine's hot path.  Aggregates and head pick are identical to
+        # the multi-pass version (same member order, same tie-breaks).
+        d_min = b_min = _INF
+        w_max = -_INF
+        pending = False
+        head: Transaction | None = None
+        head_key: tuple[float, float, int] | None = None
+        for txn in self._member_seq:
+            state = txn.state
+            # Three-way dispatch, runnable states first: READY/RUNNING
+            # members are both aggregate contributors and head
+            # candidates, WAITING members contribute aggregates only,
+            # everything else (CREATED and the terminal states) is
+            # invisible to the scheduler.  The engine-truth remaining
+            # minimum is *not* swept here — see representative().
+            if state is _READY or state is _RUNNING:
+                deadline = txn.deadline
+                believed = txn.scheduling_remaining
+                key = (deadline, believed, txn.txn_id)
+                if head_key is None or key < head_key:
+                    head, head_key = txn, key
+            elif state is _WAITING:
+                deadline = txn.deadline
+                believed = txn.scheduling_remaining
+            else:
+                continue
+            pending = True
+            if deadline < d_min:
+                d_min = deadline
+            if believed < b_min:
+                b_min = believed
+            if txn.weight > w_max:
+                w_max = txn.weight
         self._dirty = False
+        self._rep = None
+        if not pending:
+            self.has_pending = False
+            self.head_txn = None
+            return
+        self.has_pending = True
+        self.rep_deadline = d_min
+        self.rep_scheduling_remaining = b_min
+        self.rep_weight = w_max
+        self.head_txn = head
 
     def __repr__(self) -> str:
         return (

@@ -103,6 +103,16 @@ class WorkflowSet:
         """All workflows that transaction ``txn_id`` belongs to."""
         return list(self._by_member[txn_id])
 
+    def member_workflows(self, txn_id: int) -> list[Workflow]:
+        """No-copy variant of :meth:`workflows_of` for per-event hooks.
+
+        Returns the internal index list — callers iterate it, they must
+        not mutate it.  The defensive copy in :meth:`workflows_of` is
+        measurable when a policy touches workflows on every lifecycle
+        event of every transaction.
+        """
+        return self._by_member[txn_id]
+
     def workflow_count_of(self, txn_id: int) -> int:
         """Number of workflows containing ``txn_id`` (Table I's W bound)."""
         return len(self._by_member[txn_id])
@@ -110,16 +120,45 @@ class WorkflowSet:
     # ------------------------------------------------------------------
     # Simulation hooks.
     # ------------------------------------------------------------------
-    def notify_changed(self, txn_id: int) -> None:
+    def notify_changed(self, txn_id: int, kind: str = "full") -> None:
         """Invalidate every workflow touched by a state change of ``txn_id``.
 
         A completion can make *dependents* of ``txn_id`` ready; dependents
         live in their own workflows, but by the closure property any
         workflow containing a dependent also contains ``txn_id``, so
         invalidating the workflows of ``txn_id`` covers them all.
+
+        ``kind`` routes the monotone changes to O(1) targeted updates on
+        the workflow instead of a full member re-sweep at next access:
+
+        * ``"arrived"`` — ``txn_id`` just entered the pending set (it can
+          only improve the min/max aggregates);
+        * ``"shrunk"`` — ``txn_id``'s believed remaining time was charged
+          down (the believed min merges in place, the head can only swing
+          toward the charged member);
+        * ``"truth"`` — only engine-truth remaining moved (a stall); the
+          believed aggregates are untouched and just the cached
+          representative snapshot is dropped;
+        * ``"full"`` — everything else (completion, abort, shed, retry):
+          a member left the pending set or worsened, so only a re-sweep
+          can recompute the mins.
         """
-        for wf in self._by_member[txn_id]:
-            wf.invalidate()
+        if kind == "full":
+            for wf in self._by_member[txn_id]:
+                wf.invalidate()
+        elif kind == "shrunk":
+            txn = self._txns[txn_id]
+            for wf in self._by_member[txn_id]:
+                wf.note_shrunk(txn)
+        elif kind == "arrived":
+            txn = self._txns[txn_id]
+            for wf in self._by_member[txn_id]:
+                wf.note_arrival(txn)
+        elif kind == "truth":
+            for wf in self._by_member[txn_id]:
+                wf.note_truth_changed()
+        else:
+            raise ValueError(f"unknown change kind {kind!r}")
 
     def active_workflows(self) -> list[Workflow]:
         """Workflows with at least one pending (submitted) member."""

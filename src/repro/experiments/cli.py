@@ -213,6 +213,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="policy registry name for 'run'/'profile' (default asets)",
     )
     group.add_argument(
+        "--scan-select",
+        action="store_true",
+        help="asets-star only: select by the reference full-list rescan "
+        "instead of the incremental heaps (decision-identical; for "
+        "debugging the incremental structures and measuring their win)",
+    )
+    group.add_argument(
         "--utilization",
         type=float,
         default=DEFAULT_PROBE_UTILIZATION,
@@ -320,6 +327,13 @@ def build_parser() -> argparse.ArgumentParser:
         f"{', '.join(_FLAME_FORMATS)} (default speedscope)",
     )
     return parser
+
+
+def _policy_spec(args: argparse.Namespace) -> PolicySpec:
+    """The run/profile target's policy, honouring ``--scan-select``."""
+    if getattr(args, "scan_select", False):
+        return PolicySpec.of(args.policy, incremental=False)
+    return PolicySpec.of(args.policy)
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
@@ -453,7 +467,7 @@ def _run_streaming(args: argparse.Namespace, fault_spec=None) -> int:
         if interval is None:
             result, recorder = run_policy_streaming(
                 workload,
-                PolicySpec.of(args.policy),
+                _policy_spec(args),
                 window=args.window,
                 sink=sink,
                 sample=args.events_sample,
@@ -476,7 +490,7 @@ def _run_streaming(args: argparse.Namespace, fault_spec=None) -> int:
             )
             result = Simulator(
                 workload.transactions,
-                PolicySpec.of(args.policy).make(),
+                _policy_spec(args).make(),
                 workflow_set=workload.workflow_set,
                 instrument=MultiInstrument([recorder, Heartbeat(interval)]),
                 faults=plan,
@@ -530,13 +544,13 @@ def _run_profile(args: argparse.Namespace, fault_spec=None) -> int:
     warmup = generate(
         WorkloadSpec(n_transactions=100, utilization=args.utilization), seed=1
     )
-    run_policy_on(warmup, PolicySpec.of(args.policy), profiler=PhaseProfiler())
+    run_policy_on(warmup, _policy_spec(args), profiler=PhaseProfiler())
 
     spec = WorkloadSpec(n_transactions=args.n, utilization=args.utilization)
     workload = generate(spec, seed=args.seed)
     profiler = PhaseProfiler()
     result = run_policy_on(
-        workload, PolicySpec.of(args.policy), faults=fault_spec, profiler=profiler
+        workload, _policy_spec(args), faults=fault_spec, profiler=profiler
     )
     snapshot = profiler.snapshot(args.policy)
     print(snapshot.render())
@@ -594,7 +608,7 @@ def _run_instrumented(args: argparse.Namespace, fault_spec=None) -> int:
         profiler = PhaseProfiler()
     result = run_policy_on(
         workload,
-        PolicySpec.of(args.policy),
+        _policy_spec(args),
         instrument=instrument,
         faults=fault_spec,
         profiler=profiler,
@@ -745,6 +759,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--profile-out applies to the 'run' and 'profile' targets")
     if args.flame_out and args.target != "profile":
         parser.error("--flame-out/--flame-format apply to the 'profile' target")
+    if args.scan_select and args.policy != "asets-star":
+        parser.error(
+            "--scan-select applies only to --policy asets-star "
+            "(the incremental/scan split exists only there)"
+        )
     if args.target == "analyze":
         return _run_analyze(args)
     if args.target == "diff":

@@ -23,12 +23,23 @@ file, not a CI-side knob):
   ``profile`` section must not exceed
   ``baseline * (1 + phase_cost_growth_tolerance)`` — so a regression in
   one phase (say the ASETS* scan) fails the gate even if the end-to-end
-  throughput check absorbs it.
+  throughput check absorbs it;
+* (schema 4) per-policy, per-phase cost-vs-depth scaling exponents from
+  ``profile.depth_scaling`` must not exceed
+  ``baseline_exponent + depth_exponent_tolerance`` — an *absolute*
+  ceiling, because exponents are complexity classes, not wall times: an
+  incremental select drifting from ~depth^0.1 toward ~depth^1 is a
+  data-structure regression even while small depths keep it fast;
+* (schema 4) per-tier plain and streaming wall time must not exceed
+  ``baseline * (1 + tier_wall_growth_tolerance)`` — the
+  million-transaction tier is where a complexity slip actually hurts.
 
 Only keys present in **both** snapshots are compared, so a baseline
-regenerated with more tiers than CI measures does not fail the gate, and
+regenerated with more tiers than CI measures does not fail the gate,
 a schema-2 baseline without ``profile`` sections simply skips the
-per-phase checks.
+per-phase checks, and a schema-2/3 baseline (or a phase whose depth fit
+had too few occupied buckets, ``exponent: null``) skips the exponent
+checks.
 """
 
 from __future__ import annotations
@@ -51,6 +62,8 @@ DEFAULT_GATE = {
     "rss_growth_tolerance": 0.5,
     "streaming_overhead_max": 0.5,
     "phase_cost_growth_tolerance": 3.0,
+    "depth_exponent_tolerance": 0.5,
+    "tier_wall_growth_tolerance": 1.0,
 }
 
 
@@ -131,7 +144,32 @@ def compare(current: dict, baseline: dict) -> GateReport:
                 report.checks if cur_mean <= ceiling else report.failures
             ).append(line)
 
+    exp_tol = _gate_value(gate, "depth_exponent_tolerance")
+    for name in sorted(set(base_policies) & set(cur_policies)):
+        base_scaling = (base_policies[name].get("profile") or {}).get(
+            "depth_scaling"
+        ) or {}
+        cur_scaling = (cur_policies[name].get("profile") or {}).get(
+            "depth_scaling"
+        ) or {}
+        for phase in sorted(set(base_scaling) & set(cur_scaling)):
+            base_exp = base_scaling[phase].get("exponent")
+            cur_exp = cur_scaling[phase].get("exponent")
+            if base_exp is None or cur_exp is None:
+                continue  # too few occupied depth buckets for a fit
+            ceiling = float(base_exp) + exp_tol
+            line = (
+                f"depth-exponent[{name}/{phase}]: ~depth^{cur_exp:.2f} "
+                f"(baseline ~depth^{float(base_exp):.2f}, "
+                f"ceiling ~depth^{ceiling:.2f})"
+            )
+            (
+                report.checks if float(cur_exp) <= ceiling
+                else report.failures
+            ).append(line)
+
     rss_tol = _gate_value(gate, "rss_growth_tolerance")
+    wall_tol = _gate_value(gate, "tier_wall_growth_tolerance")
     overhead_max = _gate_value(gate, "streaming_overhead_max")
     base_tiers = baseline.get("tiers") or {}
     cur_tiers = current.get("tiers") or {}
@@ -150,6 +188,23 @@ def compare(current: dict, baseline: dict) -> GateReport:
             )
             (
                 report.checks if cur_rss <= ceiling else report.failures
+            ).append(line)
+        for mode in ("plain", "streaming"):
+            base_wall = float(
+                base_tiers[tier].get(mode, {}).get("wall_seconds", 0.0)
+            )
+            cur_wall = float(
+                cur_tiers[tier].get(mode, {}).get("wall_seconds", 0.0)
+            )
+            if base_wall <= 0 or cur_wall <= 0:
+                continue
+            ceiling = base_wall * (1.0 + wall_tol)
+            line = (
+                f"wall[n={tier}/{mode}]: {cur_wall:.2f}s "
+                f"(baseline {base_wall:.2f}s, ceiling {ceiling:.2f}s)"
+            )
+            (
+                report.checks if cur_wall <= ceiling else report.failures
             ).append(line)
         overhead = float(
             cur_tiers[tier].get("streaming_overhead_ratio", 0.0)

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.transaction import Transaction, TransactionState
 from repro.policies.base import Scheduler
+from repro.policies.ordering import hdf_rank
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.profile import Probe
@@ -132,7 +133,9 @@ class ASETS(Scheduler):
 
     def _srpt_key(self, txn: Transaction) -> float:
         if self.weighted:
-            return -(txn.weight / txn.scheduling_remaining)
+            # Shared density rank: guards the believed-zero-remaining
+            # case (infinite density -> -inf, front of the list).
+            return hdf_rank(txn.weight, txn.scheduling_remaining)
         return txn.scheduling_remaining
 
     # ------------------------------------------------------------------

@@ -11,7 +11,9 @@ A workflow :math:`K_A` sits on the EDF-List iff its representative can
 still meet its deadline, :math:`t + r_{rep,A} \\le d_{rep,A}`; otherwise it
 sits on the HDF-List (which reduces to an SRPT-List under equal weights).
 The EDF-List is ordered by :math:`d_{rep}`, the HDF-List by density
-:math:`w_{rep}/r_{rep}`.
+:math:`w_{rep}/r_{rep}`.  Membership, both orderings and the density
+guard are defined once, in :mod:`repro.policies.ordering`, and shared by
+every code path below (reference scan, incremental heaps, introspection).
 
 The winner is decided by weighted negative impact (Figure 7):
 
@@ -33,24 +35,90 @@ engine's ground-truth ``remaining`` here would be an oracle leak — with
 inexact estimates the policy would rank by information the system cannot
 have (§II-A) — and is forbidden by lint rule RL008.
 
-Implementation note: workflow membership of the two lists depends on the
-clock and representatives change whenever any member arrives, completes or
-runs, so instead of heaps the policy scans the set of *active* workflows
-(those with a pending member) at each scheduling point, using the cached
-head/representative values maintained by
-:class:`~repro.core.workflow_set.WorkflowSet`.  Workflows are pruned from
-the active set as they complete, and workloads keep chains short
-(Table I: length <= 10), so the scan is cheap in practice.
+Incremental selection
+---------------------
+Historically ``select`` re-scanned every active workflow at each
+scheduling point — O(active), and the dominant engine cost at scale
+(BENCH_engine.json).  The default implementation now maintains the two
+lists *across* points as lazy-deletion heaps over workflows, dropping
+select to O(log n) amortized:
+
+* ``_edf`` holds ``(d_rep, wf_id, serial, wf)``, ``_hdf`` holds
+  ``(hdf_rank, wf_id, serial, wf)``; a third heap ``_alarm`` holds the
+  feasibility flip threshold ``d_rep - r_rep`` for every EDF entry.
+* ``serial`` is a per-workflow integer bumped every time the workflow's
+  entries are replaced; an entry whose serial no longer matches
+  ``_serial[wf_id]`` is stale and discarded when it surfaces.  Integer
+  serials make staleness a single ``!=`` on ints — no float-key
+  re-derivation, no float equality.
+* **Targeted invalidation**: every lifecycle hook (arrival, ready,
+  requeue, completion, fault — the last covering abort, retry and shed)
+  marks the transaction's workflows *dirty* rather than re-keying them
+  eagerly.  The engine fires hooks before
+  :meth:`~repro.core.workflow_set.WorkflowSet.notify_changed`, so an
+  eager re-key would cache a stale representative; deferring the work to
+  the start of the next ``select`` both fixes that and batches all
+  same-timestamp events into one re-key per touched workflow.
+* **Weak vs. strong touches**: a requeue (the engine suspends every
+  running transaction at every scheduling point) only *shrinks* one
+  member's believed remaining time.  For a workflow currently placed on
+  the EDF side that moves neither its key (the rep deadline) nor its
+  validity — the drain skips it entirely, which is what makes the
+  steady state O(log n) instead of O(members) per point.  The same
+  touch on an HDF-side or unplaced workflow is promoted to a full
+  re-key (its density key moved, and less remaining work can even flip
+  it back to feasible).  All other hooks are strong.
+* **Lazy migration**: while a workflow waits, its believed remaining
+  time is frozen, so it leaves the EDF-List exactly when the clock
+  passes ``d_rep - r_rep``.  ``_migrate_expired`` pops alarms strictly
+  below ``now`` and moves the workflow to the HDF side.  The threshold
+  is a *wake-up*, never the membership test itself: membership is
+  re-judged by :func:`~repro.policies.ordering.feasible_at`, and an
+  alarm that fires a float-ulp early re-arms at ``now`` (the strict
+  ``< now`` pop keeps that from looping within a point).  The EDF top is
+  also re-checked at peek time, so an ulp-late alarm cannot leak an
+  infeasible workflow into the EDF decision.  HDF entries need no
+  re-check: with frozen values, infeasible stays infeasible as the
+  clock advances.
+* A workflow whose head is not READY when an entry surfaces (it was
+  dispatched this point, or its ready member is blocked) is simply
+  popped: the head's next lifecycle hook — requeue, completion or
+  fault; every state change has one — re-places the workflow.
+
+``ASETSStar(incremental=False)`` retains the original full-scan
+implementation as the reference: both paths share the predicate, keys
+and decision rule, and the property suite asserts they are
+decision-identical across random workloads.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
+
 from repro.core.transaction import Transaction, TransactionState
-from repro.core.workflow import Workflow
+from repro.core.workflow import RepresentativeView, Workflow
 from repro.errors import SchedulingError
 from repro.policies.base import Scheduler
+from repro.policies.ordering import (
+    edf_key,
+    feasible_at,
+    hdf_key,
+    hdf_rank,
+    latest_start,
+)
 
 __all__ = ["ASETSStar"]
+
+_READY = TransactionState.READY
+
+#: Inlined ``ordering.hdf_rank`` guard value for the flat hot path.
+_NEG_INF = float("-inf")
+
+#: Everything a decision needs about one list top, looked up exactly once.
+_Entry = tuple[Workflow, RepresentativeView, Transaction]
+
+#: Heap entry: (sort key, wf_id tie-break, validity serial, workflow).
+_HeapEntry = tuple[float, int, int, Workflow]
 
 
 class ASETSStar(Scheduler):
@@ -59,9 +127,75 @@ class ASETSStar(Scheduler):
     name = "asets-star"
     requires_workflows = True
 
-    def __init__(self) -> None:
+    def __init__(self, incremental: bool = True) -> None:
         super().__init__()
+        self._incremental = incremental
         self._active: dict[int, Workflow] = {}
+        # Incremental-mode state (unused when incremental=False).
+        #
+        # _dirty: structural touches (arrival/ready/completion/fault) —
+        #   membership or deadlines may have changed; full re-key.
+        # _dirty_weak: requeue touches — only a member's believed
+        #   remaining shrank.  That cannot move an EDF key (the rep
+        #   deadline) and can only flip feasibility toward infeasible,
+        #   which the EDF top re-judges at peek; only HDF density keys
+        #   need re-keying.  Most scheduling points produce exactly one
+        #   weak touch (the suspended transaction), so this distinction
+        #   is the difference between O(log n) and O(members) per point.
+        # _serial: per-workflow entry validity counter.
+        # _side: current live placement, ``None`` when no valid entries
+        #   are in any heap.  ``(True, deadline, alarm_threshold)`` for
+        #   the EDF side, ``(False, rank)`` for the HDF side.  Carrying
+        #   the live keys lets a re-key *keep* the existing entries when
+        #   the recomputed key is unchanged (no serial bump, no pushes,
+        #   no stale entries to pop later) — the common case for
+        #   arrivals of later members and completions of non-critical
+        #   ones.
+        self._dirty: dict[int, Workflow] = {}
+        self._dirty_weak: dict[int, Workflow] = {}
+        # Dense arrays indexed by wf_id (WorkflowSet ids are 0..n-1,
+        # sized at bind time): a serial bump orphans heap entries, a
+        # ``None`` side means no live placement.
+        self._serial: list[int] = []
+        self._side: list[tuple | None] = []
+        self._edf: list[_HeapEntry] = []
+        self._hdf: list[_HeapEntry] = []
+        self._alarm: list[_HeapEntry] = []
+        # One-attribute-read bundle for the flat select path: a single
+        # unpack replaces eight attribute loads per scheduling point.
+        # Rebuilt in bind(), which resizes the dense arrays.
+        self._hot = (
+            self._dirty,
+            self._dirty_weak,
+            self._serial,
+            self._side,
+            self._edf,
+            self._hdf,
+            self._alarm,
+            self._active,
+        )
+
+    def bind(self, transactions, workflow_set) -> None:  # type: ignore[no-untyped-def]
+        super().bind(transactions, workflow_set)
+        self._active.clear()
+        self._dirty.clear()
+        self._dirty_weak.clear()
+        n_workflows = 0 if workflow_set is None else len(workflow_set)
+        self._serial = [0] * n_workflows
+        self._side = [None] * n_workflows
+        self._edf.clear()
+        self._hdf.clear()
+        self._alarm.clear()
+        self._hot = (
+            self._dirty,
+            self._dirty_weak,
+            self._serial,
+            self._side,
+            self._edf,
+            self._hdf,
+            self._alarm,
+            self._active,
+        )
 
     # ------------------------------------------------------------------
     # Bookkeeping: track workflows that have at least one pending member.
@@ -69,48 +203,308 @@ class ASETSStar(Scheduler):
     def on_arrival(self, txn: Transaction, now: float) -> None:
         if self._workflow_set is None:
             raise SchedulingError("ASETS* requires a workflow set")
-        for wf in self._workflow_set.workflows_of(txn.txn_id):
+        incremental = self._incremental
+        for wf in self._workflow_set.member_workflows(txn.txn_id):
             self._active[wf.wf_id] = wf
+            if incremental:
+                self._dirty[wf.wf_id] = wf
+
+    def _touch(self, txn: Transaction) -> None:
+        """Mark the transaction's workflows for re-keying at next select.
+
+        Deferred on purpose: the engine calls policy hooks *before*
+        invalidating the workflow caches, so re-keying here would read a
+        stale representative.  The dirty set drains at select() start,
+        after all same-timestamp events have been applied — one re-key
+        per touched workflow per scheduling point, however many of its
+        members changed state.
+        """
+        workflow_set = self._workflow_set
+        if workflow_set is None:
+            return
+        dirty = self._dirty
+        for wf in workflow_set.member_workflows(txn.txn_id):
+            dirty[wf.wf_id] = wf
 
     def on_ready(self, txn: Transaction, now: float) -> None:
-        # Readiness is visible through the workflow caches; nothing to do
-        # beyond the invalidation the simulator already performed.
-        pass
+        if self._incremental:
+            self._touch(txn)
 
     def on_requeue(self, txn: Transaction, now: float) -> None:
-        pass
+        # Weak touch: the believed remaining time was charged while the
+        # transaction ran, but workflow membership and deadlines are
+        # untouched — see the drain for what little this requires.
+        if self._incremental:
+            workflow_set = self._workflow_set
+            if workflow_set is None:
+                return
+            weak = self._dirty_weak
+            for wf in workflow_set.member_workflows(txn.txn_id):
+                weak[wf.wf_id] = wf
+
+    def on_completion(self, txn: Transaction, now: float) -> None:
+        if self._incremental:
+            self._touch(txn)
+
+    def on_fault(self, txn: Transaction, now: float) -> None:
+        # Abort (rollback resets the belief), retry scheduling and shed
+        # all change representative values outside the normal lifecycle.
+        if self._incremental:
+            self._touch(txn)
 
     # ------------------------------------------------------------------
     # Selection.
     # ------------------------------------------------------------------
     def select(self, now: float) -> Transaction | None:
         probe = self._probe
-        if probe is None:
-            best_edf, best_hdf = self._scan(now)
-        else:
-            with probe.span("scan"):
-                best_edf, best_hdf = self._scan(now)
-        if best_edf is None and best_hdf is None:
-            return None
-        if best_hdf is None:
-            return self._head_of(best_edf)
-        if best_edf is None:
-            return self._head_of(best_hdf)
-        if probe is None:
-            return self._decide(best_edf, best_hdf, now)
-        with probe.span("decide"):
-            return self._decide(best_edf, best_hdf, now)
+        if not self._incremental:
+            if probe is None:
+                top_edf, top_hdf = self._scan(now)
+            else:
+                with probe.span("scan"):
+                    top_edf, top_hdf = self._scan(now)
+        elif probe is None:
+            # Flat hot path: the probed branch below runs the same logic
+            # through the modular helpers (`_drain` etc.) so spans can
+            # bracket each stage; the profiling-neutrality test pins the
+            # two branches to identical decisions.  Predicates and keys
+            # are inlined from :mod:`repro.policies.ordering` — the
+            # shared definitions remain the spec, and the scan-identity
+            # property suite is what keeps this transcription honest.
+            (
+                strong,
+                weak,
+                serials,
+                side,
+                edf_heap,
+                hdf_heap,
+                alarms,
+                active,
+            ) = self._hot
+            push = heappush
+            pop = heappop
+            ready = _READY
 
-    def _scan(self, now: float) -> tuple[Workflow | None, Workflow | None]:
+            # Touch drain (see _drain): weak requeue touches on a live
+            # EDF placement need nothing at all.
+            if weak:
+                for wf_id, wf in weak.items():
+                    if wf_id not in strong:
+                        s = side[wf_id]
+                        if s is None or not s[0]:
+                            strong[wf_id] = wf
+                weak.clear()
+            if strong:
+                for wf_id, wf in strong.items():
+                    # Slot reads, not peek(): the aggregates are plain
+                    # floats on the workflow after refresh, so the hot
+                    # path never allocates a representative snapshot.
+                    if wf._dirty:
+                        wf._refresh()
+                    if not wf.has_pending:
+                        active.pop(wf_id, None)
+                        serials[wf_id] += 1
+                        side[wf_id] = None
+                        continue
+                    head = wf.head_txn
+                    if head is None or head.state is not ready:
+                        if side[wf_id] is not None:
+                            serials[wf_id] += 1
+                            side[wf_id] = None
+                        continue
+                    deadline = wf.rep_deadline
+                    remaining = wf.rep_scheduling_remaining
+                    s = side[wf_id]
+                    if now + remaining <= deadline:  # ordering.feasible_at
+                        thr = deadline - remaining  # ordering.latest_start
+                        if (
+                            s is not None
+                            and s[0]
+                            # repro-lint: disable=RL003 -- cached heap-key identity, not arithmetic
+                            and s[1] == deadline
+                            and thr >= s[2]
+                        ):
+                            continue  # live entries still correctly keyed
+                        serial = serials[wf_id] + 1
+                        serials[wf_id] = serial
+                        push(edf_heap, (deadline, wf_id, serial, wf))
+                        push(alarms, (thr, wf_id, serial, wf))
+                        side[wf_id] = (True, deadline, thr)
+                    else:
+                        rank = (  # ordering.hdf_rank
+                            _NEG_INF
+                            if remaining <= 0.0
+                            else -(wf.rep_weight / remaining)
+                        )
+                        if s is not None and not s[0] and s[1] == rank:
+                            continue
+                        serial = serials[wf_id] + 1
+                        serials[wf_id] = serial
+                        push(hdf_heap, (rank, wf_id, serial, wf))
+                        side[wf_id] = (False, rank)
+                strong.clear()
+
+            # Feasibility-flip migration (see _migrate_expired).
+            while alarms and alarms[0][0] < now:
+                _, wf_id, serial, wf = pop(alarms)
+                if serials[wf_id] != serial:
+                    continue
+                if wf._dirty:
+                    wf._refresh()
+                if not wf.has_pending:
+                    active.pop(wf_id, None)
+                    serials[wf_id] += 1
+                    side[wf_id] = None
+                    continue
+                deadline = wf.rep_deadline
+                remaining = wf.rep_scheduling_remaining
+                if now + remaining <= deadline:
+                    thr = deadline - remaining
+                    if thr < now:
+                        thr = now
+                    push(alarms, (thr, wf_id, serial, wf))
+                    side[wf_id] = (True, deadline, thr)
+                    continue
+                serial += 1
+                serials[wf_id] = serial
+                head = wf.head_txn
+                if head is None or head.state is not ready:
+                    side[wf_id] = None
+                    continue
+                rank = (
+                    _NEG_INF
+                    if remaining <= 0.0
+                    else -(wf.rep_weight / remaining)
+                )
+                push(hdf_heap, (rank, wf_id, serial, wf))
+                side[wf_id] = (False, rank)
+
+            # EDF top (see _top_edf), feasibility re-judged at peek.
+            head_edf = None
+            edf_d = edf_b = edf_w = 0.0
+            while edf_heap:
+                _, wf_id, serial, wf = edf_heap[0]
+                if serials[wf_id] != serial:
+                    pop(edf_heap)
+                    continue
+                if wf._dirty:
+                    wf._refresh()
+                if not wf.has_pending:
+                    pop(edf_heap)
+                    active.pop(wf_id, None)
+                    serials[wf_id] += 1
+                    side[wf_id] = None
+                    continue
+                remaining = wf.rep_scheduling_remaining
+                if now + remaining > wf.rep_deadline:
+                    pop(edf_heap)
+                    serial += 1
+                    serials[wf_id] = serial
+                    head = wf.head_txn
+                    if head is not None and head.state is ready:
+                        rank = (
+                            _NEG_INF
+                            if remaining <= 0.0
+                            else -(wf.rep_weight / remaining)
+                        )
+                        push(hdf_heap, (rank, wf_id, serial, wf))
+                        side[wf_id] = (False, rank)
+                    else:
+                        side[wf_id] = None
+                    continue
+                head = wf.head_txn
+                if head is None or head.state is not ready:
+                    pop(edf_heap)
+                    serials[wf_id] = serial + 1
+                    side[wf_id] = None
+                    continue
+                head_edf = head
+                edf_d = wf.rep_deadline
+                edf_b = remaining
+                edf_w = wf.rep_weight
+                break
+
+            # HDF top (see _top_hdf), no feasibility re-check needed.
+            head_hdf = None
+            hdf_w = 0.0
+            while hdf_heap:
+                _, wf_id, serial, wf = hdf_heap[0]
+                if serials[wf_id] != serial:
+                    pop(hdf_heap)
+                    continue
+                if wf._dirty:
+                    wf._refresh()
+                if not wf.has_pending:
+                    pop(hdf_heap)
+                    active.pop(wf_id, None)
+                    serials[wf_id] += 1
+                    side[wf_id] = None
+                    continue
+                head = wf.head_txn
+                if head is None or head.state is not ready:
+                    pop(hdf_heap)
+                    serials[wf_id] = serial + 1
+                    side[wf_id] = None
+                    continue
+                head_hdf = head
+                hdf_w = wf.rep_weight
+                break
+
+            if head_hdf is None:
+                return head_edf
+            if head_edf is None:
+                return head_hdf
+            # Figure 7 decision, slack inlined (see _decide).
+            ni_edf = head_edf.scheduling_remaining * hdf_w
+            ni_hdf = (
+                head_hdf.scheduling_remaining - (edf_d - now - edf_b)
+            ) * edf_w
+            return head_edf if ni_edf < ni_hdf else head_hdf
+        else:
+            # One top-level span covering the whole incremental body
+            # (the attribution contract is over top-level spans), with
+            # nested spans carrying the per-stage breakdown.
+            with probe.span("incremental"):
+                with probe.span("touch"):
+                    if self._dirty or self._dirty_weak:
+                        self._drain(now)
+                with probe.span("migrate"):
+                    self._migrate_expired(now)
+                with probe.span("top-edf"):
+                    top_edf = self._top_edf(now)
+                with probe.span("top-hdf"):
+                    top_hdf = self._top_hdf()
+                if top_hdf is None:
+                    if top_edf is None:
+                        return None
+                    return top_edf[2]
+                if top_edf is None:
+                    return top_hdf[2]
+                with probe.span("decide"):
+                    return self._decide(top_edf, top_hdf, now)
+        if top_hdf is None:
+            if top_edf is None:
+                return None
+            return top_edf[2]
+        if top_edf is None:
+            return top_hdf[2]
+        if probe is None:
+            return self._decide(top_edf, top_hdf, now)
+        with probe.span("decide"):
+            return self._decide(top_edf, top_hdf, now)
+
+    # -- reference scan (incremental=False) ----------------------------
+    def _scan(self, now: float) -> tuple[_Entry | None, _Entry | None]:
         """One pass over the active set: top of the EDF- and HDF-lists.
 
         Also prunes workflows whose representative vanished (all members
         reached a terminal state) — the paper's lists only ever hold
-        pending workflows.
+        pending workflows.  Retained as the reference implementation the
+        incremental path is property-tested against.
         """
-        best_edf: Workflow | None = None
+        best_edf: _Entry | None = None
         best_edf_key: tuple[float, int] | None = None
-        best_hdf: Workflow | None = None
+        best_hdf: _Entry | None = None
         best_hdf_key: tuple[float, int] | None = None
         completed: list[int] = []
 
@@ -120,81 +514,282 @@ class ASETSStar(Scheduler):
                 completed.append(wf.wf_id)
                 continue
             head = wf.head()
-            if head is None or head.state is not TransactionState.READY:
+            if head is None or head.state is not _READY:
                 continue  # workflow cannot run right now
-            if now + rep.scheduling_remaining <= rep.deadline:
-                key = (rep.deadline, wf.wf_id)
+            if feasible_at(rep.deadline, rep.scheduling_remaining, now):
+                key = edf_key(rep.deadline, wf.wf_id)
                 if best_edf_key is None or key < best_edf_key:
-                    best_edf, best_edf_key = wf, key
+                    best_edf, best_edf_key = (wf, rep, head), key
             else:
-                key = (-(rep.weight / rep.scheduling_remaining), wf.wf_id)
+                key = hdf_key(rep.weight, rep.scheduling_remaining, wf.wf_id)
                 if best_hdf_key is None or key < best_hdf_key:
-                    best_hdf, best_hdf_key = wf, key
+                    best_hdf, best_hdf_key = (wf, rep, head), key
 
         for wf_id in completed:
             del self._active[wf_id]
         return best_edf, best_hdf
 
-    def _decide(self, wf_edf: Workflow, wf_hdf: Workflow, now: float) -> Transaction:
-        """Figure 7 lines 15-21: weighted negative-impact comparison."""
-        head_edf = self._head_of(wf_edf)
-        head_hdf = self._head_of(wf_hdf)
-        rep_edf = wf_edf.representative()
-        rep_hdf = wf_hdf.representative()
-        assert rep_edf is not None and rep_hdf is not None
+    # -- incremental structures ----------------------------------------
+    def _drain(self, now: float) -> None:
+        """Re-key every dirty workflow into the heaps (or out of them).
+
+        Weak (requeue) touches are resolved first: a workflow with a live
+        EDF entry needs *nothing* — the charged believed time cannot move
+        the rep deadline (the EDF key), a feasibility flip is re-judged
+        when the entry surfaces at the top, and its alarm threshold only
+        became conservative-early (``d - r`` grows as ``r`` shrinks), so
+        the wake-up re-arms itself with the fresh value.  A workflow with
+        a live HDF entry *is* promoted to a full re-key: its density key
+        moved, and the shrunken remaining time may even flip it back to
+        feasible.  A workflow with no live entries re-keys fully too.
+        """
+        strong = self._dirty
+        weak = self._dirty_weak
+        side = self._side
+        if weak:
+            for wf_id, wf in weak.items():
+                if wf_id not in strong:
+                    s = side[wf_id]
+                    if s is None or not s[0]:
+                        strong[wf_id] = wf
+            weak.clear()
+        serials = self._serial
+        active = self._active
+        edf_heap = self._edf
+        hdf_heap = self._hdf
+        alarms = self._alarm
+        for wf_id, wf in strong.items():
+            rep, head = wf.peek()
+            if rep is None:
+                # All members terminal: prune.  Any surviving heap
+                # entries are orphaned by the serial removal.
+                active.pop(wf_id, None)
+                serials[wf_id] += 1
+                side[wf_id] = None
+                continue
+            if head is None or head.state is not _READY:
+                # Not runnable right now; orphan any live entries — the
+                # head's next lifecycle hook marks the workflow dirty
+                # again.
+                if side[wf_id] is not None:
+                    serials[wf_id] += 1
+                    side[wf_id] = None
+                continue
+            deadline = rep.deadline
+            remaining = rep.scheduling_remaining
+            s = side[wf_id]
+            if feasible_at(deadline, remaining, now):
+                thr = latest_start(deadline, remaining)
+                # repro-lint: disable=RL003 -- cached heap-key identity, not arithmetic
+                if s is not None and s[0] and s[1] == deadline and thr >= s[2]:
+                    # Keep: same EDF key, and the live alarm threshold is
+                    # merely conservative-early (it re-arms with the
+                    # fresh value when it fires).
+                    continue
+                serial = serials[wf_id] + 1
+                serials[wf_id] = serial
+                heappush(edf_heap, (deadline, wf_id, serial, wf))
+                heappush(alarms, (thr, wf_id, serial, wf))
+                side[wf_id] = (True, deadline, thr)
+            else:
+                rank = hdf_rank(rep.weight, remaining)
+                if s is not None and not s[0] and s[1] == rank:
+                    continue  # keep: same HDF key
+                serial = serials[wf_id] + 1
+                serials[wf_id] = serial
+                heappush(hdf_heap, (rank, wf_id, serial, wf))
+                side[wf_id] = (False, rank)
+        strong.clear()
+
+    def _migrate_expired(self, now: float) -> None:
+        """Move workflows whose feasibility flipped to the HDF side.
+
+        Alarms are wake-ups, not judgements: membership is re-checked by
+        the shared predicate, and an alarm that fired a float-ulp early
+        re-arms at ``now`` (popped only once ``alarm < now``, i.e. at a
+        later scheduling point, so this cannot loop within a point).
+        """
+        alarms = self._alarm
+        serials = self._serial
+        side = self._side
+        hdf_heap = self._hdf
+        while alarms and alarms[0][0] < now:
+            _, wf_id, serial, wf = heappop(alarms)
+            if serials[wf_id] != serial:
+                continue  # superseded entry
+            rep = wf.representative()
+            if rep is None:
+                self._active.pop(wf_id, None)
+                serials[wf_id] += 1
+                side[wf_id] = None
+                continue
+            remaining = rep.scheduling_remaining
+            deadline = rep.deadline
+            if feasible_at(deadline, remaining, now):
+                # Re-arm at the *current* threshold: a weak touch may
+                # have shrunk the believed remaining since this alarm was
+                # set, pushing the real flip later — without the refresh
+                # the stale-early alarm would refire at every point.
+                thr = max(latest_start(deadline, remaining), now)
+                heappush(alarms, (thr, wf_id, serial, wf))
+                side[wf_id] = (True, deadline, thr)
+                continue
+            serial += 1
+            serials[wf_id] = serial  # orphans the EDF entry
+            head = wf.head()
+            if head is None or head.state is not _READY:
+                side[wf_id] = None
+                continue  # re-placed by the head's next lifecycle hook
+            rank = hdf_rank(rep.weight, remaining)
+            heappush(hdf_heap, (rank, wf_id, serial, wf))
+            side[wf_id] = (False, rank)
+
+    def _top_edf(self, now: float) -> _Entry | None:
+        """Valid top of the EDF heap, re-judging feasibility at peek.
+
+        The peek-time re-check closes the other half of the float-ulp
+        window: if the clock slipped past the feasibility flip before
+        the alarm fired, the workflow migrates here instead of surfacing
+        as a stale EDF top.
+        """
+        edf_heap = self._edf
+        serials = self._serial
+        side = self._side
+        while edf_heap:
+            _, wf_id, serial, wf = edf_heap[0]
+            if serials[wf_id] != serial:
+                heappop(edf_heap)
+                continue
+            rep = wf.representative()
+            if rep is None:
+                heappop(edf_heap)
+                self._active.pop(wf_id, None)
+                serials[wf_id] += 1
+                side[wf_id] = None
+                continue
+            remaining = rep.scheduling_remaining
+            if not feasible_at(rep.deadline, remaining, now):
+                heappop(edf_heap)
+                serial += 1
+                serials[wf_id] = serial
+                head = wf.head()
+                if head is not None and head.state is _READY:
+                    rank = hdf_rank(rep.weight, remaining)
+                    heappush(self._hdf, (rank, wf_id, serial, wf))
+                    side[wf_id] = (False, rank)
+                else:
+                    side[wf_id] = None
+                continue
+            head = wf.head()
+            if head is None or head.state is not _READY:
+                # Dispatched at this point (or blocked): pop, bump the
+                # serial (orphaning the alarm) and clear the placement so
+                # the head's next lifecycle hook — even a weak requeue —
+                # re-keys the workflow from scratch.
+                heappop(edf_heap)
+                serials[wf_id] = serial + 1
+                side[wf_id] = None
+                continue
+            return wf, rep, head
+        return None
+
+    def _top_hdf(self) -> _Entry | None:
+        """Valid top of the HDF heap.
+
+        No feasibility re-check: a waiting workflow's believed values
+        are frozen, and ``now + r <= d`` is (weakly) monotone in ``now``,
+        so a workflow placed on the HDF side can never flip back without
+        a state change — which would have bumped its serial.
+        """
+        hdf_heap = self._hdf
+        serials = self._serial
+        side = self._side
+        while hdf_heap:
+            _, wf_id, serial, wf = hdf_heap[0]
+            if serials[wf_id] != serial:
+                heappop(hdf_heap)
+                continue
+            rep = wf.representative()
+            if rep is None:
+                heappop(hdf_heap)
+                self._active.pop(wf_id, None)
+                serials[wf_id] += 1
+                side[wf_id] = None
+                continue
+            head = wf.head()
+            if head is None or head.state is not _READY:
+                heappop(hdf_heap)
+                serials[wf_id] = serial + 1
+                side[wf_id] = None
+                continue
+            return wf, rep, head
+        return None
+
+    # -- decision -------------------------------------------------------
+    @staticmethod
+    def _decide(top_edf: _Entry, top_hdf: _Entry, now: float) -> Transaction:
+        """Figure 7 lines 15-21: weighted negative-impact comparison.
+
+        Operates on the ``(workflow, representative, head)`` triples the
+        list tops were found with — no re-lookup, so the decision cannot
+        observe a different representative than the ordering did.
+        """
+        _, rep_edf, head_edf = top_edf
+        _, rep_hdf, head_hdf = top_hdf
         ni_edf = head_edf.scheduling_remaining * rep_hdf.weight
-        ni_hdf = (head_hdf.scheduling_remaining - rep_edf.slack(now)) * rep_edf.weight
+        ni_hdf = (
+            head_hdf.scheduling_remaining - rep_edf.slack(now)
+        ) * rep_edf.weight
         if ni_edf < ni_hdf:
             return head_edf
         return head_hdf
 
-    @staticmethod
-    def _head_of(wf: Workflow | None) -> Transaction:
-        assert wf is not None
-        head = wf.head()
-        if head is None:
-            raise SchedulingError(
-                f"workflow {wf.wf_id} lost its head between scan and dispatch"
-            )
-        return head
-
     # ------------------------------------------------------------------
     # Introspection for tests.
     # ------------------------------------------------------------------
+    def _partition(
+        self, now: float
+    ) -> tuple[
+        list[tuple[tuple[float, int], Workflow]],
+        list[tuple[tuple[float, int], Workflow]],
+    ]:
+        """(feasible, infeasible) runnable workflows with their sort keys.
+
+        One ``representative()``/``head()`` lookup per workflow per call
+        — the keys are computed once and carried next to the workflow,
+        so a sort can never observe a different representative than the
+        membership test did.  Shared by both list helpers and both
+        select implementations' notion of membership
+        (:mod:`repro.policies.ordering`).
+        """
+        feasible: list[tuple[tuple[float, int], Workflow]] = []
+        infeasible: list[tuple[tuple[float, int], Workflow]] = []
+        for wf in self._active.values():
+            rep = wf.representative()
+            if rep is None:
+                continue
+            head = wf.head()
+            if head is None or head.state is not _READY:
+                continue
+            if feasible_at(rep.deadline, rep.scheduling_remaining, now):
+                feasible.append((edf_key(rep.deadline, wf.wf_id), wf))
+            else:
+                infeasible.append(
+                    (
+                        hdf_key(
+                            rep.weight, rep.scheduling_remaining, wf.wf_id
+                        ),
+                        wf,
+                    )
+                )
+        feasible.sort(key=lambda entry: entry[0])
+        infeasible.sort(key=lambda entry: entry[0])
+        return feasible, infeasible
+
     def edf_list(self, now: float) -> list[Workflow]:
         """Runnable workflows whose representative is feasible, EDF order."""
-        out = [
-            wf
-            for wf in self._active.values()
-            if self._runnable(wf) and not wf.representative().is_past_deadline(now)
-        ]
-        out.sort(key=lambda wf: (wf.representative().deadline, wf.wf_id))
-        return out
+        return [wf for _key, wf in self._partition(now)[0]]
 
     def hdf_list(self, now: float) -> list[Workflow]:
-        """Runnable workflows whose representative is tardy, HDF order."""
-        out = [
-            wf
-            for wf in self._active.values()
-            if self._runnable(wf) and wf.representative().is_past_deadline(now)
-        ]
-        out.sort(
-            key=lambda wf: (
-                -(
-                    wf.representative().weight
-                    / wf.representative().scheduling_remaining
-                ),
-                wf.wf_id,
-            )
-        )
-        return out
-
-    @staticmethod
-    def _runnable(wf: Workflow) -> bool:
-        rep = wf.representative()
-        head = wf.head()
-        return (
-            rep is not None
-            and head is not None
-            and head.state is TransactionState.READY
-        )
+        """Runnable workflows whose representative is infeasible, HDF order."""
+        return [wf for _key, wf in self._partition(now)[1]]

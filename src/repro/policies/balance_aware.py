@@ -147,6 +147,12 @@ class BalanceAware(Scheduler):
             self._pinned = None
         self.inner.on_completion(txn, now)
 
+    def on_fault(self, txn: Transaction, now: float) -> None:
+        self._ready.pop(txn.txn_id, None)
+        if self._pinned is txn:
+            self._pinned = None
+        self.inner.on_fault(txn, now)
+
     def on_activation(self, now: float) -> None:
         self._pending_activation = True
 

@@ -124,6 +124,16 @@ class Scheduler(abc.ABC):
     def on_completion(self, txn: Transaction, now: float) -> None:
         """The transaction finished.  Default: nothing (lazy removal)."""
 
+    def on_fault(self, txn: Transaction, now: float) -> None:
+        """Fault injection moved ``txn`` outside the normal lifecycle.
+
+        Fired on abort (terminal or retry-and-rollback — the rollback
+        resets the believed remaining time) and on load shedding.
+        Policies with state keyed on believed values must invalidate it
+        here; the lazy defaults filter by transaction state, so the base
+        implementation does nothing.
+        """
+
     def on_activation(self, now: float) -> None:
         """A periodic activation tick fired (balance-aware policies)."""
 
@@ -167,6 +177,11 @@ class ScanScheduler(Scheduler):
         self._ready[txn.txn_id] = txn
 
     def on_completion(self, txn: Transaction, now: float) -> None:
+        self._ready.pop(txn.txn_id, None)
+
+    def on_fault(self, txn: Transaction, now: float) -> None:
+        # The state filter in select() would skip it anyway; dropping the
+        # entry keeps the scan proportional to the live ready set.
         self._ready.pop(txn.txn_id, None)
 
     def select(self, now: float) -> Transaction | None:

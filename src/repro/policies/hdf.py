@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.core.transaction import Transaction
 from repro.policies.base import HeapScheduler
+from repro.policies.ordering import hdf_rank
 
 __all__ = ["HDF"]
 
@@ -21,8 +22,10 @@ class HDF(HeapScheduler):
     name = "hdf"
 
     def key(self, txn: Transaction) -> float:
-        # Negated density: the heap pops the largest w/r first.  Density
-        # only grows as remaining time shrinks, so requeued entries always
-        # carry a smaller (higher-priority) key than their stale ancestors,
-        # preserving the lazy-heap invariant.
-        return -(txn.weight / txn.scheduling_remaining)
+        # Shared negated-density rank: the heap pops the largest w/r
+        # first, with the believed-zero-remaining case guarded (-inf =
+        # infinite density).  Density only grows as remaining time
+        # shrinks, so requeued entries always carry a smaller
+        # (higher-priority) key than their stale ancestors, preserving
+        # the lazy-heap invariant.
+        return hdf_rank(txn.weight, txn.scheduling_remaining)

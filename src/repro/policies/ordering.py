@@ -1,0 +1,94 @@
+"""The single source of truth for ASETS-family list membership and order.
+
+The paper's two-list scheme hinges on one predicate and two orderings:
+
+* **feasibility** (Definitions 6/7) — an item belongs to the EDF-List iff
+  it can still meet its deadline when started now,
+  :math:`t + r \\le d`, judged on the scheduler's believed remaining time;
+* the **EDF order** — feasible items sorted by deadline;
+* the **HDF order** — infeasible items sorted by density :math:`w / r`
+  (descending; equal weights reduce it to SRPT order).
+
+Before this module existed each call site re-derived these expressions
+locally (``ASETSStar._scan`` tested ``now + r <= d`` while the
+introspection helpers asked ``is_past_deadline(now)``, and every density
+key divided by the believed remaining time unguarded).  Re-derivation is
+how orderings drift: a float-ulp difference in the membership test, or a
+division by a zero believed remaining, changes a decision in one place
+but not the other.  Scan-based selection, the incremental heap
+structures, and the introspection helpers now all call the same three
+functions below, so they *cannot* disagree.
+
+Density guard
+-------------
+``believed_remaining`` can reach exactly ``0.0`` while a transaction is
+still schedulable: under ``length_estimate_error`` the engine zeroes the
+belief the instant the ground-truth work is exhausted, and a completion
+event re-dispatched across a preemption can land a float ulp later than
+the work ran out.  A representative aggregating such a member would make
+``w / r`` raise ``ZeroDivisionError`` mid-sort.  The paper-consistent
+reading of a zero remaining time is *infinite density* — no other item
+can have a better weight-per-remaining-time ratio — so
+:func:`hdf_key` maps it to ``-inf``, the front of the HDF list, with the
+caller's id tie-break deciding among several.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "feasible_at",
+    "edf_key",
+    "hdf_rank",
+    "hdf_key",
+    "latest_start",
+]
+
+_NEG_INF = float("-inf")
+
+
+def feasible_at(deadline: float, scheduling_remaining: float, now: float) -> bool:
+    """The EDF-List membership test: ``now + r <= d`` (Definition 6).
+
+    Every ASETS-family component — the reference scan, the incremental
+    heaps' placement and migration re-checks, and the ``edf_list`` /
+    ``hdf_list`` introspection helpers — must call this function rather
+    than re-deriving the comparison, so that all of them agree to the
+    float ulp.
+    """
+    return now + scheduling_remaining <= deadline
+
+
+def edf_key(deadline: float, tie_id: int) -> tuple[float, int]:
+    """EDF-List sort key: earliest deadline first, smallest id on ties."""
+    return (deadline, tie_id)
+
+
+def hdf_rank(weight: float, scheduling_remaining: float) -> float:
+    """Scalar HDF rank: negated density ``-(w / r)``, smaller = better.
+
+    A zero believed remaining time means infinite density — the item
+    ranks ``-inf``, the front of the HDF list; the caller's id tie-break
+    decides among several exhausted-belief items deterministically.
+    """
+    if scheduling_remaining <= 0.0:
+        return _NEG_INF
+    return -(weight / scheduling_remaining)
+
+
+def hdf_key(
+    weight: float, scheduling_remaining: float, tie_id: int
+) -> tuple[float, int]:
+    """HDF-List sort key: :func:`hdf_rank` with the id tie-break attached."""
+    return (hdf_rank(weight, scheduling_remaining), tie_id)
+
+
+def latest_start(deadline: float, scheduling_remaining: float) -> float:
+    """The feasibility flip threshold ``d - r`` (the migration alarm).
+
+    While an item waits its believed remaining time is frozen, so it
+    stays feasible exactly until the clock passes this value.  Float
+    caveat: ``d - r < now`` and ``not (now + r <= d)`` can disagree by an
+    ulp, so the threshold is only ever used as a *wake-up alarm* —
+    membership itself is always re-judged by :func:`feasible_at`.
+    """
+    return deadline - scheduling_remaining

@@ -39,6 +39,7 @@ from repro.policies.base import Scheduler
 from repro.sim.event_queue import EventQueue
 from repro.sim.events import Event, EventKind
 from repro.sim.results import SimulationResult, StreamSummary, TransactionRecord
+from repro.sim.soa import TxnTable
 from repro.sim.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -194,6 +195,9 @@ class Simulator:
         self._txns = {txn.txn_id: txn for txn in transactions}
         if len(self._txns) != len(transactions):
             raise SimulationError("duplicate transaction ids in pool")
+        # Struct-of-arrays view over the pool: dense pool-order indices,
+        # flat hot-field columns, and the engine's ready set.
+        self._table = TxnTable(transactions)
         self._policy = policy
         self._servers = servers
         if workflow_set is None and policy.requires_workflows:
@@ -227,7 +231,6 @@ class Simulator:
         self._finished = 0
         self._down = 0
         self._fault_state: dict[int, _FaultState] = {}
-        self._ready_count = 0
         self.scheduling_points = 0
         self.preemptions = 0
 
@@ -333,7 +336,7 @@ class Simulator:
         self._completed = 0
         self._finished = 0
         self._down = 0
-        self._ready_count = 0
+        self._table.reset()
         self.scheduling_points = 0
         self.preemptions = 0
         self._policy.bind(list(self._txns.values()), self._workflows)
@@ -343,9 +346,12 @@ class Simulator:
         self._policy.attach_probe(
             self._profiler.probe() if self._profiler is not None else None
         )
-        for txn in self._txns.values():
+        # Seed arrivals off the flat columns: one contiguous float read
+        # per transaction instead of two attribute lookups.
+        table = self._table
+        for i, txn_id in enumerate(table.ids):
             self._events.push(
-                Event(txn.arrival, EventKind.ARRIVAL, next(self._seq), txn.txn_id)
+                Event(table.arrival[i], EventKind.ARRIVAL, next(self._seq), txn_id)
             )
         if self._faults is not None:
             self._fault_state = {
@@ -382,17 +388,22 @@ class Simulator:
                     f"event at {now}"
                 )
             txn = dispatch.txn
-            # Context-switch overhead is served before real work.
-            overhead = min(elapsed, dispatch.overhead_left)
-            dispatch.overhead_left -= overhead
-            if overhead > 0.0 and self._instrument is not None:
-                self._instrument.on_overhead(txn, overhead, now)
-            txn.charge(min(elapsed - overhead, txn.remaining))
+            if dispatch.overhead_left > 0.0:
+                # Context-switch overhead is served before real work.
+                overhead = min(elapsed, dispatch.overhead_left)
+                dispatch.overhead_left -= overhead
+                if overhead > 0.0 and self._instrument is not None:
+                    self._instrument.on_overhead(txn, overhead, now)
+                txn.charge(min(elapsed - overhead, txn.remaining))
+            else:
+                txn.charge(min(elapsed, txn.remaining))
             if self._trace is not None:
                 self._trace.record(txn.txn_id, dispatch.since, now)
             dispatch.since = now
             if elapsed > 0 and self._workflows is not None:
-                self._workflows.notify_changed(txn.txn_id)
+                # A charge only shrinks the believed remaining: the
+                # workflow aggregates merge in O(1), no re-sweep.
+                self._workflows.notify_changed(txn.txn_id, "shrunk")
 
     def _handle(self, event: Event, now: float) -> None:
         if event.kind is EventKind.COMPLETION:
@@ -459,7 +470,7 @@ class Simulator:
                 and dependent.state is TransactionState.WAITING
             ):
                 dependent.mark_ready()
-                self._ready_count += 1
+                self._table.mark_ready(dep_id)
                 self._policy.on_ready(dependent, now)
 
     def _handle_arrival(self, event: Event, now: float) -> None:
@@ -469,12 +480,13 @@ class Simulator:
             self._instrument.on_arrival(txn, now)
         if self._pending_deps[txn.txn_id] == 0:
             txn.mark_ready()
-            self._ready_count += 1
+            self._table.mark_ready(txn.txn_id)
             self._policy.on_ready(txn, now)
         else:
             txn.mark_waiting()
         if self._workflows is not None:
-            self._workflows.notify_changed(txn.txn_id)
+            # A new pending member only improves the min/max aggregates.
+            self._workflows.notify_changed(txn.txn_id, "arrived")
 
     def _handle_activation(self, now: float) -> None:
         self._policy.on_activation(now)
@@ -566,7 +578,9 @@ class Simulator:
         if self._instrument is not None:
             self._instrument.on_stall(txn, extra, now)
         if self._workflows is not None:
-            self._workflows.notify_changed(txn.txn_id)
+            # Only engine-truth remaining moved; believed aggregates
+            # are untouched (a stall is invisible to the scheduler).
+            self._workflows.notify_changed(txn.txn_id, "truth")
         self._token_counter += 1
         dispatch.token = self._token_counter
         self._events.push(
@@ -598,6 +612,7 @@ class Simulator:
         if exhausted:
             txn.mark_aborted(now)
             self._finished += 1
+            self._policy.on_fault(txn, now)
             if self._instrument is not None:
                 self._instrument.on_abort(txn, now, lost, attempt, True)
             if self._workflows is not None:
@@ -606,6 +621,7 @@ class Simulator:
             return
         txn.mark_retry_wait()
         txn.rollback(full=full_restart)
+        self._policy.on_fault(txn, now)
         if self._instrument is not None:
             self._instrument.on_abort(txn, now, lost, attempt, False)
         if self._workflows is not None:
@@ -629,7 +645,7 @@ class Simulator:
         relative = txn.submitted_deadline - txn.arrival
         new_deadline = now + relative * spec.retry_backoff**txn.retries
         txn.resubmit(now, new_deadline)
-        self._ready_count += 1
+        self._table.mark_ready(txn.txn_id)
         if self._instrument is not None:
             self._instrument.on_retry(txn, now, txn.retries, new_deadline)
         self._policy.on_ready(txn, now)
@@ -665,19 +681,21 @@ class Simulator:
         """
         assert self._shed_policy is not None and self._shed_limit is not None
         instrument = self._instrument
+        table = self._table
         while True:
-            ready = [
-                txn
-                for txn in self._txns.values()
-                if txn.state is TransactionState.READY
-            ]
-            excess = len(ready) - self._shed_limit
+            # The ready set is maintained incrementally; materialising it
+            # costs O(k log k) of the *ready* population, not an O(pool)
+            # state scan — and reproduces the old scan's pool order, so
+            # victim enumeration is byte-identical.
+            excess = table.ready_count - self._shed_limit
             if excess <= 0:
                 return
+            ready = table.ready_transactions()
             for txn in self._shed_policy.victims(ready, now, excess):
                 txn.mark_shed(now)
-                self._ready_count -= 1
+                table.unmark_ready(txn.txn_id)
                 self._finished += 1
+                self._policy.on_fault(txn, now)
                 if instrument is not None:
                     instrument.on_shed(txn, now, self._shed_policy.name)
                 if self._workflows is not None:
@@ -696,18 +714,22 @@ class Simulator:
         # work can be shed, never a transaction holding a server.
         if self._shed_limit is not None:
             self._shed_overload(now)
+        table = self._table
         previous = list(self._running.values())
         for dispatch in previous:
             dispatch.txn.mark_suspended()
-            self._ready_count += 1
+            table.mark_ready(dispatch.txn.txn_id)
             self._policy.on_requeue(dispatch.txn, now)
         self._running.clear()
 
-        previously_running = {d.txn.txn_id for d in previous}
         # Continuations keep their unfinished overhead; switches pay anew.
-        leftover_overhead = {
-            d.txn.txn_id: d.overhead_left for d in previous
-        }
+        # With free preemption (the paper's model) every overhead is zero
+        # — skip building the carry-over map on that hot path entirely.
+        leftover_overhead: dict[int, float] | None = (
+            {d.txn.txn_id: d.overhead_left for d in previous}
+            if self._overhead > 0.0
+            else None
+        )
         # Crashed servers accept no work until their window closes.
         available = (
             self._servers
@@ -718,7 +740,7 @@ class Simulator:
         select_seconds = 0.0
         for _ in range(available):
             if profiler is not None:
-                profiler.select_begin(self._ready_count)
+                profiler.select_begin(table.ready_count)
                 t0 = perf_counter()
                 candidate = self._policy.select(now)
                 dt = perf_counter() - t0
@@ -742,14 +764,18 @@ class Simulator:
                     f"policy {self._policy.name} selected finished "
                     f"transaction {candidate.txn_id}"
                 )
-            overhead = leftover_overhead.get(candidate.txn_id, self._overhead)
+            overhead = (
+                leftover_overhead.get(candidate.txn_id, self._overhead)
+                if leftover_overhead is not None
+                else 0.0
+            )
             self._dispatch(candidate, now, overhead)
             dispatched.add(candidate.txn_id)
 
         if previous and not dispatched and available > 0:
             raise SchedulingError(
                 f"policy {self._policy.name} idled while "
-                f"{sorted(previously_running)} were runnable"
+                f"{sorted(d.txn.txn_id for d in previous)} were runnable"
             )
         for dispatch in previous:
             txn = dispatch.txn
@@ -762,18 +788,18 @@ class Simulator:
             t_emit = perf_counter()
             if instrument is not None:
                 instrument.on_scheduling_point(
-                    now, self._ready_count, len(self._running), select_seconds
+                    now, table.ready_count, len(self._running), select_seconds
                 )
             t_done = perf_counter()
             profiler.point_end(select_seconds, t_emit - t_body, t_done - t_emit)
         elif instrument is not None:
             instrument.on_scheduling_point(
-                now, self._ready_count, len(self._running), select_seconds
+                now, table.ready_count, len(self._running), select_seconds
             )
 
     def _dispatch(self, txn: Transaction, now: float, overhead: float = 0.0) -> None:
         txn.mark_running(now)
-        self._ready_count -= 1
+        self._table.unmark_ready(txn.txn_id)
         if self._instrument is not None:
             self._instrument.on_dispatch(txn, now, overhead)
         self._token_counter += 1

@@ -189,3 +189,114 @@ class TestRepresentativeView:
         rep = wf.representative()
         assert rep.remaining == 3  # min true remaining (t2)
         assert rep.scheduling_remaining == 2  # min believed remaining (t1)
+
+
+class TestTargetedNotes:
+    """The O(1) change notes must equal a full invalidate-and-resweep.
+
+    ``note_arrival`` / ``note_shrunk`` merge a monotone change straight
+    into the cached aggregates; ``invalidate`` forces the reference
+    member sweep.  Twin workflows over identical pools receive the same
+    mutation through each route and must agree on every representative
+    field and on the head.
+    """
+
+    @staticmethod
+    def _twin_pools():
+        def pool():
+            t1 = Transaction(
+                1, arrival=0, length=6, deadline=9, length_estimate=5.0
+            )
+            t2 = Transaction(
+                2, arrival=0, length=3, deadline=12, depends_on=[1],
+                length_estimate=7.0,
+            )
+            t3 = Transaction(
+                3, arrival=1, length=2, deadline=4, weight=3.0
+            )
+            t1.mark_ready()
+            t2.mark_waiting()
+            return t1, t2, t3
+
+        return pool(), pool()
+
+    @staticmethod
+    def _views_match(wf_a, wf_b):
+        rep_a, rep_b = wf_a.representative(), wf_b.representative()
+        assert rep_a.deadline == rep_b.deadline
+        assert rep_a.scheduling_remaining == rep_b.scheduling_remaining
+        assert rep_a.weight == rep_b.weight
+        assert rep_a.remaining == rep_b.remaining
+        head_a, head_b = wf_a.head(), wf_b.head()
+        assert (head_a and head_a.txn_id) == (head_b and head_b.txn_id)
+
+    def _twins(self):
+        (a1, a2, a3), (b1, b2, b3) = self._twin_pools()
+        wf_a = Workflow(0, 3, {1: a1, 2: a2, 3: a3})
+        wf_b = Workflow(0, 3, {1: b1, 2: b2, 3: b3})
+        # Independent t3 shares the workflow purely to give the note a
+        # not-yet-pending member to bring in; a diamond isn't needed.
+        wf_a.representative(), wf_b.representative()  # settle caches
+        return (a1, a2, a3, wf_a), (b1, b2, b3, wf_b)
+
+    def test_note_arrival_equals_resweep(self):
+        (_, _, a3, wf_a), (_, _, b3, wf_b) = self._twins()
+        a3.mark_ready()
+        wf_a.note_arrival(a3)
+        b3.mark_ready()
+        wf_b.invalidate()
+        self._views_match(wf_a, wf_b)
+        # t3's deadline 4 and weight 3 take over both aggregates.
+        assert wf_a.representative().deadline == 4
+        assert wf_a.representative().weight == 3.0
+        assert wf_a.head().txn_id == 3
+
+    def test_note_shrunk_equals_resweep(self):
+        (a1, _, _, wf_a), (b1, _, _, wf_b) = self._twins()
+        a1.mark_running(0.0)
+        a1.charge(2.0)
+        wf_a.note_shrunk(a1)
+        b1.mark_running(0.0)
+        b1.charge(2.0)
+        wf_b.invalidate()
+        self._views_match(wf_a, wf_b)
+        assert wf_a.representative().scheduling_remaining == 3.0
+
+    def test_note_shrunk_swings_head(self):
+        t1 = make_txn(1, length=5.0, deadline=9.0)
+        t2 = make_txn(2, length=4.0, deadline=9.0)
+        t1.mark_ready()
+        t2.mark_ready()
+        wf = Workflow(0, 1, {1: t1, 2: t2})
+        # No dependency between them: both are head candidates and the
+        # smaller believed remaining wins the (deadline, believed, id) key.
+        assert wf.head().txn_id == 2
+        t1.mark_running(0.0)
+        t1.charge(3.0)
+        wf.note_shrunk(t1)
+        assert wf.head().txn_id == 1
+
+    def test_note_truth_changed_refreshes_oracle_only(self):
+        t1 = Transaction(
+            1, arrival=0, length=6, deadline=9, length_estimate=5.0
+        )
+        t1.mark_ready()
+        wf = Workflow(0, 1, {1: t1})
+        before = wf.representative()
+        assert before.remaining == 6
+        t1.remaining += 2.0  # a stall adds ground-truth work
+        wf.note_truth_changed()
+        after = wf.representative()
+        assert after.remaining == 8.0
+        assert after.scheduling_remaining == before.scheduling_remaining
+
+    def test_notes_on_dirty_workflow_defer_to_sweep(self):
+        # A note landing while the workflow is already marked dirty must
+        # not corrupt the pending sweep.
+        (a1, _, a3, wf_a), (b1, _, b3, wf_b) = self._twins()
+        wf_a.invalidate()
+        a3.mark_ready()
+        wf_a.note_arrival(a3)
+        b3.mark_ready()
+        wf_b.invalidate()
+        self._views_match(wf_a, wf_b)

@@ -112,3 +112,32 @@ class TestFaultDeterminism:
             SPEC, policies, "average_tardiness", config, jobs=2, **kwargs
         )
         assert repr(sequential.series) == repr(pooled.series)
+
+
+class TestSelectImplementationIdentity:
+    """ASETS* incremental heaps vs the retained reference scan.
+
+    The incremental select path is an optimisation, not a policy change:
+    on the golden workload its event stream must be byte-identical to
+    ``ASETSStar(incremental=False)`` — with and without fault pressure.
+    """
+
+    @staticmethod
+    def _star_stream(incremental, faults=None):
+        workload = generate(SPEC, seed=11)
+        recorder = Recorder()
+        run_policy_on(
+            workload,
+            PolicySpec.of("asets-star", incremental=incremental),
+            instrument=recorder,
+            faults=faults,
+        )
+        return norm(recorder.events)
+
+    def test_byte_identical_without_faults(self):
+        assert self._star_stream(True) == self._star_stream(False)
+
+    def test_byte_identical_under_faults(self):
+        assert self._star_stream(True, FAULTS) == self._star_stream(
+            False, FAULTS
+        )

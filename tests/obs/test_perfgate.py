@@ -8,7 +8,15 @@ import pytest
 from repro.perfgate import DEFAULT_GATE, compare, load, main
 
 
-def snapshot(*, throughput=50_000.0, rss=1400.0, overhead=0.08, phase_mean=None):
+def snapshot(
+    *,
+    throughput=50_000.0,
+    rss=1400.0,
+    overhead=0.08,
+    phase_mean=None,
+    depth_exp=None,
+    wall=5.0,
+):
     policies = {
         "edf": {"throughput_txns_per_s": throughput, "n": 1000},
         "asets-star": {"throughput_txns_per_s": throughput * 0.8},
@@ -21,14 +29,22 @@ def snapshot(*, throughput=50_000.0, rss=1400.0, overhead=0.08, phase_mean=None)
                 "dispatch": {"count": 1000, "mean_s": phase_mean / 2},
             }
         }
+    if depth_exp is not None:
+        # Schema-4 depth-scaling fits (subset: what the gate reads).
+        policies.setdefault("asets-star", {})["profile"] = {
+            "depth_scaling": {
+                "select": {"exponent": depth_exp, "buckets": []},
+                "decide": {"exponent": None, "buckets": []},
+            }
+        }
     return {
-        "schema": 2 if phase_mean is None else 3,
+        "schema": 2 if phase_mean is None and depth_exp is None else 4,
         "policies": policies,
         "tiers": {
             "100000": {
-                "plain": {"wall_seconds": 5.0, "peak_rss_mb": rss},
+                "plain": {"wall_seconds": wall, "peak_rss_mb": rss},
                 "streaming": {
-                    "wall_seconds": 5.0 * (1 + overhead),
+                    "wall_seconds": wall * (1 + overhead),
                     "peak_rss_mb": rss,
                 },
                 "streaming_overhead_ratio": overhead,
@@ -45,8 +61,8 @@ class TestCompare:
         report = compare(snapshot(), base)
         assert report.ok
         assert report.failures == []
-        # Two throughput checks + RSS + overhead.
-        assert len(report.checks) == 4
+        # Two throughput checks + RSS + two tier walls + overhead.
+        assert len(report.checks) == 6
         assert "PASS" in report.render()
 
     def test_synthetic_throughput_regression_fails(self):
@@ -90,7 +106,7 @@ class TestCompare:
         base["tiers"]["1000000"] = base["tiers"]["100000"]
         report = compare(snapshot(), base)
         assert report.ok
-        assert len(report.checks) == 4  # extra baseline keys ignored
+        assert len(report.checks) == 6  # extra baseline keys ignored
 
     def test_missing_sections_tolerated(self):
         report = compare({"schema": 2}, snapshot())
@@ -124,6 +140,55 @@ class TestCompare:
         report = compare(snapshot(phase_mean=2e-6), snapshot())
         assert report.ok
         assert not any("phase[" in c for c in report.checks)
+
+    def test_depth_exponent_parity_passes(self):
+        base = snapshot(depth_exp=0.1)
+        report = compare(snapshot(depth_exp=0.1), base)
+        assert report.ok
+        assert sum("depth-exponent[" in c for c in report.checks) == 1
+
+    def test_depth_exponent_regression_fails(self):
+        # The ceiling is absolute (baseline + tolerance): an incremental
+        # select drifting from ~depth^0.1 to ~depth^1.0 fails even though
+        # every wall-clock check could still pass.
+        base = snapshot(depth_exp=0.1)
+        tol = base["gate"]["depth_exponent_tolerance"]
+        bad = snapshot(depth_exp=0.1 + tol + 0.4)
+        report = compare(bad, base)
+        assert not report.ok
+        assert any(
+            "depth-exponent[asets-star/select]" in f
+            for f in report.failures
+        )
+
+    def test_unfitted_exponents_are_skipped(self):
+        # ``exponent: null`` (too few occupied buckets) on either side
+        # skips the check instead of tripping or masking it.
+        base = snapshot(depth_exp=0.1)
+        cur = snapshot(depth_exp=0.1)
+        cur["policies"]["asets-star"]["profile"]["depth_scaling"][
+            "select"
+        ]["exponent"] = None
+        report = compare(cur, base)
+        assert report.ok
+        assert not any("depth-exponent[" in c for c in report.checks)
+
+    def test_schema3_baseline_skips_exponent_checks(self):
+        """A baseline without ``depth_scaling`` gates no exponents."""
+        report = compare(snapshot(depth_exp=0.9), snapshot())
+        assert report.ok
+        assert not any("depth-exponent[" in c for c in report.checks)
+
+    def test_tier_wall_regression_fails(self):
+        base = snapshot()
+        tol = base["gate"]["tier_wall_growth_tolerance"]
+        bad = snapshot(wall=5.0 * (1 + tol) * 1.2)
+        report = compare(bad, base)
+        assert not report.ok
+        assert any("wall[n=100000/plain]" in f for f in report.failures)
+        assert any(
+            "wall[n=100000/streaming]" in f for f in report.failures
+        )
 
 
 class TestCli:

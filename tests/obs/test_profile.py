@@ -35,12 +35,16 @@ from repro.workload.generator import generate
 from repro.workload.spec import WorkloadSpec
 
 
-def profiled_run(policy="asets-star", n=1000, seed=42, utilization=1.2):
+def profiled_run(
+    policy="asets-star", n=1000, seed=42, utilization=1.2, **policy_kwargs
+):
     workload = generate(
         WorkloadSpec(n_transactions=n, utilization=utilization), seed=seed
     )
     profiler = PhaseProfiler()
-    result = run_policy_on(workload, PolicySpec.of(policy), profiler=profiler)
+    result = run_policy_on(
+        workload, PolicySpec.of(policy, **policy_kwargs), profiler=profiler
+    )
     return result, profiler.snapshot(policy)
 
 
@@ -205,7 +209,16 @@ class TestProfiledRun:
             low, high = depth_bucket_range(bucket)
             assert low <= mean_depth <= high or bucket == 0
             assert count > 0 and mean_cost >= 0.0
-        # ASETS* select scans the ready queue: cost must grow with depth.
+        # Incremental ASETS* select is amortized O(log n): its cost must
+        # NOT grow linearly with ready-queue depth.  (The perfgate turns
+        # this into a CI regression check against the baseline.)
+        exponent = snap.depth_exponent("select")
+        assert exponent is not None and exponent < 0.5
+
+    def test_reference_scan_exponent_still_linearish(self):
+        """The retained scan implementation keeps its depth scaling —
+        the contrast documents what the incremental structures bought."""
+        _, snap = profiled_run(n=500, incremental=False)
         exponent = snap.depth_exponent("select")
         assert exponent is not None and exponent > 0.0
 

@@ -74,7 +74,8 @@ def test_merged_profile_covers_every_cell():
         assert snapshot.phases["select"].count >= n_cells
         assert snapshot.phases["select"].total_s > 0.0
     # The probe-instrumented policy carries its select-stage spans.
-    assert "scan" in out["ASETS*"].probes
+    assert "incremental" in out["ASETS*"].probes
+    assert "incremental/touch" in out["ASETS*"].probes
 
 
 def test_profile_out_untouched_without_flag():

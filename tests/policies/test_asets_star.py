@@ -145,3 +145,78 @@ class TestEquivalenceWithTransactionLevel:
         flat = Simulator(workload.transactions, ASETS(weighted=True)).run()
         for r_star, r_flat in zip(star.records, flat.records):
             assert r_star.finish == pytest.approx(r_flat.finish)
+
+
+class TestSharedMembershipPredicate:
+    """Regressions for the list-partition drift fixed by ordering.py.
+
+    Historically the introspection helpers judged EDF-List membership by
+    tardiness (``is_past_deadline``) while ``_scan`` judged it by
+    feasibility (``now + r <= d``), so a workflow that could no longer
+    meet its deadline — but whose deadline had not yet passed — appeared
+    on different lists depending on who was asking.
+    """
+
+    def test_infeasible_but_not_tardy_is_on_hdf_list(self):
+        # Deadline 5 is still ahead at now=0, but 8 units of work cannot
+        # fit: infeasible, so the HDF list owns it everywhere.
+        for incremental in (True, False):
+            t = make_txn(1, length=8.0, deadline=5.0)
+            policy = ASETSStar(incremental=incremental)
+            bind_and_arrive(policy, [t])
+            assert policy.select(0.0) is t
+            assert [wf.root_id for wf in policy.hdf_list(0.0)] == [1]
+            assert policy.edf_list(0.0) == []
+
+    def test_exact_fit_stays_on_edf_list(self):
+        # The boundary now + r == d is feasible (Definition 6 is <=).
+        t = make_txn(1, length=5.0, deadline=5.0)
+        policy = ASETSStar()
+        bind_and_arrive(policy, [t])
+        assert [wf.root_id for wf in policy.edf_list(0.0)] == [1]
+        assert policy.hdf_list(0.0) == []
+
+
+class TestZeroDensityGuard:
+    def test_zero_believed_remaining_ranks_first_on_hdf(self):
+        # A believed remaining of exactly 0.0 reads as infinite density:
+        # it must sort ahead of any finite-density workflow instead of
+        # raising ZeroDivisionError.
+        zero = make_txn(1, length=2.0, deadline=1.0, weight=1.0)
+        dense = make_txn(2, length=2.0, deadline=1.0, weight=9.0)
+        policy = ASETSStar()
+        ws = bind_and_arrive(policy, [zero, dense])
+        zero.believed_remaining = 0.0
+        ws.notify_changed(1)
+        # Both are past-deadline (hence infeasible) at now=2.
+        assert [wf.root_id for wf in policy.hdf_list(2.0)] == [1, 2]
+        assert policy.select(2.0) is zero
+
+    def test_scan_agrees_on_zero_density(self):
+        zero = make_txn(1, length=2.0, deadline=1.0, weight=1.0)
+        dense = make_txn(2, length=2.0, deadline=1.0, weight=9.0)
+        policy = ASETSStar(incremental=False)
+        ws = bind_and_arrive(policy, [zero, dense])
+        zero.believed_remaining = 0.0
+        ws.notify_changed(1)
+        assert policy.select(2.0) is zero
+
+
+class TestIntrospectionCaching:
+    def test_partition_computes_each_representative_once(self, monkeypatch):
+        from repro.core.workflow import Workflow
+
+        txns = [make_txn(i, length=1.0, deadline=50.0) for i in (1, 2, 3)]
+        policy = ASETSStar()
+        bind_and_arrive(policy, txns)
+        calls: dict[int, int] = {}
+        original = Workflow.representative
+
+        def counting(self):
+            calls[self.wf_id] = calls.get(self.wf_id, 0) + 1
+            return original(self)
+
+        monkeypatch.setattr(Workflow, "representative", counting)
+        listed = policy.edf_list(0.0)
+        assert len(listed) == 3
+        assert calls == {0: 1, 1: 1, 2: 1}
