@@ -9,6 +9,7 @@ single ``except`` clause while letting genuine bugs (``TypeError``,
 from __future__ import annotations
 
 __all__ = [
+    "CheckpointError",
     "ExperimentError",
     "FaultError",
     "InvalidTransactionError",
@@ -19,6 +20,7 @@ __all__ = [
     "SchedulingError",
     "SimulationError",
     "SweepError",
+    "SweepInterrupted",
     "WorkloadError",
 ]
 
@@ -63,6 +65,17 @@ class ObservabilityError(ReproError):
     """An instrumentation artefact (metric, event log, report) is invalid."""
 
 
+class CheckpointError(ReproError):
+    """A run checkpoint is missing, malformed, or incompatible.
+
+    Raised by :mod:`repro.ckpt` when a snapshot file fails its magic,
+    version or schema validation, when a resume target does not match
+    the checkpoint (wrong grid fingerprint, truncation underflow), or
+    when checkpointing is requested in a configuration that cannot
+    honour the byte-identity contract (e.g. together with a profiler).
+    """
+
+
 class SweepError(ExperimentError):
     """One or more cells of an experiment sweep failed.
 
@@ -87,4 +100,24 @@ class SweepError(ExperimentError):
         super().__init__(
             f"{len(self.failures)} sweep cell(s) failed: {coords}{more}; "
             "first traceback:\n" + self.failures[0].traceback
+        )
+
+
+class SweepInterrupted(ExperimentError):
+    """A sweep was interrupted (SIGINT/SIGTERM) before finishing.
+
+    Raised by the sweep harness after a graceful shutdown: workers have
+    been terminated, completed cells are preserved (and, when a resume
+    manifest is attached, persisted), and the counts describe how far
+    the grid got.  Callers that want to survive an interrupt catch this
+    instead of ``KeyboardInterrupt``; the CLI maps it to exit code 3.
+    """
+
+    def __init__(self, completed: int, failed: int, pending: int) -> None:
+        self.completed = completed
+        self.failed = failed
+        self.pending = pending
+        super().__init__(
+            f"sweep interrupted: {completed} cell(s) completed, "
+            f"{failed} failed, {pending} pending"
         )

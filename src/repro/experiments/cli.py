@@ -40,6 +40,17 @@ cell failures instead of blocking forever::
 
     python -m repro.experiments chaos --faults abort_prob=0.2,crash_count=2
     python -m repro.experiments fig8 --jobs 4 --cell-timeout 300
+
+Crash resilience (:mod:`repro.ckpt`, docs/robustness.md): ``run`` can
+checkpoint itself periodically and resume after a kill; every sweep
+target can persist per-cell completions to a manifest and skip them on
+restart.  SIGINT/SIGTERM interrupt gracefully (exit code 3; a second
+signal hard-kills)::
+
+    python -m repro.experiments run --checkpoint-every 10000 \\
+        --checkpoint-out run.ckpt --streaming --events-out run.jsonl
+    python -m repro.experiments run --resume run.ckpt
+    python -m repro.experiments fig9 --jobs 4 --resume fig9.sweep
 """
 
 from __future__ import annotations
@@ -326,6 +337,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="flamegraph format for --flame-out: "
         f"{', '.join(_FLAME_FORMATS)} (default speedscope)",
     )
+    robust = parser.add_argument_group(
+        "crash resilience (checkpoint / resume; see docs/robustness.md)"
+    )
+    robust.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="EVENTS",
+        help="'run' only: snapshot engine + telemetry + event-log "
+        "position to --checkpoint-out every EVENTS processed events "
+        "(atomic replace; observation-only — results stay byte-identical "
+        "to an uncheckpointed run)",
+    )
+    robust.add_argument(
+        "--checkpoint-out",
+        metavar="FILE.ckpt",
+        default=None,
+        help="checkpoint file for --checkpoint-every (required together)",
+    )
+    robust.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="on 'run': resume a killed run from its checkpoint file "
+        "(run configuration comes from the checkpoint; the event log is "
+        "truncated to the snapshot and continued, finishing "
+        "byte-identical to an uninterrupted run).  On the sweep targets: "
+        "per-cell completion manifest at PATH — completed cells are "
+        "persisted as the sweep goes and skipped on restart",
+    )
     return parser
 
 
@@ -409,17 +450,25 @@ def _parse_faults(
 
 
 def _sweep_kwargs(args: argparse.Namespace, failures: list) -> dict:
-    """Shared sweep kwargs: parallel fan-out and the cell watchdog.
+    """Shared sweep kwargs: parallel fan-out, watchdog and resume.
 
-    jobs == 1 with no timeout keeps the sequential path (failures=None →
-    fail fast); anything else opts into per-cell failure capture so one
-    bad cell cannot kill a long sweep.
+    jobs == 1 with no timeout or manifest keeps the sequential path
+    (failures=None → fail fast); anything else opts into per-cell
+    failure capture so one bad cell cannot kill a long sweep.
+    ``--resume`` forces the grid path: its manifest is what survives an
+    interrupt.
     """
-    if args.jobs == 1 and args.cell_timeout is None:
+    if (
+        args.jobs == 1
+        and args.cell_timeout is None
+        and args.resume is None
+    ):
         return {}
     kwargs: dict = {"jobs": args.jobs, "failures": failures}
     if args.cell_timeout is not None:
         kwargs["cell_timeout"] = args.cell_timeout
+    if args.resume is not None:
+        kwargs["resume"] = args.resume
     return kwargs
 
 
@@ -444,13 +493,65 @@ def _run_figure(name: str, args: argparse.Namespace) -> int:
     return _report_failures(failures)
 
 
-def _make_sink(args: argparse.Namespace):
+def _make_sink(events_out: str, events_rotate: int | None):
     """The --events-out sink: plain or rotating JSONL writer."""
     from repro.obs.jsonl import JsonlWriter, RotatingJsonlWriter
 
-    if args.events_rotate is not None:
-        return RotatingJsonlWriter(args.events_out, max_bytes=args.events_rotate)
-    return JsonlWriter(args.events_out)
+    if events_rotate is not None:
+        return RotatingJsonlWriter(events_out, max_bytes=events_rotate)
+    return JsonlWriter(events_out)
+
+
+def _run_metadata(args: argparse.Namespace) -> dict:
+    """JSON-safe run configuration stored in the checkpoint header.
+
+    ``run --resume`` rebuilds the run from this — the command line at
+    resume time does not have to repeat the original flags.
+    """
+    return {
+        "target": "run",
+        "policy": args.policy,
+        "scan_select": bool(args.scan_select),
+        "n": args.n,
+        "seed": args.seed,
+        "utilization": args.utilization,
+        "streaming": bool(args.streaming),
+        "window": args.window,
+        "events_out": args.events_out,
+        "events_rotate": args.events_rotate,
+        "events_sample": args.events_sample,
+        "faults": args.faults,
+        "checkpoint_every": args.checkpoint_every,
+        "checkpoint_out": args.checkpoint_out,
+    }
+
+
+def _export_events(
+    recorder, events_out: str, events_sample: float, events_rotate: int | None
+) -> tuple[object, int]:
+    """Write a buffered run's events, with optional sampling/rotation.
+
+    Returns ``(path, records_written)`` — the streaming path writes
+    natively; this mirrors its sampling/rotation pipeline for events
+    buffered by a :class:`~repro.obs.recorder.Recorder`.
+    """
+    if events_sample < 1.0 or events_rotate is not None:
+        from repro.obs.jsonl import EventSampler
+
+        sampler = EventSampler(events_sample) if events_sample < 1.0 else None
+        with _make_sink(events_out, events_rotate) as sink:
+            for record in recorder.events:
+                if sampler is not None:
+                    if record.get("kind") == "run_start":
+                        record = dict(record, sample=sampler.rate)
+                    filtered = sampler.filter(record)
+                    if filtered is None:
+                        continue
+                    record = filtered
+                sink.write(record)
+        return sink.path, sink.records_written
+    path = recorder.write_events(events_out)
+    return path, len(recorder.events)
 
 
 def _run_streaming(args: argparse.Namespace, fault_spec=None) -> int:
@@ -461,7 +562,11 @@ def _run_streaming(args: argparse.Namespace, fault_spec=None) -> int:
 
     spec = WorkloadSpec(n_transactions=args.n, utilization=args.utilization)
     workload = generate(spec, seed=args.seed)
-    sink = _make_sink(args) if args.events_out else None
+    sink = (
+        _make_sink(args.events_out, args.events_rotate)
+        if args.events_out
+        else None
+    )
     interval = _heartbeat_interval(args)
     try:
         if interval is None:
@@ -472,6 +577,11 @@ def _run_streaming(args: argparse.Namespace, fault_spec=None) -> int:
                 sink=sink,
                 sample=args.events_sample,
                 faults=fault_spec,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_out=args.checkpoint_out,
+                checkpoint_metadata=(
+                    _run_metadata(args) if args.checkpoint_out else None
+                ),
             )
         else:
             # Heartbeat rides along via MultiInstrument; it observes only.
@@ -488,6 +598,19 @@ def _run_streaming(args: argparse.Namespace, fault_spec=None) -> int:
             recorder = StreamingRecorder(
                 window=args.window, sink=sink, sample=args.events_sample
             )
+            checkpointer = None
+            if args.checkpoint_out:
+                # The checkpointer captures the recorder, not the
+                # MultiInstrument: the heartbeat holds wall-clock state
+                # and is rebuilt fresh on resume.
+                from repro.ckpt import Checkpointer
+
+                checkpointer = Checkpointer(
+                    args.checkpoint_out,
+                    instrument=recorder,
+                    writer=sink if hasattr(sink, "ckpt_state") else None,
+                    metadata=_run_metadata(args),
+                )
             result = Simulator(
                 workload.transactions,
                 _policy_spec(args).make(),
@@ -495,6 +618,8 @@ def _run_streaming(args: argparse.Namespace, fault_spec=None) -> int:
                 instrument=MultiInstrument([recorder, Heartbeat(interval)]),
                 faults=plan,
                 retain_records=False,
+                checkpoint_every=args.checkpoint_every,
+                checkpointer=checkpointer,
             ).run()
     finally:
         if sink is not None:
@@ -606,12 +731,25 @@ def _run_instrumented(args: argparse.Namespace, fault_spec=None) -> int:
         from repro.obs.profile import PhaseProfiler
 
         profiler = PhaseProfiler()
+    checkpointer = None
+    if args.checkpoint_out:
+        # Buffered events live inside the Recorder, which the
+        # checkpointer pickles whole — no separate writer state.
+        from repro.ckpt import Checkpointer
+
+        checkpointer = Checkpointer(
+            args.checkpoint_out,
+            instrument=recorder,
+            metadata=_run_metadata(args),
+        )
     result = run_policy_on(
         workload,
         _policy_spec(args),
         instrument=instrument,
         faults=fault_spec,
         profiler=profiler,
+        checkpoint_every=args.checkpoint_every,
+        checkpointer=checkpointer,
     )
     report = recorder.report()
     if args.report:
@@ -630,30 +768,9 @@ def _run_instrumented(args: argparse.Namespace, fault_spec=None) -> int:
             f"preemptions={report.preemptions}{fault_suffix}"
         )
     if args.events_out:
-        if args.events_sample < 1.0 or args.events_rotate is not None:
-            # Re-export the buffered events through the sampling /
-            # rotation pipeline the streaming path writes natively.
-            from repro.obs.jsonl import EventSampler
-
-            sampler = (
-                EventSampler(args.events_sample)
-                if args.events_sample < 1.0
-                else None
-            )
-            with _make_sink(args) as sink:
-                for record in recorder.events:
-                    if sampler is not None:
-                        if record.get("kind") == "run_start":
-                            record = dict(record, sample=sampler.rate)
-                        filtered = sampler.filter(record)
-                        if filtered is None:
-                            continue
-                        record = filtered
-                    sink.write(record)
-            path, written = sink.path, sink.records_written
-        else:
-            path = recorder.write_events(args.events_out)
-            written = len(recorder.events)
+        path, written = _export_events(
+            recorder, args.events_out, args.events_sample, args.events_rotate
+        )
         print(
             f"event log ({written} records) written to {path}",
             file=sys.stderr,
@@ -668,6 +785,104 @@ def _run_instrumented(args: argparse.Namespace, fault_spec=None) -> int:
             "profile snapshot written to "
             f"{_write_profile(profiler.snapshot(args.policy), args.profile_out)}",
             file=sys.stderr,
+        )
+    return 0
+
+
+def _run_resume(args: argparse.Namespace) -> int:
+    """Resume a killed ``run`` from its checkpoint to completion.
+
+    The run configuration (policy, workload, streaming mode, event log)
+    comes from the checkpoint's metadata; the event log is truncated
+    back to the snapshot and continued, so the finished artifacts are
+    byte-identical to an uninterrupted run's.  Checkpointing continues
+    at the original cadence (override with --checkpoint-every /
+    --checkpoint-out), so a resumed run can itself be killed and
+    resumed again.
+    """
+    from repro.ckpt import Checkpointer, load_checkpoint, restore_writer
+    from repro.obs.streaming import StreamingRecorder
+    from repro.sim.engine import Simulator
+
+    checkpoint = load_checkpoint(args.resume)
+    meta = checkpoint.metadata
+    writer = restore_writer(checkpoint.writer_state)
+    recorder = checkpoint.restore_instrument(sink=writer)
+    every = args.checkpoint_every or meta.get("checkpoint_every")
+    checkpointer = None
+    if every:
+        checkpointer = Checkpointer(
+            args.checkpoint_out or args.resume,
+            instrument=recorder,
+            writer=writer,
+            metadata=meta,
+        )
+    instrument = recorder
+    interval = _heartbeat_interval(args)
+    if interval is not None and recorder is not None:
+        from repro.obs.hooks import MultiInstrument
+        from repro.obs.progress import Heartbeat
+
+        instrument = MultiInstrument([recorder, Heartbeat(interval)])
+    try:
+        result = Simulator.resume_from(
+            checkpoint,
+            instrument=instrument,
+            checkpoint_every=every,
+            checkpointer=checkpointer,
+        ).run()
+    finally:
+        if writer is not None:
+            writer.close()
+    print(
+        f"resumed {args.resume} at event {checkpoint.events_processed} "
+        f"(t={checkpoint.now:g})",
+        file=sys.stderr,
+    )
+    if isinstance(recorder, StreamingRecorder):
+        report = recorder.report()
+        if args.report:
+            print(report.render())
+        else:
+            print(
+                f"{report.policy}: n={report.n_transactions} "
+                f"avg_tardiness={result.average_tardiness:.3f} "
+                f"tardiness_p99={report.tardiness_p99:.3f} "
+                f"miss_ratio={report.miss_ratio:.4f} "
+                f"scheduling_points={report.scheduling_points}"
+            )
+        if writer is not None:
+            print(
+                f"event log ({writer.records_written} records) continued "
+                f"at {meta.get('events_out')}",
+                file=sys.stderr,
+            )
+    elif recorder is not None:
+        report = recorder.report()
+        if args.report:
+            print(report.render())
+        else:
+            print(
+                f"{report.policy}: n={report.n_transactions} "
+                f"avg_tardiness={result.average_tardiness:.3f} "
+                f"scheduling_points={report.scheduling_points} "
+                f"preemptions={report.preemptions}"
+            )
+        if meta.get("events_out"):
+            path, written = _export_events(
+                recorder,
+                meta["events_out"],
+                float(meta.get("events_sample") or 1.0),
+                meta.get("events_rotate"),
+            )
+            print(
+                f"event log ({written} records) written to {path}",
+                file=sys.stderr,
+            )
+    else:
+        print(
+            f"{checkpoint.policy_name}: n={result.n} "
+            f"avg_tardiness={result.average_tardiness:.3f}"
         )
     return 0
 
@@ -744,9 +959,58 @@ def _run_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_signal_handlers() -> None:
+    """SIGINT/SIGTERM raise KeyboardInterrupt once, then revert to default.
+
+    The first signal interrupts gracefully (sweeps drain their pool and
+    persist the manifest; exit code 3); resetting to SIG_DFL means a
+    second signal hard-kills a shutdown that is itself stuck.
+    """
+    import signal
+
+    def _handler(signum: int, frame: object) -> None:
+        signal.signal(signum, signal.SIG_DFL)
+        raise KeyboardInterrupt
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, _handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _install_signal_handlers()
+    from repro.errors import CheckpointError, SweepInterrupted
+
+    try:
+        return _dispatch(parser, args)
+    except SweepInterrupted:
+        # run_cell_groups already reported the cell counts to stderr.
+        if getattr(args, "resume", None):
+            print(
+                "interrupted; completed cells are persisted — rerun the "
+                "same command to continue",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "interrupted; progress was not persisted (pass --resume "
+                "PATH to make sweeps resumable)",
+                file=sys.stderr,
+            )
+        return 3
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 3
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.target not in _TARGETS:
         _unknown_name_error(parser, "target", args.target, _TARGETS)
     expected_paths = {"analyze": 1, "diff": 2}.get(args.target, 0)
@@ -764,6 +1028,39 @@ def main(argv: Sequence[str] | None = None) -> int:
             "--scan-select applies only to --policy asets-star "
             "(the incremental/scan split exists only there)"
         )
+    if args.checkpoint_every is not None or args.checkpoint_out is not None:
+        if args.target != "run":
+            parser.error(
+                "--checkpoint-every/--checkpoint-out apply to the 'run' "
+                "target (sweeps persist progress via --resume instead)"
+            )
+        if args.checkpoint_every is None or args.checkpoint_out is None:
+            parser.error(
+                "--checkpoint-every and --checkpoint-out must be given "
+                "together"
+            )
+        if args.checkpoint_every < 1:
+            parser.error(
+                f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+            )
+        if args.profile_out:
+            parser.error(
+                "checkpointing cannot be combined with --profile-out: "
+                "wall-clock phase timings do not survive a resume"
+            )
+    if args.resume is not None:
+        resumable = set(_FIGURES) | {"run", "chaos", "alpha"}
+        if args.target not in resumable:
+            parser.error(
+                "--resume applies to 'run' (checkpoint file) and the "
+                "sweep targets (completion manifest): "
+                f"{', '.join(sorted(resumable))}"
+            )
+        if args.target == "run" and args.events_out:
+            parser.error(
+                "'run --resume' continues the event log recorded in the "
+                "checkpoint; --events-out does not apply"
+            )
     if args.target == "analyze":
         return _run_analyze(args)
     if args.target == "diff":
@@ -781,6 +1078,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         return _run_profile(args, fault_spec=_parse_faults(parser, args))
     if args.target == "run":
+        if args.resume is not None:
+            return _run_resume(args)
         from repro.policies.registry import available_policies
 
         if args.policy not in available_policies():

@@ -64,6 +64,7 @@ def estimation_robustness(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """Average tardiness vs. maximum relative length-estimation error.
 
@@ -79,7 +80,12 @@ def estimation_robustness(
         )
         for error in errors
     ]
-    if jobs != 1 or failures is not None or cell_timeout is not None:
+    if (
+        jobs != 1
+        or failures is not None
+        or cell_timeout is not None
+        or resume is not None
+    ):
         from repro.experiments.parallel import SweepColumn, grid_sweep
 
         return grid_sweep(
@@ -92,6 +98,7 @@ def estimation_robustness(
             progress=progress,
             failures=failures,
             cell_timeout=cell_timeout,
+            resume=resume,
         )
     series = MetricSeries(
         x_label="max relative estimation error",
@@ -121,9 +128,15 @@ def multiserver_sweep(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """Average tardiness vs. server count at constant per-server load."""
-    if jobs != 1 or failures is not None or cell_timeout is not None:
+    if (
+        jobs != 1
+        or failures is not None
+        or cell_timeout is not None
+        or resume is not None
+    ):
         from repro.experiments.parallel import SweepColumn, grid_sweep
 
         columns = [
@@ -147,6 +160,7 @@ def multiserver_sweep(
             progress=progress,
             failures=failures,
             cell_timeout=cell_timeout,
+            resume=resume,
         )
     series = MetricSeries(
         x_label="servers",

@@ -92,6 +92,7 @@ def figure8(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """Average tardiness under low system utilization (Figure 8)."""
     return utilization_sweep(
@@ -104,6 +105,7 @@ def figure8(
         jobs=jobs,
         failures=failures,
         cell_timeout=cell_timeout,
+        resume=resume,
     )
 
 
@@ -113,6 +115,7 @@ def figure9(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """Average tardiness under high system utilization (Figure 9)."""
     return utilization_sweep(
@@ -125,6 +128,7 @@ def figure9(
         jobs=jobs,
         failures=failures,
         cell_timeout=cell_timeout,
+        resume=resume,
     )
 
 
@@ -135,6 +139,7 @@ def normalized_tardiness(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """ASETS* average tardiness normalized to EDF and to SRPT.
 
@@ -154,6 +159,7 @@ def normalized_tardiness(
         jobs=jobs,
         failures=failures,
         cell_timeout=cell_timeout,
+        resume=resume,
     )
     out = MetricSeries(
         x_label="utilization",
@@ -177,9 +183,10 @@ def figure10(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """Normalized average tardiness at the default k_max = 3 (Figure 10)."""
-    return normalized_tardiness(3.0, config, progress, jobs=jobs, failures=failures, cell_timeout=cell_timeout)
+    return normalized_tardiness(3.0, config, progress, jobs=jobs, failures=failures, cell_timeout=cell_timeout, resume=resume)
 
 
 def figure11(
@@ -188,9 +195,10 @@ def figure11(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """Normalized average tardiness at k_max = 1 (Figure 11)."""
-    return normalized_tardiness(1.0, config, progress, jobs=jobs, failures=failures, cell_timeout=cell_timeout)
+    return normalized_tardiness(1.0, config, progress, jobs=jobs, failures=failures, cell_timeout=cell_timeout, resume=resume)
 
 
 def figure12(
@@ -199,9 +207,10 @@ def figure12(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """Normalized average tardiness at k_max = 2 (Figure 12)."""
-    return normalized_tardiness(2.0, config, progress, jobs=jobs, failures=failures, cell_timeout=cell_timeout)
+    return normalized_tardiness(2.0, config, progress, jobs=jobs, failures=failures, cell_timeout=cell_timeout, resume=resume)
 
 
 def figure13(
@@ -210,9 +219,10 @@ def figure13(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """Normalized average tardiness at k_max = 4 (Figure 13)."""
-    return normalized_tardiness(4.0, config, progress, jobs=jobs, failures=failures, cell_timeout=cell_timeout)
+    return normalized_tardiness(4.0, config, progress, jobs=jobs, failures=failures, cell_timeout=cell_timeout, resume=resume)
 
 
 def alpha_sweep(
@@ -222,6 +232,7 @@ def alpha_sweep(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> dict[float, MetricSeries]:
     """Length-distribution skew study (Section IV-C, plots omitted there).
 
@@ -229,7 +240,9 @@ def alpha_sweep(
     utilization grid at :math:`k_{max} = 3`.  The paper's observation:
     the more skewed the lengths, the earlier (lower utilization) the
     EDF/SRPT crossover.  Use ``MetricSeries.crossover("EDF", "SRPT")`` on
-    the returned series to read the crossover points.
+    the returned series to read the crossover points.  ``resume`` keeps
+    one manifest per alpha (``{path}.alpha-{alpha:g}``): each alpha is a
+    distinct grid with its own fingerprint.
     """
     out: dict[float, MetricSeries] = {}
     for alpha in alphas:
@@ -243,6 +256,9 @@ def alpha_sweep(
             jobs=jobs,
             failures=failures,
             cell_timeout=cell_timeout,
+            resume=(
+                f"{resume}.alpha-{alpha:g}" if resume is not None else None
+            ),
         )
     return out
 
@@ -253,6 +269,7 @@ def figure14(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """Workflow level: ASETS* vs the Ready baseline (Figure 14).
 
@@ -268,6 +285,7 @@ def figure14(
         jobs=jobs,
         failures=failures,
         cell_timeout=cell_timeout,
+        resume=resume,
     )
 
 
@@ -277,6 +295,7 @@ def figure15(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """The general case: ASETS* vs EDF vs HDF on weighted tardiness (Figure 15)."""
     return utilization_sweep(
@@ -288,6 +307,7 @@ def figure15(
         jobs=jobs,
         failures=failures,
         cell_timeout=cell_timeout,
+        resume=resume,
     )
 
 
@@ -301,12 +321,16 @@ def balance_aware_sweep(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """Balance-aware ASETS* against plain ASETS* over activation rates.
 
     The shared machinery behind Figures 16-17 (and their count-based
     twins): at a fixed utilization, sweep the activation rate and compare
     ``metric`` of balance-aware ASETS* with the flat ASETS* reference.
+    ``resume`` persists completed cells to a
+    :class:`~repro.ckpt.sweep.SweepManifest` and skips them on restart
+    (forces the grouped path).
     """
     if rate_kind not in ("time", "count"):
         raise ValueError(f"rate_kind must be 'time' or 'count', got {rate_kind!r}")
@@ -327,7 +351,12 @@ def balance_aware_sweep(
         metric=metric,
     )
 
-    if jobs == 1 and failures is None and cell_timeout is None:
+    if (
+        jobs == 1
+        and failures is None
+        and cell_timeout is None
+        and resume is None
+    ):
         workloads = generate_workloads(spec, config.seeds)
         baseline = mean_metric(workloads, baseline_spec, metric)
         balanced_values = []
@@ -349,20 +378,54 @@ def balance_aware_sweep(
     from repro.metrics.aggregates import mean as _mean
 
     policy_tuple = (baseline_spec,) + tuple(rate_policy(rate) for rate in rates)
-    groups = [
-        CellGroup(
-            index=0,
-            x=utilization,
-            seed=seed,
-            spec=spec,
-            policies=policy_tuple,
-            metric=metric,
+    manifest = None
+    preloaded: dict[tuple[int, int, int], float] = {}
+    if resume is not None:
+        from repro.ckpt.sweep import SweepManifest, grid_fingerprint
+        from repro.experiments.parallel import SweepColumn
+
+        manifest = SweepManifest.open(
+            resume,
+            grid_fingerprint(
+                [SweepColumn(x=utilization, spec=spec)],
+                policy_tuple,
+                metric,
+                config.seeds,
+                None,
+            ),
         )
-        for seed in config.seeds
-    ]
-    results, cell_failures = run_cell_groups(
-        groups, jobs, progress, timeout=cell_timeout
-    )
+        preloaded = dict(manifest.completed)
+    groups = []
+    for seed in config.seeds:
+        positions = tuple(
+            pos
+            for pos in range(len(policy_tuple))
+            if (0, seed, pos) not in preloaded
+        )
+        if not positions:
+            continue
+        groups.append(
+            CellGroup(
+                index=0,
+                x=utilization,
+                seed=seed,
+                spec=spec,
+                policies=tuple(policy_tuple[pos] for pos in positions),
+                metric=metric,
+                policy_positions=(
+                    positions if len(positions) != len(policy_tuple) else None
+                ),
+            )
+        )
+    try:
+        results, cell_failures = run_cell_groups(
+            groups, jobs, progress, timeout=cell_timeout, manifest=manifest
+        )
+    finally:
+        if manifest is not None:
+            manifest.close()
+    if preloaded:
+        results = {**preloaded, **results}
     if cell_failures:
         if failures is None:
             raise SweepError(cell_failures)
@@ -390,12 +453,13 @@ def figure16(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """Worst case: maximum weighted tardiness vs time-based rate (Figure 16)."""
     return balance_aware_sweep(
         "max_weighted_tardiness", TIME_ACTIVATION_RATES, "time", config,
         progress=progress, jobs=jobs, failures=failures,
-        cell_timeout=cell_timeout,
+        cell_timeout=cell_timeout, resume=resume,
     )
 
 
@@ -405,12 +469,13 @@ def figure17(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """Average case: average weighted tardiness vs time-based rate (Figure 17)."""
     return balance_aware_sweep(
         "average_weighted_tardiness", TIME_ACTIVATION_RATES, "time", config,
         progress=progress, jobs=jobs, failures=failures,
-        cell_timeout=cell_timeout,
+        cell_timeout=cell_timeout, resume=resume,
     )
 
 
@@ -420,12 +485,13 @@ def figure16_count_based(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """Count-based twin of Figure 16 ("same behavior", Section IV-F)."""
     return balance_aware_sweep(
         "max_weighted_tardiness", COUNT_ACTIVATION_RATES, "count", config,
         progress=progress, jobs=jobs, failures=failures,
-        cell_timeout=cell_timeout,
+        cell_timeout=cell_timeout, resume=resume,
     )
 
 
@@ -435,10 +501,11 @@ def figure17_count_based(
     jobs: int = 1,
     failures: "list[CellFailure] | None" = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """Count-based twin of Figure 17."""
     return balance_aware_sweep(
         "average_weighted_tardiness", COUNT_ACTIVATION_RATES, "count", config,
         progress=progress, jobs=jobs, failures=failures,
-        cell_timeout=cell_timeout,
+        cell_timeout=cell_timeout, resume=resume,
     )

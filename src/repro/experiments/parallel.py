@@ -42,12 +42,14 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import pathlib
+import sys
 import threading
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from traceback import format_exc
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
-from repro.errors import SweepError
+from repro.errors import CheckpointError, SweepError, SweepInterrupted
 from repro.experiments.config import PolicySpec
 from repro.faults import FaultSpec, plan_faults
 from repro.metrics.aggregates import MetricSeries, mean
@@ -56,6 +58,7 @@ from repro.workload.generator import generate
 from repro.workload.spec import WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ckpt.sweep import SweepManifest
     from repro.obs.profile import ProfileSnapshot
     from repro.obs.streaming import RunTelemetry
 
@@ -129,6 +132,11 @@ class CellGroup:
     #: :class:`~repro.obs.profile.PhaseProfiler` and ships its
     #: :class:`~repro.obs.profile.ProfileSnapshot` home.
     profile: bool = False
+    #: Set on resume remnants: ``policies[k]`` sits at position
+    #: ``policy_positions[k]`` of the *original* grid's policy list, so
+    #: the merge keys cells by their original coordinates even when
+    #: already-completed policies were dropped from the group.
+    policy_positions: tuple[int, ...] | None = None
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -264,6 +272,7 @@ def run_cell_groups(
     timeout: float | None = None,
     telemetry_out: "dict[tuple[int, int, int], RunTelemetry] | None" = None,
     profile_out: "dict[tuple[int, int, int], ProfileSnapshot] | None" = None,
+    manifest: "SweepManifest | None" = None,
 ) -> tuple[dict[tuple[int, int, int], float], list[CellFailure]]:
     """Execute the groups and index every cell result by its coordinates.
 
@@ -275,7 +284,16 @@ def run_cell_groups(
     cell's :class:`~repro.obs.streaming.RunTelemetry` under the same
     coordinate key; when groups set ``profile``, ``profile_out``
     likewise collects each cell's
-    :class:`~repro.obs.profile.ProfileSnapshot`.
+    :class:`~repro.obs.profile.ProfileSnapshot`.  ``manifest`` (a
+    :class:`~repro.ckpt.sweep.SweepManifest`) persists every successful
+    cell the moment it is merged, making the sweep resumable.
+
+    A ``KeyboardInterrupt`` (Ctrl-C, or the CLI's SIGTERM handler) is
+    handled gracefully: workers are terminated before pool shutdown (no
+    orphan processes), completed/failed/pending cell counts go to
+    stderr, and :class:`~repro.errors.SweepInterrupted` is raised so
+    callers can distinguish an interrupt from a failure.  Cells already
+    merged — and, with ``manifest``, persisted — are not lost.
 
     With ``jobs == 1`` everything runs inline in this process (no pool,
     no pickling); with ``jobs > 1`` groups are fanned out over a
@@ -308,30 +326,48 @@ def run_cell_groups(
     failures: list[CellFailure] = []
 
     def merge(result: GroupResult) -> None:
-        for pos, (value, failure) in enumerate(
+        positions = result.group.policy_positions
+        for local_pos, (value, failure) in enumerate(
             zip(result.values, result.failures)
         ):
+            pos = positions[local_pos] if positions is not None else local_pos
             coord = (result.group.index, result.group.seed, pos)
             if failure is not None:
                 failures.append(failure)
             else:
                 assert value is not None
                 results[coord] = value
+                if manifest is not None:
+                    manifest.record(
+                        result.group.index, result.group.seed, pos, value
+                    )
                 if telemetry_out is not None and result.telemetry:
-                    cell_telemetry = result.telemetry[pos]
+                    cell_telemetry = result.telemetry[local_pos]
                     if cell_telemetry is not None:
                         telemetry_out[coord] = cell_telemetry
                 if profile_out is not None and result.profiles:
-                    cell_profile = result.profiles[pos]
+                    cell_profile = result.profiles[local_pos]
                     if cell_profile is not None:
                         profile_out[coord] = cell_profile
         report(result)
 
-    if jobs == 1 and timeout is None:
-        for group in groups:
-            merge(_run_group(group))
-    else:
-        _run_pooled(groups, jobs, timeout, merge, failures)
+    try:
+        if jobs == 1 and timeout is None:
+            for group in groups:
+                merge(_run_group(group))
+        else:
+            _run_pooled(groups, jobs, timeout, merge, failures)
+    except KeyboardInterrupt:
+        total = sum(len(group.policies) for group in groups)
+        completed = len(results)
+        failed = len(failures)
+        pending = total - completed - failed
+        print(
+            f"sweep interrupted: {completed} cell(s) completed, "
+            f"{failed} failed, {pending} pending",
+            file=sys.stderr,
+        )
+        raise SweepInterrupted(completed, failed, pending) from None
 
     failures.sort(key=lambda f: (f.x, f.seed, f.policy))
     return results, failures
@@ -357,9 +393,14 @@ def _run_pooled(
     merge: Callable[[GroupResult], None],
     failures: list[CellFailure],
 ) -> None:
-    """Pool execution with an optional no-progress watchdog."""
+    """Pool execution with an optional no-progress watchdog.
+
+    Abandons the pool (terminate workers, then non-waiting shutdown) in
+    two cases: the watchdog fired, or the caller interrupted the sweep
+    (``KeyboardInterrupt``, re-raised after the cleanup is armed).
+    """
     pool = ProcessPoolExecutor(max_workers=jobs)
-    timed_out = False
+    abandon = False
     try:
         future_to_group = {
             pool.submit(_run_group, group): group for group in groups
@@ -372,7 +413,7 @@ def _run_pooled(
             if not done:
                 # Nothing finished inside the watchdog window: treat every
                 # outstanding group (hung or queued behind it) as failed.
-                timed_out = True
+                abandon = True
                 for future in pending:
                     future.cancel()
                     failures.extend(
@@ -381,9 +422,14 @@ def _run_pooled(
                 break
             for future in done:
                 merge(future.result())
+    except KeyboardInterrupt:
+        # Graceful interruption: reap the workers below instead of
+        # orphaning them, then let run_cell_groups report the counts.
+        abandon = True
+        raise
     finally:
-        if timed_out:
-            # Best effort: reap the hung workers *before* shutdown (which
+        if abandon:
+            # Best effort: reap the live workers *before* shutdown (which
             # drops its process handles) so neither this call nor
             # interpreter exit blocks on them.  The manager thread then
             # observes the dead workers and winds itself down.
@@ -398,7 +444,7 @@ def _run_pooled(
                     proc.terminate()
                 except Exception:  # pragma: no cover - already gone
                     pass
-        pool.shutdown(wait=not timed_out, cancel_futures=True)
+        pool.shutdown(wait=not abandon, cancel_futures=True)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -427,6 +473,7 @@ def grid_sweep(
     telemetry_out: "dict[str, RunTelemetry] | None" = None,
     profile: bool = False,
     profile_out: "dict[str, ProfileSnapshot] | None" = None,
+    resume: str | pathlib.Path | None = None,
 ) -> MetricSeries:
     """Run a (column × seed × policy) grid and merge it deterministically.
 
@@ -454,36 +501,87 @@ def grid_sweep(
     :class:`~repro.obs.profile.ProfileSnapshot` merged in the same
     fixed grid order.  Counts and structure are deterministic for any
     ``jobs`` count (wall-clock totals naturally vary run to run).
+
+    ``resume`` makes the sweep restartable: every completed cell is
+    appended (atomically per line, flushed immediately) to a
+    :class:`~repro.ckpt.sweep.SweepManifest` at that path, and on
+    restart cells already listed — under the same grid fingerprint —
+    are skipped and their persisted values merged back in.  JSON floats
+    round-trip exactly, so the resumed series is byte-identical to a
+    fresh single-process run.  Resume cannot be combined with
+    ``telemetry`` or ``profile`` (their per-cell state is not
+    persisted in the manifest).
     """
     seed_list = list(seeds)
     policy_list = list(policies)
-    groups = [
-        CellGroup(
-            index=i,
-            x=column.x,
-            seed=seed,
-            spec=column.spec,
-            policies=tuple(policy_list),
-            metric=metric,
-            servers=column.servers,
-            fault_spec=fault_spec,
-            telemetry=telemetry,
-            profile=profile,
+    manifest: "SweepManifest | None" = None
+    preloaded: dict[tuple[int, int, int], float] = {}
+    if resume is not None:
+        if telemetry is not None or profile:
+            raise CheckpointError(
+                "sweep resume cannot be combined with telemetry or "
+                "profile collection: their per-cell state is not "
+                "persisted in the manifest"
+            )
+        from repro.ckpt.sweep import SweepManifest, grid_fingerprint
+
+        manifest = SweepManifest.open(
+            resume,
+            grid_fingerprint(
+                columns, policy_list, metric, seed_list, fault_spec
+            ),
         )
-        for i, column in enumerate(columns)
-        for seed in seed_list
-    ]
+        preloaded = dict(manifest.completed)
+    groups = []
+    for i, column in enumerate(columns):
+        for seed in seed_list:
+            positions = tuple(
+                pos
+                for pos in range(len(policy_list))
+                if (i, seed, pos) not in preloaded
+            )
+            if not positions:
+                continue  # every cell of this group already completed
+            groups.append(
+                CellGroup(
+                    index=i,
+                    x=column.x,
+                    seed=seed,
+                    spec=column.spec,
+                    policies=tuple(policy_list[pos] for pos in positions),
+                    metric=metric,
+                    servers=column.servers,
+                    fault_spec=fault_spec,
+                    telemetry=telemetry,
+                    profile=profile,
+                    policy_positions=(
+                        positions
+                        if len(positions) != len(policy_list)
+                        else None
+                    ),
+                )
+            )
     cell_telemetry: "dict[tuple[int, int, int], RunTelemetry] | None" = (
         {} if telemetry is not None and telemetry_out is not None else None
     )
     cell_profiles: "dict[tuple[int, int, int], ProfileSnapshot] | None" = (
         {} if profile and profile_out is not None else None
     )
-    results, cell_failures = run_cell_groups(
-        groups, jobs, progress, timeout=cell_timeout,
-        telemetry_out=cell_telemetry,
-        profile_out=cell_profiles,
-    )
+    try:
+        results, cell_failures = run_cell_groups(
+            groups, jobs, progress, timeout=cell_timeout,
+            telemetry_out=cell_telemetry,
+            profile_out=cell_profiles,
+            manifest=manifest,
+        )
+    finally:
+        if manifest is not None:
+            manifest.close()
+    if preloaded:
+        # Persisted cells merge under their original coordinates; cells
+        # recomputed this attempt never collide with them (they were
+        # excluded from the groups above).
+        results = {**preloaded, **results}
     if cell_failures:
         if failures is None:
             raise SweepError(cell_failures)

@@ -21,6 +21,7 @@ from repro.workload.generator import Workload, generate
 from repro.workload.spec import WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ckpt.snapshot import Checkpointer
     from repro.experiments.parallel import CellFailure
     from repro.obs.hooks import Instrument
     from repro.obs.jsonl import EventSink
@@ -48,6 +49,8 @@ def run_policy_on(
     instrument: "Instrument | None" = None,
     faults: FaultSpec | None = None,
     profiler: "PhaseProfiler | None" = None,
+    checkpoint_every: int | None = None,
+    checkpointer: "Checkpointer | None" = None,
 ) -> SimulationResult:
     """Replay ``workload`` under a fresh instance of ``policy_spec``.
 
@@ -60,7 +63,9 @@ def run_policy_on(
     under every policy.  ``profiler`` attaches a
     :class:`~repro.obs.profile.PhaseProfiler` for per-phase hot-path
     attribution (observation-only; results are byte-identical with or
-    without it).
+    without it).  ``checkpoint_every`` + ``checkpointer`` make the run
+    crash-resilient (:mod:`repro.ckpt`); checkpointing is likewise
+    observation-only.
     """
     workload.reset()
     plan = None
@@ -73,6 +78,8 @@ def run_policy_on(
         instrument=instrument,
         faults=plan,
         profiler=profiler,
+        checkpoint_every=checkpoint_every,
+        checkpointer=checkpointer,
     ).run()
 
 
@@ -84,6 +91,9 @@ def run_policy_streaming(
     sink: "EventSink | None" = None,
     sample: float = 1.0,
     faults: FaultSpec | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_out: "str | None" = None,
+    checkpoint_metadata: dict | None = None,
 ) -> "tuple[SimulationResult, StreamingRecorder]":
     """Replay ``workload`` in constant-memory streaming mode.
 
@@ -95,6 +105,11 @@ def run_policy_streaming(
     ``recorder.report()`` yields the quantile-bearing
     :class:`~repro.obs.summary.RunReport` and ``recorder.telemetry`` the
     mergeable :class:`~repro.obs.streaming.RunTelemetry`.
+
+    ``checkpoint_every`` + ``checkpoint_out`` checkpoint the run to that
+    path (:mod:`repro.ckpt`): the recorder's accumulators and — when
+    ``sink`` is a JSONL writer — the log position ride in the same
+    snapshot as the engine, so a killed run resumes byte-identically.
     """
     from repro.obs.streaming import StreamingRecorder
 
@@ -108,6 +123,16 @@ def run_policy_streaming(
         sink=sink,
         sample=sample,
     )
+    checkpointer = None
+    if checkpoint_out is not None:
+        from repro.ckpt import Checkpointer
+
+        checkpointer = Checkpointer(
+            checkpoint_out,
+            instrument=recorder,
+            writer=sink if hasattr(sink, "ckpt_state") else None,
+            metadata=checkpoint_metadata,
+        )
     result = Simulator(
         workload.transactions,
         policy_spec.make(),
@@ -115,6 +140,8 @@ def run_policy_streaming(
         instrument=recorder,
         faults=plan,
         retain_records=False,
+        checkpoint_every=checkpoint_every,
+        checkpointer=checkpointer,
     ).run()
     return result, recorder
 
@@ -174,6 +201,7 @@ def utilization_sweep(
     failures: "list[CellFailure] | None" = None,
     fault_spec: FaultSpec | None = None,
     cell_timeout: float | None = None,
+    resume: str | None = None,
 ) -> MetricSeries:
     """The workhorse behind Figures 8-15: metric vs utilization per policy.
 
@@ -211,9 +239,19 @@ def utilization_sweep(
     cell_timeout:
         Wall-clock seconds of the no-progress watchdog; forces the pool
         path (a hung inline cell could never be interrupted).
+    resume:
+        Path of a :class:`~repro.ckpt.sweep.SweepManifest`: completed
+        cells are persisted as the sweep goes and skipped on restart
+        (forces the grid path; the merged series stays byte-identical
+        to a fresh ``jobs=1`` run).
     """
     xs = list(utilizations if utilizations is not None else config.utilizations)
-    if jobs == 1 and failures is None and cell_timeout is None:
+    if (
+        jobs == 1
+        and failures is None
+        and cell_timeout is None
+        and resume is None
+    ):
         series = MetricSeries(x_label="utilization", x=xs, metric=metric)
         values: dict[str, list[float]] = {p.display: [] for p in policies}
         for util in xs:
@@ -258,4 +296,5 @@ def utilization_sweep(
         failures=failures,
         fault_spec=fault_spec,
         cell_timeout=cell_timeout,
+        resume=resume,
     )

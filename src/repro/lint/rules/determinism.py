@@ -38,6 +38,7 @@ DETERMINISTIC_PACKAGES = (
     "repro.faults",
     "repro.obs.streaming",
     "repro.obs.profile",
+    "repro.ckpt",
 )
 
 #: The engine may touch ``perf_counter`` (instrument/profiler-guarded).

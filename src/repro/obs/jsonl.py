@@ -82,12 +82,13 @@ iterates the whole set transparently.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import warnings
 from dataclasses import dataclass, field
-from typing import IO, Iterable, Iterator, Protocol
+from typing import IO, Iterable, Iterator, Mapping, Protocol
 
-from repro.errors import ObservabilityError
+from repro.errors import CheckpointError, ObservabilityError
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -251,6 +252,38 @@ class JsonlWriter:
         self._file.flush()
         self.records_written += 1
 
+    def ckpt_state(self) -> dict:
+        """Checkpoint state: the position to truncate-and-continue from.
+
+        Only the path and the committed record count are needed: every
+        record is flushed before the engine can checkpoint past it, so
+        a resume cuts the file back to ``records`` complete lines and
+        reopens it for append (:meth:`resume`).
+        """
+        return {
+            "writer": "plain",
+            "path": str(self.path),
+            "records": self.records_written,
+        }
+
+    @classmethod
+    def resume(cls, state: Mapping) -> "JsonlWriter":
+        """Reopen a crashed run's log at its checkpointed position.
+
+        Truncates the file back to the checkpoint's record count —
+        discarding everything written between the checkpoint and the
+        crash, torn tail included — and continues appending, so the
+        finished log is byte-identical to an uninterrupted run's.
+        """
+        path = pathlib.Path(str(state["path"]))
+        records = int(state["records"])
+        _truncate_to_records(path, records)
+        writer = cls.__new__(cls)
+        writer.path = path
+        writer._file = path.open("a", encoding="utf-8")
+        writer.records_written = records
+        return writer
+
     def close(self) -> None:
         if self._file is not None:
             self._file.close()
@@ -312,9 +345,15 @@ class RotatingJsonlWriter:
             "records": self.records_written,
             "max_bytes": self.max_bytes,
         }
-        with self.manifest_path.open("w", encoding="utf-8") as handle:
+        # Atomic rewrite: a crash mid-write must leave either the old
+        # manifest or the new one, never a torn file — write a sibling
+        # temp file (same directory, so the rename cannot cross
+        # filesystems) and swap it in with one os.replace.
+        tmp = self.manifest_path.with_name(self.manifest_path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
             json.dump(manifest, handle, separators=(",", ":"))
             handle.write("\n")
+        os.replace(tmp, self.manifest_path)
 
     def write(self, record: dict) -> None:
         if self._file is None:
@@ -331,6 +370,67 @@ class RotatingJsonlWriter:
         self._part_records += 1
         self.records_written += 1
 
+    def ckpt_state(self) -> dict:
+        """Checkpoint state: part list and both record/byte cursors.
+
+        Captures everything :meth:`resume` needs to reproduce this
+        writer mid-stream: the committed part names, the total record
+        count, and the current part's record and byte cursors (rotation
+        decisions depend on ``_part_bytes``, so it must round-trip
+        exactly for resumed rotation points to match the golden run).
+        """
+        return {
+            "writer": "rotating",
+            "path": str(self.path),
+            "max_bytes": self.max_bytes,
+            "parts": [p.name for p in self.parts],
+            "records": self.records_written,
+            "part_bytes": self._part_bytes,
+            "part_records": self._part_records,
+        }
+
+    @classmethod
+    def resume(cls, state: Mapping) -> "RotatingJsonlWriter":
+        """Reopen a crashed rotated log at its checkpointed position.
+
+        Parts the crashed run opened *after* the checkpoint are deleted,
+        the checkpointed final part is truncated back to its recorded
+        line count, and the manifest is rewritten to match — after which
+        appending continues exactly where the checkpoint left off.
+        """
+        path = pathlib.Path(str(state["path"]))
+        part_names = [str(name) for name in state["parts"]]
+        if not part_names:
+            raise CheckpointError(f"{path}: checkpoint lists no log parts")
+        directory = path.parent
+        stem = path.stem
+        parts = [directory / name for name in part_names]
+        for part in parts:
+            if not part.exists():
+                raise CheckpointError(
+                    f"{part}: checkpointed log part is missing"
+                )
+        listed = set(part_names)
+        for stray in sorted(
+            directory.glob(f"{stem}-[0-9][0-9][0-9][0-9].jsonl")
+        ):
+            if stray.name not in listed:
+                stray.unlink()
+        _truncate_to_records(parts[-1], int(state["part_records"]))
+        writer = cls.__new__(cls)
+        writer.path = path
+        writer.max_bytes = int(state["max_bytes"])
+        writer._stem = stem
+        writer._dir = directory
+        writer.manifest_path = directory / f"{stem}.manifest.json"
+        writer.parts = parts
+        writer.records_written = int(state["records"])
+        writer._part_bytes = int(state["part_bytes"])
+        writer._part_records = int(state["part_records"])
+        writer._file = parts[-1].open("a", encoding="utf-8")
+        writer._write_manifest()
+        return writer
+
     def close(self) -> None:
         if self._file is not None:
             self._file.close()
@@ -342,6 +442,38 @@ class RotatingJsonlWriter:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+def _truncate_to_records(path: pathlib.Path, keep: int) -> None:
+    """Cut ``path`` back to its first ``keep`` newline-terminated lines.
+
+    Raises :class:`~repro.errors.CheckpointError` when the file is
+    missing or holds fewer complete lines than the checkpoint claims —
+    either way it cannot be the log the checkpoint was taken against.
+    """
+    if not path.exists():
+        raise CheckpointError(f"{path}: cannot resume, log file is missing")
+    with path.open("r+b") as handle:
+        offset = 0
+        remaining = keep
+        while remaining:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                raise CheckpointError(
+                    f"{path}: log holds fewer than {keep} complete "
+                    "records; it does not match the checkpoint"
+                )
+            newlines = chunk.count(b"\n")
+            if newlines >= remaining:
+                position = -1
+                for _ in range(remaining):
+                    position = chunk.find(b"\n", position + 1)
+                offset += position + 1
+                remaining = 0
+            else:
+                remaining -= newlines
+                offset += len(chunk)
+        handle.truncate(offset)
 
 
 class EventSampler:
@@ -473,12 +605,43 @@ def read(path: str | pathlib.Path, strict: bool = True) -> list[dict]:
     return list(iter_records(path, strict=strict))
 
 
-def _resolve_parts(path: pathlib.Path) -> list[pathlib.Path]:
+def _glob_fallback(
+    manifest_path: pathlib.Path, reason: object
+) -> list[pathlib.Path]:
+    """Recover a rotated set's parts by filename when the manifest is torn.
+
+    The writer names parts ``{stem}-NNNN.jsonl`` with zero-padded
+    four-digit indices, so a lexicographic sort restores read order.
+    Raises :class:`~repro.errors.ObservabilityError` when no part files
+    exist either — then there is nothing to recover from.
+    """
+    stem = manifest_path.name[: -len(".manifest.json")]
+    parts = sorted(
+        manifest_path.parent.glob(f"{stem}-[0-9][0-9][0-9][0-9].jsonl")
+    )
+    if not parts:
+        raise ObservabilityError(
+            f"{manifest_path}: unreadable manifest ({reason}) and no "
+            "part files to recover from"
+        )
+    warnings.warn(
+        f"{manifest_path}: unreadable manifest ({reason}); recovered "
+        f"{len(parts)} part(s) by filename glob",
+        UserWarning,
+        stacklevel=4,
+    )
+    return parts
+
+
+def _resolve_parts(path: pathlib.Path) -> tuple[list[pathlib.Path], int]:
     """The file(s) making up one logical log, in read order.
 
     Accepts a plain single-file log, a rotated set's manifest, or a
     rotated set's *base* path (the logical name the writer was given —
-    the manifest is looked up next to it).
+    the manifest is looked up next to it).  Returns ``(parts,
+    recovered)``: ``recovered`` is 1 when the manifest was torn or
+    corrupt and the parts were reconstructed by filename glob
+    (:func:`_glob_fallback`), 0 when the manifest was healthy.
     """
     if path.name.endswith(".manifest.json"):
         manifest_path = path
@@ -487,18 +650,18 @@ def _resolve_parts(path: pathlib.Path) -> list[pathlib.Path]:
         if path.exists() or not manifest_path.exists():
             if not path.exists():
                 raise ObservabilityError(f"{path}: no such event log")
-            return [path]
+            return [path], 0
     try:
         with manifest_path.open("r", encoding="utf-8") as handle:
             manifest = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
+    except OSError as exc:
         raise ObservabilityError(
             f"{manifest_path}: unreadable manifest: {exc}"
         ) from exc
+    except json.JSONDecodeError as exc:
+        return _glob_fallback(manifest_path, exc), 1
     if manifest.get("kind") != "manifest" or "parts" not in manifest:
-        raise ObservabilityError(
-            f"{manifest_path}: not an event-log manifest"
-        )
+        return _glob_fallback(manifest_path, "not an event-log manifest"), 1
     parts = [manifest_path.parent / name for name in manifest["parts"]]
     if not parts:
         raise ObservabilityError(f"{manifest_path}: manifest lists no parts")
@@ -507,7 +670,7 @@ def _resolve_parts(path: pathlib.Path) -> list[pathlib.Path]:
             raise ObservabilityError(
                 f"{manifest_path}: listed part {part.name} is missing"
             )
-    return parts
+    return parts, 0
 
 
 def _parse_lines(
@@ -556,7 +719,7 @@ def read_tolerant(
     loses at most the one line it was mid-write, so only the last
     non-empty line may legally fail to parse: it is dropped with a
     :class:`UserWarning` and counted in the returned
-    ``(records, truncated_lines)`` pair (``truncated_lines`` is 0 or 1).
+    ``(records, truncated_lines)`` pair.
     An unparseable line anywhere *else* still raises
     :class:`~repro.errors.ObservabilityError` — that is corruption, not
     truncation.
@@ -564,9 +727,12 @@ def read_tolerant(
     ``path`` may also be a :class:`RotatingJsonlWriter` base path or
     manifest: the rotated parts are then read in order as one logical
     log (only the *last* part's tail may be torn; the run header lives
-    in the first part).
+    in the first part).  A torn or corrupt *manifest* is tolerated too:
+    the parts are recovered by filename glob with a :class:`UserWarning`
+    and the recovery is added to the returned counter (so a crash that
+    tears both the manifest and the final line reports 2).
     """
-    parts = _resolve_parts(pathlib.Path(path))
+    parts, recovered = _resolve_parts(pathlib.Path(path))
     records: list[dict] = []
     truncated = 0
     for index, part in enumerate(parts):
@@ -578,4 +744,4 @@ def read_tolerant(
         _validate_header(records[0], parts[0])
     if not records:
         raise ObservabilityError(f"{path}: no parseable records")
-    return records, truncated
+    return records, truncated + recovered

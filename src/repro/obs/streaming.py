@@ -293,6 +293,21 @@ class QuantileSketch:
         }
         return sketch
 
+    def to_state(self) -> dict:
+        """Checkpoint state; exact (integer counts, tracked min/max).
+
+        :meth:`as_dict` already loses nothing — bucket counts are
+        integers and min/max are stored floats — so the checkpoint
+        state *is* the snapshot dict and ``from_state(to_state(s))``
+        answers every quantile/sum/count query identically to ``s``.
+        """
+        return self.as_dict()
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "QuantileSketch":
+        """Inverse of :meth:`to_state` (see there for the exactness)."""
+        return cls.from_dict(state)
+
     def __repr__(self) -> str:
         return (
             f"QuantileSketch(alpha={self.relative_accuracy}, "
@@ -390,6 +405,32 @@ class StreamingMoments:
             "min": self.min,
             "max": self.max,
         }
+
+    def to_state(self) -> dict:
+        """Checkpoint state: the *raw* accumulator fields.
+
+        Unlike :meth:`as_dict` (which reports the derived ``variance``
+        and the empty-safe min/max), this captures ``_m2`` and the raw
+        sentinels directly so a restored instance continues the Welford
+        recurrence bit-for-bit.
+        """
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self._m2,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "StreamingMoments":
+        moments = cls()
+        moments.count = int(state["count"])
+        moments.mean = float(state["mean"])
+        moments._m2 = float(state["m2"])
+        moments._min = float(state["min"])
+        moments._max = float(state["max"])
+        return moments
 
     def __repr__(self) -> str:
         return (
@@ -511,6 +552,34 @@ class TopK:
             "undercount_bound": self.undercount_bound,
             "items": [[k, w] for k, w in self.items()],
         }
+
+    def to_state(self) -> dict:
+        """Checkpoint state: raw counters in insertion order.
+
+        :meth:`as_dict` bakes the lazy ``_offset`` into the reported
+        estimates and re-sorts by weight; exact resume needs the stored
+        counters verbatim (eviction tie-breaks depend on insertion
+        order) plus the offset and decrement total, so those are kept
+        raw here.
+        """
+        return {
+            "capacity": self.capacity,
+            "offset": self._offset,
+            "shed": self._shed,
+            "total_weight": self.total_weight,
+            "counters": [[k, c] for k, c in self._counters.items()],
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "TopK":
+        topk = cls(capacity=int(state["capacity"]))
+        topk._offset = float(state["offset"])
+        topk._shed = float(state["shed"])
+        topk.total_weight = float(state["total_weight"])
+        topk._counters = {
+            int(k): float(c) for k, c in state["counters"]
+        }
+        return topk
 
     def __len__(self) -> int:
         return len(self._counters)
@@ -653,6 +722,42 @@ class WindowAggregator:
         if now > self._index * self.width:
             out.append(self._snapshot(now, partial=True))
         return out
+
+    def to_state(self) -> dict:
+        """Checkpoint state: every accumulator of the open window."""
+        return {
+            "width": self.width,
+            "servers": self.servers,
+            "index": self._index,
+            "arrivals": self._arrivals,
+            "completions": self._completions,
+            "tardy": self._tardy,
+            "tardiness": self._tardiness,
+            "queue_samples": self._queue_samples,
+            "queue_sum": self._queue_sum,
+            "queue_max": self._queue_max,
+            "busy": self._busy,
+            "last_time": self._last_time,
+            "last_running": self._last_running,
+            "snapshots_emitted": self.snapshots_emitted,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "WindowAggregator":
+        windows = cls(float(state["width"]), servers=int(state["servers"]))
+        windows._index = int(state["index"])
+        windows._arrivals = int(state["arrivals"])
+        windows._completions = int(state["completions"])
+        windows._tardy = int(state["tardy"])
+        windows._tardiness = float(state["tardiness"])
+        windows._queue_samples = int(state["queue_samples"])
+        windows._queue_sum = int(state["queue_sum"])
+        windows._queue_max = int(state["queue_max"])
+        windows._busy = float(state["busy"])
+        windows._last_time = float(state["last_time"])
+        windows._last_running = int(state["last_running"])
+        windows.snapshots_emitted = int(state["snapshots_emitted"])
+        return windows
 
 
 class RunTelemetry:
@@ -798,6 +903,55 @@ class RunTelemetry:
             "response_moments": self.response_moments.as_dict(),
             "culprits": self.culprits.as_dict(),
         }
+
+    def to_state(self) -> dict:
+        """Checkpoint state: composed from the members' raw states."""
+        return {
+            "quantile_accuracy": self.quantile_accuracy,
+            "topk_capacity": self.culprits.capacity,
+            "tardiness": self.tardiness.to_state(),
+            "response": self.response.to_state(),
+            "tardiness_moments": self.tardiness_moments.to_state(),
+            "response_moments": self.response_moments.to_state(),
+            "culprits": self.culprits.to_state(),
+            "arrivals": self.arrivals,
+            "completed": self.completed,
+            "tardy": self.tardy,
+            "aborted": self.aborted,
+            "shed": self.shed,
+            "retries": self.retries,
+            "preemptions": self.preemptions,
+            "weighted_total": self.weighted_total,
+            "weighted_max": self.weighted_max,
+            "makespan": self.makespan,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "RunTelemetry":
+        telemetry = cls(
+            float(state["quantile_accuracy"]),
+            topk=int(state["topk_capacity"]),
+        )
+        telemetry.tardiness = QuantileSketch.from_state(state["tardiness"])
+        telemetry.response = QuantileSketch.from_state(state["response"])
+        telemetry.tardiness_moments = StreamingMoments.from_state(
+            state["tardiness_moments"]
+        )
+        telemetry.response_moments = StreamingMoments.from_state(
+            state["response_moments"]
+        )
+        telemetry.culprits = TopK.from_state(state["culprits"])
+        telemetry.arrivals = int(state["arrivals"])
+        telemetry.completed = int(state["completed"])
+        telemetry.tardy = int(state["tardy"])
+        telemetry.aborted = int(state["aborted"])
+        telemetry.shed = int(state["shed"])
+        telemetry.retries = int(state["retries"])
+        telemetry.preemptions = int(state["preemptions"])
+        telemetry.weighted_total = float(state["weighted_total"])
+        telemetry.weighted_max = float(state["weighted_max"])
+        telemetry.makespan = float(state["makespan"])
+        return telemetry
 
     def __repr__(self) -> str:
         return (
@@ -1142,6 +1296,83 @@ class StreamingRecorder(Instrument):
             response_p99=t.response.quantile(0.99),
             miss_ratio=t.deadline_miss_ratio,
         )
+
+    def to_state(self) -> dict:
+        """Checkpoint state: telemetry, windows, sampler and counters.
+
+        The sink is *not* part of the state — file handles cannot ride
+        in a checkpoint.  :meth:`from_state` takes the (resumed) sink
+        explicitly; the :class:`~repro.obs.jsonl.EventSampler` position
+        (``_sched_seen``) is captured so sampled logs continue thinning
+        at exactly the same stride phase.
+        """
+        return {
+            "telemetry": self.telemetry.to_state(),
+            "window_width": self._window_width,
+            "windows": (
+                self._windows.to_state() if self._windows is not None else None
+            ),
+            "sample": self._sampler.rate if self._sampler is not None else 1.0,
+            "sched_seen": (
+                self._sampler._sched_seen if self._sampler is not None else 0
+            ),
+            "policy": self._policy,
+            "n": self._n,
+            "servers": self._servers,
+            "started": self._started,
+            "finished": self._finished,
+            "end_time": self._end_time,
+            "sched_points": self._sched_points,
+            "select_total": self._select_total,
+            "select_max": self._select_max,
+            "dispatches": self._dispatches,
+            "overhead_paid": self._overhead_paid,
+            "max_ready": self._max_ready,
+            "ready_sum": self._ready_sum,
+            "crashes": self._crashes,
+            "stalls": self._stalls,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Mapping, sink: "EventSink | None" = None
+    ) -> "StreamingRecorder":
+        """Rebuild a mid-run recorder; ``sink`` is the resumed writer.
+
+        Construction goes through ``__init__`` so the lean-callback
+        rebinding (sinkless + windowless mode) is re-derived from the
+        restored configuration, then every accumulator is overwritten
+        with the checkpointed values.
+        """
+        telemetry_state = state["telemetry"]
+        recorder = cls(
+            quantile_accuracy=float(telemetry_state["quantile_accuracy"]),
+            window=state["window_width"],
+            sink=sink,
+            sample=float(state["sample"]),
+            topk=int(telemetry_state["topk_capacity"]),
+        )
+        recorder.telemetry = RunTelemetry.from_state(telemetry_state)
+        if state["windows"] is not None:
+            recorder._windows = WindowAggregator.from_state(state["windows"])
+        if recorder._sampler is not None:
+            recorder._sampler._sched_seen = int(state["sched_seen"])
+        recorder._policy = str(state["policy"])
+        recorder._n = int(state["n"])
+        recorder._servers = int(state["servers"])
+        recorder._started = bool(state["started"])
+        recorder._finished = bool(state["finished"])
+        recorder._end_time = float(state["end_time"])
+        recorder._sched_points = int(state["sched_points"])
+        recorder._select_total = float(state["select_total"])
+        recorder._select_max = float(state["select_max"])
+        recorder._dispatches = int(state["dispatches"])
+        recorder._overhead_paid = float(state["overhead_paid"])
+        recorder._max_ready = int(state["max_ready"])
+        recorder._ready_sum = int(state["ready_sum"])
+        recorder._crashes = int(state["crashes"])
+        recorder._stalls = int(state["stalls"])
+        return recorder
 
     def __iter__(self) -> Iterator[None]:  # pragma: no cover - guard
         raise ObservabilityError(

@@ -142,6 +142,42 @@ class Scheduler(abc.ABC):
         """Return the transaction to dispatch, or ``None`` to idle."""
 
     # ------------------------------------------------------------------
+    # Checkpoint hooks (crash-resilient runs, :mod:`repro.ckpt`).
+    # ------------------------------------------------------------------
+    def snapshot(self) -> object:
+        """Opaque picklable scheduling state for a run checkpoint.
+
+        The default returns the policy object itself: the checkpoint
+        serialises engine and policy state in a *single* pickle graph,
+        so every shared :class:`~repro.core.transaction.Transaction`
+        reference (ready dicts, lazy heaps, workflow views) keeps its
+        identity — which makes the default exact for every policy in
+        this package, stale heap entries and tie-break history included.
+        Subclasses whose derived structures are cheaper to rebuild than
+        to serialise may return a reduced state instead, as long as
+        :meth:`restore` reproduces *decision-identical* behaviour (the
+        resumed run must stay byte-identical to an uninterrupted one).
+        """
+        return self
+
+    @classmethod
+    def restore(cls, state: object) -> "Scheduler":
+        """Rebuild a live policy from :meth:`snapshot` output.
+
+        Inverse of :meth:`snapshot`; override the two together.  The
+        default expects the snapshotted policy object and hands it back
+        after detaching any profiling probe (profilers never survive a
+        resume).
+        """
+        if not isinstance(state, cls):
+            raise SchedulingError(
+                f"{cls.__name__}.restore() expected a {cls.__name__} "
+                f"snapshot, got {type(state).__name__}"
+            )
+        state._probe = None
+        return state
+
+    # ------------------------------------------------------------------
     # Helpers for subclasses.
     # ------------------------------------------------------------------
     @property

@@ -43,12 +43,46 @@ from repro.sim.soa import TxnTable
 from repro.sim.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ckpt.snapshot import Checkpoint, Checkpointer
     from repro.faults.admission import ShedPolicy
     from repro.faults.plan import FaultPlan, TxnFaultSchedule
     from repro.obs.hooks import Instrument
     from repro.obs.profile import PhaseProfiler
 
 __all__ = ["Simulator"]
+
+#: Engine attributes captured by a run checkpoint (:mod:`repro.ckpt`).
+#: Everything here must pickle as one object graph — shared Transaction
+#: references between the pool, the SoA table, the event queue, the
+#: running map and the policy keep their identity, which is what makes a
+#: resumed run decision-identical to an uninterrupted one.  The frozen
+#: tuple doubles as the snapshot schema: loads reject a payload whose
+#: keys differ (:class:`~repro.errors.CheckpointError`).
+_CKPT_CORE_FIELDS = (
+    "_txns",
+    "_table",
+    "_workflows",
+    "_trace",
+    "_dependents",
+    "_events",
+    "_seq",
+    "_pending_deps",
+    "_running",
+    "_token_counter",
+    "_completed",
+    "_finished",
+    "_down",
+    "_fault_state",
+    "_faults",
+    "_shed_policy",
+    "_shed_limit",
+    "_overhead",
+    "_servers",
+    "_retain_records",
+    "scheduling_points",
+    "preemptions",
+    "_events_processed",
+)
 
 #: Tolerance for floating-point residues when a completion event fires.
 _EPS = 1e-9
@@ -146,6 +180,22 @@ class Simulator:
         metric still answers; per-transaction queries raise).  Pair with
         a :class:`~repro.obs.streaming.StreamingRecorder` instrument for
         quantiles and windowed time-series at bounded memory.
+    checkpoint_every:
+        Event-count interval between run checkpoints; requires
+        ``checkpointer`` (and vice versa).  After every batch of
+        simultaneous events, once at least this many events have been
+        processed since the last snapshot, the engine hands itself to
+        the checkpointer at the post-reschedule safe point.  ``None``
+        (the default) keeps the hot path free of any checkpoint cost
+        beyond one ``is not None`` check per batch.  Incompatible with
+        ``profiler``: wall-clock phase timings cannot survive a resume,
+        and the byte-identity contract of :mod:`repro.ckpt` only covers
+        simulation outputs.
+    checkpointer:
+        The :class:`~repro.ckpt.snapshot.Checkpointer` that persists
+        snapshots (atomically, to one file).  A run killed between
+        snapshots resumes from the last one via :meth:`resume_from`
+        and finishes byte-identical to an uninterrupted run.
 
     Examples
     --------
@@ -171,6 +221,8 @@ class Simulator:
         faults: "FaultPlan | None" = None,
         retain_records: bool = True,
         profiler: "PhaseProfiler | None" = None,
+        checkpoint_every: int | None = None,
+        checkpointer: "Checkpointer | None" = None,
     ) -> None:
         if not transactions:
             raise SimulationError("cannot simulate an empty transaction pool")
@@ -180,6 +232,26 @@ class Simulator:
             raise SimulationError(
                 f"preemption_overhead must be >= 0, got {preemption_overhead}"
             )
+        if (checkpoint_every is None) != (checkpointer is None):
+            raise SimulationError(
+                "checkpoint_every and checkpointer must be given together"
+            )
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise SimulationError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if profiler is not None:
+                raise SimulationError(
+                    "checkpointing cannot be combined with a profiler: "
+                    "wall-clock phase timings do not survive a resume"
+                )
+        self._checkpoint_every = checkpoint_every or 0
+        self._checkpointer = checkpointer
+        self._resume_pending = False
+        self._resume_now = 0.0
+        self._events_processed = 0
+        self._ckpt_due = 0
         self._overhead = preemption_overhead
         self._instrument = instrument
         self._profiler = profiler
@@ -252,13 +324,27 @@ class Simulator:
     # Main loop.
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Execute the workload to completion and return the result."""
-        self._reset()
+        """Execute the workload to completion and return the result.
+
+        On a simulator built by :meth:`resume_from` the first call
+        continues the checkpointed run instead of starting over: no
+        reset, no ``on_run_start`` (the resumed instrument and log
+        already carry the run's opening), picking up at the snapshot's
+        simulated time.
+        """
         n = len(self._txns)
-        if self._instrument is not None:
-            self._instrument.on_run_start(self._policy.name, n, self._servers)
-        now = 0.0
+        if self._resume_pending:
+            self._resume_pending = False
+            now = self._resume_now
+        else:
+            self._reset()
+            if self._instrument is not None:
+                self._instrument.on_run_start(
+                    self._policy.name, n, self._servers
+                )
+            now = 0.0
         profiler = self._profiler
+        ckpt = self._checkpointer
         while self._finished < n:
             if not self._events:
                 raise SimulationError(
@@ -293,6 +379,17 @@ class Simulator:
             if self._finished >= n:
                 break
             self._reschedule(now)
+            if ckpt is not None:
+                # Post-reschedule safe point: every event of the batch is
+                # applied and the dispatch/event-queue state is exactly
+                # what the next pop will see.  Event counting only runs
+                # with a checkpointer attached (zero-cost-when-off).
+                self._events_processed += len(batch)
+                if self._events_processed >= self._ckpt_due:
+                    self._ckpt_due = (
+                        self._events_processed + self._checkpoint_every
+                    )
+                    ckpt.save(self, now)
         if self._instrument is not None:
             self._instrument.on_run_end(now)
         if not self._retain_records:
@@ -339,6 +436,8 @@ class Simulator:
         self._table.reset()
         self.scheduling_points = 0
         self.preemptions = 0
+        self._events_processed = 0
+        self._ckpt_due = self._checkpoint_every
         self._policy.bind(list(self._txns.values()), self._workflows)
         # Probe attachment mirrors the instrument contract: without a
         # profiler the policy holds None and its select paths pay a
@@ -374,6 +473,62 @@ class Simulator:
             self._events.push(
                 Event(period, EventKind.ACTIVATION, next(self._seq))
             )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume (:mod:`repro.ckpt`).
+    # ------------------------------------------------------------------
+    def _checkpoint_payload(self) -> dict[str, object]:
+        """The core engine state a run checkpoint captures.
+
+        One entry per :data:`_CKPT_CORE_FIELDS` name; the checkpointer
+        pickles the mapping together with the policy snapshot so shared
+        object identity survives.  Reading attributes mutates nothing —
+        taking a checkpoint must leave the run byte-identical to one
+        that never checkpointed.
+        """
+        return {name: getattr(self, name) for name in _CKPT_CORE_FIELDS}
+
+    @classmethod
+    def resume_from(
+        cls,
+        checkpoint: "Checkpoint",
+        *,
+        instrument: "Instrument | None" = None,
+        checkpoint_every: int | None = None,
+        checkpointer: "Checkpointer | None" = None,
+    ) -> "Simulator":
+        """Rebuild a mid-run simulator from a loaded checkpoint.
+
+        The returned simulator continues the interrupted run: the next
+        :meth:`run` call skips the reset and the ``on_run_start`` hook
+        and resumes the event loop at the snapshot's simulated time.
+        ``instrument`` must itself be the *resumed* instrument (e.g. a
+        :class:`~repro.obs.streaming.StreamingRecorder` rebuilt via
+        ``from_state``) or ``None``; pass ``checkpointer`` and
+        ``checkpoint_every`` to keep checkpointing the resumed run.
+        Profilers never survive a resume.
+        """
+        if (checkpoint_every is None) != (checkpointer is None):
+            raise SimulationError(
+                "checkpoint_every and checkpointer must be given together"
+            )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise SimulationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        sim = object.__new__(cls)
+        for name, value in checkpoint.core.items():
+            setattr(sim, name, value)
+        sim._policy = checkpoint.restore_policy()
+        sim._policy.attach_probe(None)
+        sim._instrument = instrument
+        sim._profiler = None
+        sim._checkpoint_every = checkpoint_every or 0
+        sim._checkpointer = checkpointer
+        sim._ckpt_due = sim._events_processed + (checkpoint_every or 0)
+        sim._resume_pending = True
+        sim._resume_now = checkpoint.now
+        return sim
 
     # ------------------------------------------------------------------
     # Event handling.

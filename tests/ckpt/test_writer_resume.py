@@ -1,0 +1,152 @@
+"""Event-log writer resume: truncate-and-continue for both writers."""
+
+import json
+
+import pytest
+
+from repro.ckpt import restore_writer
+from repro.errors import CheckpointError
+from repro.obs.jsonl import JsonlWriter, RotatingJsonlWriter, read_tolerant
+
+
+def _write(writer, n, start=0):
+    if start == 0:
+        writer.write({"schema": 1, "kind": "run_start", "t": 0.0,
+                      "policy": "edf", "n": 0, "servers": 1})
+    for i in range(start, n):
+        writer.write({"kind": "completion", "t": float(i), "txn": i,
+                      "tardiness": 0.0})
+
+
+class TestPlainWriterResume:
+    def test_truncates_tail_and_continues(self, tmp_path):
+        golden = tmp_path / "golden.jsonl"
+        with JsonlWriter(golden) as writer:
+            _write(writer, 30)
+        golden_bytes = golden.read_bytes()
+
+        crashed = tmp_path / "crashed.jsonl"
+        writer = JsonlWriter(crashed)
+        _write(writer, 30)
+        writer.close()
+        # resume at 19 records = the header plus completions 0..17
+        writer = JsonlWriter.resume(
+            {"writer": "plain", "path": str(crashed), "records": 19}
+        )
+        assert writer.records_written == 19
+        _write(writer, 30, start=18)
+        writer.close()
+        assert crashed.read_bytes() == golden_bytes
+
+    def test_resume_cuts_torn_final_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlWriter(path) as writer:
+            _write(writer, 10)
+        with path.open("ab") as handle:
+            handle.write(b'{"torn')
+        writer = restore_writer(
+            {"writer": "plain", "path": str(path), "records": 10}
+        )
+        writer.close()
+        records, truncated = read_tolerant(path)
+        assert len(records) == 10
+        assert truncated == 0
+
+    def test_resume_rejects_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="missing"):
+            JsonlWriter.resume(
+                {"writer": "plain", "path": str(tmp_path / "gone.jsonl"),
+                 "records": 3}
+            )
+
+    def test_resume_rejects_short_file(self, tmp_path):
+        path = tmp_path / "short.jsonl"
+        with JsonlWriter(path) as writer:
+            _write(writer, 2)
+        with pytest.raises(CheckpointError, match="fewer than"):
+            JsonlWriter.resume(
+                {"writer": "plain", "path": str(path), "records": 5}
+            )
+
+    def test_ckpt_state_shape(self, tmp_path):
+        with JsonlWriter(tmp_path / "events.jsonl") as writer:
+            _write(writer, 4)
+            assert writer.ckpt_state() == {
+                "writer": "plain",
+                "path": str(tmp_path / "events.jsonl"),
+                "records": 5,  # run_start header + 4 completions
+            }
+
+
+class TestRotatingWriterResume:
+    def _golden(self, tmp_path, n=60, max_bytes=256):
+        base = tmp_path / "golden.jsonl"
+        with RotatingJsonlWriter(base, max_bytes=max_bytes) as writer:
+            _write(writer, n)
+        return base
+
+    def test_mid_stream_state_round_trips(self, tmp_path):
+        golden = self._golden(tmp_path)
+        golden_records, _ = read_tolerant(golden)
+
+        base = tmp_path / "crashed.jsonl"
+        writer = RotatingJsonlWriter(base, max_bytes=256)
+        _write(writer, 37)
+        state = writer.ckpt_state()
+        # the crash: more records land after the snapshot, then death
+        _write(writer, 60, start=37)
+        writer._file.close()
+
+        resumed = restore_writer(state)
+        assert resumed.records_written == 38  # header + completions 0..36
+        _write(resumed, 60, start=37)
+        resumed.close()
+        records, truncated = read_tolerant(base)
+        assert records == golden_records
+        assert truncated == 0
+        # part-for-part identical to the uninterrupted writer
+        golden_parts = sorted(p.name for p in tmp_path.glob("golden-*.jsonl"))
+        crashed_parts = sorted(p.name for p in tmp_path.glob("crashed-*.jsonl"))
+        assert [p.split("-", 1)[1] for p in crashed_parts] == [
+            p.split("-", 1)[1] for p in golden_parts
+        ]
+
+    def test_resume_deletes_stray_parts(self, tmp_path):
+        base = tmp_path / "events.jsonl"
+        writer = RotatingJsonlWriter(base, max_bytes=128)
+        _write(writer, 10)
+        state = writer.ckpt_state()
+        _write(writer, 40, start=10)  # opens parts past the snapshot
+        writer.close()
+        all_parts = sorted(tmp_path.glob("events-*.jsonl"))
+        assert len(all_parts) > len(state["parts"])
+
+        resumed = restore_writer(state)
+        resumed.close()
+        survivors = sorted(p.name for p in tmp_path.glob("events-*.jsonl"))
+        assert survivors == state["parts"]
+
+    def test_resume_rewrites_manifest(self, tmp_path):
+        base = tmp_path / "events.jsonl"
+        writer = RotatingJsonlWriter(base, max_bytes=128)
+        _write(writer, 10)
+        state = writer.ckpt_state()
+        _write(writer, 30, start=10)
+        writer.close()
+        resumed = restore_writer(state)
+        resumed.close()
+        manifest = json.loads(
+            (tmp_path / "events.manifest.json").read_text()
+        )
+        assert manifest["parts"] == state["parts"]
+        assert manifest["records"] == state["records"]
+
+    def test_resume_rejects_missing_part(self, tmp_path):
+        base = tmp_path / "events.jsonl"
+        writer = RotatingJsonlWriter(base, max_bytes=128)
+        _write(writer, 20)
+        state = writer.ckpt_state()
+        writer.close()
+        (tmp_path / state["parts"][0]).unlink()
+        with pytest.raises(CheckpointError, match="missing"):
+            restore_writer(state)

@@ -1,0 +1,108 @@
+"""Crash tolerance of the rotation manifest: atomic rewrite, glob fallback."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.jsonl import RotatingJsonlWriter, read_tolerant
+
+
+def _records(n):
+    yield {"schema": 1, "kind": "run_start", "t": 0.0, "policy": "edf",
+           "n": n, "servers": 1}
+    for i in range(n):
+        yield {"kind": "completion", "t": float(i), "txn": i, "tardiness": 0.0}
+    yield {"kind": "run_end", "t": float(n)}
+
+
+@pytest.fixture()
+def rotated(tmp_path):
+    base = tmp_path / "events.jsonl"
+    with RotatingJsonlWriter(base, max_bytes=256) as writer:
+        for record in _records(40):
+            writer.write(record)
+    return base
+
+
+class TestAtomicManifestRewrite:
+    def test_no_temp_file_survives(self, rotated):
+        assert not list(rotated.parent.glob("*.tmp"))
+
+    def test_crash_mid_rewrite_leaves_old_manifest_intact(self, tmp_path,
+                                                          monkeypatch):
+        """A failure while writing the temp file must not tear the manifest.
+
+        The rewrite goes to a sibling ``.tmp`` and is swapped in with one
+        ``os.replace``; killing the dump mid-way therefore leaves the
+        previous manifest byte-for-byte untouched and fully parseable.
+        """
+        base = tmp_path / "events.jsonl"
+        writer = RotatingJsonlWriter(base, max_bytes=256)
+        for record in _records(20):
+            writer.write(record)
+        manifest_path = tmp_path / "events.manifest.json"
+        before = manifest_path.read_bytes()
+
+        def exploding_dump(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.obs.jsonl.json.dump", exploding_dump)
+        with pytest.raises(OSError):
+            writer._write_manifest()
+        monkeypatch.undo()
+        assert manifest_path.read_bytes() == before
+        json.loads(before)
+        writer.close()
+
+
+class TestGlobFallback:
+    def _manifest(self, rotated):
+        return rotated.parent / "events.manifest.json"
+
+    def test_torn_manifest_recovers_by_glob(self, rotated):
+        healthy, _ = read_tolerant(rotated)
+        manifest = self._manifest(rotated)
+        manifest.write_text(manifest.read_text()[: len(manifest.read_text()) // 2])
+        with pytest.warns(UserWarning, match="recovered .* by filename glob"):
+            records, counter = read_tolerant(rotated)
+        assert records == healthy
+        assert counter == 1
+
+    def test_alien_manifest_recovers_by_glob(self, rotated):
+        healthy, _ = read_tolerant(rotated)
+        self._manifest(rotated).write_text('{"kind": "something-else"}\n')
+        with pytest.warns(UserWarning, match="not an event-log manifest"):
+            records, counter = read_tolerant(rotated)
+        assert records == healthy
+        assert counter == 1
+
+    def test_torn_manifest_and_torn_tail_count_two(self, rotated):
+        manifest = self._manifest(rotated)
+        manifest.write_text(manifest.read_text()[:10])
+        last = sorted(rotated.parent.glob("events-*.jsonl"))[-1]
+        with last.open("a") as handle:
+            handle.write('{"torn')
+        with pytest.warns(UserWarning):
+            records, counter = read_tolerant(rotated)
+        assert counter == 2
+        assert records[-1]["kind"] == "run_end"
+
+    def test_torn_manifest_without_parts_still_raises(self, tmp_path):
+        manifest = tmp_path / "events.manifest.json"
+        manifest.write_text("{torn")
+        with pytest.raises(ObservabilityError, match="no part files"):
+            read_tolerant(manifest)
+
+    def test_unreadable_manifest_still_raises(self, rotated):
+        manifest = self._manifest(rotated)
+        manifest.unlink()
+        manifest.mkdir()  # opening a directory raises OSError, not a tear
+        with pytest.raises(ObservabilityError, match="unreadable manifest"):
+            read_tolerant(manifest)
+
+    def test_listed_part_missing_still_raises(self, rotated):
+        parts = sorted(rotated.parent.glob("events-*.jsonl"))
+        parts[0].unlink()
+        with pytest.raises(ObservabilityError, match="is missing"):
+            read_tolerant(rotated)

@@ -1,6 +1,6 @@
 """Property-based tests of the streaming-sketch guarantees.
 
-Three families of properties:
+Four families of properties:
 
 * **error bounds** — the quantile sketch's documented relative-error
   guarantee and the Misra–Gries undercount bound hold for arbitrary
@@ -9,7 +9,11 @@ Three families of properties:
   to the byte (integer bucket counts), and sharding a stream any way
   then merging reproduces the single-stream sketch exactly;
 * **moment merges** — Chan's combination matches the bulk computation
-  within floating-point tolerance for any split.
+  within floating-point tolerance for any split;
+* **checkpoint states** — ``from_state(to_state(x))`` preserves every
+  answer and continues the stream bit-for-bit (the resume contract),
+  and ``to_state`` commutes with ``merge``: restoring two states then
+  merging equals merging then snapshotting.
 """
 
 import math
@@ -162,3 +166,122 @@ def test_topk_undercount_bound_holds_through_merges(
     for key, estimate in merged.items():
         assert estimate <= true[key] + tolerance
         assert estimate >= true[key] - merged.undercount_bound - tolerance
+
+
+# --------------------------------------------------------------------------
+# checkpoint-state round trips: the resume contract of repro.ckpt
+# --------------------------------------------------------------------------
+
+splits = st.floats(min_value=0.0, max_value=1.0, **finite)
+
+topk_entries = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=20), positive_values),
+    max_size=200,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.lists(values, max_size=300), split=splits, alpha=accuracies)
+def test_quantile_state_round_trip_continues_bit_for_bit(data, split, alpha):
+    cut = int(split * len(data))
+    whole = QuantileSketch(alpha)
+    for v in data[:cut]:
+        whole.add(v)
+    restored = QuantileSketch.from_state(whole.to_state())
+    assert restored.as_dict() == whole.as_dict()
+    # a restored sketch is not just equal — it *continues* identically
+    for v in data[cut:]:
+        whole.add(v)
+        restored.add(v)
+    assert restored.as_dict() == whole.as_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.lists(values, max_size=300), split=splits)
+def test_moments_state_round_trip_continues_bit_for_bit(data, split):
+    cut = int(split * len(data))
+    whole = StreamingMoments()
+    for v in data[:cut]:
+        whole.add(v)
+    restored = StreamingMoments.from_state(whole.to_state())
+    assert restored.to_state() == whole.to_state()
+    for v in data[cut:]:
+        whole.add(v)
+        restored.add(v)
+    # raw Welford accumulators, not just the derived report: the same
+    # float operations on the same state give the same bits
+    assert restored.to_state() == whole.to_state()
+    assert restored.as_dict() == whole.as_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    entries=topk_entries,
+    split=splits,
+    capacity=st.integers(min_value=1, max_value=8),
+)
+def test_topk_state_round_trip_continues_bit_for_bit(entries, split, capacity):
+    cut = int(split * len(entries))
+    whole = TopK(capacity)
+    for key, weight in entries[:cut]:
+        whole.add(key, weight)
+    restored = TopK.from_state(whole.to_state())
+    assert restored.to_state() == whole.to_state()
+    for key, weight in entries[cut:]:
+        whole.add(key, weight)
+        restored.add(key, weight)
+    # insertion order (eviction tie-breaks) must survive the round trip
+    assert restored.to_state() == whole.to_state()
+    assert restored.as_dict() == whole.as_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=st.lists(values, max_size=120), b=st.lists(values, max_size=120))
+def test_quantile_state_commutes_with_merge(a, b):
+    def sketch_of(data):
+        s = QuantileSketch(0.01)
+        for v in data:
+            s.add(v)
+        return s
+
+    merged = sketch_of(a)
+    merged.merge(sketch_of(b))
+    via_state = QuantileSketch.from_state(sketch_of(a).to_state())
+    via_state.merge(QuantileSketch.from_state(sketch_of(b).to_state()))
+    assert via_state.to_state() == merged.to_state()
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=st.lists(values, max_size=120), b=st.lists(values, max_size=120))
+def test_moments_state_commutes_with_merge(a, b):
+    def moments_of(data):
+        m = StreamingMoments()
+        for v in data:
+            m.add(v)
+        return m
+
+    merged = moments_of(a)
+    merged.merge(moments_of(b))
+    via_state = StreamingMoments.from_state(moments_of(a).to_state())
+    via_state.merge(StreamingMoments.from_state(moments_of(b).to_state()))
+    assert via_state.to_state() == merged.to_state()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=topk_entries,
+    b=topk_entries,
+    capacity=st.integers(min_value=1, max_value=8),
+)
+def test_topk_state_commutes_with_merge(a, b, capacity):
+    def topk_of(entries):
+        t = TopK(capacity)
+        for key, weight in entries:
+            t.add(key, weight)
+        return t
+
+    merged = topk_of(a)
+    merged.merge(topk_of(b))
+    via_state = TopK.from_state(topk_of(a).to_state())
+    via_state.merge(TopK.from_state(topk_of(b).to_state()))
+    assert via_state.to_state() == merged.to_state()
